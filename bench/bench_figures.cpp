@@ -1,0 +1,179 @@
+// E1-E5: regenerates the analysis outcome of every worked figure in the
+// paper (the paper has no empirical tables; Figures 1-5 are its evaluation
+// artifacts). For each figure-style program the table reports the wave
+// oracle's ground truth and the verdict of each detector configuration —
+// the paper's claims are the expected-verdict column.
+//
+// The paper's figure artwork is not reproduced in the text we work from,
+// so each entry is a reconstruction that exercises exactly the mechanism
+// the figure illustrates; EXPERIMENTS.md records the mapping.
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/certifier.h"
+#include "gen/cnf.h"
+#include "gen/sat_reduction.h"
+#include "graph/scc.h"
+#include "lang/parser.h"
+#include "report/table.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+#include "wavesim/explorer.h"
+
+namespace {
+using namespace siwa;
+
+struct FigureCase {
+  const char* id;
+  const char* description;
+  const char* source;  // nullptr -> raw graph case handled specially
+  const char* expectation;
+};
+
+// clang-format off
+const FigureCase kCases[] = {
+  {"Fig1", "3-task example: naive finds spurious cycles, refinements remove them",
+   R"(
+task t1 is begin send t2.sig1; accept sig2; end t1;
+task t2 is begin accept sig1; accept sig1; end t2;
+task t3 is begin send t2.sig1; send t1.sig2; end t3;
+)",
+   "truth: no deadlock; spectrum narrows toward certification"},
+
+  {"Fig2a", "stall: task waits on a rendezvous nobody can make",
+   R"(
+task a is begin accept never; end a;
+task b is begin send c.d; end b;
+task c is begin accept d; end c;
+)",
+   "truth: stall, no deadlock"},
+
+  {"Fig2b", "deadlock: tasks wait on each other",
+   R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)",
+   "truth: deadlock; every detector reports it"},
+
+  {"Fig3", "constraint 4: outside task always breaks the candidate cycle",
+   R"(
+task a is begin accept m1; send b.k; end a;
+task b is begin accept w0; accept k; send a.m1; send c.v; end b;
+task c is begin send b.w0; accept v; end c;
+)",
+   "truth: deadlock (a/b mutual wait); w0's head filtered, accepts kept"},
+
+  {"Fig4c", "conditional arms cannot share one cycle (constraint 3b)",
+   R"(
+task t is
+begin
+  if c then
+    accept m1;
+    send u.k1;
+  else
+    accept m2;
+    send u.k2;
+  end if;
+end t;
+task u is
+begin
+  send t.m1;
+  accept k1;
+  send t.m2;
+  accept k2;
+  send t.m1;
+end u;
+)",
+   "truth: stall only; the both-arms cycle is spurious (3b + counting)"},
+
+  {"Fig5a", "Lemma 2: cycle enters/exits a task through same-type accepts",
+   R"(
+task b is begin accept m; accept m; end b;
+task c is begin send b.m; send b.m; end c;
+)",
+   "truth: no deadlock; head pair is sync-joined, pair mode certifies"},
+
+  {"Fig5bc", "ordering eliminates the spurious cycle (needs R3+R4 rules)",
+   R"(
+task b is begin accept m; send c.k; end b;
+task c is begin accept pre; accept k; send b.m; end c;
+task d is begin send b.m; send c.pre; end d;
+)",
+   "truth: no deadlock (one stall); refined certifies, naive cannot"},
+};
+// clang-format on
+
+std::string verdict(const lang::Program& program, core::Algorithm algorithm,
+                    bool constraint4 = false) {
+  core::CertifyOptions options;
+  options.algorithm = algorithm;
+  options.apply_constraint4 = constraint4;
+  return certify_program(program, options).certified_free ? "free" : "cycle";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E1-E5: per-figure detector spectrum "
+              "(truth from exhaustive wave exploration)\n\n");
+
+  report::Table table({"figure", "truth", "naive", "refined", "refined+c4",
+                       "pairs", "headtail", "paper's expectation"});
+
+  for (const FigureCase& c : kCases) {
+    const lang::Program program = lang::parse_and_check_or_throw(c.source);
+    const sg::SyncGraph graph = sg::build_sync_graph(program);
+    const wavesim::ExploreResult truth =
+        wavesim::WaveExplorer(graph).explore();
+    std::string truth_text = truth.any_deadlock ? "deadlock" : "no-deadlock";
+    if (truth.any_stall) truth_text += "+stall";
+
+    table.add_row({c.id, truth_text,
+                   verdict(program, core::Algorithm::Naive),
+                   verdict(program, core::Algorithm::RefinedSingle),
+                   verdict(program, core::Algorithm::RefinedSingle, true),
+                   verdict(program, core::Algorithm::RefinedHeadPair),
+                   verdict(program, core::Algorithm::RefinedHeadTail),
+                   c.expectation});
+  }
+
+  // Figure 4(a)/(b): the sync-edge-only cycle, a raw (non-program) graph.
+  {
+    sg::SyncGraph g;
+    const TaskId tr = g.add_task("task_r");
+    const TaskId ts = g.add_task("task_s");
+    const TaskId tt = g.add_task("task_t");
+    const TaskId tu = g.add_task("task_u");
+    const Symbol m = g.intern_message("m");
+    const NodeId r = g.add_rendezvous(tr, g.intern_signal(tt, m), sg::Sign::Plus);
+    const NodeId s = g.add_rendezvous(ts, g.intern_signal(tu, m), sg::Sign::Plus);
+    const NodeId t = g.add_rendezvous(tt, g.intern_signal(tt, m), sg::Sign::Minus);
+    const NodeId u = g.add_rendezvous(tu, g.intern_signal(tu, m), sg::Sign::Minus);
+    for (auto [task, node] : {std::pair{tr, r}, {ts, s}, {tt, t}, {tu, u}}) {
+      g.add_control_edge(g.begin_node(), node);
+      g.add_task_entry(task, node);
+      g.add_control_edge(node, g.end_node());
+    }
+    g.add_explicit_sync_edge(t, s);
+    g.add_explicit_sync_edge(u, r);
+    g.finalize();
+    const sg::Clg clg(g);
+    table.add_row({"Fig4ab", "no-deadlock",
+                   graph::has_cycle(clg.graph()) ? "cycle" : "free", "-", "-",
+                   "-", "-",
+                   "sync-only cycle r-t-s-u vanishes in the CLG"});
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf("Reading: 'free' = certified deadlock-free; 'cycle' = possible\n"
+              "deadlock reported (conservative). Shape match with the paper:\n"
+              "  - Fig2b/Fig3 truth deadlocks are reported by every mode\n"
+              "    (safety);\n"
+              "  - Fig1/Fig4/Fig5 spurious cycles disappear at some point of\n"
+              "    the refinement spectrum, naive never certifies them;\n"
+              "  - Fig4ab: the CLG alone eliminates constraint-1b-violating\n"
+              "    cycles.\n");
+  return 0;
+}

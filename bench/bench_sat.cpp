@@ -1,0 +1,147 @@
+// E7/E8: the Appendix A NP-hardness gadgets.
+//
+// For random 3-CNF formulas this harness reports, per formula:
+//   - brute-force satisfiability (the exact, exponential answer);
+//   - the size of the Theorem 2 program gadget and Theorem 3 raw gadget
+//     (expected: linear in the clause count);
+//   - how many of the gadget's analytically known orderings the R1/R3/R4
+//     precedence engine rediscovers (expected: all of them);
+//   - the verdict of the polynomial detectors, with and without the exact
+//     orderings injected.
+//
+// Expected shape: satisfiable <=> a constrained cycle exists, so detectors
+// must report every satisfiable gadget (safety); on UNSAT gadgets a
+// polynomial detector cannot certify in general (that would decide 3-SAT),
+// so a nonzero conservative-report rate on UNSAT instances *is the paper's
+// point*.
+#include <cstdio>
+
+#include "core/certifier.h"
+#include "gen/cnf.h"
+#include "gen/sat_reduction.h"
+#include <string>
+#include <vector>
+
+#include "report/table.h"
+#include "syncgraph/builder.h"
+
+namespace {
+using namespace siwa;
+
+const char* verdict(bool free) { return free ? "free" : "cycle"; }
+
+}  // namespace
+
+int main() {
+  std::printf("E7: Theorem 2 gadget sweep (random 3-CNF, 4 vars)\n\n");
+  report::Table t2({"formula", "clauses", "SAT", "gadget nodes", "sync edges",
+                    "orders known", "rediscovered", "refined", "refined+exact"});
+
+  // Fixed instances first: Figure 6's satisfiable formula, then the
+  // all-sign-combinations formula (provably UNSAT). Random rows (denser
+  // ratios so UNSAT instances appear) follow.
+  std::vector<std::pair<std::string, gen::Cnf>> instances;
+  instances.emplace_back("fig6",
+                         *gen::parse_dimacs("p cnf 4 2\n1 2 -3 0\n1 3 -4 0\n"));
+  {
+    std::string all = "p cnf 3 8\n";
+    for (int a : {1, -1})
+      for (int b : {2, -2})
+        for (int c : {3, -3})
+          all += std::to_string(a) + " " + std::to_string(b) + " " +
+                 std::to_string(c) + " 0\n";
+    instances.emplace_back("unsat8", *gen::parse_dimacs(all));
+  }
+  for (std::uint64_t seed = 1; seed <= 10; ++seed)
+    instances.emplace_back("rnd" + std::to_string(seed),
+                           gen::random_3cnf(4, 14 + static_cast<int>(seed % 6),
+                                            seed));
+
+  std::size_t sat_flagged = 0;
+  std::size_t sat_total = 0;
+  for (const auto& [label, cnf] : instances) {
+    const bool sat = gen::brute_force_satisfiable(cnf);
+
+    const lang::Program program = gen::build_theorem2_program(cnf);
+    const sg::SyncGraph graph = sg::build_sync_graph(program);
+
+    const auto exact = gen::exact_gadget_precedences(cnf, graph);
+    const core::Precedence derived(graph);
+    std::size_t rediscovered = 0;
+    for (auto [a, b] : exact)
+      if (derived.precedes(a, b)) ++rediscovered;
+
+    core::CertifyOptions plain;
+    const bool free_plain = core::certify_graph(graph, plain).certified_free;
+
+    core::CertifyOptions with_exact;
+    with_exact.precedence.extra_precedes = exact;
+    const bool free_exact =
+        core::certify_graph(graph, with_exact).certified_free;
+
+    if (sat) {
+      ++sat_total;
+      if (!free_plain) ++sat_flagged;
+    }
+    t2.add_row({label,
+                report::fmt(cnf.clauses.size()), sat ? "yes" : "no",
+                report::fmt(graph.node_count()),
+                report::fmt(graph.sync_edge_count()),
+                report::fmt(exact.size()), report::fmt(rediscovered),
+                verdict(free_plain), verdict(free_exact)});
+  }
+  std::printf("%s\n", t2.to_text().c_str());
+  std::printf("safety check: %zu/%zu satisfiable gadgets reported as cycles\n\n",
+              sat_flagged, sat_total);
+
+  std::printf("E7b: gadget growth is linear in the formula\n\n");
+  report::Table growth({"clauses", "thm2 nodes", "thm2 edges(ctrl)",
+                        "thm3 nodes", "nodes per clause (thm2)"});
+  for (int m : {2, 4, 8, 16, 32}) {
+    const gen::Cnf cnf = gen::random_3cnf(8, m, 99);
+    const auto g2 = sg::build_sync_graph(gen::build_theorem2_program(cnf));
+    const auto g3 = gen::build_theorem3_graph(cnf);
+    growth.add_row({report::fmt(static_cast<std::size_t>(m)),
+                    report::fmt(g2.node_count()),
+                    report::fmt(g2.control_edge_count()),
+                    report::fmt(g3.node_count()),
+                    report::fmt(static_cast<double>(g2.node_count()) / m, 1)});
+  }
+  std::printf("%s\n", growth.to_text().c_str());
+
+  std::printf("E8: Theorem 3 raw gadgets (constraints 1+2)\n\n");
+  report::Table t3({"formula", "clauses", "SAT", "naive", "refined",
+                    "refined+pairs"});
+  std::vector<std::pair<std::string, gen::Cnf>> t3_instances;
+  t3_instances.emplace_back("fig6", instances[0].second);
+  t3_instances.emplace_back("unsat8", instances[1].second);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed)
+    t3_instances.emplace_back(
+        "rnd" + std::to_string(seed),
+        gen::random_3cnf(4, 14 + static_cast<int>(seed % 5), seed * 7));
+  for (const auto& [label, cnf] : t3_instances) {
+    const bool sat = gen::brute_force_satisfiable(cnf);
+    const auto g = gen::build_theorem3_graph(cnf);
+
+    core::CertifyOptions naive;
+    naive.algorithm = core::Algorithm::Naive;
+    core::CertifyOptions refined;
+    core::CertifyOptions pairs;
+    pairs.algorithm = core::Algorithm::RefinedHeadPair;
+
+    t3.add_row({label,
+                report::fmt(cnf.clauses.size()), sat ? "yes" : "no",
+                verdict(core::certify_graph(g, naive).certified_free),
+                verdict(core::certify_graph(g, refined).certified_free),
+                verdict(core::certify_graph(g, pairs).certified_free)});
+  }
+  std::printf("%s\n", t3.to_text().c_str());
+
+  std::printf(
+      "Expected shape: every SAT row reports a cycle in all detector\n"
+      "columns (a real constrained cycle exists). UNSAT rows may still be\n"
+      "flagged — exactly the NP-hardness gap of Theorems 2/3: certifying\n"
+      "them would decide 3-SAT in polynomial time. Gadget sizes grow\n"
+      "linearly in the clause count (E7b).\n");
+  return 0;
+}

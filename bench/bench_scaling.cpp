@@ -1,0 +1,109 @@
+// E9: asymptotic cost of the pipeline, validating the paper's bounds —
+// CLG construction and the naive cycle search are O(|N| + |E|); the
+// refined detector is O(|N_CLG| * (|N_CLG| + |E_CLG|)) (one filtered SCC
+// search per possible head); the head-pair extension adds another factor.
+// google-benchmark's complexity fitting prints the measured exponent.
+#include <benchmark/benchmark.h>
+
+#include "core/certifier.h"
+#include "core/coexec.h"
+#include "core/naive_detector.h"
+#include "core/precedence.h"
+#include "core/refined_detector.h"
+#include "gen/random_program.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+
+namespace {
+using namespace siwa;
+
+lang::Program program_of_size(std::int64_t pairs, std::uint64_t seed) {
+  gen::RandomProgramConfig config;
+  config.tasks = std::max<std::size_t>(3, static_cast<std::size_t>(pairs) / 8);
+  config.rendezvous_pairs = static_cast<std::size_t>(pairs);
+  config.message_types = 4;
+  config.branch_probability = 0.15;
+  config.seed = seed;
+  return gen::random_program(config);
+}
+
+void BM_BuildSyncGraph(benchmark::State& state) {
+  const lang::Program program = program_of_size(state.range(0), 17);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sg::build_sync_graph(program));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildSyncGraph)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_BuildClg(benchmark::State& state) {
+  const sg::SyncGraph graph =
+      sg::build_sync_graph(program_of_size(state.range(0), 17));
+  for (auto _ : state) benchmark::DoNotOptimize(sg::Clg(graph));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildClg)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_NaiveDetect(benchmark::State& state) {
+  const sg::SyncGraph graph =
+      sg::build_sync_graph(program_of_size(state.range(0), 17));
+  const sg::Clg clg(graph);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::detect_naive(graph, clg));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_NaiveDetect)->RangeMultiplier(2)->Range(16, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_PrecedenceFixpoint(benchmark::State& state) {
+  const sg::SyncGraph graph =
+      sg::build_sync_graph(program_of_size(state.range(0), 17));
+  for (auto _ : state) benchmark::DoNotOptimize(core::Precedence(graph));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrecedenceFixpoint)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity();
+
+void BM_RefinedDetect(benchmark::State& state) {
+  const sg::SyncGraph graph =
+      sg::build_sync_graph(program_of_size(state.range(0), 17));
+  const sg::Clg clg(graph);
+  const core::Precedence precedence(graph);
+  const core::CoExec coexec(graph);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::detect_refined(graph, clg, precedence, coexec, {}));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RefinedDetect)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_RefinedHeadPair(benchmark::State& state) {
+  const sg::SyncGraph graph =
+      sg::build_sync_graph(program_of_size(state.range(0), 17));
+  const sg::Clg clg(graph);
+  const core::Precedence precedence(graph);
+  const core::CoExec coexec(graph);
+  core::RefinedOptions options;
+  options.mode = core::HypothesisMode::HeadPair;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::detect_refined(graph, clg, precedence, coexec, options));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RefinedHeadPair)->RangeMultiplier(2)->Range(16, 128)
+    ->Complexity();
+
+void BM_EndToEndCertify(benchmark::State& state) {
+  const lang::Program program = program_of_size(state.range(0), 17);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::certify_program(program, {}));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EndToEndCertify)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

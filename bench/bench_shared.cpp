@@ -1,0 +1,109 @@
+// E14 (reproduction extension): encapsulated shared conditions end to end.
+//
+// Section 5.1 proposes "encapsulated" boolean conditions whose value is
+// fixed program-wide. SIWA exploits them twice: the wave oracle can be made
+// assignment-exact (union over condition assignments of pruned programs),
+// and the detectors gain cross-task co-executability facts (guard
+// conflicts -> NOT-COEXEC marks).
+//
+// This harness measures, over a random corpus with shared conditions:
+//   - how many "deadlocks" the plain (condition-oblivious) oracle reports
+//     that are infeasible under consistent assignments;
+//   - the detectors' false-positive rate against the exact oracle, with
+//     guard-based co-executability on vs off (ablation via a graph rebuilt
+//     without guard information).
+// Expected shape: exact-oracle deadlocks <= plain-oracle deadlocks; the
+// guard-aware detector has fewer false positives and zero false negatives.
+#include <cstdio>
+
+#include "core/certifier.h"
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "report/table.h"
+#include "syncgraph/builder.h"
+#include "wavesim/shared.h"
+
+namespace {
+using namespace siwa;
+
+// Strips the `shared condition` declarations so the builder records no
+// guards: the ablation baseline.
+lang::Program without_shared_declarations(const lang::Program& program) {
+  lang::Program copy = program;
+  copy.shared_conditions.clear();
+  return copy;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeeds = 120;
+
+  std::size_t corpus = 0;
+  std::size_t plain_deadlocks = 0;
+  std::size_t exact_deadlocks = 0;
+  std::size_t fp_with_guards = 0;
+  std::size_t fp_without_guards = 0;
+  std::size_t fn_with_guards = 0;
+  std::size_t clean = 0;
+
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 3;
+    config.rendezvous_pairs = 5;
+    config.branch_probability = 0.4;
+    config.shared_conditions = 2;
+    config.shared_condition_probability = 0.7;
+    config.seed = seed;
+    const lang::Program program = gen::random_program(config);
+
+    wavesim::ExploreOptions explore;
+    explore.max_states = 120'000;
+    explore.collect_witness_trace = false;
+
+    const sg::SyncGraph plain_graph = sg::build_sync_graph(program);
+    const auto plain = wavesim::WaveExplorer(plain_graph, explore).explore();
+    const auto exact = wavesim::explore_shared(program, explore);
+    if (!plain.complete || !exact.combined.complete || exact.condition_cap_hit)
+      continue;
+    ++corpus;
+    plain_deadlocks += plain.any_deadlock;
+    exact_deadlocks += exact.combined.any_deadlock;
+    if (!exact.combined.any_deadlock) ++clean;
+
+    const bool guard_free = core::certify_program(program, {}).certified_free;
+    const bool noguard_free =
+        core::certify_program(without_shared_declarations(program), {})
+            .certified_free;
+    if (exact.combined.any_deadlock && guard_free) ++fn_with_guards;
+    if (!exact.combined.any_deadlock) {
+      if (!guard_free) ++fp_with_guards;
+      if (!noguard_free) ++fp_without_guards;
+    }
+  }
+
+  std::printf("E14: encapsulated shared conditions (corpus of %zu programs)\n\n",
+              corpus);
+  report::Table oracle({"oracle", "deadlock verdicts",
+                        "note"});
+  oracle.add_row({"plain (condition-oblivious)", report::fmt(plain_deadlocks),
+                  "over-approximates: inconsistent arm choices allowed"});
+  oracle.add_row({"assignment-exact", report::fmt(exact_deadlocks),
+                  "union over consistent assignments"});
+  std::printf("%s\n", oracle.to_text().c_str());
+
+  report::Table det({"detector", "false-pos (of " + report::fmt(clean) +
+                                     " clean)",
+                     "false-neg"});
+  det.add_row({"refined + guard coexec", report::fmt(fp_with_guards),
+               report::fmt(fn_with_guards)});
+  det.add_row({"refined, guards ablated", report::fmt(fp_without_guards),
+               "-"});
+  std::printf("%s\n", det.to_text().c_str());
+
+  std::printf("Expected shape: exact <= plain deadlock verdicts (the gap is\n"
+              "the spurious-interleaving mass); guard-aware detection has\n"
+              "fewer false positives than the ablated run and never misses a\n"
+              "deadlock feasible under consistent assignments.\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+// E6/E13: stall analysis.
+//
+// E6 regenerates the Figure 5(b)-(d) transform examples: the merge
+// transform and the co-dependent factoring flip the verdict exactly where
+// the paper says they should.
+//
+// E13 validates the polynomial Lemma 4 balance check against exhaustive
+// linearization enumeration on a random corpus: agreement in the
+// certifying direction (never certifies an unbalanced program), plus the
+// wave-oracle cross-check (never certifies a program whose wave space
+// stalls), plus timing: the DP stays flat while enumeration explodes with
+// the number of conditionals.
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "report/table.h"
+#include "stall/balance.h"
+#include "stall/codependent.h"
+#include "stall/lemma3.h"
+#include "syncgraph/builder.h"
+#include "transform/linearize.h"
+#include "transform/merge.h"
+#include "wavesim/explorer.h"
+
+namespace {
+using namespace siwa;
+
+const char* v(bool stall_free) { return stall_free ? "stall-free" : "may-stall"; }
+
+// Exhaustive Lemma 4 ground truth under the model's assumptions: every
+// consistent combination of per-task linearizations balances every signal.
+// Returns nullopt when enumeration blows the cap.
+std::optional<bool> exhaustive_balanced(const lang::Program& program,
+                                        std::size_t max_paths) {
+  transform::LinearizeOptions options;
+  options.max_loop_iterations = 2;
+  options.max_paths = max_paths;
+  std::vector<transform::TaskLinearizations> per_task;
+  for (const auto& task : program.tasks) {
+    per_task.push_back(
+        transform::enumerate_linearizations(program, task, options));
+    if (!per_task.back().complete || per_task.back().paths.empty())
+      return std::nullopt;
+  }
+  std::vector<std::size_t> choice(per_task.size(), 0);
+  std::size_t combos = 0;
+  while (true) {
+    if (++combos > 200'000) return std::nullopt;
+    std::map<Symbol, bool> assignment;
+    bool consistent = true;
+    for (std::size_t t = 0; t < per_task.size() && consistent; ++t)
+      for (const auto& [cond, value] :
+           per_task[t].paths[choice[t]].shared_assignment) {
+        auto [it, inserted] = assignment.emplace(cond, value);
+        if (!inserted && it->second != value) consistent = false;
+      }
+    if (consistent) {
+      std::map<std::pair<Symbol, Symbol>, std::int64_t> net;
+      for (std::size_t t = 0; t < per_task.size(); ++t)
+        for (const auto& r : per_task[t].paths[choice[t]].rendezvous)
+          net[{r.target, r.message}] += r.is_send ? 1 : -1;
+      for (const auto& [sig, value] : net)
+        if (value != 0) return false;
+    }
+    std::size_t t = 0;
+    while (t < choice.size() && ++choice[t] == per_task[t].paths.size()) {
+      choice[t] = 0;
+      ++t;
+    }
+    if (t == choice.size()) break;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E6: the section 5.1 transforms on the Figure 5 examples\n\n");
+  report::Table e6({"example", "balance before", "transform",
+                    "balance after"});
+  {
+    const lang::Program p = lang::parse_and_check_or_throw(R"(
+task a is
+begin
+  if c then
+    send b.m;
+  else
+    send b.m;
+  end if;
+end a;
+task b is begin accept m; end b;
+)");
+    transform::MergeStats stats;
+    const lang::Program q = transform::merge_branch_rendezvous(p, &stats);
+    e6.add_row({"Fig5(b)->(c) same rendezvous on both arms",
+                v(stall::check_stall_balance(p).stall_free),
+                "merge (" + report::fmt(stats.merged_rendezvous) + " merged)",
+                v(stall::check_stall_balance(q).stall_free)});
+  }
+  {
+    const lang::Program p = lang::parse_and_check_or_throw(R"(
+shared condition vv;
+task a is begin if vv then send b.m; end if; end a;
+task b is begin if vv then accept m; end if; end b;
+)");
+    std::size_t factored = 0;
+    const lang::Program q = stall::factor_codependent(p, &factored);
+    // The affine balance check already resolves shared conditions; the
+    // factoring transform additionally makes plain Lemma 3 counting apply.
+    e6.add_row({"Fig5(d) co-dependent shared condition",
+                v(stall::check_stall_balance(p).stall_free),
+                "factor (" + report::fmt(factored) + " hoisted)",
+                std::string(v(stall::check_stall_balance(q).stall_free)) +
+                    (stall::check_lemma3(q).applicable ? "" : " (cond remains)")});
+  }
+  {
+    const lang::Program p = lang::parse_and_check_or_throw(R"(
+task a is begin if c then send b.m; end if; end a;
+task b is begin if d then accept m; end if; end b;
+)");
+    e6.add_row({"independent conditions (no transform applies)",
+                v(stall::check_stall_balance(p).stall_free), "-",
+                v(stall::check_stall_balance(p).stall_free)});
+  }
+  std::printf("%s\n", e6.to_text().c_str());
+
+  std::printf("E13a: balance DP vs exhaustive linearization (random corpus)\n\n");
+  std::size_t corpus = 0;
+  std::size_t agree = 0;
+  std::size_t dp_conservative = 0;
+  std::size_t unsound = 0;
+  std::size_t oracle_unsound = 0;
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 3;
+    config.rendezvous_pairs = 4;
+    config.unmatched_rendezvous = seed % 2;
+    config.branch_probability = 0.35;
+    config.seed = seed;
+    const lang::Program program = gen::random_program(config);
+    const auto truth = exhaustive_balanced(program, 512);
+    if (!truth) continue;
+    ++corpus;
+    const bool dp = stall::check_stall_balance(program).stall_free;
+    if (dp == *truth) ++agree;
+    if (!dp && *truth) ++dp_conservative;
+    if (dp && !*truth) ++unsound;
+
+    const sg::SyncGraph graph = sg::build_sync_graph(program);
+    wavesim::ExploreOptions explore;
+    explore.max_states = 100'000;
+    explore.collect_witness_trace = false;
+    const auto wave = wavesim::WaveExplorer(graph, explore).explore();
+    if (wave.complete && dp && wave.any_stall) ++oracle_unsound;
+  }
+  report::Table e13({"corpus", "agree", "DP conservative", "DP unsound",
+                     "certified-but-stalls (oracle)"});
+  e13.add_row({report::fmt(corpus), report::fmt(agree),
+               report::fmt(dp_conservative), report::fmt(unsound),
+               report::fmt(oracle_unsound)});
+  std::printf("%s\n", e13.to_text().c_str());
+
+  std::printf("E13b: DP cost vs enumeration cost over conditional count\n\n");
+  report::Table timing({"conditionals", "paths/task", "DP us", "enum us"});
+  for (std::size_t conds : {2u, 4u, 8u, 12u, 16u}) {
+    // One task with `conds` independent conditionals, balanced partner.
+    std::string src = "task t is\nbegin\n";
+    for (std::size_t k = 0; k < conds; ++k)
+      src += "if c" + std::to_string(k) + " then accept m; else accept m; end if;\n";
+    src += "end t;\ntask u is begin\n";
+    for (std::size_t k = 0; k < conds; ++k) src += "send t.m;\n";
+    src += "end u;\n";
+    const lang::Program program = lang::parse_and_check_or_throw(src);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool dp = stall::check_stall_balance(program).stall_free;
+    const auto dp_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto truth = exhaustive_balanced(program, 1u << 20);
+    const auto enum_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t1)
+                             .count();
+    (void)dp;
+    timing.add_row({report::fmt(conds),
+                    report::fmt(std::size_t{1} << conds),
+                    report::fmt(static_cast<std::size_t>(dp_us)),
+                    report::fmt(static_cast<std::size_t>(enum_us)) +
+                        (truth ? "" : " (capped)")});
+  }
+  std::printf("%s\n", timing.to_text().c_str());
+
+  std::printf("Expected shape: zero in both unsound columns; the DP is\n"
+              "occasionally conservative (loops, inexpressible correlation);\n"
+              "enumeration time doubles per conditional while the DP stays\n"
+              "flat — the polynomial/exponential split of section 5.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// E12: why polynomial static analysis — the concurrency-state-space
+// explosion the paper's section 6 attributes to Taylor-style exhaustive
+// approaches, versus the polynomially-sized structures SIWA builds.
+//
+// For growing instances of each workload family the harness reports the
+// exhaustive wave-space size (the concurrency-state count) next to the
+// sync graph / CLG sizes and the certify time. Expected shape: wave states
+// grow exponentially with task count, CLG grows linearly, detector time
+// stays polynomial.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "core/certifier.h"
+#include "gen/patterns.h"
+#include "petri/invariants.h"
+#include "petri/reach.h"
+#include "petri/translate.h"
+#include "report/table.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+#include "wavesim/explorer.h"
+
+namespace {
+using namespace siwa;
+
+void sweep(const char* name,
+           const std::function<lang::Program(std::size_t)>& make,
+           const std::vector<std::size_t>& sizes) {
+  std::printf("E12 family: %s\n\n", name);
+  report::Table table({"n", "tasks", "sync nodes", "CLG nodes", "CLG edges",
+                       "wave states", "petri markings", "oracle us",
+                       "refined us"});
+  for (std::size_t n : sizes) {
+    const lang::Program program = make(n);
+    const sg::SyncGraph graph = sg::build_sync_graph(program);
+    const sg::Clg clg(graph);
+
+    wavesim::ExploreOptions explore;
+    explore.max_states = 2'000'000;
+    explore.collect_witness_trace = false;
+    const auto t0 = std::chrono::steady_clock::now();
+    const wavesim::ExploreResult truth =
+        wavesim::WaveExplorer(graph, explore).explore();
+    const auto oracle_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    const core::CertifyResult refined = core::certify_program(program, {});
+
+    // The MSS89-style Petri baseline walks the marking space — the same
+    // exponential object from the other direction.
+    petri::ReachOptions net_options;
+    net_options.max_markings = 2'000'000;
+    const petri::ReachResult markings =
+        petri::explore_markings(petri::translate(graph), net_options);
+
+    table.add_row(
+        {report::fmt(n), report::fmt(graph.task_count()),
+         report::fmt(graph.node_count()), report::fmt(clg.node_count()),
+         report::fmt(clg.edge_count()),
+         report::fmt(truth.states) + (truth.complete ? "" : "+ (capped)"),
+         report::fmt(markings.markings) + (markings.complete ? "" : "+"),
+         report::fmt(static_cast<std::size_t>(oracle_us)),
+         report::fmt(static_cast<std::size_t>(refined.stats.elapsed_us))});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+}
+
+}  // namespace
+
+int main() {
+  sweep("dining philosophers (deadlocking variant)",
+        [](std::size_t n) { return gen::dining_philosophers(n, true); },
+        {2, 3, 4, 5, 6});
+  sweep("token ring (clean variant)",
+        [](std::size_t n) { return gen::token_ring(n, false); },
+        {3, 5, 7, 9, 11});
+  sweep("barrier",
+        [](std::size_t n) { return gen::barrier(n); },
+        {2, 3, 4, 5, 6});
+  sweep("pipeline (3 items per stage)",
+        [](std::size_t n) { return gen::pipeline(n, 3); },
+        {2, 4, 6, 8});
+
+  std::printf("Expected shape: the 'wave states' and 'petri markings'\n"
+              "columns (two independent exponential semantics — Taylor-style\n"
+              "concurrency states and the MSS89 Petri baseline) both blow up\n"
+              "in n while CLG nodes/edges grow linearly; the refined\n"
+              "detector's time tracks the CLG, not the wave space — the\n"
+              "paper's case for polynomial certification over Taylor-style\n"
+              "concurrency-state enumeration.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// batch_report: analyze every .mada program in a directory and print one
+// summary row per file (CSV with --csv) — the shape of a CI integration.
+//
+//   batch_report [--csv] <directory>
+//
+// Columns: file, tasks, nodes, naive, refined, pairs, triage verdict,
+// stall balance. Exit code: number of files whose triage verdict is not
+// "certified deadlock-free" (capped at 125).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/triage.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "report/table.h"
+#include "stall/balance.h"
+
+namespace {
+
+const char* verdict(bool free) { return free ? "free" : "cycle"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace siwa;
+  bool csv = false;
+  std::string directory;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv")
+      csv = true;
+    else
+      directory = arg;
+  }
+  if (directory.empty()) {
+    std::fprintf(stderr, "usage: batch_report [--csv] <directory>\n");
+    return 125;
+  }
+
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    if (entry.path().extension() == ".mada") files.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read %s: %s\n", directory.c_str(),
+                 ec.message().c_str());
+    return 125;
+  }
+  std::sort(files.begin(), files.end());
+
+  report::Table table({"file", "tasks", "nodes", "naive", "refined", "pairs",
+                       "triage", "stall balance"});
+  int flagged = 0;
+
+  for (const auto& path : files) {
+    std::ifstream file(path);
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+
+    DiagnosticSink sink;
+    auto program = lang::parse_program(buffer.str(), sink);
+    if (program) lang::check_program(*program, sink);
+    if (!program || sink.has_errors()) {
+      table.add_row({path.filename().string(), "-", "-", "-", "-", "-",
+                     "PARSE ERROR", "-"});
+      ++flagged;
+      continue;
+    }
+
+    auto run = [&](core::Algorithm algorithm) {
+      core::CertifyOptions options;
+      options.algorithm = algorithm;
+      return core::certify_program(*program, options);
+    };
+    const core::CertifyResult naive = run(core::Algorithm::Naive);
+    const core::CertifyResult refined = run(core::Algorithm::RefinedSingle);
+    const core::CertifyResult pairs = run(core::Algorithm::RefinedHeadPair);
+    const core::TriageResult triage = core::triage_program(*program);
+    const stall::BalanceVerdict stall = stall::check_stall_balance(*program);
+
+    if (triage.verdict != core::TriageVerdict::CertifiedFree) ++flagged;
+    table.add_row({path.filename().string(),
+                   report::fmt(naive.stats.tasks),
+                   report::fmt(naive.stats.sync_nodes),
+                   verdict(naive.certified_free),
+                   verdict(refined.certified_free),
+                   verdict(pairs.certified_free),
+                   core::triage_verdict_name(triage.verdict),
+                   stall.stall_free ? "stall-free" : "may stall"});
+  }
+
+  std::printf("%s", csv ? table.to_csv().c_str() : table.to_text().c_str());
+  std::printf("\n%zu programs, %d flagged\n", files.size(), flagged);
+  return std::min(flagged, 125);
+}

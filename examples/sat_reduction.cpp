@@ -1,0 +1,85 @@
+// The Theorem 2 NP-hardness gadget, end to end: takes a 3-CNF formula (a
+// DIMACS file, or a built-in example), emits the literal/anti-ordering/
+// ordering task program of Appendix A, and compares brute-force
+// satisfiability with the existence of a constrained deadlock cycle.
+//
+//   sat_reduction [formula.cnf]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/certifier.h"
+#include "core/coexec.h"
+#include "core/precedence.h"
+#include "gen/cnf.h"
+#include "gen/sat_reduction.h"
+#include "lang/printer.h"
+#include "syncgraph/builder.h"
+
+int main(int argc, char** argv) {
+  using namespace siwa;
+
+  gen::Cnf cnf;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    std::string error;
+    auto parsed = gen::parse_dimacs(buffer.str(), &error);
+    if (!parsed) {
+      std::fprintf(stderr, "parse error: %s\n", error.c_str());
+      return 2;
+    }
+    cnf = *parsed;
+  } else {
+    // Figure 6's example: (a + b + ~c)(a + c + ~d).
+    cnf = *gen::parse_dimacs("p cnf 4 2\n1 2 -3 0\n1 3 -4 0\n");
+  }
+
+  std::printf("formula: %d variables, %zu clauses\n", cnf.num_variables,
+              cnf.clauses.size());
+  const bool sat = gen::brute_force_satisfiable(cnf);
+  std::printf("brute-force SAT        : %s\n", sat ? "satisfiable" : "UNSAT");
+  std::printf("consistent literal pick: %s\n",
+              gen::exact_consistent_choice_exists(cnf) ? "exists" : "none");
+
+  const lang::Program program = gen::build_theorem2_program(cnf);
+  const sg::SyncGraph graph = sg::build_sync_graph(program);
+  std::printf("gadget program         : %zu tasks, %zu sync nodes, %zu sync "
+              "edges\n",
+              program.tasks.size(), graph.node_count(),
+              graph.sync_edge_count());
+
+  // The Theorem 2 setting assumes exact ordering information; inject the
+  // gadget's analytically known orders and compare with what the rule
+  // engine derives on its own.
+  const auto exact = gen::exact_gadget_precedences(cnf, graph);
+  const core::Precedence derived(graph);
+  std::size_t rediscovered = 0;
+  for (auto [a, b] : exact)
+    if (derived.precedes(a, b)) ++rediscovered;
+  std::printf("gadget orderings       : %zu known, %zu rediscovered by "
+              "R1/R3/R4\n",
+              exact.size(), rediscovered);
+
+  core::CertifyOptions options;
+  options.algorithm = core::Algorithm::RefinedSingle;
+  const core::CertifyResult r = core::certify_graph(graph, options);
+  std::printf("refined detector       : %s (%zu hypotheses)\n",
+              r.certified_free ? "certified free" : "possible deadlock",
+              r.stats.hypotheses_tested);
+  std::printf(
+      "  (Theorem 2: for satisfiable formulas a constraint-1+3a cycle\n"
+      "   exists; for UNSAT ones only an exponential search could prove\n"
+      "   its absence, so the polynomial detector stays conservative.)\n");
+
+  if (cnf.clauses.size() <= 3) {
+    std::printf("-- generated gadget source --\n%s",
+                lang::print_program(program).c_str());
+  }
+  return 0;
+}

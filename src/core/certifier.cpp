@@ -1,0 +1,92 @@
+#include "core/certifier.h"
+
+#include <chrono>
+
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+#include "transform/unroll.h"
+
+namespace siwa::core {
+
+std::string algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::Naive: return "naive";
+    case Algorithm::RefinedSingle: return "refined";
+    case Algorithm::RefinedHeadPair: return "refined+pairs";
+    case Algorithm::RefinedHeadTail: return "refined+headtail";
+    case Algorithm::RefinedHeadTailPairs: return "refined+ht-pairs";
+  }
+  return "?";
+}
+
+CertifyResult certify_graph(const sg::SyncGraph& graph,
+                            const CertifyOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+
+  CertifyResult result;
+  result.stats.tasks = graph.task_count();
+  result.stats.sync_nodes = graph.node_count();
+  result.stats.control_edges = graph.control_edge_count();
+  result.stats.sync_edges = graph.sync_edge_count();
+
+  const sg::Clg clg(graph);
+  result.stats.clg_nodes = clg.node_count();
+  result.stats.clg_edges = clg.edge_count();
+
+  switch (options.algorithm) {
+    case Algorithm::Naive: {
+      const NaiveResult naive = detect_naive(graph, clg);
+      result.certified_free = !naive.deadlock_possible;
+      result.witness_nodes = naive.witness_cycle;
+      break;
+    }
+    case Algorithm::RefinedSingle:
+    case Algorithm::RefinedHeadPair:
+    case Algorithm::RefinedHeadTail:
+    case Algorithm::RefinedHeadTailPairs: {
+      const Precedence precedence(graph, options.precedence);
+      const CoExec coexec(graph, options.extra_not_coexec);
+      RefinedOptions refined;
+      refined.apply_constraint4 = options.apply_constraint4;
+      refined.mode = options.algorithm == Algorithm::RefinedSingle
+                         ? HypothesisMode::SingleHead
+                     : options.algorithm == Algorithm::RefinedHeadPair
+                         ? HypothesisMode::HeadPair
+                     : options.algorithm == Algorithm::RefinedHeadTail
+                         ? HypothesisMode::HeadTail
+                         : HypothesisMode::HeadTailPairs;
+      const RefinedResult r =
+          detect_refined(graph, clg, precedence, coexec, refined);
+      result.certified_free = !r.deadlock_possible;
+      result.witness_nodes = r.witness_cycle;
+      result.stats.hypotheses_tested = r.hypotheses_tested;
+      result.stats.possible_heads = r.possible_heads;
+      break;
+    }
+  }
+
+  for (NodeId n : result.witness_nodes)
+    result.witness.push_back(graph.describe(n));
+
+  result.stats.elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+  return result;
+}
+
+CertifyResult certify_program(const lang::Program& program,
+                              const CertifyOptions& options) {
+  const bool needs_unroll = transform::has_loops(program);
+  const lang::Program* source = &program;
+  lang::Program unrolled;
+  if (needs_unroll) {
+    unrolled = transform::unroll_loops_twice(program);
+    source = &unrolled;
+  }
+  const sg::SyncGraph graph = sg::build_sync_graph(*source);
+  CertifyResult result = certify_graph(graph, options);
+  result.stats.unrolled = needs_unroll;
+  return result;
+}
+
+}  // namespace siwa::core

@@ -1,0 +1,73 @@
+// One-call certification facade.
+//
+// Runs the full pipeline of the paper on a MiniAda program or a raw sync
+// graph: (optionally) Lemma 1 loop unrolling, sync graph construction, CLG
+// construction, the selected detection algorithm, and (optionally) the
+// constraint 4 filter. The verdict is conservative: `certified_free ==
+// true` proves the program deadlock-free under the paper's model;
+// `certified_free == false` means a possible deadlock was reported, which
+// may be spurious.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/coexec.h"
+#include "core/naive_detector.h"
+#include "core/precedence.h"
+#include "core/refined_detector.h"
+#include "lang/ast.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::core {
+
+enum class Algorithm {
+  Naive,                 // section 3.1: any CLG cycle
+  RefinedSingle,         // section 4.2: per-head filtered SCC search
+  RefinedHeadPair,       // extension: head pairs
+  RefinedHeadTail,       // extension: head-tail pairs
+  RefinedHeadTailPairs,  // extension: two head-tail pairs (k = 2)
+};
+
+[[nodiscard]] std::string algorithm_name(Algorithm algorithm);
+
+struct CertifyOptions {
+  Algorithm algorithm = Algorithm::RefinedSingle;
+  bool apply_constraint4 = false;
+  PrecedenceOptions precedence;
+  std::vector<std::pair<NodeId, NodeId>> extra_not_coexec;
+};
+
+struct CertifyStats {
+  std::size_t tasks = 0;
+  std::size_t sync_nodes = 0;       // |N| incl. b/e
+  std::size_t control_edges = 0;    // |E_C|
+  std::size_t sync_edges = 0;       // |E_S|
+  std::size_t clg_nodes = 0;
+  std::size_t clg_edges = 0;
+  std::size_t hypotheses_tested = 0;
+  std::size_t possible_heads = 0;
+  bool unrolled = false;
+  std::int64_t elapsed_us = 0;
+};
+
+struct CertifyResult {
+  bool certified_free = false;
+  // Non-empty when a possible deadlock was reported: a representative cycle
+  // in sync-graph node descriptions.
+  std::vector<std::string> witness;
+  std::vector<NodeId> witness_nodes;
+  CertifyStats stats;
+};
+
+// `program` may contain loops; they are removed with the Lemma 1 transform
+// before analysis.
+[[nodiscard]] CertifyResult certify_program(const lang::Program& program,
+                                            const CertifyOptions& options = {});
+
+// `graph` must have acyclic control flow.
+[[nodiscard]] CertifyResult certify_graph(const sg::SyncGraph& graph,
+                                          const CertifyOptions& options = {});
+
+}  // namespace siwa::core

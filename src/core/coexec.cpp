@@ -1,0 +1,59 @@
+#include "core/coexec.h"
+
+#include "graph/reachability.h"
+
+namespace siwa::core {
+
+CoExec::CoExec(const sg::SyncGraph& sg,
+               std::vector<std::pair<NodeId, NodeId>> extra_not_coexec)
+    : n_(sg.node_count()), not_coexec_(sg.node_count()) {
+  const graph::Reachability reach(sg.control_graph());
+  for (std::size_t t = 0; t < sg.task_count(); ++t) {
+    const auto nodes = sg.nodes_of_task(TaskId(t));
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        const NodeId a = nodes[i];
+        const NodeId b = nodes[j];
+        if (!reach.reaches(VertexId(a.value), VertexId(b.value)) &&
+            !reach.reaches(VertexId(b.value), VertexId(a.value))) {
+          not_coexec_.set(a.index(), b.index());
+          not_coexec_.set(b.index(), a.index());
+        }
+      }
+    }
+  }
+  // Shared-condition guards: nodes on opposite arms of one encapsulated
+  // condition never execute in the same run, in *any* pair of tasks.
+  for (std::size_t i = 2; i < n_; ++i) {
+    if (sg.node(NodeId(i)).guards.empty()) continue;
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      if (sg.guards_conflict(NodeId(i), NodeId(j))) {
+        not_coexec_.set(i, j);
+        not_coexec_.set(j, i);
+      }
+    }
+  }
+  for (auto [a, b] : extra_not_coexec) {
+    not_coexec_.set(a.index(), b.index());
+    not_coexec_.set(b.index(), a.index());
+  }
+}
+
+std::vector<NodeId> CoExec::not_coexec_with(NodeId r) const {
+  std::vector<NodeId> out;
+  not_coexec_.row(r.index()).for_each(
+      [&](std::size_t k) { out.push_back(NodeId(k)); });
+  return out;
+}
+
+std::vector<NodeId> coaccept_nodes(const sg::SyncGraph& sg, NodeId r) {
+  const sg::SyncNode& node = sg.node(r);
+  if (node.kind != sg::NodeKind::Rendezvous || node.sign != sg::Sign::Minus)
+    return {};
+  std::vector<NodeId> out;
+  for (NodeId k : sg.accepts_of_signal(node.signal))
+    if (k != r) out.push_back(k);
+  return out;
+}
+
+}  // namespace siwa::core

@@ -1,0 +1,45 @@
+// Co-executability approximation (constraint 3b, after Callahan–Subhlok).
+//
+// Two nodes are co-executable when some single run of the program executes
+// both. The paper assumes this information "through other static analysis";
+// SIWA's built-in approximation proves non-co-executability in two airtight
+// cases — two nodes of the same task on mutually exclusive branch arms (no
+// control path either way), and two nodes (any tasks) guarded by opposite
+// arms of one *shared* (encapsulated) condition, whose program-wide value
+// rules out both executing in one run — and accepts externally supplied
+// pairs for anything richer. The approximation errs toward "co-executable",
+// which keeps the deadlock detector conservative.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "support/bitset.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::core {
+
+class CoExec {
+ public:
+  explicit CoExec(
+      const sg::SyncGraph& sg,
+      std::vector<std::pair<NodeId, NodeId>> extra_not_coexec = {});
+
+  [[nodiscard]] bool coexecutable(NodeId a, NodeId b) const {
+    return !not_coexec_.test(a.index(), b.index());
+  }
+  [[nodiscard]] std::vector<NodeId> not_coexec_with(NodeId r) const;
+
+ private:
+  std::size_t n_;
+  BitMatrix not_coexec_;
+};
+
+// COACCEPT[r]: accept nodes of the same signal type as r, excluding r
+// itself; empty for signaling nodes (used by the refined detector to apply
+// Lemma 2: cycles with rendezvousing head nodes must enter and leave some
+// task through same-type accepts).
+[[nodiscard]] std::vector<NodeId> coaccept_nodes(const sg::SyncGraph& sg,
+                                                 NodeId r);
+
+}  // namespace siwa::core

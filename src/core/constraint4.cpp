@@ -1,0 +1,88 @@
+#include "core/constraint4.h"
+
+#include <unordered_map>
+
+#include "graph/dominators.h"
+#include "graph/reachability.h"
+
+namespace siwa::core {
+
+Constraint4Filter::Constraint4Filter(const sg::SyncGraph& sg,
+                                     const Precedence& precedence) {
+  const std::size_t n = sg.node_count();
+  always_broken_.assign(n, false);
+
+  const graph::Reachability reach(sg.control_graph());
+
+  // Condition (iii) per task: w lies on every entry-to-exit path of its
+  // task. Computed on a per-task subgraph (task nodes plus local copies of
+  // b and e) as "w dominates the local exit".
+  std::vector<bool> unconditional(n, false);
+  for (std::size_t t = 0; t < sg.task_count(); ++t) {
+    const auto nodes = sg.nodes_of_task(TaskId(t));
+    graph::Digraph local(nodes.size() + 2);  // [0]=entry, [1]=exit
+    std::unordered_map<std::int32_t, std::size_t> local_of;
+    for (std::size_t k = 0; k < nodes.size(); ++k)
+      local_of[nodes[k].value] = k + 2;
+
+    for (NodeId entry : sg.task_entries(TaskId(t))) {
+      if (entry == sg.end_node())
+        local.add_edge(VertexId(0), VertexId(1));
+      else
+        local.add_edge(VertexId(0), VertexId(local_of.at(entry.value)));
+    }
+    for (NodeId r : nodes) {
+      for (NodeId s : sg.control_successors(r)) {
+        const VertexId from(local_of.at(r.value));
+        if (s == sg.end_node())
+          local.add_edge(from, VertexId(1));
+        else
+          local.add_edge(from, VertexId(local_of.at(s.value)));
+      }
+    }
+    const graph::Dominators dom(local, VertexId(0));
+    for (std::size_t k = 0; k < nodes.size(); ++k)
+      if (dom.dominates(VertexId(k + 2), VertexId(1)))
+        unconditional[nodes[k].index()] = true;
+  }
+
+  // For every sync edge {w, t}, test whether w breaks head t.
+  for (std::size_t wi = 2; wi < n; ++wi) {
+    const NodeId w(wi);
+    if (!sg.is_rendezvous(w)) continue;
+    if (!unconditional[wi]) continue;
+
+    for (NodeId t : sg.sync_partners(w)) {
+      if (sg.node(t).task == sg.node(w).task) continue;
+      // (ii): every other partner of w starts after t finishes.
+      bool ok = true;
+      for (NodeId v : sg.sync_partners(w)) {
+        if (v == t) continue;
+        if (!precedence.precedes(t, v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      // (iv): every rendezvous ancestor of w precedes t.
+      for (NodeId p : sg.nodes_of_task(sg.node(w).task)) {
+        if (p == w) continue;
+        if (!reach.reaches(VertexId(p.value), VertexId(w.value))) continue;
+        if (!precedence.precedes(p, t)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) always_broken_[t.index()] = true;
+    }
+  }
+}
+
+std::size_t Constraint4Filter::broken_count() const {
+  std::size_t count = 0;
+  for (bool b : always_broken_)
+    if (b) ++count;
+  return count;
+}
+
+}  // namespace siwa::core

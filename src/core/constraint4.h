@@ -1,0 +1,45 @@
+// Global constraint 4 (section 3, Figure 3): a candidate deadlock is
+// spurious when some task outside it can always rendezvous with one of the
+// head nodes and break the wait.
+//
+// SIWA generalizes the paper's Figure 3 case into a sound per-head filter.
+// Head candidate t is *always broken* if some node w with task(w) != task(t)
+// satisfies:
+//   (i)   {w, t} is a sync edge;
+//   (ii)  every other sync partner v of w has t ≺ v (v starts only after t
+//         finishes);
+//   (iii) w lies on every entry-to-exit path of its task;
+//   (iv)  every rendezvous ancestor p of w (control path p ->+ w) has p ≺ t.
+//
+// Why this is sound (acyclic control flow): suppose t is WAITING on an
+// anomalous wave W and let x = W[task(w)]. By (iii) x is an ancestor of w,
+// w itself, a descendant, or e. Descendant/e would mean w executed — but w
+// could only have rendezvoused with t (still waiting, so unexecuted) or
+// with some v that by (ii) starts after t finishes; impossible. A strict
+// ancestor x is a rendezvous ancestor, so by (iv) x finished before t
+// started — yet wave nodes are unexecuted; impossible. Hence x = w, and the
+// sync edge {w, t} contradicts W being anomalous. So t is never on an
+// anomalous wave and cannot head a deadlock cycle.
+#pragma once
+
+#include <vector>
+
+#include "core/precedence.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::core {
+
+class Constraint4Filter {
+ public:
+  Constraint4Filter(const sg::SyncGraph& sg, const Precedence& precedence);
+
+  [[nodiscard]] bool always_broken(NodeId head) const {
+    return always_broken_[head.index()];
+  }
+  [[nodiscard]] std::size_t broken_count() const;
+
+ private:
+  std::vector<bool> always_broken_;
+};
+
+}  // namespace siwa::core

@@ -1,0 +1,62 @@
+#include "core/naive_detector.h"
+
+#include "graph/scc.h"
+#include "support/require.h"
+
+namespace siwa::core {
+namespace {
+
+// A directed cycle inside one strong component, found by walking unvisited
+// component-internal edges until a vertex repeats.
+std::vector<std::size_t> cycle_in_component(const graph::Digraph& g,
+                                            const graph::SccResult& scc,
+                                            std::size_t start) {
+  std::vector<std::size_t> path{start};
+  std::vector<std::int32_t> pos_in_path(g.vertex_count(), -1);
+  pos_in_path[start] = 0;
+  std::size_t v = start;
+  while (true) {
+    bool advanced = false;
+    for (VertexId w : g.successors(VertexId(v))) {
+      if (!scc.same_component(v, w.index())) continue;
+      if (pos_in_path[w.index()] >= 0) {
+        // Close the cycle at w.
+        std::vector<std::size_t> cycle(
+            path.begin() + pos_in_path[w.index()], path.end());
+        return cycle;
+      }
+      pos_in_path[w.index()] = static_cast<std::int32_t>(path.size());
+      path.push_back(w.index());
+      v = w.index();
+      advanced = true;
+      break;
+    }
+    // Inside a strong component of size > 1 every vertex has an internal
+    // successor, so the walk always closes.
+    SIWA_REQUIRE(advanced, "strong component walk failed to advance");
+  }
+}
+
+}  // namespace
+
+NaiveResult detect_naive(const sg::SyncGraph& /*sg*/, const sg::Clg& clg) {
+  NaiveResult result;
+  const graph::SccResult scc = graph::tarjan_scc(clg.graph());
+
+  for (std::size_t v = 0; v < clg.node_count(); ++v) {
+    const auto comp = scc.component_of[v];
+    if (comp < 0 || scc.component_size[static_cast<std::size_t>(comp)] <= 1)
+      continue;
+    result.deadlock_possible = true;
+    for (std::size_t c : cycle_in_component(clg.graph(), scc, v)) {
+      const NodeId origin = clg.origin(ClgNodeId(c));
+      if (origin.valid() &&
+          (result.witness_cycle.empty() || result.witness_cycle.back() != origin))
+        result.witness_cycle.push_back(origin);
+    }
+    break;
+  }
+  return result;
+}
+
+}  // namespace siwa::core

@@ -1,0 +1,23 @@
+// Naive deadlock detection (section 3.1): any cycle in the CLG is a
+// potential deadlock; an acyclic CLG certifies the program deadlock-free.
+// Requires acyclic control flow (apply the Lemma 1 unroller first).
+#pragma once
+
+#include <vector>
+
+#include "syncgraph/clg.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::core {
+
+struct NaiveResult {
+  bool deadlock_possible = false;
+  // One representative cycle, as sync-graph nodes in cycle order (empty
+  // when certified free). Consecutive duplicates (r_i, r_o pairs) merged.
+  std::vector<NodeId> witness_cycle;
+};
+
+[[nodiscard]] NaiveResult detect_naive(const sg::SyncGraph& sg,
+                                       const sg::Clg& clg);
+
+}  // namespace siwa::core

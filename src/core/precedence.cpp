@@ -1,0 +1,188 @@
+#include "core/precedence.h"
+
+#include <algorithm>
+
+#include "graph/dominators.h"
+#include "graph/reachability.h"
+#include "support/require.h"
+
+namespace siwa::core {
+
+Precedence::Precedence(const sg::SyncGraph& sg, PrecedenceOptions options)
+    : n_(sg.node_count()), strong_(sg.node_count()), excl_(sg.node_count()) {
+  SIWA_REQUIRE(sg.finalized(), "precedence requires finalized graph");
+  SIWA_REQUIRE(!graph::topological_order(sg.control_graph()).empty(),
+               "precedence analysis requires acyclic control flow; "
+               "apply the Lemma 1 unroller first");
+
+  // R1: dominator chains. Walking each node's idom chain enumerates all of
+  // its dominators; chains stay within the node's own task until they hit b.
+  const graph::Dominators dom(sg.control_graph(), VertexId(0) /* b */);
+  for (std::size_t i = 2; i < n_; ++i) {
+    if (!dom.reachable(VertexId(i))) continue;
+    VertexId d = dom.idom(VertexId(i));
+    while (d.valid() && d.index() != 0) {
+      if (sg.is_rendezvous(NodeId(d.index()))) strong_.set(d.index(), i);
+      const VertexId up = dom.idom(d);
+      if (up == d) break;
+      d = up;
+    }
+  }
+
+  for (auto [a, b] : options.extra_precedes) strong_.set(a.index(), b.index());
+
+  // Send/accept node lists per signal, for R4.
+  std::vector<std::vector<std::size_t>> sends_of;
+  std::vector<std::vector<std::size_t>> accepts_of;
+  if (options.use_rule_r4) {
+    std::size_t signal_count = 0;
+    for (std::size_t i = 2; i < n_; ++i) {
+      const auto& node = sg.node(NodeId(i));
+      signal_count =
+          std::max(signal_count, static_cast<std::size_t>(node.signal.value) + 1);
+    }
+    sends_of.resize(signal_count);
+    accepts_of.resize(signal_count);
+    for (std::size_t i = 2; i < n_; ++i) {
+      const auto& node = sg.node(NodeId(i));
+      (node.sign == sg::Sign::Plus ? sends_of : accepts_of)[node.signal.index()]
+          .push_back(i);
+    }
+  }
+
+  // STRONG fixpoint over T, R3, R4.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // T: transitive closure sweep.
+    for (std::size_t a = 0; a < n_; ++a) {
+      std::vector<std::size_t> via;
+      strong_.row(a).for_each([&](std::size_t b) { via.push_back(b); });
+      for (std::size_t b : via) changed |= strong_.row(a).merge(strong_.row(b));
+    }
+
+    // Transposed relation: before[s] = { x : S(x, s) }, shared by R3/R4.
+    BitMatrix before(n_);
+    if (options.use_rule_r3 || options.use_rule_r4) {
+      for (std::size_t a = 0; a < n_; ++a)
+        strong_.row(a).for_each([&](std::size_t b) { before.set(b, a); });
+    }
+
+    if (options.use_rule_r3) {
+      for (std::size_t r = 2; r < n_; ++r) {
+        const auto partners = sg.sync_partners(NodeId(r));
+        if (partners.empty()) continue;
+        // {x : x strongly precedes every partner of r}.
+        DynamicBitset all_before(n_);
+        bool first = true;
+        for (NodeId s : partners) {
+          if (first) {
+            all_before = before.row(s.index());
+            first = false;
+          } else {
+            all_before.intersect(before.row(s.index()));
+          }
+        }
+        if (!all_before.any()) continue;
+        for (NodeId t : sg.nodes_of_task(sg.node(NodeId(r)).task)) {
+          if (t.index() == r) continue;
+          if (!dom.dominates(VertexId(r), VertexId(t.value))) continue;
+          bool row_changed = false;
+          all_before.for_each([&](std::size_t x) {
+            if (!strong_.test(x, t.index())) {
+              strong_.set(x, t.index());
+              row_changed = true;
+            }
+          });
+          changed |= row_changed;
+        }
+      }
+    }
+
+    if (options.use_rule_r4) {
+      // Generalized counting: each completed send of a signal pairs with a
+      // distinct completed accept (nodes execute at most once). So if, by
+      // the time t is reached, at least |accepts(sigma)| sends of sigma have
+      // completed, *every* accept of sigma has completed — and mirrored.
+      for (std::size_t s = 0; s < sends_of.size(); ++s) {
+        if (sends_of[s].empty() || accepts_of[s].empty()) continue;
+        DynamicBitset send_mask(n_);
+        for (std::size_t x : sends_of[s]) send_mask.set(x);
+        DynamicBitset accept_mask(n_);
+        for (std::size_t a : accepts_of[s]) accept_mask.set(a);
+        for (std::size_t t = 0; t < n_; ++t) {
+          const DynamicBitset& done_before_t = before.row(t);
+          if (done_before_t.count_and(send_mask) >= accepts_of[s].size()) {
+            for (std::size_t a : accepts_of[s]) {
+              if (!strong_.test(a, t)) {
+                strong_.set(a, t);
+                before.set(t, a);
+                changed = true;
+              }
+            }
+          }
+          if (done_before_t.count_and(accept_mask) >= sends_of[s].size()) {
+            for (std::size_t x : sends_of[s]) {
+              if (!strong_.test(x, t)) {
+                strong_.set(x, t);
+                before.set(t, x);
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // EXCLUSION: symmetrized strong facts plus one R2 pass.
+  for (std::size_t a = 0; a < n_; ++a) {
+    strong_.row(a).for_each([&](std::size_t b) {
+      excl_.set(a, b);
+      excl_.set(b, a);
+    });
+  }
+  if (options.use_rule_r2) {
+    for (std::size_t r = 2; r < n_; ++r) {
+      const auto partners = sg.sync_partners(NodeId(r));
+      if (partners.empty()) continue;
+      DynamicBitset targets(n_);
+      bool first = true;
+      for (NodeId s : partners) {
+        if (first) {
+          targets = strong_.row(s.index());
+          first = false;
+        } else {
+          targets.intersect(strong_.row(s.index()));
+        }
+      }
+      targets.for_each([&](std::size_t t) {
+        excl_.set(r, t);
+        excl_.set(t, r);
+      });
+    }
+  }
+}
+
+std::vector<NodeId> Precedence::sequenceable_with(NodeId r) const {
+  std::vector<NodeId> out;
+  excl_.row(r.index()).for_each([&](std::size_t k) {
+    if (k >= 2 && k != r.index()) out.push_back(NodeId(k));
+  });
+  return out;
+}
+
+std::size_t Precedence::strong_pair_count() const {
+  std::size_t count = 0;
+  for (std::size_t a = 0; a < n_; ++a) count += strong_.row(a).count();
+  return count;
+}
+
+std::size_t Precedence::excluded_pair_count() const {
+  std::size_t count = 0;
+  for (std::size_t a = 0; a < n_; ++a) count += excl_.row(a).count();
+  return count;
+}
+
+}  // namespace siwa::core

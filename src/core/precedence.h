@@ -1,0 +1,84 @@
+// Sequenceability analysis (section 4.1, "Unsequenceable head nodes").
+//
+// The paper sketches a dataflow framework with two rules ("similar to the
+// SCP lattice of Callahan and Subhlok"):
+//   rule 1: if r dominates s in the task CFG, r must precede s;
+//   rule 2: if every sync partner s of r precedes t, then r precedes t.
+// Working out the semantics precisely shows the two rules produce facts of
+// *different strength* that must not be mixed in one transitive closure:
+//
+//   STRONG  S(a, b): "b reached  =>  a already completed". Sound rules:
+//     R1: a dominates b in the (acyclic) control flow graph. Rendezvous
+//         block until they complete, so control reaching b implies a done.
+//     R3: x S-precedes every sync partner of r, and r dominates t
+//         => S(x, t). t reached => r completed with some partner s*
+//         => s* reached => x completed.
+//     R4 (counting): if at least |accepts(σ)| send nodes of signal σ have
+//         S(·, t), then every accept of σ has S(·, t) — completed sends
+//         pair with *distinct* completed accepts (each node executes at
+//         most once), so enough completed sends exhaust the accept set.
+//         The mirrored form (enough completed accepts exhaust the send
+//         set) holds symmetrically.
+//     T:  S(a, b) and S(b, c) => S(a, c). Completion implies reached.
+//
+//   EXCLUSION  X(a, b): "a and b can never both be WAITING head nodes of a
+//   deadlock cycle on one wave" — exactly what constraint 3a needs. X is
+//   symmetric. Sound rules:
+//     S(a, b) or S(b, a) => X(a, b)  (a completed node is not waiting);
+//     R2 (paper rule 2): S(s, t) for every sync partner s of r => X(r, t).
+//         A deadlock head r waits for a NOT-SEEN partner z; S(z, t) would
+//         force z completed once t is reached — contradiction.
+//   R2's conclusion is *only* an X fact: r itself may be left stalled
+//   forever (e.g. it lost a race for its last partner), so r and t can
+//   still share a wave — they just cannot both head a cycle. Feeding R2
+//   facts back into T or R2 premises would be unsound; SIWA computes the
+//   S fixpoint first and derives X in a single final pass.
+//
+// SEQUENCEABLE[h] (the refined detector's NO-SYNC set) is {k : X(h, k)}.
+// The constraint 4 filter needs genuinely-strong facts and uses S only.
+//
+// Sound only for acyclic control flow (each node executes at most once);
+// run the Lemma 1 unroller first. The constructor enforces this.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "support/bitset.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::core {
+
+struct PrecedenceOptions {
+  bool use_rule_r2 = true;  // X from partner completion
+  bool use_rule_r3 = true;  // partner-lift through dominance
+  bool use_rule_r4 = true;  // send/accept counting
+  // Externally established *strong* orderings (e.g. the exact gadget order
+  // in the Theorem 2 experiment), seeded into S before the fixpoint.
+  std::vector<std::pair<NodeId, NodeId>> extra_precedes;
+};
+
+class Precedence {
+ public:
+  explicit Precedence(const sg::SyncGraph& sg, PrecedenceOptions options = {});
+
+  // STRONG: b reached implies a completed.
+  [[nodiscard]] bool precedes(NodeId a, NodeId b) const {
+    return strong_.test(a.index(), b.index());
+  }
+  // EXCLUSION: a and b cannot both head one deadlock cycle (symmetric).
+  [[nodiscard]] bool sequenceable(NodeId a, NodeId b) const {
+    return excl_.test(a.index(), b.index());
+  }
+  [[nodiscard]] std::vector<NodeId> sequenceable_with(NodeId r) const;
+
+  [[nodiscard]] std::size_t strong_pair_count() const;
+  [[nodiscard]] std::size_t excluded_pair_count() const;
+
+ private:
+  std::size_t n_;
+  BitMatrix strong_;
+  BitMatrix excl_;
+};
+
+}  // namespace siwa::core

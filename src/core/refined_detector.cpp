@@ -1,0 +1,313 @@
+#include "core/refined_detector.h"
+
+#include <algorithm>
+
+#include "core/constraint4.h"
+#include "graph/reachability.h"
+#include "graph/scc.h"
+
+namespace siwa::core {
+namespace {
+
+// One hypothesis's marks over CLG nodes, plus the filtered SCC search.
+class MarkedSearch {
+ public:
+  explicit MarkedSearch(const sg::Clg& clg)
+      : clg_(clg),
+        no_sync_(clg.node_count(), false),
+        do_not_enter_(clg.node_count(), false) {}
+
+  void clear() {
+    std::fill(no_sync_.begin(), no_sync_.end(), false);
+    std::fill(do_not_enter_.begin(), do_not_enter_.end(), false);
+  }
+
+  void mark_no_sync_pair(NodeId k) {
+    no_sync_[clg_.in_of(k).index()] = true;
+    no_sync_[clg_.out_of(k).index()] = true;
+  }
+  void mark_no_sync_in(NodeId k) { no_sync_[clg_.in_of(k).index()] = true; }
+  void mark_do_not_enter(NodeId k) {
+    do_not_enter_[clg_.in_of(k).index()] = true;
+    do_not_enter_[clg_.out_of(k).index()] = true;
+  }
+
+  // SCC search of the filtered CLG from the given roots.
+  [[nodiscard]] graph::SccResult search(std::vector<std::size_t> roots) const {
+    return graph::tarjan_scc(
+        clg_.node_count(),
+        [&](std::size_t v, auto&& visit) {
+          for (VertexId w : clg_.graph().successors(VertexId(v))) {
+            if (do_not_enter_[w.index()]) continue;
+            if (clg_.is_sync_edge(ClgNodeId(v), ClgNodeId(w.index())) &&
+                (no_sync_[v] || no_sync_[w.index()]))
+              continue;
+            visit(w.index());
+          }
+        },
+        roots);
+  }
+
+ private:
+  const sg::Clg& clg_;
+  std::vector<bool> no_sync_;
+  std::vector<bool> do_not_enter_;
+};
+
+// Representative cycle through `anchor` inside its strong component,
+// reported as deduplicated sync-graph nodes. Walks raw in-component CLG
+// edges: good enough for a report, though a filtered edge could appear.
+std::vector<NodeId> extract_witness(const sg::Clg& clg,
+                                    const graph::SccResult& scc,
+                                    std::size_t anchor) {
+  std::vector<NodeId> out;
+  std::vector<std::int32_t> parent(clg.node_count(), -1);
+  std::vector<std::size_t> queue{anchor};
+  parent[anchor] = static_cast<std::int32_t>(anchor);
+  std::size_t back = 0;
+  bool closed = false;
+  std::size_t closer = anchor;
+  while (back < queue.size() && !closed) {
+    const std::size_t v = queue[back++];
+    for (VertexId w : clg.graph().successors(VertexId(v))) {
+      if (!scc.same_component(anchor, w.index())) continue;
+      if (w.index() == anchor) {
+        closed = true;
+        closer = v;
+        break;
+      }
+      if (parent[w.index()] >= 0) continue;
+      parent[w.index()] = static_cast<std::int32_t>(v);
+      queue.push_back(w.index());
+    }
+  }
+  if (!closed) return out;
+  std::vector<std::size_t> chain;
+  for (std::size_t v = closer; v != anchor;
+       v = static_cast<std::size_t>(parent[v]))
+    chain.push_back(v);
+  chain.push_back(anchor);
+  std::reverse(chain.begin(), chain.end());
+  for (std::size_t v : chain) {
+    const NodeId origin = clg.origin(ClgNodeId(v));
+    if (origin.valid() && (out.empty() || out.back() != origin))
+      out.push_back(origin);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<NodeId> possible_heads(const sg::SyncGraph& sg) {
+  std::vector<NodeId> heads;
+  for (std::size_t i = 2; i < sg.node_count(); ++i) {
+    const NodeId r(i);
+    if (sg.sync_partners(r).empty()) continue;
+    bool leads_on = false;
+    for (NodeId s : sg.control_successors(r))
+      if (sg.is_rendezvous(s)) leads_on = true;
+    if (leads_on) heads.push_back(r);
+  }
+  return heads;
+}
+
+RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
+                             const Precedence& precedence, const CoExec& coexec,
+                             const RefinedOptions& options) {
+  RefinedResult result;
+  std::vector<NodeId> heads = possible_heads(sg);
+
+  if (options.apply_constraint4) {
+    const Constraint4Filter filter(sg, precedence);
+    std::erase_if(heads, [&](NodeId h) { return filter.always_broken(h); });
+  }
+  result.possible_heads = heads.size();
+
+  MarkedSearch search(clg);
+
+  // Sequenceability only forbids k from *co-heading* a cycle with h, so it
+  // may only block the sync edges that would make k a head — those entering
+  // k_i. k can still serve as a tail (sync out of k_o): the paper notes
+  // "tail nodes may be ordered with each other or with head nodes on a
+  // valid deadlock cycle", and its head-tail variant accordingly marks only
+  // the in-side. Marking k_o too is unsound: it breaks real deadlock
+  // cycles whose tails happen to be ordered with h (e.g. the two sends of
+  // a mutual-wait pair). COACCEPT marks are the mirror image: they encode
+  // Lemma 2, which forbids *exiting* h's task through a same-type accept,
+  // so they block the out-side; blocking the in-side as well is safe
+  // because a cycle enters h's task only at h under this hypothesis.
+  auto mark_single = [&](NodeId h) {
+    for (NodeId k : precedence.sequenceable_with(h)) {
+      if (sg.node(k).task == sg.node(h).task) continue;
+      search.mark_no_sync_in(k);
+    }
+    for (NodeId k : coaccept_nodes(sg, h)) search.mark_no_sync_pair(k);
+    for (NodeId k : coexec.not_coexec_with(h)) search.mark_do_not_enter(k);
+  };
+
+  auto record_hit = [&](NodeId head, const graph::SccResult& scc,
+                        std::size_t anchor) {
+    result.deadlock_possible = true;
+    result.suspect_heads.push_back(head);
+    if (result.witness_cycle.empty())
+      result.witness_cycle = extract_witness(clg, scc, anchor);
+  };
+
+  switch (options.mode) {
+    case HypothesisMode::SingleHead: {
+      for (NodeId h : heads) {
+        ++result.hypotheses_tested;
+        search.clear();
+        mark_single(h);
+        const std::size_t hi = clg.in_of(h).index();
+        const graph::SccResult scc = search.search({hi});
+        const auto comp = scc.component_of[hi];
+        if (comp >= 0 &&
+            scc.component_size[static_cast<std::size_t>(comp)] > 1)
+          record_hit(h, scc, hi);
+      }
+      break;
+    }
+    case HypothesisMode::HeadPair: {
+      // Footnote 6: a deadlock cycle can have a single head only when a
+      // task couples to itself, i.e. the head has a sync partner in its
+      // own task (a self-send). Pair hypotheses cannot see those; cover
+      // them with single-head searches first.
+      for (NodeId h : heads) {
+        bool self_partner = false;
+        for (NodeId p : sg.sync_partners(h))
+          if (sg.node(p).task == sg.node(h).task) self_partner = true;
+        if (!self_partner) continue;
+        ++result.hypotheses_tested;
+        search.clear();
+        mark_single(h);
+        const std::size_t hi = clg.in_of(h).index();
+        const graph::SccResult scc = search.search({hi});
+        const auto comp = scc.component_of[hi];
+        if (comp >= 0 &&
+            scc.component_size[static_cast<std::size_t>(comp)] > 1)
+          record_hit(h, scc, hi);
+      }
+      for (std::size_t a = 0; a < heads.size(); ++a) {
+        for (std::size_t b = a + 1; b < heads.size(); ++b) {
+          const NodeId h1 = heads[a];
+          const NodeId h2 = heads[b];
+          // Constraints between the heads themselves: a real deadlock's
+          // head pair is never sync-joined (2), never sequenceable (3a)
+          // and always co-executable (3b).
+          if (sg.has_sync_edge(h1, h2)) continue;
+          if (precedence.sequenceable(h1, h2)) continue;
+          if (!coexec.coexecutable(h1, h2)) continue;
+          if (sg.node(h1).task == sg.node(h2).task) continue;
+          ++result.hypotheses_tested;
+          search.clear();
+          mark_single(h1);
+          mark_single(h2);
+          const std::size_t i1 = clg.in_of(h1).index();
+          const std::size_t i2 = clg.in_of(h2).index();
+          const graph::SccResult scc = search.search({i1, i2});
+          if (scc.same_component(i1, i2) &&
+              scc.component_size[static_cast<std::size_t>(
+                  scc.component_of[i1])] > 1)
+            record_hit(h1, scc, i1);
+        }
+      }
+      break;
+    }
+    case HypothesisMode::HeadTail:
+    case HypothesisMode::HeadTailPairs: {
+      const graph::Reachability reach(sg.control_graph());
+      // Candidate (head, tail) pairs per the paper's conditions.
+      struct HeadTailPair {
+        NodeId head;
+        NodeId tail;
+      };
+      std::vector<HeadTailPair> candidates;
+      for (NodeId h : heads) {
+        const auto coaccept = coaccept_nodes(sg, h);
+        for (NodeId t : sg.nodes_of_task(sg.node(h).task)) {
+          if (t == h) continue;
+          if (!reach.reaches(VertexId(h.value), VertexId(t.value))) continue;
+          if (sg.sync_partners(t).empty()) continue;
+          if (std::find(coaccept.begin(), coaccept.end(), t) != coaccept.end())
+            continue;
+          if (!coexec.coexecutable(h, t)) continue;
+          candidates.push_back({h, t});
+        }
+      }
+
+      auto mark_headtail = [&](const HeadTailPair& p) {
+        for (NodeId k : precedence.sequenceable_with(p.head)) {
+          if (sg.node(k).task == sg.node(p.head).task) continue;
+          search.mark_no_sync_in(k);
+        }
+        for (NodeId k : coexec.not_coexec_with(p.head))
+          search.mark_do_not_enter(k);
+        for (NodeId k : coexec.not_coexec_with(p.tail))
+          search.mark_do_not_enter(k);
+      };
+
+      if (options.mode == HypothesisMode::HeadTail) {
+        for (const HeadTailPair& p : candidates) {
+          ++result.hypotheses_tested;
+          search.clear();
+          mark_headtail(p);
+          const std::size_t hi = clg.in_of(p.head).index();
+          const std::size_t to = clg.out_of(p.tail).index();
+          const graph::SccResult scc = search.search({hi, to});
+          if (scc.same_component(hi, to) &&
+              scc.component_size[static_cast<std::size_t>(
+                  scc.component_of[hi])] > 1)
+            record_hit(p.head, scc, hi);
+        }
+        break;
+      }
+
+      // HeadTailPairs: self-send single-head cycles first (footnote 6).
+      for (NodeId h : heads) {
+        bool self_partner = false;
+        for (NodeId p : sg.sync_partners(h))
+          if (sg.node(p).task == sg.node(h).task) self_partner = true;
+        if (!self_partner) continue;
+        ++result.hypotheses_tested;
+        search.clear();
+        mark_single(h);
+        const std::size_t hi = clg.in_of(h).index();
+        const graph::SccResult scc = search.search({hi});
+        const auto comp = scc.component_of[hi];
+        if (comp >= 0 &&
+            scc.component_size[static_cast<std::size_t>(comp)] > 1)
+          record_hit(h, scc, hi);
+      }
+      for (std::size_t a = 0; a < candidates.size(); ++a) {
+        for (std::size_t b = a + 1; b < candidates.size(); ++b) {
+          const HeadTailPair& p1 = candidates[a];
+          const HeadTailPair& p2 = candidates[b];
+          if (sg.node(p1.head).task == sg.node(p2.head).task) continue;
+          // Constraints between the two heads, as in HeadPair mode.
+          if (sg.has_sync_edge(p1.head, p2.head)) continue;
+          if (precedence.sequenceable(p1.head, p2.head)) continue;
+          if (!coexec.coexecutable(p1.head, p2.head)) continue;
+          ++result.hypotheses_tested;
+          search.clear();
+          mark_headtail(p1);
+          mark_headtail(p2);
+          const std::size_t h1 = clg.in_of(p1.head).index();
+          const std::size_t t1 = clg.out_of(p1.tail).index();
+          const std::size_t h2 = clg.in_of(p2.head).index();
+          const std::size_t t2 = clg.out_of(p2.tail).index();
+          const graph::SccResult scc = search.search({h1, t1, h2, t2});
+          if (scc.same_component(h1, t1) && scc.same_component(h1, h2) &&
+              scc.same_component(h1, t2) &&
+              scc.component_size[static_cast<std::size_t>(
+                  scc.component_of[h1])] > 1)
+            record_hit(p1.head, scc, h1);
+        }
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace siwa::core

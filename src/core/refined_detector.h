@@ -1,0 +1,75 @@
+// Refined deadlock detection (section 4.2): deadlock cycle detection with
+// partial elimination of spurious cycles.
+//
+// For each hypothesized head node h the CLG is searched for a strong
+// component containing h_i under edge restrictions derived from the local
+// deadlock constraints:
+//   - nodes sequenceable with h lose their sync edges (NO-SYNC): they could
+//     not wait on the same wave as h (constraint 3a);
+//   - accept nodes of h's own signal type lose their sync edges: Lemma 2
+//     says cycles whose head nodes can rendezvous (violating constraint 2)
+//     must leave some task through a same-type accept;
+//   - nodes not co-executable with h become DO-NOT-ENTER (constraint 3b).
+// If no hypothesis yields a strong component the program is certified
+// deadlock-free; any surviving component is conservatively reported as a
+// possible deadlock. Time O(|N_CLG| * (|N_CLG| + |E_CLG|)).
+//
+// The paper's two extensions are implemented as hypothesis modes:
+//   HeadPair: hypothesize unordered head pairs (h1, h2) that are mutually
+//     non-sequenceable, co-executable and not joined by a sync edge
+//     (constraints 2/3a/3b applied *between* the heads); marks are the
+//     union of both heads'; deadlock requires one component holding both.
+//     Safe because every deadlock cycle spans >= 2 tasks, hence has >= 2
+//     head nodes, every pair of which satisfies those constraints.
+//     O(|N|^2) searches.
+//   HeadTail: hypothesize (head h, tail t) with a control path h ->+ t,
+//     t not in COACCEPT[h] or NOT-COEXEC[h]; marks per the paper (NO-SYNC
+//     only on the in-side of SEQUENCEABLE[h]; no COACCEPT marks — the exit
+//     is pinned to t); deadlock requires a component holding h_i and t_o.
+//   HeadTailPairs: the paper's "combine the above two strategies" — two
+//     (head, tail) pairs in distinct tasks, hypothesis constraints between
+//     the heads as in HeadPair, marks as in HeadTail for both; deadlock
+//     requires one component holding h1_i, t1_o, h2_i and t2_o. Every
+//     deadlock cycle spans >= 2 tasks, each contributing a head and a
+//     reachable tail, so the enumeration is exhaustive (self-send
+//     single-head cycles are again covered separately).
+#pragma once
+
+#include <vector>
+
+#include "core/coexec.h"
+#include "core/precedence.h"
+#include "syncgraph/clg.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::core {
+
+enum class HypothesisMode { SingleHead, HeadPair, HeadTail, HeadTailPairs };
+
+struct RefinedOptions {
+  HypothesisMode mode = HypothesisMode::SingleHead;
+  // Skip hypotheses whose head is provably always rescued by an outside
+  // task (global constraint 4; see core/constraint4.h).
+  bool apply_constraint4 = false;
+};
+
+struct RefinedResult {
+  bool deadlock_possible = false;
+  std::size_t hypotheses_tested = 0;
+  std::size_t possible_heads = 0;
+  // Heads whose hypothesis survived (first element drives witness_cycle).
+  std::vector<NodeId> suspect_heads;
+  std::vector<NodeId> witness_cycle;
+};
+
+// POSS-HEADS: rendezvous nodes with at least one sync edge that are the
+// source of a control edge leading to another rendezvous node.
+[[nodiscard]] std::vector<NodeId> possible_heads(const sg::SyncGraph& sg);
+
+[[nodiscard]] RefinedResult detect_refined(const sg::SyncGraph& sg,
+                                           const sg::Clg& clg,
+                                           const Precedence& precedence,
+                                           const CoExec& coexec,
+                                           const RefinedOptions& options = {});
+
+}  // namespace siwa::core

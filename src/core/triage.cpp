@@ -1,0 +1,76 @@
+#include "core/triage.h"
+
+#include "syncgraph/builder.h"
+#include "transform/prune.h"
+#include "wavesim/shared.h"
+
+namespace siwa::core {
+
+const char* triage_verdict_name(TriageVerdict verdict) {
+  switch (verdict) {
+    case TriageVerdict::CertifiedFree: return "certified deadlock-free";
+    case TriageVerdict::ConfirmedDeadlock: return "confirmed deadlock";
+    case TriageVerdict::Undetermined: return "possible deadlock (undetermined)";
+  }
+  return "?";
+}
+
+TriageResult triage_program(const lang::Program& program,
+                            const TriageOptions& options) {
+  TriageResult result;
+
+  for (Algorithm algorithm : options.ladder) {
+    CertifyOptions certify;
+    certify.algorithm = algorithm;
+    certify.apply_constraint4 = options.apply_constraint4;
+    result.last_report = certify_program(program, certify);
+    result.decided_by = algorithm;
+    if (result.last_report.certified_free) {
+      result.verdict = TriageVerdict::CertifiedFree;
+      result.certified_statically = true;
+      return result;
+    }
+  }
+
+  // Every ladder rung reported: settle with the oracle. Shared conditions
+  // get the assignment-exact exploration (verdict-level only — its reports
+  // reference pruned graphs).
+  if (!transform::used_shared_conditions(program).empty()) {
+    const auto exact = wavesim::explore_shared(program, options.oracle);
+    result.confirmation.states_explored = exact.combined.states;
+    if (exact.combined.any_deadlock) {
+      result.verdict = TriageVerdict::ConfirmedDeadlock;
+      result.confirmation.status = WitnessStatus::ConfirmedOtherCycle;
+    } else if (exact.combined.complete && !exact.condition_cap_hit) {
+      result.verdict = TriageVerdict::CertifiedFree;
+      result.confirmation.status = WitnessStatus::Refuted;
+    } else {
+      result.verdict = TriageVerdict::Undetermined;
+      result.confirmation.status = WitnessStatus::Unknown;
+    }
+    return result;
+  }
+
+  const sg::SyncGraph graph = sg::build_sync_graph(program);
+  // Witness node ids from certify_program refer to the unrolled program's
+  // graph; confirm against any reachable deadlock when they don't resolve.
+  std::vector<NodeId> suspects;
+  if (!result.last_report.stats.unrolled)
+    suspects = result.last_report.witness_nodes;
+  result.confirmation = confirm_witness(graph, suspects, options.oracle);
+  switch (result.confirmation.status) {
+    case WitnessStatus::Confirmed:
+    case WitnessStatus::ConfirmedOtherCycle:
+      result.verdict = TriageVerdict::ConfirmedDeadlock;
+      break;
+    case WitnessStatus::Refuted:
+      result.verdict = TriageVerdict::CertifiedFree;
+      break;
+    case WitnessStatus::Unknown:
+      result.verdict = TriageVerdict::Undetermined;
+      break;
+  }
+  return result;
+}
+
+}  // namespace siwa::core

@@ -1,0 +1,48 @@
+// One-call triage: the workflow a user of the 1990 toolchain would follow.
+//
+// Runs the certification ladder (cheapest algorithm first) until one mode
+// certifies the program deadlock-free; if none does, the surviving report
+// is replayed against bounded exhaustive exploration (assignment-exact for
+// programs with shared conditions). The outcome is one of:
+//   CertifiedFree       — a polynomial algorithm proved it, or the bounded
+//                         oracle exhaustively refuted every report;
+//   ConfirmedDeadlock   — a reachable deadlocked wave exists (with trace);
+//   Undetermined        — reports survive and the oracle hit its cap: the
+//                         conservative answer is "possible deadlock".
+#pragma once
+
+#include <vector>
+
+#include "core/certifier.h"
+#include "core/witness.h"
+#include "wavesim/explorer.h"
+
+namespace siwa::core {
+
+enum class TriageVerdict { CertifiedFree, ConfirmedDeadlock, Undetermined };
+
+[[nodiscard]] const char* triage_verdict_name(TriageVerdict verdict);
+
+struct TriageOptions {
+  // Escalation ladder, cheapest first.
+  std::vector<Algorithm> ladder{Algorithm::RefinedSingle,
+                                Algorithm::RefinedHeadPair,
+                                Algorithm::RefinedHeadTailPairs};
+  bool apply_constraint4 = true;
+  wavesim::ExploreOptions oracle;  // bounds the confirmation step
+};
+
+struct TriageResult {
+  TriageVerdict verdict = TriageVerdict::Undetermined;
+  // The certifying algorithm (CertifiedFree via the ladder), or the last
+  // algorithm whose report was triaged.
+  Algorithm decided_by = Algorithm::RefinedSingle;
+  bool certified_statically = false;  // vs. settled by the oracle
+  CertifyResult last_report;          // the surviving report, if any
+  WitnessCheck confirmation;          // populated when the oracle ran
+};
+
+[[nodiscard]] TriageResult triage_program(const lang::Program& program,
+                                          const TriageOptions& options = {});
+
+}  // namespace siwa::core

@@ -1,0 +1,62 @@
+#include "core/witness.h"
+
+#include <algorithm>
+
+namespace siwa::core {
+
+const char* witness_status_name(WitnessStatus status) {
+  switch (status) {
+    case WitnessStatus::Confirmed: return "confirmed";
+    case WitnessStatus::ConfirmedOtherCycle: return "confirmed (other cycle)";
+    case WitnessStatus::Refuted: return "refuted";
+    case WitnessStatus::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+WitnessCheck confirm_witness(const sg::SyncGraph& graph,
+                             const std::vector<NodeId>& suspects,
+                             const wavesim::ExploreOptions& options) {
+  wavesim::ExploreOptions explore = options;
+  explore.max_reports = std::max<std::size_t>(explore.max_reports, 64);
+  explore.collect_witness_trace = true;
+
+  const wavesim::WaveExplorer explorer(graph, explore);
+  const wavesim::ExploreResult result = explorer.explore();
+
+  WitnessCheck check;
+  check.states_explored = result.states;
+
+  auto touches_suspects = [&](const wavesim::AnomalyReport& report) {
+    for (NodeId d : report.deadlock_nodes)
+      if (std::find(suspects.begin(), suspects.end(), d) != suspects.end())
+        return true;
+    return false;
+  };
+
+  for (const auto& report : result.reports) {
+    if (!report.is_deadlock()) continue;
+    if (touches_suspects(report)) {
+      check.status = WitnessStatus::Confirmed;
+      check.wave = report.wave;
+      check.trace = result.witness_trace;
+      return check;
+    }
+  }
+  if (result.any_deadlock) {
+    check.status = WitnessStatus::ConfirmedOtherCycle;
+    for (const auto& report : result.reports) {
+      if (report.is_deadlock()) {
+        check.wave = report.wave;
+        break;
+      }
+    }
+    check.trace = result.witness_trace;
+    return check;
+  }
+  check.status =
+      result.complete ? WitnessStatus::Refuted : WitnessStatus::Unknown;
+  return check;
+}
+
+}  // namespace siwa::core

@@ -1,0 +1,46 @@
+// Witness confirmation: replay a static "possible deadlock" report against
+// the execution-wave semantics.
+//
+// The refined detector is conservative; a reported cycle may be spurious.
+// Bounded exhaustive exploration settles small cases: if a reachable
+// deadlocked wave exists whose waiting set touches the reported suspects
+// the report is Confirmed (ConfirmedOtherCycle when a deadlock exists but
+// none involves the suspects); if exploration completes without any
+// deadlock the report is Refuted (the program is in fact deadlock-free and
+// the static report was a false positive); if the state cap is hit the
+// verdict stays Unknown. This mirrors how a user of the 1990 toolchain
+// would triage reports with the exponential checkers of section 6.
+#pragma once
+
+#include <vector>
+
+#include "syncgraph/sync_graph.h"
+#include "wavesim/explorer.h"
+
+namespace siwa::core {
+
+enum class WitnessStatus {
+  Confirmed,           // a reachable deadlock involves a suspected node
+  ConfirmedOtherCycle, // the program deadlocks, but not through the suspects
+  Refuted,             // exhaustive exploration found no deadlock at all
+  Unknown,             // state cap exhausted before a verdict
+};
+
+struct WitnessCheck {
+  WitnessStatus status = WitnessStatus::Unknown;
+  // For Confirmed*: a deadlocked wave and the schedule reaching it.
+  wavesim::Wave wave;
+  std::vector<wavesim::Wave> trace;
+  std::size_t states_explored = 0;
+};
+
+[[nodiscard]] const char* witness_status_name(WitnessStatus status);
+
+// `suspects`: the sync-graph nodes of the reported cycle (heads or all
+// members; matching is by intersection with the deadlocked wave's waiting
+// set and its deadlock participants).
+[[nodiscard]] WitnessCheck confirm_witness(
+    const sg::SyncGraph& graph, const std::vector<NodeId>& suspects,
+    const wavesim::ExploreOptions& options = {});
+
+}  // namespace siwa::core

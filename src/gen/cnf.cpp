@@ -1,0 +1,126 @@
+#include "gen/cnf.h"
+
+#include <random>
+#include <sstream>
+
+#include "support/require.h"
+
+namespace siwa::gen {
+
+bool Cnf::satisfied_by(const std::vector<bool>& assignment) const {
+  for (const Clause& clause : clauses) {
+    bool sat = false;
+    for (const Literal& lit : clause.lits) {
+      const bool value = assignment[static_cast<std::size_t>(lit.variable - 1)];
+      if (value != lit.negated) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::optional<Cnf> parse_dimacs(std::string_view text, std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<Cnf> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  Cnf cnf;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  bool saw_header = false;
+  std::vector<int> pending;
+  int declared_clauses = 0;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, fmt;
+      if (!(header >> p >> fmt >> cnf.num_variables >> declared_clauses) ||
+          fmt != "cnf")
+        return fail("malformed problem line: " + line);
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) return fail("clause before problem line");
+    std::istringstream body(line);
+    int lit = 0;
+    while (body >> lit) {
+      if (lit == 0) {
+        if (pending.size() != 3)
+          return fail("only 3-literal clauses are supported");
+        Clause clause;
+        for (int k = 0; k < 3; ++k) {
+          const int v = pending[static_cast<std::size_t>(k)];
+          if (std::abs(v) > cnf.num_variables)
+            return fail("literal out of range");
+          clause.lits[k] = {std::abs(v), v < 0};
+        }
+        cnf.clauses.push_back(clause);
+        pending.clear();
+      } else {
+        pending.push_back(lit);
+      }
+    }
+  }
+  if (!pending.empty()) return fail("trailing unterminated clause");
+  if (!saw_header) return fail("missing problem line");
+  return cnf;
+}
+
+std::string to_dimacs(const Cnf& cnf) {
+  std::ostringstream os;
+  os << "p cnf " << cnf.num_variables << ' ' << cnf.clauses.size() << '\n';
+  for (const Clause& c : cnf.clauses) {
+    for (const Literal& l : c.lits) os << (l.negated ? -l.variable : l.variable) << ' ';
+    os << "0\n";
+  }
+  return os.str();
+}
+
+Cnf random_3cnf(int num_variables, int num_clauses, std::uint64_t seed) {
+  SIWA_REQUIRE(num_variables >= 3, "need at least 3 variables");
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> var_dist(1, num_variables);
+  std::bernoulli_distribution sign_dist(0.5);
+
+  Cnf cnf;
+  cnf.num_variables = num_variables;
+  cnf.clauses.reserve(static_cast<std::size_t>(num_clauses));
+  for (int c = 0; c < num_clauses; ++c) {
+    Clause clause;
+    int vars[3] = {0, 0, 0};
+    for (int k = 0; k < 3; ++k) {
+      int v;
+      bool fresh;
+      do {
+        v = var_dist(rng);
+        fresh = true;
+        for (int j = 0; j < k; ++j) fresh &= (vars[j] != v);
+      } while (!fresh);
+      vars[k] = v;
+      clause.lits[k] = {v, sign_dist(rng)};
+    }
+    cnf.clauses.push_back(clause);
+  }
+  return cnf;
+}
+
+bool brute_force_satisfiable(const Cnf& cnf) {
+  SIWA_REQUIRE(cnf.num_variables <= 30, "brute force limited to 30 variables");
+  const std::uint64_t limit = std::uint64_t{1}
+                              << static_cast<unsigned>(cnf.num_variables);
+  std::vector<bool> assignment(static_cast<std::size_t>(cnf.num_variables));
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    for (int v = 0; v < cnf.num_variables; ++v)
+      assignment[static_cast<std::size_t>(v)] = (bits >> v) & 1u;
+    if (cnf.satisfied_by(assignment)) return true;
+  }
+  return false;
+}
+
+}  // namespace siwa::gen

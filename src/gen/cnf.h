@@ -1,0 +1,45 @@
+// 3-CNF formulas for the Appendix A reductions: representation, DIMACS
+// parsing, random generation and a brute-force satisfiability oracle for
+// small instances.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siwa::gen {
+
+struct Literal {
+  int variable = 0;  // 1-based
+  bool negated = false;
+};
+
+struct Clause {
+  Literal lits[3];
+};
+
+struct Cnf {
+  int num_variables = 0;
+  std::vector<Clause> clauses;
+
+  [[nodiscard]] bool satisfied_by(const std::vector<bool>& assignment) const;
+};
+
+// Subset of DIMACS CNF: `c` comments, `p cnf V C` header, clauses of
+// exactly three literals terminated by 0. Returns nullopt with a message
+// on malformed input or non-3-SAT clauses.
+[[nodiscard]] std::optional<Cnf> parse_dimacs(std::string_view text,
+                                              std::string* error = nullptr);
+
+[[nodiscard]] std::string to_dimacs(const Cnf& cnf);
+
+// Uniform random 3-CNF with distinct variables per clause.
+[[nodiscard]] Cnf random_3cnf(int num_variables, int num_clauses,
+                              std::uint64_t seed);
+
+// Exhaustive check; requires num_variables <= 30.
+[[nodiscard]] bool brute_force_satisfiable(const Cnf& cnf);
+
+}  // namespace siwa::gen

@@ -1,0 +1,263 @@
+#include "gen/patterns.h"
+
+#include <string>
+
+#include "support/require.h"
+
+namespace siwa::gen {
+namespace {
+
+Symbol sym(lang::Program& p, const std::string& s) {
+  return p.interner.intern(s);
+}
+
+}  // namespace
+
+lang::Program dining_philosophers(std::size_t n, bool grab_both_left_first) {
+  SIWA_REQUIRE(n >= 2, "need at least two philosophers");
+  lang::Program p;
+
+  auto fork_name = [&](std::size_t i) { return "fork" + std::to_string(i % n); };
+
+  // Forks: each fork serves both neighboring philosophers once, so its
+  // protocol is two pickup/putdown rounds.
+  for (std::size_t i = 0; i < n; ++i) {
+    lang::TaskDecl fork;
+    fork.name = sym(p, fork_name(i));
+    for (int round = 0; round < 2; ++round) {
+      fork.body.push_back(lang::make_accept(sym(p, "pickup")));
+      fork.body.push_back(lang::make_accept(sym(p, "putdown")));
+    }
+    p.tasks.push_back(std::move(fork));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    lang::TaskDecl phil;
+    phil.name = sym(p, "phil" + std::to_string(i));
+    const std::size_t left = i;
+    const std::size_t right = i + 1;
+    // The classic fix breaks the circular wait by having the last
+    // philosopher acquire its right fork first.
+    const bool reversed = !grab_both_left_first && i == n - 1;
+    const std::size_t first = reversed ? right : left;
+    const std::size_t second = reversed ? left : right;
+    phil.body.push_back(lang::make_send(sym(p, fork_name(first)), sym(p, "pickup")));
+    phil.body.push_back(lang::make_send(sym(p, fork_name(second)), sym(p, "pickup")));
+    phil.body.push_back(lang::make_send(sym(p, fork_name(left)), sym(p, "putdown")));
+    phil.body.push_back(lang::make_send(sym(p, fork_name(right)), sym(p, "putdown")));
+    p.tasks.push_back(std::move(phil));
+  }
+  return p;
+}
+
+lang::Program token_ring(std::size_t n, bool deadlocking) {
+  SIWA_REQUIRE(n >= 2, "need at least two ring members");
+  lang::Program p;
+  for (std::size_t i = 0; i < n; ++i) {
+    lang::TaskDecl task;
+    task.name = sym(p, "ring" + std::to_string(i));
+    const Symbol next = sym(p, "ring" + std::to_string((i + 1) % n));
+    const lang::Stmt pass = lang::make_send(next, sym(p, "tok"));
+    const lang::Stmt take = lang::make_accept(sym(p, "tok"));
+    if (deadlocking || i == 0) {
+      task.body.push_back(pass);
+      task.body.push_back(take);
+    } else {
+      task.body.push_back(take);
+      task.body.push_back(pass);
+    }
+    p.tasks.push_back(std::move(task));
+  }
+  return p;
+}
+
+lang::Program pipeline(std::size_t stages, std::size_t items_per_stage) {
+  SIWA_REQUIRE(stages >= 1 && items_per_stage >= 1, "degenerate pipeline");
+  lang::Program p;
+
+  lang::TaskDecl source;
+  source.name = sym(p, "source");
+  for (std::size_t k = 0; k < items_per_stage; ++k)
+    source.body.push_back(lang::make_send(sym(p, "stage1"), sym(p, "item")));
+  p.tasks.push_back(std::move(source));
+
+  for (std::size_t s = 1; s <= stages; ++s) {
+    lang::TaskDecl stage;
+    stage.name = sym(p, "stage" + std::to_string(s));
+    const Symbol next =
+        s == stages ? sym(p, "sink") : sym(p, "stage" + std::to_string(s + 1));
+    for (std::size_t k = 0; k < items_per_stage; ++k) {
+      stage.body.push_back(lang::make_accept(sym(p, "item")));
+      stage.body.push_back(lang::make_send(next, sym(p, "item")));
+    }
+    p.tasks.push_back(std::move(stage));
+  }
+
+  lang::TaskDecl sink;
+  sink.name = sym(p, "sink");
+  for (std::size_t k = 0; k < items_per_stage; ++k)
+    sink.body.push_back(lang::make_accept(sym(p, "item")));
+  p.tasks.push_back(std::move(sink));
+  return p;
+}
+
+lang::Program client_server(std::size_t clients, bool inverted_replies) {
+  SIWA_REQUIRE(clients >= 1, "need a client");
+  lang::Program p;
+
+  lang::TaskDecl server;
+  server.name = sym(p, "server");
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::string id = std::to_string(c);
+    const lang::Stmt take_req = lang::make_accept(sym(p, "req" + id));
+    const lang::Stmt reply =
+        lang::make_send(sym(p, "client" + id), sym(p, "reply"));
+    if (inverted_replies) {
+      // Replying before the request arrives deadlocks against the client's
+      // send-then-await protocol.
+      server.body.push_back(reply);
+      server.body.push_back(take_req);
+    } else {
+      server.body.push_back(take_req);
+      server.body.push_back(reply);
+    }
+  }
+  p.tasks.push_back(std::move(server));
+
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::string id = std::to_string(c);
+    lang::TaskDecl client;
+    client.name = sym(p, "client" + id);
+    client.body.push_back(lang::make_send(sym(p, "server"), sym(p, "req" + id)));
+    client.body.push_back(lang::make_accept(sym(p, "reply")));
+    p.tasks.push_back(std::move(client));
+  }
+  return p;
+}
+
+lang::Program barrier(std::size_t workers) {
+  SIWA_REQUIRE(workers >= 1, "need a worker");
+  lang::Program p;
+
+  lang::TaskDecl coord;
+  coord.name = sym(p, "coordinator");
+  for (std::size_t w = 0; w < workers; ++w)
+    coord.body.push_back(lang::make_accept(sym(p, "arrive")));
+  for (std::size_t w = 0; w < workers; ++w)
+    coord.body.push_back(
+        lang::make_send(sym(p, "worker" + std::to_string(w)), sym(p, "go")));
+  p.tasks.push_back(std::move(coord));
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    lang::TaskDecl worker;
+    worker.name = sym(p, "worker" + std::to_string(w));
+    worker.body.push_back(lang::make_send(sym(p, "coordinator"), sym(p, "arrive")));
+    worker.body.push_back(lang::make_accept(sym(p, "go")));
+    p.tasks.push_back(std::move(worker));
+  }
+  return p;
+}
+
+lang::Program master_worker(std::size_t workers, std::size_t rounds,
+                            bool collect_before_dispatch) {
+  SIWA_REQUIRE(workers >= 1 && rounds >= 1, "degenerate farm");
+  lang::Program p;
+
+  lang::TaskDecl master;
+  master.name = sym(p, "master");
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const bool inverted = collect_before_dispatch && r > 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const Symbol worker = sym(p, "worker" + std::to_string(w));
+      const lang::Stmt dispatch = lang::make_send(worker, sym(p, "work"));
+      const lang::Stmt collect = lang::make_accept(sym(p, "result"));
+      if (inverted) {
+        master.body.push_back(collect);
+        master.body.push_back(dispatch);
+      } else {
+        master.body.push_back(dispatch);
+        master.body.push_back(collect);
+      }
+    }
+  }
+  p.tasks.push_back(std::move(master));
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    lang::TaskDecl worker;
+    worker.name = sym(p, "worker" + std::to_string(w));
+    for (std::size_t r = 0; r < rounds; ++r) {
+      worker.body.push_back(lang::make_accept(sym(p, "work")));
+      worker.body.push_back(lang::make_send(sym(p, "master"), sym(p, "result")));
+    }
+    p.tasks.push_back(std::move(worker));
+  }
+  return p;
+}
+
+lang::Program readers_writer(std::size_t readers, bool double_acquire) {
+  SIWA_REQUIRE(readers >= 1, "need a reader");
+  lang::Program p;
+
+  // The lock serves one acquire/release round per client.
+  const std::size_t clients = readers + 1;
+  lang::TaskDecl lock;
+  lock.name = sym(p, "lock");
+  const std::size_t rounds = clients + (double_acquire ? 1 : 0);
+  for (std::size_t k = 0; k < rounds; ++k) {
+    lock.body.push_back(lang::make_accept(sym(p, "acquire")));
+    lock.body.push_back(lang::make_accept(sym(p, "release")));
+  }
+  p.tasks.push_back(std::move(lock));
+
+  lang::TaskDecl writer;
+  writer.name = sym(p, "writer");
+  writer.body.push_back(lang::make_send(sym(p, "lock"), sym(p, "acquire")));
+  if (double_acquire) {
+    // Re-acquiring before releasing wedges at the lock's `release` accept.
+    writer.body.push_back(lang::make_send(sym(p, "lock"), sym(p, "acquire")));
+  }
+  writer.body.push_back(lang::make_send(sym(p, "lock"), sym(p, "release")));
+  if (double_acquire)
+    writer.body.push_back(lang::make_send(sym(p, "lock"), sym(p, "release")));
+  p.tasks.push_back(std::move(writer));
+
+  for (std::size_t r = 0; r < readers; ++r) {
+    lang::TaskDecl reader;
+    reader.name = sym(p, "reader" + std::to_string(r));
+    reader.body.push_back(lang::make_send(sym(p, "lock"), sym(p, "acquire")));
+    reader.body.push_back(lang::make_send(sym(p, "lock"), sym(p, "release")));
+    p.tasks.push_back(std::move(reader));
+  }
+  return p;
+}
+
+lang::Program two_resource(bool ordered) {
+  lang::Program p;
+  for (const char* name : {"res_a", "res_b"}) {
+    lang::TaskDecl res;
+    res.name = sym(p, name);
+    for (int round = 0; round < 2; ++round) {
+      res.body.push_back(lang::make_accept(sym(p, "acquire")));
+      res.body.push_back(lang::make_accept(sym(p, "release")));
+    }
+    p.tasks.push_back(std::move(res));
+  }
+
+  auto user = [&](const char* name, const char* first, const char* second) {
+    lang::TaskDecl u;
+    u.name = sym(p, name);
+    u.body.push_back(lang::make_send(sym(p, first), sym(p, "acquire")));
+    u.body.push_back(lang::make_send(sym(p, second), sym(p, "acquire")));
+    u.body.push_back(lang::make_send(sym(p, first), sym(p, "release")));
+    u.body.push_back(lang::make_send(sym(p, second), sym(p, "release")));
+    p.tasks.push_back(std::move(u));
+  };
+  user("user1", "res_a", "res_b");
+  if (ordered)
+    user("user2", "res_a", "res_b");
+  else
+    user("user2", "res_b", "res_a");
+  return p;
+}
+
+}  // namespace siwa::gen

@@ -1,0 +1,58 @@
+// Classic synchronization patterns as MiniAda programs — the workload
+// families the paper's introduction motivates (parallel programs built on
+// rendezvous). Each comes in a correct and, where meaningful, a buggy
+// (deadlocking) variant so precision experiments have known ground truth.
+#pragma once
+
+#include <cstddef>
+
+#include "lang/ast.h"
+
+namespace siwa::gen {
+
+// N philosophers, N fork tasks; each fork accepts pickup then putdown.
+// grab_both_left_first == true gives the classic circular-wait deadlock;
+// false orders fork acquisition (last philosopher grabs right first) and
+// is deadlock-free.
+[[nodiscard]] lang::Program dining_philosophers(std::size_t n,
+                                                bool grab_both_left_first);
+
+// Token ring: deadlocking variant has every task send before accepting
+// (circular wait); the fixed variant lets task 0 accept first.
+[[nodiscard]] lang::Program token_ring(std::size_t n, bool deadlocking);
+
+// Linear pipeline source -> stage_1 .. stage_n -> sink; deadlock-free.
+[[nodiscard]] lang::Program pipeline(std::size_t stages,
+                                     std::size_t items_per_stage);
+
+// Clients call a server; the buggy variant has the server accept requests
+// in a fixed client order while clients race, which cannot deadlock under
+// the rendezvous model but *stalls* when a client skips its call; the
+// deadlocking variant adds a reply protocol with inverted order.
+[[nodiscard]] lang::Program client_server(std::size_t clients,
+                                          bool inverted_replies);
+
+// Barrier: a coordinator accepts `arrive` from every worker, then sends
+// `go` to each; deadlock-free.
+[[nodiscard]] lang::Program barrier(std::size_t workers);
+
+// Master/worker farm: the master hands `rounds` work items to each worker
+// in turn and collects results. `collect_before_dispatch` inverts the
+// second round's protocol (collect first, then dispatch), deadlocking
+// against workers that await work before reporting.
+[[nodiscard]] lang::Program master_worker(std::size_t workers,
+                                          std::size_t rounds,
+                                          bool collect_before_dispatch);
+
+// Readers/writer around a lock task serving acquire/release pairs. The
+// buggy variant makes the writer grab the lock twice without releasing:
+// the lock waits for a release that sits behind the writer's blocked
+// second acquire — a two-task coupling cycle (deadlock).
+[[nodiscard]] lang::Program readers_writer(std::size_t readers,
+                                           bool double_acquire);
+
+// Two resources acquired by two users in opposite orders — the textbook
+// AB/BA deadlock; ordered == true acquires consistently and is clean.
+[[nodiscard]] lang::Program two_resource(bool ordered);
+
+}  // namespace siwa::gen

@@ -1,0 +1,130 @@
+#include "gen/random_program.h"
+
+#include <algorithm>
+#include <random>
+#include <string>
+
+#include "support/require.h"
+
+namespace siwa::gen {
+namespace {
+
+class Generator {
+ public:
+  explicit Generator(const RandomProgramConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  lang::Program run() {
+    SIWA_REQUIRE(config_.tasks >= 2, "need at least two tasks");
+    lang::Program p;
+    for (std::size_t k = 0; k < config_.shared_conditions; ++k)
+      p.shared_conditions.push_back(
+          p.interner.intern("sv" + std::to_string(k)));
+    std::vector<Symbol> task_names;
+    for (std::size_t t = 0; t < config_.tasks; ++t)
+      task_names.push_back(p.interner.intern("t" + std::to_string(t)));
+
+    std::vector<std::vector<lang::Stmt>> bodies(config_.tasks);
+    std::uniform_int_distribution<std::size_t> task_dist(0, config_.tasks - 1);
+    std::uniform_int_distribution<std::size_t> msg_dist(
+        0, std::max<std::size_t>(1, config_.message_types) - 1);
+
+    auto message_for = [&](std::size_t receiver) {
+      return p.interner.intern("m" + std::to_string(msg_dist(rng_)) + "_t" +
+                               std::to_string(receiver));
+    };
+
+    for (std::size_t k = 0; k < config_.rendezvous_pairs; ++k) {
+      const std::size_t a = task_dist(rng_);
+      std::size_t b = task_dist(rng_);
+      while (b == a) b = task_dist(rng_);
+      const Symbol msg = message_for(b);
+      bodies[a].push_back(lang::make_send(task_names[b], msg));
+      bodies[b].push_back(lang::make_accept(msg));
+    }
+    for (std::size_t k = 0; k < config_.unmatched_rendezvous; ++k) {
+      const std::size_t a = task_dist(rng_);
+      if (std::bernoulli_distribution(0.5)(rng_)) {
+        std::size_t b = task_dist(rng_);
+        while (b == a) b = task_dist(rng_);
+        bodies[a].push_back(lang::make_send(task_names[b], message_for(b)));
+      } else {
+        bodies[a].push_back(lang::make_accept(message_for(a)));
+      }
+    }
+
+    // Random per-task interleavings create the ordering mistakes that make
+    // deadlocks possible.
+    for (auto& body : bodies) std::shuffle(body.begin(), body.end(), rng_);
+
+    for (std::size_t t = 0; t < config_.tasks; ++t) {
+      lang::TaskDecl task;
+      task.name = task_names[t];
+      task.body = structure(p, std::move(bodies[t]), 0);
+      p.tasks.push_back(std::move(task));
+    }
+    return p;
+  }
+
+ private:
+  // Wraps random contiguous runs of statements into conditionals/loops.
+  std::vector<lang::Stmt> structure(lang::Program& p,
+                                    std::vector<lang::Stmt> flat,
+                                    std::size_t depth) {
+    if (depth >= config_.max_nesting || flat.size() < 2) return flat;
+    std::vector<lang::Stmt> out;
+    std::size_t i = 0;
+    std::bernoulli_distribution branch(config_.branch_probability);
+    std::bernoulli_distribution loop(config_.loop_probability);
+    std::bernoulli_distribution coin(0.5);
+    while (i < flat.size()) {
+      const bool wrap_branch = branch(rng_);
+      const bool wrap_loop = !wrap_branch && loop(rng_);
+      if ((wrap_branch || wrap_loop) && i + 1 < flat.size()) {
+        std::uniform_int_distribution<std::size_t> len_dist(
+            1, std::min<std::size_t>(3, flat.size() - i));
+        const std::size_t len = len_dist(rng_);
+        std::vector<lang::Stmt> inner(
+            flat.begin() + static_cast<std::ptrdiff_t>(i),
+            flat.begin() + static_cast<std::ptrdiff_t>(i + len));
+        inner = structure(p, std::move(inner), depth + 1);
+        Symbol cond;
+        if (!p.shared_conditions.empty() &&
+            std::bernoulli_distribution(
+                config_.shared_condition_probability)(rng_)) {
+          std::uniform_int_distribution<std::size_t> pick(
+              0, p.shared_conditions.size() - 1);
+          cond = p.shared_conditions[pick(rng_)];
+        } else {
+          cond = p.interner.intern("c" + std::to_string(next_cond_++));
+        }
+        if (wrap_branch) {
+          // Half the time the wrapped run moves to the else arm.
+          if (coin(rng_))
+            out.push_back(lang::make_if(cond, std::move(inner)));
+          else
+            out.push_back(lang::make_if(cond, {}, std::move(inner)));
+        } else {
+          out.push_back(lang::make_while(cond, std::move(inner)));
+        }
+        i += len;
+      } else {
+        out.push_back(std::move(flat[i]));
+        ++i;
+      }
+    }
+    return out;
+  }
+
+  RandomProgramConfig config_;
+  std::mt19937_64 rng_;
+  std::size_t next_cond_ = 0;
+};
+
+}  // namespace
+
+lang::Program random_program(const RandomProgramConfig& config) {
+  return Generator(config).run();
+}
+
+}  // namespace siwa::gen

@@ -1,0 +1,33 @@
+// Seeded random MiniAda programs for the precision and scaling experiments.
+//
+// Rendezvous are generated in matched send/accept pairs between random task
+// pairs so that most programs are "almost balanced" and both deadlocking
+// and clean programs appear with useful frequency; knobs control branching,
+// looping and extra unmatched rendezvous (stall fodder).
+#pragma once
+
+#include <cstdint>
+
+#include "lang/ast.h"
+
+namespace siwa::gen {
+
+struct RandomProgramConfig {
+  std::size_t tasks = 3;
+  std::size_t rendezvous_pairs = 6;  // matched send/accept pairs
+  std::size_t unmatched_rendezvous = 0;
+  std::size_t message_types = 3;  // distinct message names per receiving task
+  double branch_probability = 0.0;  // chance a statement lands in an if-arm
+  double loop_probability = 0.0;    // chance a statement lands in a loop
+  std::size_t max_nesting = 2;
+  // Pool of `shared condition` names; when nonzero, each generated
+  // conditional uses a shared condition (instead of a fresh opaque one)
+  // with `shared_condition_probability`.
+  std::size_t shared_conditions = 0;
+  double shared_condition_probability = 0.5;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] lang::Program random_program(const RandomProgramConfig& config);
+
+}  // namespace siwa::gen

@@ -1,0 +1,237 @@
+#include "gen/sat_reduction.h"
+
+#include <functional>
+#include <string>
+
+#include "support/require.h"
+
+namespace siwa::gen {
+namespace {
+
+std::string literal_task_name(int clause, int literal) {
+  return "l_" + std::to_string(clause + 1) + "_" + std::to_string(literal + 1);
+}
+std::string top_message_name(int clause, int literal) {
+  return "s_" + std::to_string(clause + 1) + "_" + std::to_string(literal + 1);
+}
+std::string anti_task_name(int clause, int literal) {
+  return "a_" + std::to_string(clause + 1) + "_" + std::to_string(literal + 1);
+}
+std::string ordering_task_name(int variable) {
+  return "ord_" + std::to_string(variable);
+}
+
+// One statement per send of the signaling node group, wrapped in a
+// conditional 3-way branch (which of the three is executed "is based on a
+// random boolean value" in the paper — statically, an opaque condition).
+std::vector<lang::Stmt> signaling_group(lang::Program& p, int clause,
+                                        int literal, std::size_t num_clauses) {
+  const int next = (clause + 1) % static_cast<int>(num_clauses);
+  auto send_to = [&](int target_literal) {
+    return lang::make_send(
+        p.interner.intern(literal_task_name(next, target_literal)),
+        p.interner.intern(top_message_name(next, target_literal)));
+  };
+  const Symbol c1 = p.interner.intern("pick1_" + literal_task_name(clause, literal));
+  const Symbol c2 = p.interner.intern("pick2_" + literal_task_name(clause, literal));
+  std::vector<lang::Stmt> inner_else{send_to(2)};
+  std::vector<lang::Stmt> inner_then{send_to(1)};
+  std::vector<lang::Stmt> outer_else{
+      lang::make_if(c2, std::move(inner_then), std::move(inner_else))};
+  std::vector<lang::Stmt> outer_then{send_to(0)};
+  return {lang::make_if(c1, std::move(outer_then), std::move(outer_else))};
+}
+
+}  // namespace
+
+lang::Program build_theorem2_program(const Cnf& cnf) {
+  SIWA_REQUIRE(!cnf.clauses.empty(), "empty formula");
+  lang::Program p;
+  const std::size_t m = cnf.clauses.size();
+
+  // Occurrence counts per variable, to size the ordering tasks.
+  std::vector<int> positives(static_cast<std::size_t>(cnf.num_variables) + 1, 0);
+  std::vector<int> negatives(static_cast<std::size_t>(cnf.num_variables) + 1, 0);
+  for (const Clause& clause : cnf.clauses) {
+    for (const Literal& lit : clause.lits)
+      ++(lit.negated ? negatives : positives)[static_cast<std::size_t>(lit.variable)];
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const Literal lit = cnf.clauses[i].lits[j];
+      const bool has_ordering =
+          negatives[static_cast<std::size_t>(lit.variable)] > 0;
+
+      lang::TaskDecl task;
+      task.name = p.interner.intern(literal_task_name(static_cast<int>(i), j));
+
+      const lang::Stmt top = lang::make_accept(
+          p.interner.intern(top_message_name(static_cast<int>(i), j)));
+      const lang::Stmt order_send = lang::make_send(
+          p.interner.intern(ordering_task_name(lit.variable)),
+          p.interner.intern((lit.negated ? "neg_" : "pos_") +
+                            std::to_string(lit.variable)));
+
+      if (lit.negated) {
+        // Figure 7(b): order-send first, then the top node.
+        task.body.push_back(order_send);
+        task.body.push_back(top);
+      } else {
+        task.body.push_back(top);
+      }
+      for (auto& s : signaling_group(p, static_cast<int>(i), j, m))
+        task.body.push_back(std::move(s));
+      if (!lit.negated && has_ordering) task.body.push_back(order_send);
+      p.tasks.push_back(std::move(task));
+
+      // Anti-ordering task: an always-available sender for the top node.
+      lang::TaskDecl anti;
+      anti.name = p.interner.intern(anti_task_name(static_cast<int>(i), j));
+      anti.body.push_back(lang::make_send(
+          p.interner.intern(literal_task_name(static_cast<int>(i), j)),
+          p.interner.intern(top_message_name(static_cast<int>(i), j))));
+      p.tasks.push_back(std::move(anti));
+    }
+  }
+
+  // Ordering tasks: all positive order-accepts, then all negative ones.
+  for (int v = 1; v <= cnf.num_variables; ++v) {
+    if (negatives[static_cast<std::size_t>(v)] == 0) continue;
+    lang::TaskDecl ord;
+    ord.name = p.interner.intern(ordering_task_name(v));
+    for (int k = 0; k < positives[static_cast<std::size_t>(v)]; ++k)
+      ord.body.push_back(
+          lang::make_accept(p.interner.intern("pos_" + std::to_string(v))));
+    for (int k = 0; k < negatives[static_cast<std::size_t>(v)]; ++k)
+      ord.body.push_back(
+          lang::make_accept(p.interner.intern("neg_" + std::to_string(v))));
+    p.tasks.push_back(std::move(ord));
+  }
+  return p;
+}
+
+sg::SyncGraph build_theorem3_graph(const Cnf& cnf) {
+  SIWA_REQUIRE(!cnf.clauses.empty(), "empty formula");
+  sg::SyncGraph graph;
+  const std::size_t m = cnf.clauses.size();
+
+  std::vector<std::vector<TaskId>> task_of(m, std::vector<TaskId>(3));
+  std::vector<std::vector<NodeId>> top_of(m, std::vector<NodeId>(3));
+
+  for (std::size_t i = 0; i < m; ++i)
+    for (int j = 0; j < 3; ++j)
+      task_of[i][static_cast<std::size_t>(j)] =
+          graph.add_task(literal_task_name(static_cast<int>(i), j));
+
+  // Top nodes: accept s_i_j.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const TaskId task = task_of[i][static_cast<std::size_t>(j)];
+      const Symbol msg =
+          graph.intern_message(top_message_name(static_cast<int>(i), j));
+      const SignalId sig = graph.intern_signal(task, msg);
+      const NodeId top =
+          graph.add_rendezvous(task, sig, sg::Sign::Minus);
+      top_of[i][static_cast<std::size_t>(j)] = top;
+      graph.add_control_edge(graph.begin_node(), top);
+      graph.add_task_entry(task, top);
+    }
+  }
+
+  // Signaling node groups: three conditional sends to the next clause's
+  // tops, each a direct control successor of the top.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t next = (i + 1) % m;
+    for (int j = 0; j < 3; ++j) {
+      const TaskId task = task_of[i][static_cast<std::size_t>(j)];
+      for (int t = 0; t < 3; ++t) {
+        const TaskId target = task_of[next][static_cast<std::size_t>(t)];
+        const Symbol msg =
+            graph.intern_message(top_message_name(static_cast<int>(next), t));
+        const SignalId sig = graph.intern_signal(target, msg);
+        const NodeId send = graph.add_rendezvous(task, sig, sg::Sign::Plus);
+        graph.add_control_edge(top_of[i][static_cast<std::size_t>(j)], send);
+        graph.add_control_edge(send, graph.end_node());
+      }
+    }
+  }
+
+  // Explicit sync edges between tops of complementary literals of one
+  // variable (the non-program-realizable part).
+  for (std::size_t i = 0; i < m; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const Literal a = cnf.clauses[i].lits[j];
+      for (std::size_t i2 = 0; i2 < m; ++i2) {
+        for (int j2 = 0; j2 < 3; ++j2) {
+          if (i2 < i || (i2 == i && j2 <= j)) continue;
+          const Literal b = cnf.clauses[i2].lits[j2];
+          if (a.variable == b.variable && a.negated != b.negated)
+            graph.add_explicit_sync_edge(
+                top_of[i][static_cast<std::size_t>(j)],
+                top_of[i2][static_cast<std::size_t>(j2)]);
+        }
+      }
+    }
+  }
+
+  graph.finalize();
+  return graph;
+}
+
+NodeId find_literal_top(const sg::SyncGraph& graph, int clause, int literal) {
+  const std::string task = literal_task_name(clause, literal);
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    if (graph.task_name(TaskId(t)) != task) continue;
+    for (NodeId r : graph.nodes_of_task(TaskId(t)))
+      if (graph.node(r).sign == sg::Sign::Minus) return r;
+  }
+  SIWA_REQUIRE(false, "literal top node not found");
+  return NodeId::invalid();
+}
+
+std::vector<std::pair<NodeId, NodeId>> exact_gadget_precedences(
+    const Cnf& cnf, const sg::SyncGraph& graph) {
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  const std::size_t m = cnf.clauses.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      const Literal pos = cnf.clauses[i].lits[j];
+      if (pos.negated) continue;
+      for (std::size_t i2 = 0; i2 < m; ++i2) {
+        for (int j2 = 0; j2 < 3; ++j2) {
+          const Literal neg = cnf.clauses[i2].lits[j2];
+          if (!neg.negated || neg.variable != pos.variable) continue;
+          pairs.emplace_back(
+              find_literal_top(graph, static_cast<int>(i), j),
+              find_literal_top(graph, static_cast<int>(i2), j2));
+        }
+      }
+    }
+  }
+  return pairs;
+}
+
+bool exact_consistent_choice_exists(const Cnf& cnf) {
+  // DPLL-flavored search over one-literal-per-clause choices.
+  const std::size_t m = cnf.clauses.size();
+  std::vector<int> value(static_cast<std::size_t>(cnf.num_variables) + 1, 0);
+
+  std::function<bool(std::size_t)> pick = [&](std::size_t clause) {
+    if (clause == m) return true;
+    for (int j = 0; j < 3; ++j) {
+      const Literal lit = cnf.clauses[clause].lits[j];
+      const int want = lit.negated ? -1 : 1;
+      int& slot = value[static_cast<std::size_t>(lit.variable)];
+      if (slot == -want) continue;  // clashes with an earlier choice
+      const int saved = slot;
+      slot = want;
+      if (pick(clause + 1)) return true;
+      slot = saved;
+    }
+    return false;
+  };
+  return pick(0);
+}
+
+}  // namespace siwa::gen

@@ -1,0 +1,56 @@
+// Appendix A gadget constructions: programs/sync graphs whose constrained
+// deadlock cycles encode 3-SAT.
+//
+// Theorem 2 (constraints 1 + 3a): for each literal L_i^j a literal task
+// whose top node accepts s_i_j (fed by the previous clause group and by a
+// dedicated anti-ordering task), then branches into a signaling node group
+// sending to every top node of the next clause group. Positive literal
+// tasks end with an order-send to their variable's ordering task; negative
+// literal tasks *begin* with one. The ordering task for a variable with
+// negative occurrences accepts all positive order-sends, then all negative
+// ones, forcing every positive top of v_k to precede every negative top of
+// v_k — and nothing else. A deadlock cycle with pairwise-unsequenceable
+// heads picks one top per clause group with no positive/negative clash,
+// i.e. a satisfying assignment.
+//
+// Theorem 3 (constraints 1 + 2): literal tasks only (no ordering), plus
+// *explicit* sync edges joining the top nodes of complementary literals of
+// one variable. Such a graph corresponds to no real program (the paper
+// notes this), so it is built directly as a raw sync graph. A cycle whose
+// heads share no sync edge again encodes a satisfying assignment.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "gen/cnf.h"
+#include "lang/ast.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::gen {
+
+// Theorem 2 gadget as a MiniAda program.
+[[nodiscard]] lang::Program build_theorem2_program(const Cnf& cnf);
+
+// Theorem 3 gadget as a raw (finalized) sync graph.
+[[nodiscard]] sg::SyncGraph build_theorem3_graph(const Cnf& cnf);
+
+// The top (accept s_i_j) node of literal j of clause i in a sync graph
+// built from either gadget. Indices are 0-based.
+[[nodiscard]] NodeId find_literal_top(const sg::SyncGraph& graph, int clause,
+                                      int literal);
+
+// The orderings the Theorem 2 gadget establishes by construction — every
+// positive top of a variable precedes every negative top of the same
+// variable — for injection as exact external knowledge (PrecedenceOptions::
+// extra_precedes) when reproducing the Theorem 2 setting, which assumes
+// "the partial ordering governing node execution is available".
+[[nodiscard]] std::vector<std::pair<NodeId, NodeId>> exact_gadget_precedences(
+    const Cnf& cnf, const sg::SyncGraph& graph);
+
+// Exact (exponential) decision of the gadget property both theorems rely
+// on: does a choice of one literal per clause exist with no variable chosen
+// both positively and negatively? Equivalent to satisfiability of `cnf`.
+[[nodiscard]] bool exact_consistent_choice_exists(const Cnf& cnf);
+
+}  // namespace siwa::gen

@@ -1,0 +1,35 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace siwa::graph {
+
+VertexId Digraph::add_vertex() {
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return VertexId(succ_.size() - 1);
+}
+
+void Digraph::grow_to(std::size_t n) {
+  if (n > succ_.size()) {
+    succ_.resize(n);
+    pred_.resize(n);
+  }
+}
+
+void Digraph::add_edge(VertexId from, VertexId to) {
+  SIWA_REQUIRE(from.valid() && from.index() < succ_.size(), "bad edge source");
+  SIWA_REQUIRE(to.valid() && to.index() < succ_.size(), "bad edge target");
+  succ_[from.index()].push_back(to);
+  pred_[to.index()].push_back(from);
+  ++edge_count_;
+}
+
+bool Digraph::has_edge(VertexId from, VertexId to) const {
+  const auto& out = succ_[from.index()];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+}  // namespace siwa::graph

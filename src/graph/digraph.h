@@ -1,0 +1,45 @@
+// Generic directed graph with dense vertex ids.
+//
+// Both the cycle location graph and the per-task control flow graphs reduce
+// their algorithmic work (SCC, dominators, reachability) to this structure.
+// Vertices are created densely; edges keep insertion order. Successor and
+// predecessor lists are both maintained because dominators need predecessors
+// while the searches need successors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/ids.h"
+
+namespace siwa::graph {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t n) { grow_to(n); }
+
+  VertexId add_vertex();
+  void grow_to(std::size_t n);
+  void add_edge(VertexId from, VertexId to);
+
+  [[nodiscard]] std::size_t vertex_count() const { return succ_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_count_; }
+
+  [[nodiscard]] std::span<const VertexId> successors(VertexId v) const {
+    return succ_[v.index()];
+  }
+  [[nodiscard]] std::span<const VertexId> predecessors(VertexId v) const {
+    return pred_[v.index()];
+  }
+
+  [[nodiscard]] bool has_edge(VertexId from, VertexId to) const;
+
+ private:
+  std::vector<std::vector<VertexId>> succ_;
+  std::vector<std::vector<VertexId>> pred_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace siwa::graph

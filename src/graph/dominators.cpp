@@ -1,0 +1,116 @@
+#include "graph/dominators.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace siwa::graph {
+namespace {
+
+// Reverse postorder of vertices reachable from entry (iterative DFS).
+std::vector<VertexId> reverse_postorder(const Digraph& g, VertexId entry) {
+  const std::size_t n = g.vertex_count();
+  std::vector<bool> seen(n, false);
+  std::vector<VertexId> postorder;
+  postorder.reserve(n);
+
+  struct Frame {
+    std::size_t vertex;
+    std::size_t next;
+  };
+  std::vector<Frame> stack{{entry.index(), 0}};
+  seen[entry.index()] = true;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto succs = g.successors(VertexId(f.vertex));
+    if (f.next < succs.size()) {
+      const VertexId w = succs[f.next++];
+      if (!seen[w.index()]) {
+        seen[w.index()] = true;
+        stack.push_back({w.index(), 0});
+      }
+    } else {
+      postorder.push_back(VertexId(f.vertex));
+      stack.pop_back();
+    }
+  }
+  std::reverse(postorder.begin(), postorder.end());
+  return postorder;
+}
+
+}  // namespace
+
+Dominators::Dominators(const Digraph& g, VertexId entry) {
+  const std::size_t n = g.vertex_count();
+  SIWA_REQUIRE(entry.valid() && entry.index() < n, "bad dominator entry");
+  idom_.assign(n, VertexId::invalid());
+
+  const std::vector<VertexId> rpo = reverse_postorder(g, entry);
+  std::vector<std::int32_t> rpo_number(n, -1);
+  for (std::size_t i = 0; i < rpo.size(); ++i)
+    rpo_number[rpo[i].index()] = static_cast<std::int32_t>(i);
+
+  idom_[entry.index()] = entry;
+
+  auto intersect = [&](VertexId a, VertexId b) {
+    while (a != b) {
+      while (rpo_number[a.index()] > rpo_number[b.index()])
+        a = idom_[a.index()];
+      while (rpo_number[b.index()] > rpo_number[a.index()])
+        b = idom_[b.index()];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v : rpo) {
+      if (v == entry) continue;
+      VertexId new_idom = VertexId::invalid();
+      for (VertexId p : g.predecessors(v)) {
+        if (!idom_[p.index()].valid()) continue;  // p not yet processed
+        new_idom = new_idom.valid() ? intersect(new_idom, p) : p;
+      }
+      if (new_idom.valid() && idom_[v.index()] != new_idom) {
+        idom_[v.index()] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  // Euler tour of the dominator tree.
+  tree_in_.assign(n, -1);
+  tree_out_.assign(n, -1);
+  std::vector<std::vector<VertexId>> children(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    const VertexId d = idom_[v];
+    if (d.valid() && d.index() != v) children[d.index()].push_back(VertexId(v));
+  }
+  int clock = 0;
+  struct Frame {
+    std::size_t vertex;
+    std::size_t next;
+  };
+  std::vector<Frame> stack{{entry.index(), 0}};
+  tree_in_[entry.index()] = clock++;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next < children[f.vertex].size()) {
+      const VertexId c = children[f.vertex][f.next++];
+      tree_in_[c.index()] = clock++;
+      stack.push_back({c.index(), 0});
+    } else {
+      tree_out_[f.vertex] = clock++;
+      stack.pop_back();
+    }
+  }
+}
+
+bool Dominators::dominates(VertexId a, VertexId b) const {
+  if (!reachable(a) || !reachable(b)) return false;
+  return tree_in_[a.index()] <= tree_in_[b.index()] &&
+         tree_out_[b.index()] <= tree_out_[a.index()];
+}
+
+}  // namespace siwa::graph

@@ -1,0 +1,36 @@
+// Dominator tree (Cooper–Harvey–Kennedy iterative algorithm).
+//
+// Precedence rule R1 needs "r dominates s in the task CFG"; loop detection
+// needs back edges (head dominates tail). Vertices unreachable from the
+// entry get no dominator and dominates() is false for them.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace siwa::graph {
+
+class Dominators {
+ public:
+  Dominators(const Digraph& g, VertexId entry);
+
+  // idom of the entry is the entry itself; unreachable vertices report
+  // an invalid id.
+  [[nodiscard]] VertexId idom(VertexId v) const { return idom_[v.index()]; }
+
+  // Reflexive: dominates(v, v) is true for reachable v.
+  [[nodiscard]] bool dominates(VertexId a, VertexId b) const;
+
+  [[nodiscard]] bool reachable(VertexId v) const {
+    return idom_[v.index()].valid();
+  }
+
+ private:
+  std::vector<VertexId> idom_;
+  // Euler-tour numbering of the dominator tree for O(1) dominates() queries.
+  std::vector<int> tree_in_;
+  std::vector<int> tree_out_;
+};
+
+}  // namespace siwa::graph

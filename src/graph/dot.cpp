@@ -1,0 +1,20 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace siwa::graph {
+
+std::string to_dot(const Digraph& g, const std::string& name,
+                   const std::function<std::string(VertexId)>& label) {
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n";
+  for (std::size_t v = 0; v < g.vertex_count(); ++v)
+    os << "  n" << v << " [label=\"" << label(VertexId(v)) << "\"];\n";
+  for (std::size_t v = 0; v < g.vertex_count(); ++v)
+    for (VertexId w : g.successors(VertexId(v)))
+      os << "  n" << v << " -> n" << w.index() << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace siwa::graph

@@ -1,0 +1,15 @@
+// Graphviz DOT export for generic digraphs (debugging aid; the sync graph
+// and CLG have richer exporters in syncgraph/export.h).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace siwa::graph {
+
+std::string to_dot(const Digraph& g, const std::string& name,
+                   const std::function<std::string(VertexId)>& label);
+
+}  // namespace siwa::graph

@@ -1,0 +1,72 @@
+#include "graph/reachability.h"
+
+namespace siwa::graph {
+
+Reachability::Reachability(const Digraph& g) : matrix_(g.vertex_count()) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> stack;
+  for (std::size_t src = 0; src < n; ++src) {
+    DynamicBitset& row = matrix_.row(src);
+    stack.clear();
+    // Seed with direct successors so that reaches(v, v) holds only via a
+    // genuine cycle, not trivially.
+    for (VertexId w : g.successors(VertexId(src))) {
+      if (!row.test(w.index())) {
+        row.set(w.index());
+        stack.push_back(w.index());
+      }
+    }
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      for (VertexId w : g.successors(VertexId(v))) {
+        if (!row.test(w.index())) {
+          row.set(w.index());
+          stack.push_back(w.index());
+        }
+      }
+    }
+  }
+}
+
+DynamicBitset reachable_from(const Digraph& g, VertexId start) {
+  DynamicBitset seen(g.vertex_count());
+  std::vector<std::size_t> stack{start.index()};
+  seen.set(start.index());
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (VertexId w : g.successors(VertexId(v))) {
+      if (!seen.test(w.index())) {
+        seen.set(w.index());
+        stack.push_back(w.index());
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<VertexId> topological_order(const Digraph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> indegree(n, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    for (VertexId w : g.successors(VertexId(v))) ++indegree[w.index()];
+
+  std::vector<VertexId> order;
+  order.reserve(n);
+  std::vector<std::size_t> ready;
+  for (std::size_t v = 0; v < n; ++v)
+    if (indegree[v] == 0) ready.push_back(v);
+
+  while (!ready.empty()) {
+    const std::size_t v = ready.back();
+    ready.pop_back();
+    order.push_back(VertexId(v));
+    for (VertexId w : g.successors(VertexId(v)))
+      if (--indegree[w.index()] == 0) ready.push_back(w.index());
+  }
+  if (order.size() != n) order.clear();  // cycle
+  return order;
+}
+
+}  // namespace siwa::graph

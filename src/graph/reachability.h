@@ -1,0 +1,42 @@
+// Reachability queries.
+//
+// reaches(a, b) means "there is a path of >= 1 edge from a to b". The
+// precedence analysis and the wave classifier both need many point queries,
+// so the closure is materialized as a bit matrix: one DFS per vertex,
+// O(V * (V + E)) time and V^2 bits of space — fine at sync-graph scale
+// (thousands of nodes).
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "support/bitset.h"
+
+namespace siwa::graph {
+
+class Reachability {
+ public:
+  Reachability() = default;
+  explicit Reachability(const Digraph& g);
+
+  // Path of length >= 1 from a to b (so reaches(v, v) is true only if v is
+  // on a cycle).
+  [[nodiscard]] bool reaches(VertexId a, VertexId b) const {
+    return matrix_.test(a.index(), b.index());
+  }
+
+  [[nodiscard]] const DynamicBitset& reachable_set(VertexId a) const {
+    return matrix_.row(a.index());
+  }
+
+ private:
+  BitMatrix matrix_;
+};
+
+// Single-source reachable set (including the start vertex).
+DynamicBitset reachable_from(const Digraph& g, VertexId start);
+
+// Topological order of a DAG. Returns empty vector if the graph has a cycle.
+std::vector<VertexId> topological_order(const Digraph& g);
+
+}  // namespace siwa::graph

@@ -1,0 +1,20 @@
+#include "graph/scc.h"
+
+namespace siwa::graph {
+
+SccResult tarjan_scc(const Digraph& g) {
+  return tarjan_scc(g.vertex_count(), [&](std::size_t v, auto&& visit) {
+    for (VertexId w : g.successors(VertexId(v))) visit(w.index());
+  });
+}
+
+bool has_cycle(const Digraph& g) {
+  const SccResult scc = tarjan_scc(g);
+  for (std::size_t size : scc.component_size)
+    if (size > 1) return true;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v)
+    if (g.has_edge(VertexId(v), VertexId(v))) return true;
+  return false;
+}
+
+}  // namespace siwa::graph

@@ -1,0 +1,129 @@
+// Strongly connected components (iterative Tarjan).
+//
+// The refined detector runs Tarjan once per hypothesized head node over a
+// *filtered* view of the CLG, so the core algorithm is a template over any
+// callable that enumerates the successors of a vertex:
+//
+//   SccResult r = tarjan_scc(n, [&](std::size_t v, auto&& visit) { ... });
+//
+// Components are numbered in reverse topological order of the condensation
+// (Tarjan's natural output order): if component A has an edge to component B
+// then A's number is greater than B's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace siwa::graph {
+
+struct SccResult {
+  // component index per vertex; -1 for vertices the search never visited
+  // (possible when the caller restricts the roots).
+  std::vector<std::int32_t> component_of;
+  std::size_t component_count = 0;
+  // Size of each component.
+  std::vector<std::size_t> component_size;
+
+  [[nodiscard]] bool same_component(std::size_t a, std::size_t b) const {
+    return component_of[a] >= 0 && component_of[a] == component_of[b];
+  }
+};
+
+namespace detail {
+struct TarjanFrame {
+  std::size_t vertex;
+  std::size_t next_succ_slot;  // resume position inside the successor list
+};
+}  // namespace detail
+
+// ForEachSucc: void(std::size_t v, Visit visit) where visit(std::size_t w)
+// must be called for every successor w that the view exposes.
+// `roots`: if non-empty, only vertices reachable from these roots are
+// explored (others keep component_of == -1).
+template <class ForEachSucc>
+SccResult tarjan_scc(std::size_t n, ForEachSucc&& for_each_succ,
+                     const std::vector<std::size_t>& roots = {}) {
+  SccResult result;
+  result.component_of.assign(n, -1);
+
+  std::vector<std::int32_t> index(n, -1);
+  std::vector<std::int32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;          // Tarjan's component stack
+  std::vector<detail::TarjanFrame> frames; // explicit DFS stack
+  std::int32_t next_index = 0;
+
+  // Materializing successors per frame keeps the generic interface simple;
+  // the lists are short (CLG out-degree is bounded by sync fan-out).
+  std::vector<std::vector<std::size_t>> succ_cache(n);
+  std::vector<bool> succ_cached(n, false);
+  auto successors = [&](std::size_t v) -> const std::vector<std::size_t>& {
+    if (!succ_cached[v]) {
+      for_each_succ(v, [&](std::size_t w) { succ_cache[v].push_back(w); });
+      succ_cached[v] = true;
+    }
+    return succ_cache[v];
+  };
+
+  auto run_from = [&](std::size_t root) {
+    if (index[root] >= 0) return;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      auto& frame = frames.back();
+      const std::size_t v = frame.vertex;
+      const auto& succs = successors(v);
+      if (frame.next_succ_slot < succs.size()) {
+        const std::size_t w = succs[frame.next_succ_slot++];
+        if (index[w] < 0) {
+          frames.push_back({w, 0});
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+        } else if (on_stack[w]) {
+          if (index[w] < lowlink[v]) lowlink[v] = index[w];
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          const std::size_t parent = frames.back().vertex;
+          if (lowlink[v] < lowlink[parent]) lowlink[parent] = lowlink[v];
+        }
+        if (lowlink[v] == index[v]) {
+          const auto comp = static_cast<std::int32_t>(result.component_count++);
+          std::size_t size = 0;
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] = comp;
+            ++size;
+            if (w == v) break;
+          }
+          result.component_size.push_back(size);
+        }
+      }
+    }
+  };
+
+  if (roots.empty()) {
+    for (std::size_t v = 0; v < n; ++v) run_from(v);
+  } else {
+    for (std::size_t r : roots) run_from(r);
+  }
+  return result;
+}
+
+// SCC of a whole Digraph.
+SccResult tarjan_scc(const Digraph& g);
+
+// True if the digraph contains a directed cycle (an SCC of size > 1, or a
+// self-loop).
+bool has_cycle(const Digraph& g);
+
+}  // namespace siwa::graph

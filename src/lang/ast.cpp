@@ -1,0 +1,125 @@
+#include "lang/ast.h"
+
+#include <algorithm>
+
+namespace siwa::lang {
+
+bool Program::is_shared_condition(Symbol c) const {
+  return std::find(shared_conditions.begin(), shared_conditions.end(), c) !=
+         shared_conditions.end();
+}
+
+const TaskDecl* Program::find_task(Symbol name) const {
+  for (const auto& t : tasks)
+    if (t.name == name) return &t;
+  return nullptr;
+}
+
+const ProcDecl* Program::find_procedure(Symbol name) const {
+  for (const auto& p : procedures)
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+namespace {
+bool list_has_calls(const std::vector<Stmt>& stmts) {
+  for (const Stmt& s : stmts) {
+    if (s.kind == StmtKind::Call) return true;
+    if (list_has_calls(s.body) || list_has_calls(s.orelse)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+bool Program::has_calls() const {
+  for (const auto& t : tasks)
+    if (list_has_calls(t.body)) return true;
+  return false;
+}
+
+Stmt make_send(Symbol target, Symbol message, SourceLoc loc) {
+  Stmt s;
+  s.kind = StmtKind::Send;
+  s.loc = loc;
+  s.target = target;
+  s.message = message;
+  return s;
+}
+
+Stmt make_accept(Symbol message, SourceLoc loc) {
+  Stmt s;
+  s.kind = StmtKind::Accept;
+  s.loc = loc;
+  s.message = message;
+  return s;
+}
+
+Stmt make_if(Symbol cond, std::vector<Stmt> then_branch,
+             std::vector<Stmt> else_branch, SourceLoc loc) {
+  Stmt s;
+  s.kind = StmtKind::If;
+  s.loc = loc;
+  s.cond = cond;
+  s.body = std::move(then_branch);
+  s.orelse = std::move(else_branch);
+  return s;
+}
+
+Stmt make_while(Symbol cond, std::vector<Stmt> body, SourceLoc loc) {
+  Stmt s;
+  s.kind = StmtKind::While;
+  s.loc = loc;
+  s.cond = cond;
+  s.body = std::move(body);
+  return s;
+}
+
+Stmt make_call(Symbol procedure, SourceLoc loc) {
+  Stmt s;
+  s.kind = StmtKind::Call;
+  s.loc = loc;
+  s.target = procedure;
+  return s;
+}
+
+Stmt make_null(SourceLoc loc) {
+  Stmt s;
+  s.kind = StmtKind::Null;
+  s.loc = loc;
+  return s;
+}
+
+namespace {
+void visit_stats(const std::vector<Stmt>& stmts, std::size_t loop_depth,
+                 AstStats& stats) {
+  for (const Stmt& s : stmts) {
+    ++stats.statements;
+    switch (s.kind) {
+      case StmtKind::Send:
+      case StmtKind::Accept:
+        ++stats.rendezvous_points;
+        break;
+      case StmtKind::If:
+        visit_stats(s.body, loop_depth, stats);
+        visit_stats(s.orelse, loop_depth, stats);
+        break;
+      case StmtKind::While:
+        ++stats.loops;
+        stats.max_loop_nesting = std::max(stats.max_loop_nesting, loop_depth + 1);
+        visit_stats(s.body, loop_depth + 1, stats);
+        break;
+      case StmtKind::Call:
+      case StmtKind::Null:
+        break;
+    }
+  }
+}
+}  // namespace
+
+AstStats compute_stats(const Program& program) {
+  AstStats stats;
+  for (const auto& t : program.tasks) visit_stats(t.body, 0, stats);
+  return stats;
+}
+
+}  // namespace siwa::lang

@@ -1,0 +1,98 @@
+// MiniAda abstract syntax.
+//
+// The AST is deliberately value-semantic (statements own their children in
+// vectors) because the anomaly-preserving transforms of the paper — Lemma 1
+// loop unrolling and the section 5.1 stall transforms — are implemented as
+// tree-to-tree rewrites that duplicate subtrees.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.h"
+#include "support/interner.h"
+
+namespace siwa::lang {
+
+enum class StmtKind {
+  Send,    // send <task>.<message>;        rendezvous point (t, m, +)
+  Accept,  // accept <message>;             rendezvous point (self, m, -)
+  If,      // if <cond> then ... [else ...] end if;
+  While,   // while <cond> loop ... end loop;
+  Call,    // call <procedure>;  (expanded by transform/inline.h before
+           //  any analysis — the paper's interprocedural extension done
+           //  by static inlining of non-recursive procedures)
+  Null,    // null;  (no rendezvous; disappears from the sync graph)
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::Null;
+  SourceLoc loc;
+
+  // Send: target = receiving task, message = entry name.
+  // Accept: message = entry name.
+  // Call: target = procedure name.
+  // If / While: cond = opaque condition name. Conditions declared
+  //   `shared condition c;` are *encapsulated booleans* in the sense of
+  //   section 5.1: every task that branches on `c` sees the same value.
+  Symbol target;
+  Symbol message;
+  Symbol cond;
+
+  std::vector<Stmt> body;    // If: then-branch. While: loop body.
+  std::vector<Stmt> orelse;  // If: else-branch (empty when absent).
+
+  [[nodiscard]] bool is_rendezvous() const {
+    return kind == StmtKind::Send || kind == StmtKind::Accept;
+  }
+};
+
+struct TaskDecl {
+  Symbol name;
+  SourceLoc loc;
+  std::vector<Stmt> body;
+};
+
+// `procedure p is begin ... end p;` — a reusable statement sequence.
+// Accepts inside a procedure bind to whichever task calls it.
+struct ProcDecl {
+  Symbol name;
+  SourceLoc loc;
+  std::vector<Stmt> body;
+};
+
+struct Program {
+  Interner interner;
+  std::vector<TaskDecl> tasks;
+  std::vector<ProcDecl> procedures;
+  std::vector<Symbol> shared_conditions;
+
+  [[nodiscard]] bool is_shared_condition(Symbol c) const;
+  [[nodiscard]] const TaskDecl* find_task(Symbol name) const;
+  [[nodiscard]] const ProcDecl* find_procedure(Symbol name) const;
+  [[nodiscard]] bool has_calls() const;
+  [[nodiscard]] std::string_view name_of(Symbol s) const {
+    return interner.text(s);
+  }
+};
+
+// Statement constructors for programmatic program building (generators,
+// tests). The interner lives in the Program; symbols must come from it.
+Stmt make_send(Symbol target, Symbol message, SourceLoc loc = {});
+Stmt make_accept(Symbol message, SourceLoc loc = {});
+Stmt make_if(Symbol cond, std::vector<Stmt> then_branch,
+             std::vector<Stmt> else_branch = {}, SourceLoc loc = {});
+Stmt make_while(Symbol cond, std::vector<Stmt> body, SourceLoc loc = {});
+Stmt make_call(Symbol procedure, SourceLoc loc = {});
+Stmt make_null(SourceLoc loc = {});
+
+// Structural statistics used by the unrolling cost experiment (E11).
+struct AstStats {
+  std::size_t statements = 0;        // all statements, any nesting
+  std::size_t rendezvous_points = 0; // send + accept statements
+  std::size_t loops = 0;
+  std::size_t max_loop_nesting = 0;
+};
+AstStats compute_stats(const Program& program);
+
+}  // namespace siwa::lang

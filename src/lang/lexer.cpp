@@ -1,0 +1,141 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace siwa::lang {
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"task", TokenKind::KwTask},       {"is", TokenKind::KwIs},
+      {"begin", TokenKind::KwBegin},     {"end", TokenKind::KwEnd},
+      {"send", TokenKind::KwSend},       {"accept", TokenKind::KwAccept},
+      {"if", TokenKind::KwIf},           {"then", TokenKind::KwThen},
+      {"elsif", TokenKind::KwElsif},     {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"loop", TokenKind::KwLoop},
+      {"null", TokenKind::KwNull},       {"shared", TokenKind::KwShared},
+      {"condition", TokenKind::KwCondition},
+      {"procedure", TokenKind::KwProcedure},
+      {"call", TokenKind::KwCall},
+      {"for", TokenKind::KwFor},
+  };
+  return table;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer";
+    case TokenKind::KwTask: return "'task'";
+    case TokenKind::KwIs: return "'is'";
+    case TokenKind::KwBegin: return "'begin'";
+    case TokenKind::KwEnd: return "'end'";
+    case TokenKind::KwSend: return "'send'";
+    case TokenKind::KwAccept: return "'accept'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwThen: return "'then'";
+    case TokenKind::KwElsif: return "'elsif'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwWhile: return "'while'";
+    case TokenKind::KwLoop: return "'loop'";
+    case TokenKind::KwNull: return "'null'";
+    case TokenKind::KwShared: return "'shared'";
+    case TokenKind::KwCondition: return "'condition'";
+    case TokenKind::KwProcedure: return "'procedure'";
+    case TokenKind::KwCall: return "'call'";
+    case TokenKind::KwFor: return "'for'";
+    case TokenKind::Semicolon: return "';'";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::EndOfFile: return "end of file";
+    case TokenKind::Invalid: return "invalid token";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    const SourceLoc loc{line, column};
+
+    if (c == '\n' || c == ' ' || c == '\t' || c == '\r') {
+      advance();
+      continue;
+    }
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '-') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (c == ';') {
+      tokens.push_back({TokenKind::Semicolon, ";", loc});
+      advance();
+      continue;
+    }
+    if (c == '.') {
+      tokens.push_back({TokenKind::Dot, ".", loc});
+      advance();
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back({TokenKind::Comma, ",", loc});
+      advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        text.push_back(source[i]);
+        advance();
+      }
+      tokens.push_back({TokenKind::IntLiteral, text, loc});
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::string text;
+      while (i < source.size() && is_ident_char(source[i])) {
+        text.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(source[i]))));
+        advance();
+      }
+      const auto& kw = keyword_table();
+      auto it = kw.find(text);
+      tokens.push_back(
+          {it == kw.end() ? TokenKind::Identifier : it->second, text, loc});
+      continue;
+    }
+    sink.error(loc, "unexpected character '" + std::string(1, c) + "'");
+    advance();
+  }
+  tokens.push_back({TokenKind::EndOfFile, "", SourceLoc{line, column}});
+  return tokens;
+}
+
+}  // namespace siwa::lang

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+#include "support/diagnostics.h"
+
+namespace siwa::lang {
+
+// Tokenizes MiniAda source. Ada-style `--` comments run to end of line.
+// Unknown characters produce one diagnostic each and are skipped.
+std::vector<Token> lex(std::string_view source, DiagnosticSink& sink);
+
+}  // namespace siwa::lang

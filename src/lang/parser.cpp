@@ -1,0 +1,296 @@
+#include "lang/parser.h"
+
+#include <string>
+
+#include "lang/lexer.h"
+#include "lang/sema.h"
+
+namespace siwa::lang {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticSink& sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
+
+  std::optional<Program> parse() {
+    Program program;
+    while (!at(TokenKind::EndOfFile)) {
+      if (at(TokenKind::KwShared)) {
+        parse_shared_decl(program);
+      } else if (at(TokenKind::KwTask)) {
+        auto task = parse_task(program);
+        if (task) program.tasks.push_back(std::move(*task));
+      } else if (at(TokenKind::KwProcedure)) {
+        auto proc = parse_procedure(program);
+        if (proc) program.procedures.push_back(std::move(*proc));
+      } else {
+        error("expected 'task', 'procedure' or 'shared' declaration");
+        advance();
+      }
+    }
+    if (sink_.has_errors()) return std::nullopt;
+    return program;
+  }
+
+ private:
+  [[nodiscard]] const Token& current() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokenKind kind) const { return current().kind == kind; }
+
+  void advance() {
+    if (!at(TokenKind::EndOfFile)) ++pos_;
+  }
+
+  void error(const std::string& message) {
+    sink_.error(current().loc, message + " (found " +
+                                   std::string(token_kind_name(current().kind)) +
+                                   ")");
+  }
+
+  bool expect(TokenKind kind, const char* what) {
+    if (at(kind)) {
+      advance();
+      return true;
+    }
+    error(std::string("expected ") + what);
+    return false;
+  }
+
+  std::optional<Symbol> expect_identifier(Program& program, const char* what) {
+    if (!at(TokenKind::Identifier)) {
+      error(std::string("expected ") + what);
+      return std::nullopt;
+    }
+    const Symbol sym = program.interner.intern(current().text);
+    advance();
+    return sym;
+  }
+
+  void parse_shared_decl(Program& program) {
+    advance();  // 'shared'
+    expect(TokenKind::KwCondition, "'condition'");
+    while (true) {
+      auto name = expect_identifier(program, "condition name");
+      if (name) program.shared_conditions.push_back(*name);
+      if (at(TokenKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::Semicolon, "';'");
+  }
+
+  std::optional<TaskDecl> parse_task(Program& program) {
+    const SourceLoc loc = current().loc;
+    advance();  // 'task'
+    auto name = expect_identifier(program, "task name");
+    if (!name) return std::nullopt;
+    expect(TokenKind::KwIs, "'is'");
+    expect(TokenKind::KwBegin, "'begin'");
+
+    TaskDecl task;
+    task.name = *name;
+    task.loc = loc;
+    task.body = parse_statements(program);
+
+    expect(TokenKind::KwEnd, "'end'");
+    if (at(TokenKind::Identifier)) {
+      const Symbol end_name = program.interner.intern(current().text);
+      if (end_name != task.name)
+        sink_.error(current().loc,
+                    "end name '" + current().text + "' does not match task '" +
+                        std::string(program.name_of(task.name)) + "'");
+      advance();
+    }
+    expect(TokenKind::Semicolon, "';'");
+    return task;
+  }
+
+  std::optional<ProcDecl> parse_procedure(Program& program) {
+    const SourceLoc loc = current().loc;
+    advance();  // 'procedure'
+    auto name = expect_identifier(program, "procedure name");
+    if (!name) return std::nullopt;
+    expect(TokenKind::KwIs, "'is'");
+    expect(TokenKind::KwBegin, "'begin'");
+    ProcDecl proc;
+    proc.name = *name;
+    proc.loc = loc;
+    proc.body = parse_statements(program);
+    expect(TokenKind::KwEnd, "'end'");
+    if (at(TokenKind::Identifier)) {
+      const Symbol end_name = program.interner.intern(current().text);
+      if (end_name != proc.name)
+        sink_.error(current().loc, "end name '" + current().text +
+                                       "' does not match procedure '" +
+                                       std::string(program.name_of(proc.name)) +
+                                       "'");
+      advance();
+    }
+    expect(TokenKind::Semicolon, "';'");
+    return proc;
+  }
+
+  // Parses statements until a token that terminates a statement list
+  // ('end', 'elsif', 'else', EOF).
+  std::vector<Stmt> parse_statements(Program& program) {
+    std::vector<Stmt> stmts;
+    while (!at(TokenKind::KwEnd) && !at(TokenKind::KwElsif) &&
+           !at(TokenKind::KwElse) && !at(TokenKind::EndOfFile)) {
+      auto stmt = parse_statement(program);
+      if (stmt) {
+        if (stmt->kind == StmtKind::Null && !stmt->body.empty()) {
+          // `for` replication carrier: splice the replicated body.
+          for (auto& inner : stmt->body) stmts.push_back(std::move(inner));
+        } else {
+          stmts.push_back(std::move(*stmt));
+        }
+      } else {
+        // Recovery: skip to the next ';' and resume.
+        while (!at(TokenKind::Semicolon) && !at(TokenKind::EndOfFile)) advance();
+        if (at(TokenKind::Semicolon)) advance();
+      }
+    }
+    return stmts;
+  }
+
+  std::optional<Stmt> parse_statement(Program& program) {
+    const SourceLoc loc = current().loc;
+    switch (current().kind) {
+      case TokenKind::KwSend: {
+        advance();
+        auto target = expect_identifier(program, "target task name");
+        if (!target) return std::nullopt;
+        if (!expect(TokenKind::Dot, "'.'")) return std::nullopt;
+        auto message = expect_identifier(program, "message name");
+        if (!message) return std::nullopt;
+        if (!expect(TokenKind::Semicolon, "';'")) return std::nullopt;
+        return make_send(*target, *message, loc);
+      }
+      case TokenKind::KwAccept: {
+        advance();
+        auto message = expect_identifier(program, "message name");
+        if (!message) return std::nullopt;
+        if (!expect(TokenKind::Semicolon, "';'")) return std::nullopt;
+        return make_accept(*message, loc);
+      }
+      case TokenKind::KwNull: {
+        advance();
+        if (!expect(TokenKind::Semicolon, "';'")) return std::nullopt;
+        return make_null(loc);
+      }
+      case TokenKind::KwCall: {
+        advance();
+        auto target = expect_identifier(program, "procedure name");
+        if (!target) return std::nullopt;
+        if (!expect(TokenKind::Semicolon, "';'")) return std::nullopt;
+        return make_call(*target, loc);
+      }
+      case TokenKind::KwFor: {
+        // `for N loop ... end loop;` is sugar: the body is replicated N
+        // times at parse time (static repetition, consistent with the
+        // model's statically known structure).
+        advance();
+        if (!at(TokenKind::IntLiteral)) {
+          error("expected an integer repetition count");
+          return std::nullopt;
+        }
+        const long count = std::stol(current().text);
+        const SourceLoc count_loc = current().loc;
+        advance();
+        expect(TokenKind::KwLoop, "'loop'");
+        std::vector<Stmt> body = parse_statements(program);
+        expect(TokenKind::KwEnd, "'end'");
+        expect(TokenKind::KwLoop, "'loop'");
+        expect(TokenKind::Semicolon, "';'");
+        if (count < 1 || count > 64) {
+          sink_.error(count_loc, "for-loop count must be in [1, 64]");
+          return std::nullopt;
+        }
+        // Carrier: a Null statement holding the replicated sequence in its
+        // body; parse_statements splices it into the surrounding list.
+        Stmt carrier;
+        carrier.kind = StmtKind::Null;
+        carrier.loc = loc;
+        for (long k = 0; k < count; ++k)
+          for (const Stmt& s : body) carrier.body.push_back(s);
+        return carrier;
+      }
+      case TokenKind::KwIf:
+        return parse_if(program, /*is_elsif=*/false);
+      case TokenKind::KwWhile: {
+        advance();
+        auto cond = expect_identifier(program, "condition name");
+        if (!cond) return std::nullopt;
+        expect(TokenKind::KwLoop, "'loop'");
+        std::vector<Stmt> body = parse_statements(program);
+        expect(TokenKind::KwEnd, "'end'");
+        expect(TokenKind::KwLoop, "'loop'");
+        expect(TokenKind::Semicolon, "';'");
+        return make_while(*cond, std::move(body), loc);
+      }
+      default:
+        error("expected a statement");
+        return std::nullopt;
+    }
+  }
+
+  // An elsif chain desugars to a nested if in the else branch.
+  std::optional<Stmt> parse_if(Program& program, bool is_elsif) {
+    const SourceLoc loc = current().loc;
+    advance();  // 'if' or 'elsif'
+    auto cond = expect_identifier(program, "condition name");
+    if (!cond) return std::nullopt;
+    expect(TokenKind::KwThen, "'then'");
+    std::vector<Stmt> then_branch = parse_statements(program);
+    std::vector<Stmt> else_branch;
+
+    if (at(TokenKind::KwElsif)) {
+      auto nested = parse_if(program, /*is_elsif=*/true);
+      if (!nested) return std::nullopt;
+      else_branch.push_back(std::move(*nested));
+      if (!is_elsif) {
+        expect(TokenKind::KwEnd, "'end'");
+        expect(TokenKind::KwIf, "'if'");
+        expect(TokenKind::Semicolon, "';'");
+      }
+      return make_if(*cond, std::move(then_branch), std::move(else_branch), loc);
+    }
+    if (at(TokenKind::KwElse)) {
+      advance();
+      else_branch = parse_statements(program);
+    }
+    if (!is_elsif) {
+      expect(TokenKind::KwEnd, "'end'");
+      expect(TokenKind::KwIf, "'if'");
+      expect(TokenKind::Semicolon, "';'");
+    }
+    return make_if(*cond, std::move(then_branch), std::move(else_branch), loc);
+  }
+
+  std::vector<Token> tokens_;
+  DiagnosticSink& sink_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Program> parse_program(std::string_view source,
+                                     DiagnosticSink& sink) {
+  std::vector<Token> tokens = lex(source, sink);
+  if (sink.has_errors()) return std::nullopt;
+  return Parser(std::move(tokens), sink).parse();
+}
+
+Program parse_and_check_or_throw(std::string_view source) {
+  DiagnosticSink sink;
+  auto program = parse_program(source, sink);
+  if (!program) throw FrontendError("parse failed:\n" + sink.to_string());
+  check_program(*program, sink);
+  if (sink.has_errors())
+    throw FrontendError("semantic check failed:\n" + sink.to_string());
+  return std::move(*program);
+}
+
+}  // namespace siwa::lang

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace siwa::lang {
+
+// Parses a MiniAda compilation unit. Returns nullopt (with diagnostics in
+// the sink) on any syntax error; recovery is per-statement so multiple
+// errors are reported in one pass.
+std::optional<Program> parse_program(std::string_view source,
+                                     DiagnosticSink& sink);
+
+// Convenience wrapper for tests/examples: throws FrontendError carrying all
+// diagnostics if parsing or semantic analysis fails.
+Program parse_and_check_or_throw(std::string_view source);
+
+}  // namespace siwa::lang

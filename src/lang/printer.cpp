@@ -1,0 +1,90 @@
+#include "lang/printer.h"
+
+#include <sstream>
+
+namespace siwa::lang {
+namespace {
+
+void print_stmts(const Program& p, const std::vector<Stmt>& stmts, int indent,
+                 std::ostringstream& os);
+
+void print_stmt(const Program& p, const Stmt& s, int indent,
+                std::ostringstream& os) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::Send:
+      os << pad << "send " << p.name_of(s.target) << '.' << p.name_of(s.message)
+         << ";\n";
+      break;
+    case StmtKind::Accept:
+      os << pad << "accept " << p.name_of(s.message) << ";\n";
+      break;
+    case StmtKind::Null:
+      os << pad << "null;\n";
+      break;
+    case StmtKind::Call:
+      os << pad << "call " << p.name_of(s.target) << ";\n";
+      break;
+    case StmtKind::If:
+      os << pad << "if " << p.name_of(s.cond) << " then\n";
+      print_stmts(p, s.body, indent + 1, os);
+      if (!s.orelse.empty()) {
+        os << pad << "else\n";
+        print_stmts(p, s.orelse, indent + 1, os);
+      }
+      os << pad << "end if;\n";
+      break;
+    case StmtKind::While:
+      os << pad << "while " << p.name_of(s.cond) << " loop\n";
+      print_stmts(p, s.body, indent + 1, os);
+      os << pad << "end loop;\n";
+      break;
+  }
+}
+
+void print_stmts(const Program& p, const std::vector<Stmt>& stmts, int indent,
+                 std::ostringstream& os) {
+  if (stmts.empty()) {
+    os << std::string(static_cast<std::size_t>(indent) * 2, ' ') << "null;\n";
+    return;
+  }
+  for (const Stmt& s : stmts) print_stmt(p, s, indent, os);
+}
+
+}  // namespace
+
+std::string print_statements(const Program& program,
+                             const std::vector<Stmt>& stmts, int indent) {
+  std::ostringstream os;
+  print_stmts(program, stmts, indent, os);
+  return os.str();
+}
+
+std::string print_program(const Program& program) {
+  std::ostringstream os;
+  if (!program.shared_conditions.empty()) {
+    os << "shared condition ";
+    for (std::size_t i = 0; i < program.shared_conditions.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << program.name_of(program.shared_conditions[i]);
+    }
+    os << ";\n\n";
+  }
+  for (const auto& proc : program.procedures) {
+    os << "procedure " << program.name_of(proc.name) << " is\nbegin\n";
+    std::ostringstream body;
+    print_stmts(program, proc.body, 1, body);
+    os << body.str();
+    os << "end " << program.name_of(proc.name) << ";\n\n";
+  }
+  for (const auto& task : program.tasks) {
+    os << "task " << program.name_of(task.name) << " is\nbegin\n";
+    std::ostringstream body;
+    print_stmts(program, task.body, 1, body);
+    os << body.str();
+    os << "end " << program.name_of(task.name) << ";\n\n";
+  }
+  return os.str();
+}
+
+}  // namespace siwa::lang

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace siwa::lang {
+
+// Renders a program back to parseable MiniAda source. print -> parse is the
+// identity on the AST (round-trip tested), which also makes transformed
+// programs (unrolled, merged) inspectable.
+std::string print_program(const Program& program);
+std::string print_statements(const Program& program,
+                             const std::vector<Stmt>& stmts, int indent);
+
+}  // namespace siwa::lang

@@ -1,0 +1,125 @@
+#include "lang/sema.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace siwa::lang {
+namespace {
+
+void check_statements(const Program& program, Symbol enclosing_task,
+                      const std::vector<Stmt>& stmts, DiagnosticSink& sink) {
+  for (const Stmt& s : stmts) {
+    switch (s.kind) {
+      case StmtKind::Send:
+        if (program.find_task(s.target) == nullptr) {
+          sink.error(s.loc, "send targets unknown task '" +
+                                std::string(program.name_of(s.target)) + "'");
+        } else if (s.target == enclosing_task) {
+          sink.warning(s.loc,
+                       "task '" + std::string(program.name_of(enclosing_task)) +
+                           "' sends to itself; this rendezvous can never "
+                           "complete");
+        }
+        break;
+      case StmtKind::Accept:
+      case StmtKind::Null:
+        break;
+      case StmtKind::Call:
+        if (program.find_procedure(s.target) == nullptr)
+          sink.error(s.loc, "call targets unknown procedure '" +
+                                std::string(program.name_of(s.target)) + "'");
+        break;
+      case StmtKind::If:
+        check_statements(program, enclosing_task, s.body, sink);
+        check_statements(program, enclosing_task, s.orelse, sink);
+        break;
+      case StmtKind::While:
+        check_statements(program, enclosing_task, s.body, sink);
+        break;
+    }
+  }
+}
+
+void collect_callees(const std::vector<Stmt>& stmts,
+                     std::vector<Symbol>& out) {
+  for (const Stmt& s : stmts) {
+    if (s.kind == StmtKind::Call) out.push_back(s.target);
+    collect_callees(s.body, out);
+    collect_callees(s.orelse, out);
+  }
+}
+
+// DFS over the procedure call graph; reports a cycle through `name`.
+bool procedure_recurses(const Program& program, Symbol name,
+                        std::vector<Symbol>& stack) {
+  for (Symbol on_stack : stack)
+    if (on_stack == name) return true;
+  const ProcDecl* proc = program.find_procedure(name);
+  if (proc == nullptr) return false;  // reported separately
+  stack.push_back(name);
+  std::vector<Symbol> callees;
+  collect_callees(proc->body, callees);
+  for (Symbol callee : callees)
+    if (procedure_recurses(program, callee, stack)) return true;
+  stack.pop_back();
+  return false;
+}
+
+}  // namespace
+
+bool check_program(const Program& program, DiagnosticSink& sink) {
+  const std::size_t errors_before = sink.error_count();
+
+  if (program.tasks.empty())
+    sink.error(SourceLoc{}, "program declares no tasks");
+
+  std::unordered_set<Symbol> names;
+  for (const auto& task : program.tasks) {
+    if (!names.insert(task.name).second)
+      sink.error(task.loc, "duplicate task name '" +
+                               std::string(program.name_of(task.name)) + "'");
+  }
+
+  std::unordered_set<Symbol> conds;
+  for (Symbol c : program.shared_conditions) {
+    if (!conds.insert(c).second)
+      sink.warning(SourceLoc{}, "shared condition '" +
+                                    std::string(program.name_of(c)) +
+                                    "' declared more than once");
+  }
+
+  std::unordered_set<Symbol> proc_names;
+  for (const auto& proc : program.procedures) {
+    if (!proc_names.insert(proc.name).second)
+      sink.error(proc.loc, "duplicate procedure name '" +
+                               std::string(program.name_of(proc.name)) + "'");
+    if (program.find_task(proc.name) != nullptr)
+      sink.error(proc.loc, "procedure '" +
+                               std::string(program.name_of(proc.name)) +
+                               "' shadows a task name");
+  }
+
+  for (const auto& task : program.tasks)
+    check_statements(program, task.name, task.body, sink);
+  // Procedure bodies: sends are checked per task at inline time for the
+  // self-send warning, but target existence and nested calls check here
+  // (enclosing task unknown: pass an invalid symbol so the self-send
+  // warning never fires spuriously).
+  for (const auto& proc : program.procedures)
+    check_statements(program, Symbol{}, proc.body, sink);
+
+  for (const auto& proc : program.procedures) {
+    std::vector<Symbol> stack;
+    if (procedure_recurses(program, proc.name, stack)) {
+      sink.error(proc.loc, "procedure '" +
+                               std::string(program.name_of(proc.name)) +
+                               "' is (mutually) recursive; static inlining "
+                               "requires an acyclic call graph");
+      break;
+    }
+  }
+
+  return sink.error_count() == errors_before;
+}
+
+}  // namespace siwa::lang

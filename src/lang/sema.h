@@ -1,0 +1,21 @@
+#pragma once
+
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace siwa::lang {
+
+// Semantic checks on a parsed program:
+//  - at least one task; task names unique;
+//  - every send targets a declared task;
+//  - a send to the sending task itself is legal but warned about (it can
+//    never rendezvous — the task would need to be at two nodes at once —
+//    so it is a guaranteed infinite wait);
+//  - duplicate shared-condition declarations are warned about;
+//  - every `call` names a declared procedure; procedure names are unique;
+//  - the procedure call graph is acyclic (recursion would make static
+//    inlining, and the paper's statically-known structure, impossible).
+// Reports through the sink; returns true when no errors were found.
+bool check_program(const Program& program, DiagnosticSink& sink);
+
+}  // namespace siwa::lang

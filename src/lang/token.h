@@ -1,0 +1,54 @@
+// Tokens of MiniAda, the Ada-rendezvous subset the paper analyzes:
+// statically created tasks, `send`/`accept` rendezvous (no select), opaque
+// conditions for `if`/`while`, and program-level `shared condition`
+// declarations used by the stall analysis's encapsulated-condition scheme
+// (paper section 5.1, second alternative).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.h"
+
+namespace siwa::lang {
+
+enum class TokenKind {
+  Identifier,
+  IntLiteral,
+  // keywords
+  KwTask,
+  KwIs,
+  KwBegin,
+  KwEnd,
+  KwSend,
+  KwAccept,
+  KwIf,
+  KwThen,
+  KwElsif,
+  KwElse,
+  KwWhile,
+  KwLoop,
+  KwNull,
+  KwShared,
+  KwCondition,
+  KwProcedure,
+  KwCall,
+  KwFor,
+  // punctuation
+  Semicolon,
+  Dot,
+  Comma,
+  EndOfFile,
+  Invalid,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::Invalid;
+  std::string text;  // identifier spelling (lowercased; MiniAda, like Ada,
+                     // is case-insensitive)
+  SourceLoc loc;
+};
+
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind);
+
+}  // namespace siwa::lang

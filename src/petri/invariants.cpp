@@ -1,0 +1,107 @@
+#include "petri/invariants.h"
+
+#include <numeric>
+
+namespace siwa::petri {
+namespace {
+
+// One working row: candidate invariant weights plus the residual row of
+// x^T C restricted to the not-yet-eliminated transitions.
+struct Row {
+  std::vector<std::int64_t> weights;   // per place
+  std::vector<std::int64_t> residual;  // per transition
+};
+
+void normalize(Row& row) {
+  std::int64_t g = 0;
+  for (std::int64_t w : row.weights) g = std::gcd(g, w);
+  for (std::int64_t r : row.residual) g = std::gcd(g, r);
+  if (g > 1) {
+    for (auto& w : row.weights) w /= g;
+    for (auto& r : row.residual) r /= g;
+  }
+}
+
+}  // namespace
+
+InvariantResult p_invariants(const PetriNet& net, std::size_t max_rows) {
+  InvariantResult result;
+  const auto c = net.incidence_matrix();
+  const std::size_t places = net.place_count();
+  const std::size_t transitions = net.transition_count();
+
+  // Farkas: start with the identity (each place alone), then for each
+  // transition column combine positive/negative rows to cancel it and keep
+  // rows already at zero.
+  std::vector<Row> rows;
+  rows.reserve(places);
+  for (std::size_t p = 0; p < places; ++p) {
+    Row row;
+    row.weights.assign(places, 0);
+    row.weights[p] = 1;
+    row.residual.assign(transitions, 0);
+    for (std::size_t t = 0; t < transitions; ++t)
+      row.residual[t] = c[p][t];
+    rows.push_back(std::move(row));
+  }
+
+  for (std::size_t t = 0; t < transitions; ++t) {
+    std::vector<Row> next;
+    std::vector<const Row*> positive;
+    std::vector<const Row*> negative;
+    for (const Row& row : rows) {
+      if (row.residual[t] == 0) {
+        next.push_back(row);
+      } else if (row.residual[t] > 0) {
+        positive.push_back(&row);
+      } else {
+        negative.push_back(&row);
+      }
+    }
+    for (const Row* pos : positive) {
+      for (const Row* neg : negative) {
+        if (next.size() >= max_rows) {
+          result.complete = false;
+          break;
+        }
+        Row combined;
+        const std::int64_t a = pos->residual[t];
+        const std::int64_t b = -neg->residual[t];
+        combined.weights.resize(places);
+        combined.residual.resize(transitions);
+        for (std::size_t p = 0; p < places; ++p)
+          combined.weights[p] = b * pos->weights[p] + a * neg->weights[p];
+        for (std::size_t k = 0; k < transitions; ++k)
+          combined.residual[k] = b * pos->residual[k] + a * neg->residual[k];
+        normalize(combined);
+        next.push_back(std::move(combined));
+      }
+      if (!result.complete) break;
+    }
+    rows = std::move(next);
+    if (!result.complete) break;
+  }
+
+  for (const Row& row : rows) {
+    std::vector<std::uint32_t> invariant(places);
+    bool nonzero = false;
+    for (std::size_t p = 0; p < places; ++p) {
+      invariant[p] = static_cast<std::uint32_t>(row.weights[p]);
+      nonzero |= row.weights[p] != 0;
+    }
+    if (nonzero) result.invariants.push_back(std::move(invariant));
+  }
+  return result;
+}
+
+bool covered_by_invariants(const PetriNet& net, const InvariantResult& result) {
+  std::vector<bool> covered(net.place_count(), false);
+  for (const auto& invariant : result.invariants)
+    for (std::size_t p = 0; p < invariant.size(); ++p)
+      if (invariant[p] > 0) covered[p] = true;
+  for (bool c : covered)
+    if (!c) return false;
+  return !covered.empty();
+}
+
+}  // namespace siwa::petri

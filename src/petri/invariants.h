@@ -1,0 +1,33 @@
+// P-invariant (place semiflow) computation via the Farkas algorithm.
+//
+// A P-invariant is a nonnegative integer vector x with x^T · C = 0 (C the
+// incidence matrix): the x-weighted token count is constant under firing.
+// [MSS89] builds its deadlock evidence from net invariants; SIWA uses them
+// descriptively: every task subnet of a translated sync graph should be
+// covered by the invariant "one token per task" (start + locations + done),
+// which doubles as a translation sanity check, and invariant-covered nets
+// are bounded, keeping the reachability baseline finite.
+#pragma once
+
+#include <vector>
+
+#include "petri/net.h"
+
+namespace siwa::petri {
+
+// Minimal-support nonnegative P-invariants (capped to keep the Farkas
+// growth in check; `complete` is false if the cap truncated the set).
+struct InvariantResult {
+  std::vector<std::vector<std::uint32_t>> invariants;  // weight per place
+  bool complete = true;
+};
+
+[[nodiscard]] InvariantResult p_invariants(const PetriNet& net,
+                                           std::size_t max_rows = 4096);
+
+// True when every place has a positive weight in some invariant (the net
+// is conservative/bounded).
+[[nodiscard]] bool covered_by_invariants(const PetriNet& net,
+                                         const InvariantResult& result);
+
+}  // namespace siwa::petri

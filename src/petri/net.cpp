@@ -1,0 +1,65 @@
+#include "petri/net.h"
+
+#include "support/require.h"
+
+namespace siwa::petri {
+
+PlaceId PetriNet::add_place(std::string name, std::uint32_t initial_tokens) {
+  place_names_.push_back(std::move(name));
+  initial_.push_back(initial_tokens);
+  return PlaceId(place_names_.size() - 1);
+}
+
+TransitionId PetriNet::add_transition(std::string name) {
+  transition_names_.push_back(std::move(name));
+  inputs_.emplace_back();
+  outputs_.emplace_back();
+  return TransitionId(transition_names_.size() - 1);
+}
+
+void PetriNet::add_input_arc(PlaceId place, TransitionId transition) {
+  SIWA_REQUIRE(place.index() < place_count(), "bad place");
+  inputs_[transition.index()].push_back(place);
+}
+
+void PetriNet::add_output_arc(TransitionId transition, PlaceId place) {
+  SIWA_REQUIRE(place.index() < place_count(), "bad place");
+  outputs_[transition.index()].push_back(place);
+}
+
+bool PetriNet::enabled(const Marking& marking, TransitionId t) const {
+  // Multiset semantics: a place appearing twice as input needs two tokens.
+  Marking needed(marking.size(), 0);
+  for (PlaceId p : inputs_[t.index()]) {
+    if (++needed[p.index()] > marking[p.index()]) return false;
+  }
+  return true;
+}
+
+Marking PetriNet::fire(const Marking& marking, TransitionId t) const {
+  SIWA_REQUIRE(enabled(marking, t), "firing a disabled transition");
+  Marking next = marking;
+  for (PlaceId p : inputs_[t.index()]) --next[p.index()];
+  for (PlaceId p : outputs_[t.index()]) ++next[p.index()];
+  return next;
+}
+
+std::vector<TransitionId> PetriNet::enabled_transitions(
+    const Marking& marking) const {
+  std::vector<TransitionId> out;
+  for (std::size_t t = 0; t < transition_count(); ++t)
+    if (enabled(marking, TransitionId(t))) out.push_back(TransitionId(t));
+  return out;
+}
+
+std::vector<std::vector<int>> PetriNet::incidence_matrix() const {
+  std::vector<std::vector<int>> c(
+      place_count(), std::vector<int>(transition_count(), 0));
+  for (std::size_t t = 0; t < transition_count(); ++t) {
+    for (PlaceId p : inputs_[t]) --c[p.index()][t];
+    for (PlaceId p : outputs_[t]) ++c[p.index()][t];
+  }
+  return c;
+}
+
+}  // namespace siwa::petri

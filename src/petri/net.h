@@ -1,0 +1,66 @@
+// Place/transition Petri nets — the substrate for the Murata-Shenker-Shatz
+// [MSS89] style deadlock baseline the paper's related-work section cites.
+//
+// Ordinary nets (arc weight 1), dense ids, markings as token-count vectors.
+// Only what the translation and the analyses need: enabledness, firing,
+// and the incidence matrix for invariant computation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/ids.h"
+
+namespace siwa::petri {
+
+using PlaceId = Id<struct PlaceIdTag>;
+using TransitionId = Id<struct TransitionIdTag>;
+
+using Marking = std::vector<std::uint32_t>;  // tokens per place
+
+class PetriNet {
+ public:
+  PlaceId add_place(std::string name, std::uint32_t initial_tokens = 0);
+  TransitionId add_transition(std::string name);
+  void add_input_arc(PlaceId place, TransitionId transition);   // place -> t
+  void add_output_arc(TransitionId transition, PlaceId place);  // t -> place
+
+  [[nodiscard]] std::size_t place_count() const { return place_names_.size(); }
+  [[nodiscard]] std::size_t transition_count() const {
+    return transition_names_.size();
+  }
+  [[nodiscard]] const std::string& place_name(PlaceId p) const {
+    return place_names_[p.index()];
+  }
+  [[nodiscard]] const std::string& transition_name(TransitionId t) const {
+    return transition_names_[t.index()];
+  }
+  [[nodiscard]] const std::vector<PlaceId>& inputs(TransitionId t) const {
+    return inputs_[t.index()];
+  }
+  [[nodiscard]] const std::vector<PlaceId>& outputs(TransitionId t) const {
+    return outputs_[t.index()];
+  }
+
+  [[nodiscard]] Marking initial_marking() const { return initial_; }
+
+  [[nodiscard]] bool enabled(const Marking& marking, TransitionId t) const;
+  // Fires t (must be enabled): consumes one token per input arc, produces
+  // one per output arc.
+  [[nodiscard]] Marking fire(const Marking& marking, TransitionId t) const;
+  [[nodiscard]] std::vector<TransitionId> enabled_transitions(
+      const Marking& marking) const;
+
+  // Incidence matrix entry C[p][t] = out(t,p) - in(p,t).
+  [[nodiscard]] std::vector<std::vector<int>> incidence_matrix() const;
+
+ private:
+  std::vector<std::string> place_names_;
+  std::vector<std::string> transition_names_;
+  std::vector<std::vector<PlaceId>> inputs_;   // by transition
+  std::vector<std::vector<PlaceId>> outputs_;  // by transition
+  Marking initial_;
+};
+
+}  // namespace siwa::petri

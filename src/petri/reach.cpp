@@ -1,0 +1,61 @@
+#include "petri/reach.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace siwa::petri {
+namespace {
+
+struct MarkingHash {
+  std::size_t operator()(const Marking& m) const noexcept {
+    std::size_t h = 1469598103934665603ull;
+    for (std::uint32_t tokens : m) {
+      h ^= tokens;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+ReachResult explore_markings(const TranslatedNet& translated,
+                             const ReachOptions& options) {
+  const PetriNet& net = translated.net;
+  ReachResult result;
+
+  std::unordered_set<Marking, MarkingHash> visited;
+  std::deque<Marking> frontier;
+  const Marking initial = net.initial_marking();
+  visited.insert(initial);
+  frontier.push_back(initial);
+
+  while (!frontier.empty()) {
+    const Marking marking = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.markings;
+
+    const auto enabled = net.enabled_transitions(marking);
+    if (enabled.empty()) {
+      if (translated.is_all_done(marking)) {
+        result.can_terminate = true;
+      } else {
+        ++result.dead_markings;
+        if (result.dead_examples.size() < 8)
+          result.dead_examples.push_back(marking);
+      }
+      continue;
+    }
+    for (TransitionId t : enabled) {
+      Marking next = net.fire(marking, t);
+      if (visited.size() >= options.max_markings) {
+        result.complete = false;
+        continue;
+      }
+      if (visited.insert(next).second) frontier.push_back(std::move(next));
+    }
+  }
+  return result;
+}
+
+}  // namespace siwa::petri

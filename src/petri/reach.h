@@ -1,0 +1,33 @@
+// Exhaustive marking-space reachability — the exponential cost [MSS89]'s
+// Petri-net deadlock detection ultimately pays (the paper notes its
+// "inconsistency" check is proportional to the powerset of rendezvous
+// statements). A dead marking (no transition enabled) that is not the
+// all-done marking is a synchronization anomaly; on translated sync graphs
+// this coincides exactly with the wave explorer's anomalous waves, giving
+// two independently implemented semantics to cross-validate.
+#pragma once
+
+#include <vector>
+
+#include "petri/translate.h"
+
+namespace siwa::petri {
+
+struct ReachOptions {
+  std::size_t max_markings = 200'000;
+};
+
+struct ReachResult {
+  bool complete = true;
+  std::size_t markings = 0;
+  std::size_t dead_markings = 0;  // no transition enabled, not all-done
+  bool can_terminate = false;     // all-done marking reachable
+  std::vector<Marking> dead_examples;  // up to 8
+
+  [[nodiscard]] bool has_anomaly() const { return dead_markings > 0; }
+};
+
+[[nodiscard]] ReachResult explore_markings(const TranslatedNet& translated,
+                                           const ReachOptions& options = {});
+
+}  // namespace siwa::petri

@@ -1,0 +1,84 @@
+#include "petri/translate.h"
+
+#include "support/require.h"
+
+namespace siwa::petri {
+
+bool TranslatedNet::is_all_done(const Marking& marking) const {
+  std::uint32_t done_tokens = 0;
+  for (PlaceId p : done_of_task) done_tokens += marking[p.index()];
+  std::uint32_t total = 0;
+  for (std::uint32_t tokens : marking) total += tokens;
+  return done_tokens == done_of_task.size() && total == done_tokens;
+}
+
+TranslatedNet translate(const sg::SyncGraph& graph) {
+  SIWA_REQUIRE(graph.finalized(), "translate requires finalized graph");
+  TranslatedNet out;
+  PetriNet& net = out.net;
+
+  out.place_of_node.assign(graph.node_count(), PlaceId::invalid());
+  for (std::size_t i = 2; i < graph.node_count(); ++i)
+    out.place_of_node[i] =
+        net.add_place("loc_" + graph.describe(NodeId(i)));
+
+  std::vector<PlaceId> start_of_task;
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    start_of_task.push_back(
+        net.add_place("start_" + graph.task_name(TaskId(t)), 1));
+    out.done_of_task.push_back(
+        net.add_place("done_" + graph.task_name(TaskId(t))));
+  }
+
+  // Start transitions: one per task entry choice.
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    for (NodeId entry : graph.task_entries(TaskId(t))) {
+      const TransitionId start = net.add_transition(
+          "start_" + graph.task_name(TaskId(t)) + "_to_" +
+          (entry == graph.end_node() ? "done" : graph.describe(entry)));
+      net.add_input_arc(start_of_task[t], start);
+      net.add_output_arc(start, entry == graph.end_node()
+                                    ? out.done_of_task[t]
+                                    : out.place_of_node[entry.index()]);
+    }
+  }
+
+  // Successor place choices of a rendezvous node (e -> the task's done).
+  auto successor_places = [&](NodeId r) {
+    std::vector<PlaceId> places;
+    const TaskId task = graph.node(r).task;
+    auto succs = graph.control_successors(r);
+    if (succs.empty()) {
+      places.push_back(out.done_of_task[task.index()]);
+      return places;
+    }
+    for (NodeId s : succs)
+      places.push_back(s == graph.end_node()
+                           ? out.done_of_task[task.index()]
+                           : out.place_of_node[s.index()]);
+    return places;
+  };
+
+  // Rendezvous transitions: one per sync edge per successor choice pair.
+  for (std::size_t i = 2; i < graph.node_count(); ++i) {
+    const NodeId r(i);
+    for (NodeId partner : graph.sync_partners(r)) {
+      if (partner.index() < i) continue;  // each undirected pair once
+      if (graph.node(partner).task == graph.node(r).task)
+        continue;  // same-task pairs can never fire (one token per task)
+      for (PlaceId rp : successor_places(r)) {
+        for (PlaceId pp : successor_places(partner)) {
+          const TransitionId fire = net.add_transition(
+              "rv_" + graph.describe(r) + "_" + graph.describe(partner));
+          net.add_input_arc(out.place_of_node[r.index()], fire);
+          net.add_input_arc(out.place_of_node[partner.index()], fire);
+          net.add_output_arc(fire, rp);
+          net.add_output_arc(fire, pp);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace siwa::petri

@@ -1,0 +1,37 @@
+// Sync graph -> Petri net translation, after Shatz/Murata's Ada nets.
+//
+// Each task contributes a state-machine subnet: one place per rendezvous
+// node ("the task will execute this node next"), a start place, and a done
+// place. A rendezvous is a transition shared between the sender's and the
+// accepter's subnets:
+//
+//   T(s, a, s', a'): consumes loc(s) and loc(a),
+//                    produces loc(s') and loc(a')
+//
+// with one transition per pair of control-successor choices (branching is
+// resolved when the producing transition fires, matching the execution-wave
+// semantics exactly). Start transitions move each task's start token to one
+// of its entry nodes (or straight to done). A reachable dead marking that
+// is not the all-done marking corresponds one-to-one to an anomalous
+// execution wave.
+#pragma once
+
+#include <vector>
+
+#include "petri/net.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::petri {
+
+struct TranslatedNet {
+  PetriNet net;
+  // loc place per sync-graph node (invalid for b/e), plus per-task done.
+  std::vector<PlaceId> place_of_node;  // by NodeId
+  std::vector<PlaceId> done_of_task;   // by TaskId
+
+  [[nodiscard]] bool is_all_done(const Marking& marking) const;
+};
+
+[[nodiscard]] TranslatedNet translate(const sg::SyncGraph& graph);
+
+}  // namespace siwa::petri

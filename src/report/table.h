@@ -1,0 +1,29 @@
+// Aligned text tables and CSV output for the benchmark harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace siwa::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string to_text() const;  // aligned, with header rule
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers shared by bench binaries.
+[[nodiscard]] std::string fmt(double value, int precision = 2);
+[[nodiscard]] std::string fmt(std::size_t value);
+
+}  // namespace siwa::report

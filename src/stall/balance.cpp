@@ -1,0 +1,185 @@
+#include "stall/balance.h"
+
+#include <sstream>
+
+#include "transform/inline.h"
+
+namespace siwa::stall {
+namespace {
+
+// Affine form over shared conditions for ONE signal type:
+//   net = constant + Σ coeff[c] * c,   c ∈ {0, 1}.
+struct Affine {
+  Interval constant;
+  std::map<Symbol, Interval> coeffs;
+
+  [[nodiscard]] bool is_zero() const {
+    if (!constant.is_point(0)) return false;
+    for (const auto& [c, k] : coeffs)
+      if (!k.is_point(0)) return false;
+    return true;
+  }
+
+  [[nodiscard]] bool depends_on(Symbol c) const {
+    auto it = coeffs.find(c);
+    return it != coeffs.end() && !(it->second.is_point(0));
+  }
+
+  // Range of possible values over all condition assignments.
+  [[nodiscard]] Interval range() const {
+    Interval r = constant;
+    for (const auto& [c, k] : coeffs)
+      r = r + Interval{std::min<std::int64_t>(k.lo, 0),
+                       std::max<std::int64_t>(k.hi, 0)};
+    return r;
+  }
+
+  void add(const Affine& other) {
+    constant = constant + other.constant;
+    for (const auto& [c, k] : other.coeffs) {
+      auto [it, inserted] = coeffs.emplace(c, k);
+      if (!inserted) it->second = it->second + k;
+    }
+  }
+};
+
+// Per-signal map of affine forms.
+using Forms = std::map<SignalKey, Affine>;
+
+void add_forms(Forms& into, const Forms& other) {
+  for (const auto& [sig, form] : other) {
+    auto [it, inserted] = into.emplace(sig, form);
+    if (!inserted) it->second.add(form);
+  }
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(const lang::Program& program) : program_(program) {}
+
+  [[nodiscard]] Forms analyze_task(const lang::TaskDecl& task) {
+    return analyze_list(task.name, task.body);
+  }
+
+ private:
+  Forms analyze_list(Symbol self, const std::vector<lang::Stmt>& stmts) {
+    Forms total;
+    for (const auto& s : stmts) add_forms(total, analyze_stmt(self, s));
+    return total;
+  }
+
+  Forms analyze_stmt(Symbol self, const lang::Stmt& s) {
+    Forms out;
+    switch (s.kind) {
+      case lang::StmtKind::Send:
+        out[{s.target, s.message}].constant = {1, 1};
+        break;
+      case lang::StmtKind::Accept:
+        out[{self, s.message}].constant = {-1, -1};
+        break;
+      case lang::StmtKind::Call:
+      case lang::StmtKind::Null:
+        break;
+      case lang::StmtKind::If: {
+        const Forms then_forms = analyze_list(self, s.body);
+        const Forms else_forms = analyze_list(self, s.orelse);
+        const bool shared = program_.is_shared_condition(s.cond);
+        // Union of signal keys from both arms.
+        Forms keys = then_forms;
+        add_forms(keys, else_forms);
+        for (const auto& [sig, unused] : keys) {
+          (void)unused;
+          Affine p;  // then
+          Affine q;  // else
+          if (auto it = then_forms.find(sig); it != then_forms.end())
+            p = it->second;
+          if (auto it = else_forms.find(sig); it != else_forms.end())
+            q = it->second;
+          Affine combined;
+          if (shared && !p.depends_on(s.cond) && !q.depends_on(s.cond)) {
+            // q + c * (p - q): exact when neither arm already depends on c.
+            combined = q;
+            Affine diff = p;
+            Affine neg_q;
+            neg_q.constant = Interval{0, 0} - q.constant;
+            for (const auto& [c, k] : q.coeffs)
+              neg_q.coeffs[c] = Interval{0, 0} - k;
+            diff.add(neg_q);
+            // The whole difference becomes the coefficient of c; nested
+            // coefficients inside the difference would create c*d terms,
+            // so they widen into the coefficient interval.
+            Interval coeff = diff.constant;
+            for (const auto& [c, k] : diff.coeffs) {
+              (void)c;
+              coeff = coeff + Interval{std::min<std::int64_t>(k.lo, 0),
+                                       std::max<std::int64_t>(k.hi, 0)};
+            }
+            auto [it, inserted] = combined.coeffs.emplace(s.cond, coeff);
+            if (!inserted) it->second = it->second + coeff;
+          } else {
+            // Independent condition (or inexpressible nesting): interval
+            // hull of the two arms' value ranges.
+            combined.constant = Interval::hull(p.range(), q.range());
+          }
+          out[sig] = std::move(combined);
+        }
+        break;
+      }
+      case lang::StmtKind::While: {
+        const Forms body = analyze_list(self, s.body);
+        for (const auto& [sig, form] : body) {
+          if (form.is_zero()) continue;
+          // A loop whose body has nonzero net for this signal makes the
+          // count iteration-dependent: widen beyond repair.
+          constexpr std::int64_t kBig = 1'000'000'000;
+          out[sig].constant = {-kBig, kBig};
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  const lang::Program& program_;
+};
+
+}  // namespace
+
+BalanceVerdict check_stall_balance(const lang::Program& original) {
+  const lang::Program program = original.has_calls()
+                                    ? transform::inline_procedures(original)
+                                    : original;
+  Analyzer analyzer(program);
+  Forms total;
+  for (const auto& task : program.tasks)
+    add_forms(total, analyzer.analyze_task(task));
+
+  BalanceVerdict verdict;
+  verdict.stall_free = true;
+  for (const auto& [sig, form] : total) {
+    const lang::Program& p = program;
+    std::ostringstream why;
+    bool bad = false;
+    if (!form.constant.is_point(0)) {
+      why << "unconditional net count in [" << form.constant.lo << ", "
+          << form.constant.hi << "]";
+      bad = true;
+    }
+    for (const auto& [cond, coeff] : form.coeffs) {
+      if (coeff.is_point(0)) continue;
+      if (bad) why << "; ";
+      why << "net depends on shared condition '" << p.name_of(cond)
+          << "' with coefficient in [" << coeff.lo << ", " << coeff.hi << "]";
+      bad = true;
+    }
+    if (bad) {
+      verdict.stall_free = false;
+      verdict.issues.push_back(
+          {sig, "signal (" + std::string(p.name_of(sig.first)) + ", " +
+                    std::string(p.name_of(sig.second)) + "): " + why.str()});
+    }
+  }
+  return verdict;
+}
+
+}  // namespace siwa::stall

@@ -1,0 +1,178 @@
+#include "stall/codependent.h"
+
+#include <map>
+#include <set>
+#include <tuple>
+
+namespace siwa::stall {
+namespace {
+
+// Identity of one top-level conditional occurrence of a rendezvous:
+// (shared condition, arm, receiver, message).
+using Slot = std::tuple<Symbol, bool, Symbol, Symbol>;
+
+struct Occurrence {
+  Symbol task;
+  const lang::Stmt* stmt;  // the rendezvous statement
+};
+
+// Collects, for each (shared cond, arm, signal), the top-level sends and
+// accepts found anywhere in the program.
+struct Collector {
+  const lang::Program& program;
+  std::map<Slot, std::vector<Occurrence>> sends;
+  std::map<Slot, std::vector<Occurrence>> accepts;
+
+  void scan_list(Symbol task, const std::vector<lang::Stmt>& stmts) {
+    for (const auto& s : stmts) {
+      if (s.kind == lang::StmtKind::If) {
+        if (program.is_shared_condition(s.cond)) {
+          scan_arm(task, s.cond, true, s.body);
+          scan_arm(task, s.cond, false, s.orelse);
+        }
+        scan_list(task, s.body);
+        scan_list(task, s.orelse);
+      } else if (s.kind == lang::StmtKind::While) {
+        scan_list(task, s.body);
+      }
+    }
+  }
+
+  void scan_arm(Symbol task, Symbol cond, bool arm,
+                const std::vector<lang::Stmt>& stmts) {
+    for (const auto& s : stmts) {
+      if (s.kind == lang::StmtKind::Send)
+        sends[{cond, arm, s.target, s.message}].push_back({task, &s});
+      else if (s.kind == lang::StmtKind::Accept)
+        accepts[{cond, arm, task, s.message}].push_back({task, &s});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<CodependentPair> detect_codependent_pairs(
+    const lang::Program& program) {
+  Collector collector{program, {}, {}};
+  for (const auto& task : program.tasks)
+    collector.scan_list(task.name, task.body);
+
+  std::vector<CodependentPair> pairs;
+  for (const auto& [slot, send_list] : collector.sends) {
+    auto it = collector.accepts.find(slot);
+    if (it == collector.accepts.end()) continue;
+    const auto& accept_list = it->second;
+    const std::size_t matched = std::min(send_list.size(), accept_list.size());
+    for (std::size_t k = 0; k < matched; ++k) {
+      // A task cannot rendezvous with itself.
+      if (send_list[k].task == accept_list[k].task) continue;
+      pairs.push_back({std::get<0>(slot), std::get<1>(slot), std::get<2>(slot),
+                       std::get<3>(slot), send_list[k].task,
+                       accept_list[k].task});
+    }
+  }
+  return pairs;
+}
+
+namespace {
+
+// Hoists the first `budget[slot]` matching rendezvous out of shared-cond
+// conditionals, per arm.
+struct Hoister {
+  const lang::Program& program;
+  // Remaining hoists per (slot, is_send): the send and accept sides of a
+  // pair are budgeted separately so two sends cannot consume one pair.
+  std::map<std::pair<Slot, bool>, std::size_t> budget;
+  std::size_t factored = 0;
+
+  std::vector<lang::Stmt> rewrite_list(Symbol task,
+                                       const std::vector<lang::Stmt>& stmts) {
+    std::vector<lang::Stmt> out;
+    for (const auto& s : stmts) {
+      switch (s.kind) {
+        case lang::StmtKind::Send:
+        case lang::StmtKind::Accept:
+        case lang::StmtKind::Call:
+        case lang::StmtKind::Null:
+          out.push_back(s);
+          break;
+        case lang::StmtKind::While: {
+          lang::Stmt copy = s;
+          copy.body = rewrite_list(task, s.body);
+          out.push_back(std::move(copy));
+          break;
+        }
+        case lang::StmtKind::If: {
+          lang::Stmt copy = s;
+          if (program.is_shared_condition(s.cond)) {
+            copy.body = hoist_arm(task, s.cond, true, s.body, out);
+            copy.orelse = hoist_arm(task, s.cond, false, s.orelse, out);
+          } else {
+            copy.body = rewrite_list(task, s.body);
+            copy.orelse = rewrite_list(task, s.orelse);
+          }
+          out.push_back(std::move(copy));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  std::vector<lang::Stmt> hoist_arm(Symbol task, Symbol cond, bool arm,
+                                    const std::vector<lang::Stmt>& stmts,
+                                    std::vector<lang::Stmt>& hoisted_into) {
+    std::vector<lang::Stmt> kept;
+    for (const auto& s : stmts) {
+      Slot slot;
+      bool is_send = false;
+      if (s.kind == lang::StmtKind::Send) {
+        slot = {cond, arm, s.target, s.message};
+        is_send = true;
+      } else if (s.kind == lang::StmtKind::Accept) {
+        slot = {cond, arm, task, s.message};
+      } else {
+        kept.push_back(s);
+        continue;
+      }
+      auto it = budget.find({slot, is_send});
+      if (it != budget.end() && it->second > 0) {
+        --it->second;
+        ++factored;
+        hoisted_into.push_back(s);  // unconditional now
+      } else {
+        kept.push_back(s);
+      }
+    }
+    return kept;
+  }
+};
+
+}  // namespace
+
+lang::Program factor_codependent(const lang::Program& program,
+                                 std::size_t* factored) {
+  std::map<std::pair<Slot, bool>, std::size_t> budget;
+  for (const auto& pair : detect_codependent_pairs(program)) {
+    // Each pair licenses hoisting one send and one accept of its slot.
+    const Slot slot{pair.condition, pair.then_arm, pair.receiver, pair.message};
+    budget[{slot, true}] += 1;
+    budget[{slot, false}] += 1;
+  }
+
+  Hoister hoister{program, std::move(budget), 0};
+  lang::Program out;
+  out.interner = program.interner;
+  out.shared_conditions = program.shared_conditions;
+  for (const auto& task : program.tasks) {
+    lang::TaskDecl t;
+    t.name = task.name;
+    t.loc = task.loc;
+    t.body = hoister.rewrite_list(task.name, task.body);
+    out.tasks.push_back(std::move(t));
+  }
+  if (factored != nullptr) *factored = hoister.factored;
+  return out;
+}
+
+}  // namespace siwa::stall

@@ -1,0 +1,40 @@
+// Stall transform pattern 2 (section 5.1, Figure 5(d)): co-dependent
+// conditional rendezvous.
+//
+// When task T executes rendezvous r under `if c` and task T' executes the
+// complementary rendezvous r' under `if c` for the *same* encapsulated
+// (shared) condition c, r executes iff r' does, so the pair can be factored
+// out of the per-path signal counts — the paper models this by moving both
+// outside their conditionals.
+//
+// detect_codependent_pairs reports matched (send, accept) pairs; the
+// factoring transform hoists the matched statements out of their
+// conditionals (per arm, first-match order). The transform is meant for
+// stall counting: for deadlock analysis it can reorder rendezvous relative
+// to the remaining branch bodies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace siwa::stall {
+
+struct CodependentPair {
+  Symbol condition;
+  bool then_arm = true;       // which arm of `if condition` both sit in
+  Symbol receiver;            // signal type
+  Symbol message;
+  Symbol sender_task;
+  Symbol receiver_task;
+};
+
+[[nodiscard]] std::vector<CodependentPair> detect_codependent_pairs(
+    const lang::Program& program);
+
+// Hoists every detected pair's send and accept out of its conditional.
+[[nodiscard]] lang::Program factor_codependent(const lang::Program& program,
+                                               std::size_t* factored = nullptr);
+
+}  // namespace siwa::stall

@@ -1,0 +1,50 @@
+#include "stall/lemma3.h"
+
+namespace siwa::stall {
+namespace {
+
+bool list_straight(const std::vector<lang::Stmt>& stmts) {
+  for (const auto& s : stmts)
+    if (s.kind == lang::StmtKind::If || s.kind == lang::StmtKind::While ||
+        s.kind == lang::StmtKind::Call)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+bool is_straight_line(const lang::Program& program) {
+  for (const auto& task : program.tasks)
+    if (!list_straight(task.body)) return false;
+  return true;
+}
+
+Lemma3Verdict check_lemma3(const lang::Program& program) {
+  Lemma3Verdict verdict;
+  if (!is_straight_line(program)) return verdict;
+  verdict.applicable = true;
+
+  std::map<SignalKey, SignalCount> counts;
+  for (const auto& task : program.tasks) {
+    for (const auto& s : task.body) {
+      if (s.kind == lang::StmtKind::Send) {
+        auto& entry = counts[{s.target, s.message}];
+        entry.signal = {s.target, s.message};
+        ++entry.sends;
+      } else if (s.kind == lang::StmtKind::Accept) {
+        auto& entry = counts[{task.name, s.message}];
+        entry.signal = {task.name, s.message};
+        ++entry.accepts;
+      }
+    }
+  }
+
+  verdict.stall_free = true;
+  for (auto& [key, count] : counts) {
+    verdict.counts.push_back(count);
+    if (count.sends != count.accepts) verdict.stall_free = false;
+  }
+  return verdict;
+}
+
+}  // namespace siwa::stall

@@ -1,0 +1,32 @@
+// Lemma 3: a program without conditional branches or loops is stall-free
+// iff the numbers of signal and accept nodes are identical for every
+// signal type. O(|N|) counting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "stall/balance.h"
+
+namespace siwa::stall {
+
+struct SignalCount {
+  SignalKey signal;
+  std::size_t sends = 0;
+  std::size_t accepts = 0;
+};
+
+struct Lemma3Verdict {
+  bool applicable = false;  // false when the program has branches or loops
+  bool stall_free = false;
+  std::vector<SignalCount> counts;
+};
+
+[[nodiscard]] bool is_straight_line(const lang::Program& program);
+
+[[nodiscard]] Lemma3Verdict check_lemma3(const lang::Program& program);
+
+}  // namespace siwa::stall

@@ -1,0 +1,131 @@
+// Dynamic bitset sized at run time.
+//
+// The precedence and reachability analyses keep |N| x |N| boolean relations;
+// a packed word representation with bulk OR/AND-NOT keeps the fixpoint
+// iterations cache-friendly. Only the operations those analyses need are
+// provided.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/require.h"
+
+namespace siwa {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+
+  void set(std::size_t i) {
+    SIWA_REQUIRE(i < bits_, "bitset index out of range");
+    words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
+  }
+
+  void reset(std::size_t i) {
+    SIWA_REQUIRE(i < bits_, "bitset index out of range");
+    words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    SIWA_REQUIRE(i < bits_, "bitset index out of range");
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  // *this |= other. Returns true if any bit changed (fixpoint detection).
+  bool merge(const DynamicBitset& other) {
+    SIWA_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    bool changed = false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t before = words_[w];
+      words_[w] = before | other.words_[w];
+      changed |= (words_[w] != before);
+    }
+    return changed;
+  }
+
+  // *this &= other.
+  void intersect(const DynamicBitset& other) {
+    SIWA_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+
+  [[nodiscard]] bool any() const {
+    for (auto w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  // |*this AND other| without materializing the intersection.
+  [[nodiscard]] std::size_t count_and(const DynamicBitset& other) const {
+    SIWA_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    std::size_t n = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w)
+      n += static_cast<std::size_t>(
+          __builtin_popcountll(words_[w] & other.words_[w]));
+    return n;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  // Calls fn(index) for every set bit, in increasing index order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * kWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+// A dense |n| x |n| boolean relation stored as n bitset rows.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  explicit BitMatrix(std::size_t n) : n_(n), rows_(n, DynamicBitset(n)) {}
+
+  [[nodiscard]] std::size_t dim() const { return n_; }
+
+  void set(std::size_t r, std::size_t c) { rows_[r].set(c); }
+  [[nodiscard]] bool test(std::size_t r, std::size_t c) const {
+    return rows_[r].test(c);
+  }
+
+  [[nodiscard]] DynamicBitset& row(std::size_t r) { return rows_[r]; }
+  [[nodiscard]] const DynamicBitset& row(std::size_t r) const {
+    return rows_[r];
+  }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<DynamicBitset> rows_;
+};
+
+}  // namespace siwa

@@ -1,0 +1,36 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace siwa {
+
+std::string SourceLoc::to_string() const {
+  if (line == 0) return "<unknown>";
+  std::ostringstream os;
+  os << line << ':' << column;
+  return os.str();
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << (severity == Severity::Error ? "error" : "warning") << " at "
+     << loc.to_string() << ": " << message;
+  return os.str();
+}
+
+void DiagnosticSink::error(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::Error, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticSink::warning(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::Warning, loc, std::move(message)});
+}
+
+std::string DiagnosticSink::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace siwa

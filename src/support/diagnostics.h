@@ -1,0 +1,54 @@
+// Source locations and diagnostics for the MiniAda frontend.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace siwa {
+
+struct SourceLoc {
+  int line = 0;    // 1-based; 0 means "no location"
+  int column = 0;  // 1-based
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+enum class Severity { Error, Warning };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Collects diagnostics across frontend phases. Parsing and semantic analysis
+// report through a DiagnosticSink and continue where recovery is possible;
+// callers check has_errors() before consuming the result.
+class DiagnosticSink {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+// Thrown by convenience entry points (e.g. parse_program_or_throw) that have
+// no sink to report into.
+class FrontendError : public std::runtime_error {
+ public:
+  explicit FrontendError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace siwa

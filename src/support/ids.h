@@ -1,0 +1,58 @@
+// Strongly typed integer identifiers.
+//
+// Every entity in SIWA (task, sync-graph node, CLG node, CFG block, signal,
+// AST statement) is referred to by a dense non-negative index into the owning
+// container. Wrapping the index in a tag-parameterized struct makes it a type
+// error to index one container with another container's id.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace siwa {
+
+template <class Tag>
+struct Id {
+  using underlying_type = std::int32_t;
+
+  underlying_type value = -1;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type v) : value(v) {}
+  constexpr explicit Id(std::size_t v)
+      : value(static_cast<underlying_type>(v)) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value);
+  }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+
+  [[nodiscard]] static constexpr Id invalid() { return Id(); }
+};
+
+// Tag types. The structs are never defined; they exist only to distinguish
+// instantiations of Id<>.
+using TaskId = Id<struct TaskIdTag>;      // a task in a program / sync graph
+using NodeId = Id<struct NodeIdTag>;      // a sync-graph node
+using SignalId = Id<struct SignalIdTag>;  // a (receiving task, message) pair
+using ClgNodeId = Id<struct ClgNodeIdTag>;// a node of the cycle location graph
+using BlockId = Id<struct BlockIdTag>;    // a CFG node (one rendezvous point)
+using StmtId = Id<struct StmtIdTag>;      // an AST statement
+using CondId = Id<struct CondIdTag>;      // an encapsulated condition name
+using VertexId = Id<struct VertexIdTag>;  // a vertex of a generic digraph
+
+}  // namespace siwa
+
+namespace std {
+template <class Tag>
+struct hash<siwa::Id<Tag>> {
+  size_t operator()(siwa::Id<Tag> id) const noexcept {
+    return std::hash<typename siwa::Id<Tag>::underlying_type>()(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,22 @@
+#include "support/interner.h"
+
+#include "support/require.h"
+
+namespace siwa {
+
+Symbol Interner::intern(std::string_view text) {
+  auto it = index_.find(std::string(text));
+  if (it != index_.end()) return Symbol{it->second};
+  const auto id = static_cast<std::int32_t>(strings_.size());
+  strings_.emplace_back(text);
+  index_.emplace(strings_.back(), id);
+  return Symbol{id};
+}
+
+std::string_view Interner::text(Symbol sym) const {
+  SIWA_REQUIRE(sym.valid() && sym.index() < strings_.size(),
+               "unknown symbol");
+  return strings_[sym.index()];
+}
+
+}  // namespace siwa

@@ -1,0 +1,54 @@
+// String interner.
+//
+// Task names, message names and condition names are interned once at parse
+// time; all later phases compare 32-bit symbols instead of strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace siwa {
+
+struct Symbol {
+  std::int32_t value = -1;
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+  [[nodiscard]] constexpr std::size_t index() const {
+    return static_cast<std::size_t>(value);
+  }
+  friend constexpr bool operator==(Symbol a, Symbol b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) {
+    return a.value != b.value;
+  }
+  friend constexpr bool operator<(Symbol a, Symbol b) {
+    return a.value < b.value;
+  }
+};
+
+class Interner {
+ public:
+  Symbol intern(std::string_view text);
+
+  [[nodiscard]] std::string_view text(Symbol sym) const;
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::int32_t> index_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace siwa
+
+namespace std {
+template <>
+struct hash<siwa::Symbol> {
+  size_t operator()(siwa::Symbol s) const noexcept {
+    return std::hash<std::int32_t>()(s.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,24 @@
+// Precondition checking.
+//
+// SIWA_REQUIRE is an always-on invariant check: analysis correctness bugs
+// must fail loudly even in release builds, because a silently wrong verdict
+// from a *safety* tool is worse than a crash. The cost is negligible next to
+// the graph traversals these checks guard.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace siwa::detail {
+[[noreturn]] inline void require_failed(const char* cond, const char* msg,
+                                        const char* file, int line) {
+  std::fprintf(stderr, "siwa: requirement failed: %s (%s) at %s:%d\n", cond,
+               msg, file, line);
+  std::abort();
+}
+}  // namespace siwa::detail
+
+#define SIWA_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) ::siwa::detail::require_failed(#cond, msg, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,237 @@
+#include "syncgraph/builder.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "support/require.h"
+#include "transform/inline.h"
+
+namespace siwa::sg {
+namespace {
+
+// Frontier of the wiring pass: the set of rendezvous nodes whose next
+// rendezvous is the statement about to be wired, plus whether the task
+// start (node b) still reaches this point rendezvous-free.
+struct Frontier {
+  std::vector<NodeId> nodes;
+  bool from_entry = false;
+
+  void merge(const Frontier& other) {
+    for (NodeId n : other.nodes)
+      if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
+        nodes.push_back(n);
+    from_entry = from_entry || other.from_entry;
+  }
+};
+
+class Builder {
+ public:
+  explicit Builder(const lang::Program& program) : program_(program) {}
+
+  SyncGraph build() {
+    for (const auto& task : program_.tasks) {
+      const TaskId id = graph_.add_task(std::string(program_.name_of(task.name)));
+      task_of_symbol_.emplace(task.name, id);
+    }
+    for (std::size_t t = 0; t < program_.tasks.size(); ++t)
+      create_nodes(TaskId(t), program_.tasks[t].body);
+    for (std::size_t t = 0; t < program_.tasks.size(); ++t) {
+      const TaskId task(t);
+      Frontier entry;
+      entry.from_entry = true;
+      Frontier out = wire(task, program_.tasks[t].body, entry);
+      // Task completion: the last rendezvous points connect to e; a
+      // rendezvous-free path makes e itself a task entry.
+      for (NodeId n : out.nodes) add_edge(n, graph_.end_node());
+      if (out.from_entry) {
+        add_edge(graph_.begin_node(), graph_.end_node());
+        graph_.add_task_entry(task, graph_.end_node());
+      }
+    }
+    graph_.finalize();
+    return std::move(graph_);
+  }
+
+ private:
+  // `guards_` is the stack of enclosing shared-conditional arms; syntactic
+  // nesting is path-independent, so every node created inside an arm
+  // carries exactly those guards.
+  void push_guard(Symbol cond, bool arm) {
+    // A shared condition never changes value, so a nested occurrence of the
+    // same condition adds no information; keep the outermost entry. (The
+    // false marker keeps push/pop calls paired.)
+    for (const Guard& g : guards_) {
+      if (g.cond == cond) {
+        guard_pushed_.push_back(false);
+        return;
+      }
+    }
+    guards_.push_back({cond, arm});
+    guard_pushed_.push_back(true);
+  }
+  void pop_guard() {
+    if (!guard_pushed_.empty() && guard_pushed_.back()) guards_.pop_back();
+    if (!guard_pushed_.empty()) guard_pushed_.pop_back();
+  }
+
+  void create_nodes(TaskId task, const std::vector<lang::Stmt>& stmts) {
+    for (const auto& s : stmts) {
+      switch (s.kind) {
+        case lang::StmtKind::Send: {
+          auto it = task_of_symbol_.find(s.target);
+          SIWA_REQUIRE(it != task_of_symbol_.end(),
+                       "send target unresolved; run sema first");
+          const Symbol msg = graph_.intern_message(program_.name_of(s.message));
+          const SignalId sig = graph_.intern_signal(it->second, msg);
+          node_of_[&s] =
+              graph_.add_rendezvous(task, sig, Sign::Plus, s.loc, guards_);
+          break;
+        }
+        case lang::StmtKind::Accept: {
+          const Symbol msg = graph_.intern_message(program_.name_of(s.message));
+          const SignalId sig = graph_.intern_signal(task, msg);
+          node_of_[&s] =
+              graph_.add_rendezvous(task, sig, Sign::Minus, s.loc, guards_);
+          break;
+        }
+        case lang::StmtKind::If: {
+          const bool shared = program_.is_shared_condition(s.cond);
+          if (shared) push_guard(intern_cond(s.cond), true);
+          create_nodes(task, s.body);
+          if (shared) pop_guard();
+          if (shared) push_guard(intern_cond(s.cond), false);
+          create_nodes(task, s.orelse);
+          if (shared) pop_guard();
+          break;
+        }
+        case lang::StmtKind::While: {
+          const bool shared = program_.is_shared_condition(s.cond);
+          if (shared) push_guard(intern_cond(s.cond), true);
+          create_nodes(task, s.body);
+          if (shared) pop_guard();
+          break;
+        }
+        case lang::StmtKind::Call:
+          SIWA_REQUIRE(false, "call statements must be inlined first");
+          break;
+        case lang::StmtKind::Null:
+          break;
+      }
+    }
+  }
+
+  // Guard conditions are interned in the graph's own message interner so
+  // they survive independently of the source program.
+  Symbol intern_cond(Symbol cond) {
+    return graph_.intern_message(program_.name_of(cond));
+  }
+
+  // First rendezvous points reachable at the start of `stmts`, and whether
+  // some path crosses the whole list rendezvous-free.
+  std::pair<std::vector<NodeId>, bool> entry_set(
+      const std::vector<lang::Stmt>& stmts) {
+    std::vector<NodeId> entries;
+    for (const auto& s : stmts) {
+      switch (s.kind) {
+        case lang::StmtKind::Send:
+        case lang::StmtKind::Accept:
+          entries.push_back(node_of_.at(&s));
+          return {entries, false};
+        case lang::StmtKind::If: {
+          auto [e1, p1] = entry_set(s.body);
+          auto [e2, p2] = entry_set(s.orelse);
+          entries.insert(entries.end(), e1.begin(), e1.end());
+          entries.insert(entries.end(), e2.begin(), e2.end());
+          if (!p1 && !p2) return {entries, false};
+          break;
+        }
+        case lang::StmtKind::While: {
+          auto [eb, pb] = entry_set(s.body);
+          (void)pb;  // zero iterations always pass through
+          entries.insert(entries.end(), eb.begin(), eb.end());
+          break;
+        }
+        case lang::StmtKind::Call:
+          SIWA_REQUIRE(false, "call statements must be inlined first");
+          break;
+        case lang::StmtKind::Null:
+          break;
+      }
+    }
+    return {entries, true};
+  }
+
+  Frontier wire(TaskId task, const std::vector<lang::Stmt>& stmts,
+                Frontier frontier) {
+    for (const auto& s : stmts) {
+      switch (s.kind) {
+        case lang::StmtKind::Send:
+        case lang::StmtKind::Accept: {
+          const NodeId r = node_of_.at(&s);
+          connect(task, frontier, r);
+          frontier.nodes = {r};
+          frontier.from_entry = false;
+          break;
+        }
+        case lang::StmtKind::If: {
+          Frontier then_out = wire(task, s.body, frontier);
+          Frontier else_out = wire(task, s.orelse, frontier);
+          then_out.merge(else_out);
+          frontier = std::move(then_out);
+          break;
+        }
+        case lang::StmtKind::While: {
+          auto [body_entries, pass] = entry_set(s.body);
+          (void)pass;
+          Frontier body_out = wire(task, s.body, frontier);
+          // Back edges: a later iteration's first rendezvous follows the
+          // previous iteration's last one. Edges from the pre-loop frontier
+          // were already laid by the wiring pass above.
+          for (NodeId from : body_out.nodes)
+            for (NodeId to : body_entries) add_edge(from, to);
+          frontier.merge(body_out);  // zero or more iterations
+          break;
+        }
+        case lang::StmtKind::Call:
+          SIWA_REQUIRE(false, "call statements must be inlined first");
+          break;
+        case lang::StmtKind::Null:
+          break;
+      }
+    }
+    return frontier;
+  }
+
+  void connect(TaskId task, const Frontier& frontier, NodeId to) {
+    if (frontier.from_entry) {
+      add_edge(graph_.begin_node(), to);
+      graph_.add_task_entry(task, to);
+    }
+    for (NodeId from : frontier.nodes) add_edge(from, to);
+  }
+
+  void add_edge(NodeId from, NodeId to) {
+    if (edges_.insert({from.value, to.value}).second)
+      graph_.add_control_edge(from, to);
+  }
+
+  const lang::Program& program_;
+  SyncGraph graph_;
+  std::unordered_map<Symbol, TaskId> task_of_symbol_;
+  std::unordered_map<const lang::Stmt*, NodeId> node_of_;
+  std::set<std::pair<std::int32_t, std::int32_t>> edges_;
+  std::vector<sg::Guard> guards_;
+  std::vector<bool> guard_pushed_;
+};
+
+}  // namespace
+
+SyncGraph build_sync_graph(const lang::Program& program) {
+  if (program.has_calls()) {
+    const lang::Program inlined = transform::inline_procedures(program);
+    return Builder(inlined).build();
+  }
+  return Builder(program).build();
+}
+
+}  // namespace siwa::sg

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "lang/ast.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::sg {
+
+// Builds the sync graph of a (semantically checked) MiniAda program.
+//
+// A control edge (r, s) is created exactly when some control-flow path in
+// the task runs from r to s without touching another rendezvous point;
+// conditional branches contribute one edge per arm, while loops contribute
+// back edges from the last rendezvous points of the body to its first ones.
+// Rendezvous reachable from the task start without any prior rendezvous
+// become task entries (edges from b); paths that can reach the task's end
+// connect to e. The returned graph is finalized.
+[[nodiscard]] SyncGraph build_sync_graph(const lang::Program& program);
+
+}  // namespace siwa::sg

@@ -1,0 +1,74 @@
+#include "syncgraph/clg.h"
+
+#include "support/require.h"
+
+namespace siwa::sg {
+
+Clg::Clg(const SyncGraph& sg) {
+  SIWA_REQUIRE(sg.finalized(), "CLG requires a finalized sync graph");
+  const std::size_t n = sg.node_count();
+  in_of_.assign(n, ClgNodeId::invalid());
+  out_of_.assign(n, ClgNodeId::invalid());
+
+  // Step 1: distinguished nodes. CLG vertex 0 = b, 1 = e.
+  origin_.assign(2, NodeId::invalid());
+  is_in_.assign(2, false);
+  graph_.grow_to(2);
+
+  // Step 2: split pairs.
+  for (std::size_t i = 2; i < n; ++i) {
+    const VertexId vi = graph_.add_vertex();
+    origin_.push_back(NodeId(i));
+    is_in_.push_back(true);
+    in_of_[i] = ClgNodeId(vi.index());
+
+    const VertexId vo = graph_.add_vertex();
+    origin_.push_back(NodeId(i));
+    is_in_.push_back(false);
+    out_of_[i] = ClgNodeId(vo.index());
+  }
+
+  auto edge = [&](ClgNodeId a, ClgNodeId b) {
+    graph_.add_edge(VertexId(a.value), VertexId(b.value));
+  };
+
+  // Step 3: internal (r_o, r_i) edges.
+  for (std::size_t i = 2; i < n; ++i)
+    edge(out_of_[i], in_of_[i]);
+
+  // Steps 4 and 5: transformed control edges.
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId r(i);
+    for (NodeId s : sg.control_successors(r)) {
+      if (r == sg.begin_node()) {
+        if (s == sg.end_node())
+          edge(b(), e());
+        else
+          edge(b(), out_of_[s.index()]);
+      } else if (s == sg.end_node()) {
+        edge(in_of_[r.index()], e());
+      } else {
+        edge(in_of_[r.index()], out_of_[s.index()]);
+      }
+    }
+  }
+
+  // Step 6: split sync edges. sync_partners is symmetric, so visiting the
+  // pair from r's side once covers both directed CLG edges.
+  for (std::size_t i = 2; i < n; ++i) {
+    const NodeId r(i);
+    for (NodeId s : sg.sync_partners(r)) {
+      if (s.index() < i) continue;  // handle each undirected edge once
+      edge(out_of_[r.index()], in_of_[s.index()]);
+      edge(out_of_[s.index()], in_of_[r.index()]);
+    }
+  }
+}
+
+std::string Clg::describe(const SyncGraph& sg, ClgNodeId v) const {
+  if (v == b()) return "b";
+  if (v == e()) return "e";
+  return sg.describe(origin_[v.index()]) + (is_in_[v.index()] ? "_i" : "_o");
+}
+
+}  // namespace siwa::sg

@@ -1,0 +1,63 @@
+// The cycle location graph (CLG) of section 3.1.
+//
+// The CLG splits every rendezvous node r into r_i (all incoming sync edges)
+// and r_o (all outgoing sync edges) joined by the internal control edge
+// (r_o, r_i). A path entering a node through a sync edge can then leave the
+// node's task only after traversing a (transformed) control edge, which
+// enforces deadlock-cycle constraint 1b during any cycle search.
+//
+// Construction from SG_P = (T, N, E_C, E_S), verbatim from the paper:
+//   1. create distinguished nodes b and e;
+//   2. for each other node r in N create r_i and r_o;
+//   3. create edge (r_o, r_i);
+//   4. for (b, r) in E_C create (b, r_o); for (r, e) in E_C create (r_i, e);
+//   5. for (r, s) in E_C with r != b, s != e create (r_i, s_o);
+//   6. for {r, s} in E_S create (r_o, s_i) and (s_o, r_i).
+//
+// Edge kinds are recoverable without per-edge storage: an edge (x, y) is a
+// sync edge (step 6) exactly when x is an out-node and y is an in-node of a
+// *different* sync node; every other edge is a (transformed) control edge.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::sg {
+
+class Clg {
+ public:
+  explicit Clg(const SyncGraph& sg);
+
+  [[nodiscard]] const graph::Digraph& graph() const { return graph_; }
+  [[nodiscard]] std::size_t node_count() const { return graph_.vertex_count(); }
+  [[nodiscard]] std::size_t edge_count() const { return graph_.edge_count(); }
+
+  [[nodiscard]] ClgNodeId b() const { return ClgNodeId(0); }
+  [[nodiscard]] ClgNodeId e() const { return ClgNodeId(1); }
+  [[nodiscard]] ClgNodeId in_of(NodeId r) const { return in_of_[r.index()]; }
+  [[nodiscard]] ClgNodeId out_of(NodeId r) const { return out_of_[r.index()]; }
+
+  // The sync-graph node a CLG node was split from (invalid for b/e).
+  [[nodiscard]] NodeId origin(ClgNodeId v) const { return origin_[v.index()]; }
+  [[nodiscard]] bool is_in_node(ClgNodeId v) const { return is_in_[v.index()]; }
+
+  [[nodiscard]] bool is_sync_edge(ClgNodeId from, ClgNodeId to) const {
+    return origin_[from.index()].valid() && origin_[to.index()].valid() &&
+           !is_in_[from.index()] && is_in_[to.index()] &&
+           origin_[from.index()] != origin_[to.index()];
+  }
+
+  [[nodiscard]] std::string describe(const SyncGraph& sg, ClgNodeId v) const;
+
+ private:
+  graph::Digraph graph_;
+  std::vector<ClgNodeId> in_of_;   // by sync NodeId
+  std::vector<ClgNodeId> out_of_;  // by sync NodeId
+  std::vector<NodeId> origin_;     // by ClgNodeId
+  std::vector<bool> is_in_;        // by ClgNodeId
+};
+
+}  // namespace siwa::sg

@@ -1,0 +1,86 @@
+#include "syncgraph/export.h"
+
+#include <sstream>
+
+namespace siwa::sg {
+
+std::string sync_graph_to_dot(const SyncGraph& sg, const std::string& name) {
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n  rankdir=TB;\n";
+  os << "  n0 [label=\"b\", shape=circle];\n";
+  os << "  n1 [label=\"e\", shape=circle];\n";
+  for (std::size_t t = 0; t < sg.task_count(); ++t) {
+    os << "  subgraph cluster_" << t << " {\n    label=\"" << sg.task_name(TaskId(t))
+       << "\";\n";
+    for (NodeId r : sg.nodes_of_task(TaskId(t)))
+      os << "    n" << r.value << " [label=\"" << sg.describe(r)
+         << "\", shape=box];\n";
+    os << "  }\n";
+  }
+  for (std::size_t i = 0; i < sg.node_count(); ++i)
+    for (NodeId s : sg.control_successors(NodeId(i)))
+      os << "  n" << i << " -> n" << s.value << ";\n";
+  for (std::size_t i = 2; i < sg.node_count(); ++i)
+    for (NodeId s : sg.sync_partners(NodeId(i)))
+      if (s.index() > i)
+        os << "  n" << i << " -> n" << s.value
+           << " [dir=none, style=dashed, constraint=false];\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string clg_to_dot(const SyncGraph& sg, const Clg& clg,
+                       const std::string& name) {
+  std::ostringstream os;
+  os << "digraph \"" << name << "\" {\n";
+  for (std::size_t v = 0; v < clg.node_count(); ++v)
+    os << "  n" << v << " [label=\"" << clg.describe(sg, ClgNodeId(v))
+       << "\"];\n";
+  for (std::size_t v = 0; v < clg.node_count(); ++v) {
+    for (VertexId w : clg.graph().successors(VertexId(v))) {
+      os << "  n" << v << " -> n" << w.index();
+      if (clg.is_sync_edge(ClgNodeId(v), ClgNodeId(w.index())))
+        os << " [style=dashed]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string sync_graph_to_json(const SyncGraph& sg) {
+  std::ostringstream os;
+  os << "{\n  \"tasks\": [";
+  for (std::size_t t = 0; t < sg.task_count(); ++t) {
+    if (t > 0) os << ", ";
+    os << '"' << sg.task_name(TaskId(t)) << '"';
+  }
+  os << "],\n  \"nodes\": [\n";
+  for (std::size_t i = 0; i < sg.node_count(); ++i) {
+    os << "    {\"id\": " << i << ", \"desc\": \"" << sg.describe(NodeId(i))
+       << "\"}" << (i + 1 < sg.node_count() ? "," : "") << '\n';
+  }
+  os << "  ],\n  \"control_edges\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < sg.node_count(); ++i) {
+    for (NodeId s : sg.control_successors(NodeId(i))) {
+      if (!first) os << ", ";
+      first = false;
+      os << '[' << i << ", " << s.value << ']';
+    }
+  }
+  os << "],\n  \"sync_edges\": [";
+  first = true;
+  for (std::size_t i = 2; i < sg.node_count(); ++i) {
+    for (NodeId s : sg.sync_partners(NodeId(i))) {
+      if (s.index() <= i) continue;
+      if (!first) os << ", ";
+      first = false;
+      os << '[' << i << ", " << s.value << ']';
+    }
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace siwa::sg

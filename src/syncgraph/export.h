@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "syncgraph/clg.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::sg {
+
+// Graphviz rendering of a sync graph: tasks as clusters (nodes of the same
+// task arranged vertically, as in the paper's figures), solid control edges,
+// dashed undirected sync edges.
+std::string sync_graph_to_dot(const SyncGraph& sg, const std::string& name);
+
+// Graphviz rendering of a CLG; sync edges dashed.
+std::string clg_to_dot(const SyncGraph& sg, const Clg& clg,
+                       const std::string& name);
+
+// One-object JSON summary (sizes plus node/edge lists) for tooling.
+std::string sync_graph_to_json(const SyncGraph& sg);
+
+}  // namespace siwa::sg

@@ -1,0 +1,155 @@
+#include "syncgraph/serialize.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace siwa::sg {
+namespace {
+
+std::string node_ref(const SyncGraph& g, NodeId id) {
+  if (id == g.begin_node()) return "b";
+  if (id == g.end_node()) return "e";
+  return std::to_string(id.value);
+}
+
+}  // namespace
+
+std::string serialize_sync_graph(const SyncGraph& graph) {
+  std::ostringstream os;
+  os << "# siwa sync graph v1\n";
+  for (std::size_t t = 0; t < graph.task_count(); ++t)
+    os << "task " << graph.task_name(TaskId(t)) << '\n';
+
+  for (std::size_t i = 2; i < graph.node_count(); ++i) {
+    const SyncNode& n = graph.node(NodeId(i));
+    const SignalType sig = graph.signal_type(n.signal);
+    os << "node " << i << ' ' << graph.task_name(n.task) << ' '
+       << graph.task_name(sig.receiver) << '.'
+       << graph.message_name(sig.message) << ' '
+       << (n.sign == Sign::Plus ? '+' : '-');
+    for (const Guard& g : n.guards)
+      os << " guard " << graph.message_name(g.cond) << '=' << (g.arm ? 1 : 0);
+    os << '\n';
+  }
+
+  for (std::size_t t = 0; t < graph.task_count(); ++t)
+    for (NodeId entry : graph.task_entries(TaskId(t)))
+      os << "entry " << graph.task_name(TaskId(t)) << ' '
+         << node_ref(graph, entry) << '\n';
+
+  for (std::size_t i = 0; i < graph.node_count(); ++i)
+    for (NodeId s : graph.control_successors(NodeId(i)))
+      os << "cedge " << node_ref(graph, NodeId(i)) << ' ' << node_ref(graph, s)
+         << '\n';
+
+  for (auto [a, b] : graph.explicit_sync_edges())
+    os << "sedge " << a.value << ' ' << b.value << '\n';
+  return os.str();
+}
+
+std::optional<SyncGraph> parse_sync_graph(std::string_view text,
+                                          std::string* error) {
+  auto fail = [&](const std::string& why) -> std::optional<SyncGraph> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  SyncGraph graph;
+  std::map<std::string, TaskId> tasks;
+  std::map<long, NodeId> nodes;
+
+  auto resolve = [&](const std::string& token) -> NodeId {
+    if (token == "b") return graph.begin_node();
+    if (token == "e") return graph.end_node();
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos)
+      return NodeId::invalid();
+    auto it = nodes.find(std::stol(token));
+    return it == nodes.end() ? NodeId::invalid() : it->second;
+  };
+
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;
+    const std::string at = " (line " + std::to_string(line_no) + ")";
+
+    if (kind == "task") {
+      std::string name;
+      if (!(fields >> name)) return fail("task needs a name" + at);
+      if (tasks.count(name)) return fail("duplicate task " + name + at);
+      tasks[name] = graph.add_task(name);
+    } else if (kind == "node") {
+      long id = 0;
+      std::string task;
+      std::string signal;
+      std::string sign;
+      if (!(fields >> id >> task >> signal >> sign))
+        return fail("node needs: id task receiver.message sign" + at);
+      if (!tasks.count(task)) return fail("unknown task " + task + at);
+      const auto dot = signal.find('.');
+      if (dot == std::string::npos)
+        return fail("signal must be receiver.message" + at);
+      const std::string receiver = signal.substr(0, dot);
+      const std::string message = signal.substr(dot + 1);
+      if (!tasks.count(receiver))
+        return fail("unknown receiver " + receiver + at);
+      if (sign != "+" && sign != "-") return fail("sign must be + or -" + at);
+      if (nodes.count(id)) return fail("duplicate node id" + at);
+      std::vector<Guard> guards;
+      std::string word;
+      while (fields >> word) {
+        if (word != "guard") return fail("unexpected token " + word + at);
+        std::string spec;
+        if (!(fields >> spec)) return fail("guard needs cond=0|1" + at);
+        const auto eq = spec.find('=');
+        if (eq == std::string::npos || (spec.substr(eq + 1) != "0" &&
+                                        spec.substr(eq + 1) != "1"))
+          return fail("guard needs cond=0|1" + at);
+        guards.push_back({graph.intern_message(spec.substr(0, eq)),
+                          spec.substr(eq + 1) == "1"});
+      }
+      nodes[id] = graph.add_rendezvous(
+          tasks[task],
+          graph.intern_signal(tasks[receiver], graph.intern_message(message)),
+          sign == "+" ? Sign::Plus : Sign::Minus, SourceLoc{}, std::move(guards));
+    } else if (kind == "entry") {
+      std::string task;
+      std::string ref;
+      if (!(fields >> task >> ref)) return fail("entry needs task node" + at);
+      if (!tasks.count(task)) return fail("unknown task " + task + at);
+      const NodeId node = resolve(ref);
+      if (!node.valid()) return fail("unknown node " + ref + at);
+      graph.add_task_entry(tasks[task], node);
+    } else if (kind == "cedge") {
+      std::string from;
+      std::string to;
+      if (!(fields >> from >> to)) return fail("cedge needs two nodes" + at);
+      const NodeId a = resolve(from);
+      const NodeId b = resolve(to);
+      if (!a.valid() || !b.valid()) return fail("unknown edge endpoint" + at);
+      graph.add_control_edge(a, b);
+    } else if (kind == "sedge") {
+      std::string from;
+      std::string to;
+      if (!(fields >> from >> to)) return fail("sedge needs two nodes" + at);
+      const NodeId a = resolve(from);
+      const NodeId b = resolve(to);
+      if (!a.valid() || !b.valid()) return fail("unknown edge endpoint" + at);
+      graph.add_explicit_sync_edge(a, b);
+    } else {
+      return fail("unknown record '" + kind + "'" + at);
+    }
+  }
+  graph.finalize();
+  return graph;
+}
+
+}  // namespace siwa::sg

@@ -1,0 +1,33 @@
+// Plain-text serialization of sync graphs.
+//
+// A stable, diff-friendly format so graphs can be stored as goldens,
+// shipped between tools, or hand-written for gadget experiments (the
+// Theorem 3 graphs correspond to no program, so a source file cannot
+// represent them). Format, one record per line, '#' comments:
+//
+//   task <name>
+//   node <id> <task> <receiver>.<message> +|- [guard <cond>=0|1 ...]
+//   entry <task> <node-id|e>
+//   cedge <from-id|b> <to-id|e>
+//   sedge <id> <id>            # explicit (non-derived) sync edge only
+//
+// Node ids in the file are the final NodeId values (>= 2); b and e are
+// written as 'b'/'e'. Derived sync edges are reconstructed by finalize(),
+// so only explicit extras are listed. parse returns nullopt with a message
+// on malformed input; write(parse(x)) == write(parse(write(parse(x)))).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::sg {
+
+[[nodiscard]] std::string serialize_sync_graph(const SyncGraph& graph);
+
+[[nodiscard]] std::optional<SyncGraph> parse_sync_graph(
+    std::string_view text, std::string* error = nullptr);
+
+}  // namespace siwa::sg

@@ -1,0 +1,185 @@
+#include "syncgraph/sync_graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/require.h"
+
+namespace siwa::sg {
+
+SyncGraph::SyncGraph() {
+  // NodeId 0 = b, NodeId 1 = e, by construction.
+  nodes_.push_back({NodeKind::Begin, TaskId::invalid(), SignalId::invalid(),
+                    Sign::Plus, SourceLoc{}, {}});
+  nodes_.push_back({NodeKind::End, TaskId::invalid(), SignalId::invalid(),
+                    Sign::Plus, SourceLoc{}, {}});
+  control_.grow_to(2);
+}
+
+TaskId SyncGraph::add_task(std::string name) {
+  SIWA_REQUIRE(!finalized_, "graph already finalized");
+  task_names_.push_back(std::move(name));
+  task_entries_.emplace_back();
+  task_nodes_.emplace_back();
+  return TaskId(task_names_.size() - 1);
+}
+
+SignalId SyncGraph::intern_signal(TaskId receiver, Symbol message) {
+  SIWA_REQUIRE(!finalized_, "graph already finalized");
+  for (std::size_t i = 0; i < signals_.size(); ++i)
+    if (signals_[i] == SignalType{receiver, message}) return SignalId(i);
+  signals_.push_back({receiver, message});
+  signal_accepts_.emplace_back();
+  return SignalId(signals_.size() - 1);
+}
+
+NodeId SyncGraph::add_rendezvous(TaskId task, SignalId signal, Sign sign,
+                                 SourceLoc loc, std::vector<Guard> guards) {
+  SIWA_REQUIRE(!finalized_, "graph already finalized");
+  SIWA_REQUIRE(task.valid() && task.index() < task_names_.size(), "bad task");
+  SIWA_REQUIRE(signal.valid() && signal.index() < signals_.size(),
+               "bad signal");
+  nodes_.push_back(
+      {NodeKind::Rendezvous, task, signal, sign, loc, std::move(guards)});
+  control_.grow_to(nodes_.size());
+  const NodeId id(nodes_.size() - 1);
+  task_nodes_[task.index()].push_back(id);
+  if (sign == Sign::Minus) signal_accepts_[signal.index()].push_back(id);
+  return id;
+}
+
+void SyncGraph::add_control_edge(NodeId from, NodeId to) {
+  SIWA_REQUIRE(!finalized_, "graph already finalized");
+  control_.add_edge(VertexId(from.value), VertexId(to.value));
+  csucc_.resize(nodes_.size());
+  cpred_.resize(nodes_.size());
+  csucc_[from.index()].push_back(to);
+  cpred_[to.index()].push_back(from);
+}
+
+void SyncGraph::add_task_entry(TaskId task, NodeId node) {
+  SIWA_REQUIRE(!finalized_, "graph already finalized");
+  auto& entries = task_entries_[task.index()];
+  if (std::find(entries.begin(), entries.end(), node) == entries.end())
+    entries.push_back(node);
+}
+
+void SyncGraph::add_explicit_sync_edge(NodeId a, NodeId b) {
+  SIWA_REQUIRE(!finalized_, "graph already finalized");
+  SIWA_REQUIRE(is_rendezvous(a) && is_rendezvous(b),
+               "sync edges join rendezvous nodes");
+  explicit_sync_edges_.emplace_back(a, b);
+}
+
+void SyncGraph::finalize() {
+  SIWA_REQUIRE(!finalized_, "graph already finalized");
+  sync_adj_.assign(nodes_.size(), {});
+
+  // Derived sync edges: every (t, m, +) with every (t, m, -).
+  std::vector<std::vector<NodeId>> signal_sends(signals_.size());
+  for (std::size_t i = 2; i < nodes_.size(); ++i) {
+    const SyncNode& n = nodes_[i];
+    if (n.sign == Sign::Plus)
+      signal_sends[n.signal.index()].push_back(NodeId(i));
+  }
+  for (std::size_t s = 0; s < signals_.size(); ++s) {
+    for (NodeId send : signal_sends[s]) {
+      for (NodeId accept : signal_accepts_[s]) {
+        sync_adj_[send.index()].push_back(accept);
+        sync_adj_[accept.index()].push_back(send);
+        ++sync_edge_count_;
+      }
+    }
+  }
+  for (auto [a, b] : explicit_sync_edges_) {
+    sync_adj_[a.index()].push_back(b);
+    sync_adj_[b.index()].push_back(a);
+    ++sync_edge_count_;
+  }
+  // Dedupe adjacency (explicit edges may duplicate derived ones).
+  for (auto& adj : sync_adj_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  finalized_ = true;
+}
+
+std::span<const NodeId> SyncGraph::control_successors(NodeId id) const {
+  if (id.index() >= csucc_.size()) return {};
+  return csucc_[id.index()];
+}
+
+std::span<const NodeId> SyncGraph::control_predecessors(NodeId id) const {
+  if (id.index() >= cpred_.size()) return {};
+  return cpred_[id.index()];
+}
+
+bool SyncGraph::has_sync_edge(NodeId a, NodeId b) const {
+  const auto& adj = sync_adj_[a.index()];
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+bool SyncGraph::guards_conflict(NodeId a, NodeId b) const {
+  for (const Guard& ga : node(a).guards)
+    for (const Guard& gb : node(b).guards)
+      if (ga.cond == gb.cond && ga.arm != gb.arm) return true;
+  return false;
+}
+
+std::string SyncGraph::describe(NodeId id) const {
+  const SyncNode& n = node(id);
+  switch (n.kind) {
+    case NodeKind::Begin: return "b";
+    case NodeKind::End: return "e";
+    case NodeKind::Rendezvous: break;
+  }
+  const SignalType sig = signal_type(n.signal);
+  std::ostringstream os;
+  os << task_name(n.task) << ":(" << task_name(sig.receiver) << ", "
+     << message_name(sig.message) << ", "
+     << (n.sign == Sign::Plus ? '+' : '-') << ")#" << id.value;
+  return os.str();
+}
+
+std::vector<std::string> SyncGraph::validate(bool program_derived) const {
+  std::vector<std::string> problems;
+  SIWA_REQUIRE(finalized_, "validate() requires finalize()");
+
+  for (std::size_t i = 2; i < nodes_.size(); ++i) {
+    const NodeId id(i);
+    const SyncNode& n = nodes_[i];
+    if (!n.task.valid()) {
+      problems.push_back(describe(id) + ": rendezvous node without task");
+      continue;
+    }
+    // Control edges must stay inside one task (or touch b/e).
+    for (NodeId succ : control_successors(id)) {
+      const SyncNode& m = node(succ);
+      if (m.kind == NodeKind::Rendezvous && m.task != n.task)
+        problems.push_back("control edge crosses tasks: " + describe(id) +
+                           " -> " + describe(succ));
+    }
+    if (program_derived && n.sign == Sign::Minus) {
+      const SignalType sig = signal_type(n.signal);
+      if (sig.receiver != n.task)
+        problems.push_back("accept node " + describe(id) +
+                           " lives outside the receiving task");
+    }
+  }
+
+  // Every task entry must be a node of that task or the end node.
+  for (std::size_t t = 0; t < task_names_.size(); ++t) {
+    if (task_entries_[t].empty())
+      problems.push_back("task " + task_names_[t] + " has no entry");
+    for (NodeId entry : task_entries_[t]) {
+      const SyncNode& n = node(entry);
+      if (n.kind == NodeKind::Begin ||
+          (n.kind == NodeKind::Rendezvous && n.task != TaskId(t)))
+        problems.push_back("task " + task_names_[t] + " entry " +
+                           describe(entry) + " is not in the task");
+    }
+  }
+  return problems;
+}
+
+}  // namespace siwa::sg

@@ -1,0 +1,181 @@
+// The sync graph SG_P = (T, N, E_C, E_S) of section 2.
+//
+// N holds one node per rendezvous statement plus the two distinguished nodes
+// b (program begin, the fork point) and e (program end). E_C are directed
+// control-flow edges between rendezvous points with no intervening
+// rendezvous; E_S are undirected sync edges joining complementary rendezvous
+// points of the same signal type.
+//
+// Sync edges are normally *derived*: every (t, m, +) node is joined to every
+// (t, m, -) node. The Theorem 3 gadget needs sync graphs that correspond to
+// no real program (sync edges between same-sign nodes), so explicit extra
+// sync edges can also be added; finalize() materializes the union.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "support/diagnostics.h"
+#include "support/ids.h"
+#include "support/interner.h"
+
+namespace siwa::sg {
+
+enum class NodeKind : std::uint8_t { Begin, End, Rendezvous };
+
+// The paper writes rendezvous points (t, m, s): s = '+' signals (entry
+// call), s = '-' accepts.
+enum class Sign : std::uint8_t { Plus, Minus };
+
+[[nodiscard]] constexpr Sign complement(Sign s) {
+  return s == Sign::Plus ? Sign::Minus : Sign::Plus;
+}
+
+// A signal is a (receiving task, message type) pair.
+struct SignalType {
+  TaskId receiver;
+  Symbol message;
+
+  friend bool operator==(SignalType a, SignalType b) {
+    return a.receiver == b.receiver && a.message == b.message;
+  }
+};
+
+// A guard (c, arm) records that the node sits syntactically inside the
+// given arm of a conditional on *shared* (encapsulated) condition c.
+// Because a shared condition has one program-wide value, two nodes whose
+// guard sets conflict on some condition can never execute in one run —
+// cross-task co-executability information in the sense of section 5.1.
+struct Guard {
+  Symbol cond;
+  bool arm = true;
+
+  friend bool operator==(Guard a, Guard b) {
+    return a.cond == b.cond && a.arm == b.arm;
+  }
+};
+
+struct SyncNode {
+  NodeKind kind = NodeKind::Rendezvous;
+  TaskId task;      // invalid for b/e
+  SignalId signal;  // invalid for b/e
+  Sign sign = Sign::Plus;
+  SourceLoc loc;
+  std::vector<Guard> guards;  // enclosing shared-conditional arms
+};
+
+class SyncGraph {
+ public:
+  SyncGraph();
+
+  // ----- construction -----
+  TaskId add_task(std::string name);
+  SignalId intern_signal(TaskId receiver, Symbol message);
+  Symbol intern_message(std::string_view name) {
+    return messages_.intern(name);
+  }
+
+  NodeId add_rendezvous(TaskId task, SignalId signal, Sign sign,
+                        SourceLoc loc = {}, std::vector<Guard> guards = {});
+  void add_control_edge(NodeId from, NodeId to);
+  // Declares `node` (a rendezvous node of `task`, or the end node) directly
+  // reachable from b for that task; used to seed initial execution waves.
+  void add_task_entry(TaskId task, NodeId node);
+  // Raw sync edge for gadget graphs that no program generates.
+  void add_explicit_sync_edge(NodeId a, NodeId b);
+
+  // Derives E_S from signal types, merges explicit edges, and freezes the
+  // graph. Must be called exactly once, before any query below.
+  void finalize();
+
+  // ----- queries (require finalize()) -----
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] NodeId begin_node() const { return NodeId(0); }
+  [[nodiscard]] NodeId end_node() const { return NodeId(1); }
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t task_count() const { return task_names_.size(); }
+  [[nodiscard]] std::size_t control_edge_count() const {
+    return control_.edge_count();
+  }
+  [[nodiscard]] std::size_t sync_edge_count() const { return sync_edge_count_; }
+
+  [[nodiscard]] const SyncNode& node(NodeId id) const {
+    return nodes_[id.index()];
+  }
+  [[nodiscard]] bool is_rendezvous(NodeId id) const {
+    return node(id).kind == NodeKind::Rendezvous;
+  }
+  [[nodiscard]] const std::string& task_name(TaskId t) const {
+    return task_names_[t.index()];
+  }
+  [[nodiscard]] SignalType signal_type(SignalId s) const {
+    return signals_[s.index()];
+  }
+  [[nodiscard]] std::string_view message_name(Symbol m) const {
+    return messages_.text(m);
+  }
+  // True when some shared condition appears with opposite arms in the two
+  // nodes' guard sets: they cannot both execute in one run.
+  [[nodiscard]] bool guards_conflict(NodeId a, NodeId b) const;
+
+  // Human-readable "(t2, sig1, +)" / "b" / "e" plus the task holding it.
+  [[nodiscard]] std::string describe(NodeId id) const;
+
+  [[nodiscard]] std::span<const NodeId> control_successors(NodeId id) const;
+  [[nodiscard]] std::span<const NodeId> control_predecessors(NodeId id) const;
+  [[nodiscard]] std::span<const NodeId> sync_partners(NodeId id) const {
+    return sync_adj_[id.index()];
+  }
+  [[nodiscard]] bool has_sync_edge(NodeId a, NodeId b) const;
+
+  [[nodiscard]] std::span<const NodeId> task_entries(TaskId t) const {
+    return task_entries_[t.index()];
+  }
+  [[nodiscard]] std::span<const NodeId> nodes_of_task(TaskId t) const {
+    return task_nodes_[t.index()];
+  }
+  // Explicit (non-derived) sync edges, for serialization.
+  [[nodiscard]] const std::vector<std::pair<NodeId, NodeId>>&
+  explicit_sync_edges() const {
+    return explicit_sync_edges_;
+  }
+  // All accept nodes of the given signal (used for COACCEPT).
+  [[nodiscard]] std::span<const NodeId> accepts_of_signal(SignalId s) const {
+    return signal_accepts_[s.index()];
+  }
+
+  // The control-flow subgraph (N, E_C) as a digraph whose vertex i is the
+  // sync node with NodeId i. Shared with analyses needing dominators or
+  // reachability.
+  [[nodiscard]] const graph::Digraph& control_graph() const { return control_; }
+
+  // Structural validation; returns problems found (empty = well formed).
+  // `program_derived` additionally enforces that accepts of signal (t, m)
+  // live in task t, as any real program's graph must.
+  [[nodiscard]] std::vector<std::string> validate(bool program_derived) const;
+
+ private:
+  std::vector<SyncNode> nodes_;
+  graph::Digraph control_;
+  // NodeId-typed mirrors of control_'s adjacency (control_ itself is kept
+  // for the generic graph algorithms, which speak VertexId).
+  std::vector<std::vector<NodeId>> csucc_;
+  std::vector<std::vector<NodeId>> cpred_;
+  std::vector<std::string> task_names_;
+  std::vector<SignalType> signals_;
+  Interner messages_;
+
+  std::vector<std::vector<NodeId>> task_entries_;
+  std::vector<std::vector<NodeId>> task_nodes_;
+  std::vector<std::vector<NodeId>> sync_adj_;
+  std::vector<std::vector<NodeId>> signal_accepts_;
+  std::vector<std::pair<NodeId, NodeId>> explicit_sync_edges_;
+  std::size_t sync_edge_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace siwa::sg

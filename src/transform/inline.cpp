@@ -1,0 +1,61 @@
+#include "transform/inline.h"
+
+#include "support/require.h"
+
+namespace siwa::transform {
+namespace {
+
+void inline_list(const lang::Program& program,
+                 const std::vector<lang::Stmt>& stmts,
+                 std::vector<lang::Stmt>& out, int depth) {
+  SIWA_REQUIRE(depth < 64, "procedure call nesting too deep (recursion?)");
+  for (const auto& s : stmts) {
+    switch (s.kind) {
+      case lang::StmtKind::Call: {
+        const lang::ProcDecl* proc = program.find_procedure(s.target);
+        SIWA_REQUIRE(proc != nullptr,
+                     "call to unknown procedure; run sema first");
+        inline_list(program, proc->body, out, depth + 1);
+        break;
+      }
+      case lang::StmtKind::If: {
+        lang::Stmt copy = s;
+        copy.body.clear();
+        copy.orelse.clear();
+        inline_list(program, s.body, copy.body, depth);
+        inline_list(program, s.orelse, copy.orelse, depth);
+        out.push_back(std::move(copy));
+        break;
+      }
+      case lang::StmtKind::While: {
+        lang::Stmt copy = s;
+        copy.body.clear();
+        inline_list(program, s.body, copy.body, depth);
+        out.push_back(std::move(copy));
+        break;
+      }
+      default:
+        out.push_back(s);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+lang::Program inline_procedures(const lang::Program& program) {
+  if (program.procedures.empty() && !program.has_calls()) return program;
+  lang::Program out;
+  out.interner = program.interner;
+  out.shared_conditions = program.shared_conditions;
+  for (const auto& task : program.tasks) {
+    lang::TaskDecl t;
+    t.name = task.name;
+    t.loc = task.loc;
+    inline_list(program, task.body, t.body, 0);
+    out.tasks.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace siwa::transform

@@ -1,0 +1,18 @@
+// Static procedure inlining — the paper's interprocedural extension
+// ("we hope to extend this model to an interprocedural one in later work")
+// realized the statically exact way its model permits: every `call p;`
+// is replaced by p's body, recursively (sema guarantees the call graph is
+// acyclic). Accepts inside a procedure bind to the calling task, exactly
+// as Ada's intra-task subprogram calls do. The result has no Call
+// statements and no procedure declarations; every analysis and transform
+// in SIWA consumes inlined programs (certify_program and build_sync_graph
+// apply this automatically).
+#pragma once
+
+#include "lang/ast.h"
+
+namespace siwa::transform {
+
+[[nodiscard]] lang::Program inline_procedures(const lang::Program& program);
+
+}  // namespace siwa::transform

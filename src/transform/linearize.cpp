@@ -1,0 +1,177 @@
+#include "transform/linearize.h"
+
+#include "transform/inline.h"
+
+namespace siwa::transform {
+namespace {
+
+// Rewrites every loop into `max_iters` nested conditionals
+// (while c loop B  ==>  if c then B; if c then B; ... end if; end if),
+// innermost loops first, yielding a loop-free statement tree whose paths are
+// exactly the loop-bounded linearizations. A loop guarded by a *shared*
+// condition can only execute zero times in a terminating run (the value
+// never changes, and a true value would iterate forever), so it rewrites to
+// nothing.
+std::vector<lang::Stmt> bounded_unroll(const lang::Program& program,
+                                       const std::vector<lang::Stmt>& stmts,
+                                       std::size_t max_iters) {
+  std::vector<lang::Stmt> out;
+  out.reserve(stmts.size());
+  for (const auto& s : stmts) {
+    switch (s.kind) {
+      case lang::StmtKind::Send:
+      case lang::StmtKind::Accept:
+        out.push_back(s);
+        break;
+      case lang::StmtKind::Call:
+      case lang::StmtKind::Null:
+        break;
+      case lang::StmtKind::If: {
+        lang::Stmt copy = s;
+        copy.body = bounded_unroll(program, s.body, max_iters);
+        copy.orelse = bounded_unroll(program, s.orelse, max_iters);
+        out.push_back(std::move(copy));
+        break;
+      }
+      case lang::StmtKind::While: {
+        if (program.is_shared_condition(s.cond)) break;
+        const std::vector<lang::Stmt> body =
+            bounded_unroll(program, s.body, max_iters);
+        std::vector<lang::Stmt> accumulated;
+        for (std::size_t k = 0; k < max_iters; ++k) {
+          lang::Stmt level;
+          level.kind = lang::StmtKind::If;
+          level.loc = s.loc;
+          level.cond = s.cond;
+          level.body = body;
+          level.body.insert(level.body.end(), accumulated.begin(),
+                            accumulated.end());
+          accumulated.clear();
+          accumulated.push_back(std::move(level));
+        }
+        out.insert(out.end(), accumulated.begin(), accumulated.end());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+class Enumerator {
+ public:
+  Enumerator(const lang::Program& program, Symbol self,
+             const LinearizeOptions& options)
+      : program_(program), self_(self), options_(options) {}
+
+  TaskLinearizations run(const std::vector<lang::Stmt>& body) {
+    const std::vector<lang::Stmt> flat =
+        bounded_unroll(program_, body, options_.max_loop_iterations);
+    TaskLinearizations out;
+    Linearization current;
+    expand({&flat, 0}, current, out);
+    return out;
+  }
+
+ private:
+  // A cursor into a statement list plus the continuation after it; ifs
+  // suspend the outer list and resume it when the arm is exhausted.
+  struct Cursor {
+    const std::vector<lang::Stmt>* list;
+    std::size_t at;
+  };
+
+  void expand(Cursor cursor, Linearization& current, TaskLinearizations& out) {
+    expand_chain(std::vector<Cursor>{cursor}, current, out);
+  }
+
+  void expand_chain(std::vector<Cursor> chain, Linearization& current,
+                    TaskLinearizations& out) {
+    if (!out.complete) return;
+    // Advance to the next unconsumed statement.
+    while (!chain.empty() && chain.back().at == chain.back().list->size())
+      chain.pop_back();
+    if (chain.empty()) {
+      emit(current, out);
+      return;
+    }
+    Cursor& top = chain.back();
+    const lang::Stmt& s = (*top.list)[top.at];
+    ++top.at;
+
+    switch (s.kind) {
+      case lang::StmtKind::Send:
+      case lang::StmtKind::Accept:
+        current.rendezvous.push_back(
+            {s.kind == lang::StmtKind::Send,
+             s.kind == lang::StmtKind::Send ? s.target : self_, s.message});
+        expand_chain(std::move(chain), current, out);
+        current.rendezvous.pop_back();
+        return;
+      case lang::StmtKind::Call:
+      case lang::StmtKind::Null:
+        expand_chain(std::move(chain), current, out);
+        return;
+      case lang::StmtKind::If: {
+        auto with_arm = [&](const std::vector<lang::Stmt>& arm, bool value) {
+          with_condition(s.cond, value, current, [&] {
+            std::vector<Cursor> next = chain;
+            next.push_back({&arm, 0});
+            expand_chain(std::move(next), current, out);
+          });
+        };
+        with_arm(s.body, true);
+        with_arm(s.orelse, false);
+        return;
+      }
+      case lang::StmtKind::While:
+        // bounded_unroll eliminated loops.
+        return;
+    }
+  }
+
+  template <class Fn>
+  void with_condition(Symbol cond, bool value, Linearization& current,
+                      Fn&& fn) {
+    if (!program_.is_shared_condition(cond)) {
+      fn();
+      return;
+    }
+    auto it = current.shared_assignment.find(cond);
+    if (it != current.shared_assignment.end()) {
+      if (it->second != value) return;  // contradiction: path infeasible
+      fn();
+      return;
+    }
+    current.shared_assignment.emplace(cond, value);
+    fn();
+    current.shared_assignment.erase(cond);
+  }
+
+  void emit(const Linearization& current, TaskLinearizations& out) {
+    if (out.paths.size() >= options_.max_paths) {
+      out.complete = false;
+      return;
+    }
+    out.paths.push_back(current);
+  }
+
+  const lang::Program& program_;
+  Symbol self_;
+  LinearizeOptions options_;
+};
+
+}  // namespace
+
+TaskLinearizations enumerate_linearizations(const lang::Program& program,
+                                            const lang::TaskDecl& task,
+                                            const LinearizeOptions& options) {
+  if (program.has_calls()) {
+    const lang::Program inlined = inline_procedures(program);
+    for (const auto& t : inlined.tasks)
+      if (t.name == task.name)
+        return Enumerator(inlined, t.name, options).run(t.body);
+  }
+  return Enumerator(program, task.name, options).run(task.body);
+}
+
+}  // namespace siwa::transform

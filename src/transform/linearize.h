@@ -1,0 +1,51 @@
+// Linearized executions (section 3.1.3).
+//
+// A linearization of a task resolves every conditional by picking an arm and
+// every loop by picking a bounded iteration count, leaving a straight-line
+// sequence of rendezvous. Stall Lemma 4 quantifies over *feasible* linearized
+// executions; under the all-paths-executable model the only cross-path
+// feasibility constraint is that *shared* (encapsulated) conditions take one
+// consistent value everywhere, so each linearization carries the assignment
+// it assumed. Enumeration is exponential and intended for ground-truth
+// cross-checks on small programs (bench E13); the polynomial check lives in
+// stall/balance.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace siwa::transform {
+
+struct LinearRendezvous {
+  bool is_send = false;
+  Symbol target;   // receiving task (the enclosing task itself for accepts)
+  Symbol message;
+};
+
+struct Linearization {
+  std::vector<LinearRendezvous> rendezvous;
+  // Values this path assumes for shared conditions (absent = unconstrained).
+  std::map<Symbol, bool> shared_assignment;
+};
+
+struct LinearizeOptions {
+  std::size_t max_loop_iterations = 2;
+  // Per-task cap; enumeration stops (and `complete` is cleared) beyond it.
+  std::size_t max_paths = 4096;
+};
+
+struct TaskLinearizations {
+  std::vector<Linearization> paths;
+  bool complete = true;
+};
+
+// All linearizations of one task. Paths whose choices contradict themselves
+// on a shared condition are infeasible and omitted.
+[[nodiscard]] TaskLinearizations enumerate_linearizations(
+    const lang::Program& program, const lang::TaskDecl& task,
+    const LinearizeOptions& options = {});
+
+}  // namespace siwa::transform

@@ -1,0 +1,196 @@
+#include "transform/merge.h"
+
+#include <optional>
+
+#include "transform/inline.h"
+
+namespace siwa::transform {
+namespace {
+
+bool same_rendezvous_type(const lang::Stmt& a, const lang::Stmt& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == lang::StmtKind::Send)
+    return a.target == b.target && a.message == b.message;
+  if (a.kind == lang::StmtKind::Accept) return a.message == b.message;
+  return false;
+}
+
+// Earliest (then_index, else_index) of a top-level rendezvous pair of the
+// same type on both arms; picks the first matching pair in then-arm order.
+// When `prefix_only` is set (the condition is independently evaluated, so
+// the two halves of a split conditional would be decided by *separate*
+// coin flips) only a match that is the first rendezvous on BOTH arms
+// qualifies — hoisting it then splits nothing that could correlate.
+std::optional<std::pair<std::size_t, std::size_t>> find_common(
+    const std::vector<lang::Stmt>& then_arm,
+    const std::vector<lang::Stmt>& else_arm, bool prefix_only) {
+  for (std::size_t i = 0; i < then_arm.size(); ++i) {
+    if (!then_arm[i].is_rendezvous()) {
+      if (prefix_only) return std::nullopt;  // non-trivial statement first
+      continue;
+    }
+    for (std::size_t j = 0; j < else_arm.size(); ++j) {
+      if (!else_arm[j].is_rendezvous()) {
+        if (prefix_only) break;
+        continue;
+      }
+      if (same_rendezvous_type(then_arm[i], else_arm[j])) return {{i, j}};
+      if (prefix_only) break;  // only the first rendezvous may match
+    }
+    if (prefix_only) return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// Matching common suffix pair for prefix_only mode: the last statements of
+// both arms are rendezvous of one type.
+bool tail_matches(const std::vector<lang::Stmt>& then_arm,
+                  const std::vector<lang::Stmt>& else_arm) {
+  return !then_arm.empty() && !else_arm.empty() &&
+         then_arm.back().is_rendezvous() && else_arm.back().is_rendezvous() &&
+         same_rendezvous_type(then_arm.back(), else_arm.back());
+}
+
+bool list_is_empty_of_rendezvous(const std::vector<lang::Stmt>& stmts) {
+  for (const auto& s : stmts) {
+    switch (s.kind) {
+      case lang::StmtKind::Send:
+      case lang::StmtKind::Accept:
+        return false;
+      case lang::StmtKind::If:
+        if (!list_is_empty_of_rendezvous(s.body) ||
+            !list_is_empty_of_rendezvous(s.orelse))
+          return false;
+        break;
+      case lang::StmtKind::While:
+        if (!list_is_empty_of_rendezvous(s.body)) return false;
+        break;
+      case lang::StmtKind::Call:
+        // Calls are inlined before the transform; a stray one is treated
+        // conservatively as possibly holding rendezvous.
+        return false;
+      case lang::StmtKind::Null:
+        break;
+    }
+  }
+  return true;
+}
+
+std::vector<lang::Stmt> rewrite_list(const lang::Program& program,
+                                     const std::vector<lang::Stmt>& stmts,
+                                     MergeStats& stats);
+
+// Rewrites one conditional; may emit several statements (split form). The
+// full interior split is only applied to *shared* conditions, where both
+// halves of the split are guaranteed to take the same arm; independent
+// conditions get prefix/suffix hoisting only.
+void rewrite_if(const lang::Program& program, const lang::Stmt& s,
+                std::vector<lang::Stmt>& out, MergeStats& stats) {
+  // Innermost conditionals first.
+  std::vector<lang::Stmt> then_arm = rewrite_list(program, s.body, stats);
+  std::vector<lang::Stmt> else_arm = rewrite_list(program, s.orelse, stats);
+  const bool prefix_only = !program.is_shared_condition(s.cond);
+
+  // Suffix hoists are collected and appended after the residual
+  // conditional.
+  std::vector<lang::Stmt> tail;
+  if (prefix_only) {
+    while (tail_matches(then_arm, else_arm)) {
+      tail.insert(tail.begin(), then_arm.back());
+      then_arm.pop_back();
+      else_arm.pop_back();
+      ++stats.merged_rendezvous;
+    }
+  }
+
+  while (auto match = find_common(then_arm, else_arm, prefix_only)) {
+    const auto [i, j] = *match;
+    // Prefix conditional (kept only if it still holds rendezvous).
+    lang::Stmt prefix;
+    prefix.kind = lang::StmtKind::If;
+    prefix.loc = s.loc;
+    prefix.cond = s.cond;
+    prefix.body.assign(then_arm.begin(),
+                       then_arm.begin() + static_cast<std::ptrdiff_t>(i));
+    prefix.orelse.assign(else_arm.begin(),
+                         else_arm.begin() + static_cast<std::ptrdiff_t>(j));
+    if (!list_is_empty_of_rendezvous(prefix.body) ||
+        !list_is_empty_of_rendezvous(prefix.orelse)) {
+      out.push_back(std::move(prefix));
+    } else if (!prefix.body.empty() || !prefix.orelse.empty()) {
+      ++stats.dropped_conditionals;
+    }
+    // The merged unconditional rendezvous r''.
+    out.push_back(then_arm[i]);
+    ++stats.merged_rendezvous;
+    // Continue with the suffixes as the remaining conditional.
+    then_arm.erase(then_arm.begin(),
+                   then_arm.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    else_arm.erase(else_arm.begin(),
+                   else_arm.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+  }
+
+  if (list_is_empty_of_rendezvous(then_arm) &&
+      list_is_empty_of_rendezvous(else_arm)) {
+    if (!then_arm.empty() || !else_arm.empty()) ++stats.dropped_conditionals;
+  } else {
+    lang::Stmt rest;
+    rest.kind = lang::StmtKind::If;
+    rest.loc = s.loc;
+    rest.cond = s.cond;
+    rest.body = std::move(then_arm);
+    rest.orelse = std::move(else_arm);
+    out.push_back(std::move(rest));
+  }
+  out.insert(out.end(), tail.begin(), tail.end());
+}
+
+std::vector<lang::Stmt> rewrite_list(const lang::Program& program,
+                                     const std::vector<lang::Stmt>& stmts,
+                                     MergeStats& stats) {
+  std::vector<lang::Stmt> out;
+  out.reserve(stmts.size());
+  for (const auto& s : stmts) {
+    switch (s.kind) {
+      case lang::StmtKind::Send:
+      case lang::StmtKind::Accept:
+      case lang::StmtKind::Call:
+        out.push_back(s);
+        break;
+      case lang::StmtKind::Null:
+        break;
+      case lang::StmtKind::If:
+        rewrite_if(program, s, out, stats);
+        break;
+      case lang::StmtKind::While: {
+        lang::Stmt copy = s;
+        copy.body = rewrite_list(program, s.body, stats);
+        out.push_back(std::move(copy));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+lang::Program merge_branch_rendezvous(const lang::Program& original,
+                                      MergeStats* stats) {
+  const lang::Program program = inline_procedures(original);
+  MergeStats local;
+  lang::Program out;
+  out.interner = program.interner;
+  out.shared_conditions = program.shared_conditions;
+  for (const auto& task : program.tasks) {
+    lang::TaskDecl t;
+    t.name = task.name;
+    t.loc = task.loc;
+    t.body = rewrite_list(program, task.body, local);
+    out.tasks.push_back(std::move(t));
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace siwa::transform

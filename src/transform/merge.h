@@ -1,0 +1,38 @@
+// Stall-analysis source transform, pattern 1 (section 5.1, Figure 5(b)(c)).
+//
+// When a rendezvous of some type is always executed on the then-arm and a
+// rendezvous of the same type always executed on the else-arm, the two
+// merge into one unconditional rendezvous; the conditional is *split*
+// around the merged node so relative ordering within each arm is kept:
+//
+//   if c then A... ; r ; B...          if c then A... else C... end if;
+//   else   C... ; r ; D...     ==>     r;
+//   end if;                            if c then B... else D... end if;
+//
+// "Always executed on an arm" is approximated as: appears at the arm's top
+// level (not nested in a further conditional or loop). The rewrite is
+// applied innermost-first and repeated to fixpoint; empty residual
+// conditionals are dropped.
+//
+// The interior split re-evaluates the condition, so it is only exact when
+// the condition is *shared* (encapsulated, section 5.1): both residual
+// conditionals then take the same arm. For independently evaluated
+// conditions the transform restricts itself to hoisting matching common
+// prefixes and suffixes, which splits nothing — a full split would turn
+// correlated residues ("k on the then-prefix" / "k on the else-suffix")
+// into two independent coin flips and *lose* stall precision.
+#pragma once
+
+#include "lang/ast.h"
+
+namespace siwa::transform {
+
+struct MergeStats {
+  std::size_t merged_rendezvous = 0;
+  std::size_t dropped_conditionals = 0;
+};
+
+[[nodiscard]] lang::Program merge_branch_rendezvous(
+    const lang::Program& program, MergeStats* stats = nullptr);
+
+}  // namespace siwa::transform

@@ -1,0 +1,106 @@
+#include "transform/prune.h"
+
+#include <algorithm>
+
+namespace siwa::transform {
+namespace {
+
+void collect_used(const lang::Program& program,
+                  const std::vector<lang::Stmt>& stmts,
+                  std::vector<Symbol>& used) {
+  for (const auto& s : stmts) {
+    if (s.kind == lang::StmtKind::If || s.kind == lang::StmtKind::While) {
+      if (program.is_shared_condition(s.cond) &&
+          std::find(used.begin(), used.end(), s.cond) == used.end())
+        used.push_back(s.cond);
+    }
+    collect_used(program, s.body, used);
+    collect_used(program, s.orelse, used);
+  }
+}
+
+// Returns false when the assignment is infeasible (a shared-condition loop
+// pinned true).
+bool prune_list(const std::map<Symbol, bool>& assignment,
+                const std::vector<lang::Stmt>& stmts,
+                std::vector<lang::Stmt>& out) {
+  for (const auto& s : stmts) {
+    switch (s.kind) {
+      case lang::StmtKind::Send:
+      case lang::StmtKind::Accept:
+      case lang::StmtKind::Call:
+      case lang::StmtKind::Null:
+        out.push_back(s);
+        break;
+      case lang::StmtKind::If: {
+        auto it = assignment.find(s.cond);
+        if (it != assignment.end()) {
+          if (!prune_list(assignment, it->second ? s.body : s.orelse, out))
+            return false;
+        } else {
+          lang::Stmt copy = s;
+          copy.body.clear();
+          copy.orelse.clear();
+          if (!prune_list(assignment, s.body, copy.body)) return false;
+          if (!prune_list(assignment, s.orelse, copy.orelse)) return false;
+          out.push_back(std::move(copy));
+        }
+        break;
+      }
+      case lang::StmtKind::While: {
+        auto it = assignment.find(s.cond);
+        if (it != assignment.end()) {
+          if (it->second) return false;  // would never exit
+          break;                         // zero iterations
+        }
+        lang::Stmt copy = s;
+        copy.body.clear();
+        if (!prune_list(assignment, s.body, copy.body)) return false;
+        out.push_back(std::move(copy));
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Symbol> used_shared_conditions(const lang::Program& program) {
+  std::vector<Symbol> used;
+  for (const auto& task : program.tasks)
+    collect_used(program, task.body, used);
+  for (const auto& proc : program.procedures)
+    collect_used(program, proc.body, used);
+  return used;
+}
+
+std::optional<lang::Program> prune_shared(
+    const lang::Program& program, const std::map<Symbol, bool>& assignment) {
+  lang::Program out;
+  out.interner = program.interner;
+  // Conditions fully resolved by the assignment stop being "shared" in the
+  // residue; unresolved ones remain.
+  for (Symbol c : program.shared_conditions)
+    if (assignment.find(c) == assignment.end())
+      out.shared_conditions.push_back(c);
+  for (const auto& task : program.tasks) {
+    lang::TaskDecl t;
+    t.name = task.name;
+    t.loc = task.loc;
+    if (!prune_list(assignment, task.body, t.body)) return std::nullopt;
+    out.tasks.push_back(std::move(t));
+  }
+  // Procedure bodies may branch on shared conditions too; calls in the
+  // residue still need their (pruned) definitions.
+  for (const auto& proc : program.procedures) {
+    lang::ProcDecl q;
+    q.name = proc.name;
+    q.loc = proc.loc;
+    if (!prune_list(assignment, proc.body, q.body)) return std::nullopt;
+    out.procedures.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace siwa::transform

@@ -1,0 +1,27 @@
+// Partial evaluation of a program under an assignment to its shared
+// (encapsulated) conditions — the basis of the assignment-exact wave
+// oracle for programs using section 5.1's encapsulated booleans.
+//
+// Every `if c` with c in the assignment keeps only the chosen arm; every
+// `while c` with c assigned false disappears; c assigned true makes the
+// assignment infeasible under the all-tasks-terminate assumption (the loop
+// could never exit), signalled by nullopt. Conditions outside the
+// assignment are untouched.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace siwa::transform {
+
+// Shared conditions that actually appear in some if/while of the program.
+[[nodiscard]] std::vector<Symbol> used_shared_conditions(
+    const lang::Program& program);
+
+[[nodiscard]] std::optional<lang::Program> prune_shared(
+    const lang::Program& program, const std::map<Symbol, bool>& assignment);
+
+}  // namespace siwa::transform

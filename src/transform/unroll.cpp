@@ -1,0 +1,84 @@
+#include "transform/unroll.h"
+
+#include "transform/inline.h"
+
+namespace siwa::transform {
+namespace {
+
+std::vector<lang::Stmt> unroll_list(const std::vector<lang::Stmt>& stmts);
+
+lang::Stmt unroll_stmt(const lang::Stmt& s) {
+  switch (s.kind) {
+    case lang::StmtKind::Send:
+    case lang::StmtKind::Accept:
+    case lang::StmtKind::Call:  // inlined away before this runs
+    case lang::StmtKind::Null:
+      return s;
+    case lang::StmtKind::If: {
+      lang::Stmt out = s;
+      out.body = unroll_list(s.body);
+      out.orelse = unroll_list(s.orelse);
+      return out;
+    }
+    case lang::StmtKind::While: {
+      // Innermost loops first: transform the body, then duplicate it.
+      std::vector<lang::Stmt> body = unroll_list(s.body);
+
+      lang::Stmt inner;
+      inner.kind = lang::StmtKind::If;
+      inner.loc = s.loc;
+      inner.cond = s.cond;
+      inner.body = body;  // second copy
+
+      lang::Stmt outer;
+      outer.kind = lang::StmtKind::If;
+      outer.loc = s.loc;
+      outer.cond = s.cond;
+      outer.body = std::move(body);  // first copy
+      outer.body.push_back(std::move(inner));
+      return outer;
+    }
+  }
+  return s;
+}
+
+std::vector<lang::Stmt> unroll_list(const std::vector<lang::Stmt>& stmts) {
+  std::vector<lang::Stmt> out;
+  out.reserve(stmts.size());
+  for (const auto& s : stmts) out.push_back(unroll_stmt(s));
+  return out;
+}
+
+bool list_has_loops(const std::vector<lang::Stmt>& stmts) {
+  for (const auto& s : stmts) {
+    if (s.kind == lang::StmtKind::While) return true;
+    if (list_has_loops(s.body) || list_has_loops(s.orelse)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+lang::Program unroll_loops_twice(const lang::Program& original) {
+  const lang::Program program = inline_procedures(original);
+  lang::Program out;
+  out.interner = program.interner;
+  out.shared_conditions = program.shared_conditions;
+  out.tasks.reserve(program.tasks.size());
+  for (const auto& task : program.tasks) {
+    lang::TaskDecl t;
+    t.name = task.name;
+    t.loc = task.loc;
+    t.body = unroll_list(task.body);
+    out.tasks.push_back(std::move(t));
+  }
+  return out;
+}
+
+bool has_loops(const lang::Program& program) {
+  for (const auto& task : program.tasks)
+    if (list_has_loops(task.body)) return true;
+  return false;
+}
+
+}  // namespace siwa::transform

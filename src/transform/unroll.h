@@ -1,0 +1,28 @@
+// Lemma 1 loop-removal transform T(P).
+//
+// The CLG method needs acyclic control flow. T(P) unrolls each loop twice,
+// recursively from innermost to outermost nest levels:
+//
+//   while c loop B end loop;
+//     ==>   if c then B' ; if c then B'' end if; end if;
+//
+// where B' and B'' are independently transformed copies of B. Per Lemma 1
+// this preserves all deadlock cycles of any linearized execution of P (in
+// both directions: T is anomaly preserving and precise), because for every
+// placement of a cycle's task entry/exit nodes relative to an unrolled loop
+// body a control path between nodes of the same rendezvous types exists in
+// T(P) iff it exists in some linearization of P.
+//
+// Worst-case growth is O(statements x 2^nest_depth) (measured in E11).
+#pragma once
+
+#include "lang/ast.h"
+
+namespace siwa::transform {
+
+// Returns an equivalent-for-deadlock-analysis loop-free program.
+[[nodiscard]] lang::Program unroll_loops_twice(const lang::Program& program);
+
+[[nodiscard]] bool has_loops(const lang::Program& program);
+
+}  // namespace siwa::transform

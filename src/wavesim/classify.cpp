@@ -1,0 +1,113 @@
+#include "wavesim/classify.h"
+
+#include <algorithm>
+
+#include "graph/scc.h"
+#include "support/require.h"
+
+namespace siwa::wavesim {
+
+bool AnomalyReport::partition_covers_wave(const sg::SyncGraph& sg) const {
+  std::size_t waiting = 0;
+  for (NodeId n : wave)
+    if (sg.is_rendezvous(n)) ++waiting;
+  return waiting == stall_nodes.size() + deadlock_nodes.size() +
+                        blocked_nodes.size();
+}
+
+WaveClassifier::WaveClassifier(const sg::SyncGraph& sg)
+    : sg_(sg), control_reach_(sg.control_graph()) {
+  SIWA_REQUIRE(sg.finalized(), "classifier requires finalized graph");
+}
+
+std::optional<AnomalyReport> WaveClassifier::classify(const Wave& wave) const {
+  // Indices of tasks still waiting at a rendezvous point.
+  std::vector<std::size_t> waiting;
+  for (std::size_t u = 0; u < wave.size(); ++u)
+    if (sg_.is_rendezvous(wave[u])) waiting.push_back(u);
+  if (waiting.empty()) return std::nullopt;
+
+  for (std::size_t a = 0; a < waiting.size(); ++a)
+    for (std::size_t b = a + 1; b < waiting.size(); ++b)
+      if (sg_.has_sync_edge(wave[waiting[a]], wave[waiting[b]]))
+        return std::nullopt;  // some pair can rendezvous: not anomalous
+
+  AnomalyReport report;
+  report.wave = wave;
+
+  auto reaches_from_wave = [&](NodeId z) {
+    for (NodeId w : wave) {
+      if (!sg_.is_rendezvous(w)) continue;
+      if (control_reach_.reaches(VertexId(w.value), VertexId(z.value)))
+        return true;
+    }
+    return false;
+  };
+
+  // Stall nodes: no sync partner ahead of the wave anywhere.
+  std::vector<bool> is_stall(waiting.size(), false);
+  for (std::size_t k = 0; k < waiting.size(); ++k) {
+    const NodeId r = wave[waiting[k]];
+    bool partner_ahead = false;
+    for (NodeId z : sg_.sync_partners(r)) {
+      if (reaches_from_wave(z)) {
+        partner_ahead = true;
+        break;
+      }
+    }
+    if (!partner_ahead) is_stall[k] = true;
+  }
+
+  // Coupling digraph over the waiting nodes: edge k -> j when wave node k is
+  // coupled to wave node j (some control descendant of j is a sync partner
+  // of k). Includes self-loops (a task whose own descendant could satisfy
+  // it — e.g. a self-send — couples to itself).
+  graph::Digraph coupling(waiting.size());
+  for (std::size_t k = 0; k < waiting.size(); ++k) {
+    const NodeId r = wave[waiting[k]];
+    for (std::size_t j = 0; j < waiting.size(); ++j) {
+      const NodeId s = wave[waiting[j]];
+      bool coupled = false;
+      for (NodeId z : sg_.sync_partners(r)) {
+        if (control_reach_.reaches(VertexId(s.value), VertexId(z.value))) {
+          coupled = true;
+          break;
+        }
+      }
+      if (coupled) coupling.add_edge(VertexId(k), VertexId(j));
+    }
+  }
+
+  // Deadlock participants: vertices on coupling cycles.
+  const graph::SccResult scc = graph::tarjan_scc(coupling);
+  std::vector<bool> in_deadlock(waiting.size(), false);
+  for (std::size_t k = 0; k < waiting.size(); ++k) {
+    const auto comp = scc.component_of[k];
+    if (comp >= 0 && scc.component_size[static_cast<std::size_t>(comp)] > 1)
+      in_deadlock[k] = true;
+    if (coupling.has_edge(VertexId(k), VertexId(k))) in_deadlock[k] = true;
+  }
+
+  // Blocked: can reach a stall or deadlock vertex along coupling edges.
+  std::vector<bool> blocked(waiting.size(), false);
+  for (std::size_t k = 0; k < waiting.size(); ++k) {
+    if (is_stall[k] || in_deadlock[k]) continue;
+    const DynamicBitset reach = graph::reachable_from(coupling, VertexId(k));
+    reach.for_each([&](std::size_t j) {
+      if (is_stall[j] || in_deadlock[j]) blocked[k] = true;
+    });
+  }
+
+  for (std::size_t k = 0; k < waiting.size(); ++k) {
+    const NodeId n = wave[waiting[k]];
+    if (is_stall[k])
+      report.stall_nodes.push_back(n);
+    else if (in_deadlock[k])
+      report.deadlock_nodes.push_back(n);
+    else if (blocked[k])
+      report.blocked_nodes.push_back(n);
+  }
+  return report;
+}
+
+}  // namespace siwa::wavesim

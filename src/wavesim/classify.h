@@ -1,0 +1,52 @@
+// Anomalous-wave classification (section 2, "Infinite wait anomalies").
+//
+// A wave is anomalous when it still holds at least one rendezvous point but
+// no two wave nodes are joined by a sync edge. Anomalous waves decompose
+// into:
+//   - stall nodes: wave nodes none of whose sync partners is reachable by
+//     control flow from any node on the wave;
+//   - deadlock nodes: wave nodes on a cycle of the *coupling* relation
+//     (r is coupled to s when some control-flow descendant of s is a sync
+//     partner of r, i.e. r may rendezvous with a node that executes after s);
+//   - blocked nodes: the rest, transitively coupled into the first two sets.
+// Theorem 1 states the three sets cover every node of an anomalous wave;
+// the classifier exposes the partition so tests can verify the theorem
+// empirically.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/reachability.h"
+#include "syncgraph/sync_graph.h"
+#include "wavesim/wave.h"
+
+namespace siwa::wavesim {
+
+struct AnomalyReport {
+  Wave wave;
+  std::vector<NodeId> stall_nodes;
+  std::vector<NodeId> deadlock_nodes;
+  std::vector<NodeId> blocked_nodes;  // transitively coupled to the above
+
+  [[nodiscard]] bool is_stall() const { return !stall_nodes.empty(); }
+  [[nodiscard]] bool is_deadlock() const { return !deadlock_nodes.empty(); }
+  // Theorem 1: true when every waiting node is classified.
+  [[nodiscard]] bool partition_covers_wave(const sg::SyncGraph& sg) const;
+};
+
+// Shared precomputation for classifying many waves of one graph.
+class WaveClassifier {
+ public:
+  explicit WaveClassifier(const sg::SyncGraph& sg);
+
+  // nullopt when the wave is not anomalous (some pair can rendezvous, or
+  // only b/e entries remain).
+  [[nodiscard]] std::optional<AnomalyReport> classify(const Wave& wave) const;
+
+ private:
+  const sg::SyncGraph& sg_;
+  graph::Reachability control_reach_;
+};
+
+}  // namespace siwa::wavesim

@@ -1,0 +1,125 @@
+#include "wavesim/explorer.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/require.h"
+
+namespace siwa::wavesim {
+
+WaveExplorer::WaveExplorer(const sg::SyncGraph& sg, ExploreOptions options)
+    : sg_(sg), options_(options), classifier_(sg) {
+  SIWA_REQUIRE(sg.finalized(), "explorer requires finalized graph");
+}
+
+std::vector<Wave> WaveExplorer::initial_waves() const {
+  std::vector<Wave> waves{Wave{}};
+  for (std::size_t t = 0; t < sg_.task_count(); ++t) {
+    const auto entries = sg_.task_entries(TaskId(t));
+    std::vector<Wave> grown;
+    grown.reserve(waves.size() * entries.size());
+    for (const Wave& w : waves) {
+      for (NodeId entry : entries) {
+        if (grown.size() >= options_.max_initial_waves) break;
+        Wave next = w;
+        next.push_back(entry);
+        grown.push_back(std::move(next));
+      }
+    }
+    waves = std::move(grown);
+  }
+  return waves;
+}
+
+std::vector<Wave> WaveExplorer::next_waves(const Wave& wave) const {
+  std::vector<Wave> out;
+  for (std::size_t u = 0; u < wave.size(); ++u) {
+    if (!sg_.is_rendezvous(wave[u])) continue;
+    for (std::size_t v = u + 1; v < wave.size(); ++v) {
+      if (!sg_.is_rendezvous(wave[v])) continue;
+      if (!sg_.has_sync_edge(wave[u], wave[v])) continue;
+      // The pair rendezvouses; each successor choice is a derived wave.
+      // Raw gadget graphs may leave a node without control successors;
+      // the task then simply finishes (successor e).
+      auto successors_of = [&](NodeId n) {
+        auto s = sg_.control_successors(n);
+        return s.empty() ? std::vector<NodeId>{sg_.end_node()}
+                         : std::vector<NodeId>(s.begin(), s.end());
+      };
+      for (NodeId a : successors_of(wave[u])) {
+        for (NodeId b : successors_of(wave[v])) {
+          Wave next = wave;
+          next[u] = a;
+          next[v] = b;
+          out.push_back(std::move(next));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ExploreResult WaveExplorer::explore() const {
+  ExploreResult result;
+  std::unordered_set<Wave, WaveHash> visited;
+  std::unordered_map<Wave, Wave, WaveHash> parent;
+  std::deque<Wave> frontier;
+
+  auto enqueue = [&](const Wave& wave, const Wave* from) {
+    if (visited.size() >= options_.max_states) {
+      result.complete = false;
+      return;
+    }
+    if (!visited.insert(wave).second) return;
+    if (options_.collect_witness_trace && from != nullptr)
+      parent.emplace(wave, *from);
+    frontier.push_back(wave);
+  };
+
+  for (const Wave& w : initial_waves()) enqueue(w, nullptr);
+
+  bool witness_done = false;
+  while (!frontier.empty()) {
+    const Wave wave = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.states;
+    if (options_.collect_waves != nullptr)
+      options_.collect_waves->push_back(wave);
+
+    bool all_done = true;
+    for (NodeId n : wave)
+      if (sg_.is_rendezvous(n)) all_done = false;
+    if (all_done) {
+      result.can_terminate = true;
+      continue;
+    }
+
+    if (auto report = classifier_.classify(wave)) {
+      ++result.anomalous_waves;
+      result.any_deadlock = result.any_deadlock || report->is_deadlock();
+      result.any_stall = result.any_stall || report->is_stall();
+      if (result.reports.size() < options_.max_reports)
+        result.reports.push_back(*report);
+      if (options_.collect_witness_trace && !witness_done) {
+        witness_done = true;
+        std::vector<Wave> trace{wave};
+        auto it = parent.find(wave);
+        while (it != parent.end()) {
+          trace.push_back(it->second);
+          it = parent.find(it->second);
+        }
+        result.witness_trace.assign(trace.rbegin(), trace.rend());
+      }
+      continue;  // anomalous waves have no successors
+    }
+
+    for (Wave& next : next_waves(wave)) {
+      ++result.transitions;
+      enqueue(next, &wave);
+    }
+  }
+  return result;
+}
+
+}  // namespace siwa::wavesim

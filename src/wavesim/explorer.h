@@ -1,0 +1,65 @@
+// Exhaustive execution-wave exploration: NextWavesSet*(W_INIT).
+//
+// Computes the set of feasible execution waves by breadth-first search over
+// wave space, classifying every anomalous wave found. This is the *exact*
+// semantics of section 2 and is exponential in the number of tasks — the
+// paper's motivation for polynomial static analysis (its section 6 relates
+// this to Taylor's concurrency-state enumeration; `states` is that state
+// count, used as the baseline in experiment E12). SIWA uses it as the
+// ground-truth oracle when measuring the precision of the CLG detectors.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "syncgraph/sync_graph.h"
+#include "wavesim/classify.h"
+#include "wavesim/wave.h"
+
+namespace siwa::wavesim {
+
+struct ExploreOptions {
+  std::size_t max_states = 200'000;
+  std::size_t max_initial_waves = 4096;
+  std::size_t max_reports = 16;  // anomaly reports retained
+  bool collect_witness_trace = true;
+  // When set, every distinct reachable wave is appended here (used by the
+  // semantic validation tests for the precedence engine).
+  std::vector<Wave>* collect_waves = nullptr;
+};
+
+struct ExploreResult {
+  bool complete = true;  // false if a cap was hit; verdicts are then lower bounds
+  std::size_t states = 0;       // distinct waves reached (concurrency states)
+  std::size_t transitions = 0;  // rendezvous executed across the search
+  bool can_terminate = false;   // a wave with every task at e is reachable
+  std::size_t anomalous_waves = 0;
+  bool any_deadlock = false;
+  bool any_stall = false;
+  std::vector<AnomalyReport> reports;
+  // Rendezvous-by-rendezvous wave sequence from an initial wave to the
+  // first anomalous wave found (empty when no anomaly or disabled).
+  std::vector<Wave> witness_trace;
+
+  [[nodiscard]] bool has_anomaly() const { return anomalous_waves > 0; }
+};
+
+class WaveExplorer {
+ public:
+  explicit WaveExplorer(const sg::SyncGraph& sg, ExploreOptions options = {});
+
+  [[nodiscard]] ExploreResult explore() const;
+
+  // All W_INIT waves: one entry choice per task (capped).
+  [[nodiscard]] std::vector<Wave> initial_waves() const;
+
+  // All waves directly derivable from `wave` (NextWaves).
+  [[nodiscard]] std::vector<Wave> next_waves(const Wave& wave) const;
+
+ private:
+  const sg::SyncGraph& sg_;
+  ExploreOptions options_;
+  WaveClassifier classifier_;
+};
+
+}  // namespace siwa::wavesim

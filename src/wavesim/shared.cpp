@@ -1,0 +1,67 @@
+#include "wavesim/shared.h"
+
+#include "syncgraph/builder.h"
+#include "transform/inline.h"
+#include "transform/prune.h"
+
+namespace siwa::wavesim {
+namespace {
+
+void merge_into(ExploreResult& combined, const ExploreResult& part,
+                std::size_t max_reports) {
+  combined.complete = combined.complete && part.complete;
+  combined.states += part.states;
+  combined.transitions += part.transitions;
+  combined.can_terminate = combined.can_terminate || part.can_terminate;
+  combined.anomalous_waves += part.anomalous_waves;
+  combined.any_deadlock = combined.any_deadlock || part.any_deadlock;
+  combined.any_stall = combined.any_stall || part.any_stall;
+  for (const auto& report : part.reports) {
+    if (combined.reports.size() >= max_reports) break;
+    combined.reports.push_back(report);
+  }
+  if (combined.witness_trace.empty() && !part.witness_trace.empty())
+    combined.witness_trace = part.witness_trace;
+}
+
+}  // namespace
+
+SharedExploreResult explore_shared(const lang::Program& original,
+                                   const ExploreOptions& options,
+                                   std::size_t max_conditions) {
+  SharedExploreResult result;
+  // Inline up front so condition usage inside procedures is visible to the
+  // assignment enumeration.
+  const lang::Program program = original.has_calls()
+                                    ? transform::inline_procedures(original)
+                                    : original;
+  const std::vector<Symbol> conditions =
+      transform::used_shared_conditions(program);
+
+  if (conditions.empty() || conditions.size() > max_conditions) {
+    result.condition_cap_hit = conditions.size() > max_conditions;
+    const sg::SyncGraph graph = sg::build_sync_graph(program);
+    result.combined = WaveExplorer(graph, options).explore();
+    result.assignments_total = 1;
+    return result;
+  }
+
+  result.assignments_total = std::size_t{1} << conditions.size();
+  result.combined.complete = true;
+  for (std::size_t bits = 0; bits < result.assignments_total; ++bits) {
+    std::map<Symbol, bool> assignment;
+    for (std::size_t k = 0; k < conditions.size(); ++k)
+      assignment[conditions[k]] = (bits >> k) & 1u;
+    const auto pruned = transform::prune_shared(program, assignment);
+    if (!pruned) {
+      ++result.assignments_infeasible;
+      continue;
+    }
+    const sg::SyncGraph graph = sg::build_sync_graph(*pruned);
+    merge_into(result.combined, WaveExplorer(graph, options).explore(),
+               options.max_reports);
+  }
+  return result;
+}
+
+}  // namespace siwa::wavesim

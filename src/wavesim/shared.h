@@ -1,0 +1,36 @@
+// Assignment-exact wave oracle for programs with shared (encapsulated)
+// conditions.
+//
+// The plain explorer treats every conditional as an independent
+// nondeterministic choice — correct for opaque conditions, but an
+// over-approximation when conditions are shared: it can report anomalies
+// that require one condition to be simultaneously true and false. This
+// oracle enumerates all assignments to the program's *used* shared
+// conditions (capped), prunes the program under each (transform/prune.h),
+// explores each residue exactly, and unions the results. Assignments that
+// pin a shared loop condition true are infeasible under the
+// all-tasks-terminate assumption and are skipped (counted in the result).
+#pragma once
+
+#include "lang/ast.h"
+#include "wavesim/explorer.h"
+
+namespace siwa::wavesim {
+
+struct SharedExploreResult {
+  // Union across feasible assignments. NOTE: anomaly reports and witness
+  // traces reference the per-assignment pruned graphs, not a graph of the
+  // original program; use them for verdicts and counts, not node lookups.
+  ExploreResult combined;
+  std::size_t assignments_total = 0;   // 2^k over used shared conditions
+  std::size_t assignments_infeasible = 0;
+  bool condition_cap_hit = false;      // too many shared conditions
+};
+
+// `max_conditions`: above this, falls back to the plain (conservative)
+// explorer with condition_cap_hit set.
+[[nodiscard]] SharedExploreResult explore_shared(
+    const lang::Program& program, const ExploreOptions& options = {},
+    std::size_t max_conditions = 10);
+
+}  // namespace siwa::wavesim

@@ -1,0 +1,29 @@
+// Execution waves (section 2).
+//
+// A wave W has one entry per task: the task's chosen potentially-executable
+// node, or e once the task has finished. The wave advances when two wave
+// nodes joined by a sync edge rendezvous; each pair of control-flow
+// successor choices yields a distinct derived wave.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/ids.h"
+
+namespace siwa::wavesim {
+
+using Wave = std::vector<NodeId>;  // indexed by TaskId
+
+struct WaveHash {
+  std::size_t operator()(const Wave& w) const noexcept {
+    std::size_t h = 1469598103934665603ull;  // FNV-1a
+    for (NodeId n : w) {
+      h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(n.value));
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace siwa::wavesim

@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include "core/certifier.h"
+#include "core/constraint4.h"
+#include "gen/patterns.h"
+#include "lang/parser.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+
+namespace siwa::core {
+namespace {
+
+sg::SyncGraph graph_of(const char* source) {
+  return sg::build_sync_graph(lang::parse_and_check_or_throw(source));
+}
+
+RefinedResult run_refined(const sg::SyncGraph& g, RefinedOptions options = {}) {
+  const sg::Clg clg(g);
+  const Precedence prec(g);
+  const CoExec coexec(g);
+  return detect_refined(g, clg, prec, coexec, options);
+}
+
+// A deadlock-free program whose CLG nevertheless has a cycle entering and
+// leaving task B through two accepts of one signal type — the Lemma 2 /
+// Figure 5(a) situation. The naive detector reports it; the refined
+// detector eliminates every head hypothesis (COACCEPT kills the cycle for
+// the accept head, sequenceability for the others).
+constexpr const char* kLemma2Spurious = R"(
+task a is begin accept k; send b.m; end a;
+task b is begin accept m; accept m; end b;
+task c is begin send b.m; send a.k; end c;
+)";
+
+// A genuinely deadlocking pair: each task accepts before the other sends.
+constexpr const char* kRealDeadlock = R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)";
+
+TEST(Naive, ReportsRealDeadlock) {
+  const auto g = graph_of(kRealDeadlock);
+  const sg::Clg clg(g);
+  const NaiveResult r = detect_naive(g, clg);
+  EXPECT_TRUE(r.deadlock_possible);
+  EXPECT_GE(r.witness_cycle.size(), 2u);
+}
+
+TEST(Naive, CertifiesHandshake) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)");
+  const sg::Clg clg(g);
+  EXPECT_FALSE(detect_naive(g, clg).deadlock_possible);
+}
+
+TEST(Naive, ReportsLemma2SpuriousCycle) {
+  const auto g = graph_of(kLemma2Spurious);
+  const sg::Clg clg(g);
+  const NaiveResult r = detect_naive(g, clg);
+  EXPECT_TRUE(r.deadlock_possible);  // imprecise, as section 4 predicts
+}
+
+TEST(PossibleHeads, RequireSyncEdgeAndOnwardControl) {
+  const auto g = graph_of(R"(
+task a is begin accept m; send b.k; end a;
+task b is begin accept k; end b;
+task c is begin send a.m; end c;
+)");
+  const auto heads = possible_heads(g);
+  // accept m (has partner, leads to send b.k) qualifies; the task-final
+  // nodes do not; accept k is final; send a.m is final.
+  ASSERT_EQ(heads.size(), 1u);
+  EXPECT_EQ(g.describe(heads[0]).find("a:"), 0u);
+}
+
+// Single-head hypotheses eliminate the COACCEPT head inside the Lemma 2
+// cycle, but the entry head `accept k` and the send head `send b.m` carry
+// no cycle-breaking mark — the paper's algorithm keeps this imprecision
+// ("conservatively declare ... a possible deadlock").
+TEST(Refined, SingleHeadNarrowsButKeepsLemma2Cycle) {
+  const auto g = graph_of(kLemma2Spurious);
+  const RefinedResult r = run_refined(g);
+  EXPECT_TRUE(r.deadlock_possible);
+  EXPECT_EQ(r.suspect_heads.size(), 2u);
+  // The COACCEPT-eliminated accept head of task b is not among suspects.
+  for (NodeId h : r.suspect_heads)
+    EXPECT_NE(g.task_name(g.node(h).task), "b");
+}
+
+// A deadlock-free program whose only CLG cycle has two heads that the
+// strong-precedence engine (R1/R3/R4 + transitivity) proves ordered: the
+// single-head refined algorithm certifies it while naive reports a cycle.
+// Task d forces b's accept of m to complete before c reaches w, so both
+// heads of the cycle (a1 in b, w in c) carry a NO-SYNC mark for each other.
+constexpr const char* kOrderedSpurious = R"(
+task b is begin accept m; send c.k; end b;
+task c is begin accept pre; accept k; send b.m; end c;
+task d is begin send b.m; send c.pre; end d;
+)";
+
+TEST(Refined, OrderingEliminatesSpuriousCycle) {
+  const auto g = graph_of(kOrderedSpurious);
+  const sg::Clg clg(g);
+  EXPECT_TRUE(detect_naive(g, clg).deadlock_possible);
+  const RefinedResult r = run_refined(g);
+  EXPECT_FALSE(r.deadlock_possible)
+      << "suspect head: "
+      << (r.suspect_heads.empty() ? "?" : g.describe(r.suspect_heads[0]));
+}
+
+TEST(Refined, OrderingEliminationNeedsR4) {
+  const auto g = graph_of(kOrderedSpurious);
+  const sg::Clg clg(g);
+  PrecedenceOptions no_r4;
+  no_r4.use_rule_r4 = false;
+  const Precedence prec(g, no_r4);
+  const CoExec coexec(g);
+  // Without the counting rule the cross-task order is underivable and the
+  // spurious cycle survives — the ablation measured in bench E7/E10.
+  EXPECT_TRUE(detect_refined(g, clg, prec, coexec, {}).deadlock_possible);
+}
+
+TEST(Refined, StillReportsRealDeadlock) {
+  const auto g = graph_of(kRealDeadlock);
+  const RefinedResult r = run_refined(g);
+  EXPECT_TRUE(r.deadlock_possible);
+  EXPECT_FALSE(r.suspect_heads.empty());
+  EXPECT_GE(r.witness_cycle.size(), 2u);
+}
+
+TEST(Refined, HeadPairModeAgreesOnRealDeadlock) {
+  const auto g = graph_of(kRealDeadlock);
+  RefinedOptions options;
+  options.mode = HypothesisMode::HeadPair;
+  EXPECT_TRUE(run_refined(g, options).deadlock_possible);
+}
+
+// Minimal program where the head-pair extension is strictly stronger: the
+// cycle's only two possible heads are joined by a sync edge (they could
+// rendezvous, violating constraint 2), so every pair hypothesis is skipped
+// and the program is certified — while the single-head search cannot
+// eliminate the send-side head.
+constexpr const char* kTwoHeadSpurious = R"(
+task b is begin accept m; accept m; end b;
+task c is begin send b.m; send b.m; end c;
+)";
+
+TEST(Refined, HeadPairEliminatesSyncJoinedHeads) {
+  const auto g = graph_of(kTwoHeadSpurious);
+  const sg::Clg clg(g);
+  EXPECT_TRUE(detect_naive(g, clg).deadlock_possible);
+  EXPECT_TRUE(run_refined(g).deadlock_possible);  // single head: imprecise
+  RefinedOptions options;
+  options.mode = HypothesisMode::HeadPair;
+  EXPECT_FALSE(run_refined(g, options).deadlock_possible);
+}
+
+TEST(Refined, HeadTailModeAgreesOnRealDeadlock) {
+  const auto g = graph_of(kRealDeadlock);
+  RefinedOptions options;
+  options.mode = HypothesisMode::HeadTail;
+  EXPECT_TRUE(run_refined(g, options).deadlock_possible);
+}
+
+TEST(Refined, HeadTailKeepsLemma2Cycle) {
+  // Head-tail hypotheses drop the COACCEPT marks (the exit is pinned), so
+  // the (accept k, send b.m) pair still closes the cycle: this mode trades
+  // a different spurious-cycle class, it is not uniformly stronger.
+  const auto g = graph_of(kLemma2Spurious);
+  RefinedOptions options;
+  options.mode = HypothesisMode::HeadTail;
+  EXPECT_TRUE(run_refined(g, options).deadlock_possible);
+}
+
+TEST(Refined, HeadTailPairsSafeOnRealDeadlocks) {
+  RefinedOptions options;
+  options.mode = HypothesisMode::HeadTailPairs;
+  EXPECT_TRUE(run_refined(graph_of(kRealDeadlock), options).deadlock_possible);
+  // Self-send single-head cycle covered by the footnote-6 escape.
+  EXPECT_TRUE(run_refined(graph_of(R"(
+task a is begin send a.m; accept m; end a;
+)"),
+                          options)
+                  .deadlock_possible);
+}
+
+TEST(Refined, HeadTailPairsEliminatesBothSpuriousExamples) {
+  RefinedOptions options;
+  options.mode = HypothesisMode::HeadTailPairs;
+  // Combines the pair-mode head constraints (kills the sync-joined-heads
+  // example) with the ordering marks (kills the ordered example).
+  EXPECT_FALSE(run_refined(graph_of(kTwoHeadSpurious), options).deadlock_possible);
+  EXPECT_FALSE(run_refined(graph_of(kOrderedSpurious), options).deadlock_possible);
+}
+
+TEST(Refined, HeadTailEliminatesOrderedSpuriousCycle) {
+  const auto g = graph_of(kOrderedSpurious);
+  RefinedOptions options;
+  options.mode = HypothesisMode::HeadTail;
+  EXPECT_FALSE(run_refined(g, options).deadlock_possible);
+}
+
+TEST(Refined, NotCoexecBranchArmsBlockCycle) {
+  // Figure 4(c): the only CLG cycle threads BOTH arms of t's conditional
+  // (a1 -> b1 -> x1 -> y2 -> a2 -> b2 -> x2 -> y1 -> back to a1), yet the
+  // arms are mutually exclusive. Ground truth is stall-only. The refined
+  // detector eliminates the a1/a2 head hypotheses with NOT-COEXEC marks
+  // (constraint 3b) and the x1/x2 hypotheses via counting-rule orderings.
+  const auto g = graph_of(R"(
+task t is
+begin
+  if c then
+    accept m1;
+    send u.k1;
+  else
+    accept m2;
+    send u.k2;
+  end if;
+end t;
+task u is
+begin
+  send t.m1;
+  accept k1;
+  send t.m2;
+  accept k2;
+  send t.m1;
+end u;
+)");
+  const sg::Clg clg(g);
+  EXPECT_TRUE(detect_naive(g, clg).deadlock_possible);
+  const RefinedResult r = run_refined(g);
+  EXPECT_FALSE(r.deadlock_possible)
+      << "suspect head: "
+      << (r.suspect_heads.empty() ? "?" : g.describe(r.suspect_heads[0]));
+}
+
+TEST(Constraint4, Figure3BreakerFiltersHead) {
+  // Heads r (task a) / t (task b) form a constraint-1..3 valid cycle, but w
+  // (task c) can always rendezvous with t: w's only other partner v runs
+  // strictly after t, w is unconditional and first in its task.
+  const auto g = graph_of(R"(
+task a is begin accept m1; send b.k; end a;
+task b is begin accept w0; accept k; send a.m1; send c.v; end b;
+task c is begin send b.w0; accept v; end c;
+)");
+  const Precedence prec(g);
+  const Constraint4Filter filter(g, prec);
+  // t = accept w0 is always broken by w = send b.w0.
+  NodeId accept_w0 = NodeId::invalid();
+  for (NodeId n : g.nodes_of_task(TaskId(1)))
+    if (g.describe(n).find("w0") != std::string::npos) accept_w0 = n;
+  ASSERT_TRUE(accept_w0.valid());
+  EXPECT_TRUE(filter.always_broken(accept_w0));
+  EXPECT_GE(filter.broken_count(), 1u);
+}
+
+TEST(Constraint4, RealDeadlockHeadsNeverFiltered) {
+  // In the mutual-wait pair the two *sends* are provably always broken
+  // (each is preceded only by an accept whose sole partner is the other
+  // task's send — they are never even reached while their partner waits),
+  // but the two accepts that actually head the deadlock cycle must never
+  // be filtered, and detection must be unaffected.
+  const auto g = graph_of(kRealDeadlock);
+  const Precedence prec(g);
+  const Constraint4Filter filter(g, prec);
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    for (NodeId n : g.nodes_of_task(TaskId(t))) {
+      if (g.node(n).sign == sg::Sign::Minus) {
+        EXPECT_FALSE(filter.always_broken(n)) << g.describe(n);
+      }
+    }
+  }
+  RefinedOptions options;
+  options.apply_constraint4 = true;
+  EXPECT_TRUE(run_refined(g, options).deadlock_possible);
+}
+
+TEST(Certifier, ProgramPipelineRunsAllAlgorithms) {
+  const auto program = lang::parse_and_check_or_throw(kTwoHeadSpurious);
+  for (Algorithm algorithm :
+       {Algorithm::Naive, Algorithm::RefinedSingle, Algorithm::RefinedHeadPair,
+        Algorithm::RefinedHeadTail, Algorithm::RefinedHeadTailPairs}) {
+    CertifyOptions options;
+    options.algorithm = algorithm;
+    const CertifyResult r = certify_program(program, options);
+    EXPECT_EQ(r.stats.tasks, 2u);
+    EXPECT_GT(r.stats.clg_nodes, 0u);
+    // Only the pair-based extensions resolve this example (see the refined
+    // detector tests); all modes run through the same facade.
+    if (algorithm == Algorithm::RefinedHeadPair ||
+        algorithm == Algorithm::RefinedHeadTailPairs)
+      EXPECT_TRUE(r.certified_free);
+    else
+      EXPECT_FALSE(r.certified_free) << algorithm_name(algorithm);
+  }
+}
+
+TEST(Certifier, UnrollsLoopsAutomatically) {
+  const auto program = lang::parse_and_check_or_throw(R"(
+task t is begin while c loop accept m; end loop; end t;
+task u is begin send t.m; end u;
+)");
+  const CertifyResult r = certify_program(program);
+  EXPECT_TRUE(r.stats.unrolled);
+  EXPECT_TRUE(r.certified_free);
+}
+
+TEST(Certifier, WitnessDescribesCycle) {
+  const auto program = lang::parse_and_check_or_throw(kRealDeadlock);
+  const CertifyResult r = certify_program(program);
+  ASSERT_FALSE(r.certified_free);
+  ASSERT_FALSE(r.witness.empty());
+  EXPECT_NE(r.witness[0].find("("), std::string::npos);
+}
+
+TEST(Certifier, PatternsEndToEnd) {
+  // Deadlocking variants flagged by every algorithm; clean pipeline/barrier
+  // certified by the refined algorithm.
+  for (Algorithm algorithm : {Algorithm::Naive, Algorithm::RefinedSingle}) {
+    CertifyOptions options;
+    options.algorithm = algorithm;
+    EXPECT_FALSE(
+        certify_program(gen::dining_philosophers(3, true), options).certified_free);
+    EXPECT_FALSE(certify_program(gen::token_ring(3, true), options).certified_free);
+    EXPECT_FALSE(
+        certify_program(gen::client_server(2, true), options).certified_free);
+  }
+  CertifyOptions refined;
+  EXPECT_TRUE(certify_program(gen::pipeline(2, 1), refined).certified_free);
+  EXPECT_TRUE(certify_program(gen::barrier(2), refined).certified_free);
+}
+
+TEST(Certifier, NewPatternsSafety) {
+  for (Algorithm algorithm :
+       {Algorithm::Naive, Algorithm::RefinedSingle, Algorithm::RefinedHeadPair,
+        Algorithm::RefinedHeadTailPairs}) {
+    CertifyOptions options;
+    options.algorithm = algorithm;
+    EXPECT_FALSE(certify_program(gen::master_worker(2, 2, true), options)
+                     .certified_free);
+    EXPECT_FALSE(
+        certify_program(gen::readers_writer(2, true), options).certified_free);
+    EXPECT_FALSE(
+        certify_program(gen::two_resource(false), options).certified_free);
+  }
+  // The clean lock-style variants rely on counting/serialization the
+  // static analysis cannot see; every mode stays conservative on them —
+  // documented imprecision, not unsoundness (the oracle-based property
+  // suite guards the soundness side).
+  EXPECT_FALSE(
+      certify_program(gen::master_worker(2, 2, false), {}).certified_free);
+}
+
+TEST(Certifier, AlgorithmNames) {
+  EXPECT_EQ(algorithm_name(Algorithm::Naive), "naive");
+  EXPECT_EQ(algorithm_name(Algorithm::RefinedSingle), "refined");
+  EXPECT_EQ(algorithm_name(Algorithm::RefinedHeadPair), "refined+pairs");
+  EXPECT_EQ(algorithm_name(Algorithm::RefinedHeadTail), "refined+headtail");
+  EXPECT_EQ(algorithm_name(Algorithm::RefinedHeadTailPairs),
+            "refined+ht-pairs");
+}
+
+}  // namespace
+}  // namespace siwa::core

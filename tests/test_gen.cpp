@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "gen/cnf.h"
+#include "gen/patterns.h"
+#include "gen/random_program.h"
+#include "lang/printer.h"
+#include "lang/sema.h"
+#include "report/table.h"
+#include "syncgraph/builder.h"
+
+namespace siwa::gen {
+namespace {
+
+TEST(Cnf, DimacsRoundTrip) {
+  const char* text = R"(c a comment
+p cnf 4 2
+1 -2 3 0
+-1 2 4 0
+)";
+  std::string error;
+  const auto cnf = parse_dimacs(text, &error);
+  ASSERT_TRUE(cnf.has_value()) << error;
+  EXPECT_EQ(cnf->num_variables, 4);
+  ASSERT_EQ(cnf->clauses.size(), 2u);
+  EXPECT_EQ(cnf->clauses[0].lits[1].variable, 2);
+  EXPECT_TRUE(cnf->clauses[0].lits[1].negated);
+
+  const auto again = parse_dimacs(to_dimacs(*cnf), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(to_dimacs(*again), to_dimacs(*cnf));
+}
+
+TEST(Cnf, ParserRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(parse_dimacs("1 2 3 0", &error).has_value());
+  EXPECT_FALSE(parse_dimacs("p cnf 3 1\n1 2 0", &error).has_value());
+  EXPECT_FALSE(parse_dimacs("p cnf 3 1\n1 2 3", &error).has_value());
+  EXPECT_FALSE(parse_dimacs("p cnf 2 1\n1 2 3 0", &error).has_value());
+}
+
+TEST(Cnf, SatisfiedBy) {
+  const auto cnf = parse_dimacs("p cnf 2 2\n1 2 -1 0\n-1 -2 1 0\n");
+  ASSERT_TRUE(cnf.has_value());
+  EXPECT_TRUE(cnf->satisfied_by({true, false}));
+}
+
+TEST(Cnf, BruteForceOnKnownFormulas) {
+  // (x1 | x2 | x3) & (~x1 | ~x2 | ~x3): satisfiable.
+  auto sat = parse_dimacs("p cnf 3 2\n1 2 3 0\n-1 -2 -3 0\n");
+  ASSERT_TRUE(sat.has_value());
+  EXPECT_TRUE(brute_force_satisfiable(*sat));
+
+  // All eight sign combinations over three variables: unsatisfiable.
+  std::string all;
+  all = "p cnf 3 8\n";
+  for (int a : {1, -1})
+    for (int b : {2, -2})
+      for (int c : {3, -3})
+        all += std::to_string(a) + " " + std::to_string(b) + " " +
+               std::to_string(c) + " 0\n";
+  auto unsat = parse_dimacs(all);
+  ASSERT_TRUE(unsat.has_value());
+  EXPECT_FALSE(brute_force_satisfiable(*unsat));
+}
+
+TEST(Cnf, RandomFormulaIsWellFormedAndDeterministic) {
+  const Cnf a = random_3cnf(10, 20, 42);
+  const Cnf b = random_3cnf(10, 20, 42);
+  EXPECT_EQ(to_dimacs(a), to_dimacs(b));
+  for (const Clause& c : a.clauses) {
+    EXPECT_NE(c.lits[0].variable, c.lits[1].variable);
+    EXPECT_NE(c.lits[1].variable, c.lits[2].variable);
+    EXPECT_NE(c.lits[0].variable, c.lits[2].variable);
+    for (const Literal& l : c.lits) {
+      EXPECT_GE(l.variable, 1);
+      EXPECT_LE(l.variable, 10);
+    }
+  }
+}
+
+TEST(RandomProgram, DeterministicForSeed) {
+  RandomProgramConfig config;
+  config.seed = 7;
+  config.branch_probability = 0.3;
+  config.loop_probability = 0.1;
+  const auto a = random_program(config);
+  const auto b = random_program(config);
+  EXPECT_EQ(lang::print_program(a), lang::print_program(b));
+
+  config.seed = 8;
+  const auto c = random_program(config);
+  EXPECT_NE(lang::print_program(a), lang::print_program(c));
+}
+
+TEST(RandomProgram, PassesSemaAndBuildsGraph) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    RandomProgramConfig config;
+    config.tasks = 4;
+    config.rendezvous_pairs = 8;
+    config.unmatched_rendezvous = 2;
+    config.branch_probability = 0.25;
+    config.loop_probability = 0.15;
+    config.seed = seed;
+    const auto p = random_program(config);
+    DiagnosticSink sink;
+    EXPECT_TRUE(lang::check_program(p, sink)) << sink.to_string();
+    const auto g = sg::build_sync_graph(p);
+    EXPECT_TRUE(g.validate(true).empty());
+    EXPECT_EQ(g.task_count(), 4u);
+  }
+}
+
+TEST(RandomProgram, MatchedPairsBalanceCounts) {
+  RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 10;
+  config.unmatched_rendezvous = 0;
+  config.seed = 3;
+  const auto p = random_program(config);
+  std::size_t sends = 0;
+  std::size_t accepts = 0;
+  for (const auto& task : p.tasks)
+    for (const auto& s : task.body) {
+      sends += s.kind == lang::StmtKind::Send;
+      accepts += s.kind == lang::StmtKind::Accept;
+    }
+  EXPECT_EQ(sends, 10u);
+  EXPECT_EQ(accepts, 10u);
+}
+
+TEST(Patterns, ShapesAreAsDocumented) {
+  const auto phil = dining_philosophers(4, true);
+  EXPECT_EQ(phil.tasks.size(), 8u);  // 4 forks + 4 philosophers
+  const auto ring = token_ring(5, false);
+  EXPECT_EQ(ring.tasks.size(), 5u);
+  const auto pipe = pipeline(3, 2);
+  EXPECT_EQ(pipe.tasks.size(), 5u);  // source + 3 stages + sink
+  const auto cs = client_server(3, false);
+  EXPECT_EQ(cs.tasks.size(), 4u);
+  const auto bar = barrier(4);
+  EXPECT_EQ(bar.tasks.size(), 5u);
+}
+
+TEST(Patterns, AllPassSemaAndValidate) {
+  for (const auto& p :
+       {dining_philosophers(3, true), dining_philosophers(3, false),
+        token_ring(3, true), token_ring(3, false), pipeline(2, 2),
+        client_server(2, true), client_server(2, false), barrier(3)}) {
+    DiagnosticSink sink;
+    EXPECT_TRUE(lang::check_program(p, sink)) << sink.to_string();
+    EXPECT_TRUE(sg::build_sync_graph(p).validate(true).empty());
+  }
+}
+
+TEST(Table, AlignedTextAndCsv) {
+  report::Table table({"algo", "verdict"});
+  table.add_row({"naive", "deadlock"});
+  table.add_row({"refined", "free"});
+  const std::string text = table.to_text();
+  EXPECT_NE(text.find("| algo"), std::string::npos);
+  EXPECT_NE(text.find("| refined"), std::string::npos);
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("naive,deadlock"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(report::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(report::fmt(std::size_t{42}), "42");
+}
+
+}  // namespace
+}  // namespace siwa::gen

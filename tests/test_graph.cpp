@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/dominators.h"
+#include "graph/dot.h"
+#include "graph/reachability.h"
+#include "graph/scc.h"
+
+namespace siwa::graph {
+namespace {
+
+Digraph chain(std::size_t n) {
+  Digraph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(VertexId(i), VertexId(i + 1));
+  return g;
+}
+
+TEST(Digraph, AddVerticesAndEdges) {
+  Digraph g;
+  const VertexId a = g.add_vertex();
+  const VertexId b = g.add_vertex();
+  g.add_edge(a, b);
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  ASSERT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.successors(a)[0], b);
+  ASSERT_EQ(g.predecessors(b).size(), 1u);
+  EXPECT_EQ(g.predecessors(b)[0], a);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_FALSE(g.has_edge(b, a));
+}
+
+TEST(Scc, ChainHasSingletonComponents) {
+  const Digraph g = chain(5);
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.component_count, 5u);
+  for (std::size_t s : scc.component_size) EXPECT_EQ(s, 1u);
+  EXPECT_FALSE(has_cycle(g));
+}
+
+TEST(Scc, CycleDetected) {
+  Digraph g(4);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(1), VertexId(2));
+  g.add_edge(VertexId(2), VertexId(0));
+  g.add_edge(VertexId(2), VertexId(3));
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.component_count, 2u);
+  EXPECT_TRUE(scc.same_component(0, 1));
+  EXPECT_TRUE(scc.same_component(1, 2));
+  EXPECT_FALSE(scc.same_component(0, 3));
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Scc, SelfLoopIsCycle) {
+  Digraph g(1);
+  g.add_edge(VertexId(0), VertexId(0));
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Scc, ComponentNumbersReverseTopological) {
+  // 0 -> 1 -> 2: Tarjan numbers sinks first.
+  const Digraph g = chain(3);
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_GT(scc.component_of[0], scc.component_of[1]);
+  EXPECT_GT(scc.component_of[1], scc.component_of[2]);
+}
+
+TEST(Scc, RestrictedRootsLeaveOthersUnvisited) {
+  Digraph g(3);
+  g.add_edge(VertexId(0), VertexId(1));
+  const SccResult scc =
+      tarjan_scc(g.vertex_count(),
+                 [&](std::size_t v, auto&& visit) {
+                   for (VertexId w : g.successors(VertexId(v)))
+                     visit(w.index());
+                 },
+                 {0});
+  EXPECT_GE(scc.component_of[0], 0);
+  EXPECT_GE(scc.component_of[1], 0);
+  EXPECT_EQ(scc.component_of[2], -1);
+}
+
+TEST(Scc, FilteredViewDropsEdges) {
+  Digraph g(2);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(1), VertexId(0));
+  // Unfiltered: one component of size 2.
+  EXPECT_EQ(tarjan_scc(g).component_count, 1u);
+  // Filter out the back edge: two singletons.
+  const SccResult scc = tarjan_scc(2, [&](std::size_t v, auto&& visit) {
+    for (VertexId w : g.successors(VertexId(v)))
+      if (!(v == 1 && w.index() == 0)) visit(w.index());
+  });
+  EXPECT_EQ(scc.component_count, 2u);
+}
+
+TEST(Scc, LargeCycleIterativeSafe) {
+  // Deep recursion would overflow a recursive Tarjan; the iterative one
+  // must handle a 200k-vertex cycle.
+  const std::size_t n = 200'000;
+  Digraph g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g.add_edge(VertexId(i), VertexId((i + 1) % n));
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.component_count, 1u);
+  EXPECT_EQ(scc.component_size[0], n);
+}
+
+TEST(Reachability, ChainReaches) {
+  const Digraph g = chain(4);
+  const Reachability reach(g);
+  EXPECT_TRUE(reach.reaches(VertexId(0), VertexId(3)));
+  EXPECT_FALSE(reach.reaches(VertexId(3), VertexId(0)));
+  // >= 1 edge semantics: no trivial self-reach off a cycle.
+  EXPECT_FALSE(reach.reaches(VertexId(1), VertexId(1)));
+}
+
+TEST(Reachability, SelfReachOnCycleOnly) {
+  Digraph g(2);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(1), VertexId(0));
+  const Reachability reach(g);
+  EXPECT_TRUE(reach.reaches(VertexId(0), VertexId(0)));
+}
+
+TEST(Reachability, ReachableFromIncludesStart) {
+  const Digraph g = chain(3);
+  const DynamicBitset set = reachable_from(g, VertexId(1));
+  EXPECT_FALSE(set.test(0));
+  EXPECT_TRUE(set.test(1));
+  EXPECT_TRUE(set.test(2));
+}
+
+TEST(Topological, OrderRespectsEdges) {
+  Digraph g(4);
+  g.add_edge(VertexId(0), VertexId(2));
+  g.add_edge(VertexId(1), VertexId(2));
+  g.add_edge(VertexId(2), VertexId(3));
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<std::size_t> pos(4);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].index()] = i;
+  EXPECT_LT(pos[0], pos[2]);
+  EXPECT_LT(pos[1], pos[2]);
+  EXPECT_LT(pos[2], pos[3]);
+}
+
+TEST(Topological, CycleYieldsEmpty) {
+  Digraph g(2);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(1), VertexId(0));
+  EXPECT_TRUE(topological_order(g).empty());
+}
+
+TEST(Dominators, DiamondDominance) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3.
+  Digraph g(4);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(0), VertexId(2));
+  g.add_edge(VertexId(1), VertexId(3));
+  g.add_edge(VertexId(2), VertexId(3));
+  const Dominators dom(g, VertexId(0));
+  EXPECT_EQ(dom.idom(VertexId(3)), VertexId(0));
+  EXPECT_TRUE(dom.dominates(VertexId(0), VertexId(3)));
+  EXPECT_FALSE(dom.dominates(VertexId(1), VertexId(3)));
+  EXPECT_TRUE(dom.dominates(VertexId(3), VertexId(3)));
+}
+
+TEST(Dominators, ChainDominance) {
+  const Digraph g = chain(4);
+  const Dominators dom(g, VertexId(0));
+  EXPECT_TRUE(dom.dominates(VertexId(1), VertexId(3)));
+  EXPECT_FALSE(dom.dominates(VertexId(3), VertexId(1)));
+}
+
+TEST(Dominators, LoopDominance) {
+  // 0 -> 1 -> 2 -> 1 (back edge), 2 -> 3.
+  Digraph g(4);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(1), VertexId(2));
+  g.add_edge(VertexId(2), VertexId(1));
+  g.add_edge(VertexId(2), VertexId(3));
+  const Dominators dom(g, VertexId(0));
+  EXPECT_TRUE(dom.dominates(VertexId(1), VertexId(2)));
+  EXPECT_TRUE(dom.dominates(VertexId(2), VertexId(3)));
+  EXPECT_FALSE(dom.dominates(VertexId(3), VertexId(2)));
+}
+
+TEST(Dominators, UnreachableVertex) {
+  Digraph g(3);
+  g.add_edge(VertexId(0), VertexId(1));
+  const Dominators dom(g, VertexId(0));
+  EXPECT_FALSE(dom.reachable(VertexId(2)));
+  EXPECT_FALSE(dom.dominates(VertexId(0), VertexId(2)));
+}
+
+TEST(Digraph, GrowToIsIdempotentAndMonotonic) {
+  Digraph g;
+  g.grow_to(3);
+  EXPECT_EQ(g.vertex_count(), 3u);
+  g.grow_to(2);  // never shrinks
+  EXPECT_EQ(g.vertex_count(), 3u);
+  g.add_edge(VertexId(0), VertexId(2));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, ParallelEdgesAreKept) {
+  Digraph g(2);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(0), VertexId(1));
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.successors(VertexId(0)).size(), 2u);
+}
+
+TEST(Scc, ParallelEdgesDoNotConfuseTarjan) {
+  Digraph g(2);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(1), VertexId(0));
+  const SccResult scc = tarjan_scc(g);
+  EXPECT_EQ(scc.component_count, 1u);
+}
+
+TEST(Dot, ContainsVerticesAndEdges) {
+  Digraph g(2);
+  g.add_edge(VertexId(0), VertexId(1));
+  const std::string dot =
+      to_dot(g, "g", [](VertexId v) { return "v" + std::to_string(v.index()); });
+  EXPECT_NE(dot.find("v0"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace siwa::graph

@@ -1,0 +1,381 @@
+// End-to-end corpus: curated MiniAda programs with known ground truth, run
+// through the full pipeline (parse -> sema -> wave oracle -> all four
+// detector configurations -> stall analysis), asserting both the oracle
+// verdicts and every safety relation between the layers.
+#include <gtest/gtest.h>
+
+#include "core/certifier.h"
+#include "lang/parser.h"
+#include "stall/balance.h"
+#include "syncgraph/builder.h"
+#include "wavesim/explorer.h"
+#include "wavesim/shared.h"
+
+namespace siwa {
+namespace {
+
+struct CorpusCase {
+  const char* name;
+  const char* source;
+  bool deadlocks;  // ground truth: some reachable wave has a deadlock
+  bool stalls;     // ground truth: some reachable wave has a stall
+};
+
+// clang-format off
+const CorpusCase kCorpus[] = {
+    {"handshake", R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)", false, false},
+
+    // Figure 2(b) flavor: mutual wait.
+    {"mutual_wait", R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)", true, false},
+
+    // Figure 2(a) flavor: a required partner never arrives.
+    {"orphan_accept", R"(
+task a is begin accept never; end a;
+task b is begin send c.d; end b;
+task c is begin accept d; end c;
+)", false, true},
+
+    {"three_task_chain", R"(
+task a is begin send b.x; accept fin; end a;
+task b is begin accept x; send c.y; end b;
+task c is begin accept y; send a.fin; end c;
+)", false, false},
+
+    {"crossed_order", R"(
+task a is begin send b.m1; send b.m2; end a;
+task b is begin accept m2; accept m1; end b;
+)", true, false},
+
+    {"branch_one_side_stalls", R"(
+task t is
+begin
+  if c then
+    accept m;
+  end if;
+end t;
+task u is begin send t.m; end u;
+)", false, true},
+
+    {"branch_both_sides_fine", R"(
+task t is
+begin
+  if c then
+    accept m;
+  else
+    accept m;
+  end if;
+end t;
+task u is begin send t.m; end u;
+)", false, false},
+
+    {"loop_producer_consumer", R"(
+task t is begin while c loop accept m; end loop; end t;
+task u is begin while d loop send t.m; end loop; end u;
+)", false, true},  // iteration counts may disagree
+
+    {"conditional_deadlock", R"(
+task a is
+begin
+  if c then
+    accept ping;
+    send b.pong;
+  else
+    send b.pong;
+    accept ping;
+  end if;
+end a;
+task b is begin accept pong; send a.ping; end b;
+)", true, false},
+
+    {"self_send", R"(
+task a is begin send a.m; accept m; end a;
+)", true, false},
+
+    {"late_rescue", R"(
+task a is begin accept go; send b.m; end a;
+task b is begin accept m; end b;
+task c is begin send a.go; end c;
+)", false, false},
+
+    {"nested_loop_producer", R"(
+task prod is
+begin
+  while outer loop
+    while inner loop
+      send buf.put;
+      accept ok;
+    end loop;
+  end loop;
+end prod;
+task buf is
+begin
+  while run loop
+    accept put;
+    send prod.ok;
+  end loop;
+end buf;
+)", false, true},  // loop counts can disagree
+
+    {"three_way_circular_wait", R"(
+task a is begin accept x; send b.y; end a;
+task b is begin accept y; send c.z; end b;
+task c is begin accept z; send a.x; end c;
+)", true, false},
+
+    {"broken_circle_by_initiator", R"(
+task a is begin send b.y; accept x; end a;
+task b is begin accept y; send c.z; end b;
+task c is begin accept z; send a.x; end c;
+)", false, false},
+
+    {"shared_condition_handoff", R"(
+shared condition fast;
+task a is
+begin
+  if fast then
+    send b.quick;
+  else
+    send b.slow;
+  end if;
+end a;
+task b is
+begin
+  if fast then
+    accept quick;
+  else
+    accept slow;
+  end if;
+end b;
+)", false, true},  // plain model: inconsistent arm picks stall; the
+                   // assignment-exact oracle clears it (test_shared)
+
+    {"double_meal_philosophers_mini", R"(
+task fork0 is begin accept pickup; accept putdown; accept pickup; accept putdown; end fork0;
+task fork1 is begin accept pickup; accept putdown; accept pickup; accept putdown; end fork1;
+task phil0 is begin send fork0.pickup; send fork1.pickup; send fork0.putdown; send fork1.putdown; end phil0;
+task phil1 is begin send fork1.pickup; send fork0.pickup; send fork1.putdown; send fork0.putdown; end phil1;
+)", true, false},  // 2 philosophers, opposite orders: classic AB/BA
+
+    {"accept_surplus", R"(
+task server is begin accept req; accept req; accept req; end server;
+task c1 is begin send server.req; end c1;
+task c2 is begin send server.req; end c2;
+)", false, true},  // the third accept never fires
+
+    {"conditional_self_rescue", R"(
+task t is
+begin
+  accept kick;
+  if c then
+    accept extra;
+  end if;
+end t;
+task u is begin send t.kick; send t.extra; end u;
+)", false, true},  // skip-arm leaves u's second send stranded
+
+    // The factory-cell case study (examples/programs/factory_cell.mada):
+    // procedures + for-loops + a shared maintenance mode. Plain-model
+    // truth: no deadlock; inconsistent maintenance choices stall.
+    {"factory_cell", R"(
+shared condition maintenance;
+procedure press_stroke is
+begin
+  send press.load;
+  send monitor.arm_clear;
+  accept pressed;
+end press_stroke;
+task controller is
+begin
+  if maintenance then
+    send robot.calibrate;
+    accept calibrated;
+  else
+    for 2 loop
+      send conveyor.advance;
+      accept part_ready;
+      send robot.pick;
+      accept placed;
+      call press_stroke;
+    end loop;
+  end if;
+end controller;
+task conveyor is
+begin
+  if maintenance then
+    null;
+  else
+    for 2 loop
+      accept advance;
+      send controller.part_ready;
+    end loop;
+  end if;
+end conveyor;
+task robot is
+begin
+  if maintenance then
+    accept calibrate;
+    send controller.calibrated;
+  else
+    for 2 loop
+      accept pick;
+      send controller.placed;
+    end loop;
+  end if;
+end robot;
+task press is
+begin
+  if maintenance then
+    null;
+  else
+    for 2 loop
+      accept load;
+      accept safety_ok;
+      send controller.pressed;
+    end loop;
+  end if;
+end press;
+task monitor is
+begin
+  if maintenance then
+    null;
+  else
+    for 2 loop
+      accept arm_clear;
+      send press.safety_ok;
+    end loop;
+  end if;
+end monitor;
+)", false, true},
+
+    {"diamond_reconvergence", R"(
+task t is
+begin
+  accept start;
+  if c then
+    accept left;
+  else
+    accept right;
+  end if;
+  accept fin;
+end t;
+task u is
+begin
+  send t.start;
+  if d then
+    send t.left;
+  else
+    send t.right;
+  end if;
+  send t.fin;
+end u;
+)", false, true},  // u may pick the arm t did not take
+};
+// clang-format on
+
+class CorpusTest : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(CorpusTest, OracleMatchesGroundTruth) {
+  const CorpusCase& c = GetParam();
+  const lang::Program program = lang::parse_and_check_or_throw(c.source);
+  const sg::SyncGraph g = sg::build_sync_graph(program);
+  ASSERT_TRUE(g.validate(true).empty());
+
+  wavesim::ExploreOptions options;
+  options.max_states = 200'000;
+  const wavesim::ExploreResult truth =
+      wavesim::WaveExplorer(g, options).explore();
+  ASSERT_TRUE(truth.complete);
+  EXPECT_EQ(truth.any_deadlock, c.deadlocks) << c.name;
+  EXPECT_EQ(truth.any_stall, c.stalls) << c.name;
+}
+
+TEST_P(CorpusTest, DetectorsAreSafeAndOrdered) {
+  const CorpusCase& c = GetParam();
+  const lang::Program program = lang::parse_and_check_or_throw(c.source);
+
+  bool naive_free = false;
+  bool single_free = false;
+  bool pair_free = false;
+  for (auto [algorithm, out] :
+       {std::pair<core::Algorithm, bool*>{core::Algorithm::Naive, &naive_free},
+        {core::Algorithm::RefinedSingle, &single_free},
+        {core::Algorithm::RefinedHeadPair, &pair_free}}) {
+    core::CertifyOptions opt;
+    opt.algorithm = algorithm;
+    const core::CertifyResult r = certify_program(program, opt);
+    *out = r.certified_free;
+    if (c.deadlocks) {
+      EXPECT_FALSE(r.certified_free)
+          << c.name << " missed by " << core::algorithm_name(algorithm);
+    }
+    if (!r.certified_free) {
+      EXPECT_FALSE(r.witness.empty()) << c.name;
+    }
+  }
+  // Precision ordering.
+  if (naive_free) {
+    EXPECT_TRUE(single_free) << c.name;
+  }
+  if (single_free) {
+    EXPECT_TRUE(pair_free) << c.name;
+  }
+}
+
+TEST_P(CorpusTest, StallBalanceIsSafe) {
+  const CorpusCase& c = GetParam();
+  const lang::Program program = lang::parse_and_check_or_throw(c.source);
+  const stall::BalanceVerdict verdict = stall::check_stall_balance(program);
+  // The balance check honors shared-condition semantics, so its reference
+  // truth is the assignment-exact oracle; for programs without shared
+  // conditions that coincides with the corpus column.
+  const bool stall_truth =
+      program.shared_conditions.empty()
+          ? c.stalls
+          : wavesim::explore_shared(program).combined.any_stall;
+  if (verdict.stall_free) {
+    EXPECT_FALSE(stall_truth) << c.name;
+  }
+  // And on this corpus the balance check is exact: balanced programs are
+  // the non-stalling ones.
+  EXPECT_EQ(verdict.stall_free, !stall_truth) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, CorpusTest, ::testing::ValuesIn(kCorpus),
+    [](const ::testing::TestParamInfo<CorpusCase>& info) {
+      return info.param.name;
+    });
+
+// The certifier certifies clean programs in this corpus at some level of
+// the refinement spectrum; record which (documents expected precision).
+TEST(CorpusPrecision, CleanProgramsCertifiedSomewhere) {
+  std::size_t certified = 0;
+  std::size_t clean = 0;
+  for (const CorpusCase& c : kCorpus) {
+    if (c.deadlocks) continue;
+    ++clean;
+    const lang::Program program = lang::parse_and_check_or_throw(c.source);
+    for (core::Algorithm algorithm :
+         {core::Algorithm::Naive, core::Algorithm::RefinedSingle,
+          core::Algorithm::RefinedHeadPair}) {
+      core::CertifyOptions opt;
+      opt.algorithm = algorithm;
+      if (certify_program(program, opt).certified_free) {
+        ++certified;
+        break;
+      }
+    }
+  }
+  // Most clean corpus programs are certifiable; the bound documents the
+  // current precision and should only ever go up.
+  EXPECT_GE(certified, clean - 2);
+}
+
+}  // namespace
+}  // namespace siwa

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include "lang/ast.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "lang/sema.h"
+
+namespace siwa::lang {
+namespace {
+
+constexpr const char* kFigure1Source = R"(
+-- The program of Figure 1 of the paper.
+task t1 is
+begin
+  send t2.sig1;   -- (t2, sig1, +)
+  accept sig2;    -- (t1, sig2, -)
+end t1;
+
+task t2 is
+begin
+  accept sig1;
+  accept sig1;
+end t2;
+
+task t3 is
+begin
+  send t2.sig1;
+  send t1.sig2;
+end t3;
+)";
+
+TEST(Lexer, TokenizesKeywordsAndIdentifiers) {
+  DiagnosticSink sink;
+  const auto tokens = lex("task T1 is begin send t2.m; end T1;", sink);
+  ASSERT_FALSE(sink.has_errors());
+  ASSERT_GE(tokens.size(), 12u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwTask);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Identifier);
+  EXPECT_EQ(tokens[1].text, "t1");  // case-insensitive, lowered
+  EXPECT_EQ(tokens.back().kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  DiagnosticSink sink;
+  const auto tokens = lex("-- a comment\nnull; -- trailing\n", sink);
+  ASSERT_FALSE(sink.has_errors());
+  EXPECT_EQ(tokens[0].kind, TokenKind::KwNull);
+  EXPECT_EQ(tokens[1].kind, TokenKind::Semicolon);
+  EXPECT_EQ(tokens[2].kind, TokenKind::EndOfFile);
+}
+
+TEST(Lexer, TracksLocations) {
+  DiagnosticSink sink;
+  const auto tokens = lex("null;\n  accept m;", sink);
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[2].loc.line, 2);
+  EXPECT_EQ(tokens[2].loc.column, 3);
+}
+
+TEST(Lexer, ReportsUnknownCharacters) {
+  DiagnosticSink sink;
+  lex("task $ is", sink);
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(Parser, ParsesFigure1) {
+  DiagnosticSink sink;
+  const auto program = parse_program(kFigure1Source, sink);
+  ASSERT_TRUE(program.has_value()) << sink.to_string();
+  ASSERT_EQ(program->tasks.size(), 3u);
+  EXPECT_EQ(program->name_of(program->tasks[0].name), "t1");
+  ASSERT_EQ(program->tasks[0].body.size(), 2u);
+  EXPECT_EQ(program->tasks[0].body[0].kind, StmtKind::Send);
+  EXPECT_EQ(program->tasks[0].body[1].kind, StmtKind::Accept);
+}
+
+TEST(Parser, IfElseAndWhile) {
+  DiagnosticSink sink;
+  const auto program = parse_program(R"(
+task t is
+begin
+  if c then
+    accept m;
+  else
+    null;
+  end if;
+  while w loop
+    accept m;
+  end loop;
+end t;
+task u is begin send t.m; end u;
+)",
+                                     sink);
+  ASSERT_TRUE(program.has_value()) << sink.to_string();
+  const auto& body = program->tasks[0].body;
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(body[0].kind, StmtKind::If);
+  EXPECT_EQ(body[0].body.size(), 1u);
+  EXPECT_EQ(body[0].orelse.size(), 1u);
+  EXPECT_EQ(body[1].kind, StmtKind::While);
+}
+
+TEST(Parser, ElsifDesugarsToNestedIf) {
+  DiagnosticSink sink;
+  const auto program = parse_program(R"(
+task t is
+begin
+  if a then
+    accept m1;
+  elsif b then
+    accept m2;
+  else
+    accept m3;
+  end if;
+end t;
+)",
+                                     sink);
+  ASSERT_TRUE(program.has_value()) << sink.to_string();
+  const Stmt& outer = program->tasks[0].body.at(0);
+  ASSERT_EQ(outer.kind, StmtKind::If);
+  ASSERT_EQ(outer.orelse.size(), 1u);
+  const Stmt& nested = outer.orelse[0];
+  EXPECT_EQ(nested.kind, StmtKind::If);
+  EXPECT_EQ(nested.body.size(), 1u);
+  EXPECT_EQ(nested.orelse.size(), 1u);
+}
+
+TEST(Parser, SharedConditionDeclarations) {
+  DiagnosticSink sink;
+  const auto program = parse_program(
+      "shared condition c1, c2;\ntask t is begin null; end t;", sink);
+  ASSERT_TRUE(program.has_value()) << sink.to_string();
+  ASSERT_EQ(program->shared_conditions.size(), 2u);
+  EXPECT_TRUE(program->is_shared_condition(program->shared_conditions[0]));
+}
+
+TEST(Parser, SyntaxErrorsReported) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(parse_program("task is begin end;", sink).has_value());
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(Parser, MismatchedEndNameReported) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(
+      parse_program("task a is begin null; end b;", sink).has_value());
+  EXPECT_TRUE(sink.has_errors());
+}
+
+TEST(Parser, RecoversAndReportsMultipleErrors) {
+  DiagnosticSink sink;
+  parse_program(R"(
+task t is
+begin
+  send ;
+  accept ;
+end t;
+)",
+                sink);
+  EXPECT_GE(sink.error_count(), 2u);
+}
+
+TEST(Sema, AcceptsValidProgram) {
+  DiagnosticSink sink;
+  auto program = parse_program(kFigure1Source, sink);
+  ASSERT_TRUE(program.has_value());
+  EXPECT_TRUE(check_program(*program, sink));
+}
+
+TEST(Sema, RejectsUnknownSendTarget) {
+  DiagnosticSink sink;
+  auto program =
+      parse_program("task t is begin send nobody.m; end t;", sink);
+  ASSERT_TRUE(program.has_value());
+  EXPECT_FALSE(check_program(*program, sink));
+}
+
+TEST(Sema, RejectsDuplicateTaskNames) {
+  DiagnosticSink sink;
+  auto program = parse_program(
+      "task t is begin null; end t;\ntask t is begin null; end t;", sink);
+  ASSERT_TRUE(program.has_value());
+  EXPECT_FALSE(check_program(*program, sink));
+}
+
+TEST(Sema, WarnsOnSelfSend) {
+  DiagnosticSink sink;
+  auto program = parse_program("task t is begin send t.m; end t;", sink);
+  ASSERT_TRUE(program.has_value());
+  EXPECT_TRUE(check_program(*program, sink));  // warning, not error
+  ASSERT_EQ(sink.diagnostics().size(), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].severity, Severity::Warning);
+}
+
+TEST(Sema, RejectsEmptyProgram) {
+  DiagnosticSink sink;
+  auto program = parse_program("", sink);
+  ASSERT_TRUE(program.has_value());
+  EXPECT_FALSE(check_program(*program, sink));
+}
+
+TEST(Printer, RoundTripIsIdempotent) {
+  Program p1 = parse_and_check_or_throw(kFigure1Source);
+  const std::string printed = print_program(p1);
+  Program p2 = parse_and_check_or_throw(printed);
+  EXPECT_EQ(printed, print_program(p2));
+}
+
+TEST(Printer, RoundTripWithControlFlow) {
+  const Program p1 = parse_and_check_or_throw(R"(
+shared condition s;
+task t is
+begin
+  if s then
+    accept m;
+  else
+    while c loop
+      accept m;
+    end loop;
+  end if;
+end t;
+task u is begin send t.m; end u;
+)");
+  const std::string printed = print_program(p1);
+  const Program p2 = parse_and_check_or_throw(printed);
+  EXPECT_EQ(printed, print_program(p2));
+}
+
+TEST(Ast, MakersSetFields) {
+  Program p;
+  const Symbol t = p.interner.intern("t");
+  const Symbol m = p.interner.intern("m");
+  const Symbol c = p.interner.intern("c");
+  const Stmt send = make_send(t, m);
+  EXPECT_EQ(send.kind, StmtKind::Send);
+  EXPECT_TRUE(send.is_rendezvous());
+  const Stmt accept = make_accept(m);
+  EXPECT_EQ(accept.kind, StmtKind::Accept);
+  const Stmt iff = make_if(c, {send}, {accept});
+  EXPECT_EQ(iff.body.size(), 1u);
+  EXPECT_EQ(iff.orelse.size(), 1u);
+  EXPECT_FALSE(iff.is_rendezvous());
+  const Stmt wh = make_while(c, {accept});
+  EXPECT_EQ(wh.kind, StmtKind::While);
+}
+
+TEST(Ast, StatsCountNestingAndRendezvous) {
+  const Program p = parse_and_check_or_throw(R"(
+task t is
+begin
+  while a loop
+    while b loop
+      accept m;
+    end loop;
+    send u.k;
+  end loop;
+end t;
+task u is begin accept k; send t.m; end u;
+)");
+  const AstStats stats = compute_stats(p);
+  EXPECT_EQ(stats.loops, 2u);
+  EXPECT_EQ(stats.max_loop_nesting, 2u);
+  EXPECT_EQ(stats.rendezvous_points, 4u);
+}
+
+TEST(Parser, ThrowingWrapperThrowsOnBadInput) {
+  EXPECT_THROW(parse_and_check_or_throw("task ;"), FrontendError);
+  EXPECT_THROW(parse_and_check_or_throw("task t is begin send x.m; end t;"),
+               FrontendError);
+}
+
+}  // namespace
+}  // namespace siwa::lang

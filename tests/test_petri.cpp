@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "gen/patterns.h"
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "petri/invariants.h"
+#include "petri/reach.h"
+#include "petri/translate.h"
+#include "syncgraph/builder.h"
+#include "wavesim/explorer.h"
+
+namespace siwa::petri {
+namespace {
+
+sg::SyncGraph graph_of(const char* source) {
+  return sg::build_sync_graph(lang::parse_and_check_or_throw(source));
+}
+
+TEST(Net, FireMovesTokens) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b", 0);
+  const TransitionId t = net.add_transition("t");
+  net.add_input_arc(a, t);
+  net.add_output_arc(t, b);
+
+  const Marking m0 = net.initial_marking();
+  ASSERT_TRUE(net.enabled(m0, t));
+  const Marking m1 = net.fire(m0, t);
+  EXPECT_EQ(m1[a.index()], 0u);
+  EXPECT_EQ(m1[b.index()], 1u);
+  EXPECT_FALSE(net.enabled(m1, t));
+}
+
+TEST(Net, MultisetInputNeedsEnoughTokens) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const TransitionId t = net.add_transition("t");
+  net.add_input_arc(a, t);
+  net.add_input_arc(a, t);  // needs two tokens
+  EXPECT_FALSE(net.enabled(net.initial_marking(), t));
+}
+
+TEST(Net, IncidenceMatrix) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b");
+  const TransitionId t = net.add_transition("t");
+  net.add_input_arc(a, t);
+  net.add_output_arc(t, b);
+  const auto c = net.incidence_matrix();
+  EXPECT_EQ(c[a.index()][t.index()], -1);
+  EXPECT_EQ(c[b.index()][t.index()], 1);
+}
+
+TEST(Translate, HandshakeShape) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)");
+  const TranslatedNet tn = translate(g);
+  // 4 loc places + 2 start + 2 done.
+  EXPECT_EQ(tn.net.place_count(), 4u + 2u + 2u);
+  // 2 start transitions + one per sync edge and successor combo.
+  EXPECT_GE(tn.net.transition_count(), 2u + 2u);
+  const ReachResult r = explore_markings(tn);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.can_terminate);
+  EXPECT_FALSE(r.has_anomaly());
+}
+
+TEST(Translate, MutualWaitDeadMarking) {
+  const auto g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  const ReachResult r = explore_markings(translate(g));
+  EXPECT_TRUE(r.has_anomaly());
+  EXPECT_FALSE(r.can_terminate);
+  ASSERT_FALSE(r.dead_examples.empty());
+}
+
+TEST(Translate, OneTokenPerTaskInvariantHolds) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)");
+  const TranslatedNet tn = translate(g);
+  const InvariantResult invariants = p_invariants(tn.net);
+  EXPECT_TRUE(invariants.complete);
+  // Every place sits in some invariant: the net is conservative (each task
+  // holds exactly one token forever).
+  EXPECT_TRUE(covered_by_invariants(tn.net, invariants));
+}
+
+TEST(Invariants, SimpleCycleNet) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  const PlaceId b = net.add_place("b");
+  const TransitionId t1 = net.add_transition("t1");
+  const TransitionId t2 = net.add_transition("t2");
+  net.add_input_arc(a, t1);
+  net.add_output_arc(t1, b);
+  net.add_input_arc(b, t2);
+  net.add_output_arc(t2, a);
+  const InvariantResult result = p_invariants(net);
+  ASSERT_EQ(result.invariants.size(), 1u);
+  EXPECT_EQ(result.invariants[0][a.index()], 1u);
+  EXPECT_EQ(result.invariants[0][b.index()], 1u);
+}
+
+TEST(Invariants, UnboundedSourceHasNoCoveringInvariant) {
+  PetriNet net;
+  const PlaceId a = net.add_place("a", 1);
+  (void)a;
+  const PlaceId sink = net.add_place("sink");
+  const TransitionId t = net.add_transition("gen");
+  net.add_output_arc(t, sink);  // produces from nothing
+  const InvariantResult result = p_invariants(net);
+  EXPECT_FALSE(covered_by_invariants(net, result));
+}
+
+TEST(Translate, PatternsAgreeWithWaveOracle) {
+  for (const auto& program :
+       {gen::dining_philosophers(3, true), gen::dining_philosophers(3, false),
+        gen::token_ring(3, true), gen::token_ring(3, false),
+        gen::client_server(2, true), gen::barrier(2),
+        gen::two_resource(false), gen::two_resource(true)}) {
+    const sg::SyncGraph g = sg::build_sync_graph(program);
+    const auto wave = wavesim::WaveExplorer(g).explore();
+    const ReachResult net = explore_markings(translate(g));
+    ASSERT_TRUE(wave.complete && net.complete);
+    EXPECT_EQ(wave.has_anomaly(), net.has_anomaly());
+    EXPECT_EQ(wave.can_terminate, net.can_terminate);
+  }
+}
+
+// The two independently implemented semantics must agree on anomaly
+// existence and termination for arbitrary programs.
+class PetriVsWave : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PetriVsWave, SemanticsAgree) {
+  gen::RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 5;
+  config.branch_probability = 0.3;
+  config.loop_probability = 0.15;
+  config.unmatched_rendezvous = GetParam() % 2;
+  config.seed = GetParam();
+  const sg::SyncGraph g = sg::build_sync_graph(gen::random_program(config));
+
+  wavesim::ExploreOptions wave_options;
+  wave_options.max_states = 150'000;
+  wave_options.collect_witness_trace = false;
+  const auto wave = wavesim::WaveExplorer(g, wave_options).explore();
+
+  ReachOptions net_options;
+  net_options.max_markings = 300'000;
+  const ReachResult net = explore_markings(translate(g), net_options);
+
+  if (!wave.complete || !net.complete) GTEST_SKIP() << "state space too large";
+  EXPECT_EQ(wave.has_anomaly(), net.has_anomaly()) << "seed " << GetParam();
+  EXPECT_EQ(wave.can_terminate, net.can_terminate) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PetriVsWave,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace siwa::petri

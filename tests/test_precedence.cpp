@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "core/coexec.h"
+#include "core/precedence.h"
+#include "lang/parser.h"
+#include "syncgraph/builder.h"
+
+namespace siwa::core {
+namespace {
+
+sg::SyncGraph graph_of(const char* source) {
+  return sg::build_sync_graph(lang::parse_and_check_or_throw(source));
+}
+
+NodeId node(const sg::SyncGraph& g, const std::string& task, std::size_t n) {
+  for (std::size_t t = 0; t < g.task_count(); ++t)
+    if (g.task_name(TaskId(t)) == task) return g.nodes_of_task(TaskId(t))[n];
+  ADD_FAILURE() << "no task " << task;
+  return NodeId::invalid();
+}
+
+TEST(Precedence, R1DominanceWithinTask) {
+  const auto g = graph_of(R"(
+task t is begin accept m1; accept m2; accept m3; end t;
+task u is begin send t.m1; send t.m2; send t.m3; end u;
+)");
+  const Precedence prec(g);
+  const NodeId a = node(g, "t", 0);
+  const NodeId b = node(g, "t", 1);
+  const NodeId c = node(g, "t", 2);
+  EXPECT_TRUE(prec.precedes(a, b));
+  EXPECT_TRUE(prec.precedes(a, c));  // transitive / chain dominance
+  EXPECT_TRUE(prec.precedes(b, c));
+  EXPECT_FALSE(prec.precedes(b, a));
+  EXPECT_TRUE(prec.sequenceable(a, b));
+}
+
+TEST(Precedence, BranchArmsUnordered) {
+  const auto g = graph_of(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  const Precedence prec(g);
+  const NodeId m1 = node(g, "t", 0);
+  const NodeId m2 = node(g, "t", 1);
+  EXPECT_FALSE(prec.precedes(m1, m2));
+  EXPECT_FALSE(prec.precedes(m2, m1));
+  EXPECT_FALSE(prec.sequenceable(m1, m2));
+}
+
+TEST(Precedence, CrossTaskThroughSinglePartner) {
+  // u's send k pairs only with t's accept k, which dominates t's accept m2:
+  // R3 lifts "x precedes the partner" to "x precedes what it dominates".
+  const auto g = graph_of(R"(
+task t is begin accept k; accept m2; end t;
+task u is begin send w.pre; send t.k; end u;
+task w is begin accept pre; send t.m2; end w;
+)");
+  const Precedence prec(g);
+  const NodeId send_pre = node(g, "u", 0);
+  const NodeId accept_m2 = node(g, "t", 1);
+  // send_pre precedes send t.k (dominance), send t.k is the only partner of
+  // accept k => send_pre precedes accept m2 via R3.
+  EXPECT_TRUE(prec.precedes(send_pre, accept_m2));
+}
+
+TEST(Precedence, R2GivesExclusionOnly) {
+  // Race: two senders, one accept; the losing sender stalls but can still
+  // share a wave with later nodes — only *co-heading* is excluded.
+  const auto g = graph_of(R"(
+task r is begin accept m; accept late; end r;
+task s1 is begin send r.m; end s1;
+task s2 is begin send r.m; end s2;
+task w is begin send r.late; end w;
+)");
+  const Precedence prec(g);
+  const NodeId send1 = node(g, "s1", 0);
+  const NodeId late = node(g, "r", 1);
+  // All partners of send1 (= accept m) strongly precede accept late.
+  EXPECT_TRUE(prec.sequenceable(send1, late));
+  // But R2 must NOT produce a strong fact: send1 may never complete.
+  EXPECT_FALSE(prec.precedes(send1, late));
+  EXPECT_FALSE(prec.precedes(late, send1));
+}
+
+TEST(Precedence, R4CountingBalancedSignal) {
+  // Two sends and two accepts of signal m; both accepts precede t's accept
+  // fin, so both sends completed too (pigeonhole).
+  const auto g = graph_of(R"(
+task t is begin accept m; accept m; accept fin; end t;
+task u is begin send t.m; end u;
+task v is begin send t.m; end v;
+task w is begin send t.fin; end w;
+)");
+  PrecedenceOptions with_r4;
+  const Precedence prec(g, with_r4);
+  const NodeId send_u = node(g, "u", 0);
+  const NodeId send_v = node(g, "v", 0);
+  const NodeId fin = node(g, "t", 2);
+  EXPECT_TRUE(prec.precedes(send_u, fin));
+  EXPECT_TRUE(prec.precedes(send_v, fin));
+
+  PrecedenceOptions no_r4;
+  no_r4.use_rule_r4 = false;
+  const Precedence weak(g, no_r4);
+  EXPECT_FALSE(weak.precedes(send_u, fin));
+}
+
+TEST(Precedence, R4RequiresEqualCounts) {
+  // Three sends, two accepts: one send may never complete; no conclusion.
+  const auto g = graph_of(R"(
+task t is begin accept m; accept m; accept fin; end t;
+task u is begin send t.m; end u;
+task v is begin send t.m; end v;
+task x is begin send t.m; end x;
+task w is begin send t.fin; end w;
+)");
+  const Precedence prec(g);
+  EXPECT_FALSE(prec.precedes(node(g, "u", 0), node(g, "t", 2)));
+}
+
+TEST(Precedence, ExtraPrecedesSeedsFixpoint) {
+  const auto g = graph_of(R"(
+task t is begin accept m1; end t;
+task u is begin accept m2; end u;
+task v is begin send t.m1; send u.m2; end v;
+)");
+  PrecedenceOptions options;
+  options.extra_precedes.emplace_back(node(g, "t", 0), node(g, "u", 0));
+  const Precedence prec(g, options);
+  EXPECT_TRUE(prec.precedes(node(g, "t", 0), node(g, "u", 0)));
+  EXPECT_TRUE(prec.sequenceable(node(g, "t", 0), node(g, "u", 0)));
+}
+
+TEST(Precedence, SequenceableWithListsBothDirections) {
+  const auto g = graph_of(R"(
+task t is begin accept m1; accept m2; end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  const Precedence prec(g);
+  const NodeId m1 = node(g, "t", 0);
+  const auto seq = prec.sequenceable_with(m1);
+  EXPECT_FALSE(seq.empty());
+  for (NodeId k : seq) EXPECT_TRUE(prec.sequenceable(m1, k));
+}
+
+TEST(Precedence, RejectsCyclicControlFlow) {
+  const auto program = lang::parse_and_check_or_throw(R"(
+task t is begin while c loop accept m; end loop; end t;
+task u is begin send t.m; end u;
+)");
+  const sg::SyncGraph g = sg::build_sync_graph(program);
+  EXPECT_DEATH({ Precedence prec(g); (void)prec; }, "acyclic");
+}
+
+TEST(CoExec, ExclusiveBranchArmsNotCoexecutable) {
+  const auto g = graph_of(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  const CoExec coexec(g);
+  const NodeId m1 = node(g, "t", 0);
+  const NodeId m2 = node(g, "t", 1);
+  EXPECT_FALSE(coexec.coexecutable(m1, m2));
+  EXPECT_EQ(coexec.not_coexec_with(m1).size(), 1u);
+}
+
+TEST(CoExec, SequentialAndCrossTaskCoexecutable) {
+  const auto g = graph_of(R"(
+task t is begin accept m1; accept m2; end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  const CoExec coexec(g);
+  EXPECT_TRUE(coexec.coexecutable(node(g, "t", 0), node(g, "t", 1)));
+  EXPECT_TRUE(coexec.coexecutable(node(g, "t", 0), node(g, "u", 0)));
+}
+
+TEST(CoExec, ExtraPairsInjected) {
+  const auto g = graph_of(R"(
+task t is begin accept m1; end t;
+task u is begin send t.m1; end u;
+)");
+  const NodeId a = node(g, "t", 0);
+  const NodeId b = node(g, "u", 0);
+  const CoExec coexec(g, {{a, b}});
+  EXPECT_FALSE(coexec.coexecutable(a, b));
+}
+
+TEST(CoAccept, SameSignalAcceptsExcludingSelf) {
+  const auto g = graph_of(R"(
+task t is begin accept m; accept m; end t;
+task u is begin send t.m; end u;
+)");
+  const NodeId a1 = node(g, "t", 0);
+  const NodeId a2 = node(g, "t", 1);
+  const auto co1 = coaccept_nodes(g, a1);
+  ASSERT_EQ(co1.size(), 1u);
+  EXPECT_EQ(co1[0], a2);
+  // Send nodes have no COACCEPT set.
+  EXPECT_TRUE(coaccept_nodes(g, node(g, "u", 0)).empty());
+}
+
+}  // namespace
+}  // namespace siwa::core

@@ -1,0 +1,226 @@
+// Procedures, `call`, static inlining (the paper's interprocedural
+// extension) and the `for N loop` static repetition sugar.
+#include <gtest/gtest.h>
+
+#include "core/certifier.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "lang/sema.h"
+#include "stall/balance.h"
+#include "syncgraph/builder.h"
+#include "transform/inline.h"
+#include "wavesim/explorer.h"
+
+namespace siwa {
+namespace {
+
+lang::Program parse(const char* source) {
+  return lang::parse_and_check_or_throw(source);
+}
+
+TEST(Procedures, ParseAndPrintRoundTrip) {
+  const auto p = parse(R"(
+procedure handshake is
+begin
+  send server.req;
+  accept ok;
+end handshake;
+
+task client is
+begin
+  call handshake;
+  call handshake;
+end client;
+
+task server is
+begin
+  accept req;
+  send client.ok;
+  accept req;
+  send client.ok;
+end server;
+)");
+  ASSERT_EQ(p.procedures.size(), 1u);
+  EXPECT_TRUE(p.has_calls());
+  const std::string printed = lang::print_program(p);
+  EXPECT_NE(printed.find("procedure handshake"), std::string::npos);
+  EXPECT_NE(printed.find("call handshake;"), std::string::npos);
+  const auto again = parse(printed.c_str());
+  EXPECT_EQ(lang::print_program(again), printed);
+}
+
+TEST(Procedures, InliningExpandsCalls) {
+  const auto p = parse(R"(
+procedure ping is
+begin
+  send server.req;
+  accept ok;
+end ping;
+task client is begin call ping; call ping; end client;
+task server is begin accept req; send client.ok; accept req; send client.ok; end server;
+)");
+  const lang::Program inlined = transform::inline_procedures(p);
+  EXPECT_FALSE(inlined.has_calls());
+  EXPECT_TRUE(inlined.procedures.empty());
+  ASSERT_EQ(inlined.tasks[0].body.size(), 4u);  // 2 calls x 2 statements
+  EXPECT_EQ(inlined.tasks[0].body[0].kind, lang::StmtKind::Send);
+  EXPECT_EQ(inlined.tasks[0].body[1].kind, lang::StmtKind::Accept);
+}
+
+TEST(Procedures, AcceptsBindToCallingTask) {
+  // Two tasks call the same procedure containing an accept: the accepts
+  // become distinct signals (t1, m) and (t2, m).
+  const auto p = parse(R"(
+procedure take is
+begin
+  accept m;
+end take;
+task t1 is begin call take; end t1;
+task t2 is begin call take; end t2;
+task u is begin send t1.m; send t2.m; end u;
+)");
+  const sg::SyncGraph g = sg::build_sync_graph(p);
+  EXPECT_TRUE(g.validate(true).empty());
+  EXPECT_EQ(g.sync_edge_count(), 2u);  // each send pairs with exactly one accept
+  const auto truth = wavesim::WaveExplorer(g).explore();
+  EXPECT_FALSE(truth.has_anomaly());
+}
+
+TEST(Procedures, NestedCallsInline) {
+  const auto p = parse(R"(
+procedure inner is begin accept m; end inner;
+procedure outer is begin call inner; call inner; end outer;
+task t is begin call outer; end t;
+task u is begin send t.m; send t.m; end u;
+)");
+  const lang::Program inlined = transform::inline_procedures(p);
+  ASSERT_EQ(inlined.tasks[0].body.size(), 2u);
+  // Repeated same-signal rounds need the head-pair hypothesis (the two
+  // accepts/two sends shape; see Refined.HeadPairEliminatesSyncJoinedHeads).
+  core::CertifyOptions pairs;
+  pairs.algorithm = core::Algorithm::RefinedHeadPair;
+  EXPECT_TRUE(core::certify_program(p, pairs).certified_free);
+}
+
+TEST(Procedures, RecursionRejected) {
+  DiagnosticSink sink;
+  auto p = lang::parse_program(R"(
+procedure a is begin call b; end a;
+procedure b is begin call a; end b;
+task t is begin call a; end t;
+)", sink);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(lang::check_program(*p, sink));
+  EXPECT_NE(sink.to_string().find("recursive"), std::string::npos);
+}
+
+TEST(Procedures, SelfRecursionRejected) {
+  DiagnosticSink sink;
+  auto p = lang::parse_program(
+      "procedure a is begin call a; end a;\ntask t is begin call a; end t;",
+      sink);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(lang::check_program(*p, sink));
+}
+
+TEST(Procedures, UnknownProcedureRejected) {
+  DiagnosticSink sink;
+  auto p = lang::parse_program("task t is begin call nowhere; end t;", sink);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(lang::check_program(*p, sink));
+}
+
+TEST(Procedures, DuplicateAndShadowingNamesRejected) {
+  DiagnosticSink sink;
+  auto p = lang::parse_program(R"(
+procedure p is begin null; end p;
+procedure p is begin null; end p;
+task t is begin null; end t;
+)", sink);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(lang::check_program(*p, sink));
+
+  DiagnosticSink sink2;
+  auto q = lang::parse_program(R"(
+procedure t is begin null; end t;
+task t is begin null; end t;
+)", sink2);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_FALSE(lang::check_program(*q, sink2));
+}
+
+TEST(Procedures, AnalysesWorkThroughCalls) {
+  // A deadlocking protocol hidden inside a procedure must still be caught.
+  const auto p = parse(R"(
+procedure wait_then_reply is
+begin
+  accept ping;
+  send b.pong;
+end wait_then_reply;
+task a is begin call wait_then_reply; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  EXPECT_FALSE(core::certify_program(p, {}).certified_free);
+  const auto truth =
+      wavesim::WaveExplorer(sg::build_sync_graph(p)).explore();
+  EXPECT_TRUE(truth.any_deadlock);
+  // Stall balance sees through calls too.
+  EXPECT_TRUE(stall::check_stall_balance(p).stall_free);
+}
+
+TEST(ForLoop, ReplicatesBodyStatically) {
+  const auto p = parse(R"(
+task t is
+begin
+  for 3 loop
+    accept m;
+  end loop;
+end t;
+task u is begin for 3 loop send t.m; end loop; end u;
+)");
+  ASSERT_EQ(p.tasks[0].body.size(), 3u);
+  for (const auto& s : p.tasks[0].body)
+    EXPECT_EQ(s.kind, lang::StmtKind::Accept);
+  core::CertifyOptions pairs;
+  pairs.algorithm = core::Algorithm::RefinedHeadPair;
+  EXPECT_TRUE(core::certify_program(p, pairs).certified_free);
+  EXPECT_TRUE(stall::check_stall_balance(p).stall_free);
+}
+
+TEST(ForLoop, NestedAndWithProcedures) {
+  const auto p = parse(R"(
+procedure round is
+begin
+  send t.m;
+end round;
+task t is
+begin
+  for 2 loop
+    for 2 loop
+      accept m;
+    end loop;
+  end loop;
+end t;
+task u is begin for 4 loop call round; end loop; end u;
+)");
+  ASSERT_EQ(p.tasks[0].body.size(), 4u);
+  core::CertifyOptions pairs;
+  pairs.algorithm = core::Algorithm::RefinedHeadPair;
+  EXPECT_TRUE(core::certify_program(p, pairs).certified_free);
+}
+
+TEST(ForLoop, CountOutOfRangeRejected) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(lang::parse_program(
+      "task t is begin for 0 loop null; end loop; end t;", sink).has_value());
+  DiagnosticSink sink2;
+  EXPECT_FALSE(lang::parse_program(
+      "task t is begin for 1000 loop null; end loop; end t;", sink2)
+                   .has_value());
+  DiagnosticSink sink3;
+  EXPECT_FALSE(lang::parse_program(
+      "task t is begin for x loop null; end loop; end t;", sink3).has_value());
+}
+
+}  // namespace
+}  // namespace siwa

@@ -1,0 +1,230 @@
+// Randomized property suite: the safety and monotonicity guarantees of the
+// paper, checked against the exhaustive wave-space oracle over seeded
+// random programs.
+//
+//   P1 (safety): a reachable deadlocked wave implies every static detector
+//       reports a possible deadlock (no false negatives, section 1).
+//   P2 (monotonicity): naive-free => refined-free => head-pair-free (each
+//       refinement only removes spurious cycles).
+//   P3 (Lemma 3/4): the polynomial balance check never certifies a program
+//       whose wave space contains a stall.
+//   P4 (Theorem 1): every anomalous wave partitions into stall, deadlock
+//       and transitively-coupled nodes.
+//   P5 (Lemma 1): behaviors of the twice-unrolled program are behaviors of
+//       the original.
+//   P6: the balance DP agrees with exhaustive linearization enumeration in
+//       the certifying direction.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/certifier.h"
+#include "gen/random_program.h"
+#include "stall/balance.h"
+#include "syncgraph/builder.h"
+#include "transform/linearize.h"
+#include "transform/unroll.h"
+#include "wavesim/explorer.h"
+
+namespace siwa {
+namespace {
+
+struct CaseConfig {
+  gen::RandomProgramConfig program;
+  const char* family;
+};
+
+class RandomProgramProperties
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {
+ protected:
+  static gen::RandomProgramConfig config_for(int family, std::uint64_t seed) {
+    gen::RandomProgramConfig config;
+    config.seed = seed;
+    switch (family) {
+      case 0:  // straight-line
+        config.tasks = 3;
+        config.rendezvous_pairs = 5;
+        break;
+      case 1:  // branching
+        config.tasks = 3;
+        config.rendezvous_pairs = 5;
+        config.branch_probability = 0.35;
+        break;
+      case 2:  // branching + unmatched (stall fodder)
+        config.tasks = 4;
+        config.rendezvous_pairs = 5;
+        config.unmatched_rendezvous = 1;
+        config.branch_probability = 0.3;
+        break;
+      default:  // loops
+        config.tasks = 3;
+        config.rendezvous_pairs = 4;
+        config.branch_probability = 0.2;
+        config.loop_probability = 0.25;
+        break;
+    }
+    return config;
+  }
+
+  static wavesim::ExploreResult explore(const lang::Program& p) {
+    const sg::SyncGraph g = sg::build_sync_graph(p);
+    wavesim::ExploreOptions options;
+    options.max_states = 150'000;
+    options.collect_witness_trace = false;
+    options.max_reports = 64;
+    return wavesim::WaveExplorer(g, options).explore();
+  }
+};
+
+TEST_P(RandomProgramProperties, SafetyAndMonotonicity) {
+  const auto [family, seed] = GetParam();
+  const lang::Program program =
+      gen::random_program(config_for(family, seed));
+
+  const wavesim::ExploreResult truth = explore(program);
+  if (!truth.complete) GTEST_SKIP() << "state space too large";
+
+  std::map<core::Algorithm, bool> free;
+  for (core::Algorithm algorithm :
+       {core::Algorithm::Naive, core::Algorithm::RefinedSingle,
+        core::Algorithm::RefinedHeadPair, core::Algorithm::RefinedHeadTail,
+        core::Algorithm::RefinedHeadTailPairs}) {
+    core::CertifyOptions options;
+    options.algorithm = algorithm;
+    free[algorithm] = certify_program(program, options).certified_free;
+  }
+
+  // P1: no false negatives, any mode.
+  if (truth.any_deadlock) {
+    for (const auto& [algorithm, is_free] : free)
+      EXPECT_FALSE(is_free) << core::algorithm_name(algorithm)
+                            << " missed a real deadlock, seed " << seed;
+  }
+
+  // P2: the refinement chain only removes spurious reports.
+  if (free[core::Algorithm::Naive]) {
+    EXPECT_TRUE(free[core::Algorithm::RefinedSingle]);
+  }
+  if (free[core::Algorithm::RefinedSingle]) {
+    EXPECT_TRUE(free[core::Algorithm::RefinedHeadPair]);
+  }
+
+  // Constraint 4 stays safe too.
+  core::CertifyOptions with_c4;
+  with_c4.apply_constraint4 = true;
+  const bool c4_free = certify_program(program, with_c4).certified_free;
+  if (truth.any_deadlock) {
+    EXPECT_FALSE(c4_free) << "constraint-4 unsound";
+  }
+
+  // P4: Theorem 1 partition on every collected anomaly.
+  const sg::SyncGraph g = sg::build_sync_graph(program);
+  for (const auto& report : truth.reports)
+    EXPECT_TRUE(report.partition_covers_wave(g)) << "Theorem 1 violated";
+}
+
+TEST_P(RandomProgramProperties, StallBalanceIsSafe) {
+  const auto [family, seed] = GetParam();
+  const lang::Program program =
+      gen::random_program(config_for(family, seed));
+  const wavesim::ExploreResult truth = explore(program);
+  if (!truth.complete) GTEST_SKIP() << "state space too large";
+
+  const stall::BalanceVerdict verdict = stall::check_stall_balance(program);
+  if (verdict.stall_free) {
+    EXPECT_FALSE(truth.any_stall)
+        << "balance certified a stalling program, seed " << seed;
+  }
+}
+
+TEST_P(RandomProgramProperties, UnrolledBehaviorsAreOriginalBehaviors) {
+  const auto [family, seed] = GetParam();
+  const lang::Program program =
+      gen::random_program(config_for(family, seed));
+  if (!transform::has_loops(program)) GTEST_SKIP() << "no loops";
+
+  const wavesim::ExploreResult original = explore(program);
+  const wavesim::ExploreResult unrolled =
+      explore(transform::unroll_loops_twice(program));
+  if (!original.complete || !unrolled.complete)
+    GTEST_SKIP() << "state space too large";
+
+  // P5: executions of T(P) are executions of P with <= 2 iterations.
+  if (unrolled.any_deadlock) {
+    EXPECT_TRUE(original.any_deadlock);
+  }
+  if (unrolled.can_terminate) {
+    EXPECT_TRUE(original.can_terminate);
+  }
+}
+
+TEST_P(RandomProgramProperties, BalanceDpAgreesWithEnumeration) {
+  const auto [family, seed] = GetParam();
+  const lang::Program program =
+      gen::random_program(config_for(family, seed));
+
+  // Exhaustive Lemma 4 check: every consistent combination of per-task
+  // linearizations must balance every signal type.
+  transform::LinearizeOptions options;
+  options.max_loop_iterations = 3;
+  options.max_paths = 512;
+  std::vector<transform::TaskLinearizations> per_task;
+  for (const auto& task : program.tasks) {
+    per_task.push_back(
+        transform::enumerate_linearizations(program, task, options));
+    if (!per_task.back().complete) GTEST_SKIP() << "too many paths";
+    if (per_task.back().paths.empty()) GTEST_SKIP() << "infeasible task";
+  }
+
+  bool all_balanced = true;
+  std::vector<std::size_t> choice(per_task.size(), 0);
+  while (true) {
+    // Check shared-condition consistency across the chosen paths.
+    std::map<Symbol, bool> assignment;
+    bool consistent = true;
+    for (std::size_t t = 0; t < per_task.size() && consistent; ++t) {
+      for (const auto& [cond, value] :
+           per_task[t].paths[choice[t]].shared_assignment) {
+        auto [it, inserted] = assignment.emplace(cond, value);
+        if (!inserted && it->second != value) consistent = false;
+      }
+    }
+    if (consistent) {
+      std::map<std::pair<Symbol, Symbol>, std::int64_t> net;
+      for (std::size_t t = 0; t < per_task.size(); ++t)
+        for (const auto& r : per_task[t].paths[choice[t]].rendezvous)
+          net[{r.target, r.message}] += r.is_send ? 1 : -1;
+      for (const auto& [sig, value] : net)
+        if (value != 0) all_balanced = false;
+    }
+    // Next combination.
+    std::size_t t = 0;
+    while (t < choice.size() && ++choice[t] == per_task[t].paths.size()) {
+      choice[t] = 0;
+      ++t;
+    }
+    if (t == choice.size()) break;
+    if (!all_balanced) break;
+  }
+
+  const stall::BalanceVerdict dp = stall::check_stall_balance(program);
+  // Certifying direction: the DP may be conservative, never unsound. For
+  // loop-bounded enumeration the comparison only binds when the program is
+  // loop-free (loops widen the DP by design).
+  if (dp.stall_free && !transform::has_loops(program)) {
+    EXPECT_TRUE(all_balanced) << "DP certified an unbalanced program, seed "
+                              << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, RandomProgramProperties,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Range<std::uint64_t>(1, 26)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& info) {
+      return "family" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace siwa

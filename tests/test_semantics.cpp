@@ -1,0 +1,136 @@
+// Semantic validation of the precedence engine against the full reachable
+// wave set: every derived fact is checked against every reachable state of
+// the exact semantics, over a random corpus. This is the deepest guard
+// against the rule-soundness pitfalls DESIGN.md §5 documents.
+//
+//   S(a, b) ("b reached => a completed") implies a and b can never be
+//   simultaneous wave positions — a current position is reached but not
+//   completed.
+//
+//   X(a, b) ("cannot co-head") implies no anomalous wave lists both a and
+//   b among its deadlock participants.
+#include <gtest/gtest.h>
+
+#include "core/precedence.h"
+#include "gen/random_program.h"
+#include "syncgraph/builder.h"
+#include "transform/unroll.h"
+#include "wavesim/explorer.h"
+
+namespace siwa {
+namespace {
+
+class PrecedenceSemantics : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrecedenceSemantics, StrongFactsHoldOnEveryReachableWave) {
+  gen::RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 5;
+  config.branch_probability = 0.3;
+  config.unmatched_rendezvous = GetParam() % 2;
+  config.seed = GetParam();
+  const lang::Program program = gen::random_program(config);
+  const sg::SyncGraph g = sg::build_sync_graph(program);
+
+  std::vector<wavesim::Wave> waves;
+  wavesim::ExploreOptions options;
+  options.max_states = 100'000;
+  options.collect_witness_trace = false;
+  options.max_reports = 256;
+  options.collect_waves = &waves;
+  const wavesim::ExploreResult truth =
+      wavesim::WaveExplorer(g, options).explore();
+  if (!truth.complete) GTEST_SKIP() << "state space too large";
+
+  const core::Precedence prec(g);
+
+  // Index: wave -> set of current positions, and per-anomaly deadlock sets.
+  for (std::size_t a = 2; a < g.node_count(); ++a) {
+    for (std::size_t b = 2; b < g.node_count(); ++b) {
+      if (a == b) continue;
+      if (!prec.precedes(NodeId(a), NodeId(b))) continue;
+      if (g.node(NodeId(a)).task == g.node(NodeId(b)).task) continue;
+      // S(a, b): no reachable wave holds both as current positions.
+      const std::size_t ta = g.node(NodeId(a)).task.index();
+      const std::size_t tb = g.node(NodeId(b)).task.index();
+      for (const auto& wave : waves) {
+        EXPECT_FALSE(wave[ta] == NodeId(a) && wave[tb] == NodeId(b))
+            << "S(" << g.describe(NodeId(a)) << ", " << g.describe(NodeId(b))
+            << ") violated by a reachable wave, seed " << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(PrecedenceSemantics, ExclusionFactsHoldOnDeadlockHeads) {
+  gen::RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 5;
+  config.branch_probability = 0.3;
+  config.seed = GetParam() + 500;
+  const lang::Program program = gen::random_program(config);
+  const sg::SyncGraph g = sg::build_sync_graph(program);
+
+  wavesim::ExploreOptions options;
+  options.max_states = 100'000;
+  options.collect_witness_trace = false;
+  options.max_reports = 1024;
+  const wavesim::ExploreResult truth =
+      wavesim::WaveExplorer(g, options).explore();
+  if (!truth.complete) GTEST_SKIP() << "state space too large";
+
+  const core::Precedence prec(g);
+  for (const auto& report : truth.reports) {
+    for (NodeId h1 : report.deadlock_nodes) {
+      for (NodeId h2 : report.deadlock_nodes) {
+        if (h1 == h2) continue;
+        EXPECT_FALSE(prec.sequenceable(h1, h2))
+            << "X(" << g.describe(h1) << ", " << g.describe(h2)
+            << ") violated: both head a reachable deadlock, seed "
+            << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(PrecedenceSemantics, UnrolledFactsSafeForOriginalLoops) {
+  // Facts derived on T(P) must hold on the (<= 2 iteration) behaviors that
+  // wavesim(T(P)) explores — the combination the certifier actually uses.
+  gen::RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 4;
+  config.loop_probability = 0.3;
+  config.seed = GetParam() + 900;
+  const lang::Program program = gen::random_program(config);
+  if (!transform::has_loops(program)) GTEST_SKIP();
+  const lang::Program unrolled = transform::unroll_loops_twice(program);
+  const sg::SyncGraph g = sg::build_sync_graph(unrolled);
+
+  std::vector<wavesim::Wave> waves;
+  wavesim::ExploreOptions options;
+  options.max_states = 100'000;
+  options.collect_witness_trace = false;
+  options.collect_waves = &waves;
+  const wavesim::ExploreResult truth =
+      wavesim::WaveExplorer(g, options).explore();
+  if (!truth.complete) GTEST_SKIP();
+
+  const core::Precedence prec(g);
+  for (std::size_t a = 2; a < g.node_count(); ++a) {
+    for (std::size_t b = 2; b < g.node_count(); ++b) {
+      if (a == b || !prec.precedes(NodeId(a), NodeId(b))) continue;
+      if (g.node(NodeId(a)).task == g.node(NodeId(b)).task) continue;
+      const std::size_t ta = g.node(NodeId(a)).task.index();
+      const std::size_t tb = g.node(NodeId(b)).task.index();
+      for (const auto& wave : waves)
+        ASSERT_FALSE(wave[ta] == NodeId(a) && wave[tb] == NodeId(b))
+            << g.describe(NodeId(a)) << " / " << g.describe(NodeId(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrecedenceSemantics,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace siwa

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "core/certifier.h"
+#include "gen/cnf.h"
+#include "gen/patterns.h"
+#include "gen/random_program.h"
+#include "gen/sat_reduction.h"
+#include "lang/parser.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/serialize.h"
+
+namespace siwa::sg {
+namespace {
+
+TEST(Serialize, RoundTripSimpleProgramGraph) {
+  const SyncGraph g = build_sync_graph(lang::parse_and_check_or_throw(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)"));
+  const std::string text = serialize_sync_graph(g);
+  std::string error;
+  const auto parsed = parse_sync_graph(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->task_count(), g.task_count());
+  EXPECT_EQ(parsed->node_count(), g.node_count());
+  EXPECT_EQ(parsed->control_edge_count(), g.control_edge_count());
+  EXPECT_EQ(parsed->sync_edge_count(), g.sync_edge_count());
+  // Stable: serializing the parse reproduces the text.
+  EXPECT_EQ(serialize_sync_graph(*parsed), text);
+}
+
+TEST(Serialize, RoundTripPreservesGuards) {
+  const SyncGraph g = build_sync_graph(lang::parse_and_check_or_throw(R"(
+shared condition v;
+task t is begin if v then accept m; else accept m; end if; end t;
+task u is begin send t.m; end u;
+)"));
+  const auto parsed = parse_sync_graph(serialize_sync_graph(g));
+  ASSERT_TRUE(parsed.has_value());
+  const auto nodes = parsed->nodes_of_task(TaskId(0));
+  ASSERT_EQ(nodes.size(), 2u);
+  ASSERT_EQ(parsed->node(nodes[0]).guards.size(), 1u);
+  ASSERT_EQ(parsed->node(nodes[1]).guards.size(), 1u);
+  EXPECT_TRUE(parsed->guards_conflict(nodes[0], nodes[1]));
+}
+
+TEST(Serialize, RoundTripExplicitSyncEdges) {
+  // The Theorem 3 gadget only exists as a raw graph: explicit edges must
+  // survive serialization.
+  const SyncGraph g = gen::build_theorem3_graph(
+      *gen::parse_dimacs("p cnf 3 2\n1 2 3 0\n-1 -2 -3 0\n"));
+  const std::string text = serialize_sync_graph(g);
+  std::string error;
+  const auto parsed = parse_sync_graph(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->sync_edge_count(), g.sync_edge_count());
+  EXPECT_EQ(serialize_sync_graph(*parsed), text);
+}
+
+TEST(Serialize, VerdictsSurviveRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 3;
+    config.rendezvous_pairs = 5;
+    config.branch_probability = 0.3;
+    config.seed = seed;
+    const SyncGraph g = build_sync_graph(gen::random_program(config));
+    const auto parsed = parse_sync_graph(serialize_sync_graph(g));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(core::certify_graph(g, {}).certified_free,
+              core::certify_graph(*parsed, {}).certified_free)
+        << "seed " << seed;
+  }
+}
+
+TEST(Serialize, HandWrittenGraph) {
+  const char* text = R"(# two tasks, one rendezvous
+task left
+task right
+node 2 left right.msg +
+node 3 right right.msg -
+entry left 2
+entry right 3
+cedge b 2
+cedge 2 e
+cedge b 3
+cedge 3 e
+)";
+  std::string error;
+  const auto parsed = parse_sync_graph(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->task_count(), 2u);
+  EXPECT_EQ(parsed->sync_edge_count(), 1u);
+  EXPECT_TRUE(parsed->validate(true).empty());
+}
+
+TEST(Serialize, ErrorsAreReported) {
+  std::string error;
+  EXPECT_FALSE(parse_sync_graph("task a\nnode x a a.m +\n", &error));
+  EXPECT_FALSE(parse_sync_graph("node 2 nobody x.m +\n", &error));
+  EXPECT_NE(error.find("unknown task"), std::string::npos);
+  EXPECT_FALSE(parse_sync_graph("task a\nnode 2 a a.m *\n", &error));
+  EXPECT_FALSE(parse_sync_graph("bogus record\n", &error));
+  EXPECT_FALSE(parse_sync_graph("task a\ncedge b 99\n", &error));
+  EXPECT_FALSE(
+      parse_sync_graph("task a\nnode 2 a a.m - guard broken\n", &error));
+}
+
+TEST(Serialize, PatternGraphsRoundTrip) {
+  for (const auto& program :
+       {gen::dining_philosophers(3, true), gen::barrier(3),
+        gen::token_ring(4, false)}) {
+    const SyncGraph g = build_sync_graph(program);
+    const auto parsed = parse_sync_graph(serialize_sync_graph(g));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(serialize_sync_graph(*parsed), serialize_sync_graph(g));
+  }
+}
+
+}  // namespace
+}  // namespace siwa::sg

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "gen/patterns.h"
+#include "lang/parser.h"
+#include "stall/balance.h"
+#include "stall/codependent.h"
+#include "stall/lemma3.h"
+#include "transform/merge.h"
+
+namespace siwa::stall {
+namespace {
+
+lang::Program parse(const char* source) {
+  return lang::parse_and_check_or_throw(source);
+}
+
+TEST(Lemma3, BalancedStraightLineIsStallFree) {
+  const auto p = parse(R"(
+task a is begin send b.m; send b.m; end a;
+task b is begin accept m; accept m; end b;
+)");
+  const Lemma3Verdict v = check_lemma3(p);
+  EXPECT_TRUE(v.applicable);
+  EXPECT_TRUE(v.stall_free);
+  ASSERT_EQ(v.counts.size(), 1u);
+  EXPECT_EQ(v.counts[0].sends, 2u);
+  EXPECT_EQ(v.counts[0].accepts, 2u);
+}
+
+TEST(Lemma3, UnbalancedCountsDetected) {
+  const auto p = parse(R"(
+task a is begin send b.m; end a;
+task b is begin accept m; accept m; end b;
+)");
+  const Lemma3Verdict v = check_lemma3(p);
+  EXPECT_TRUE(v.applicable);
+  EXPECT_FALSE(v.stall_free);
+}
+
+TEST(Lemma3, NotApplicableWithBranches) {
+  const auto p = parse(R"(
+task a is begin if c then send b.m; end if; end a;
+task b is begin accept m; end b;
+)");
+  EXPECT_FALSE(check_lemma3(p).applicable);
+  EXPECT_FALSE(is_straight_line(p));
+}
+
+TEST(Lemma3, PatternsAreBalanced) {
+  for (const auto& p :
+       {gen::pipeline(3, 2), gen::barrier(3), gen::token_ring(4, false),
+        gen::dining_philosophers(3, false), gen::client_server(2, false)}) {
+    const Lemma3Verdict v = check_lemma3(p);
+    EXPECT_TRUE(v.applicable);
+    EXPECT_TRUE(v.stall_free);
+  }
+}
+
+TEST(Balance, BalancedStraightLine) {
+  const auto p = parse(R"(
+task a is begin send b.m; end a;
+task b is begin accept m; end b;
+)");
+  EXPECT_TRUE(check_stall_balance(p).stall_free);
+}
+
+TEST(Balance, UnbalancedReported) {
+  const auto p = parse(R"(
+task a is begin send b.m; end a;
+task b is begin accept m; accept m; end b;
+)");
+  const BalanceVerdict v = check_stall_balance(p);
+  EXPECT_FALSE(v.stall_free);
+  ASSERT_EQ(v.issues.size(), 1u);
+  EXPECT_NE(v.issues[0].description.find("net count"), std::string::npos);
+}
+
+TEST(Balance, IndependentConditionalMayStall) {
+  // Lemma 4: the else path leaves the accept unmatched.
+  const auto p = parse(R"(
+task a is begin if c then send b.m; end if; end a;
+task b is begin accept m; end b;
+)");
+  EXPECT_FALSE(check_stall_balance(p).stall_free);
+}
+
+TEST(Balance, BothArmsSameTypeIsExact) {
+  // Figure 5(b): a rendezvous of the same type on both arms contributes an
+  // exact +1 regardless of the branch taken.
+  const auto p = parse(R"(
+task a is
+begin
+  if c then
+    send b.m;
+  else
+    send b.m;
+  end if;
+end a;
+task b is begin accept m; end b;
+)");
+  EXPECT_TRUE(check_stall_balance(p).stall_free);
+}
+
+TEST(Balance, SharedConditionCancelsAcrossTasks) {
+  // Figure 5(d): send and accept both guarded by the same encapsulated
+  // condition cancel exactly.
+  const auto p = parse(R"(
+shared condition v;
+task a is begin if v then send b.m; end if; end a;
+task b is begin if v then accept m; end if; end b;
+)");
+  EXPECT_TRUE(check_stall_balance(p).stall_free);
+}
+
+TEST(Balance, SharedConditionMismatchedArmsStall) {
+  // Send on the then-arm but accept on the else-arm: no assignment
+  // balances; coefficients add instead of cancelling.
+  const auto p = parse(R"(
+shared condition v;
+task a is begin if v then send b.m; end if; end a;
+task b is begin if v then null; else accept m; end if; end b;
+)");
+  const BalanceVerdict v = check_stall_balance(p);
+  EXPECT_FALSE(v.stall_free);
+}
+
+TEST(Balance, NonSharedConditionDoesNotCancel) {
+  // Same shape but with independent conditions: each task flips its own
+  // coin, so the counts can disagree.
+  const auto p = parse(R"(
+task a is begin if c1 then send b.m; end if; end a;
+task b is begin if c2 then accept m; end if; end b;
+)");
+  EXPECT_FALSE(check_stall_balance(p).stall_free);
+}
+
+TEST(Balance, ZeroNetLoopIsHarmless) {
+  const auto p = parse(R"(
+task a is
+begin
+  while w loop
+    send b.m;
+    accept r;
+  end loop;
+end a;
+task b is
+begin
+  while w2 loop
+    accept m;
+    send a.r;
+  end loop;
+end b;
+)");
+  // Each loop body nets zero for... the body nets +1/-1 per signal, which
+  // is NOT zero: iteration counts may differ between tasks.
+  EXPECT_FALSE(check_stall_balance(p).stall_free);
+}
+
+TEST(Balance, SelfContainedLoopBodyPasses) {
+  // A loop whose body is internally balanced per signal would require the
+  // partner counts inside the same task; here the signal both starts and
+  // ends within one task pair inside a shared iteration bound is not
+  // expressible, so the only zero-net loop is one with no rendezvous.
+  const auto p = parse(R"(
+task a is
+begin
+  while w loop
+    null;
+  end loop;
+  send b.m;
+end a;
+task b is begin accept m; end b;
+)");
+  EXPECT_TRUE(check_stall_balance(p).stall_free);
+}
+
+TEST(Balance, EqualCountArmsAreExactAndMergeAgrees) {
+  // Both arms carry the same rendezvous multiset in different orders; the
+  // per-signal interval hull is already exact here (the Figure 5(c) merge
+  // transform normalizes the source but cannot change the verdict).
+  const auto p = parse(R"(
+task a is
+begin
+  if c then
+    send b.m;
+    send b.k;
+  else
+    send b.k;
+    send b.m;
+  end if;
+end a;
+task b is begin accept m; accept k; end b;
+)");
+  EXPECT_TRUE(check_stall_balance(p).stall_free);
+  // The condition is independent, so the merge transform must not split
+  // the permuted arms (that would decorrelate the residues); the program
+  // passes through unchanged and the verdict is stable.
+  transform::MergeStats stats;
+  const lang::Program merged = transform::merge_branch_rendezvous(p, &stats);
+  EXPECT_EQ(stats.merged_rendezvous, 0u);
+  EXPECT_TRUE(check_stall_balance(merged).stall_free);
+}
+
+TEST(Codependent, DetectsMatchedPairs) {
+  const auto p = parse(R"(
+shared condition v;
+task a is begin if v then send b.m; end if; end a;
+task b is begin if v then accept m; end if; end b;
+)");
+  const auto pairs = detect_codependent_pairs(p);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_TRUE(pairs[0].then_arm);
+  EXPECT_EQ(p.name_of(pairs[0].message), "m");
+  EXPECT_EQ(p.name_of(pairs[0].sender_task), "a");
+  EXPECT_EQ(p.name_of(pairs[0].receiver_task), "b");
+}
+
+TEST(Codependent, IgnoresNonSharedConditions) {
+  const auto p = parse(R"(
+task a is begin if c then send b.m; end if; end a;
+task b is begin if c then accept m; end if; end b;
+)");
+  EXPECT_TRUE(detect_codependent_pairs(p).empty());
+}
+
+TEST(Codependent, ElseArmMatchesElseArmOnly) {
+  const auto p = parse(R"(
+shared condition v;
+task a is begin if v then send b.m; end if; end a;
+task b is begin if v then null; else accept m; end if; end b;
+)");
+  EXPECT_TRUE(detect_codependent_pairs(p).empty());
+}
+
+TEST(Codependent, FactoringHoistsBothSides) {
+  const auto p = parse(R"(
+shared condition v;
+task a is begin if v then send b.m; end if; end a;
+task b is begin if v then accept m; end if; end b;
+)");
+  std::size_t factored = 0;
+  const lang::Program q = factor_codependent(p, &factored);
+  EXPECT_EQ(factored, 2u);
+  // Both rendezvous are now unconditional; Lemma 3 applies after dropping
+  // the empty conditionals... the conditionals remain but carry no
+  // rendezvous, so the balance check certifies.
+  EXPECT_TRUE(check_stall_balance(q).stall_free);
+  ASSERT_FALSE(q.tasks[0].body.empty());
+  EXPECT_EQ(q.tasks[0].body[0].kind, lang::StmtKind::Send);
+}
+
+TEST(Codependent, UnmatchedExtrasStayConditional) {
+  // Two sends, one accept under the same shared condition: one pair
+  // factors, the surplus send keeps the imbalance visible.
+  const auto p = parse(R"(
+shared condition v;
+task a is begin if v then send b.m; send b.m; end if; end a;
+task b is begin if v then accept m; end if; end b;
+)");
+  std::size_t factored = 0;
+  const lang::Program q = factor_codependent(p, &factored);
+  EXPECT_EQ(factored, 2u);  // one send + one accept
+  EXPECT_FALSE(check_stall_balance(q).stall_free);
+}
+
+}  // namespace
+}  // namespace siwa::stall

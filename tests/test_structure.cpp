@@ -1,0 +1,208 @@
+// Structural property sweeps: CLG construction invariants over random
+// programs, sync graph well-formedness, and frontend robustness against
+// malformed input (must diagnose, never crash).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gen/random_program.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "lang/sema.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+
+namespace siwa {
+namespace {
+
+class ClgStructure : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClgStructure, InvariantsHold) {
+  gen::RandomProgramConfig config;
+  config.tasks = 4;
+  config.rendezvous_pairs = 8;
+  config.unmatched_rendezvous = 1;
+  config.branch_probability = 0.3;
+  config.loop_probability = 0.15;
+  config.seed = GetParam();
+  const lang::Program program = gen::random_program(config);
+  const sg::SyncGraph g = sg::build_sync_graph(program);
+  EXPECT_TRUE(g.validate(true).empty());
+
+  const sg::Clg clg(g);
+
+  // Node count: b, e, plus an i/o pair per rendezvous node.
+  EXPECT_EQ(clg.node_count(), 2u + 2u * (g.node_count() - 2u));
+
+  // Edge count: internal pairs + control edges + 2 per undirected sync edge.
+  EXPECT_EQ(clg.edge_count(), (g.node_count() - 2u) +
+                                  g.control_edge_count() +
+                                  2u * g.sync_edge_count());
+
+  std::size_t sync_edges_seen = 0;
+  for (std::size_t v = 0; v < clg.node_count(); ++v) {
+    const ClgNodeId from(v);
+    for (VertexId w : clg.graph().successors(VertexId(v))) {
+      const ClgNodeId to(w.index());
+      if (clg.is_sync_edge(from, to)) {
+        ++sync_edges_seen;
+        // Sync edges run out-node -> in-node of *different* origins, and
+        // the origins are sync partners in the source graph.
+        EXPECT_FALSE(clg.is_in_node(from));
+        EXPECT_TRUE(clg.is_in_node(to));
+        EXPECT_NE(clg.origin(from), clg.origin(to));
+        EXPECT_TRUE(g.has_sync_edge(clg.origin(from), clg.origin(to)));
+        // Constraint 1b: an in-node's outgoing edges are never sync edges,
+        // so no two sync edges can be consecutive.
+        for (VertexId x : clg.graph().successors(w))
+          EXPECT_FALSE(clg.is_sync_edge(to, ClgNodeId(x.index())));
+      }
+    }
+  }
+  EXPECT_EQ(sync_edges_seen, 2u * g.sync_edge_count());
+
+  // Every rendezvous node's split pair is wired with the internal edge.
+  for (std::size_t i = 2; i < g.node_count(); ++i) {
+    const NodeId r(i);
+    EXPECT_TRUE(clg.graph().has_edge(VertexId(clg.out_of(r).index()),
+                                     VertexId(clg.in_of(r).index())));
+    EXPECT_EQ(clg.origin(clg.in_of(r)), r);
+    EXPECT_EQ(clg.origin(clg.out_of(r)), r);
+  }
+}
+
+TEST_P(ClgStructure, ControlEdgesMapPerConstruction) {
+  gen::RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 6;
+  config.branch_probability = 0.25;
+  config.seed = GetParam() + 1000;
+  const sg::SyncGraph g =
+      sg::build_sync_graph(gen::random_program(config));
+  const sg::Clg clg(g);
+
+  // Steps 4/5: each source control edge appears exactly once in its
+  // transformed shape.
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    const NodeId r(i);
+    for (NodeId s : g.control_successors(r)) {
+      VertexId from;
+      VertexId to;
+      if (r == g.begin_node()) {
+        from = VertexId(clg.b().index());
+        to = s == g.end_node() ? VertexId(clg.e().index())
+                               : VertexId(clg.out_of(s).index());
+      } else if (s == g.end_node()) {
+        from = VertexId(clg.in_of(r).index());
+        to = VertexId(clg.e().index());
+      } else {
+        from = VertexId(clg.in_of(r).index());
+        to = VertexId(clg.out_of(s).index());
+      }
+      EXPECT_TRUE(clg.graph().has_edge(from, to))
+          << g.describe(r) << " -> " << g.describe(s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClgStructure,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+// Frontend robustness: mangled inputs must produce diagnostics (or parse),
+// never crash. Deterministic pseudo-fuzz over token soup and truncations.
+TEST(FrontendRobustness, TokenSoupNeverCrashes) {
+  const char* vocabulary[] = {"task",  "is",    "begin", "end",  "send",
+                              "accept", "if",    "then",  "else", "elsif",
+                              "while", "loop",  "null",  ";",    ".",
+                              ",",      "ident", "t1",    "m",    "shared",
+                              "condition"};
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::size_t> pick(0, std::size(vocabulary) - 1);
+  std::uniform_int_distribution<int> len(0, 60);
+  for (int round = 0; round < 300; ++round) {
+    std::string source;
+    const int n = len(rng);
+    for (int k = 0; k < n; ++k) {
+      source += vocabulary[pick(rng)];
+      source += ' ';
+    }
+    DiagnosticSink sink;
+    const auto program = lang::parse_program(source, sink);
+    if (program) {
+      lang::check_program(*program, sink);
+      if (!sink.has_errors() && !program->tasks.empty()) {
+        // Anything that fully checks must survive the whole pipeline.
+        const sg::SyncGraph g = sg::build_sync_graph(*program);
+        EXPECT_TRUE(g.validate(true).empty());
+      }
+    } else {
+      EXPECT_TRUE(sink.has_errors());
+    }
+  }
+}
+
+TEST(FrontendRobustness, TruncationsOfValidProgram) {
+  const std::string source = R"(
+shared condition v;
+task t is
+begin
+  if v then
+    accept m1;
+  elsif w then
+    accept m2;
+  end if;
+  while c loop
+    send u.k;
+  end loop;
+end t;
+task u is begin accept k; send t.m1; send t.m2; end u;
+)";
+  for (std::size_t cut = 0; cut < source.size(); cut += 3) {
+    DiagnosticSink sink;
+    const auto program = lang::parse_program(source.substr(0, cut), sink);
+    if (program) lang::check_program(*program, sink);
+    // No assertion on the verdict — only that nothing crashes and failed
+    // parses carry diagnostics.
+    if (!program) {
+      EXPECT_TRUE(sink.has_errors());
+    }
+  }
+}
+
+TEST(FrontendRobustness, BinaryGarbage) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 100; ++round) {
+    std::string source;
+    for (int k = 0; k < 80; ++k)
+      source.push_back(static_cast<char>(byte(rng)));
+    DiagnosticSink sink;
+    const auto program = lang::parse_program(source, sink);
+    if (!program) {
+      EXPECT_TRUE(sink.has_errors());
+    }
+  }
+}
+
+TEST(FrontendRobustness, PrinterParsesBackWhateverParses) {
+  std::mt19937_64 rng(99);
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 3;
+    config.rendezvous_pairs = 6;
+    config.branch_probability = 0.35;
+    config.loop_probability = 0.2;
+    config.shared_conditions = 1;
+    config.seed = seed;
+    const lang::Program program = gen::random_program(config);
+    const std::string printed = lang::print_program(program);
+    DiagnosticSink sink;
+    const auto reparsed = lang::parse_program(printed, sink);
+    ASSERT_TRUE(reparsed.has_value()) << sink.to_string() << printed;
+    EXPECT_EQ(lang::print_program(*reparsed), printed);
+  }
+}
+
+}  // namespace
+}  // namespace siwa

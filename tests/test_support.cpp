@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/bitset.h"
+#include "support/diagnostics.h"
+#include "support/ids.h"
+#include "support/interner.h"
+
+namespace siwa {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(Ids, ConstructionAndIndex) {
+  NodeId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.index(), 7u);
+  EXPECT_EQ(id.value, 7);
+}
+
+TEST(Ids, Comparisons) {
+  EXPECT_EQ(TaskId(3), TaskId(3));
+  EXPECT_NE(TaskId(3), TaskId(4));
+  EXPECT_LT(TaskId(3), TaskId(4));
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<TaskId, NodeId>);
+  static_assert(!std::is_same_v<NodeId, ClgNodeId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<NodeId> set;
+  set.insert(NodeId(1));
+  set.insert(NodeId(1));
+  set.insert(NodeId(2));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Bitset, SetTestReset) {
+  DynamicBitset bits(130);
+  EXPECT_FALSE(bits.test(0));
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  bits.reset(64);
+  EXPECT_FALSE(bits.test(64));
+}
+
+TEST(Bitset, CountAndAny) {
+  DynamicBitset bits(100);
+  EXPECT_FALSE(bits.any());
+  EXPECT_EQ(bits.count(), 0u);
+  bits.set(3);
+  bits.set(99);
+  EXPECT_TRUE(bits.any());
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(Bitset, MergeReportsChange) {
+  DynamicBitset a(70);
+  DynamicBitset b(70);
+  b.set(69);
+  EXPECT_TRUE(a.merge(b));
+  EXPECT_TRUE(a.test(69));
+  EXPECT_FALSE(a.merge(b));  // no new bits
+}
+
+TEST(Bitset, Intersect) {
+  DynamicBitset a(10);
+  DynamicBitset b(10);
+  a.set(1);
+  a.set(2);
+  b.set(2);
+  b.set(3);
+  a.intersect(b);
+  EXPECT_FALSE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_FALSE(a.test(3));
+}
+
+TEST(Bitset, ForEachVisitsInOrder) {
+  DynamicBitset bits(200);
+  bits.set(5);
+  bits.set(64);
+  bits.set(190);
+  std::vector<std::size_t> seen;
+  bits.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{5, 64, 190}));
+}
+
+TEST(Bitset, Equality) {
+  DynamicBitset a(40);
+  DynamicBitset b(40);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitMatrix, RowsIndependent) {
+  BitMatrix m(8);
+  m.set(2, 5);
+  EXPECT_TRUE(m.test(2, 5));
+  EXPECT_FALSE(m.test(5, 2));
+  EXPECT_EQ(m.row(2).count(), 1u);
+  EXPECT_EQ(m.row(3).count(), 0u);
+}
+
+TEST(Interner, RoundTrip) {
+  Interner interner;
+  const Symbol a = interner.intern("alpha");
+  const Symbol b = interner.intern("beta");
+  const Symbol a2 = interner.intern("alpha");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(interner.text(a), "alpha");
+  EXPECT_EQ(interner.text(b), "beta");
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(Interner, CopyKeepsSymbols) {
+  Interner interner;
+  const Symbol a = interner.intern("x");
+  Interner copy = interner;
+  EXPECT_EQ(copy.text(a), "x");
+  const Symbol b = copy.intern("y");
+  EXPECT_NE(a, b);
+}
+
+TEST(Interner, EmptyStringIsAValidSymbol) {
+  Interner interner;
+  const Symbol empty = interner.intern("");
+  EXPECT_TRUE(empty.valid());
+  EXPECT_EQ(interner.text(empty), "");
+  EXPECT_EQ(interner.intern(""), empty);
+}
+
+TEST(Bitset, CountAndMatchesManualIntersection) {
+  DynamicBitset a(130);
+  DynamicBitset b(130);
+  a.set(0); a.set(64); a.set(129);
+  b.set(64); b.set(129); b.set(1);
+  EXPECT_EQ(a.count_and(b), 2u);
+  DynamicBitset c = a;
+  c.intersect(b);
+  EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(Diagnostics, CollectsAndCounts) {
+  DiagnosticSink sink;
+  EXPECT_FALSE(sink.has_errors());
+  sink.warning({1, 2}, "careful");
+  EXPECT_FALSE(sink.has_errors());
+  sink.error({3, 4}, "broken");
+  EXPECT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.error_count(), 1u);
+  EXPECT_EQ(sink.diagnostics().size(), 2u);
+  EXPECT_NE(sink.to_string().find("3:4"), std::string::npos);
+  EXPECT_NE(sink.to_string().find("broken"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace siwa

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "graph/scc.h"
+#include "lang/parser.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+#include "syncgraph/export.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::sg {
+namespace {
+
+lang::Program parse(const char* source) {
+  return lang::parse_and_check_or_throw(source);
+}
+
+// Node lookup helpers for tests: nth rendezvous node of a named task.
+NodeId nth_node(const SyncGraph& g, const std::string& task, std::size_t n) {
+  for (std::size_t t = 0; t < g.task_count(); ++t)
+    if (g.task_name(TaskId(t)) == task) return g.nodes_of_task(TaskId(t))[n];
+  ADD_FAILURE() << "no task " << task;
+  return NodeId::invalid();
+}
+
+TEST(SyncGraph, BuildsFigure1LikeProgram) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t1 is begin send t2.sig1; accept sig2; end t1;
+task t2 is begin accept sig1; accept sig1; end t2;
+task t3 is begin send t2.sig1; send t1.sig2; end t3;
+)"));
+  EXPECT_EQ(g.task_count(), 3u);
+  EXPECT_EQ(g.node_count(), 2u + 6u);  // b, e, six rendezvous
+  EXPECT_TRUE(g.validate(/*program_derived=*/true).empty());
+
+  // Sync edges: the two sig1 sends pair with both accepts (4 edges), the
+  // sig2 send pairs with its accept (1 edge).
+  EXPECT_EQ(g.sync_edge_count(), 5u);
+
+  const NodeId send_sig1 = nth_node(g, "t1", 0);
+  const NodeId accept1 = nth_node(g, "t2", 0);
+  const NodeId accept2 = nth_node(g, "t2", 1);
+  EXPECT_TRUE(g.has_sync_edge(send_sig1, accept1));
+  EXPECT_TRUE(g.has_sync_edge(send_sig1, accept2));
+  EXPECT_FALSE(g.has_sync_edge(accept1, accept2));
+
+  // Control chain within t2: b -> accept1 -> accept2 -> e.
+  ASSERT_EQ(g.task_entries(TaskId(1)).size(), 1u);
+  EXPECT_EQ(g.task_entries(TaskId(1))[0], accept1);
+  ASSERT_EQ(g.control_successors(accept1).size(), 1u);
+  EXPECT_EQ(g.control_successors(accept1)[0], accept2);
+  ASSERT_EQ(g.control_successors(accept2).size(), 1u);
+  EXPECT_EQ(g.control_successors(accept2)[0], g.end_node());
+}
+
+TEST(SyncGraph, DescribeUsesPaperNotation) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t1 is begin send t2.sig1; end t1;
+task t2 is begin accept sig1; end t2;
+)"));
+  const std::string desc = g.describe(nth_node(g, "t1", 0));
+  EXPECT_NE(desc.find("(t2, sig1, +)"), std::string::npos);
+  EXPECT_EQ(g.describe(g.begin_node()), "b");
+  EXPECT_EQ(g.describe(g.end_node()), "e");
+}
+
+TEST(SyncGraph, ConditionalBranchesShareSuccessors) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+  accept m3;
+end t;
+task u is begin send t.m1; send t.m2; send t.m3; end u;
+)"));
+  const NodeId m1 = nth_node(g, "t", 0);
+  const NodeId m2 = nth_node(g, "t", 1);
+  const NodeId m3 = nth_node(g, "t", 2);
+  // Both arms are task entries; both lead to m3.
+  const auto entries = g.task_entries(TaskId(0));
+  EXPECT_EQ(entries.size(), 2u);
+  ASSERT_EQ(g.control_successors(m1).size(), 1u);
+  EXPECT_EQ(g.control_successors(m1)[0], m3);
+  ASSERT_EQ(g.control_successors(m2).size(), 1u);
+  EXPECT_EQ(g.control_successors(m2)[0], m3);
+}
+
+TEST(SyncGraph, EmptyElseSkipsToSuccessor) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t is
+begin
+  accept m1;
+  if c then
+    accept m2;
+  end if;
+  accept m3;
+end t;
+task u is begin send t.m1; send t.m2; send t.m3; end u;
+)"));
+  const NodeId m1 = nth_node(g, "t", 0);
+  const NodeId m3 = nth_node(g, "t", 2);
+  // m1 -> m2 (then-arm) and m1 -> m3 (skip path).
+  const auto succs = g.control_successors(m1);
+  EXPECT_EQ(succs.size(), 2u);
+  EXPECT_TRUE((succs[0] == m3) || (succs[1] == m3));
+}
+
+TEST(SyncGraph, LoopCreatesBackEdgeAndSkipPath) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t is
+begin
+  accept m1;
+  while c loop
+    accept m2;
+  end loop;
+  accept m3;
+end t;
+task u is begin send t.m1; send t.m2; send t.m3; end u;
+)"));
+  const NodeId m1 = nth_node(g, "t", 0);
+  const NodeId m2 = nth_node(g, "t", 1);
+  const NodeId m3 = nth_node(g, "t", 2);
+  auto has = [&](NodeId from, NodeId to) {
+    for (NodeId s : g.control_successors(from))
+      if (s == to) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(m1, m2));
+  EXPECT_TRUE(has(m1, m3));  // zero iterations
+  EXPECT_TRUE(has(m2, m2));  // back edge
+  EXPECT_TRUE(has(m2, m3));
+}
+
+TEST(SyncGraph, TaskWithoutRendezvousEntersAtEnd) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task idle is begin null; end idle;
+task t is begin accept m; end t;
+task u is begin send t.m; end u;
+)"));
+  ASSERT_EQ(g.task_entries(TaskId(0)).size(), 1u);
+  EXPECT_EQ(g.task_entries(TaskId(0))[0], g.end_node());
+}
+
+TEST(SyncGraph, ValidateCatchesCrossTaskControlEdge) {
+  SyncGraph g;
+  const TaskId t1 = g.add_task("a");
+  const TaskId t2 = g.add_task("b");
+  const Symbol m = g.intern_message("m");
+  const NodeId r = g.add_rendezvous(t1, g.intern_signal(t2, m), Sign::Plus);
+  const NodeId s = g.add_rendezvous(t2, g.intern_signal(t2, m), Sign::Minus);
+  g.add_control_edge(g.begin_node(), r);
+  g.add_task_entry(t1, r);
+  g.add_control_edge(g.begin_node(), s);
+  g.add_task_entry(t2, s);
+  g.add_control_edge(r, s);  // crosses tasks: invalid
+  g.finalize();
+  EXPECT_FALSE(g.validate(true).empty());
+}
+
+TEST(SyncGraph, ValidateCatchesMisplacedAccept) {
+  SyncGraph g;
+  const TaskId t1 = g.add_task("a");
+  const TaskId t2 = g.add_task("b");
+  const Symbol m = g.intern_message("m");
+  // Accept of signal (t2, m) placed in task t1: impossible in a program.
+  const NodeId r = g.add_rendezvous(t1, g.intern_signal(t2, m), Sign::Minus);
+  g.add_control_edge(g.begin_node(), r);
+  g.add_task_entry(t1, r);
+  g.finalize();
+  EXPECT_FALSE(g.validate(true).empty());
+  // But legal as a raw gadget graph.
+  SyncGraph g2;
+  const TaskId u1 = g2.add_task("a");
+  const TaskId u2 = g2.add_task("b");
+  const NodeId r2 =
+      g2.add_rendezvous(u1, g2.intern_signal(u2, g2.intern_message("m")),
+                        Sign::Minus);
+  g2.add_control_edge(g2.begin_node(), r2);
+  g2.add_task_entry(u1, r2);
+  g2.add_task_entry(u2, g2.end_node());  // b holds no rendezvous
+  g2.finalize();
+  EXPECT_TRUE(g2.validate(false).empty());
+}
+
+// Figure 4(a)/(b): a cycle that exists purely in sync edges (entering and
+// leaving nodes without traversing control edges) must disappear in the
+// CLG, whose node splitting enforces constraint 1b.
+TEST(Clg, Figure4SyncOnlyCycleBroken) {
+  SyncGraph g;
+  const TaskId tr = g.add_task("task_r");
+  const TaskId ts = g.add_task("task_s");
+  const TaskId tt = g.add_task("task_t");
+  const TaskId tu = g.add_task("task_u");
+  const Symbol m = g.intern_message("m");
+  const NodeId r = g.add_rendezvous(tr, g.intern_signal(tt, m), Sign::Plus);
+  const NodeId s = g.add_rendezvous(ts, g.intern_signal(tu, m), Sign::Plus);
+  const NodeId t = g.add_rendezvous(tt, g.intern_signal(tt, m), Sign::Minus);
+  const NodeId u = g.add_rendezvous(tu, g.intern_signal(tu, m), Sign::Minus);
+  for (auto [task, node] :
+       {std::pair{tr, r}, {ts, s}, {tt, t}, {tu, u}}) {
+    g.add_control_edge(g.begin_node(), node);
+    g.add_task_entry(task, node);
+    g.add_control_edge(node, g.end_node());
+  }
+  // Close the undirected sync cycle r - t - s - u - r.
+  g.add_explicit_sync_edge(t, s);
+  g.add_explicit_sync_edge(u, r);
+  g.finalize();
+
+  // The raw sync graph, with sync edges traversable both ways, contains the
+  // cycle r-t-s-u; the CLG must not.
+  const Clg clg(g);
+  EXPECT_FALSE(graph::has_cycle(clg.graph()));
+}
+
+TEST(Clg, ConstructionCountsMatchDefinition) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t1 is begin send t2.m; end t1;
+task t2 is begin accept m; end t2;
+)"));
+  const Clg clg(g);
+  // 2 distinguished + 2 per rendezvous node.
+  EXPECT_EQ(clg.node_count(), 2u + 2u * 2u);
+  // Edges: 2 internal (step 3) + per-control (b->r_o or r_i->e: 4 control
+  // edges exist: b->send, send->e, b->accept, accept->e) + 2 per sync edge.
+  EXPECT_EQ(clg.edge_count(), 2u + 4u + 2u);
+  EXPECT_EQ(clg.origin(clg.in_of(NodeId(2))), NodeId(2));
+  EXPECT_EQ(clg.origin(clg.out_of(NodeId(2))), NodeId(2));
+  EXPECT_TRUE(clg.is_in_node(clg.in_of(NodeId(2))));
+  EXPECT_FALSE(clg.is_in_node(clg.out_of(NodeId(2))));
+}
+
+TEST(Clg, SyncEdgeClassification) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t1 is begin send t2.m; end t1;
+task t2 is begin accept m; end t2;
+)"));
+  const Clg clg(g);
+  const NodeId send(2);
+  const NodeId accept(3);
+  EXPECT_TRUE(clg.is_sync_edge(clg.out_of(send), clg.in_of(accept)));
+  EXPECT_TRUE(clg.is_sync_edge(clg.out_of(accept), clg.in_of(send)));
+  // Internal r_o -> r_i edge is not a sync edge.
+  EXPECT_FALSE(clg.is_sync_edge(clg.out_of(send), clg.in_of(send)));
+}
+
+TEST(Clg, AcyclicForHandshake) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)"));
+  EXPECT_FALSE(graph::has_cycle(Clg(g).graph()));
+}
+
+TEST(Clg, CycleForMutualWait) {
+  // a waits for b's request while b waits for a's: a real deadlock shape.
+  const SyncGraph g = build_sync_graph(parse(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)"));
+  EXPECT_TRUE(graph::has_cycle(Clg(g).graph()));
+}
+
+TEST(Export, DotContainsClustersAndEdges) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t1 is begin send t2.m; end t1;
+task t2 is begin accept m; end t2;
+)"));
+  const std::string dot = sync_graph_to_dot(g, "fig");
+  EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  const std::string clg_dot = clg_to_dot(g, Clg(g), "clg");
+  EXPECT_NE(clg_dot.find("_i"), std::string::npos);
+  EXPECT_NE(clg_dot.find("_o"), std::string::npos);
+}
+
+TEST(Export, JsonListsEdges) {
+  const SyncGraph g = build_sync_graph(parse(R"(
+task t1 is begin send t2.m; end t1;
+task t2 is begin accept m; end t2;
+)"));
+  const std::string json = sync_graph_to_json(g);
+  EXPECT_NE(json.find("\"tasks\""), std::string::npos);
+  EXPECT_NE(json.find("\"sync_edges\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace siwa::sg

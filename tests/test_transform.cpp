@@ -1,0 +1,391 @@
+#include <gtest/gtest.h>
+
+#include "graph/reachability.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "syncgraph/builder.h"
+#include "transform/linearize.h"
+#include "transform/merge.h"
+#include "transform/unroll.h"
+
+namespace siwa::transform {
+namespace {
+
+lang::Program parse(const char* source) {
+  return lang::parse_and_check_or_throw(source);
+}
+
+TEST(Unroll, LoopFreeProgramUnchanged) {
+  const lang::Program p = parse(R"(
+task t is begin accept m; end t;
+task u is begin send t.m; end u;
+)");
+  EXPECT_FALSE(has_loops(p));
+  const lang::Program q = unroll_loops_twice(p);
+  EXPECT_EQ(lang::print_program(p), lang::print_program(q));
+}
+
+TEST(Unroll, SingleLoopBecomesNestedConditionals) {
+  const lang::Program p = parse(R"(
+task t is begin while c loop accept m; end loop; end t;
+task u is begin send t.m; end u;
+)");
+  EXPECT_TRUE(has_loops(p));
+  const lang::Program q = unroll_loops_twice(p);
+  EXPECT_FALSE(has_loops(q));
+  // Body duplicated exactly twice.
+  const lang::AstStats stats = lang::compute_stats(q);
+  EXPECT_EQ(stats.rendezvous_points, 2u + 1u);  // two accepts + one send
+  // Shape: if c then accept; if c then accept end if; end if.
+  const lang::Stmt& outer = q.tasks[0].body.at(0);
+  ASSERT_EQ(outer.kind, lang::StmtKind::If);
+  ASSERT_EQ(outer.body.size(), 2u);
+  EXPECT_EQ(outer.body[0].kind, lang::StmtKind::Accept);
+  EXPECT_EQ(outer.body[1].kind, lang::StmtKind::If);
+}
+
+TEST(Unroll, NestedLoopsGrowGeometrically) {
+  // One rendezvous under k nested loops appears 2^k times after T(P).
+  const lang::Program p = parse(R"(
+task t is
+begin
+  while a loop
+    while b loop
+      while c loop
+        accept m;
+      end loop;
+    end loop;
+  end loop;
+end t;
+task u is begin send t.m; end u;
+)");
+  const lang::Program q = unroll_loops_twice(p);
+  EXPECT_FALSE(has_loops(q));
+  EXPECT_EQ(lang::compute_stats(q).rendezvous_points, 8u + 1u);
+}
+
+TEST(Unroll, ResultingSyncGraphIsAcyclic) {
+  const lang::Program p = parse(R"(
+task t is
+begin
+  accept m1;
+  while c loop
+    accept m2;
+    accept m1;
+  end loop;
+end t;
+task u is begin send t.m1; send t.m2; send t.m1; end u;
+)");
+  const sg::SyncGraph g = sg::build_sync_graph(unroll_loops_twice(p));
+  EXPECT_FALSE(graph::topological_order(g.control_graph()).empty());
+}
+
+TEST(Unroll, PreservesCrossIterationPaths) {
+  // Lemma 1: a path entering the loop body in one iteration and leaving in
+  // the next must exist in T(P): accept m2 (iteration k) -> accept m1
+  // (iteration k+1).
+  const lang::Program p = parse(R"(
+task t is
+begin
+  while c loop
+    accept m1;
+    accept m2;
+  end loop;
+end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  const sg::SyncGraph g = sg::build_sync_graph(unroll_loops_twice(p));
+  const graph::Reachability reach(g.control_graph());
+  // Find an m2 accept that reaches an m1 accept through control flow.
+  bool found = false;
+  for (NodeId a : g.nodes_of_task(TaskId(0))) {
+    if (g.message_name(g.signal_type(g.node(a).signal).message) != "m2")
+      continue;
+    for (NodeId b : g.nodes_of_task(TaskId(0))) {
+      if (g.message_name(g.signal_type(g.node(b).signal).message) != "m1")
+        continue;
+      if (reach.reaches(VertexId(a.value), VertexId(b.value))) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Linearize, StraightLineHasOnePath) {
+  const lang::Program p = parse(R"(
+task t is begin accept m; send u.k; end t;
+task u is begin accept k; send t.m; end u;
+)");
+  const auto lins = enumerate_linearizations(p, p.tasks[0]);
+  EXPECT_TRUE(lins.complete);
+  ASSERT_EQ(lins.paths.size(), 1u);
+  ASSERT_EQ(lins.paths[0].rendezvous.size(), 2u);
+  EXPECT_FALSE(lins.paths[0].rendezvous[0].is_send);
+  EXPECT_TRUE(lins.paths[0].rendezvous[1].is_send);
+}
+
+TEST(Linearize, BranchDoublesPaths) {
+  const lang::Program p = parse(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  const auto lins = enumerate_linearizations(p, p.tasks[0]);
+  EXPECT_EQ(lins.paths.size(), 2u);
+}
+
+TEST(Linearize, LoopBoundedIterations) {
+  const lang::Program p = parse(R"(
+task t is begin while c loop accept m; end loop; end t;
+task u is begin send t.m; end u;
+)");
+  LinearizeOptions options;
+  options.max_loop_iterations = 3;
+  const auto lins = enumerate_linearizations(p, p.tasks[0], options);
+  // 0, 1, 2 or 3 iterations.
+  ASSERT_EQ(lins.paths.size(), 4u);
+  std::vector<std::size_t> sizes;
+  for (const auto& path : lins.paths) sizes.push_back(path.rendezvous.size());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(Linearize, SharedConditionRecordsAssignment) {
+  const lang::Program p = parse(R"(
+shared condition c;
+task t is
+begin
+  if c then
+    accept m1;
+  end if;
+end t;
+task u is begin send t.m1; end u;
+)");
+  const auto lins = enumerate_linearizations(p, p.tasks[0]);
+  ASSERT_EQ(lins.paths.size(), 2u);
+  for (const auto& path : lins.paths) {
+    ASSERT_EQ(path.shared_assignment.size(), 1u);
+    const bool value = path.shared_assignment.begin()->second;
+    EXPECT_EQ(path.rendezvous.size(), value ? 1u : 0u);
+  }
+}
+
+TEST(Linearize, ContradictorySharedPathsDropped) {
+  // `if c then accept m1 end; if c then else accept m2 end` cannot take the
+  // then-arm of one and the else-arm of the other.
+  const lang::Program p = parse(R"(
+shared condition c;
+task t is
+begin
+  if c then
+    accept m1;
+  end if;
+  if c then
+    null;
+  else
+    accept m2;
+  end if;
+end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  const auto lins = enumerate_linearizations(p, p.tasks[0]);
+  // Only c=true (m1) and c=false (m2) survive; mixed paths are infeasible.
+  ASSERT_EQ(lins.paths.size(), 2u);
+  for (const auto& path : lins.paths)
+    EXPECT_EQ(path.rendezvous.size(), 1u);
+}
+
+TEST(Linearize, SharedLoopConditionPinnedFalse) {
+  const lang::Program p = parse(R"(
+shared condition c;
+task t is begin while c loop accept m; end loop; end t;
+task u is begin send t.m; end u;
+)");
+  const auto lins = enumerate_linearizations(p, p.tasks[0]);
+  ASSERT_EQ(lins.paths.size(), 1u);
+  EXPECT_TRUE(lins.paths[0].rendezvous.empty());
+}
+
+TEST(Linearize, PathCapClearsComplete) {
+  const lang::Program p = parse(R"(
+task t is
+begin
+  if a then accept m; end if;
+  if b then accept m; end if;
+  if c then accept m; end if;
+end t;
+task u is begin send t.m; end u;
+)");
+  LinearizeOptions options;
+  options.max_paths = 3;
+  const auto lins = enumerate_linearizations(p, p.tasks[0], options);
+  EXPECT_FALSE(lins.complete);
+  EXPECT_EQ(lins.paths.size(), 3u);
+}
+
+TEST(Merge, HoistsCommonPrefixRendezvous) {
+  // Figure 5(b)/(c): the same rendezvous on both arms merges out.
+  const lang::Program p = parse(R"(
+task t is
+begin
+  if c then
+    accept m;
+    accept extra;
+  else
+    accept m;
+  end if;
+end t;
+task u is begin send t.m; send t.extra; end u;
+)");
+  MergeStats stats;
+  const lang::Program q = merge_branch_rendezvous(p, &stats);
+  EXPECT_EQ(stats.merged_rendezvous, 1u);
+  // accept m is now unconditional: first statement of the task.
+  ASSERT_FALSE(q.tasks[0].body.empty());
+  EXPECT_EQ(q.tasks[0].body[0].kind, lang::StmtKind::Accept);
+}
+
+TEST(Merge, SplitsAroundInteriorMatchForSharedCondition) {
+  const lang::Program p = parse(R"(
+shared condition c;
+task t is
+begin
+  if c then
+    accept pre1;
+    accept m;
+    accept post1;
+  else
+    accept pre2;
+    accept m;
+    accept post2;
+  end if;
+end t;
+task u is
+begin
+  send t.pre1; send t.m; send t.post1; send t.pre2; send t.post2;
+end u;
+)");
+  MergeStats stats;
+  const lang::Program q = merge_branch_rendezvous(p, &stats);
+  EXPECT_EQ(stats.merged_rendezvous, 1u);
+  // Shape: if (pre1|pre2); accept m; if (post1|post2).
+  const auto& body = q.tasks[0].body;
+  ASSERT_EQ(body.size(), 3u);
+  EXPECT_EQ(body[0].kind, lang::StmtKind::If);
+  EXPECT_EQ(body[1].kind, lang::StmtKind::Accept);
+  EXPECT_EQ(body[2].kind, lang::StmtKind::If);
+}
+
+TEST(Merge, DropsEmptiedConditional) {
+  const lang::Program p = parse(R"(
+task t is
+begin
+  if c then
+    accept m;
+  else
+    accept m;
+  end if;
+end t;
+task u is begin send t.m; end u;
+)");
+  MergeStats stats;
+  const lang::Program q = merge_branch_rendezvous(p, &stats);
+  EXPECT_EQ(stats.merged_rendezvous, 1u);
+  ASSERT_EQ(q.tasks[0].body.size(), 1u);
+  EXPECT_EQ(q.tasks[0].body[0].kind, lang::StmtKind::Accept);
+}
+
+TEST(Merge, NoInteriorSplitForIndependentCondition) {
+  // Permuted equal arms: a split would decorrelate the two residues, so
+  // only shared conditions admit it; independent ones stay untouched.
+  const lang::Program p = parse(R"(
+task t is
+begin
+  if c then
+    accept m;
+    accept k;
+  else
+    accept k;
+    accept m;
+  end if;
+end t;
+task u is begin send t.m; send t.k; end u;
+)");
+  MergeStats stats;
+  const lang::Program q = merge_branch_rendezvous(p, &stats);
+  EXPECT_EQ(stats.merged_rendezvous, 0u);
+  EXPECT_EQ(lang::print_program(p), lang::print_program(q));
+}
+
+TEST(Merge, SuffixHoistForIndependentCondition) {
+  const lang::Program p = parse(R"(
+task t is
+begin
+  if c then
+    accept a1;
+    accept m;
+  else
+    accept a2;
+    accept m;
+  end if;
+end t;
+task u is begin send t.a1; send t.a2; send t.m; end u;
+)");
+  MergeStats stats;
+  const lang::Program q = merge_branch_rendezvous(p, &stats);
+  EXPECT_EQ(stats.merged_rendezvous, 1u);
+  ASSERT_EQ(q.tasks[0].body.size(), 2u);
+  EXPECT_EQ(q.tasks[0].body[0].kind, lang::StmtKind::If);
+  EXPECT_EQ(q.tasks[0].body[1].kind, lang::StmtKind::Accept);
+}
+
+TEST(Merge, LeavesDistinctArmsAlone) {
+  const lang::Program p = parse(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  MergeStats stats;
+  const lang::Program q = merge_branch_rendezvous(p, &stats);
+  EXPECT_EQ(stats.merged_rendezvous, 0u);
+  EXPECT_EQ(lang::print_program(p), lang::print_program(q));
+}
+
+TEST(Merge, RecursesIntoNestedConditionals) {
+  const lang::Program p = parse(R"(
+task t is
+begin
+  if outer then
+    if inner then
+      accept m;
+    else
+      accept m;
+    end if;
+  end if;
+end t;
+task u is begin send t.m; end u;
+)");
+  MergeStats stats;
+  const lang::Program q = merge_branch_rendezvous(p, &stats);
+  EXPECT_EQ(stats.merged_rendezvous, 1u);
+  // The inner conditional collapses; the outer one remains (accept m is
+  // conditional on `outer` only).
+  ASSERT_EQ(q.tasks[0].body.size(), 1u);
+  EXPECT_EQ(q.tasks[0].body[0].kind, lang::StmtKind::If);
+  ASSERT_EQ(q.tasks[0].body[0].body.size(), 1u);
+  EXPECT_EQ(q.tasks[0].body[0].body[0].kind, lang::StmtKind::Accept);
+}
+
+}  // namespace
+}  // namespace siwa::transform

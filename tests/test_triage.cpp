@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/triage.h"
+#include "gen/patterns.h"
+#include "gen/random_program.h"
+#include "syncgraph/builder.h"
+#include "lang/parser.h"
+#include "wavesim/explorer.h"
+#include "wavesim/shared.h"
+
+namespace siwa::core {
+namespace {
+
+lang::Program parse(const char* source) {
+  return lang::parse_and_check_or_throw(source);
+}
+
+TEST(Triage, CertifiesStaticallyWhenLadderSucceeds) {
+  const TriageResult r = triage_program(parse(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)"));
+  EXPECT_EQ(r.verdict, TriageVerdict::CertifiedFree);
+  EXPECT_TRUE(r.certified_statically);
+}
+
+TEST(Triage, EscalatesToPairMode) {
+  // Without the constraint-4 filter, single-head mode keeps the
+  // two-accepts/two-sends cycle; the ladder's pair rung certifies it
+  // without ever touching the oracle.
+  TriageOptions options;
+  options.apply_constraint4 = false;
+  const TriageResult r = triage_program(parse(R"(
+task b is begin accept m; accept m; end b;
+task c is begin send b.m; send b.m; end c;
+)"),
+                                        options);
+  EXPECT_EQ(r.verdict, TriageVerdict::CertifiedFree);
+  EXPECT_TRUE(r.certified_statically);
+  EXPECT_EQ(r.decided_by, Algorithm::RefinedHeadPair);
+
+  // The default ladder settles it even earlier: constraint 4 rescues the
+  // single-head rung.
+  const TriageResult with_c4 = triage_program(parse(R"(
+task b is begin accept m; accept m; end b;
+task c is begin send b.m; send b.m; end c;
+)"));
+  EXPECT_EQ(with_c4.verdict, TriageVerdict::CertifiedFree);
+  EXPECT_EQ(with_c4.decided_by, Algorithm::RefinedSingle);
+}
+
+TEST(Triage, ConfirmsRealDeadlockWithTrace) {
+  const TriageResult r = triage_program(parse(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)"));
+  EXPECT_EQ(r.verdict, TriageVerdict::ConfirmedDeadlock);
+  EXPECT_FALSE(r.certified_statically);
+  EXPECT_EQ(r.confirmation.status, WitnessStatus::Confirmed);
+  EXPECT_FALSE(r.confirmation.wave.empty());
+}
+
+TEST(Triage, OracleRefutationYieldsCertifiedFree) {
+  // The clean readers/writer lock defeats every static mode, but its state
+  // space is small: the oracle settles it exactly.
+  const TriageResult r = triage_program(gen::readers_writer(2, false));
+  EXPECT_EQ(r.verdict, TriageVerdict::CertifiedFree);
+  EXPECT_FALSE(r.certified_statically);
+  EXPECT_EQ(r.confirmation.status, WitnessStatus::Refuted);
+}
+
+TEST(Triage, UndeterminedWhenOracleCapped) {
+  TriageOptions options;
+  options.oracle.max_states = 1;
+  const TriageResult r =
+      triage_program(gen::dining_philosophers(3, true), options);
+  // With a crippled oracle the deadlocking philosophers stay undetermined —
+  // the conservative reading is "possible deadlock".
+  EXPECT_NE(r.verdict, TriageVerdict::CertifiedFree);
+}
+
+TEST(Triage, SharedConditionsUseExactOracle) {
+  const TriageResult r = triage_program(parse(R"(
+shared condition v;
+task a is
+begin
+  if v then
+    accept ping;
+    send b.pong;
+  end if;
+end a;
+task b is
+begin
+  if v then
+    accept pong;
+    send a.ping;
+  end if;
+end b;
+)"));
+  // Under either value of v the mutual wait IS feasible when v is true:
+  // confirmed deadlock.
+  EXPECT_EQ(r.verdict, TriageVerdict::ConfirmedDeadlock);
+}
+
+TEST(Triage, VerdictNames) {
+  EXPECT_STREQ(triage_verdict_name(TriageVerdict::CertifiedFree),
+               "certified deadlock-free");
+  EXPECT_STREQ(triage_verdict_name(TriageVerdict::ConfirmedDeadlock),
+               "confirmed deadlock");
+}
+
+// Triage is *exact* on the random corpus whenever the oracle completes:
+// its verdict must equal the ground truth, with Undetermined only on caps.
+class TriageExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriageExactness, MatchesGroundTruth) {
+  gen::RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 5;
+  config.branch_probability = 0.3;
+  config.seed = GetParam();
+  const lang::Program program = gen::random_program(config);
+
+  wavesim::ExploreOptions explore;
+  explore.max_states = 150'000;
+  explore.collect_witness_trace = false;
+  const auto truth =
+      wavesim::WaveExplorer(sg::build_sync_graph(program), explore).explore();
+  if (!truth.complete) GTEST_SKIP();
+
+  TriageOptions options;
+  options.oracle.max_states = 150'000;
+  const TriageResult r = triage_program(program, options);
+  if (truth.any_deadlock) {
+    EXPECT_EQ(r.verdict, TriageVerdict::ConfirmedDeadlock) << GetParam();
+  } else {
+    EXPECT_EQ(r.verdict, TriageVerdict::CertifiedFree) << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriageExactness,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace siwa::core

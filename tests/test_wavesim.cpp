@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "gen/patterns.h"
+#include "lang/parser.h"
+#include "syncgraph/builder.h"
+#include "wavesim/explorer.h"
+
+namespace siwa::wavesim {
+namespace {
+
+sg::SyncGraph graph_of(const char* source) {
+  return sg::build_sync_graph(lang::parse_and_check_or_throw(source));
+}
+
+ExploreResult explore(const sg::SyncGraph& g, ExploreOptions options = {}) {
+  return WaveExplorer(g, options).explore();
+}
+
+TEST(Explorer, HandshakeTerminates) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)");
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.can_terminate);
+  EXPECT_FALSE(r.has_anomaly());
+  EXPECT_FALSE(r.any_deadlock);
+  EXPECT_FALSE(r.any_stall);
+}
+
+TEST(Explorer, MutualWaitIsDeadlock) {
+  // Figure 2(b) flavor: each task waits for the other to call first.
+  const auto g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.has_anomaly());
+  EXPECT_TRUE(r.any_deadlock);
+  EXPECT_FALSE(r.any_stall);
+  ASSERT_FALSE(r.reports.empty());
+  const AnomalyReport& report = r.reports[0];
+  EXPECT_EQ(report.deadlock_nodes.size(), 2u);
+  EXPECT_TRUE(report.partition_covers_wave(g));
+}
+
+TEST(Explorer, MissingPartnerIsStall) {
+  // Figure 2(a) flavor: a waits on a message nobody ever sends.
+  const auto g = graph_of(R"(
+task a is begin accept never; end a;
+task b is begin accept d; end b;
+task c is begin send b.d; end c;
+)");
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.has_anomaly());
+  EXPECT_TRUE(r.any_stall);
+  EXPECT_FALSE(r.any_deadlock);
+}
+
+TEST(Explorer, SelfSendClassifiedAsDeadlock) {
+  // A task calling its own entry couples to itself: a one-node cycle.
+  const auto g = graph_of(R"(
+task a is begin send a.m; accept m; end a;
+)");
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.has_anomaly());
+  EXPECT_TRUE(r.any_deadlock);
+}
+
+TEST(Explorer, RacingSendersOneStalls) {
+  // Two senders, one accept: someone loses the race and stalls.
+  const auto g = graph_of(R"(
+task s1 is begin send r.m; end s1;
+task s2 is begin send r.m; end s2;
+task r is begin accept m; end r;
+)");
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.can_terminate == false);  // the loser never finishes
+  EXPECT_TRUE(r.any_stall);
+  EXPECT_FALSE(r.any_deadlock);
+}
+
+TEST(Explorer, BranchingExploresBothArms) {
+  // The then-arm pairs with u; the else-arm stalls (m2 never sent).
+  const auto g = graph_of(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+end t;
+task u is begin send t.m1; end u;
+)");
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.can_terminate);
+  EXPECT_TRUE(r.any_stall);
+}
+
+TEST(Explorer, WitnessTraceLeadsToAnomaly) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; accept ping; send b.pong; end a;
+task b is begin accept d; accept pong; send a.ping; end b;
+)");
+  const ExploreResult r = explore(g);
+  ASSERT_TRUE(r.has_anomaly());
+  ASSERT_FALSE(r.witness_trace.empty());
+  // Trace starts at an initial wave and ends at the anomalous one.
+  const Wave& last = r.witness_trace.back();
+  WaveClassifier classifier(g);
+  EXPECT_TRUE(classifier.classify(last).has_value());
+}
+
+TEST(Explorer, StateCapMarksIncomplete) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; send b.d; send b.d; accept ack; end a;
+task b is begin accept d; accept d; accept d; send a.ack; end b;
+)");
+  ExploreOptions options;
+  options.max_states = 2;
+  const ExploreResult r = explore(g, options);
+  EXPECT_FALSE(r.complete);
+}
+
+TEST(Explorer, PhilosophersLeftFirstDeadlocks) {
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(3, /*left_first=*/true));
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.any_deadlock);
+}
+
+TEST(Explorer, PhilosophersWithReversedGrabberClean) {
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(3, /*left_first=*/false));
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.complete);
+  EXPECT_FALSE(r.any_deadlock);
+  EXPECT_TRUE(r.can_terminate);
+}
+
+TEST(Explorer, TokenRingVariants) {
+  EXPECT_TRUE(explore(sg::build_sync_graph(gen::token_ring(4, true)))
+                  .any_deadlock);
+  const ExploreResult fixed =
+      explore(sg::build_sync_graph(gen::token_ring(4, false)));
+  EXPECT_FALSE(fixed.has_anomaly());
+  EXPECT_TRUE(fixed.can_terminate);
+}
+
+TEST(Explorer, PipelineAndBarrierClean) {
+  EXPECT_FALSE(explore(sg::build_sync_graph(gen::pipeline(3, 2))).has_anomaly());
+  EXPECT_FALSE(explore(sg::build_sync_graph(gen::barrier(3))).has_anomaly());
+}
+
+TEST(Explorer, MasterWorkerVariants) {
+  EXPECT_FALSE(
+      explore(sg::build_sync_graph(gen::master_worker(2, 2, false))).has_anomaly());
+  EXPECT_TRUE(
+      explore(sg::build_sync_graph(gen::master_worker(2, 2, true))).any_deadlock);
+}
+
+TEST(Explorer, ReadersWriterVariants) {
+  const auto clean = explore(sg::build_sync_graph(gen::readers_writer(2, false)));
+  EXPECT_FALSE(clean.any_deadlock);
+  EXPECT_TRUE(clean.can_terminate);
+  EXPECT_TRUE(
+      explore(sg::build_sync_graph(gen::readers_writer(2, true))).any_deadlock);
+}
+
+TEST(Explorer, TwoResourceOrdering) {
+  EXPECT_TRUE(
+      explore(sg::build_sync_graph(gen::two_resource(false))).any_deadlock);
+  const auto ordered = explore(sg::build_sync_graph(gen::two_resource(true)));
+  EXPECT_FALSE(ordered.any_deadlock);
+  EXPECT_TRUE(ordered.can_terminate);
+}
+
+TEST(Explorer, ClientServerVariants) {
+  EXPECT_FALSE(
+      explore(sg::build_sync_graph(gen::client_server(2, false))).has_anomaly());
+  EXPECT_TRUE(
+      explore(sg::build_sync_graph(gen::client_server(2, true))).any_deadlock);
+}
+
+TEST(Explorer, LoopProgramsExploreFinitely) {
+  const auto g = graph_of(R"(
+task t is begin while c loop accept m; end loop; end t;
+task u is begin while d loop send t.m; end loop; end u;
+)");
+  const ExploreResult r = explore(g);
+  EXPECT_TRUE(r.complete);
+  EXPECT_TRUE(r.can_terminate);
+  // u may loop more times than t accepts: the extra send stalls.
+  EXPECT_TRUE(r.any_stall);
+}
+
+TEST(Classifier, NonAnomalousWaveReturnsNullopt) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; end a;
+task b is begin accept d; end b;
+)");
+  WaveClassifier classifier(g);
+  WaveExplorer explorer(g);
+  const auto initial = explorer.initial_waves();
+  ASSERT_EQ(initial.size(), 1u);
+  EXPECT_FALSE(classifier.classify(initial[0]).has_value());
+}
+
+TEST(Classifier, BlockedTasksTransitivelyCoupled) {
+  // a/b deadlock mutually; c waits on a message only a could send later.
+  const auto g = graph_of(R"(
+task a is begin accept ping; send b.pong; send c.late; end a;
+task b is begin accept pong; send a.ping; end b;
+task c is begin accept late; end c;
+)");
+  const ExploreResult r = explore(g);
+  ASSERT_TRUE(r.any_deadlock);
+  bool saw_blocked = false;
+  for (const auto& report : r.reports) {
+    EXPECT_TRUE(report.partition_covers_wave(g));
+    if (!report.blocked_nodes.empty()) saw_blocked = true;
+  }
+  EXPECT_TRUE(saw_blocked);
+}
+
+TEST(Classifier, InitialWavesAreCartesianProduct) {
+  const auto g = graph_of(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+end t;
+task u is
+begin
+  if d then
+    send t.m1;
+  else
+    send t.m2;
+  end if;
+end u;
+)");
+  WaveExplorer explorer(g);
+  EXPECT_EQ(explorer.initial_waves().size(), 4u);
+}
+
+TEST(Classifier, NextWavesFollowSyncEdges) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; end a;
+task b is begin accept d; end b;
+)");
+  WaveExplorer explorer(g);
+  const auto initial = explorer.initial_waves();
+  ASSERT_EQ(initial.size(), 1u);
+  const auto next = explorer.next_waves(initial[0]);
+  ASSERT_EQ(next.size(), 1u);
+  for (NodeId n : next[0]) EXPECT_EQ(n, g.end_node());
+}
+
+}  // namespace
+}  // namespace siwa::wavesim
