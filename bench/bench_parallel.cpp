@@ -1,0 +1,161 @@
+// Parallel hypothesis engine: wall-clock speedup of the refined detector's
+// threaded hypothesis sweep and of batch certification over the random
+// corpora of E9 (one large program, many hypotheses) and E10 (many small
+// programs, one pool task each). Serial is the threads=1 row of each
+// benchmark; the acceptance bar is >= 2x at 4 threads on the E10 batch.
+//
+// Before timing anything, the harness sweeps the full E10 corpus once per
+// thread count and verifies that deterministic parallel mode reproduces the
+// serial detector bit for bit (verdict, suspect heads, witness, tested
+// count) — speed is worthless if the parallel engine changes answers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/certifier.h"
+#include "core/coexec.h"
+#include "core/precedence.h"
+#include "core/refined_detector.h"
+#include "gen/random_program.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+
+namespace {
+using namespace siwa;
+
+// The E10 precision corpus: four families of small random programs.
+std::vector<sg::SyncGraph> e10_corpus() {
+  struct Family {
+    double branch;
+    std::size_t unmatched;
+  };
+  const Family families[] = {{0.0, 0}, {0.35, 0}, {0.3, 1}, {0.2, 0}};
+  std::vector<sg::SyncGraph> corpus;
+  for (const Family& family : families) {
+    for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+      gen::RandomProgramConfig config;
+      config.tasks = 3;
+      config.rendezvous_pairs = 5;
+      config.branch_probability = family.branch;
+      config.unmatched_rendezvous = family.unmatched;
+      config.seed = seed;
+      corpus.push_back(sg::build_sync_graph(gen::random_program(config)));
+    }
+  }
+  return corpus;
+}
+
+// An E9-scale single program: large enough that the head-pair sweep has
+// thousands of independent hypotheses.
+sg::SyncGraph e9_graph(std::size_t pairs) {
+  gen::RandomProgramConfig config;
+  config.tasks = std::max<std::size_t>(3, pairs / 8);
+  config.rendezvous_pairs = pairs;
+  config.message_types = 4;
+  config.branch_probability = 0.15;
+  config.seed = 17;
+  return sg::build_sync_graph(gen::random_program(config));
+}
+
+bool refined_results_identical(const core::RefinedResult& a,
+                               const core::RefinedResult& b) {
+  return a.deadlock_possible == b.deadlock_possible &&
+         a.hypotheses_tested == b.hypotheses_tested &&
+         a.possible_heads == b.possible_heads &&
+         a.suspect_heads == b.suspect_heads &&
+         a.witness_cycle == b.witness_cycle &&
+         a.witness_clg_cycle == b.witness_clg_cycle;
+}
+
+// Deterministic-mode contract on the full E10 corpus, every mode, threads
+// in {2, 4, 8}: results identical to serial. Returns the mismatch count.
+std::size_t determinism_check(const std::vector<sg::SyncGraph>& corpus) {
+  const core::HypothesisMode modes[] = {
+      core::HypothesisMode::SingleHead, core::HypothesisMode::HeadPair,
+      core::HypothesisMode::HeadTail, core::HypothesisMode::HeadTailPairs};
+  std::size_t checked = 0;
+  std::size_t mismatches = 0;
+  for (const sg::SyncGraph& graph : corpus) {
+    const sg::Clg clg(graph);
+    const core::Precedence precedence(graph);
+    const core::CoExec coexec(graph);
+    for (core::HypothesisMode mode : modes) {
+      core::RefinedOptions serial;
+      serial.mode = mode;
+      const core::RefinedResult expected =
+          core::detect_refined(graph, clg, precedence, coexec, serial);
+      for (std::size_t threads : {2, 4, 8}) {
+        core::RefinedOptions parallel = serial;
+        parallel.parallel.threads = threads;
+        const core::RefinedResult got =
+            core::detect_refined(graph, clg, precedence, coexec, parallel);
+        ++checked;
+        if (!refined_results_identical(expected, got)) ++mismatches;
+      }
+    }
+  }
+  std::printf("determinism: %zu parallel runs vs serial, %zu mismatches\n",
+              checked, mismatches);
+  return mismatches;
+}
+
+void BM_CertifyBatchE10(benchmark::State& state) {
+  static const std::vector<sg::SyncGraph> corpus = e10_corpus();
+  core::CertifyOptions options;
+  options.algorithm = core::Algorithm::RefinedHeadPair;
+  options.parallel.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto results = core::certify_batch(corpus, options);
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["graphs"] = static_cast<double>(corpus.size());
+}
+BENCHMARK(BM_CertifyBatchE10)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RefinedHeadPairE9(benchmark::State& state) {
+  static const sg::SyncGraph graph = e9_graph(192);
+  static const sg::Clg clg(graph);
+  static const core::Precedence precedence(graph);
+  static const core::CoExec coexec(graph);
+  core::RefinedOptions options;
+  options.mode = core::HypothesisMode::HeadPair;
+  options.parallel.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = core::detect_refined(graph, clg, precedence, coexec, options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RefinedHeadPairE9)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Early exit: the certify-only configuration on a deadlocking program —
+// the atomic cancellation stops the sweep at the first confirmed hit.
+void BM_RefinedFirstHitE9(benchmark::State& state) {
+  static const sg::SyncGraph graph = e9_graph(192);
+  static const sg::Clg clg(graph);
+  static const core::Precedence precedence(graph);
+  static const core::CoExec coexec(graph);
+  core::RefinedOptions options;
+  options.mode = core::HypothesisMode::HeadPair;
+  options.stop_at_first_hit = true;
+  options.parallel.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = core::detect_refined(graph, clg, precedence, coexec, options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RefinedFirstHitE9)->Arg(1)->Arg(4)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t mismatches = determinism_check(e10_corpus());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return mismatches == 0 ? 0 : 1;
+}

@@ -3,6 +3,8 @@
 //   deadlock_audit [options] <program.mada>
 //     --algorithm naive|refined|pairs|headtail|htpairs   (default refined)
 //     --constraint4                              enable the global filter
+//     --threads N                                parallel hypothesis sweep
+//                                                (1 = serial, 0 = all cores)
 //     --oracle                                   also run the wave oracle
 //     --confirm                                  triage the report against
 //                                                bounded exploration
@@ -17,6 +19,7 @@
 // Exit code: 0 certified deadlock-free, 1 possible deadlock, 2 usage/parse
 // error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -40,8 +43,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: deadlock_audit [--algorithm naive|refined|pairs|"
-               "headtail|htpairs] [--constraint4] [--oracle] [--confirm] "
-               "[--triage] [--json] [--dot FILE] [--clg FILE] "
+               "headtail|htpairs] [--constraint4] [--threads N] [--oracle] "
+               "[--confirm] [--triage] [--json] [--dot FILE] [--clg FILE] "
                "<program.mada>\n");
   return 2;
 }
@@ -79,6 +82,11 @@ int main(int argc, char** argv) {
       else return usage();
     } else if (arg == "--constraint4") {
       options.apply_constraint4 = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) return usage();
+      options.parallel.threads = static_cast<std::size_t>(n);
     } else if (arg == "--oracle") {
       run_oracle = true;
     } else if (arg == "--confirm") {

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "support/thread_pool.h"
 #include "syncgraph/builder.h"
 #include "syncgraph/clg.h"
 #include "transform/unroll.h"
@@ -48,6 +49,8 @@ CertifyResult certify_graph(const sg::SyncGraph& graph,
       const CoExec coexec(graph, options.extra_not_coexec);
       RefinedOptions refined;
       refined.apply_constraint4 = options.apply_constraint4;
+      refined.stop_at_first_hit = options.stop_at_first_hit;
+      refined.parallel = options.parallel;
       refined.mode = options.algorithm == Algorithm::RefinedSingle
                          ? HypothesisMode::SingleHead
                      : options.algorithm == Algorithm::RefinedHeadPair
@@ -72,6 +75,29 @@ CertifyResult certify_graph(const sg::SyncGraph& graph,
                                 std::chrono::steady_clock::now() - start)
                                 .count();
   return result;
+}
+
+std::vector<CertifyResult> certify_batch(std::span<const sg::SyncGraph> graphs,
+                                         const CertifyOptions& options) {
+  // One level of fan-out: workers certify whole graphs, so each graph's own
+  // sweep must stay serial (a nested parallel sweep would block a worker on
+  // a second pool while this one is saturated).
+  CertifyOptions per_graph = options;
+  per_graph.parallel.threads = 1;
+
+  std::vector<CertifyResult> results(graphs.size());
+  const std::size_t threads =
+      support::resolve_thread_count(options.parallel.threads);
+  if (threads <= 1 || graphs.size() <= 1) {
+    for (std::size_t i = 0; i < graphs.size(); ++i)
+      results[i] = certify_graph(graphs[i], per_graph);
+    return results;
+  }
+  support::ThreadPool pool(threads);
+  pool.parallel_for_each(graphs.size(), [&](std::size_t i, std::size_t) {
+    results[i] = certify_graph(graphs[i], per_graph);
+  });
+  return results;
 }
 
 CertifyResult certify_program(const lang::Program& program,

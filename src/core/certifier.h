@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,14 @@ enum class Algorithm {
 struct CertifyOptions {
   Algorithm algorithm = Algorithm::RefinedSingle;
   bool apply_constraint4 = false;
+  // Stop the refined hypothesis sweep at the first confirmed hit. The
+  // verdict and the witness are unaffected (deterministic mode pins both
+  // to the serial run's first hit); only the suspect list and the tested
+  // count shrink. Ignored by the naive algorithm.
+  bool stop_at_first_hit = false;
+  // Parallelism of the refined hypothesis sweep (see RefinedOptions);
+  // also sizes the certify_batch worker pool.
+  ParallelOptions parallel;
   PrecedenceOptions precedence;
   std::vector<std::pair<NodeId, NodeId>> extra_not_coexec;
 };
@@ -69,5 +78,15 @@ struct CertifyResult {
 // `graph` must have acyclic control flow.
 [[nodiscard]] CertifyResult certify_graph(const sg::SyncGraph& graph,
                                           const CertifyOptions& options = {});
+
+// Batch certification: fans the corpus out across a thread pool sized by
+// `options.parallel.threads` (0 = one worker per hardware thread) and
+// certifies every graph with `options`. Results are indexed like `graphs`
+// regardless of completion order, so the output is deterministic. Each
+// graph's own hypothesis sweep runs serially — the parallelism budget is
+// spent across graphs, one level of fan-out (see ThreadPool's nesting
+// policy).
+[[nodiscard]] std::vector<CertifyResult> certify_batch(
+    std::span<const sg::SyncGraph> graphs, const CertifyOptions& options = {});
 
 }  // namespace siwa::core

@@ -1,66 +1,29 @@
 #include "core/refined_detector.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 
 #include "core/constraint4.h"
 #include "graph/reachability.h"
-#include "graph/scc.h"
+#include "support/thread_pool.h"
 
 namespace siwa::core {
 namespace {
 
-// One hypothesis's marks over CLG nodes, plus the filtered SCC search.
-class MarkedSearch {
- public:
-  explicit MarkedSearch(const sg::Clg& clg)
-      : clg_(clg),
-        no_sync_(clg.node_count(), false),
-        do_not_enter_(clg.node_count(), false) {}
-
-  void clear() {
-    std::fill(no_sync_.begin(), no_sync_.end(), false);
-    std::fill(do_not_enter_.begin(), do_not_enter_.end(), false);
-  }
-
-  void mark_no_sync_pair(NodeId k) {
-    no_sync_[clg_.in_of(k).index()] = true;
-    no_sync_[clg_.out_of(k).index()] = true;
-  }
-  void mark_no_sync_in(NodeId k) { no_sync_[clg_.in_of(k).index()] = true; }
-  void mark_do_not_enter(NodeId k) {
-    do_not_enter_[clg_.in_of(k).index()] = true;
-    do_not_enter_[clg_.out_of(k).index()] = true;
-  }
-
-  // SCC search of the filtered CLG from the given roots.
-  [[nodiscard]] graph::SccResult search(std::vector<std::size_t> roots) const {
-    return graph::tarjan_scc(
-        clg_.node_count(),
-        [&](std::size_t v, auto&& visit) {
-          for (VertexId w : clg_.graph().successors(VertexId(v))) {
-            if (do_not_enter_[w.index()]) continue;
-            if (clg_.is_sync_edge(ClgNodeId(v), ClgNodeId(w.index())) &&
-                (no_sync_[v] || no_sync_[w.index()]))
-              continue;
-            visit(w.index());
-          }
-        },
-        roots);
-  }
-
- private:
-  const sg::Clg& clg_;
-  std::vector<bool> no_sync_;
-  std::vector<bool> do_not_enter_;
-};
+constexpr std::size_t kNoHit = std::numeric_limits<std::size_t>::max();
 
 // Representative cycle through `anchor` inside its strong component,
-// reported as deduplicated sync-graph nodes. Walks raw in-component CLG
-// edges: good enough for a report, though a filtered edge could appear.
-std::vector<NodeId> extract_witness(const sg::Clg& clg,
-                                    const graph::SccResult& scc,
-                                    std::size_t anchor) {
-  std::vector<NodeId> out;
+// reported as CLG nodes. The component was computed over the *filtered*
+// CLG, so the BFS walks only in-component edges that survive the
+// hypothesis's marks — a reported witness never traverses an edge the
+// hypothesis removed. Should no filtered cycle close through the anchor
+// (impossible for a correctly filtered component, kept as a defensive
+// fallback), the component's node list is returned instead.
+std::vector<ClgNodeId> extract_witness_clg(const sg::Clg& clg,
+                                           const MarkedSearch& search,
+                                           const graph::SccResult& scc,
+                                           std::size_t anchor) {
   std::vector<std::int32_t> parent(clg.node_count(), -1);
   std::vector<std::size_t> queue{anchor};
   parent[anchor] = static_cast<std::int32_t>(anchor);
@@ -71,6 +34,7 @@ std::vector<NodeId> extract_witness(const sg::Clg& clg,
     const std::size_t v = queue[back++];
     for (VertexId w : clg.graph().successors(VertexId(v))) {
       if (!scc.same_component(anchor, w.index())) continue;
+      if (!search.edge_allowed(v, w.index())) continue;
       if (w.index() == anchor) {
         closed = true;
         closer = v;
@@ -81,22 +45,130 @@ std::vector<NodeId> extract_witness(const sg::Clg& clg,
       queue.push_back(w.index());
     }
   }
-  if (!closed) return out;
+  std::vector<ClgNodeId> out;
+  if (!closed) {
+    for (std::size_t v = 0; v < clg.node_count(); ++v)
+      if (scc.same_component(anchor, v)) out.push_back(ClgNodeId(v));
+    return out;
+  }
   std::vector<std::size_t> chain;
   for (std::size_t v = closer; v != anchor;
        v = static_cast<std::size_t>(parent[v]))
     chain.push_back(v);
   chain.push_back(anchor);
   std::reverse(chain.begin(), chain.end());
-  for (std::size_t v : chain) {
-    const NodeId origin = clg.origin(ClgNodeId(v));
+  for (std::size_t v : chain) out.push_back(ClgNodeId(v));
+  return out;
+}
+
+// The CLG cycle reported as deduplicated sync-graph nodes.
+std::vector<NodeId> witness_origins(const sg::Clg& clg,
+                                    const std::vector<ClgNodeId>& cycle) {
+  std::vector<NodeId> out;
+  for (ClgNodeId v : cycle) {
+    const NodeId origin = clg.origin(v);
     if (origin.valid() && (out.empty() || out.back() != origin))
       out.push_back(origin);
   }
   return out;
 }
 
+// Roots of the filtered SCC search: the in-node of every head and the
+// out-node of every pinned tail. A hypothesis is confirmed when all roots
+// share one strong component of size > 1.
+std::vector<std::size_t> hypothesis_roots(const sg::Clg& clg,
+                                          const Hypothesis& hyp) {
+  std::vector<std::size_t> roots{clg.in_of(hyp.head1).index()};
+  if (hyp.tail1.valid()) roots.push_back(clg.out_of(hyp.tail1).index());
+  if (hyp.head2.valid()) {
+    roots.push_back(clg.in_of(hyp.head2).index());
+    if (hyp.tail2.valid()) roots.push_back(clg.out_of(hyp.tail2).index());
+  }
+  return roots;
+}
+
+// Heads whose hypothesis must also be tested alone in the pair modes: a
+// deadlock cycle can have a single head only when a task couples to itself,
+// i.e. the head has a sync partner in its own task (footnote 6).
+bool has_self_partner(const sg::SyncGraph& sg, NodeId h) {
+  for (NodeId p : sg.sync_partners(h))
+    if (sg.node(p).task == sg.node(h).task) return true;
+  return false;
+}
+
 }  // namespace
+
+MarkedSearch::MarkedSearch(const sg::Clg& clg)
+    : clg_(clg),
+      no_sync_(clg.node_count(), false),
+      do_not_enter_(clg.node_count(), false) {}
+
+void MarkedSearch::clear() {
+  std::fill(no_sync_.begin(), no_sync_.end(), false);
+  std::fill(do_not_enter_.begin(), do_not_enter_.end(), false);
+}
+
+void MarkedSearch::mark_no_sync_pair(NodeId k) {
+  no_sync_[clg_.in_of(k).index()] = true;
+  no_sync_[clg_.out_of(k).index()] = true;
+}
+
+void MarkedSearch::mark_no_sync_in(NodeId k) {
+  no_sync_[clg_.in_of(k).index()] = true;
+}
+
+void MarkedSearch::mark_do_not_enter(NodeId k) {
+  do_not_enter_[clg_.in_of(k).index()] = true;
+  do_not_enter_[clg_.out_of(k).index()] = true;
+}
+
+bool MarkedSearch::edge_allowed(std::size_t from, std::size_t to) const {
+  if (do_not_enter_[to]) return false;
+  return !(clg_.is_sync_edge(ClgNodeId(from), ClgNodeId(to)) &&
+           (no_sync_[from] || no_sync_[to]));
+}
+
+graph::SccResult MarkedSearch::search(
+    const std::vector<std::size_t>& roots) const {
+  return graph::tarjan_scc(
+      clg_.node_count(),
+      [&](std::size_t v, auto&& visit) {
+        for (VertexId w : clg_.graph().successors(VertexId(v)))
+          if (edge_allowed(v, w.index())) visit(w.index());
+      },
+      roots);
+}
+
+void MarkedSearch::apply(const sg::SyncGraph& sg, const Precedence& precedence,
+                         const CoExec& coexec, const Hypothesis& hyp) {
+  // Sequenceability only forbids k from *co-heading* a cycle with h, so it
+  // may only block the sync edges that would make k a head — those entering
+  // k_i. k can still serve as a tail (sync out of k_o): the paper notes
+  // "tail nodes may be ordered with each other or with head nodes on a
+  // valid deadlock cycle", and its head-tail variant accordingly marks only
+  // the in-side. Marking k_o too is unsound: it breaks real deadlock
+  // cycles whose tails happen to be ordered with h (e.g. the two sends of
+  // a mutual-wait pair). COACCEPT marks are the mirror image: they encode
+  // Lemma 2, which forbids *exiting* h's task through a same-type accept,
+  // so they block the out-side; blocking the in-side as well is safe
+  // because a cycle enters h's task only at h under this hypothesis.
+  auto mark_unit = [&](NodeId head, NodeId tail) {
+    for (NodeId k : precedence.sequenceable_with(head)) {
+      if (sg.node(k).task == sg.node(head).task) continue;
+      mark_no_sync_in(k);
+    }
+    for (NodeId k : coexec.not_coexec_with(head)) mark_do_not_enter(k);
+    if (tail.valid()) {
+      // Head-tail style: the exit is pinned to the tail, so Lemma 2's
+      // COACCEPT discipline is replaced by the tail's co-executability.
+      for (NodeId k : coexec.not_coexec_with(tail)) mark_do_not_enter(k);
+    } else {
+      for (NodeId k : coaccept_nodes(sg, head)) mark_no_sync_pair(k);
+    }
+  };
+  mark_unit(hyp.head1, hyp.tail1);
+  if (hyp.head2.valid()) mark_unit(hyp.head2, hyp.tail2);
+}
 
 std::vector<NodeId> possible_heads(const sg::SyncGraph& sg) {
   std::vector<NodeId> heads;
@@ -111,83 +183,32 @@ std::vector<NodeId> possible_heads(const sg::SyncGraph& sg) {
   return heads;
 }
 
-RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
-                             const Precedence& precedence, const CoExec& coexec,
-                             const RefinedOptions& options) {
-  RefinedResult result;
+std::vector<Hypothesis> enumerate_hypotheses(const sg::SyncGraph& sg,
+                                             const Precedence& precedence,
+                                             const CoExec& coexec,
+                                             const RefinedOptions& options,
+                                             std::size_t* possible_head_count) {
   std::vector<NodeId> heads = possible_heads(sg);
-
   if (options.apply_constraint4) {
     const Constraint4Filter filter(sg, precedence);
     std::erase_if(heads, [&](NodeId h) { return filter.always_broken(h); });
   }
-  result.possible_heads = heads.size();
+  if (possible_head_count != nullptr) *possible_head_count = heads.size();
 
-  MarkedSearch search(clg);
+  std::vector<Hypothesis> hyps;
 
-  // Sequenceability only forbids k from *co-heading* a cycle with h, so it
-  // may only block the sync edges that would make k a head — those entering
-  // k_i. k can still serve as a tail (sync out of k_o): the paper notes
-  // "tail nodes may be ordered with each other or with head nodes on a
-  // valid deadlock cycle", and its head-tail variant accordingly marks only
-  // the in-side. Marking k_o too is unsound: it breaks real deadlock
-  // cycles whose tails happen to be ordered with h (e.g. the two sends of
-  // a mutual-wait pair). COACCEPT marks are the mirror image: they encode
-  // Lemma 2, which forbids *exiting* h's task through a same-type accept,
-  // so they block the out-side; blocking the in-side as well is safe
-  // because a cycle enters h's task only at h under this hypothesis.
-  auto mark_single = [&](NodeId h) {
-    for (NodeId k : precedence.sequenceable_with(h)) {
-      if (sg.node(k).task == sg.node(h).task) continue;
-      search.mark_no_sync_in(k);
-    }
-    for (NodeId k : coaccept_nodes(sg, h)) search.mark_no_sync_pair(k);
-    for (NodeId k : coexec.not_coexec_with(h)) search.mark_do_not_enter(k);
-  };
-
-  auto record_hit = [&](NodeId head, const graph::SccResult& scc,
-                        std::size_t anchor) {
-    result.deadlock_possible = true;
-    result.suspect_heads.push_back(head);
-    if (result.witness_cycle.empty())
-      result.witness_cycle = extract_witness(clg, scc, anchor);
+  auto push_self_send_prepass = [&] {
+    for (NodeId h : heads)
+      if (has_self_partner(sg, h)) hyps.push_back(Hypothesis{.head1 = h});
   };
 
   switch (options.mode) {
     case HypothesisMode::SingleHead: {
-      for (NodeId h : heads) {
-        ++result.hypotheses_tested;
-        search.clear();
-        mark_single(h);
-        const std::size_t hi = clg.in_of(h).index();
-        const graph::SccResult scc = search.search({hi});
-        const auto comp = scc.component_of[hi];
-        if (comp >= 0 &&
-            scc.component_size[static_cast<std::size_t>(comp)] > 1)
-          record_hit(h, scc, hi);
-      }
+      for (NodeId h : heads) hyps.push_back(Hypothesis{.head1 = h});
       break;
     }
     case HypothesisMode::HeadPair: {
-      // Footnote 6: a deadlock cycle can have a single head only when a
-      // task couples to itself, i.e. the head has a sync partner in its
-      // own task (a self-send). Pair hypotheses cannot see those; cover
-      // them with single-head searches first.
-      for (NodeId h : heads) {
-        bool self_partner = false;
-        for (NodeId p : sg.sync_partners(h))
-          if (sg.node(p).task == sg.node(h).task) self_partner = true;
-        if (!self_partner) continue;
-        ++result.hypotheses_tested;
-        search.clear();
-        mark_single(h);
-        const std::size_t hi = clg.in_of(h).index();
-        const graph::SccResult scc = search.search({hi});
-        const auto comp = scc.component_of[hi];
-        if (comp >= 0 &&
-            scc.component_size[static_cast<std::size_t>(comp)] > 1)
-          record_hit(h, scc, hi);
-      }
+      push_self_send_prepass();
       for (std::size_t a = 0; a < heads.size(); ++a) {
         for (std::size_t b = a + 1; b < heads.size(); ++b) {
           const NodeId h1 = heads[a];
@@ -199,17 +220,7 @@ RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
           if (precedence.sequenceable(h1, h2)) continue;
           if (!coexec.coexecutable(h1, h2)) continue;
           if (sg.node(h1).task == sg.node(h2).task) continue;
-          ++result.hypotheses_tested;
-          search.clear();
-          mark_single(h1);
-          mark_single(h2);
-          const std::size_t i1 = clg.in_of(h1).index();
-          const std::size_t i2 = clg.in_of(h2).index();
-          const graph::SccResult scc = search.search({i1, i2});
-          if (scc.same_component(i1, i2) &&
-              scc.component_size[static_cast<std::size_t>(
-                  scc.component_of[i1])] > 1)
-            record_hit(h1, scc, i1);
+          hyps.push_back(Hypothesis{.head1 = h1, .head2 = h2});
         }
       }
       break;
@@ -218,11 +229,7 @@ RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
     case HypothesisMode::HeadTailPairs: {
       const graph::Reachability reach(sg.control_graph());
       // Candidate (head, tail) pairs per the paper's conditions.
-      struct HeadTailPair {
-        NodeId head;
-        NodeId tail;
-      };
-      std::vector<HeadTailPair> candidates;
+      std::vector<Hypothesis> candidates;
       for (NodeId h : heads) {
         const auto coaccept = coaccept_nodes(sg, h);
         for (NodeId t : sg.nodes_of_task(sg.node(h).task)) {
@@ -232,80 +239,140 @@ RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
           if (std::find(coaccept.begin(), coaccept.end(), t) != coaccept.end())
             continue;
           if (!coexec.coexecutable(h, t)) continue;
-          candidates.push_back({h, t});
+          candidates.push_back(Hypothesis{.head1 = h, .tail1 = t});
         }
       }
 
-      auto mark_headtail = [&](const HeadTailPair& p) {
-        for (NodeId k : precedence.sequenceable_with(p.head)) {
-          if (sg.node(k).task == sg.node(p.head).task) continue;
-          search.mark_no_sync_in(k);
-        }
-        for (NodeId k : coexec.not_coexec_with(p.head))
-          search.mark_do_not_enter(k);
-        for (NodeId k : coexec.not_coexec_with(p.tail))
-          search.mark_do_not_enter(k);
-      };
-
       if (options.mode == HypothesisMode::HeadTail) {
-        for (const HeadTailPair& p : candidates) {
-          ++result.hypotheses_tested;
-          search.clear();
-          mark_headtail(p);
-          const std::size_t hi = clg.in_of(p.head).index();
-          const std::size_t to = clg.out_of(p.tail).index();
-          const graph::SccResult scc = search.search({hi, to});
-          if (scc.same_component(hi, to) &&
-              scc.component_size[static_cast<std::size_t>(
-                  scc.component_of[hi])] > 1)
-            record_hit(p.head, scc, hi);
-        }
+        hyps = std::move(candidates);
         break;
       }
 
-      // HeadTailPairs: self-send single-head cycles first (footnote 6).
-      for (NodeId h : heads) {
-        bool self_partner = false;
-        for (NodeId p : sg.sync_partners(h))
-          if (sg.node(p).task == sg.node(h).task) self_partner = true;
-        if (!self_partner) continue;
-        ++result.hypotheses_tested;
-        search.clear();
-        mark_single(h);
-        const std::size_t hi = clg.in_of(h).index();
-        const graph::SccResult scc = search.search({hi});
-        const auto comp = scc.component_of[hi];
-        if (comp >= 0 &&
-            scc.component_size[static_cast<std::size_t>(comp)] > 1)
-          record_hit(h, scc, hi);
-      }
+      push_self_send_prepass();
       for (std::size_t a = 0; a < candidates.size(); ++a) {
         for (std::size_t b = a + 1; b < candidates.size(); ++b) {
-          const HeadTailPair& p1 = candidates[a];
-          const HeadTailPair& p2 = candidates[b];
-          if (sg.node(p1.head).task == sg.node(p2.head).task) continue;
+          const Hypothesis& p1 = candidates[a];
+          const Hypothesis& p2 = candidates[b];
+          if (sg.node(p1.head1).task == sg.node(p2.head1).task) continue;
           // Constraints between the two heads, as in HeadPair mode.
-          if (sg.has_sync_edge(p1.head, p2.head)) continue;
-          if (precedence.sequenceable(p1.head, p2.head)) continue;
-          if (!coexec.coexecutable(p1.head, p2.head)) continue;
-          ++result.hypotheses_tested;
-          search.clear();
-          mark_headtail(p1);
-          mark_headtail(p2);
-          const std::size_t h1 = clg.in_of(p1.head).index();
-          const std::size_t t1 = clg.out_of(p1.tail).index();
-          const std::size_t h2 = clg.in_of(p2.head).index();
-          const std::size_t t2 = clg.out_of(p2.tail).index();
-          const graph::SccResult scc = search.search({h1, t1, h2, t2});
-          if (scc.same_component(h1, t1) && scc.same_component(h1, h2) &&
-              scc.same_component(h1, t2) &&
-              scc.component_size[static_cast<std::size_t>(
-                  scc.component_of[h1])] > 1)
-            record_hit(p1.head, scc, h1);
+          if (sg.has_sync_edge(p1.head1, p2.head1)) continue;
+          if (precedence.sequenceable(p1.head1, p2.head1)) continue;
+          if (!coexec.coexecutable(p1.head1, p2.head1)) continue;
+          hyps.push_back(Hypothesis{.head1 = p1.head1,
+                                    .tail1 = p1.tail1,
+                                    .head2 = p2.head1,
+                                    .tail2 = p2.tail1});
         }
       }
       break;
     }
+  }
+  return hyps;
+}
+
+HypothesisOutcome evaluate_hypothesis(const sg::SyncGraph& sg,
+                                      const sg::Clg& clg,
+                                      const Precedence& precedence,
+                                      const CoExec& coexec,
+                                      const Hypothesis& hyp,
+                                      MarkedSearch& scratch) {
+  scratch.clear();
+  scratch.apply(sg, precedence, coexec, hyp);
+  const std::vector<std::size_t> roots = hypothesis_roots(clg, hyp);
+  const graph::SccResult scc = scratch.search(roots);
+  const std::size_t anchor = roots[0];
+  const auto comp = scc.component_of[anchor];
+  HypothesisOutcome outcome;
+  if (comp < 0 || scc.component_size[static_cast<std::size_t>(comp)] <= 1)
+    return outcome;
+  for (std::size_t r : roots)
+    if (!scc.same_component(anchor, r)) return outcome;
+  outcome.hit = true;
+  outcome.witness_clg = extract_witness_clg(clg, scratch, scc, anchor);
+  return outcome;
+}
+
+RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
+                             const Precedence& precedence, const CoExec& coexec,
+                             const RefinedOptions& options) {
+  RefinedResult result;
+  const std::vector<Hypothesis> hyps =
+      enumerate_hypotheses(sg, precedence, coexec, options,
+                           &result.possible_heads);
+
+  const std::size_t threads =
+      support::resolve_thread_count(options.parallel.threads);
+  std::vector<HypothesisOutcome> outcomes(hyps.size());
+  std::size_t evaluated = 0;
+
+  if (threads <= 1 || hyps.size() <= 1) {
+    MarkedSearch scratch(clg);
+    for (std::size_t i = 0; i < hyps.size(); ++i) {
+      outcomes[i] =
+          evaluate_hypothesis(sg, clg, precedence, coexec, hyps[i], scratch);
+      ++evaluated;
+      if (outcomes[i].hit && options.stop_at_first_hit) break;
+    }
+  } else {
+    support::ThreadPool pool(threads);
+    std::vector<MarkedSearch> scratch;
+    scratch.reserve(pool.worker_count());
+    for (std::size_t w = 0; w < pool.worker_count(); ++w)
+      scratch.emplace_back(clg);
+
+    // Early-exit cancellation: the lowest confirmed hypothesis index so
+    // far. Deterministic mode must still evaluate every index *below* the
+    // current minimum (a lower-index hit may yet appear), so only larger
+    // indices are skipped; non-deterministic mode skips everything once
+    // any hit is in.
+    std::atomic<std::size_t> first_hit{kNoHit};
+    std::atomic<std::size_t> evaluations{0};
+    pool.parallel_for_each(
+        hyps.size(), [&](std::size_t i, std::size_t worker) {
+          if (options.stop_at_first_hit) {
+            const std::size_t hit = first_hit.load(std::memory_order_relaxed);
+            if (options.parallel.deterministic ? i > hit : hit != kNoHit)
+              return;
+          }
+          HypothesisOutcome outcome = evaluate_hypothesis(
+              sg, clg, precedence, coexec, hyps[i], scratch[worker]);
+          evaluations.fetch_add(1, std::memory_order_relaxed);
+          if (outcome.hit) {
+            std::size_t expected = first_hit.load(std::memory_order_relaxed);
+            while (i < expected &&
+                   !first_hit.compare_exchange_weak(expected, i,
+                                                    std::memory_order_relaxed))
+              ;
+            outcomes[i] = std::move(outcome);
+          }
+        });
+    evaluated = evaluations.load(std::memory_order_relaxed);
+
+    // In a deterministic early-exit run, report the count the serial sweep
+    // would have: everything up to and including the first hit.
+    if (options.parallel.deterministic) {
+      const std::size_t hit = first_hit.load(std::memory_order_relaxed);
+      evaluated = options.stop_at_first_hit && hit != kNoHit ? hit + 1
+                                                             : hyps.size();
+    }
+  }
+  result.hypotheses_tested = evaluated;
+
+  // Merge in hypothesis-index order: verdict, deduplicated suspect heads
+  // (first-hit order), and the witness of the first confirmed hypothesis.
+  for (std::size_t i = 0; i < hyps.size(); ++i) {
+    if (!outcomes[i].hit) continue;
+    result.deadlock_possible = true;
+    const NodeId head = hyps[i].head1;
+    if (std::find(result.suspect_heads.begin(), result.suspect_heads.end(),
+                  head) == result.suspect_heads.end())
+      result.suspect_heads.push_back(head);
+    if (result.witness_cycle.empty()) {
+      result.witness_clg_cycle = std::move(outcomes[i].witness_clg);
+      result.witness_cycle = witness_origins(clg, result.witness_clg_cycle);
+      result.witness_hypothesis = hyps[i];
+    }
+    if (options.stop_at_first_hit) break;
   }
   return result;
 }

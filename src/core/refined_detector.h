@@ -33,12 +33,21 @@
 //     deadlock cycle spans >= 2 tasks, each contributing a head and a
 //     reachable tail, so the enumeration is exhaustive (self-send
 //     single-head cycles are again covered separately).
+//
+// The detector is split into two phases so the hypotheses can run in
+// parallel: `enumerate_hypotheses` produces the full hypothesis list for a
+// mode (including the footnote-6 self-send pre-pass), and
+// `evaluate_hypothesis` checks one hypothesis against shared immutable
+// inputs using a caller-owned MarkedSearch scratch object. `detect_refined`
+// composes the two, fanning the evaluations over a support::ThreadPool when
+// `RefinedOptions::parallel.threads != 1`.
 #pragma once
 
 #include <vector>
 
 #include "core/coexec.h"
 #include "core/precedence.h"
+#include "graph/scc.h"
 #include "syncgraph/clg.h"
 #include "syncgraph/sync_graph.h"
 
@@ -46,25 +55,126 @@ namespace siwa::core {
 
 enum class HypothesisMode { SingleHead, HeadPair, HeadTail, HeadTailPairs };
 
+struct ParallelOptions {
+  // Worker threads for the hypothesis sweep; 1 = serial in the calling
+  // thread (the default), 0 = one worker per hardware thread.
+  std::size_t threads = 1;
+  // When true (the default), per-thread results are merged in
+  // hypothesis-index order, so the verdict, suspect_heads, the chosen
+  // witness and hypotheses_tested are identical to the serial run. When
+  // false, an early-exiting sweep may settle on whichever confirmed
+  // hypothesis finished first.
+  bool deterministic = true;
+};
+
 struct RefinedOptions {
   HypothesisMode mode = HypothesisMode::SingleHead;
   // Skip hypotheses whose head is provably always rescued by an outside
   // task (global constraint 4; see core/constraint4.h).
   bool apply_constraint4 = false;
+  // Stop the sweep at the first confirmed hypothesis — the right setting
+  // for certify-only callers that need the boolean verdict (plus one
+  // witness) but not the full suspect list. In a parallel run the stop is
+  // an atomic cancellation flag checked by every worker.
+  bool stop_at_first_hit = false;
+  ParallelOptions parallel;
+};
+
+// One deadlock-cycle hypothesis. Always has a primary head; tails and the
+// second (head, tail) unit are engaged mode by mode. Unused slots are
+// invalid NodeIds.
+//   SingleHead / self-send pre-pass: head1 only (COACCEPT-style marks).
+//   HeadPair:                        head1 + head2.
+//   HeadTail:                        head1 + tail1 (head-tail-style marks).
+//   HeadTailPairs:                   all four slots.
+struct Hypothesis {
+  NodeId head1 = NodeId::invalid();
+  NodeId tail1 = NodeId::invalid();
+  NodeId head2 = NodeId::invalid();
+  NodeId tail2 = NodeId::invalid();
+};
+
+// One hypothesis's marks over CLG nodes, plus the filtered SCC search.
+// Reusable scratch: one instance per thread, `clear()` between hypotheses.
+class MarkedSearch {
+ public:
+  explicit MarkedSearch(const sg::Clg& clg);
+
+  void clear();
+
+  // Applies `hyp`'s marks: per (head, tail) unit, NO-SYNC on the in-side of
+  // the head's SEQUENCEABLE set, DO-NOT-ENTER for NOT-COEXEC of head (and
+  // tail, when present), and NO-SYNC pair marks on COACCEPT[head] for
+  // tail-less units (Lemma 2; a pinned tail replaces the exit discipline).
+  void apply(const sg::SyncGraph& sg, const Precedence& precedence,
+             const CoExec& coexec, const Hypothesis& hyp);
+
+  void mark_no_sync_pair(NodeId k);
+  void mark_no_sync_in(NodeId k);
+  void mark_do_not_enter(NodeId k);
+
+  // Whether the CLG edge (from, to) survives the current marks.
+  [[nodiscard]] bool edge_allowed(std::size_t from, std::size_t to) const;
+
+  // SCC search of the filtered CLG from the given roots.
+  [[nodiscard]] graph::SccResult search(
+      const std::vector<std::size_t>& roots) const;
+
+ private:
+  const sg::Clg& clg_;
+  std::vector<bool> no_sync_;
+  std::vector<bool> do_not_enter_;
 };
 
 struct RefinedResult {
   bool deadlock_possible = false;
+  // Number of hypotheses a *serial* sweep evaluates: the full enumeration,
+  // or — with stop_at_first_hit — everything up to and including the first
+  // confirmed one. Deterministic parallel runs report the same number even
+  // when cancellation latency made them evaluate a few more;
+  // non-deterministic runs report their actual evaluation count.
   std::size_t hypotheses_tested = 0;
   std::size_t possible_heads = 0;
-  // Heads whose hypothesis survived (first element drives witness_cycle).
+  // Primary heads of the confirmed hypotheses, deduplicated, in first-hit
+  // order (first element drives witness_cycle).
   std::vector<NodeId> suspect_heads;
+  // The first confirmed hypothesis's witness as deduplicated sync-graph
+  // nodes, plus the underlying CLG cycle (every edge of which survives that
+  // hypothesis's marks) and the hypothesis itself (head1 invalid when no
+  // deadlock was reported).
   std::vector<NodeId> witness_cycle;
+  std::vector<ClgNodeId> witness_clg_cycle;
+  Hypothesis witness_hypothesis;
+};
+
+// Result of one hypothesis evaluation. `witness_clg` is non-empty exactly
+// when `hit`: a cycle through the hypothesis's primary anchor using only
+// filter-surviving in-component edges, or — defensively, should no filtered
+// cycle close — the component's node list.
+struct HypothesisOutcome {
+  bool hit = false;
+  std::vector<ClgNodeId> witness_clg;
 };
 
 // POSS-HEADS: rendezvous nodes with at least one sync edge that are the
 // source of a control edge leading to another rendezvous node.
 [[nodiscard]] std::vector<NodeId> possible_heads(const sg::SyncGraph& sg);
+
+// Phase (a): the complete hypothesis list for `options.mode`, in the fixed
+// order the serial detector evaluates them (self-send pre-pass first in the
+// pair modes). `possible_head_count`, when non-null, receives |POSS-HEADS|
+// after the optional constraint-4 filter.
+[[nodiscard]] std::vector<Hypothesis> enumerate_hypotheses(
+    const sg::SyncGraph& sg, const Precedence& precedence,
+    const CoExec& coexec, const RefinedOptions& options,
+    std::size_t* possible_head_count = nullptr);
+
+// Phase (b): stateless evaluation of one hypothesis (scratch is cleared on
+// entry). Safe to call concurrently with distinct scratch objects over the
+// same sg/clg/precedence/coexec.
+[[nodiscard]] HypothesisOutcome evaluate_hypothesis(
+    const sg::SyncGraph& sg, const sg::Clg& clg, const Precedence& precedence,
+    const CoExec& coexec, const Hypothesis& hyp, MarkedSearch& scratch);
 
 [[nodiscard]] RefinedResult detect_refined(const sg::SyncGraph& sg,
                                            const sg::Clg& clg,

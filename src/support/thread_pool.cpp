@@ -1,0 +1,76 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+
+namespace siwa::support {
+
+std::size_t resolve_thread_count(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(1u, hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = resolve_thread_count(threads);
+  workers_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for_each(
+    std::size_t count,
+    const std::function<void(std::size_t index, std::size_t worker)>& body) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  body_ = &body;
+  count_ = count;
+  next_ = 0;
+  idle_ = 0;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return idle_ == workers_.size(); });
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_main(std::size_t worker) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    while (next_ < count_) {
+      const std::size_t index = next_++;
+      const auto* body = body_;
+      lock.unlock();
+      std::exception_ptr thrown;
+      try {
+        (*body)(index, worker);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      lock.lock();
+      if (thrown) {
+        if (!error_) error_ = thrown;
+        next_ = count_;  // abandon the remaining indices
+      }
+    }
+    ++idle_;
+    if (idle_ == workers_.size()) done_cv_.notify_all();
+  }
+}
+
+}  // namespace siwa::support

@@ -1,0 +1,78 @@
+// A fixed-size thread pool for embarrassingly parallel index loops.
+//
+// The refined detector's hypothesis loop, the batch certifier, and the bench
+// harness all need the same shape of parallelism: N independent pieces of
+// work over shared immutable inputs, each piece needing a per-thread scratch
+// object. `ThreadPool::parallel_for_each` serves exactly that shape and
+// nothing more — there is no task queue, no futures, no work stealing.
+// Indices are handed out through a single shared atomic counter, which keeps
+// the distribution dynamic (fast hypotheses do not stall behind slow ones)
+// while the implementation stays small enough to reason about under TSan.
+//
+// Exception policy: the first exception thrown by the body is captured,
+// the remaining indices are abandoned, and the exception is rethrown on the
+// calling thread after all workers have quiesced.
+//
+// Nesting policy: `parallel_for_each` must not be called from inside a body
+// running on the same pool (the call would block a worker on its own pool's
+// completion). Callers that fan out at two levels — e.g. `certify_batch`
+// over graphs, each graph running the refined detector — must parallelize
+// exactly one level.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace siwa::support {
+
+// Resolves a user-facing thread-count knob: 0 means "one worker per
+// hardware thread", anything else is taken literally (minimum 1).
+[[nodiscard]] std::size_t resolve_thread_count(std::size_t requested);
+
+class ThreadPool {
+ public:
+  // `threads` as in resolve_thread_count. The workers are spawned eagerly
+  // and live until destruction.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+
+  // Invokes body(index, worker) for every index in [0, count), spread over
+  // the workers; `worker` is in [0, worker_count()) and is stable within one
+  // invocation, so callers can index per-thread scratch by it. Blocks until
+  // every index has run (or been abandoned after an exception), then
+  // rethrows the first captured exception. The calling thread does not
+  // execute body itself; with worker_count() == 1 the loop is serial on the
+  // single worker.
+  void parallel_for_each(std::size_t count,
+                         const std::function<void(std::size_t index,
+                                                  std::size_t worker)>& body);
+
+ private:
+  void worker_main(std::size_t worker);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait here between jobs
+  std::condition_variable done_cv_;   // parallel_for_each waits here
+  const std::function<void(std::size_t, std::size_t)>* body_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t next_ = 0;
+  std::size_t idle_ = 0;        // workers parked on work_cv_
+  std::uint64_t generation_ = 0;  // bumped once per parallel_for_each
+  bool stopping_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace siwa::support

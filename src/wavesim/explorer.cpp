@@ -1,5 +1,6 @@
 #include "wavesim/explorer.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -13,15 +14,29 @@ WaveExplorer::WaveExplorer(const sg::SyncGraph& sg, ExploreOptions options)
   SIWA_REQUIRE(sg.finalized(), "explorer requires finalized graph");
 }
 
-std::vector<Wave> WaveExplorer::initial_waves() const {
+std::vector<Wave> WaveExplorer::initial_waves(bool* truncated) const {
+  if (truncated != nullptr) *truncated = false;
   std::vector<Wave> waves{Wave{}};
   for (std::size_t t = 0; t < sg_.task_count(); ++t) {
     const auto entries = sg_.task_entries(TaskId(t));
+    if (entries.empty()) {
+      // A task without entry nodes (possible in hand-built gadget graphs)
+      // starts finished. Growing the cross product with an empty entry set
+      // would silently empty the whole wave set instead.
+      for (Wave& w : waves) w.push_back(sg_.end_node());
+      continue;
+    }
     std::vector<Wave> grown;
-    grown.reserve(waves.size() * entries.size());
+    grown.reserve(std::min(waves.size() * entries.size(),
+                           options_.max_initial_waves));
     for (const Wave& w : waves) {
       for (NodeId entry : entries) {
-        if (grown.size() >= options_.max_initial_waves) break;
+        if (grown.size() >= options_.max_initial_waves) {
+          // Some entry combination was dropped: the exploration seeded from
+          // this set can no longer claim to have exhausted the wave space.
+          if (truncated != nullptr) *truncated = true;
+          break;
+        }
         Wave next = w;
         next.push_back(entry);
         grown.push_back(std::move(next));
@@ -77,7 +92,9 @@ ExploreResult WaveExplorer::explore() const {
     frontier.push_back(wave);
   };
 
-  for (const Wave& w : initial_waves()) enqueue(w, nullptr);
+  bool initial_truncated = false;
+  for (const Wave& w : initial_waves(&initial_truncated)) enqueue(w, nullptr);
+  if (initial_truncated) result.complete = false;
 
   bool witness_done = false;
   while (!frontier.empty()) {

@@ -50,8 +50,12 @@ class WaveExplorer {
 
   [[nodiscard]] ExploreResult explore() const;
 
-  // All W_INIT waves: one entry choice per task (capped).
-  [[nodiscard]] std::vector<Wave> initial_waves() const;
+  // All W_INIT waves: one entry choice per task, capped at
+  // `max_initial_waves`. When the cap drops a combination, `*truncated` is
+  // set (explore() then clears ExploreResult::complete). A task with no
+  // entry nodes contributes the end node rather than emptying the product.
+  [[nodiscard]] std::vector<Wave> initial_waves(
+      bool* truncated = nullptr) const;
 
   // All waves directly derivable from `wave` (NextWaves).
   [[nodiscard]] std::vector<Wave> next_waves(const Wave& wave) const;

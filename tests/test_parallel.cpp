@@ -1,0 +1,369 @@
+// The parallel hypothesis engine and the reporting fixes that rode along
+// with it: the support::ThreadPool itself, serial/parallel bit-identity of
+// the refined detector in deterministic mode, early-exit cancellation,
+// batch certification, witness filter-validity (a reported witness cycle
+// must survive its own hypothesis's marks) and suspect-head deduplication.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/certifier.h"
+#include "core/coexec.h"
+#include "core/precedence.h"
+#include "core/refined_detector.h"
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "support/thread_pool.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+
+namespace siwa::core {
+namespace {
+
+sg::SyncGraph graph_of(const char* source) {
+  return sg::build_sync_graph(lang::parse_and_check_or_throw(source));
+}
+
+// Task a deadlocks on itself (accept m waits for a send that sits behind
+// it in its own task — footnote 6's single-head cycle) and also deadlocks
+// mutually with task b, so in HeadPair mode the head `accept m` hits in
+// both the self-send pre-pass and the pair loop.
+constexpr const char* kSelfSendPlusPair = R"(
+task a is begin accept m; send a.m; send b.p; end a;
+task b is begin accept p; send a.m; end b;
+)";
+
+constexpr const char* kRealDeadlock = R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)";
+
+struct Analysis {
+  sg::SyncGraph graph;
+  sg::Clg clg;
+  Precedence precedence;
+  CoExec coexec;
+
+  explicit Analysis(sg::SyncGraph g)
+      : graph(std::move(g)), clg(graph), precedence(graph), coexec(graph) {}
+
+  [[nodiscard]] RefinedResult detect(const RefinedOptions& options) const {
+    return detect_refined(graph, clg, precedence, coexec, options);
+  }
+};
+
+std::vector<lang::Program> seeded_corpus() {
+  std::vector<lang::Program> corpus;
+  const double branch[] = {0.0, 0.35};
+  for (double b : branch) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      gen::RandomProgramConfig config;
+      config.tasks = 3;
+      config.rendezvous_pairs = 5;
+      config.branch_probability = b;
+      config.seed = seed;
+      corpus.push_back(gen::random_program(config));
+    }
+  }
+  return corpus;
+}
+
+const HypothesisMode kAllModes[] = {
+    HypothesisMode::SingleHead, HypothesisMode::HeadPair,
+    HypothesisMode::HeadTail, HypothesisMode::HeadTailPairs};
+
+void expect_identical(const RefinedResult& expected, const RefinedResult& got,
+                      const char* what) {
+  EXPECT_EQ(expected.deadlock_possible, got.deadlock_possible) << what;
+  EXPECT_EQ(expected.hypotheses_tested, got.hypotheses_tested) << what;
+  EXPECT_EQ(expected.possible_heads, got.possible_heads) << what;
+  EXPECT_EQ(expected.suspect_heads, got.suspect_heads) << what;
+  EXPECT_EQ(expected.witness_cycle, got.witness_cycle) << what;
+  EXPECT_EQ(expected.witness_clg_cycle, got.witness_clg_cycle) << what;
+}
+
+// Property (i) of the witness fix: the reported CLG cycle is a real cycle
+// (every consecutive pair, wrap included, is a CLG edge), every edge of it
+// survives the reporting hypothesis's own marks, and it alternates sync
+// and control edges (>= 1 sync edge, never two sync edges in a row).
+void expect_valid_witness(const Analysis& a, const RefinedResult& r) {
+  ASSERT_TRUE(r.deadlock_possible);
+  ASSERT_TRUE(r.witness_hypothesis.head1.valid());
+  const auto& cycle = r.witness_clg_cycle;
+  ASSERT_GE(cycle.size(), 2u);
+
+  MarkedSearch marks(a.clg);
+  marks.apply(a.graph, a.precedence, a.coexec, r.witness_hypothesis);
+
+  std::size_t sync_edges = 0;
+  bool prev_was_sync =
+      a.clg.is_sync_edge(cycle.back(), cycle.front());  // seed for wrap check
+  for (std::size_t j = 0; j < cycle.size(); ++j) {
+    const ClgNodeId from = cycle[j];
+    const ClgNodeId to = cycle[(j + 1) % cycle.size()];
+    bool is_edge = false;
+    for (VertexId w : a.clg.graph().successors(VertexId(from.index())))
+      if (w.index() == to.index()) is_edge = true;
+    ASSERT_TRUE(is_edge) << "witness step " << j << " is not a CLG edge";
+    EXPECT_TRUE(marks.edge_allowed(from.index(), to.index()))
+        << "witness step " << j << " uses an edge its hypothesis removed";
+    const bool is_sync = a.clg.is_sync_edge(from, to);
+    if (is_sync) {
+      EXPECT_FALSE(prev_was_sync) << "two consecutive sync edges at step "
+                                  << j;
+      ++sync_edges;
+    }
+    prev_was_sync = is_sync;
+  }
+  EXPECT_GE(sync_edges, 1u) << "witness cycle has no sync edge";
+}
+
+// ----- ThreadPool -----
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  support::ThreadPool pool(8);
+  EXPECT_EQ(pool.worker_count(), 8u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for_each(hits.size(), [&](std::size_t i, std::size_t worker) {
+    ASSERT_LT(worker, pool.worker_count());
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroCountAndReuse) {
+  support::ThreadPool pool(4);
+  pool.parallel_for_each(0, [](std::size_t, std::size_t) { FAIL(); });
+  std::atomic<int> total{0};
+  for (int round = 0; round < 3; ++round)
+    pool.parallel_for_each(10, [&](std::size_t, std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 30);
+}
+
+TEST(ThreadPool, SingleWorkerIsSequential) {
+  support::ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for_each(5, [&](std::size_t i, std::size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, PropagatesExceptionAndSurvives) {
+  support::ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for_each(100,
+                             [&](std::size_t i, std::size_t) {
+                               if (i == 7) throw std::runtime_error("boom");
+                             }),
+      std::runtime_error);
+  // The pool is reusable after an exception.
+  std::atomic<int> total{0};
+  pool.parallel_for_each(16, [&](std::size_t, std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ThreadPool, ResolveThreadCount) {
+  EXPECT_EQ(support::resolve_thread_count(3), 3u);
+  EXPECT_EQ(support::resolve_thread_count(1), 1u);
+  EXPECT_GE(support::resolve_thread_count(0), 1u);
+}
+
+// ----- parallel determinism (property ii) -----
+
+TEST(ParallelDetector, DeterministicModeMatchesSerialOnCorpus) {
+  for (const lang::Program& program : seeded_corpus()) {
+    const Analysis a(sg::build_sync_graph(program));
+    for (HypothesisMode mode : kAllModes) {
+      RefinedOptions serial;
+      serial.mode = mode;
+      const RefinedResult expected = a.detect(serial);
+      for (std::size_t threads : {1, 2, 8}) {
+        RefinedOptions parallel = serial;
+        parallel.parallel.threads = threads;
+        expect_identical(expected, a.detect(parallel), "full sweep");
+      }
+    }
+  }
+}
+
+TEST(ParallelDetector, DeterministicEarlyExitMatchesSerialEarlyExit) {
+  for (const lang::Program& program : seeded_corpus()) {
+    const Analysis a(sg::build_sync_graph(program));
+    for (HypothesisMode mode : kAllModes) {
+      RefinedOptions serial;
+      serial.mode = mode;
+      serial.stop_at_first_hit = true;
+      const RefinedResult expected = a.detect(serial);
+      for (std::size_t threads : {2, 8}) {
+        RefinedOptions parallel = serial;
+        parallel.parallel.threads = threads;
+        expect_identical(expected, a.detect(parallel), "early exit");
+      }
+    }
+  }
+}
+
+TEST(ParallelDetector, EarlyExitKeepsVerdictAndWitnessOfFullSweep) {
+  const Analysis a(graph_of(kSelfSendPlusPair));
+  for (HypothesisMode mode : kAllModes) {
+    RefinedOptions full;
+    full.mode = mode;
+    const RefinedResult everything = a.detect(full);
+
+    RefinedOptions first_hit = full;
+    first_hit.stop_at_first_hit = true;
+    const RefinedResult stopped = a.detect(first_hit);
+
+    EXPECT_EQ(everything.deadlock_possible, stopped.deadlock_possible);
+    EXPECT_EQ(everything.witness_cycle, stopped.witness_cycle);
+    EXPECT_LE(stopped.hypotheses_tested, everything.hypotheses_tested);
+    if (everything.deadlock_possible) {
+      ASSERT_FALSE(stopped.suspect_heads.empty());
+      EXPECT_EQ(stopped.suspect_heads.front(),
+                everything.suspect_heads.front());
+    }
+  }
+}
+
+TEST(ParallelDetector, NonDeterministicModeStillGetsVerdictRight) {
+  for (const lang::Program& program : seeded_corpus()) {
+    const Analysis a(sg::build_sync_graph(program));
+    RefinedOptions serial;
+    const bool expected = a.detect(serial).deadlock_possible;
+    RefinedOptions loose;
+    loose.parallel.threads = 4;
+    loose.parallel.deterministic = false;
+    loose.stop_at_first_hit = true;
+    EXPECT_EQ(a.detect(loose).deadlock_possible, expected);
+  }
+}
+
+// ----- hypothesis enumeration / counting consistency -----
+
+TEST(Hypotheses, TestedCountEqualsEnumerationInEveryMode) {
+  const Analysis a(graph_of(kSelfSendPlusPair));
+  for (HypothesisMode mode : kAllModes) {
+    RefinedOptions options;
+    options.mode = mode;
+    const auto hyps = enumerate_hypotheses(a.graph, a.precedence, a.coexec,
+                                           options);
+    const RefinedResult r = a.detect(options);
+    EXPECT_EQ(r.hypotheses_tested, hyps.size());
+  }
+}
+
+TEST(Hypotheses, EvaluateMatchesDetectVerdict) {
+  const Analysis a(graph_of(kRealDeadlock));
+  RefinedOptions options;
+  const auto hyps =
+      enumerate_hypotheses(a.graph, a.precedence, a.coexec, options);
+  ASSERT_FALSE(hyps.empty());
+  MarkedSearch scratch(a.clg);
+  bool any_hit = false;
+  for (const Hypothesis& hyp : hyps) {
+    const HypothesisOutcome outcome = evaluate_hypothesis(
+        a.graph, a.clg, a.precedence, a.coexec, hyp, scratch);
+    if (outcome.hit) {
+      any_hit = true;
+      EXPECT_FALSE(outcome.witness_clg.empty());
+    }
+  }
+  EXPECT_EQ(any_hit, a.detect(options).deadlock_possible);
+}
+
+// ----- suspect-head deduplication (regression) -----
+
+TEST(SuspectHeads, NoDuplicateWhenSelfSendHeadAlsoHitsInPairLoop) {
+  const Analysis a(graph_of(kSelfSendPlusPair));
+  for (HypothesisMode mode :
+       {HypothesisMode::HeadPair, HypothesisMode::HeadTailPairs}) {
+    RefinedOptions options;
+    options.mode = mode;
+    const RefinedResult r = a.detect(options);
+    EXPECT_TRUE(r.deadlock_possible);
+    std::set<NodeId> unique(r.suspect_heads.begin(), r.suspect_heads.end());
+    EXPECT_EQ(unique.size(), r.suspect_heads.size())
+        << "suspect_heads contains duplicates";
+  }
+}
+
+TEST(SuspectHeads, UniqueAcrossCorpusInEveryMode) {
+  for (const lang::Program& program : seeded_corpus()) {
+    const Analysis a(sg::build_sync_graph(program));
+    for (HypothesisMode mode : kAllModes) {
+      RefinedOptions options;
+      options.mode = mode;
+      const RefinedResult r = a.detect(options);
+      std::set<NodeId> unique(r.suspect_heads.begin(), r.suspect_heads.end());
+      EXPECT_EQ(unique.size(), r.suspect_heads.size());
+    }
+  }
+}
+
+// ----- witness validity (regression + property i) -----
+
+TEST(Witness, SurvivesItsHypothesisFiltersOnDeadlockPair) {
+  const Analysis a(graph_of(kRealDeadlock));
+  for (HypothesisMode mode : kAllModes) {
+    RefinedOptions options;
+    options.mode = mode;
+    const RefinedResult r = a.detect(options);
+    ASSERT_TRUE(r.deadlock_possible);
+    expect_valid_witness(a, r);
+    EXPECT_FALSE(r.witness_cycle.empty());
+  }
+}
+
+TEST(Witness, ValidAcrossCorpusEveryModeAndThreadCount) {
+  for (const lang::Program& program : seeded_corpus()) {
+    const Analysis a(sg::build_sync_graph(program));
+    for (HypothesisMode mode : kAllModes) {
+      for (std::size_t threads : {1, 4}) {
+        RefinedOptions options;
+        options.mode = mode;
+        options.parallel.threads = threads;
+        const RefinedResult r = a.detect(options);
+        if (r.deadlock_possible) expect_valid_witness(a, r);
+      }
+    }
+  }
+}
+
+// ----- certify_batch -----
+
+TEST(CertifyBatch, MatchesIndividualCertificationInInputOrder) {
+  std::vector<sg::SyncGraph> graphs;
+  std::vector<lang::Program> corpus = seeded_corpus();
+  for (std::size_t i = 0; i < 20; ++i)
+    graphs.push_back(sg::build_sync_graph(corpus[i]));
+
+  CertifyOptions options;
+  options.algorithm = Algorithm::RefinedHeadPair;
+  for (std::size_t threads : {1, 4}) {
+    CertifyOptions batch_options = options;
+    batch_options.parallel.threads = threads;
+    const std::vector<CertifyResult> batch =
+        certify_batch(graphs, batch_options);
+    ASSERT_EQ(batch.size(), graphs.size());
+    for (std::size_t i = 0; i < graphs.size(); ++i) {
+      const CertifyResult solo = certify_graph(graphs[i], options);
+      EXPECT_EQ(batch[i].certified_free, solo.certified_free) << i;
+      EXPECT_EQ(batch[i].witness, solo.witness) << i;
+      EXPECT_EQ(batch[i].stats.hypotheses_tested,
+                solo.stats.hypotheses_tested)
+          << i;
+    }
+  }
+}
+
+TEST(CertifyBatch, EmptyCorpus) {
+  EXPECT_TRUE(certify_batch({}, {}).empty());
+}
+
+}  // namespace
+}  // namespace siwa::core

@@ -248,6 +248,68 @@ end u;
   EXPECT_EQ(explorer.initial_waves().size(), 4u);
 }
 
+// Regression: a capped initial-wave set must not let the exploration claim
+// completeness — `complete == true` is what qualifies a run as the
+// ground-truth oracle in E10/E12.
+TEST(Explorer, InitialWaveTruncationClearsComplete) {
+  // 2 x 2 entry choices = 4 initial waves; cap at 3.
+  const auto g = graph_of(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+end t;
+task u is
+begin
+  if d then
+    send t.m1;
+  else
+    send t.m2;
+  end if;
+end u;
+)");
+  ExploreOptions options;
+  options.max_initial_waves = 3;
+  WaveExplorer explorer(g, options);
+
+  bool truncated = false;
+  const auto initial = explorer.initial_waves(&truncated);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(initial.size(), 3u);
+  EXPECT_FALSE(explorer.explore().complete);
+
+  // Untouched cap: the same program is explored completely.
+  bool untruncated = true;
+  WaveExplorer roomy(g);
+  EXPECT_EQ(roomy.initial_waves(&untruncated).size(), 4u);
+  EXPECT_FALSE(untruncated);
+  EXPECT_TRUE(roomy.explore().complete);
+}
+
+// Regression: a task with no entry nodes (hand-built gadget graphs) starts
+// at the end node instead of silently emptying the whole initial wave set.
+TEST(Explorer, TaskWithoutEntriesStartsFinished) {
+  sg::SyncGraph g;
+  const TaskId t0 = g.add_task("t0");
+  g.add_task("t1");  // never given a node or an entry
+  const SignalId sig = g.intern_signal(t0, g.intern_message("m"));
+  const NodeId acc = g.add_rendezvous(t0, sig, sg::Sign::Minus);
+  g.add_control_edge(g.begin_node(), acc);
+  g.add_control_edge(acc, g.end_node());
+  g.add_task_entry(t0, acc);
+  g.finalize();
+
+  WaveExplorer explorer(g);
+  const auto initial = explorer.initial_waves();
+  ASSERT_EQ(initial.size(), 1u);
+  ASSERT_EQ(initial[0].size(), 2u);
+  EXPECT_EQ(initial[0][0], acc);
+  EXPECT_EQ(initial[0][1], g.end_node());
+}
+
 TEST(Classifier, NextWavesFollowSyncEdges) {
   const auto g = graph_of(R"(
 task a is begin send b.d; end a;
