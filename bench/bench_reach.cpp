@@ -1,0 +1,211 @@
+// Reachability kernels: construction time of the SCC-condensed bit-parallel
+// closure (CondensedReachability, the kernel AnalysisContext builds) against
+// the reference per-source DFS closure (Reachability), plus the end-to-end
+// effect of the shared context on certify_graph and certify_batch.
+//
+// Before timing anything, the harness checks correctness on the full E10
+// corpus and an E9-scale graph: both kernels must agree bit for bit on
+// every vertex pair, and certification through the shared context must
+// reproduce the legacy per-pass verdicts exactly — speed is worthless if
+// the condensed kernel changes answers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "core/analysis_context.h"
+#include "core/certifier.h"
+#include "gen/random_program.h"
+#include "graph/reachability.h"
+#include "syncgraph/builder.h"
+
+namespace {
+using namespace siwa;
+
+// The E10 precision corpus of bench_parallel: four families of small
+// random programs.
+std::vector<sg::SyncGraph> e10_corpus() {
+  struct Family {
+    double branch;
+    std::size_t unmatched;
+  };
+  const Family families[] = {{0.0, 0}, {0.35, 0}, {0.3, 1}, {0.2, 0}};
+  std::vector<sg::SyncGraph> corpus;
+  for (const Family& family : families) {
+    for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+      gen::RandomProgramConfig config;
+      config.tasks = 3;
+      config.rendezvous_pairs = 5;
+      config.branch_probability = family.branch;
+      config.unmatched_rendezvous = family.unmatched;
+      config.seed = seed;
+      corpus.push_back(sg::build_sync_graph(gen::random_program(config)));
+    }
+  }
+  return corpus;
+}
+
+// An E9-scale single program, as in bench_parallel/bench_scaling.
+sg::SyncGraph e9_graph(std::size_t pairs) {
+  gen::RandomProgramConfig config;
+  config.tasks = std::max<std::size_t>(3, pairs / 8);
+  config.rendezvous_pairs = pairs;
+  config.message_types = 4;
+  config.branch_probability = 0.15;
+  config.seed = 17;
+  return sg::build_sync_graph(gen::random_program(config));
+}
+
+bool kernels_agree(const graph::Digraph& g) {
+  const graph::Reachability ref(g);
+  const graph::CondensedReachability fast(g);
+  for (std::size_t a = 0; a < g.vertex_count(); ++a)
+    for (std::size_t b = 0; b < g.vertex_count(); ++b)
+      if (ref.reaches(VertexId(a), VertexId(b)) !=
+          fast.reaches(VertexId(a), VertexId(b)))
+        return false;
+  return true;
+}
+
+bool results_identical(const core::CertifyResult& a,
+                       const core::CertifyResult& b) {
+  return a.certified_free == b.certified_free && a.witness == b.witness &&
+         a.stats.hypotheses_tested == b.stats.hypotheses_tested &&
+         a.stats.possible_heads == b.stats.possible_heads;
+}
+
+// Correctness gate: kernel agreement on every corpus graph and verdict
+// identity of the context-reusing certify on every algorithm. Returns the
+// mismatch count.
+std::size_t correctness_check(const std::vector<sg::SyncGraph>& corpus,
+                              const sg::SyncGraph& big) {
+  std::size_t kernel_checked = 0;
+  std::size_t mismatches = 0;
+  for (const sg::SyncGraph& g : corpus) {
+    ++kernel_checked;
+    if (!kernels_agree(g.control_graph())) ++mismatches;
+  }
+  ++kernel_checked;
+  if (!kernels_agree(big.control_graph())) ++mismatches;
+
+  const core::Algorithm algorithms[] = {
+      core::Algorithm::Naive, core::Algorithm::RefinedSingle,
+      core::Algorithm::RefinedHeadPair, core::Algorithm::RefinedHeadTail,
+      core::Algorithm::RefinedHeadTailPairs};
+  std::size_t verdicts_checked = 0;
+  for (const sg::SyncGraph& g : corpus) {
+    const core::AnalysisContext ctx(g);
+    for (core::Algorithm algorithm : algorithms) {
+      core::CertifyOptions options;
+      options.algorithm = algorithm;
+      options.apply_constraint4 =
+          algorithm != core::Algorithm::Naive;
+      ++verdicts_checked;
+      if (!results_identical(core::certify_graph(g, options),
+                             core::certify_graph(ctx, options)))
+        ++mismatches;
+    }
+  }
+  std::printf("correctness: %zu kernel agreements, %zu context-vs-legacy "
+              "verdicts, %zu mismatches\n",
+              kernel_checked, verdicts_checked, mismatches);
+  return mismatches;
+}
+
+// ----- kernel construction time -----
+
+void BM_ClosureDfsKernel(benchmark::State& state) {
+  static const sg::SyncGraph graph =
+      e9_graph(static_cast<std::size_t>(192));
+  for (auto _ : state) {
+    graph::Reachability reach(graph.control_graph());
+    benchmark::DoNotOptimize(reach);
+  }
+  state.counters["vertices"] =
+      static_cast<double>(graph.control_graph().vertex_count());
+}
+BENCHMARK(BM_ClosureDfsKernel)->Unit(benchmark::kMicrosecond);
+
+void BM_ClosureCondensedKernel(benchmark::State& state) {
+  static const sg::SyncGraph graph =
+      e9_graph(static_cast<std::size_t>(192));
+  for (auto _ : state) {
+    graph::CondensedReachability reach(graph.control_graph());
+    benchmark::DoNotOptimize(reach);
+  }
+  state.counters["vertices"] =
+      static_cast<double>(graph.control_graph().vertex_count());
+}
+BENCHMARK(BM_ClosureCondensedKernel)->Unit(benchmark::kMicrosecond);
+
+// Scaling of both kernels over growing E9-style graphs.
+void BM_ClosureKernelsScaling(benchmark::State& state) {
+  const std::size_t pairs = static_cast<std::size_t>(state.range(0));
+  const bool condensed = state.range(1) != 0;
+  const sg::SyncGraph graph = e9_graph(pairs);
+  for (auto _ : state) {
+    if (condensed) {
+      graph::CondensedReachability reach(graph.control_graph());
+      benchmark::DoNotOptimize(reach);
+    } else {
+      graph::Reachability reach(graph.control_graph());
+      benchmark::DoNotOptimize(reach);
+    }
+  }
+  state.counters["vertices"] =
+      static_cast<double>(graph.control_graph().vertex_count());
+}
+BENCHMARK(BM_ClosureKernelsScaling)
+    ->ArgsProduct({{96, 192, 384, 768}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+// ----- end-to-end certification -----
+
+// One certify call per graph: the shared context replaces the former
+// four closure constructions (precedence precondition, coexec, head-tail
+// enumeration, constraint 4) with one.
+void BM_CertifyE10SharedContext(benchmark::State& state) {
+  static const std::vector<sg::SyncGraph> corpus = e10_corpus();
+  core::CertifyOptions options;
+  options.algorithm = core::Algorithm::RefinedHeadTail;
+  options.apply_constraint4 = true;
+  for (auto _ : state) {
+    for (const sg::SyncGraph& g : corpus) {
+      auto r = core::certify_graph(g, options);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.counters["graphs"] = static_cast<double>(corpus.size());
+}
+BENCHMARK(BM_CertifyE10SharedContext)->Unit(benchmark::kMillisecond);
+
+// Caller-owned context amortized over all four refined algorithms on one
+// graph (the certify_graph(ctx, ...) overload: zero closures per call).
+void BM_CertifyE9ReusedContext(benchmark::State& state) {
+  static const sg::SyncGraph graph = e9_graph(192);
+  const core::Algorithm algorithms[] = {
+      core::Algorithm::RefinedSingle, core::Algorithm::RefinedHeadPair,
+      core::Algorithm::RefinedHeadTail};
+  for (auto _ : state) {
+    const core::AnalysisContext ctx(graph);
+    for (core::Algorithm algorithm : algorithms) {
+      core::CertifyOptions options;
+      options.algorithm = algorithm;
+      options.stop_at_first_hit = true;
+      auto r = core::certify_graph(ctx, options);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+}
+BENCHMARK(BM_CertifyE9ReusedContext)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  const std::size_t mismatches = correctness_check(e10_corpus(), e9_graph(192));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return mismatches == 0 ? 0 : 1;
+}

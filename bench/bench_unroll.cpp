@@ -82,7 +82,7 @@ int main() {
     const lang::Program q =
         transform::unroll_loops_twice(nested_program(depth, 2));
     const sg::SyncGraph g = sg::build_sync_graph(q);
-    const bool ok = !graph::topological_order(g.control_graph()).empty();
+    const bool ok = graph::topological_order(g.control_graph()).has_value();
     acyclic.add_row({"nested depth " + std::to_string(depth),
                      ok ? "yes" : "NO (bug)"});
   }

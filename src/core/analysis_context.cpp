@@ -1,0 +1,12 @@
+#include "core/analysis_context.h"
+
+#include "support/require.h"
+
+namespace siwa::core {
+
+AnalysisContext::AnalysisContext(const sg::SyncGraph& sg) : sg_(&sg) {
+  SIWA_REQUIRE(sg.finalized(), "analysis context requires a finalized graph");
+  reach_ = graph::CondensedReachability(sg.control_graph());
+}
+
+}  // namespace siwa::core

@@ -1,0 +1,48 @@
+// Shared per-graph analysis context.
+//
+// Before this existed, CoExec, Constraint4Filter, the head-tail hypothesis
+// enumeration and the wave classifier each rebuilt the dense all-pairs
+// control-flow closure independently — four redundant O(V * (V + E))
+// constructions per certification. AnalysisContext computes the closure
+// exactly once per finalized sync graph, with the faster SCC-condensed
+// bit-parallel kernel (graph::CondensedReachability), and every analysis
+// takes `const AnalysisContext&` instead of building its own.
+//
+// Ownership and thread safety: the context borrows the sync graph (the
+// caller keeps it alive) and owns the closure. It is immutable after
+// construction, so one context may be shared read-only across
+// support::ThreadPool workers with no synchronization — certify_batch and
+// the parallel hypothesis sweep rely on exactly that.
+#pragma once
+
+#include "graph/reachability.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::core {
+
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(const sg::SyncGraph& sg);
+
+  [[nodiscard]] const sg::SyncGraph& graph() const { return *sg_; }
+
+  // Transitive closure of the control graph (path of >= 1 edge semantics,
+  // like graph::Reachability).
+  [[nodiscard]] const graph::CondensedReachability& control_reach() const {
+    return reach_;
+  }
+  [[nodiscard]] bool reaches(NodeId a, NodeId b) const {
+    return reach_.reaches(VertexId(a.value), VertexId(b.value));
+  }
+
+  // Whether the control graph is acyclic — the precondition of the
+  // precedence engine and the CLG (Lemma 1 unrolling establishes it).
+  // Derived from the SCC condensation, no extra traversal.
+  [[nodiscard]] bool control_acyclic() const { return reach_.acyclic(); }
+
+ private:
+  const sg::SyncGraph* sg_;
+  graph::CondensedReachability reach_;
+};
+
+}  // namespace siwa::core

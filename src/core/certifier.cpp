@@ -20,10 +20,16 @@ std::string algorithm_name(Algorithm algorithm) {
   return "?";
 }
 
-CertifyResult certify_graph(const sg::SyncGraph& graph,
-                            const CertifyOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
+namespace {
 
+// Shared body of certify_graph. `ctx` is non-null for the refined
+// algorithms (exactly one closure, built by the caller and charged to
+// `start`) and null for the naive algorithm, which needs none — keeping
+// the naive path at its O(|N| + |E|) cost.
+CertifyResult certify_impl(const sg::SyncGraph& graph,
+                           const AnalysisContext* ctx,
+                           const CertifyOptions& options,
+                           std::chrono::steady_clock::time_point start) {
   CertifyResult result;
   result.stats.tasks = graph.task_count();
   result.stats.sync_nodes = graph.node_count();
@@ -45,8 +51,8 @@ CertifyResult certify_graph(const sg::SyncGraph& graph,
     case Algorithm::RefinedHeadPair:
     case Algorithm::RefinedHeadTail:
     case Algorithm::RefinedHeadTailPairs: {
-      const Precedence precedence(graph, options.precedence);
-      const CoExec coexec(graph, options.extra_not_coexec);
+      const Precedence precedence(*ctx, options.precedence);
+      const CoExec coexec(*ctx, options.extra_not_coexec);
       RefinedOptions refined;
       refined.apply_constraint4 = options.apply_constraint4;
       refined.stop_at_first_hit = options.stop_at_first_hit;
@@ -59,7 +65,7 @@ CertifyResult certify_graph(const sg::SyncGraph& graph,
                          ? HypothesisMode::HeadTail
                          : HypothesisMode::HeadTailPairs;
       const RefinedResult r =
-          detect_refined(graph, clg, precedence, coexec, refined);
+          detect_refined(*ctx, clg, precedence, coexec, refined);
       result.certified_free = !r.deadlock_possible;
       result.witness_nodes = r.witness_cycle;
       result.stats.hypotheses_tested = r.hypotheses_tested;
@@ -75,6 +81,26 @@ CertifyResult certify_graph(const sg::SyncGraph& graph,
                                 std::chrono::steady_clock::now() - start)
                                 .count();
   return result;
+}
+
+}  // namespace
+
+CertifyResult certify_graph(const sg::SyncGraph& graph,
+                            const CertifyOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  if (options.algorithm == Algorithm::Naive)
+    return certify_impl(graph, nullptr, options, start);
+  const AnalysisContext ctx(graph);
+  return certify_impl(graph, &ctx, options, start);
+}
+
+CertifyResult certify_graph(const AnalysisContext& ctx,
+                            const CertifyOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  return certify_impl(ctx.graph(), options.algorithm == Algorithm::Naive
+                                       ? nullptr
+                                       : &ctx,
+                      options, start);
 }
 
 std::vector<CertifyResult> certify_batch(std::span<const sg::SyncGraph> graphs,

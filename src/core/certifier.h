@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis_context.h"
 #include "core/coexec.h"
 #include "core/naive_detector.h"
 #include "core/precedence.h"
@@ -75,8 +76,16 @@ struct CertifyResult {
 [[nodiscard]] CertifyResult certify_program(const lang::Program& program,
                                             const CertifyOptions& options = {});
 
-// `graph` must have acyclic control flow.
+// `graph` must have acyclic control flow. The refined algorithms build one
+// shared AnalysisContext (a single control-closure construction) and thread
+// it through Precedence, CoExec, the constraint-4 filter and the detector;
+// the naive algorithm needs no closure and builds none.
 [[nodiscard]] CertifyResult certify_graph(const sg::SyncGraph& graph,
+                                          const CertifyOptions& options = {});
+
+// Same, reusing a caller-owned context (no closure construction at all) —
+// for callers that run several certifications over one finalized graph.
+[[nodiscard]] CertifyResult certify_graph(const AnalysisContext& ctx,
                                           const CertifyOptions& options = {});
 
 // Batch certification: fans the corpus out across a thread pool sized by

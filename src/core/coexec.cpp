@@ -1,13 +1,12 @@
 #include "core/coexec.h"
 
-#include "graph/reachability.h"
-
 namespace siwa::core {
 
-CoExec::CoExec(const sg::SyncGraph& sg,
+CoExec::CoExec(const AnalysisContext& ctx,
                std::vector<std::pair<NodeId, NodeId>> extra_not_coexec)
-    : n_(sg.node_count()), not_coexec_(sg.node_count()) {
-  const graph::Reachability reach(sg.control_graph());
+    : n_(ctx.graph().node_count()), not_coexec_(ctx.graph().node_count()) {
+  const sg::SyncGraph& sg = ctx.graph();
+  const graph::CondensedReachability& reach = ctx.control_reach();
   for (std::size_t t = 0; t < sg.task_count(); ++t) {
     const auto nodes = sg.nodes_of_task(TaskId(t));
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -23,8 +22,10 @@ CoExec::CoExec(const sg::SyncGraph& sg,
     }
   }
   // Shared-condition guards: nodes on opposite arms of one encapsulated
-  // condition never execute in the same run, in *any* pair of tasks.
-  for (std::size_t i = 2; i < n_; ++i) {
+  // condition never execute in the same run, in *any* pair of tasks. Every
+  // node is checked — b/e carry no guards today, but nothing here should
+  // depend on that invariant silently.
+  for (std::size_t i = 0; i < n_; ++i) {
     if (sg.node(NodeId(i)).guards.empty()) continue;
     for (std::size_t j = i + 1; j < n_; ++j) {
       if (sg.guards_conflict(NodeId(i), NodeId(j))) {
@@ -38,6 +39,10 @@ CoExec::CoExec(const sg::SyncGraph& sg,
     not_coexec_.set(b.index(), a.index());
   }
 }
+
+CoExec::CoExec(const sg::SyncGraph& sg,
+               std::vector<std::pair<NodeId, NodeId>> extra_not_coexec)
+    : CoExec(AnalysisContext(sg), std::move(extra_not_coexec)) {}
 
 std::vector<NodeId> CoExec::not_coexec_with(NodeId r) const {
   std::vector<NodeId> out;

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/analysis_context.h"
 #include "support/bitset.h"
 #include "syncgraph/sync_graph.h"
 
@@ -21,6 +22,14 @@ namespace siwa::core {
 
 class CoExec {
  public:
+  // Primary constructor: reads the control closure from the shared context
+  // instead of building one.
+  explicit CoExec(
+      const AnalysisContext& ctx,
+      std::vector<std::pair<NodeId, NodeId>> extra_not_coexec = {});
+
+  // Back-compat: builds a private AnalysisContext (one closure), as the old
+  // standalone constructor did.
   explicit CoExec(
       const sg::SyncGraph& sg,
       std::vector<std::pair<NodeId, NodeId>> extra_not_coexec = {});

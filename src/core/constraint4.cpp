@@ -7,12 +7,12 @@
 
 namespace siwa::core {
 
-Constraint4Filter::Constraint4Filter(const sg::SyncGraph& sg,
+Constraint4Filter::Constraint4Filter(const AnalysisContext& ctx,
                                      const Precedence& precedence) {
+  const sg::SyncGraph& sg = ctx.graph();
+  const graph::CondensedReachability& reach = ctx.control_reach();
   const std::size_t n = sg.node_count();
   always_broken_.assign(n, false);
-
-  const graph::Reachability reach(sg.control_graph());
 
   // Condition (iii) per task: w lies on every entry-to-exit path of its
   // task. Computed on a per-task subgraph (task nodes plus local copies of
@@ -77,6 +77,10 @@ Constraint4Filter::Constraint4Filter(const sg::SyncGraph& sg,
     }
   }
 }
+
+Constraint4Filter::Constraint4Filter(const sg::SyncGraph& sg,
+                                     const Precedence& precedence)
+    : Constraint4Filter(AnalysisContext(sg), precedence) {}
 
 std::size_t Constraint4Filter::broken_count() const {
   std::size_t count = 0;

@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "core/analysis_context.h"
 #include "core/precedence.h"
 #include "syncgraph/sync_graph.h"
 
@@ -31,6 +32,10 @@ namespace siwa::core {
 
 class Constraint4Filter {
  public:
+  // Primary constructor: reads the control closure from the shared context.
+  Constraint4Filter(const AnalysisContext& ctx, const Precedence& precedence);
+
+  // Back-compat: builds a private AnalysisContext (one closure).
   Constraint4Filter(const sg::SyncGraph& sg, const Precedence& precedence);
 
   [[nodiscard]] bool always_broken(NodeId head) const {

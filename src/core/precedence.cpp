@@ -8,13 +8,27 @@
 
 namespace siwa::core {
 
+Precedence::Precedence(const AnalysisContext& ctx, PrecedenceOptions options)
+    : n_(ctx.graph().node_count()),
+      strong_(ctx.graph().node_count()),
+      excl_(ctx.graph().node_count()) {
+  SIWA_REQUIRE(ctx.control_acyclic(),
+               "precedence analysis requires acyclic control flow; "
+               "apply the Lemma 1 unroller first");
+  build(ctx.graph(), options);
+}
+
 Precedence::Precedence(const sg::SyncGraph& sg, PrecedenceOptions options)
     : n_(sg.node_count()), strong_(sg.node_count()), excl_(sg.node_count()) {
   SIWA_REQUIRE(sg.finalized(), "precedence requires finalized graph");
-  SIWA_REQUIRE(!graph::topological_order(sg.control_graph()).empty(),
+  SIWA_REQUIRE(graph::topological_order(sg.control_graph()).has_value(),
                "precedence analysis requires acyclic control flow; "
                "apply the Lemma 1 unroller first");
+  build(sg, options);
+}
 
+void Precedence::build(const sg::SyncGraph& sg,
+                       const PrecedenceOptions& options) {
   // R1: dominator chains. Walking each node's idom chain enumerates all of
   // its dominators; chains stay within the node's own task until they hit b.
   const graph::Dominators dom(sg.control_graph(), VertexId(0) /* b */);

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/analysis_context.h"
 #include "support/bitset.h"
 #include "syncgraph/sync_graph.h"
 
@@ -60,6 +61,11 @@ struct PrecedenceOptions {
 
 class Precedence {
  public:
+  // Primary constructor: the acyclic-control-flow precondition is read off
+  // the shared context's SCC condensation instead of a fresh topo sort.
+  explicit Precedence(const AnalysisContext& ctx, PrecedenceOptions options = {});
+
+  // Back-compat: standalone construction, checks acyclicity itself.
   explicit Precedence(const sg::SyncGraph& sg, PrecedenceOptions options = {});
 
   // STRONG: b reached implies a completed.
@@ -76,6 +82,8 @@ class Precedence {
   [[nodiscard]] std::size_t excluded_pair_count() const;
 
  private:
+  void build(const sg::SyncGraph& sg, const PrecedenceOptions& options);
+
   std::size_t n_;
   BitMatrix strong_;
   BitMatrix excl_;

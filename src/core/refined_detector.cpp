@@ -3,15 +3,26 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
+#include <optional>
 
 #include "core/constraint4.h"
-#include "graph/reachability.h"
+#include "support/bitset.h"
+#include "support/require.h"
 #include "support/thread_pool.h"
 
 namespace siwa::core {
 namespace {
 
 constexpr std::size_t kNoHit = std::numeric_limits<std::size_t>::max();
+
+// Whether enumeration for these options needs a control closure: the tail
+// modes test head ->+ tail reachability, and the constraint-4 filter reads
+// the closure for its ancestor condition.
+bool enumeration_needs_closure(const RefinedOptions& options) {
+  return options.apply_constraint4 ||
+         options.mode == HypothesisMode::HeadTail ||
+         options.mode == HypothesisMode::HeadTailPairs;
+}
 
 // Representative cycle through `anchor` inside its strong component,
 // reported as CLG nodes. The component was computed over the *filtered*
@@ -183,14 +194,21 @@ std::vector<NodeId> possible_heads(const sg::SyncGraph& sg) {
   return heads;
 }
 
-std::vector<Hypothesis> enumerate_hypotheses(const sg::SyncGraph& sg,
-                                             const Precedence& precedence,
-                                             const CoExec& coexec,
-                                             const RefinedOptions& options,
-                                             std::size_t* possible_head_count) {
+namespace {
+
+// Shared body of enumerate_hypotheses. `ctx` may be null only when the
+// options need no closure (see enumeration_needs_closure).
+std::vector<Hypothesis> enumerate_impl(const sg::SyncGraph& sg,
+                                       const AnalysisContext* ctx,
+                                       const Precedence& precedence,
+                                       const CoExec& coexec,
+                                       const RefinedOptions& options,
+                                       std::size_t* possible_head_count) {
+  SIWA_REQUIRE(ctx != nullptr || !enumeration_needs_closure(options),
+               "enumeration mode requires an analysis context");
   std::vector<NodeId> heads = possible_heads(sg);
   if (options.apply_constraint4) {
-    const Constraint4Filter filter(sg, precedence);
+    const Constraint4Filter filter(*ctx, precedence);
     std::erase_if(heads, [&](NodeId h) { return filter.always_broken(h); });
   }
   if (possible_head_count != nullptr) *possible_head_count = heads.size();
@@ -227,17 +245,21 @@ std::vector<Hypothesis> enumerate_hypotheses(const sg::SyncGraph& sg,
     }
     case HypothesisMode::HeadTail:
     case HypothesisMode::HeadTailPairs: {
-      const graph::Reachability reach(sg.control_graph());
-      // Candidate (head, tail) pairs per the paper's conditions.
+      const graph::CondensedReachability& reach = ctx->control_reach();
+      // Candidate (head, tail) pairs per the paper's conditions. The
+      // COACCEPT exclusion is a bitset membership test; a linear scan of
+      // the coaccept list per (head, tail) pair made this loop quadratic
+      // in the per-task node count on accept-heavy graphs.
       std::vector<Hypothesis> candidates;
+      DynamicBitset coaccept_mask(sg.node_count());
       for (NodeId h : heads) {
-        const auto coaccept = coaccept_nodes(sg, h);
+        coaccept_mask.clear();
+        for (NodeId k : coaccept_nodes(sg, h)) coaccept_mask.set(k.index());
         for (NodeId t : sg.nodes_of_task(sg.node(h).task)) {
           if (t == h) continue;
           if (!reach.reaches(VertexId(h.value), VertexId(t.value))) continue;
           if (sg.sync_partners(t).empty()) continue;
-          if (std::find(coaccept.begin(), coaccept.end(), t) != coaccept.end())
-            continue;
+          if (coaccept_mask.test(t.index())) continue;
           if (!coexec.coexecutable(h, t)) continue;
           candidates.push_back(Hypothesis{.head1 = h, .tail1 = t});
         }
@@ -270,6 +292,31 @@ std::vector<Hypothesis> enumerate_hypotheses(const sg::SyncGraph& sg,
   return hyps;
 }
 
+}  // namespace
+
+std::vector<Hypothesis> enumerate_hypotheses(const AnalysisContext& ctx,
+                                             const Precedence& precedence,
+                                             const CoExec& coexec,
+                                             const RefinedOptions& options,
+                                             std::size_t* possible_head_count) {
+  return enumerate_impl(ctx.graph(), &ctx, precedence, coexec, options,
+                        possible_head_count);
+}
+
+std::vector<Hypothesis> enumerate_hypotheses(const sg::SyncGraph& sg,
+                                             const Precedence& precedence,
+                                             const CoExec& coexec,
+                                             const RefinedOptions& options,
+                                             std::size_t* possible_head_count) {
+  if (enumeration_needs_closure(options)) {
+    const AnalysisContext ctx(sg);
+    return enumerate_impl(sg, &ctx, precedence, coexec, options,
+                          possible_head_count);
+  }
+  return enumerate_impl(sg, nullptr, precedence, coexec, options,
+                        possible_head_count);
+}
+
 HypothesisOutcome evaluate_hypothesis(const sg::SyncGraph& sg,
                                       const sg::Clg& clg,
                                       const Precedence& precedence,
@@ -292,13 +339,25 @@ HypothesisOutcome evaluate_hypothesis(const sg::SyncGraph& sg,
   return outcome;
 }
 
-RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
-                             const Precedence& precedence, const CoExec& coexec,
-                             const RefinedOptions& options) {
+HypothesisOutcome evaluate_hypothesis(const AnalysisContext& ctx,
+                                      const sg::Clg& clg,
+                                      const Precedence& precedence,
+                                      const CoExec& coexec,
+                                      const Hypothesis& hyp,
+                                      MarkedSearch& scratch) {
+  return evaluate_hypothesis(ctx.graph(), clg, precedence, coexec, hyp,
+                             scratch);
+}
+
+namespace {
+
+RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
+                          const sg::Clg& clg, const Precedence& precedence,
+                          const CoExec& coexec, const RefinedOptions& options) {
   RefinedResult result;
   const std::vector<Hypothesis> hyps =
-      enumerate_hypotheses(sg, precedence, coexec, options,
-                           &result.possible_heads);
+      enumerate_impl(sg, ctx, precedence, coexec, options,
+                     &result.possible_heads);
 
   const std::size_t threads =
       support::resolve_thread_count(options.parallel.threads);
@@ -375,6 +434,24 @@ RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
     if (options.stop_at_first_hit) break;
   }
   return result;
+}
+
+}  // namespace
+
+RefinedResult detect_refined(const AnalysisContext& ctx, const sg::Clg& clg,
+                             const Precedence& precedence, const CoExec& coexec,
+                             const RefinedOptions& options) {
+  return detect_impl(ctx.graph(), &ctx, clg, precedence, coexec, options);
+}
+
+RefinedResult detect_refined(const sg::SyncGraph& sg, const sg::Clg& clg,
+                             const Precedence& precedence, const CoExec& coexec,
+                             const RefinedOptions& options) {
+  if (enumeration_needs_closure(options)) {
+    const AnalysisContext ctx(sg);
+    return detect_impl(sg, &ctx, clg, precedence, coexec, options);
+  }
+  return detect_impl(sg, nullptr, clg, precedence, coexec, options);
 }
 
 }  // namespace siwa::core

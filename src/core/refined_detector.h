@@ -45,6 +45,7 @@
 
 #include <vector>
 
+#include "core/analysis_context.h"
 #include "core/coexec.h"
 #include "core/precedence.h"
 #include "graph/scc.h"
@@ -164,6 +165,16 @@ struct HypothesisOutcome {
 // order the serial detector evaluates them (self-send pre-pass first in the
 // pair modes). `possible_head_count`, when non-null, receives |POSS-HEADS|
 // after the optional constraint-4 filter.
+//
+// The context form reads the shared control closure (needed by the tail
+// modes and the constraint-4 filter); the graph form builds a private
+// context only when the options actually require a closure, so SingleHead
+// and HeadPair enumerations without constraint 4 stay closure-free.
+[[nodiscard]] std::vector<Hypothesis> enumerate_hypotheses(
+    const AnalysisContext& ctx, const Precedence& precedence,
+    const CoExec& coexec, const RefinedOptions& options,
+    std::size_t* possible_head_count = nullptr);
+
 [[nodiscard]] std::vector<Hypothesis> enumerate_hypotheses(
     const sg::SyncGraph& sg, const Precedence& precedence,
     const CoExec& coexec, const RefinedOptions& options,
@@ -171,10 +182,22 @@ struct HypothesisOutcome {
 
 // Phase (b): stateless evaluation of one hypothesis (scratch is cleared on
 // entry). Safe to call concurrently with distinct scratch objects over the
-// same sg/clg/precedence/coexec.
+// same sg/clg/precedence/coexec. Needs no closure; the context form is a
+// convenience forwarder.
 [[nodiscard]] HypothesisOutcome evaluate_hypothesis(
     const sg::SyncGraph& sg, const sg::Clg& clg, const Precedence& precedence,
     const CoExec& coexec, const Hypothesis& hyp, MarkedSearch& scratch);
+
+[[nodiscard]] HypothesisOutcome evaluate_hypothesis(
+    const AnalysisContext& ctx, const sg::Clg& clg,
+    const Precedence& precedence, const CoExec& coexec, const Hypothesis& hyp,
+    MarkedSearch& scratch);
+
+[[nodiscard]] RefinedResult detect_refined(const AnalysisContext& ctx,
+                                           const sg::Clg& clg,
+                                           const Precedence& precedence,
+                                           const CoExec& coexec,
+                                           const RefinedOptions& options = {});
 
 [[nodiscard]] RefinedResult detect_refined(const sg::SyncGraph& sg,
                                            const sg::Clg& clg,

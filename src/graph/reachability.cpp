@@ -1,8 +1,22 @@
 #include "graph/reachability.h"
 
+#include <atomic>
+
+#include "graph/scc.h"
+#include "support/require.h"
+
 namespace siwa::graph {
 
+namespace {
+std::atomic<std::size_t> closure_count{0};
+}  // namespace
+
+std::size_t closure_constructions() {
+  return closure_count.load(std::memory_order_relaxed);
+}
+
 Reachability::Reachability(const Digraph& g) : matrix_(g.vertex_count()) {
+  closure_count.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = g.vertex_count();
   std::vector<std::size_t> stack;
   for (std::size_t src = 0; src < n; ++src) {
@@ -29,6 +43,71 @@ Reachability::Reachability(const Digraph& g) : matrix_(g.vertex_count()) {
   }
 }
 
+CondensedReachability::CondensedReachability(const Digraph& g) {
+  closure_count.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t n = g.vertex_count();
+  const SccResult scc = tarjan_scc(g);
+  const std::size_t comps = scc.component_count;
+
+  component_of_.resize(n);
+  for (std::size_t v = 0; v < n; ++v)
+    component_of_[v] = static_cast<std::size_t>(scc.component_of[v]);
+
+  // Members of component c occupy members[member_start[c] ..
+  // member_start[c + 1]) — a counting sort into one flat array. The all-
+  // singleton case (acyclic control flow) is the common one, so the layout
+  // avoids per-component vectors and masks: their allocations dominated the
+  // construction time on E9/E10-sized graphs.
+  std::vector<std::size_t> member_start(comps + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) ++member_start[component_of_[v] + 1];
+  for (std::size_t c = 0; c < comps; ++c)
+    member_start[c + 1] += member_start[c];
+  std::vector<std::size_t> members(n);
+  {
+    std::vector<std::size_t> cursor(member_start.begin(),
+                                    member_start.end() - 1);
+    for (std::size_t v = 0; v < n; ++v)
+      members[cursor[component_of_[v]]++] = v;
+  }
+
+  // A component is cyclic when it has more than one vertex or a self-loop;
+  // only cyclic components hold their own members in their row.
+  std::vector<bool> cyclic(comps, false);
+  for (std::size_t c = 0; c < comps; ++c)
+    if (scc.component_size[c] > 1) cyclic[c] = true;
+  for (std::size_t v = 0; v < n; ++v)
+    for (VertexId w : g.successors(VertexId(v)))
+      if (w.index() == v) cyclic[component_of_[v]] = true;
+  for (std::size_t c = 0; c < comps; ++c)
+    if (cyclic[c]) acyclic_ = false;
+
+  // Tarjan numbers the condensation in reverse topological order (an edge
+  // from component a to component b implies a > b), so a single increasing
+  // sweep sees every successor component's finished row and ORs it in
+  // wholesale — the bit-parallel replacement for the per-source DFS. A
+  // cyclic component's row already contains its members by the time any
+  // later component merges it; a singleton acyclic successor contributes
+  // just its one vertex bit.
+  rows_.assign(comps, DynamicBitset(n));
+  std::vector<std::size_t> seen_in(comps, comps);  // dedup stamp per sweep
+  for (std::size_t c = 0; c < comps; ++c) {
+    DynamicBitset& row = rows_[c];
+    for (std::size_t m = member_start[c]; m < member_start[c + 1]; ++m) {
+      for (VertexId w : g.successors(VertexId(members[m]))) {
+        const std::size_t d = component_of_[w.index()];
+        if (d == c || seen_in[d] == c) continue;
+        seen_in[d] = c;
+        SIWA_REQUIRE(d < c, "condensation edge against Tarjan's order");
+        row.merge(rows_[d]);
+        if (!cyclic[d]) row.set(members[member_start[d]]);
+      }
+    }
+    if (cyclic[c])
+      for (std::size_t m = member_start[c]; m < member_start[c + 1]; ++m)
+        row.set(members[m]);
+  }
+}
+
 DynamicBitset reachable_from(const Digraph& g, VertexId start) {
   DynamicBitset seen(g.vertex_count());
   std::vector<std::size_t> stack{start.index()};
@@ -46,7 +125,7 @@ DynamicBitset reachable_from(const Digraph& g, VertexId start) {
   return seen;
 }
 
-std::vector<VertexId> topological_order(const Digraph& g) {
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g) {
   const std::size_t n = g.vertex_count();
   std::vector<std::size_t> indegree(n, 0);
   for (std::size_t v = 0; v < n; ++v)
@@ -65,7 +144,7 @@ std::vector<VertexId> topological_order(const Digraph& g) {
     for (VertexId w : g.successors(VertexId(v)))
       if (--indegree[w.index()] == 0) ready.push_back(w.index());
   }
-  if (order.size() != n) order.clear();  // cycle
+  if (order.size() != n) return std::nullopt;  // cycle
   return order;
 }
 

@@ -2,17 +2,37 @@
 //
 // reaches(a, b) means "there is a path of >= 1 edge from a to b". The
 // precedence analysis and the wave classifier both need many point queries,
-// so the closure is materialized as a bit matrix: one DFS per vertex,
-// O(V * (V + E)) time and V^2 bits of space — fine at sync-graph scale
-// (thousands of nodes).
+// so the closure is materialized in bit-matrix form. Two kernels exist:
+//
+//   Reachability          — one DFS per source vertex, O(V * (V + E)) time
+//                           and V^2 bits of space. Kept as the reference
+//                           kernel (bench_reach compares against it).
+//   CondensedReachability — Tarjan SCC condensation followed by one
+//                           reverse-topological bit-parallel sweep that ORs
+//                           whole DynamicBitset rows. All vertices of one
+//                           component share a single closure row, so time is
+//                           O(V + E + E_scc * V / 64) and space is C * V
+//                           bits for C components. This is the kernel
+//                           core::AnalysisContext builds once per sync graph.
+//
+// Both kernels agree bit for bit on every graph (asserted by test_graph and
+// bench_reach).
 #pragma once
 
+#include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "graph/digraph.h"
 #include "support/bitset.h"
 
 namespace siwa::graph {
+
+// Number of transitive-closure constructions (either kernel) since process
+// start. Tests use deltas of this counter to pin down how many closures one
+// certification builds; thread-safe because certify_batch builds closures
+// from pool workers.
+[[nodiscard]] std::size_t closure_constructions();
 
 class Reachability {
  public:
@@ -33,10 +53,46 @@ class Reachability {
   BitMatrix matrix_;
 };
 
+// SCC-condensed closure: the same reaches()/reachable_set() contract as
+// Reachability (path of >= 1 edge; self-reach only on a cycle), computed by
+// condensing the graph with Tarjan and OR-ing component rows in reverse
+// topological order. Immutable after construction, so it is safe to share
+// read-only across threads.
+class CondensedReachability {
+ public:
+  CondensedReachability() = default;
+  explicit CondensedReachability(const Digraph& g);
+
+  [[nodiscard]] bool reaches(VertexId a, VertexId b) const {
+    return rows_[component_of_[a.index()]].test(b.index());
+  }
+
+  // The closure row of a's component (shared by every vertex of it).
+  [[nodiscard]] const DynamicBitset& reachable_set(VertexId a) const {
+    return rows_[component_of_[a.index()]];
+  }
+
+  // True when the graph has no directed cycle (no component of size > 1 and
+  // no self-loop) — the same predicate as topological_order().has_value().
+  [[nodiscard]] bool acyclic() const { return acyclic_; }
+
+  [[nodiscard]] std::size_t component_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t component_of(VertexId v) const {
+    return component_of_[v.index()];
+  }
+
+ private:
+  std::vector<std::size_t> component_of_;  // by vertex
+  std::vector<DynamicBitset> rows_;        // by component, over vertices
+  bool acyclic_ = true;
+};
+
 // Single-source reachable set (including the start vertex).
 DynamicBitset reachable_from(const Digraph& g, VertexId start);
 
-// Topological order of a DAG. Returns empty vector if the graph has a cycle.
-std::vector<VertexId> topological_order(const Digraph& g);
+// Topological order of a DAG; std::nullopt if the graph has a cycle. The
+// empty graph is a (trivially ordered) DAG and yields an engaged empty
+// vector, distinct from the cyclic case.
+std::optional<std::vector<VertexId>> topological_order(const Digraph& g);
 
 }  // namespace siwa::graph

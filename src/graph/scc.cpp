@@ -2,10 +2,67 @@
 
 namespace siwa::graph {
 
+// Dedicated whole-graph implementation: the Digraph stores its successor
+// lists already, so the generic template's per-vertex materialization cache
+// (one allocation per vertex — there to make *filtered* views resumable)
+// would be pure overhead here. Same frame loop, same reverse-topological
+// component numbering.
 SccResult tarjan_scc(const Digraph& g) {
-  return tarjan_scc(g.vertex_count(), [&](std::size_t v, auto&& visit) {
-    for (VertexId w : g.successors(VertexId(v))) visit(w.index());
-  });
+  const std::size_t n = g.vertex_count();
+  SccResult result;
+  result.component_of.assign(n, -1);
+
+  std::vector<std::int32_t> index(n, -1);
+  std::vector<std::int32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::size_t> stack;
+  std::vector<detail::TarjanFrame> frames;
+  std::int32_t next_index = 0;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (index[root] >= 0) continue;
+    frames.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      auto& frame = frames.back();
+      const std::size_t v = frame.vertex;
+      const std::span<const VertexId> succs = g.successors(VertexId(v));
+      if (frame.next_succ_slot < succs.size()) {
+        const std::size_t w = succs[frame.next_succ_slot++].index();
+        if (index[w] < 0) {
+          frames.push_back({w, 0});
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+        } else if (on_stack[w]) {
+          if (index[w] < lowlink[v]) lowlink[v] = index[w];
+        }
+      } else {
+        frames.pop_back();
+        if (!frames.empty()) {
+          const std::size_t parent = frames.back().vertex;
+          if (lowlink[v] < lowlink[parent]) lowlink[parent] = lowlink[v];
+        }
+        if (lowlink[v] == index[v]) {
+          const auto comp = static_cast<std::int32_t>(result.component_count++);
+          std::size_t size = 0;
+          while (true) {
+            const std::size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            result.component_of[w] = comp;
+            ++size;
+            if (w == v) break;
+          }
+          result.component_size.push_back(size);
+        }
+      }
+    }
+  }
+  return result;
 }
 
 bool has_cycle(const Digraph& g) {

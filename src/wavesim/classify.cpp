@@ -15,21 +15,25 @@ bool AnomalyReport::partition_covers_wave(const sg::SyncGraph& sg) const {
                         blocked_nodes.size();
 }
 
+WaveClassifier::WaveClassifier(const core::AnalysisContext& ctx)
+    : ctx_(&ctx) {}
+
 WaveClassifier::WaveClassifier(const sg::SyncGraph& sg)
-    : sg_(sg), control_reach_(sg.control_graph()) {
-  SIWA_REQUIRE(sg.finalized(), "classifier requires finalized graph");
-}
+    : owned_(std::make_unique<const core::AnalysisContext>(sg)),
+      ctx_(owned_.get()) {}
 
 std::optional<AnomalyReport> WaveClassifier::classify(const Wave& wave) const {
+  const sg::SyncGraph& sg = ctx_->graph();
+  const graph::CondensedReachability& control_reach = ctx_->control_reach();
   // Indices of tasks still waiting at a rendezvous point.
   std::vector<std::size_t> waiting;
   for (std::size_t u = 0; u < wave.size(); ++u)
-    if (sg_.is_rendezvous(wave[u])) waiting.push_back(u);
+    if (sg.is_rendezvous(wave[u])) waiting.push_back(u);
   if (waiting.empty()) return std::nullopt;
 
   for (std::size_t a = 0; a < waiting.size(); ++a)
     for (std::size_t b = a + 1; b < waiting.size(); ++b)
-      if (sg_.has_sync_edge(wave[waiting[a]], wave[waiting[b]]))
+      if (sg.has_sync_edge(wave[waiting[a]], wave[waiting[b]]))
         return std::nullopt;  // some pair can rendezvous: not anomalous
 
   AnomalyReport report;
@@ -37,8 +41,8 @@ std::optional<AnomalyReport> WaveClassifier::classify(const Wave& wave) const {
 
   auto reaches_from_wave = [&](NodeId z) {
     for (NodeId w : wave) {
-      if (!sg_.is_rendezvous(w)) continue;
-      if (control_reach_.reaches(VertexId(w.value), VertexId(z.value)))
+      if (!sg.is_rendezvous(w)) continue;
+      if (control_reach.reaches(VertexId(w.value), VertexId(z.value)))
         return true;
     }
     return false;
@@ -49,7 +53,7 @@ std::optional<AnomalyReport> WaveClassifier::classify(const Wave& wave) const {
   for (std::size_t k = 0; k < waiting.size(); ++k) {
     const NodeId r = wave[waiting[k]];
     bool partner_ahead = false;
-    for (NodeId z : sg_.sync_partners(r)) {
+    for (NodeId z : sg.sync_partners(r)) {
       if (reaches_from_wave(z)) {
         partner_ahead = true;
         break;
@@ -68,8 +72,8 @@ std::optional<AnomalyReport> WaveClassifier::classify(const Wave& wave) const {
     for (std::size_t j = 0; j < waiting.size(); ++j) {
       const NodeId s = wave[waiting[j]];
       bool coupled = false;
-      for (NodeId z : sg_.sync_partners(r)) {
-        if (control_reach_.reaches(VertexId(s.value), VertexId(z.value))) {
+      for (NodeId z : sg.sync_partners(r)) {
+        if (control_reach.reaches(VertexId(s.value), VertexId(z.value))) {
           coupled = true;
           break;
         }

@@ -14,9 +14,11 @@
 // empirically.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/analysis_context.h"
 #include "graph/reachability.h"
 #include "syncgraph/sync_graph.h"
 #include "wavesim/wave.h"
@@ -35,9 +37,16 @@ struct AnomalyReport {
   [[nodiscard]] bool partition_covers_wave(const sg::SyncGraph& sg) const;
 };
 
-// Shared precomputation for classifying many waves of one graph.
+// Shared precomputation for classifying many waves of one graph. The
+// control closure comes from an AnalysisContext: either borrowed from the
+// caller (primary constructor — no closure construction here) or built
+// privately by the back-compat constructor.
 class WaveClassifier {
  public:
+  // Borrows `ctx`; the context must outlive the classifier.
+  explicit WaveClassifier(const core::AnalysisContext& ctx);
+
+  // Back-compat: builds and owns a private context (one closure).
   explicit WaveClassifier(const sg::SyncGraph& sg);
 
   // nullopt when the wave is not anomalous (some pair can rendezvous, or
@@ -45,8 +54,8 @@ class WaveClassifier {
   [[nodiscard]] std::optional<AnomalyReport> classify(const Wave& wave) const;
 
  private:
-  const sg::SyncGraph& sg_;
-  graph::Reachability control_reach_;
+  std::unique_ptr<const core::AnalysisContext> owned_;
+  const core::AnalysisContext* ctx_;
 };
 
 }  // namespace siwa::wavesim

@@ -1,0 +1,300 @@
+// Shared AnalysisContext: the one-closure-per-certification contract
+// (pinned with the graph::closure_constructions counter), context-vs-legacy
+// result equivalence, the CoExec guard-loop regression, and the
+// coaccept-bitset enumeration against a reference linear-scan
+// implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/analysis_context.h"
+#include "core/certifier.h"
+#include "core/coexec.h"
+#include "core/precedence.h"
+#include "core/refined_detector.h"
+#include "gen/random_program.h"
+#include "graph/reachability.h"
+#include "lang/parser.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/clg.h"
+
+namespace siwa::core {
+namespace {
+
+sg::SyncGraph graph_of(const char* source) {
+  return sg::build_sync_graph(lang::parse_and_check_or_throw(source));
+}
+
+std::vector<sg::SyncGraph> seeded_graphs() {
+  std::vector<sg::SyncGraph> out;
+  const double branch[] = {0.0, 0.35};
+  for (double b : branch) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      gen::RandomProgramConfig config;
+      config.tasks = 3;
+      config.rendezvous_pairs = 5;
+      config.branch_probability = b;
+      config.seed = seed;
+      out.push_back(sg::build_sync_graph(gen::random_program(config)));
+    }
+  }
+  return out;
+}
+
+const Algorithm kRefinedAlgorithms[] = {
+    Algorithm::RefinedSingle, Algorithm::RefinedHeadPair,
+    Algorithm::RefinedHeadTail, Algorithm::RefinedHeadTailPairs};
+
+const HypothesisMode kAllModes[] = {
+    HypothesisMode::SingleHead, HypothesisMode::HeadPair,
+    HypothesisMode::HeadTail, HypothesisMode::HeadTailPairs};
+
+using HypKey = std::tuple<std::int32_t, std::int32_t, std::int32_t,
+                          std::int32_t>;
+
+std::vector<HypKey> keys_of(const std::vector<Hypothesis>& hyps) {
+  std::vector<HypKey> keys;
+  keys.reserve(hyps.size());
+  for (const Hypothesis& h : hyps)
+    keys.emplace_back(h.head1.value, h.tail1.value, h.head2.value,
+                      h.tail2.value);
+  return keys;
+}
+
+void expect_same_result(const CertifyResult& expected,
+                        const CertifyResult& got, const char* what) {
+  EXPECT_EQ(expected.certified_free, got.certified_free) << what;
+  EXPECT_EQ(expected.witness, got.witness) << what;
+  EXPECT_EQ(expected.witness_nodes, got.witness_nodes) << what;
+  EXPECT_EQ(expected.stats.hypotheses_tested, got.stats.hypotheses_tested)
+      << what;
+  EXPECT_EQ(expected.stats.possible_heads, got.stats.possible_heads) << what;
+}
+
+// ----- the one-closure contract -----
+
+TEST(ClosureCount, ExactlyOnePerRefinedCertify) {
+  const sg::SyncGraph g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  for (Algorithm algorithm : kRefinedAlgorithms) {
+    for (bool c4 : {false, true}) {
+      CertifyOptions options;
+      options.algorithm = algorithm;
+      options.apply_constraint4 = c4;
+      const std::size_t before = graph::closure_constructions();
+      (void)certify_graph(g, options);
+      EXPECT_EQ(graph::closure_constructions() - before, 1u)
+          << algorithm_name(algorithm) << " c4=" << c4;
+    }
+  }
+}
+
+TEST(ClosureCount, NaiveCertifyBuildsNoClosure) {
+  const sg::SyncGraph g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  CertifyOptions options;
+  options.algorithm = Algorithm::Naive;
+  const std::size_t before = graph::closure_constructions();
+  (void)certify_graph(g, options);
+  EXPECT_EQ(graph::closure_constructions() - before, 0u);
+}
+
+TEST(ClosureCount, CallerContextIsReusedAcrossCertifications) {
+  const sg::SyncGraph g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  const AnalysisContext ctx(g);
+  const std::size_t before = graph::closure_constructions();
+  for (Algorithm algorithm : kRefinedAlgorithms) {
+    CertifyOptions options;
+    options.algorithm = algorithm;
+    (void)certify_graph(ctx, options);
+  }
+  EXPECT_EQ(graph::closure_constructions() - before, 0u);
+}
+
+TEST(ClosureCount, BatchBuildsExactlyOneClosurePerGraph) {
+  std::vector<sg::SyncGraph> graphs = seeded_graphs();
+  graphs.resize(12);
+  CertifyOptions options;
+  options.algorithm = Algorithm::RefinedHeadTail;
+  options.apply_constraint4 = true;
+  for (std::size_t threads : {1, 4}) {
+    options.parallel.threads = threads;
+    const std::size_t before = graph::closure_constructions();
+    (void)certify_batch(graphs, options);
+    EXPECT_EQ(graph::closure_constructions() - before, graphs.size())
+        << "threads=" << threads;
+  }
+}
+
+// ----- context vs legacy equivalence -----
+
+TEST(ContextEquivalence, CertifyVerdictsMatchLegacyAcrossCorpus) {
+  for (const sg::SyncGraph& g : seeded_graphs()) {
+    const AnalysisContext ctx(g);
+    for (Algorithm algorithm : kRefinedAlgorithms) {
+      CertifyOptions options;
+      options.algorithm = algorithm;
+      expect_same_result(certify_graph(g, options), certify_graph(ctx, options),
+                         algorithm_name(algorithm).c_str());
+    }
+  }
+}
+
+TEST(ContextEquivalence, EnumerationMatchesLegacyInEveryMode) {
+  for (const sg::SyncGraph& g : seeded_graphs()) {
+    const AnalysisContext ctx(g);
+    const Precedence precedence(ctx);
+    const CoExec coexec(ctx);
+    for (HypothesisMode mode : kAllModes) {
+      for (bool c4 : {false, true}) {
+        RefinedOptions options;
+        options.mode = mode;
+        options.apply_constraint4 = c4;
+        std::size_t legacy_heads = 0;
+        std::size_t ctx_heads = 0;
+        const auto legacy = enumerate_hypotheses(g, precedence, coexec,
+                                                 options, &legacy_heads);
+        const auto with_ctx = enumerate_hypotheses(ctx, precedence, coexec,
+                                                   options, &ctx_heads);
+        EXPECT_EQ(keys_of(legacy), keys_of(with_ctx));
+        EXPECT_EQ(legacy_heads, ctx_heads);
+      }
+    }
+  }
+}
+
+TEST(ContextEquivalence, SharedAnalysesMatchStandaloneConstruction) {
+  for (const sg::SyncGraph& g : seeded_graphs()) {
+    const AnalysisContext ctx(g);
+    const Precedence from_ctx(ctx);
+    const Precedence from_graph(g);
+    EXPECT_EQ(from_ctx.strong_pair_count(), from_graph.strong_pair_count());
+    EXPECT_EQ(from_ctx.excluded_pair_count(),
+              from_graph.excluded_pair_count());
+    const CoExec coexec_ctx(ctx);
+    const CoExec coexec_graph(g);
+    for (std::size_t a = 2; a < g.node_count(); ++a)
+      for (std::size_t b = 2; b < g.node_count(); ++b)
+        EXPECT_EQ(coexec_ctx.coexecutable(NodeId(a), NodeId(b)),
+                  coexec_graph.coexecutable(NodeId(a), NodeId(b)));
+  }
+}
+
+// ----- CoExec guard loop regression -----
+
+// The guard-conflict loop used to start at node index 2, silently assuming
+// the first guard-carrying nodes can never be lower-numbered. It now scans
+// from 0; conflicting guards on the lowest-numbered rendezvous nodes (the
+// first nodes after b/e) must be detected.
+TEST(CoExecGuards, ConflictOnLowestNumberedNodesIsDetected) {
+  const sg::SyncGraph g = graph_of(R"(
+shared condition v;
+task t is begin if v then accept m1; end if; end t;
+task u is begin if v then null; else send t.m1; end if; end u;
+)");
+  // The accept is the very first node after b/e.
+  const NodeId accept_m1 = g.nodes_of_task(TaskId(0))[0];
+  const NodeId send_m1 = g.nodes_of_task(TaskId(1))[0];
+  ASSERT_EQ(accept_m1.value, 2);
+  ASSERT_FALSE(g.node(accept_m1).guards.empty());
+  ASSERT_TRUE(g.guards_conflict(accept_m1, send_m1));
+  const CoExec coexec(g);
+  EXPECT_FALSE(coexec.coexecutable(accept_m1, send_m1));
+}
+
+// ----- coaccept bitset vs reference linear scan -----
+
+// Reference implementation of the HeadTail candidate filter exactly as it
+// was before the bitset: per-pair linear std::find over the coaccept list,
+// with the reference DFS closure.
+std::vector<Hypothesis> reference_headtail_candidates(const sg::SyncGraph& sg,
+                                                      const CoExec& coexec,
+                                                      std::vector<NodeId> heads) {
+  const graph::Reachability reach(sg.control_graph());
+  std::vector<Hypothesis> out;
+  for (NodeId h : heads) {
+    const auto coaccept = coaccept_nodes(sg, h);
+    for (NodeId t : sg.nodes_of_task(sg.node(h).task)) {
+      if (t == h) continue;
+      if (!reach.reaches(VertexId(h.value), VertexId(t.value))) continue;
+      if (sg.sync_partners(t).empty()) continue;
+      if (std::find(coaccept.begin(), coaccept.end(), t) != coaccept.end())
+        continue;
+      if (!coexec.coexecutable(h, t)) continue;
+      out.push_back(Hypothesis{.head1 = h, .tail1 = t});
+    }
+  }
+  return out;
+}
+
+TEST(CoacceptBitset, HeadTailEnumerationMatchesLinearScanOnCorpus) {
+  for (const sg::SyncGraph& g : seeded_graphs()) {
+    const AnalysisContext ctx(g);
+    const Precedence precedence(ctx);
+    const CoExec coexec(ctx);
+    RefinedOptions options;
+    options.mode = HypothesisMode::HeadTail;
+    const auto got = enumerate_hypotheses(ctx, precedence, coexec, options);
+    const auto expected =
+        reference_headtail_candidates(g, coexec, possible_heads(g));
+    EXPECT_EQ(keys_of(got), keys_of(expected));
+  }
+}
+
+// A head whose signal has many sibling accepts spread across its own task:
+// the coaccept list is long, and tails that ARE coaccepts must still be
+// excluded by the bitset exactly as by the scan.
+TEST(CoacceptBitset, ExcludesCoacceptTailsOnAcceptHeavyTask) {
+  const sg::SyncGraph g = graph_of(R"(
+task t is
+begin
+  accept m;
+  accept m;
+  accept m;
+  accept other;
+end t;
+task u is begin send t.m; send t.m; send t.m; send t.other; end u;
+)");
+  const AnalysisContext ctx(g);
+  const Precedence precedence(ctx);
+  const CoExec coexec(ctx);
+  RefinedOptions options;
+  options.mode = HypothesisMode::HeadTail;
+  const auto got = enumerate_hypotheses(ctx, precedence, coexec, options);
+  const auto expected =
+      reference_headtail_candidates(g, coexec, possible_heads(g));
+  EXPECT_EQ(keys_of(got), keys_of(expected));
+  // Sanity: no candidate pairs a head with a same-signal accept tail.
+  for (const Hypothesis& h : got) {
+    const auto coaccept = coaccept_nodes(g, h.head1);
+    EXPECT_TRUE(std::find(coaccept.begin(), coaccept.end(), h.tail1) ==
+                coaccept.end());
+  }
+}
+
+// ----- context invariants -----
+
+TEST(AnalysisContext, ExposesGraphAndClosure) {
+  const sg::SyncGraph g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  const AnalysisContext ctx(g);
+  EXPECT_EQ(&ctx.graph(), &g);
+  EXPECT_TRUE(ctx.control_acyclic());
+  // b reaches e in every finalized graph with at least one task entry.
+  EXPECT_TRUE(ctx.reaches(g.begin_node(), g.end_node()));
+  EXPECT_FALSE(ctx.reaches(g.end_node(), g.begin_node()));
+}
+
+}  // namespace
+}  // namespace siwa::core

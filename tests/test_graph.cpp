@@ -133,25 +133,110 @@ TEST(Reachability, ReachableFromIncludesStart) {
   EXPECT_TRUE(set.test(2));
 }
 
+TEST(CondensedReachability, AgreesWithReferenceKernel) {
+  // A graph exercising every case at once: a 3-cycle, a DAG tail hanging
+  // off it, a self-loop, a source feeding the cycle, and an isolated vertex.
+  Digraph g(8);
+  g.add_edge(VertexId(0), VertexId(1));  // cycle 0 -> 1 -> 2 -> 0
+  g.add_edge(VertexId(1), VertexId(2));
+  g.add_edge(VertexId(2), VertexId(0));
+  g.add_edge(VertexId(2), VertexId(3));  // DAG tail 3 -> 4
+  g.add_edge(VertexId(3), VertexId(4));
+  g.add_edge(VertexId(5), VertexId(5));  // self-loop
+  g.add_edge(VertexId(6), VertexId(0));  // source into the cycle
+  // 7 isolated.
+  const Reachability ref(g);
+  const CondensedReachability fast(g);
+  for (std::size_t a = 0; a < 8; ++a)
+    for (std::size_t b = 0; b < 8; ++b)
+      EXPECT_EQ(fast.reaches(VertexId(a), VertexId(b)),
+                ref.reaches(VertexId(a), VertexId(b)))
+          << "a=" << a << " b=" << b;
+  EXPECT_FALSE(fast.acyclic());
+}
+
+TEST(CondensedReachability, AgreesOnDagAndReportsAcyclic) {
+  Digraph g(5);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(0), VertexId(2));
+  g.add_edge(VertexId(1), VertexId(3));
+  g.add_edge(VertexId(2), VertexId(3));
+  const Reachability ref(g);
+  const CondensedReachability fast(g);
+  for (std::size_t a = 0; a < 5; ++a)
+    for (std::size_t b = 0; b < 5; ++b)
+      EXPECT_EQ(fast.reaches(VertexId(a), VertexId(b)),
+                ref.reaches(VertexId(a), VertexId(b)));
+  EXPECT_TRUE(fast.acyclic());
+  EXPECT_EQ(fast.component_count(), 5u);
+}
+
+TEST(CondensedReachability, AcyclicMatchesTopologicalOrder) {
+  Digraph cyclic(1);
+  cyclic.add_edge(VertexId(0), VertexId(0));
+  EXPECT_EQ(CondensedReachability(cyclic).acyclic(),
+            topological_order(cyclic).has_value());
+  const Digraph dag = chain(3);
+  EXPECT_EQ(CondensedReachability(dag).acyclic(),
+            topological_order(dag).has_value());
+}
+
+TEST(CondensedReachability, SharedRowsPerComponent) {
+  Digraph g(3);
+  g.add_edge(VertexId(0), VertexId(1));
+  g.add_edge(VertexId(1), VertexId(0));
+  g.add_edge(VertexId(1), VertexId(2));
+  const CondensedReachability reach(g);
+  // 0 and 1 share a component and hence one physical closure row.
+  EXPECT_EQ(reach.component_of(VertexId(0)), reach.component_of(VertexId(1)));
+  EXPECT_EQ(&reach.reachable_set(VertexId(0)),
+            &reach.reachable_set(VertexId(1)));
+  EXPECT_EQ(reach.component_count(), 2u);
+}
+
+TEST(CondensedReachability, ConstructionBumpsClosureCounter) {
+  const std::size_t before = closure_constructions();
+  const CondensedReachability fast(chain(3));
+  const Reachability ref(chain(3));
+  EXPECT_EQ(closure_constructions(), before + 2);
+}
+
 TEST(Topological, OrderRespectsEdges) {
   Digraph g(4);
   g.add_edge(VertexId(0), VertexId(2));
   g.add_edge(VertexId(1), VertexId(2));
   g.add_edge(VertexId(2), VertexId(3));
   const auto order = topological_order(g);
-  ASSERT_EQ(order.size(), 4u);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4u);
   std::vector<std::size_t> pos(4);
-  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i].index()] = i;
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i].index()] = i;
   EXPECT_LT(pos[0], pos[2]);
   EXPECT_LT(pos[1], pos[2]);
   EXPECT_LT(pos[2], pos[3]);
 }
 
-TEST(Topological, CycleYieldsEmpty) {
+TEST(Topological, CycleYieldsNullopt) {
   Digraph g(2);
   g.add_edge(VertexId(0), VertexId(1));
   g.add_edge(VertexId(1), VertexId(0));
-  EXPECT_TRUE(topological_order(g).empty());
+  EXPECT_FALSE(topological_order(g).has_value());
+}
+
+// Regression: an empty graph is trivially acyclic — the old empty-vector
+// API conflated its order with the cyclic error case.
+TEST(Topological, EmptyGraphHasEngagedEmptyOrder) {
+  const Digraph g(0);
+  const auto order = topological_order(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+// Regression: a self-loop is a cycle even with a single vertex.
+TEST(Topological, SelfLoopYieldsNullopt) {
+  Digraph g(1);
+  g.add_edge(VertexId(0), VertexId(0));
+  EXPECT_FALSE(topological_order(g).has_value());
 }
 
 TEST(Dominators, DiamondDominance) {

@@ -77,7 +77,7 @@ end t;
 task u is begin send t.m1; send t.m2; send t.m1; end u;
 )");
   const sg::SyncGraph g = sg::build_sync_graph(unroll_loops_twice(p));
-  EXPECT_FALSE(graph::topological_order(g.control_graph()).empty());
+  EXPECT_TRUE(graph::topological_order(g.control_graph()).has_value());
 }
 
 TEST(Unroll, PreservesCrossIterationPaths) {

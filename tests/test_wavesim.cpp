@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/analysis_context.h"
 #include "gen/patterns.h"
 #include "lang/parser.h"
 #include "syncgraph/builder.h"
@@ -223,6 +226,99 @@ task c is begin accept late; end c;
     if (!report.blocked_nodes.empty()) saw_blocked = true;
   }
   EXPECT_TRUE(saw_blocked);
+}
+
+TEST(Classifier, BlockedChainOfLengthTwoIsFullyClassified) {
+  // Coupling chain d -> c -> a of length 2: a/b deadlock mutually, c waits
+  // on a send only a could perform, d waits on a send only c could perform.
+  // d reaches the deadlock only transitively through c, yet both must land
+  // in blocked_nodes (Theorem 1 coverage).
+  const auto g = graph_of(R"(
+task a is begin accept ping; send b.pong; send c.late; end a;
+task b is begin accept pong; send a.ping; end b;
+task c is begin accept late; send d.later; end c;
+task d is begin accept later; end d;
+)");
+  WaveClassifier classifier(g);
+  WaveExplorer explorer(g);
+  const auto initial = explorer.initial_waves();
+  ASSERT_EQ(initial.size(), 1u);
+  const auto report = classifier.classify(initial[0]);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->stall_nodes.empty());
+  EXPECT_EQ(report->deadlock_nodes.size(), 2u);  // a and b
+  ASSERT_EQ(report->blocked_nodes.size(), 2u);   // c and d
+  // d's entry is in the blocked set even though its only coupling path to
+  // the deadlock runs through c.
+  const NodeId d_entry = g.nodes_of_task(TaskId(3))[0];
+  EXPECT_TRUE(std::find(report->blocked_nodes.begin(),
+                        report->blocked_nodes.end(),
+                        d_entry) != report->blocked_nodes.end());
+  EXPECT_TRUE(report->partition_covers_wave(g));
+}
+
+TEST(Classifier, AcceptFirstSelfSendIsCouplingSelfLoopDeadlock) {
+  // The wave's single node couples to itself: its partner (the self-send)
+  // is its own control descendant. The deadlock comes from the coupling
+  // self-edge, not from a multi-node SCC.
+  const auto g = graph_of(R"(
+task a is begin accept m; send a.m; end a;
+)");
+  WaveClassifier classifier(g);
+  WaveExplorer explorer(g);
+  const auto initial = explorer.initial_waves();
+  ASSERT_EQ(initial.size(), 1u);
+  const auto report = classifier.classify(initial[0]);
+  ASSERT_TRUE(report.has_value());
+  const NodeId accept_m = g.nodes_of_task(TaskId(0))[0];
+  ASSERT_EQ(report->deadlock_nodes.size(), 1u);
+  EXPECT_EQ(report->deadlock_nodes[0], accept_m);
+  EXPECT_TRUE(report->stall_nodes.empty());
+  EXPECT_TRUE(report->blocked_nodes.empty());
+  EXPECT_TRUE(report->partition_covers_wave(g));
+}
+
+TEST(Classifier, PartitionCoversWaveWithNonRendezvousEntries) {
+  // Task c finishes immediately, so the anomalous wave carries its end-node
+  // entry. partition_covers_wave must count only the rendezvous entries —
+  // non-rendezvous wave nodes are neither classified nor missing.
+  const auto g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+task c is begin null; end c;
+)");
+  WaveClassifier classifier(g);
+  WaveExplorer explorer(g);
+  const auto initial = explorer.initial_waves();
+  ASSERT_EQ(initial.size(), 1u);
+  ASSERT_TRUE(std::find(initial[0].begin(), initial[0].end(), g.end_node()) !=
+              initial[0].end());
+  const auto report = classifier.classify(initial[0]);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->wave.size(), 3u);
+  EXPECT_EQ(report->deadlock_nodes.size(), 2u);
+  EXPECT_TRUE(report->partition_covers_wave(g));
+}
+
+TEST(Classifier, BorrowedContextMatchesOwnedConstruction) {
+  const auto g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  const core::AnalysisContext ctx(g);
+  WaveClassifier borrowed(ctx);
+  WaveClassifier owned(g);
+  WaveExplorer explorer(g);
+  for (const Wave& wave : explorer.initial_waves()) {
+    const auto a = borrowed.classify(wave);
+    const auto b = owned.classify(wave);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    if (a) {
+      EXPECT_EQ(a->stall_nodes, b->stall_nodes);
+      EXPECT_EQ(a->deadlock_nodes, b->deadlock_nodes);
+      EXPECT_EQ(a->blocked_nodes, b->blocked_nodes);
+    }
+  }
 }
 
 TEST(Classifier, InitialWavesAreCartesianProduct) {
