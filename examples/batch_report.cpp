@@ -1,11 +1,15 @@
 // batch_report: analyze every .mada program in a directory and print one
 // summary row per file (CSV with --csv) — the shape of a CI integration.
 //
-//   batch_report [--csv] <directory>
+//   batch_report [--csv | --format text|json|sarif] <directory>
 //
-// Columns: file, tasks, nodes, naive, refined, pairs, triage verdict,
-// stall balance. Exit code: number of files whose triage verdict is not
-// "certified deadlock-free" (capped at 125).
+// The table formats (default text table, --csv) show per-file verdicts:
+// file, tasks, nodes, naive, refined, pairs, triage verdict, stall balance;
+// a file is flagged when its triage verdict is not "certified deadlock-free".
+// --format json/sarif instead run the lint pipeline per file and emit one
+// merged machine-readable report; there a file is flagged when it has
+// Error-severity diagnostics (or fails to parse). Exit code: number of
+// flagged files (capped at 125).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -17,6 +21,8 @@
 #include "core/triage.h"
 #include "lang/parser.h"
 #include "lang/sema.h"
+#include "lint/lint.h"
+#include "lint/render.h"
 #include "report/table.h"
 #include "stall/balance.h"
 
@@ -29,16 +35,31 @@ const char* verdict(bool free) { return free ? "free" : "cycle"; }
 int main(int argc, char** argv) {
   using namespace siwa;
   bool csv = false;
+  bool use_lint_format = false;
+  lint::OutputFormat format = lint::OutputFormat::Text;
   std::string directory;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--csv")
+    if (arg == "--csv") {
       csv = true;
-    else
+    } else if (arg == "--format" && i + 1 < argc) {
+      const auto parsed = lint::parse_format(argv[++i]);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "usage: batch_report [--csv | --format text|json|sarif] "
+                     "<directory>\n");
+        return 125;
+      }
+      format = *parsed;
+      use_lint_format = format != lint::OutputFormat::Text;
+    } else {
       directory = arg;
+    }
   }
   if (directory.empty()) {
-    std::fprintf(stderr, "usage: batch_report [--csv] <directory>\n");
+    std::fprintf(stderr,
+                 "usage: batch_report [--csv | --format text|json|sarif] "
+                 "<directory>\n");
     return 125;
   }
 
@@ -54,6 +75,37 @@ int main(int argc, char** argv) {
     return 125;
   }
   std::sort(files.begin(), files.end());
+
+  if (use_lint_format) {
+    std::vector<lint::FileDiagnostics> lint_files;
+    int flagged = 0;
+    for (const auto& path : files) {
+      std::ifstream file(path);
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      const std::string source = buffer.str();
+
+      DiagnosticSink sink;
+      auto program = lang::parse_program(source, sink);
+      if (program) lang::check_program(*program, sink);
+
+      lint::FileDiagnostics entry;
+      entry.path = path.string();
+      if (!program || sink.has_errors()) {
+        entry.diagnostics = sink.sorted_diagnostics();
+        ++flagged;
+      } else {
+        const lint::LintResult result =
+            lint::run_lint(*program, source, {}, sink.diagnostics());
+        entry.diagnostics = result.diagnostics;
+        if (result.has_errors()) ++flagged;
+      }
+      lint_files.push_back(std::move(entry));
+    }
+    std::fputs(lint::render(format, lint_files).c_str(), stdout);
+    std::fprintf(stderr, "%zu programs, %d flagged\n", files.size(), flagged);
+    return std::min(flagged, 125);
+  }
 
   report::Table table({"file", "tasks", "nodes", "naive", "refined", "pairs",
                        "triage", "stall balance"});

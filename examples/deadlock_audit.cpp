@@ -13,8 +13,11 @@
 //                                                settle with the oracle
 //     --dot <out.dot>                            dump the sync graph
 //     --clg <out.dot>                            dump the CLG
-//     --json                                     machine-readable verdict on
-//                                                stdout (suppresses text)
+//     --json                                     shorthand for --format json
+//     --format text|json|sarif                   report format (default text);
+//                                                json/sarif embed the lint
+//                                                diagnostics and suppress the
+//                                                text report
 //
 // Exit code: 0 certified deadlock-free, 1 possible deadlock, 2 usage/parse
 // error.
@@ -30,6 +33,8 @@
 #include "core/witness.h"
 #include "lang/parser.h"
 #include "lang/sema.h"
+#include "lint/lint.h"
+#include "lint/render.h"
 #include "stall/balance.h"
 #include "syncgraph/builder.h"
 #include "syncgraph/clg.h"
@@ -44,8 +49,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: deadlock_audit [--algorithm naive|refined|pairs|"
                "headtail|htpairs] [--constraint4] [--threads N] [--oracle] "
-               "[--confirm] [--triage] [--json] [--dot FILE] [--clg FILE] "
-               "<program.mada>\n");
+               "[--confirm] [--triage] [--json] [--format text|json|sarif] "
+               "[--dot FILE] [--clg FILE] <program.mada>\n");
   return 2;
 }
 
@@ -64,7 +69,7 @@ int main(int argc, char** argv) {
   core::CertifyOptions options;
   bool run_oracle = false;
   bool run_confirm = false;
-  bool json_output = false;
+  lint::OutputFormat format = lint::OutputFormat::Text;
   bool run_triage = false;
   std::string dot_path;
   std::string clg_path;
@@ -92,7 +97,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--confirm") {
       run_confirm = true;
     } else if (arg == "--json") {
-      json_output = true;
+      format = lint::OutputFormat::Json;
+    } else if (arg == "--format" && i + 1 < argc) {
+      const auto parsed = lint::parse_format(argv[++i]);
+      if (!parsed) return usage();
+      format = *parsed;
     } else if (arg == "--triage") {
       run_triage = true;
     } else if (arg == "--dot" && i + 1 < argc) {
@@ -126,14 +135,25 @@ int main(int argc, char** argv) {
   const stall::BalanceVerdict stall_verdict =
       stall::check_stall_balance(*program);
 
-  if (json_output) {
+  lint::LintOptions lint_options;
+  lint_options.algorithm = options.algorithm;
+  lint_options.apply_constraint4 = options.apply_constraint4;
+  lint_options.threads = options.parallel.threads;
+
+  if (format == lint::OutputFormat::Sarif) {
+    const lint::LintResult lint_result = lint::run_lint(
+        *program, buffer.str(), lint_options, sink.diagnostics());
+    const std::vector<lint::FileDiagnostics> files{
+        {input, lint_result.diagnostics}};
+    std::fputs(lint::render_sarif(files).c_str(), stdout);
+    return result.certified_free ? 0 : 1;
+  }
+
+  if (format == lint::OutputFormat::Json) {
+    const lint::LintResult lint_result = lint::run_lint(
+        *program, buffer.str(), lint_options, sink.diagnostics());
     auto escape = [](const std::string& text) {
-      std::string out;
-      for (char c : text) {
-        if (c == '"' || c == '\\') out.push_back('\\');
-        out.push_back(c);
-      }
-      return out;
+      return lint::json_escape(text);
     };
     std::printf("{\n");
     std::printf("  \"algorithm\": \"%s\",\n",
@@ -159,7 +179,9 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < stall_verdict.issues.size(); ++i)
       std::printf("%s\"%s\"", i ? ", " : "",
                   escape(stall_verdict.issues[i].description).c_str());
-    std::printf("]\n}\n");
+    std::printf("],\n");
+    std::printf("  \"diagnostics\": %s\n}\n",
+                lint::json_diagnostic_array(lint_result.diagnostics).c_str());
     return result.certified_free ? 0 : 1;
   }
 

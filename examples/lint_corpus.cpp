@@ -1,0 +1,157 @@
+// lint_corpus: the lint soundness gate, runnable locally and in CI.
+//
+//   lint_corpus [--count N] [--seed S] [--max-states N] [--sarif FILE]
+//               [--verbose]
+//
+// Generates N seeded random MiniAda programs sweeping the generator knobs
+// (task count, rendezvous pairs, branching, loops, shared conditions,
+// occasional unmatched rendezvous), runs the full lint pipeline on each, and
+// cross-checks against the assignment-exact wave-exploration oracle:
+//
+//   A program the oracle certifies anomaly-free (complete exploration, no
+//   deadlock, no stall) must receive ZERO Error-severity lint diagnostics.
+//
+// Warnings are allowed anywhere — they are conservative by contract. Any
+// Error on a certified-free program is a soundness violation and fails the
+// run. With --sarif the merged findings are written as a SARIF 2.1.0 log
+// (the CI artifact). Exit code: 0 sound, 1 soundness violation, 2 usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gen/random_program.h"
+#include "lint/lint.h"
+#include "lint/render.h"
+#include "wavesim/explorer.h"
+#include "wavesim/shared.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lint_corpus [--count N] [--seed S] [--max-states N] "
+               "[--sarif FILE] [--verbose]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace siwa;
+
+  std::size_t count = 200;
+  std::uint64_t seed = 1;
+  std::size_t max_states = 200'000;
+  std::string sarif_path;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_number = [&](long long& out) {
+      if (i + 1 >= argc) return false;
+      char* end = nullptr;
+      out = std::strtoll(argv[++i], &end, 10);
+      return end != nullptr && *end == '\0' && out >= 0;
+    };
+    long long value = 0;
+    if (arg == "--count" && next_number(value)) {
+      count = static_cast<std::size_t>(value);
+    } else if (arg == "--seed" && next_number(value)) {
+      seed = static_cast<std::uint64_t>(value);
+    } else if (arg == "--max-states" && next_number(value)) {
+      max_states = static_cast<std::size_t>(value);
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::vector<lint::FileDiagnostics> files;
+  std::size_t oracle_free = 0;
+  std::size_t oracle_anomalous = 0;
+  std::size_t oracle_incomplete = 0;
+  std::size_t total_errors = 0;
+  std::size_t total_warnings = 0;
+  std::size_t violations = 0;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    gen::RandomProgramConfig config;
+    config.tasks = 2 + i % 3;
+    config.rendezvous_pairs = 2 + i % 5;
+    config.unmatched_rendezvous = (i % 7 == 0) ? 1 : 0;
+    config.message_types = 2 + i % 3;
+    config.branch_probability = 0.15 * static_cast<double>(i % 4);
+    config.loop_probability = 0.10 * static_cast<double>(i % 3);
+    config.max_nesting = 2;
+    config.shared_conditions = (i % 5 == 0) ? 2 : 0;
+    config.seed = seed + i;
+    const lang::Program program = gen::random_program(config);
+
+    const lint::LintResult result = lint::run_lint(program, {});
+
+    wavesim::ExploreOptions explore;
+    explore.max_states = max_states;
+    explore.collect_witness_trace = false;
+    const wavesim::SharedExploreResult oracle =
+        wavesim::explore_shared(program, explore);
+    // Even with condition_cap_hit the plain explorer over-approximates, so
+    // "complete and nothing anomalous" remains a valid anomaly-free
+    // certificate; an incomplete exploration certifies nothing.
+    const bool certified_free = oracle.combined.complete &&
+                                !oracle.combined.any_deadlock &&
+                                !oracle.combined.any_stall;
+    if (!oracle.combined.complete) ++oracle_incomplete;
+    else if (certified_free) ++oracle_free;
+    else ++oracle_anomalous;
+
+    const std::size_t errors = result.count(Severity::Error);
+    total_errors += errors;
+    total_warnings += result.count(Severity::Warning);
+
+    char name[64];
+    std::snprintf(name, sizeof name, "corpus/prog_%llu_%03zu.mada",
+                  static_cast<unsigned long long>(seed), i);
+    if (!result.diagnostics.empty())
+      files.push_back({name, result.diagnostics});
+
+    if (certified_free && errors > 0) {
+      ++violations;
+      std::printf("SOUNDNESS VIOLATION: %s is oracle-certified anomaly-free "
+                  "but lint reported %zu error(s):\n",
+                  name, errors);
+      for (const Diagnostic& d : result.diagnostics)
+        if (d.severity == Severity::Error)
+          std::printf("  %s\n", d.to_string().c_str());
+    } else if (verbose) {
+      std::printf("%s: oracle=%s lint=%zuE/%zuW\n", name,
+                  !oracle.combined.complete ? "incomplete"
+                  : certified_free         ? "free"
+                                           : "anomalous",
+                  errors, result.count(Severity::Warning));
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::fprintf(stderr, "lint_corpus: cannot write %s\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << lint::render_sarif(files);
+    std::printf("SARIF log: %s\n", sarif_path.c_str());
+  }
+
+  std::printf(
+      "%zu programs: %zu oracle-free, %zu anomalous, %zu incomplete; "
+      "lint %zu error(s), %zu warning(s); %zu soundness violation(s)\n",
+      count, oracle_free, oracle_anomalous, oracle_incomplete, total_errors,
+      total_warnings, violations);
+  return violations > 0 ? 1 : 0;
+}

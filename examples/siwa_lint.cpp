@@ -1,0 +1,141 @@
+// siwa_lint: the lint front end for MiniAda programs.
+//
+//   siwa_lint [options] <program.mada>...
+//     --format text|json|sarif    output format (default text)
+//     --output FILE               write the report to FILE instead of stdout
+//     --no-detector               skip the SIWA010 deadlock-witness pass
+//     --algorithm naive|refined|pairs|headtail|htpairs   (default refined)
+//     --constraint4               enable the global filter for the detector
+//     --threads N                 hypothesis-sweep parallelism (0 = all cores)
+//     --no-suppress               ignore `-- lint: allow(...)` comments
+//
+// Every file is parsed, semantically checked, and run through the full lint
+// pipeline; frontend diagnostics are merged into the same report (SIWA000 in
+// SARIF). Exit code: 0 no Error-severity findings, 1 at least one Error,
+// 2 usage or I/O failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "lint/lint.h"
+#include "lint/render.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: siwa_lint [--format text|json|sarif] [--output FILE] "
+               "[--no-detector] [--algorithm naive|refined|pairs|headtail|"
+               "htpairs] [--constraint4] [--threads N] [--no-suppress] "
+               "<program.mada>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace siwa;
+
+  lint::OutputFormat format = lint::OutputFormat::Text;
+  lint::LintOptions options;
+  std::string output_path;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--format" && i + 1 < argc) {
+      const auto parsed = lint::parse_format(argv[++i]);
+      if (!parsed) return usage();
+      format = *parsed;
+    } else if (arg == "--output" && i + 1 < argc) {
+      output_path = argv[++i];
+    } else if (arg == "--no-detector") {
+      options.run_detector = false;
+    } else if (arg == "--algorithm" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "naive") options.algorithm = core::Algorithm::Naive;
+      else if (name == "refined") options.algorithm = core::Algorithm::RefinedSingle;
+      else if (name == "pairs") options.algorithm = core::Algorithm::RefinedHeadPair;
+      else if (name == "headtail") options.algorithm = core::Algorithm::RefinedHeadTail;
+      else if (name == "htpairs") options.algorithm = core::Algorithm::RefinedHeadTailPairs;
+      else return usage();
+    } else if (arg == "--constraint4") {
+      options.apply_constraint4 = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) return usage();
+      options.threads = static_cast<std::size_t>(n);
+    } else if (arg == "--no-suppress") {
+      options.apply_suppressions = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<lint::FileDiagnostics> files;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t suppressed = 0;
+
+  for (const std::string& input : inputs) {
+    std::ifstream file(input);
+    if (!file) {
+      std::fprintf(stderr, "siwa_lint: cannot open %s\n", input.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string source = buffer.str();
+
+    DiagnosticSink sink;
+    auto program = lang::parse_program(source, sink);
+    if (program) lang::check_program(*program, sink);
+
+    lint::FileDiagnostics entry;
+    entry.path = input;
+    if (!program || sink.has_errors()) {
+      // Frontend failure: report the parse/semantic diagnostics alone; the
+      // engine needs a well-formed program.
+      entry.diagnostics = sink.sorted_diagnostics();
+    } else {
+      const lint::LintResult result =
+          lint::run_lint(*program, source, options, sink.diagnostics());
+      entry.diagnostics = result.diagnostics;
+      suppressed += result.suppressed;
+    }
+    for (const Diagnostic& d : entry.diagnostics) {
+      if (d.severity == Severity::Error) ++errors;
+      else ++warnings;
+    }
+    files.push_back(std::move(entry));
+  }
+
+  const std::string report = lint::render(format, files);
+  if (output_path.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::fprintf(stderr, "siwa_lint: cannot write %s\n",
+                   output_path.c_str());
+      return 2;
+    }
+    out << report;
+  }
+
+  if (format == lint::OutputFormat::Text) {
+    std::fprintf(stderr, "%zu error(s), %zu warning(s)", errors, warnings);
+    if (suppressed > 0) std::fprintf(stderr, ", %zu suppressed", suppressed);
+    std::fprintf(stderr, "\n");
+  }
+  return errors > 0 ? 1 : 0;
+}

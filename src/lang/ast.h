@@ -66,6 +66,15 @@ struct Program {
   std::vector<TaskDecl> tasks;
   std::vector<ProcDecl> procedures;
   std::vector<Symbol> shared_conditions;
+  // Declaration sites, parallel to shared_conditions. Programmatically built
+  // programs may leave this short or empty; consumers must treat a missing
+  // entry as "no location".
+  std::vector<SourceLoc> shared_condition_locs;
+
+  [[nodiscard]] SourceLoc shared_condition_loc(std::size_t index) const {
+    return index < shared_condition_locs.size() ? shared_condition_locs[index]
+                                                : SourceLoc{};
+  }
 
   [[nodiscard]] bool is_shared_condition(Symbol c) const;
   [[nodiscard]] const TaskDecl* find_task(Symbol name) const;

@@ -20,13 +20,19 @@ class Parser {
         parse_shared_decl(program);
       } else if (at(TokenKind::KwTask)) {
         auto task = parse_task(program);
-        if (task) program.tasks.push_back(std::move(*task));
+        if (task)
+          program.tasks.push_back(std::move(*task));
+        else
+          synchronize_to_declaration();
       } else if (at(TokenKind::KwProcedure)) {
         auto proc = parse_procedure(program);
-        if (proc) program.procedures.push_back(std::move(*proc));
+        if (proc)
+          program.procedures.push_back(std::move(*proc));
+        else
+          synchronize_to_declaration();
       } else {
         error("expected 'task', 'procedure' or 'shared' declaration");
-        advance();
+        synchronize_to_declaration();
       }
     }
     if (sink_.has_errors()) return std::nullopt;
@@ -39,6 +45,15 @@ class Parser {
 
   void advance() {
     if (!at(TokenKind::EndOfFile)) ++pos_;
+  }
+
+  // Error recovery at the top level: skip to the next declaration keyword
+  // so one malformed declaration produces one error burst and parsing
+  // resumes at the next task/procedure/shared declaration.
+  void synchronize_to_declaration() {
+    while (!at(TokenKind::EndOfFile) && !at(TokenKind::KwTask) &&
+           !at(TokenKind::KwProcedure) && !at(TokenKind::KwShared))
+      advance();
   }
 
   void error(const std::string& message) {
@@ -70,8 +85,12 @@ class Parser {
     advance();  // 'shared'
     expect(TokenKind::KwCondition, "'condition'");
     while (true) {
+      const SourceLoc name_loc = current().loc;
       auto name = expect_identifier(program, "condition name");
-      if (name) program.shared_conditions.push_back(*name);
+      if (name) {
+        program.shared_conditions.push_back(*name);
+        program.shared_condition_locs.push_back(name_loc);
+      }
       if (at(TokenKind::Comma)) {
         advance();
         continue;

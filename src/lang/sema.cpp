@@ -1,6 +1,7 @@
 #include "lang/sema.h"
 
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace siwa::lang {
@@ -18,7 +19,8 @@ void check_statements(const Program& program, Symbol enclosing_task,
           sink.warning(s.loc,
                        "task '" + std::string(program.name_of(enclosing_task)) +
                            "' sends to itself; this rendezvous can never "
-                           "complete");
+                           "complete",
+                       "SIWA003");
         }
         break;
       case StmtKind::Accept:
@@ -80,12 +82,17 @@ bool check_program(const Program& program, DiagnosticSink& sink) {
                                std::string(program.name_of(task.name)) + "'");
   }
 
-  std::unordered_set<Symbol> conds;
-  for (Symbol c : program.shared_conditions) {
-    if (!conds.insert(c).second)
-      sink.warning(SourceLoc{}, "shared condition '" +
-                                    std::string(program.name_of(c)) +
-                                    "' declared more than once");
+  std::unordered_map<Symbol, SourceLoc> conds;
+  for (std::size_t i = 0; i < program.shared_conditions.size(); ++i) {
+    const Symbol c = program.shared_conditions[i];
+    const SourceLoc loc = program.shared_condition_loc(i);
+    auto [it, inserted] = conds.emplace(c, loc);
+    if (!inserted) {
+      // Anchor at the redeclaration, not at a synthetic 0:0 location.
+      sink.warning(loc, "shared condition '" + std::string(program.name_of(c)) +
+                            "' declared more than once (first declared at " +
+                            it->second.to_string() + ")");
+    }
   }
 
   std::unordered_set<Symbol> proc_names;

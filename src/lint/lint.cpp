@@ -1,0 +1,327 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "lint/rules.h"
+#include "lint/suppress.h"
+#include "stall/balance.h"
+#include "syncgraph/builder.h"
+#include "transform/unroll.h"
+
+namespace siwa::lint {
+namespace {
+
+std::string rule_id(std::string_view id) { return std::string(id); }
+
+// ---- SIWA004: stall-balance imbalance, anchored at the signal's sites ----
+
+struct SignalSites {
+  std::vector<std::pair<SourceLoc, bool>> sites;  // (loc, is_send)
+};
+
+void collect_signal_sites(const lang::Program& program, Symbol receiver_task,
+                          const std::vector<lang::Stmt>& stmts,
+                          std::map<stall::SignalKey, SignalSites>& out) {
+  for (const lang::Stmt& s : stmts) {
+    switch (s.kind) {
+      case lang::StmtKind::Send:
+        out[{s.target, s.message}].sites.push_back({s.loc, true});
+        break;
+      case lang::StmtKind::Accept:
+        // Accepts bind to the enclosing task; inside procedure bodies the
+        // receiver is unknown until inlining, so those are skipped
+        // (receiver_task is invalid there).
+        if (receiver_task.valid())
+          out[{receiver_task, s.message}].sites.push_back({s.loc, false});
+        break;
+      default:
+        break;
+    }
+    collect_signal_sites(program, receiver_task, s.body, out);
+    collect_signal_sites(program, receiver_task, s.orelse, out);
+  }
+}
+
+void balance_diagnostics(const lang::Program& program,
+                         std::vector<Diagnostic>& diags) {
+  const stall::BalanceVerdict verdict = stall::check_stall_balance(program);
+  if (verdict.stall_free) return;
+
+  std::map<stall::SignalKey, SignalSites> sites;
+  for (const auto& task : program.tasks)
+    collect_signal_sites(program, task.name, task.body, sites);
+  for (const auto& proc : program.procedures)
+    collect_signal_sites(program, Symbol{}, proc.body, sites);
+
+  for (const stall::SignalImbalance& issue : verdict.issues) {
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.rule_id = rule_id(kRuleSignalImbalance);
+    d.message = "stall-balance violation: " + issue.description;
+    auto it = sites.find(issue.signal);
+    if (it != sites.end() && !it->second.sites.empty()) {
+      d.loc = it->second.sites.front().first;
+      constexpr std::size_t kMaxRelated = 4;
+      for (std::size_t i = 1;
+           i < it->second.sites.size() && d.related.size() < kMaxRelated; ++i) {
+        const auto& [loc, is_send] = it->second.sites[i];
+        d.related.push_back(
+            {loc, std::string(is_send ? "send" : "accept") +
+                      " of the imbalanced signal"});
+      }
+    }
+    diags.push_back(std::move(d));
+  }
+}
+
+// ---- graph-family rules ----
+
+using TaskLocLookup = std::function<SourceLoc(std::string_view)>;
+
+void graph_diagnostics(const core::AnalysisContext& ctx,
+                       const LintOptions& options,
+                       const TaskLocLookup& task_loc, bool* certified_free,
+                       std::vector<Diagnostic>& diags) {
+  const sg::SyncGraph& graph = ctx.graph();
+  const NodeId begin = graph.begin_node();
+
+  for (std::size_t i = 2; i < graph.node_count(); ++i) {
+    const NodeId id(i);
+    const sg::SyncNode& node = graph.node(id);
+    if (node.kind != sg::NodeKind::Rendezvous) continue;
+
+    const bool reachable = ctx.reaches(begin, id);
+    const bool guarded = !node.guards.empty();
+    const sg::SignalType sig = graph.signal_type(node.signal);
+    const std::string entry(graph.message_name(sig.message));
+    const std::string receiver = graph.task_name(sig.receiver);
+    // Error only when the paper's model guarantees the site is reached (or
+    // the task sticks earlier — an anomaly either way): control-reachable
+    // from b and not nested under shared-condition guards, under which some
+    // assignment could make the whole region infeasible.
+    const Severity gated =
+        reachable && !guarded ? Severity::Error : Severity::Warning;
+    const char* downgrade = !reachable
+                                ? " (unreachable, so reported as dead code)"
+                                : " (guarded by shared conditions, so some "
+                                  "assignments may avoid it)";
+
+    if (!reachable) {
+      Diagnostic d;
+      d.severity = Severity::Warning;
+      d.rule_id = rule_id(kRuleUnreachableRendezvous);
+      d.loc = node.loc;
+      d.message = "rendezvous " + graph.describe(id) +
+                  " is unreachable from the program begin node; it can never "
+                  "appear on an execution wave (dead code)";
+      diags.push_back(std::move(d));
+    }
+
+    if (graph.sync_partners(id).empty()) {
+      Diagnostic d;
+      d.severity = gated;
+      d.rule_id = rule_id(kRuleUnmatchedSignal);
+      d.loc = node.loc;
+      if (node.sign == sg::Sign::Plus) {
+        d.message = "send to entry '" + entry + "' of task '" + receiver +
+                     "' has no matching accept anywhere in the program; the "
+                     "rendezvous can never complete";
+      } else {
+        d.message = "accept of entry '" + entry + "' in task '" + receiver +
+                     "' has no matching send anywhere in the program; the "
+                     "rendezvous can never complete";
+      }
+      d.message += gated == Severity::Error
+                       ? "; reaching it is a guaranteed infinite wait"
+                       : downgrade;
+      diags.push_back(std::move(d));
+    }
+
+    if (node.sign == sg::Sign::Plus && sig.receiver == node.task) {
+      Diagnostic d;
+      d.severity = gated;
+      d.rule_id = rule_id(kRuleSelfSend);
+      d.loc = node.loc;
+      d.message = "task '" + graph.task_name(node.task) +
+                  "' sends to its own entry '" + entry +
+                  "'; completing the rendezvous would need the task at two "
+                  "nodes of one wave";
+      d.message += gated == Severity::Error
+                       ? "; reaching it is a guaranteed infinite wait"
+                       : downgrade;
+      diags.push_back(std::move(d));
+    }
+  }
+
+  for (std::size_t t = 0; t < graph.task_count(); ++t) {
+    if (!graph.nodes_of_task(TaskId(t)).empty()) continue;
+    Diagnostic d;
+    d.severity = Severity::Warning;
+    d.rule_id = rule_id(kRuleUncoupledTask);
+    const std::string& name = graph.task_name(TaskId(t));
+    d.loc = task_loc ? task_loc(name) : SourceLoc{};
+    d.message = "task '" + name +
+                "' contributes no rendezvous points to the sync graph; it "
+                "never synchronizes with the rest of the program";
+    diags.push_back(std::move(d));
+  }
+
+  if (options.run_detector && ctx.control_acyclic()) {
+    core::CertifyOptions certify;
+    certify.algorithm = options.algorithm;
+    certify.apply_constraint4 = options.apply_constraint4;
+    certify.stop_at_first_hit = true;
+    certify.parallel.threads = options.threads;
+    const core::CertifyResult result = core::certify_graph(ctx, certify);
+    if (certified_free != nullptr) *certified_free = result.certified_free;
+    for (Diagnostic& d : witness_diagnostics(graph, result))
+      diags.push_back(std::move(d));
+  }
+}
+
+// Collapses findings of one rule at one location (e.g. the sema self-send
+// warning against the engine's SIWA003, or unrolled loop copies that share
+// a source statement). Errors sort first, so the surviving entry is the
+// most severe.
+void dedupe_by_rule_and_loc(std::vector<Diagnostic>& diags) {
+  // Group by (location, rule) with severity as the tie-break so the
+  // surviving entry of each group is the most severe one, then restore
+  // display order.
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.loc.line, a.loc.column, a.rule_id,
+                                     a.severity, a.message) <
+                            std::tie(b.loc.line, b.loc.column, b.rule_id,
+                                     b.severity, b.message);
+                   });
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return !a.rule_id.empty() &&
+                                   a.rule_id == b.rule_id && a.loc == b.loc;
+                          }),
+              diags.end());
+  sort_and_dedupe(diags);
+}
+
+}  // namespace
+
+std::size_t LintResult::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+std::vector<Diagnostic> witness_diagnostics(const sg::SyncGraph& graph,
+                                            const core::CertifyResult& result) {
+  std::vector<Diagnostic> out;
+  if (result.certified_free || result.witness_nodes.empty()) return out;
+
+  // Rendezvous nodes only; b/e carry no source anchor.
+  std::vector<NodeId> cycle;
+  for (NodeId n : result.witness_nodes)
+    if (graph.is_rendezvous(n)) cycle.push_back(n);
+  if (cycle.empty()) return out;
+
+  // Anchor at the cycle head (the detector reports the confirmed
+  // hypothesis's head first); fall back to the first located node.
+  std::size_t anchor = 0;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (graph.node(cycle[i]).loc.line > 0) {
+      anchor = i;
+      break;
+    }
+  }
+
+  Diagnostic d;
+  d.severity = Severity::Warning;
+  d.rule_id = rule_id(kRuleDeadlockWitness);
+  d.loc = graph.node(cycle[anchor]).loc;
+  std::ostringstream msg;
+  msg << "possible deadlock: coupling cycle with head "
+      << graph.describe(cycle[anchor]) << " spanning " << cycle.size()
+      << " rendezvous point" << (cycle.size() == 1 ? "" : "s")
+      << "; the report is conservative and may be spurious";
+  d.message = msg.str();
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    if (i == anchor) continue;
+    d.related.push_back(
+        {graph.node(cycle[i]).loc, "cycle node " + graph.describe(cycle[i])});
+  }
+  out.push_back(std::move(d));
+  return out;
+}
+
+std::vector<Diagnostic> lint_graph(const core::AnalysisContext& ctx,
+                                   const LintOptions& options,
+                                   bool* certified_free) {
+  std::vector<Diagnostic> diags;
+  graph_diagnostics(ctx, options, TaskLocLookup{}, certified_free, diags);
+  dedupe_by_rule_and_loc(diags);
+  return diags;
+}
+
+LintResult run_lint(const lang::Program& program, std::string_view source,
+                    const LintOptions& options,
+                    std::span<const Diagnostic> frontend) {
+  LintResult result;
+  std::vector<Diagnostic> diags(frontend.begin(), frontend.end());
+
+  balance_diagnostics(program, diags);
+
+  const TaskLocLookup task_loc = [&](std::string_view name) {
+    for (const auto& task : program.tasks)
+      if (program.name_of(task.name) == name) return task.loc;
+    return SourceLoc{};
+  };
+
+  // Structural rules run on the original program's graph, whose locations
+  // map 1:1 onto the source. The detector needs acyclic control flow, so
+  // when the program has loops it runs on the Lemma 1 unrolled graph
+  // instead — statement copies keep their source locations, and the
+  // rule+location dedupe collapses the duplicated findings.
+  const sg::SyncGraph graph = sg::build_sync_graph(program);
+  const core::AnalysisContext ctx(graph);
+  const bool needs_unroll = transform::has_loops(program);
+
+  LintOptions structural = options;
+  structural.run_detector = options.run_detector && !needs_unroll;
+  bool certified = true;
+  graph_diagnostics(ctx, structural, task_loc, &certified, diags);
+  result.detector_ran = structural.run_detector && ctx.control_acyclic();
+
+  if (options.run_detector && needs_unroll) {
+    const lang::Program unrolled = transform::unroll_loops_twice(program);
+    const sg::SyncGraph unrolled_graph = sg::build_sync_graph(unrolled);
+    const core::AnalysisContext unrolled_ctx(unrolled_graph);
+    if (unrolled_ctx.control_acyclic()) {
+      core::CertifyOptions certify;
+      certify.algorithm = options.algorithm;
+      certify.apply_constraint4 = options.apply_constraint4;
+      certify.stop_at_first_hit = true;
+      certify.parallel.threads = options.threads;
+      const core::CertifyResult r = core::certify_graph(unrolled_ctx, certify);
+      certified = r.certified_free;
+      for (Diagnostic& d : witness_diagnostics(unrolled_graph, r))
+        diags.push_back(std::move(d));
+      result.detector_ran = true;
+    }
+  }
+  result.certified_free = certified;
+
+  if (options.apply_suppressions && !source.empty()) {
+    const std::vector<Suppression> suppressions = parse_suppressions(source);
+    result.suppressed = apply_suppressions(diags, suppressions);
+  }
+
+  dedupe_by_rule_and_loc(diags);
+  result.diagnostics = std::move(diags);
+  return result;
+}
+
+}  // namespace siwa::lint

@@ -1,0 +1,90 @@
+// siwa-lint: source-anchored static diagnostics over MiniAda programs and
+// their sync graphs.
+//
+// The engine runs two families of rule passes and merges their output into
+// one sorted, deduplicated diagnostic list:
+//
+//   AST passes (need the program): SIWA004 stall-balance imbalance (reusing
+//   stall::balance's affine forms, anchored at the signal's rendezvous
+//   statements) and location patch-up for graph findings that anchor at
+//   task declarations.
+//
+//   Graph passes (need one finalized sync graph + its AnalysisContext, so
+//   every reachability query shares a single control-closure): SIWA001
+//   unmatched signal type, SIWA002 unreachable rendezvous, SIWA003
+//   self-send, SIWA005 uncoupled task, and SIWA010 — the refined detector's
+//   possible-deadlock witness rendered as a source-anchored diagnostic
+//   (cycle head at the primary location, remaining cycle nodes as related
+//   locations).
+//
+// Severity policy (the taxonomy's soundness contract, see lint/rules.h):
+// SIWA001/SIWA003 report Error only when the offending node is control-
+// reachable from the begin node AND carries no shared-condition guards —
+// under the paper's model (every opaque branch feasible, loops may run
+// zero times) such a node is reached, or the task sticks earlier, on every
+// feasible shared-condition assignment; either way the program has an
+// infinite wait anomaly. Guarded or unreachable sites downgrade to
+// Warning, and all remaining rules are Warning-severity (conservative).
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/analysis_context.h"
+#include "core/certifier.h"
+#include "lang/ast.h"
+#include "support/diagnostics.h"
+
+namespace siwa::lint {
+
+struct LintOptions {
+  // Run the refined detector and render its witness as SIWA010. Skipped
+  // automatically when the control graph is cyclic (run_lint unrolls
+  // first, so this only matters for raw lint_graph calls).
+  bool run_detector = true;
+  core::Algorithm algorithm = core::Algorithm::RefinedSingle;
+  bool apply_constraint4 = false;
+  std::size_t threads = 1;  // hypothesis-sweep parallelism (0 = all cores)
+  // Honor `-- lint: allow(...)` comments in the source text.
+  bool apply_suppressions = true;
+};
+
+struct LintResult {
+  // Sorted by (line, column, severity, rule); duplicates removed.
+  std::vector<Diagnostic> diagnostics;
+  std::size_t suppressed = 0;   // findings removed by allow(...) comments
+  bool detector_ran = false;    // SIWA010 pass executed
+  bool certified_free = true;   // detector verdict (valid when detector_ran)
+
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] bool has_errors() const { return count(Severity::Error) > 0; }
+};
+
+// Full pipeline over a parsed and semantically checked program. `source` is
+// the raw program text, used only for suppression comments (pass an empty
+// view when unavailable). `frontend` carries already-collected frontend
+// diagnostics to merge into the report; rule-tagged entries (the sema
+// self-send warning is SIWA003) deduplicate against the engine's own
+// findings at the same location.
+[[nodiscard]] LintResult run_lint(const lang::Program& program,
+                                  std::string_view source,
+                                  const LintOptions& options = {},
+                                  std::span<const Diagnostic> frontend = {});
+
+// Graph-family rules only, over any finalized sync graph (including gadget
+// graphs that no program generates). All reachability queries go through
+// `ctx`'s shared closure. Diagnostics for nodes without source locations
+// anchor at 0:0. `certified_free`, when non-null, receives the detector
+// verdict (left untouched when the detector does not run).
+[[nodiscard]] std::vector<Diagnostic> lint_graph(
+    const core::AnalysisContext& ctx, const LintOptions& options = {},
+    bool* certified_free = nullptr);
+
+// Renders a certification witness as a SIWA010 diagnostic against the
+// graph the certification ran on. Empty optional when the result is
+// certified free (no witness to render).
+[[nodiscard]] std::vector<Diagnostic> witness_diagnostics(
+    const sg::SyncGraph& graph, const core::CertifyResult& result);
+
+}  // namespace siwa::lint

@@ -1,0 +1,326 @@
+#include "lint/render.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "lint/rules.h"
+
+namespace siwa::lint {
+namespace {
+
+// Minimal structured JSON writer: tracks nesting and comma placement so the
+// renderers cannot emit malformed documents. Values are written pre-escaped
+// through the typed helpers only.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostringstream& os) : os_(os) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view name) {
+    separate();
+    os_ << '"' << name << "\":";
+    just_wrote_key_ = true;
+  }
+
+  void string(std::string_view value) {
+    separate();
+    os_ << '"' << json_escape(value) << '"';
+  }
+  void number(long long value) {
+    separate();
+    os_ << value;
+  }
+  void boolean(bool value) {
+    separate();
+    os_ << (value ? "true" : "false");
+  }
+  // Splices a pre-rendered JSON value (e.g. json_diagnostic_array output).
+  void raw(std::string_view value) {
+    separate();
+    os_ << value;
+  }
+
+ private:
+  void open(char c) {
+    separate();
+    os_ << c;
+    need_comma_ = false;
+  }
+  void close(char c) {
+    os_ << c;
+    need_comma_ = true;
+  }
+  void separate() {
+    if (just_wrote_key_) {
+      just_wrote_key_ = false;
+      return;
+    }
+    if (need_comma_) os_ << ',';
+    need_comma_ = true;
+  }
+
+  std::ostringstream& os_;
+  bool need_comma_ = false;
+  bool just_wrote_key_ = false;
+};
+
+const char* sarif_level(Severity severity) {
+  return severity == Severity::Error ? "error" : "warning";
+}
+
+void write_physical_location(JsonWriter& json, std::string_view uri,
+                             SourceLoc loc) {
+  json.key("physicalLocation");
+  json.begin_object();
+  json.key("artifactLocation");
+  json.begin_object();
+  json.key("uri");
+  json.string(uri);
+  json.end_object();
+  if (loc.line > 0) {
+    json.key("region");
+    json.begin_object();
+    json.key("startLine");
+    json.number(loc.line);
+    if (loc.column > 0) {
+      json.key("startColumn");
+      json.number(loc.column);
+    }
+    json.end_object();
+  }
+  json.end_object();
+}
+
+void write_json_diagnostic(JsonWriter& json, const Diagnostic& d) {
+  json.begin_object();
+  json.key("rule");
+  json.string(d.rule_id);
+  json.key("severity");
+  json.string(severity_name(d.severity));
+  json.key("line");
+  json.number(d.loc.line);
+  json.key("column");
+  json.number(d.loc.column);
+  json.key("message");
+  json.string(d.message);
+  json.key("related");
+  json.begin_array();
+  for (const RelatedLoc& r : d.related) {
+    json.begin_object();
+    json.key("line");
+    json.number(r.loc.line);
+    json.key("column");
+    json.number(r.loc.column);
+    json.key("note");
+    json.string(r.note);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+std::optional<OutputFormat> parse_format(std::string_view name) {
+  if (name == "text") return OutputFormat::Text;
+  if (name == "json") return OutputFormat::Json;
+  if (name == "sarif") return OutputFormat::Sarif;
+  return std::nullopt;
+}
+
+const char* format_name(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::Text: return "text";
+    case OutputFormat::Json: return "json";
+    case OutputFormat::Sarif: return "sarif";
+  }
+  return "?";
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_text(std::span<const FileDiagnostics> files) {
+  std::ostringstream os;
+  for (const FileDiagnostics& file : files) {
+    for (const Diagnostic& d : file.diagnostics) {
+      os << file.path;
+      if (d.loc.line > 0) os << ':' << d.loc.line << ':' << d.loc.column;
+      os << ": " << severity_name(d.severity);
+      if (!d.rule_id.empty()) os << '[' << d.rule_id << ']';
+      os << ": " << d.message << '\n';
+      for (const RelatedLoc& r : d.related) {
+        os << "  note: " << file.path;
+        if (r.loc.line > 0) os << ':' << r.loc.line << ':' << r.loc.column;
+        os << ": " << r.note << '\n';
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string json_diagnostic_array(std::span<const Diagnostic> diagnostics) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_array();
+  for (const Diagnostic& d : diagnostics) write_json_diagnostic(json, d);
+  json.end_array();
+  return os.str();
+}
+
+std::string render_json(std::span<const FileDiagnostics> files) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("files");
+  json.begin_array();
+  for (const FileDiagnostics& file : files) {
+    json.begin_object();
+    json.key("path");
+    json.string(file.path);
+    json.key("diagnostics");
+    json.raw(json_diagnostic_array(file.diagnostics));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  os << '\n';
+  return os.str();
+}
+
+std::string render_sarif(std::span<const FileDiagnostics> files) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object();
+  json.key("$schema");
+  json.string(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json");
+  json.key("version");
+  json.string("2.1.0");
+  json.key("runs");
+  json.begin_array();
+  json.begin_object();
+
+  json.key("tool");
+  json.begin_object();
+  json.key("driver");
+  json.begin_object();
+  json.key("name");
+  json.string("siwa_lint");
+  json.key("informationUri");
+  json.string("https://github.com/siwa/siwa");
+  json.key("rules");
+  json.begin_array();
+  for (const RuleInfo& rule : all_rules()) {
+    json.begin_object();
+    json.key("id");
+    json.string(rule.id);
+    json.key("name");
+    json.string(rule.name);
+    json.key("shortDescription");
+    json.begin_object();
+    json.key("text");
+    json.string(rule.summary);
+    json.end_object();
+    json.key("defaultConfiguration");
+    json.begin_object();
+    json.key("level");
+    json.string(sarif_level(rule.default_severity));
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  json.end_object();
+
+  json.key("results");
+  json.begin_array();
+  for (const FileDiagnostics& file : files) {
+    for (const Diagnostic& d : file.diagnostics) {
+      const std::string_view rule =
+          d.rule_id.empty() ? kRuleFrontend : std::string_view(d.rule_id);
+      json.begin_object();
+      json.key("ruleId");
+      json.string(rule);
+      const int index = rule_index(rule);
+      if (index >= 0) {
+        json.key("ruleIndex");
+        json.number(index);
+      }
+      json.key("level");
+      json.string(sarif_level(d.severity));
+      json.key("message");
+      json.begin_object();
+      json.key("text");
+      json.string(d.message);
+      json.end_object();
+      json.key("locations");
+      json.begin_array();
+      json.begin_object();
+      write_physical_location(json, file.path, d.loc);
+      json.end_object();
+      json.end_array();
+      if (!d.related.empty()) {
+        json.key("relatedLocations");
+        json.begin_array();
+        for (const RelatedLoc& r : d.related) {
+          json.begin_object();
+          write_physical_location(json, file.path, r.loc);
+          json.key("message");
+          json.begin_object();
+          json.key("text");
+          json.string(r.note);
+          json.end_object();
+          json.end_object();
+        }
+        json.end_array();
+      }
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  json.end_object();
+  json.end_array();
+  json.end_object();
+  os << '\n';
+  return os.str();
+}
+
+std::string render(OutputFormat format,
+                   std::span<const FileDiagnostics> files) {
+  switch (format) {
+    case OutputFormat::Text: return render_text(files);
+    case OutputFormat::Json: return render_json(files);
+    case OutputFormat::Sarif: return render_sarif(files);
+  }
+  return {};
+}
+
+}  // namespace siwa::lint

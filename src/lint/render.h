@@ -1,0 +1,55 @@
+// Diagnostic renderers: text, JSON, and SARIF 2.1.0.
+//
+// All three backends consume the same shape — a list of files, each with
+// its sorted diagnostics — so every SIWA tool (siwa_lint, deadlock_audit,
+// batch_report, the lint_corpus CI gate) emits identical machine-readable
+// reports.
+//
+//   Text:  clang-style "path:line:col: severity[RULE]: message" lines,
+//          related locations indented beneath their diagnostic.
+//   JSON:  {"files": [{"path", "diagnostics": [...]}]}; the per-diagnostic
+//          array form is exposed separately so callers can embed it in a
+//          larger document (deadlock_audit's verdict JSON does).
+//   SARIF: one run of tool "siwa_lint" with the full rule taxonomy in
+//          tool.driver.rules and one result per diagnostic, carrying
+//          physicalLocation regions and relatedLocations. Frontend
+//          diagnostics (empty rule id) map to the SIWA000 pseudo-rule.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace siwa::lint {
+
+enum class OutputFormat { Text, Json, Sarif };
+
+// "text" | "json" | "sarif" (case-sensitive); nullopt otherwise.
+[[nodiscard]] std::optional<OutputFormat> parse_format(std::string_view name);
+[[nodiscard]] const char* format_name(OutputFormat format);
+
+struct FileDiagnostics {
+  std::string path;  // display path / SARIF artifact URI
+  std::vector<Diagnostic> diagnostics;
+};
+
+[[nodiscard]] std::string render_text(std::span<const FileDiagnostics> files);
+[[nodiscard]] std::string render_json(std::span<const FileDiagnostics> files);
+[[nodiscard]] std::string render_sarif(std::span<const FileDiagnostics> files);
+[[nodiscard]] std::string render(OutputFormat format,
+                                 std::span<const FileDiagnostics> files);
+
+// The JSON array of diagnostic objects for one file, for embedding into a
+// caller-owned JSON document.
+[[nodiscard]] std::string json_diagnostic_array(
+    std::span<const Diagnostic> diagnostics);
+
+// JSON string escaping (quotes, backslashes, control characters), shared
+// with tools that hand-assemble JSON around rendered fragments.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace siwa::lint

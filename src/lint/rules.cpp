@@ -1,0 +1,52 @@
+#include "lint/rules.h"
+
+namespace siwa::lint {
+namespace {
+
+constexpr RuleInfo kRules[] = {
+    {kRuleFrontend, "frontend-diagnostic", Severity::Error,
+     "Parse or semantic-analysis diagnostic reported by the MiniAda "
+     "frontend."},
+    {kRuleUnmatchedSignal, "unmatched-signal", Severity::Error,
+     "A send or accept whose signal type has no complementary rendezvous "
+     "point anywhere in the program: by the reachable-complement condition "
+     "of Lemma 3 the statement can never rendezvous, so reaching it is a "
+     "guaranteed infinite wait."},
+    {kRuleUnreachableRendezvous, "unreachable-rendezvous", Severity::Warning,
+     "A rendezvous point with no control-flow path from the program begin "
+     "node: dead code that can never participate in any execution wave."},
+    {kRuleSelfSend, "self-send", Severity::Error,
+     "A task sends to one of its own entries; completing the rendezvous "
+     "would need the task at two nodes of one wave, so the send waits "
+     "forever once reached."},
+    {kRuleSignalImbalance, "signal-imbalance", Severity::Warning,
+     "Lemma 4 stall-balance violation: a signal type whose net send/accept "
+     "count is nonzero on some feasible linearized execution, either "
+     "unconditionally or through a shared-condition coefficient."},
+    {kRuleUncoupledTask, "uncoupled-task", Severity::Warning,
+     "A task that contributes no rendezvous points to the sync graph: it "
+     "never synchronizes with the rest of the program."},
+    {kRuleDeadlockWitness, "deadlock-witness", Severity::Warning,
+     "The refined detector (section 4.2) reported a possible deadlock; the "
+     "diagnostic anchors the coupling-cycle head and lists the remaining "
+     "cycle nodes as related locations. Conservative: the cycle may be "
+     "spurious."},
+};
+
+}  // namespace
+
+std::span<const RuleInfo> all_rules() { return kRules; }
+
+const RuleInfo* find_rule(std::string_view id) {
+  for (const RuleInfo& rule : kRules)
+    if (rule.id == id) return &rule;
+  return nullptr;
+}
+
+int rule_index(std::string_view id) {
+  for (std::size_t i = 0; i < std::size(kRules); ++i)
+    if (kRules[i].id == id) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace siwa::lint

@@ -1,0 +1,57 @@
+// The siwa-lint rule taxonomy.
+//
+// Every rule is grounded in a result of the paper, and the taxonomy carries
+// a soundness contract the tests enforce against the wavesim oracle:
+//
+//   Error-severity diagnostics are SOUND — a rule fires at Error severity
+//   only when the program is guaranteed to exhibit an infinite wait anomaly
+//   under the paper's model. test_lint and the lint_corpus CI gate assert
+//   that no Error ever fires on a program the assignment-exact wave oracle
+//   certifies anomaly-free.
+//
+//   Warning-severity diagnostics are CONSERVATIVE — they flag structure
+//   that may be an anomaly (a possible-deadlock witness from the refined
+//   detector, a stall-balance imbalance, dead rendezvous code) and may be
+//   spurious.
+//
+// A rule with an Error default still downgrades individual findings to
+// Warning when the guarantee does not hold for that site (e.g. an unmatched
+// send nested under shared-condition guards, where some assignment may make
+// it unreachable).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "support/diagnostics.h"
+
+namespace siwa::lint {
+
+// Stable rule ids. SIWA000 is the pseudo-rule frontend (parse/semantic)
+// diagnostics map to in machine-readable output.
+inline constexpr std::string_view kRuleFrontend = "SIWA000";
+inline constexpr std::string_view kRuleUnmatchedSignal = "SIWA001";
+inline constexpr std::string_view kRuleUnreachableRendezvous = "SIWA002";
+inline constexpr std::string_view kRuleSelfSend = "SIWA003";
+inline constexpr std::string_view kRuleSignalImbalance = "SIWA004";
+inline constexpr std::string_view kRuleUncoupledTask = "SIWA005";
+inline constexpr std::string_view kRuleDeadlockWitness = "SIWA010";
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view name;  // kebab-case slug, used as the SARIF rule name
+  Severity default_severity;
+  std::string_view summary;
+};
+
+// The full taxonomy, ordered by id (drives the SARIF tool.driver.rules
+// array; a result's ruleIndex is the position in this span).
+[[nodiscard]] std::span<const RuleInfo> all_rules();
+
+// nullptr for unknown ids.
+[[nodiscard]] const RuleInfo* find_rule(std::string_view id);
+
+// Index of `id` in all_rules(), or -1.
+[[nodiscard]] int rule_index(std::string_view id);
+
+}  // namespace siwa::lint

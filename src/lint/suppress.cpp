@@ -1,0 +1,109 @@
+#include "lint/suppress.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace siwa::lint {
+namespace {
+
+void skip_spaces(std::string_view text, std::size_t& i) {
+  while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+}
+
+bool consume(std::string_view text, std::size_t& i, std::string_view word) {
+  if (text.substr(i, word.size()) != word) return false;
+  i += word.size();
+  return true;
+}
+
+// Parses "lint: allow(ID[, ID]*)" starting after a "--" comment marker.
+// Returns false (and leaves `out` untouched) when the comment is not a
+// well-formed lint directive.
+bool parse_directive(std::string_view comment, Suppression& out) {
+  std::size_t i = 0;
+  skip_spaces(comment, i);
+  if (!consume(comment, i, "lint:")) return false;
+  skip_spaces(comment, i);
+  if (!consume(comment, i, "allow(")) return false;
+
+  Suppression parsed;
+  while (true) {
+    skip_spaces(comment, i);
+    std::string id;
+    while (i < comment.size() &&
+           (std::isalnum(static_cast<unsigned char>(comment[i])) != 0)) {
+      id.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(comment[i]))));
+      ++i;
+    }
+    if (id.empty()) return false;
+    if (id == "ALL")
+      parsed.all = true;
+    else
+      parsed.rules.push_back(std::move(id));
+    skip_spaces(comment, i);
+    if (i < comment.size() && comment[i] == ',') {
+      ++i;
+      continue;
+    }
+    break;
+  }
+  if (i >= comment.size() || comment[i] != ')') return false;
+  out.all = parsed.all;
+  out.rules = std::move(parsed.rules);
+  return true;
+}
+
+}  // namespace
+
+std::vector<Suppression> parse_suppressions(std::string_view source) {
+  std::vector<Suppression> out;
+  int line = 1;
+  std::size_t i = 0;
+  while (i < source.size()) {
+    if (source[i] == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (source[i] == '-' && i + 1 < source.size() && source[i + 1] == '-') {
+      const std::size_t begin = i + 2;
+      std::size_t end = begin;
+      while (end < source.size() && source[end] != '\n') ++end;
+      Suppression s;
+      s.line = line;
+      if (parse_directive(source.substr(begin, end - begin), s))
+        out.push_back(std::move(s));
+      i = end;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+bool is_suppressed(const Diagnostic& diag,
+                   std::span<const Suppression> suppressions) {
+  if (diag.rule_id.empty() || diag.loc.line == 0) return false;
+  for (const Suppression& s : suppressions) {
+    if (diag.loc.line != s.line && diag.loc.line != s.line + 1) continue;
+    if (s.all) return true;
+    if (std::find(s.rules.begin(), s.rules.end(), diag.rule_id) !=
+        s.rules.end())
+      return true;
+  }
+  return false;
+}
+
+std::size_t apply_suppressions(std::vector<Diagnostic>& diags,
+                               std::span<const Suppression> suppressions) {
+  const std::size_t before = diags.size();
+  diags.erase(std::remove_if(diags.begin(), diags.end(),
+                             [&](const Diagnostic& d) {
+                               return is_suppressed(d, suppressions);
+                             }),
+              diags.end());
+  return before - diags.size();
+}
+
+}  // namespace siwa::lint

@@ -1,0 +1,52 @@
+// In-source lint suppressions.
+//
+// A MiniAda comment of the form
+//
+//   -- lint: allow(SIWA001)
+//   -- lint: allow(SIWA001, SIWA004)
+//   -- lint: allow(all)
+//
+// suppresses matching diagnostics on the comment's own line and on the
+// line directly below it — so both trailing comments and comment-above
+// style work:
+//
+//   send logger.drop;            -- lint: allow(SIWA001)
+//
+//   -- lint: allow(SIWA010)
+//   accept handshake;
+//
+// Suppression is scanned from the raw source text (comments never reach
+// the token stream), and only lint-rule diagnostics are suppressible:
+// frontend parse/semantic errors always survive.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace siwa::lint {
+
+struct Suppression {
+  int line = 0;                    // 1-based line of the comment
+  bool all = false;                // allow(all)
+  std::vector<std::string> rules;  // uppercased rule ids
+};
+
+// All suppression comments in `source`, in line order. Malformed lint
+// comments (e.g. "-- lint: allow(") are ignored.
+[[nodiscard]] std::vector<Suppression> parse_suppressions(
+    std::string_view source);
+
+// Whether `diag` is matched by a suppression. A diagnostic with no rule id
+// or no location is never suppressed.
+[[nodiscard]] bool is_suppressed(const Diagnostic& diag,
+                                 std::span<const Suppression> suppressions);
+
+// Removes suppressed diagnostics in place; returns how many were removed.
+std::size_t apply_suppressions(std::vector<Diagnostic>& diags,
+                               std::span<const Suppression> suppressions);
+
+}  // namespace siwa::lint

@@ -164,6 +164,7 @@ lang::Program factor_codependent(const lang::Program& program,
   lang::Program out;
   out.interner = program.interner;
   out.shared_conditions = program.shared_conditions;
+  out.shared_condition_locs = program.shared_condition_locs;
   for (const auto& task : program.tasks) {
     lang::TaskDecl t;
     t.name = task.name;

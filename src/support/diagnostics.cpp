@@ -1,6 +1,8 @@
 #include "support/diagnostics.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 namespace siwa {
 
@@ -11,25 +13,65 @@ std::string SourceLoc::to_string() const {
   return os.str();
 }
 
+const char* severity_name(Severity severity) {
+  return severity == Severity::Error ? "error" : "warning";
+}
+
 std::string Diagnostic::to_string() const {
   std::ostringstream os;
-  os << (severity == Severity::Error ? "error" : "warning") << " at "
-     << loc.to_string() << ": " << message;
+  os << severity_name(severity);
+  if (!rule_id.empty()) os << '[' << rule_id << ']';
+  os << " at " << loc.to_string() << ": " << message;
   return os.str();
 }
 
 void DiagnosticSink::error(SourceLoc loc, std::string message) {
-  diags_.push_back({Severity::Error, loc, std::move(message)});
-  ++error_count_;
+  error(loc, std::move(message), {});
 }
 
 void DiagnosticSink::warning(SourceLoc loc, std::string message) {
-  diags_.push_back({Severity::Warning, loc, std::move(message)});
+  warning(loc, std::move(message), {});
+}
+
+void DiagnosticSink::error(SourceLoc loc, std::string message,
+                           std::string rule_id) {
+  diags_.push_back(
+      {Severity::Error, loc, std::move(message), std::move(rule_id), {}});
+  ++error_count_;
+}
+
+void DiagnosticSink::warning(SourceLoc loc, std::string message,
+                             std::string rule_id) {
+  diags_.push_back(
+      {Severity::Warning, loc, std::move(message), std::move(rule_id), {}});
+}
+
+bool diagnostic_before(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.loc.line, a.loc.column, a.severity, a.rule_id, a.message) <
+         std::tie(b.loc.line, b.loc.column, b.severity, b.rule_id, b.message);
+}
+
+void sort_and_dedupe(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(), diagnostic_before);
+  diags.erase(std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.loc == b.loc &&
+                                   a.severity == b.severity &&
+                                   a.rule_id == b.rule_id &&
+                                   a.message == b.message;
+                          }),
+              diags.end());
+}
+
+std::vector<Diagnostic> DiagnosticSink::sorted_diagnostics() const {
+  std::vector<Diagnostic> out = diags_;
+  sort_and_dedupe(out);
+  return out;
 }
 
 std::string DiagnosticSink::to_string() const {
   std::ostringstream os;
-  for (const auto& d : diags_) os << d.to_string() << '\n';
+  for (const auto& d : sorted_diagnostics()) os << d.to_string() << '\n';
   return os.str();
 }
 

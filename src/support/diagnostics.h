@@ -1,4 +1,7 @@
-// Source locations and diagnostics for the MiniAda frontend.
+// Source locations and diagnostics for the MiniAda frontend and the lint
+// subsystem (src/lint). A diagnostic optionally carries a lint rule id
+// ("SIWA003") and secondary source anchors; plain frontend diagnostics
+// leave both empty.
 #pragma once
 
 #include <stdexcept>
@@ -12,14 +15,31 @@ struct SourceLoc {
   int column = 0;  // 1-based
 
   [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(SourceLoc a, SourceLoc b) {
+    return a.line == b.line && a.column == b.column;
+  }
 };
 
 enum class Severity { Error, Warning };
+
+[[nodiscard]] const char* severity_name(Severity severity);
+
+// A secondary source anchor attached to a diagnostic — e.g. the other
+// rendezvous points of a reported coupling cycle, or the first declaration
+// a duplicate shadows.
+struct RelatedLoc {
+  SourceLoc loc;
+  std::string note;
+};
 
 struct Diagnostic {
   Severity severity = Severity::Error;
   SourceLoc loc;
   std::string message;
+  // Lint taxonomy id ("SIWA001"..); empty for plain frontend diagnostics.
+  std::string rule_id;
+  std::vector<RelatedLoc> related;
 
   [[nodiscard]] std::string to_string() const;
 };
@@ -31,18 +51,34 @@ class DiagnosticSink {
  public:
   void error(SourceLoc loc, std::string message);
   void warning(SourceLoc loc, std::string message);
+  // Rule-tagged forms used where a frontend check is also a lint rule
+  // (e.g. the self-send warning is SIWA003).
+  void error(SourceLoc loc, std::string message, std::string rule_id);
+  void warning(SourceLoc loc, std::string message, std::string rule_id);
 
   [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
   [[nodiscard]] std::size_t error_count() const { return error_count_; }
   [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
     return diags_;
   }
+  // Diagnostics stable-sorted by (line, column, severity) with exact
+  // duplicates removed — rerunning a phase over the same input (parser +
+  // sema both walking one statement list) must not double-report.
+  [[nodiscard]] std::vector<Diagnostic> sorted_diagnostics() const;
   [[nodiscard]] std::string to_string() const;
 
  private:
   std::vector<Diagnostic> diags_;
   std::size_t error_count_ = 0;
 };
+
+// Stable order for rendering: (line, column, severity, rule, message).
+// Errors sort before warnings at the same location.
+[[nodiscard]] bool diagnostic_before(const Diagnostic& a, const Diagnostic& b);
+
+// Sorts with diagnostic_before and drops identical (loc, severity, rule,
+// message) duplicates. Shared by DiagnosticSink and the lint engine.
+void sort_and_dedupe(std::vector<Diagnostic>& diags);
 
 // Thrown by convenience entry points (e.g. parse_program_or_throw) that have
 // no sink to report into.

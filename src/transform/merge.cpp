@@ -182,6 +182,7 @@ lang::Program merge_branch_rendezvous(const lang::Program& original,
   lang::Program out;
   out.interner = program.interner;
   out.shared_conditions = program.shared_conditions;
+  out.shared_condition_locs = program.shared_condition_locs;
   for (const auto& task : program.tasks) {
     lang::TaskDecl t;
     t.name = task.name;

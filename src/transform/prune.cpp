@@ -81,9 +81,13 @@ std::optional<lang::Program> prune_shared(
   out.interner = program.interner;
   // Conditions fully resolved by the assignment stop being "shared" in the
   // residue; unresolved ones remain.
-  for (Symbol c : program.shared_conditions)
-    if (assignment.find(c) == assignment.end())
+  for (std::size_t i = 0; i < program.shared_conditions.size(); ++i) {
+    const Symbol c = program.shared_conditions[i];
+    if (assignment.find(c) == assignment.end()) {
       out.shared_conditions.push_back(c);
+      out.shared_condition_locs.push_back(program.shared_condition_loc(i));
+    }
+  }
   for (const auto& task : program.tasks) {
     lang::TaskDecl t;
     t.name = task.name;

@@ -64,6 +64,7 @@ lang::Program unroll_loops_twice(const lang::Program& original) {
   lang::Program out;
   out.interner = program.interner;
   out.shared_conditions = program.shared_conditions;
+  out.shared_condition_locs = program.shared_condition_locs;
   out.tasks.reserve(program.tasks.size());
   for (const auto& task : program.tasks) {
     lang::TaskDecl t;

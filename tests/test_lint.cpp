@@ -1,0 +1,450 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analysis_context.h"
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "lint/lint.h"
+#include "lint/render.h"
+#include "lint/rules.h"
+#include "lint/suppress.h"
+#include "syncgraph/sync_graph.h"
+#include "wavesim/explorer.h"
+#include "wavesim/shared.h"
+
+namespace siwa {
+namespace {
+
+lang::Program parse(const char* source) {
+  DiagnosticSink sink;
+  auto program = lang::parse_program(source, sink);
+  EXPECT_TRUE(program.has_value()) << sink.to_string();
+  return std::move(*program);
+}
+
+std::vector<Diagnostic> with_rule(const std::vector<Diagnostic>& diags,
+                                  std::string_view rule) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags)
+    if (d.rule_id == rule) out.push_back(d);
+  return out;
+}
+
+// ---- rule taxonomy ----
+
+TEST(LintRules, TableLookup) {
+  EXPECT_FALSE(lint::all_rules().empty());
+  const lint::RuleInfo* unmatched = lint::find_rule(lint::kRuleUnmatchedSignal);
+  ASSERT_NE(unmatched, nullptr);
+  EXPECT_EQ(unmatched->id, lint::kRuleUnmatchedSignal);
+  EXPECT_EQ(lint::find_rule("SIWA999"), nullptr);
+  // rule_index matches the table position (SARIF ruleIndex contract).
+  for (std::size_t i = 0; i < lint::all_rules().size(); ++i)
+    EXPECT_EQ(lint::rule_index(lint::all_rules()[i].id), static_cast<int>(i));
+  EXPECT_EQ(lint::rule_index("SIWA999"), -1);
+}
+
+// ---- SIWA001: unmatched signal ----
+
+TEST(Lint, UnmatchedSendIsErrorWhenReachableAndUnguarded) {
+  const char* src = R"(task a is
+begin
+  accept go;
+end a;
+task b is
+begin
+  send a.go;
+  send a.missing;
+end b;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  const auto unmatched = with_rule(result.diagnostics,
+                                   lint::kRuleUnmatchedSignal);
+  ASSERT_EQ(unmatched.size(), 1u);
+  EXPECT_EQ(unmatched[0].severity, Severity::Error);
+  EXPECT_EQ(unmatched[0].loc.line, 8);
+  EXPECT_NE(unmatched[0].message.find("guaranteed infinite wait"),
+            std::string::npos);
+}
+
+TEST(Lint, UnmatchedSendUnderSharedGuardIsWarning) {
+  const char* src = R"(shared condition c;
+task a is
+begin
+  if c then
+    send b.ghost;
+  end if;
+  send b.go;
+end a;
+task b is
+begin
+  accept go;
+end b;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  const auto unmatched = with_rule(result.diagnostics,
+                                   lint::kRuleUnmatchedSignal);
+  ASSERT_EQ(unmatched.size(), 1u);
+  EXPECT_EQ(unmatched[0].severity, Severity::Warning);
+  EXPECT_EQ(unmatched[0].loc.line, 5);
+  EXPECT_NE(unmatched[0].message.find("guarded"), std::string::npos);
+}
+
+// ---- SIWA003: self-send, merged with the sema warning ----
+
+TEST(Lint, SelfSendMergesWithSemaWarningAndEscalates) {
+  const char* src = R"(task a is
+begin
+  send a.ping;
+end a;
+task b is
+begin
+  accept ping;
+end b;
+)";
+  DiagnosticSink sink;
+  auto program = lang::parse_program(src, sink);
+  ASSERT_TRUE(program.has_value());
+  lang::check_program(*program, sink);
+  // Sema already warned (tagged SIWA003); the engine's finding at the same
+  // location must collapse with it, keeping the stronger severity.
+  ASSERT_FALSE(with_rule(sink.diagnostics(), lint::kRuleSelfSend).empty());
+
+  const lint::LintResult result =
+      lint::run_lint(*program, src, {}, sink.diagnostics());
+  const auto self_send = with_rule(result.diagnostics, lint::kRuleSelfSend);
+  ASSERT_EQ(self_send.size(), 1u);
+  EXPECT_EQ(self_send[0].severity, Severity::Error);
+  EXPECT_EQ(self_send[0].loc.line, 3);
+}
+
+// ---- SIWA004: stall-balance imbalance ----
+
+TEST(Lint, SignalImbalanceAnchorsAtRendezvousSites) {
+  const char* src = R"(task a is
+begin
+  send b.m;
+  send b.m;
+end a;
+task b is
+begin
+  accept m;
+end b;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  const auto imbalance = with_rule(result.diagnostics,
+                                   lint::kRuleSignalImbalance);
+  ASSERT_FALSE(imbalance.empty());
+  EXPECT_EQ(imbalance[0].severity, Severity::Warning);
+  EXPECT_EQ(imbalance[0].loc.line, 3);  // first site of the signal
+  EXPECT_NE(imbalance[0].message.find("stall-balance violation"),
+            std::string::npos);
+  EXPECT_FALSE(imbalance[0].related.empty());
+}
+
+// ---- SIWA005: task with no rendezvous points ----
+
+TEST(Lint, UncoupledTaskAnchorsAtDeclaration) {
+  const char* src = R"(task idle is
+begin
+  null;
+end idle;
+task a is
+begin
+  send b.m;
+end a;
+task b is
+begin
+  accept m;
+end b;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  const auto uncoupled = with_rule(result.diagnostics,
+                                   lint::kRuleUncoupledTask);
+  ASSERT_EQ(uncoupled.size(), 1u);
+  EXPECT_EQ(uncoupled[0].severity, Severity::Warning);
+  EXPECT_EQ(uncoupled[0].loc.line, 1);
+  EXPECT_NE(uncoupled[0].message.find("'idle'"), std::string::npos);
+}
+
+// ---- SIWA002: unreachable rendezvous (gadget graph) ----
+
+TEST(Lint, UnreachableRendezvousOnGadgetGraph) {
+  sg::SyncGraph g;
+  const TaskId t1 = g.add_task("a");
+  const TaskId t2 = g.add_task("b");
+  const Symbol m = g.intern_message("m");
+  const SignalId sig = g.intern_signal(t2, m);
+  const NodeId send = g.add_rendezvous(t1, sig, sg::Sign::Plus, {3, 5});
+  const NodeId recv = g.add_rendezvous(t2, sig, sg::Sign::Minus, {7, 5});
+  g.add_control_edge(g.begin_node(), send);
+  g.add_task_entry(t1, send);
+  // recv is deliberately not connected from the begin node.
+  g.add_task_entry(t2, g.end_node());
+  g.finalize();
+
+  const core::AnalysisContext ctx(g);
+  lint::LintOptions options;
+  options.run_detector = false;
+  const std::vector<Diagnostic> diags = lint::lint_graph(ctx, options);
+  const auto unreachable = with_rule(diags, lint::kRuleUnreachableRendezvous);
+  ASSERT_EQ(unreachable.size(), 1u);
+  EXPECT_EQ(unreachable[0].loc.line, 7);
+  EXPECT_EQ(unreachable[0].severity, Severity::Warning);
+  EXPECT_EQ(with_rule(diags, lint::kRuleUnmatchedSignal).size(), 0u)
+      << "matched pair must not trigger SIWA001";
+  (void)recv;
+}
+
+// ---- SIWA010: detector witness as a source-anchored diagnostic ----
+
+TEST(Lint, DeadlockWitnessCarriesSourceAnchors) {
+  const char* src = R"(task a is
+begin
+  accept ping;
+  send b.pong;
+end a;
+task b is
+begin
+  accept pong;
+  send a.ping;
+end b;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  EXPECT_TRUE(result.detector_ran);
+  EXPECT_FALSE(result.certified_free);
+  const auto witness = with_rule(result.diagnostics,
+                                 lint::kRuleDeadlockWitness);
+  ASSERT_EQ(witness.size(), 1u);
+  EXPECT_EQ(witness[0].severity, Severity::Warning);
+  EXPECT_GT(witness[0].loc.line, 0);
+  EXPECT_EQ(witness[0].related.size(), 3u);  // 4-node cycle, head is anchor
+  for (const RelatedLoc& r : witness[0].related) EXPECT_GT(r.loc.line, 0);
+}
+
+TEST(Lint, CleanHandshakeHasNoDiagnostics) {
+  const char* src = R"(task a is
+begin
+  send b.m;
+  accept r;
+end a;
+task b is
+begin
+  accept m;
+  send a.r;
+end b;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  EXPECT_TRUE(result.detector_ran);
+  EXPECT_TRUE(result.certified_free);
+  EXPECT_TRUE(result.diagnostics.empty()) << result.diagnostics[0].to_string();
+}
+
+TEST(Lint, LoopingProgramRunsDetectorOnUnrolledGraph) {
+  const char* src = R"(task a is
+begin
+  while w loop
+    accept ping;
+  end loop;
+end a;
+task b is
+begin
+  send a.ping;
+end b;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  // The original control graph is cyclic; the detector must still run (on
+  // the Lemma 1 unrolled graph) rather than being silently skipped.
+  EXPECT_TRUE(result.detector_ran);
+  // Unrolled loop copies share source statements: at most one SIWA-rule
+  // diagnostic may survive per (rule, location).
+  for (std::size_t i = 1; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& a = result.diagnostics[i - 1];
+    const Diagnostic& b = result.diagnostics[i];
+    EXPECT_FALSE(!a.rule_id.empty() && a.rule_id == b.rule_id &&
+                 a.loc == b.loc)
+        << "duplicate " << a.to_string();
+  }
+}
+
+// ---- suppressions ----
+
+TEST(Suppress, ParsesAllowComments) {
+  const auto sups = lint::parse_suppressions(
+      "task t is\n"
+      "-- lint: allow(SIWA001, siwa004)\n"
+      "-- lint: allow(all)\n"
+      "-- lint: allow(\n"
+      "-- just a comment\n");
+  ASSERT_EQ(sups.size(), 2u);
+  EXPECT_EQ(sups[0].line, 2);
+  ASSERT_EQ(sups[0].rules.size(), 2u);
+  EXPECT_EQ(sups[0].rules[0], "SIWA001");
+  EXPECT_EQ(sups[0].rules[1], "SIWA004");  // uppercased
+  EXPECT_FALSE(sups[0].all);
+  EXPECT_EQ(sups[1].line, 3);
+  EXPECT_TRUE(sups[1].all);
+}
+
+TEST(Suppress, MatchesCommentLineAndLineBelow) {
+  lint::Suppression s;
+  s.line = 4;
+  s.rules = {"SIWA001"};
+  Diagnostic d;
+  d.rule_id = "SIWA001";
+  d.loc = {4, 3};
+  EXPECT_TRUE(lint::is_suppressed(d, {{s}}));
+  d.loc = {5, 3};
+  EXPECT_TRUE(lint::is_suppressed(d, {{s}}));
+  d.loc = {6, 3};
+  EXPECT_FALSE(lint::is_suppressed(d, {{s}}));
+  d.loc = {4, 3};
+  d.rule_id = "SIWA010";
+  EXPECT_FALSE(lint::is_suppressed(d, {{s}}));
+}
+
+TEST(Suppress, FrontendDiagnosticsAreNeverSuppressed) {
+  lint::Suppression s;
+  s.line = 2;
+  s.all = true;
+  Diagnostic d;
+  d.loc = {2, 1};
+  d.rule_id.clear();  // parse/semantic diagnostic
+  EXPECT_FALSE(lint::is_suppressed(d, {{s}}));
+}
+
+TEST(Lint, SuppressionRemovesDiagnosticAndCountsIt) {
+  const char* src = R"(task a is
+begin
+  -- lint: allow(SIWA010)
+  accept ping;
+  send b.pong;
+end a;
+task b is
+begin
+  accept pong;
+  send a.ping;
+end b;
+)";
+  const lang::Program program = parse(src);
+  const lint::LintResult suppressed = lint::run_lint(program, src);
+  EXPECT_EQ(suppressed.suppressed, 1u);
+  EXPECT_TRUE(with_rule(suppressed.diagnostics, lint::kRuleDeadlockWitness)
+                  .empty());
+
+  lint::LintOptions keep;
+  keep.apply_suppressions = false;
+  const lint::LintResult kept = lint::run_lint(program, src, keep);
+  EXPECT_EQ(kept.suppressed, 0u);
+  EXPECT_EQ(
+      with_rule(kept.diagnostics, lint::kRuleDeadlockWitness).size(), 1u);
+}
+
+// ---- renderers ----
+
+std::vector<lint::FileDiagnostics> one_file() {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.rule_id = "SIWA001";
+  d.loc = {3, 5};
+  d.message = "no matching accept";
+  d.related.push_back({{9, 2}, "the send"});
+  return {{"prog.mada", {d}}};
+}
+
+TEST(Render, ParseAndNameRoundTrip) {
+  EXPECT_EQ(lint::parse_format("text"), lint::OutputFormat::Text);
+  EXPECT_EQ(lint::parse_format("json"), lint::OutputFormat::Json);
+  EXPECT_EQ(lint::parse_format("sarif"), lint::OutputFormat::Sarif);
+  EXPECT_FALSE(lint::parse_format("xml").has_value());
+  EXPECT_STREQ(lint::format_name(lint::OutputFormat::Sarif), "sarif");
+}
+
+TEST(Render, TextFormatIsClangStyle) {
+  const std::string out = lint::render_text(one_file());
+  EXPECT_NE(out.find("prog.mada:3:5: error[SIWA001]: no matching accept"),
+            std::string::npos);
+  EXPECT_NE(out.find("note: prog.mada:9:2: the send"), std::string::npos);
+}
+
+TEST(Render, JsonEscapesControlCharacters) {
+  EXPECT_EQ(lint::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(lint::json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Render, JsonCarriesAllDiagnosticFields) {
+  const std::string out = lint::render_json(one_file());
+  EXPECT_NE(out.find("\"path\":\"prog.mada\""), std::string::npos);
+  EXPECT_NE(out.find("\"rule\":\"SIWA001\""), std::string::npos);
+  EXPECT_NE(out.find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"note\":\"the send\""), std::string::npos);
+}
+
+TEST(Render, SarifHasSchemaRulesAndAnchoredResult) {
+  const std::string out = lint::render_sarif(one_file());
+  EXPECT_NE(out.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(out.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(out.find("\"name\":\"siwa_lint\""), std::string::npos);
+  // The driver advertises the full taxonomy.
+  for (const lint::RuleInfo& rule : lint::all_rules())
+    EXPECT_NE(out.find("\"id\":\"" + std::string(rule.id) + "\""),
+              std::string::npos);
+  EXPECT_NE(out.find("\"ruleId\":\"SIWA001\""), std::string::npos);
+  EXPECT_NE(out.find("\"level\":\"error\""), std::string::npos);
+  EXPECT_NE(out.find("\"startLine\":3"), std::string::npos);
+  EXPECT_NE(out.find("\"startColumn\":5"), std::string::npos);
+  EXPECT_NE(out.find("\"relatedLocations\""), std::string::npos);
+  EXPECT_NE(out.find("\"uri\":\"prog.mada\""), std::string::npos);
+}
+
+TEST(Render, FrontendDiagnosticsMapToSiwa000) {
+  Diagnostic d;
+  d.severity = Severity::Error;
+  d.loc = {1, 1};
+  d.message = "expected 'task'";
+  const std::string out =
+      lint::render_sarif({{lint::FileDiagnostics{"bad.mada", {d}}}});
+  EXPECT_NE(out.find("\"ruleId\":\"SIWA000\""), std::string::npos);
+}
+
+// ---- soundness: no Error diagnostic on oracle-certified-free programs ----
+
+TEST(LintSoundness, ErrorsNeverFireOnWavesimCertifiedFreePrograms) {
+  std::size_t certified_free = 0;
+  for (std::size_t i = 0; i < 120; ++i) {
+    gen::RandomProgramConfig config;
+    config.tasks = 2 + i % 3;
+    config.rendezvous_pairs = 2 + i % 5;
+    config.unmatched_rendezvous = (i % 7 == 0) ? 1 : 0;
+    config.message_types = 2 + i % 3;
+    config.branch_probability = 0.15 * static_cast<double>(i % 4);
+    config.loop_probability = 0.10 * static_cast<double>(i % 3);
+    config.shared_conditions = (i % 5 == 0) ? 2 : 0;
+    config.seed = 1000 + i;
+    const lang::Program program = gen::random_program(config);
+
+    wavesim::ExploreOptions explore;
+    explore.max_states = 100'000;
+    explore.collect_witness_trace = false;
+    const wavesim::SharedExploreResult oracle =
+        wavesim::explore_shared(program, explore);
+    if (!oracle.combined.complete || oracle.combined.any_deadlock ||
+        oracle.combined.any_stall)
+      continue;
+    ++certified_free;
+
+    const lint::LintResult result = lint::run_lint(program, {});
+    for (const Diagnostic& d : result.diagnostics)
+      EXPECT_NE(d.severity, Severity::Error)
+          << "soundness violation on seed " << config.seed << ": "
+          << d.to_string();
+  }
+  EXPECT_GT(certified_free, 0u) << "corpus produced no anomaly-free programs";
+}
+
+}  // namespace
+}  // namespace siwa

@@ -168,5 +168,62 @@ TEST(Diagnostics, CollectsAndCounts) {
   EXPECT_NE(sink.to_string().find("broken"), std::string::npos);
 }
 
+TEST(Diagnostics, ToStringIsSortedBySourceLocation) {
+  DiagnosticSink sink;
+  sink.warning({9, 1}, "later");
+  sink.error({2, 7}, "early");
+  sink.error({2, 3}, "earlier column");
+  const std::string out = sink.to_string();
+  const auto later = out.find("later");
+  const auto early = out.find("early");
+  const auto earlier = out.find("earlier column");
+  ASSERT_NE(later, std::string::npos);
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(earlier, std::string::npos);
+  EXPECT_LT(earlier, early);
+  EXPECT_LT(early, later);
+  // The sink itself keeps emission order; only the report is sorted.
+  EXPECT_EQ(sink.diagnostics()[0].message, "later");
+}
+
+TEST(Diagnostics, SortAndDedupeDropsIdenticalEntries) {
+  DiagnosticSink sink;
+  sink.error({4, 2}, "dup");
+  sink.warning({1, 1}, "keep");
+  sink.error({4, 2}, "dup");
+  sink.error({4, 2}, "dup", "SIWA001");  // different rule tag: kept
+  const auto sorted = sink.sorted_diagnostics();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].message, "keep");
+  EXPECT_EQ(sorted[1].loc.line, 4);
+  EXPECT_EQ(sorted[2].loc.line, 4);
+  EXPECT_NE(sorted[1].rule_id, sorted[2].rule_id);
+}
+
+TEST(Diagnostics, SeverityOrdersWithinOneLocation) {
+  std::vector<Diagnostic> diags;
+  Diagnostic w;
+  w.severity = Severity::Warning;
+  w.loc = {5, 5};
+  w.message = "warn";
+  Diagnostic e;
+  e.severity = Severity::Error;
+  e.loc = {5, 5};
+  e.message = "err";
+  diags.push_back(w);
+  diags.push_back(e);
+  sort_and_dedupe(diags);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_EQ(diags[0].severity, Severity::Error);
+  EXPECT_EQ(diags[1].severity, Severity::Warning);
+}
+
+TEST(Diagnostics, RuleTaggedToStringIncludesRuleId) {
+  DiagnosticSink sink;
+  sink.warning({3, 5}, "self-send", "SIWA003");
+  EXPECT_NE(sink.to_string().find("warning[SIWA003] at 3:5"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace siwa
