@@ -36,9 +36,16 @@ void sweep(const char* name,
     const sg::SyncGraph graph = sg::build_sync_graph(program);
     const sg::Clg clg(graph);
 
+    // The 'wave states' column is the *plain* explorer's distinct-wave
+    // count — Taylor's concurrency states. (The shared-condition oracle's
+    // summed work_states would double-count waves reachable under several
+    // assignments; these families use no shared conditions, so the plain
+    // count is the exact baseline.) All cores are thrown at the search;
+    // deterministic mode keeps the count identical to a serial run.
     wavesim::ExploreOptions explore;
     explore.max_states = 2'000'000;
     explore.collect_witness_trace = false;
+    explore.threads = 0;
     const auto t0 = std::chrono::steady_clock::now();
     const wavesim::ExploreResult truth =
         wavesim::WaveExplorer(graph, explore).explore();
@@ -59,7 +66,12 @@ void sweep(const char* name,
         {report::fmt(n), report::fmt(graph.task_count()),
          report::fmt(graph.node_count()), report::fmt(clg.node_count()),
          report::fmt(clg.edge_count()),
-         report::fmt(truth.states) + (truth.complete ? "" : "+ (capped)"),
+         report::fmt(truth.states) +
+             (truth.complete ? ""
+                             : std::string("+ (") +
+                                   wavesim::explore_cap_name(
+                                       truth.budget.first_cap) +
+                                   " cap)"),
          report::fmt(markings.markings) + (markings.complete ? "" : "+"),
          report::fmt(static_cast<std::size_t>(oracle_us)),
          report::fmt(static_cast<std::size_t>(refined.stats.elapsed_us))});

@@ -1,0 +1,219 @@
+// Parallel wave-space oracle: wall-clock speedup of the level-synchronous
+// explorer on E12-scale pattern graphs, packed versus vector wave encoding,
+// and assignment-level parallelism of the shared-condition oracle. Serial is
+// the threads=1 row of each benchmark; the acceptance bar is a measurable
+// speedup at 4 threads on the E12 families.
+//
+// Before timing anything the harness runs a verdict-identity gate: on the
+// full random-program corpus plus the pattern graphs, the deterministic
+// parallel explorer (threads 2/4/8) and the vector fallback must reproduce
+// the serial packed run bit for bit — verdicts, state counts, retained
+// reports, witness trace. `--smoke` runs only that gate (CI uses it on
+// every PR); the exit code is the number of mismatches either way.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gen/patterns.h"
+#include "gen/random_program.h"
+#include "syncgraph/builder.h"
+#include "wavesim/explorer.h"
+#include "wavesim/shared.h"
+
+namespace {
+using namespace siwa;
+
+// The E10 random families, reused as oracle inputs.
+std::vector<sg::SyncGraph> random_corpus(std::uint64_t seeds_per_family) {
+  struct Family {
+    double branch;
+    std::size_t unmatched;
+  };
+  const Family families[] = {{0.0, 0}, {0.35, 0}, {0.3, 1}, {0.2, 0}};
+  std::vector<sg::SyncGraph> corpus;
+  for (const Family& family : families) {
+    for (std::uint64_t seed = 1; seed <= seeds_per_family; ++seed) {
+      gen::RandomProgramConfig config;
+      config.tasks = 3;
+      config.rendezvous_pairs = 5;
+      config.branch_probability = family.branch;
+      config.unmatched_rendezvous = family.unmatched;
+      config.seed = seed;
+      corpus.push_back(sg::build_sync_graph(gen::random_program(config)));
+    }
+  }
+  return corpus;
+}
+
+// E12 pattern instances, sized so the gate stays fast.
+std::vector<sg::SyncGraph> pattern_corpus() {
+  std::vector<sg::SyncGraph> corpus;
+  corpus.push_back(sg::build_sync_graph(gen::dining_philosophers(4, true)));
+  corpus.push_back(sg::build_sync_graph(gen::dining_philosophers(4, false)));
+  corpus.push_back(sg::build_sync_graph(gen::token_ring(5, true)));
+  corpus.push_back(sg::build_sync_graph(gen::token_ring(6, false)));
+  corpus.push_back(sg::build_sync_graph(gen::master_worker(3, 2, true)));
+  corpus.push_back(sg::build_sync_graph(gen::pipeline(4, 2)));
+  corpus.push_back(sg::build_sync_graph(gen::barrier(4)));
+  corpus.push_back(sg::build_sync_graph(gen::readers_writer(3, false)));
+  return corpus;
+}
+
+bool results_identical(const wavesim::ExploreResult& a,
+                       const wavesim::ExploreResult& b) {
+  if (a.complete != b.complete || a.states != b.states ||
+      a.transitions != b.transitions || a.can_terminate != b.can_terminate ||
+      a.anomalous_waves != b.anomalous_waves ||
+      a.any_deadlock != b.any_deadlock || a.any_stall != b.any_stall ||
+      a.witness_trace != b.witness_trace ||
+      a.budget.first_cap != b.budget.first_cap ||
+      a.budget.levels != b.budget.levels ||
+      a.budget.visited != b.budget.visited ||
+      a.reports.size() != b.reports.size())
+    return false;
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    if (a.reports[i].wave != b.reports[i].wave ||
+        a.reports[i].stall_nodes != b.reports[i].stall_nodes ||
+        a.reports[i].deadlock_nodes != b.reports[i].deadlock_nodes ||
+        a.reports[i].blocked_nodes != b.reports[i].blocked_nodes)
+      return false;
+  }
+  return true;
+}
+
+// Serial packed run versus: vector fallback, deterministic parallel at
+// {2, 4, 8} threads, and both combined. Returns the mismatch count.
+std::size_t determinism_check(const std::vector<sg::SyncGraph>& corpus) {
+  std::size_t checked = 0;
+  std::size_t mismatches = 0;
+  for (const sg::SyncGraph& graph : corpus) {
+    const wavesim::ExploreOptions serial;
+    const wavesim::ExploreResult expected =
+        wavesim::WaveExplorer(graph, serial).explore();
+
+    wavesim::ExploreOptions vector_waves = serial;
+    vector_waves.use_packed_waves = false;
+    ++checked;
+    if (!results_identical(
+            expected, wavesim::WaveExplorer(graph, vector_waves).explore()))
+      ++mismatches;
+
+    for (std::size_t threads : {2, 4, 8}) {
+      for (bool packed : {true, false}) {
+        wavesim::ExploreOptions parallel = serial;
+        parallel.threads = threads;
+        parallel.use_packed_waves = packed;
+        ++checked;
+        if (!results_identical(
+                expected, wavesim::WaveExplorer(graph, parallel).explore()))
+          ++mismatches;
+      }
+    }
+  }
+  std::printf("determinism: %zu runs vs serial packed, %zu mismatches\n",
+              checked, mismatches);
+  return mismatches;
+}
+
+void BM_ExplorePhilosophersE12(benchmark::State& state) {
+  static const sg::SyncGraph graph =
+      sg::build_sync_graph(gen::dining_philosophers(6, /*left_first=*/true));
+  wavesim::ExploreOptions options;
+  options.max_states = 2'000'000;
+  options.collect_witness_trace = false;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = wavesim::WaveExplorer(graph, options).explore();
+    benchmark::DoNotOptimize(r);
+    state.counters["states"] = static_cast<double>(r.states);
+  }
+}
+BENCHMARK(BM_ExplorePhilosophersE12)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_ExploreTokenRingE12(benchmark::State& state) {
+  static const sg::SyncGraph graph =
+      sg::build_sync_graph(gen::token_ring(9, /*deadlocking=*/false));
+  wavesim::ExploreOptions options;
+  options.max_states = 2'000'000;
+  options.collect_witness_trace = false;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = wavesim::WaveExplorer(graph, options).explore();
+    benchmark::DoNotOptimize(r);
+    state.counters["states"] = static_cast<double>(r.states);
+  }
+}
+BENCHMARK(BM_ExploreTokenRingE12)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Packed versus vector waves, serial: the memory-compact encoding is also
+// the faster one (smaller keys, cheaper hashing, no per-wave allocation).
+void BM_ExploreEncoding(benchmark::State& state) {
+  static const sg::SyncGraph graph =
+      sg::build_sync_graph(gen::dining_philosophers(6, /*left_first=*/true));
+  wavesim::ExploreOptions options;
+  options.max_states = 2'000'000;
+  options.collect_witness_trace = false;
+  options.use_packed_waves = state.range(0) != 0;
+  for (auto _ : state) {
+    auto r = wavesim::WaveExplorer(graph, options).explore();
+    benchmark::DoNotOptimize(r);
+    state.counters["bytes"] = static_cast<double>(r.budget.bytes_estimate);
+  }
+}
+BENCHMARK(BM_ExploreEncoding)->Arg(0)->Arg(1)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// Assignment-level parallelism of the shared-condition oracle: 2^k prunes
+// explored concurrently, merged in enumeration order.
+void BM_ExploreSharedAssignments(benchmark::State& state) {
+  gen::RandomProgramConfig config;
+  config.tasks = 4;
+  config.rendezvous_pairs = 10;
+  config.branch_probability = 0.5;
+  config.shared_conditions = 4;
+  config.shared_condition_probability = 0.8;
+  config.seed = 7;
+  static const lang::Program program = gen::random_program(config);
+  wavesim::ExploreOptions options;
+  options.collect_witness_trace = false;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = wavesim::explore_shared(program, options);
+    benchmark::DoNotOptimize(r);
+    state.counters["assignments"] =
+        static_cast<double>(r.assignments_total - r.assignments_infeasible);
+  }
+}
+BENCHMARK(BM_ExploreSharedAssignments)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;  // strip before benchmark::Initialize sees it
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  std::vector<sg::SyncGraph> corpus = random_corpus(smoke ? 40 : 120);
+  for (auto& graph : pattern_corpus()) corpus.push_back(std::move(graph));
+  const std::size_t mismatches = determinism_check(corpus);
+
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return mismatches == 0 ? 0 : 1;
+}

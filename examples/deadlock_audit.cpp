@@ -6,6 +6,14 @@
 //     --threads N                                parallel hypothesis sweep
 //                                                (1 = serial, 0 = all cores)
 //     --oracle                                   also run the wave oracle
+//     --oracle-threads N                         worker threads for the
+//                                                oracle exploration
+//                                                (1 = serial, 0 = all cores)
+//     --oracle-max-states N                      oracle state cap
+//                                                (default 500000)
+//     --oracle-deadline-ms N                     oracle wall-clock budget
+//     --oracle-max-bytes N                       oracle memory budget
+//                                                (visited-set estimate)
 //     --confirm                                  triage the report against
 //                                                bounded exploration
 //     --triage                                   full verdict: escalate the
@@ -49,6 +57,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: deadlock_audit [--algorithm naive|refined|pairs|"
                "headtail|htpairs] [--constraint4] [--threads N] [--oracle] "
+               "[--oracle-threads N] [--oracle-max-states N] "
+               "[--oracle-deadline-ms N] [--oracle-max-bytes N] "
                "[--confirm] [--triage] [--json] [--format text|json|sarif] "
                "[--dot FILE] [--clg FILE] <program.mada>\n");
   return 2;
@@ -67,6 +77,8 @@ int main(int argc, char** argv) {
   using namespace siwa;
 
   core::CertifyOptions options;
+  wavesim::ExploreOptions oracle_options;
+  oracle_options.max_states = 500'000;
   bool run_oracle = false;
   bool run_confirm = false;
   lint::OutputFormat format = lint::OutputFormat::Text;
@@ -94,6 +106,17 @@ int main(int argc, char** argv) {
       options.parallel.threads = static_cast<std::size_t>(n);
     } else if (arg == "--oracle") {
       run_oracle = true;
+    } else if ((arg == "--oracle-threads" || arg == "--oracle-max-states" ||
+                arg == "--oracle-deadline-ms" || arg == "--oracle-max-bytes") &&
+               i + 1 < argc) {
+      char* end = nullptr;
+      const long long n = std::strtoll(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || n < 0) return usage();
+      const auto value = static_cast<std::size_t>(n);
+      if (arg == "--oracle-threads") oracle_options.threads = value;
+      else if (arg == "--oracle-max-states") oracle_options.max_states = value;
+      else if (arg == "--oracle-deadline-ms") oracle_options.max_millis = value;
+      else oracle_options.max_bytes = value;
     } else if (arg == "--confirm") {
       run_confirm = true;
     } else if (arg == "--json") {
@@ -221,7 +244,10 @@ int main(int argc, char** argv) {
     std::printf("CLG DOT        : %s\n", clg_path.c_str());
 
   if (run_triage) {
-    const core::TriageResult triage = core::triage_program(*program);
+    core::TriageOptions triage_options;
+    triage_options.oracle = oracle_options;
+    const core::TriageResult triage =
+        core::triage_program(*program, triage_options);
     std::printf("triage         : %s (decided by %s%s)\n",
                 core::triage_verdict_name(triage.verdict),
                 core::algorithm_name(triage.decided_by).c_str(),
@@ -230,8 +256,6 @@ int main(int argc, char** argv) {
 
   if (run_confirm && !result.certified_free) {
     const sg::SyncGraph original = sg::build_sync_graph(*program);
-    wavesim::ExploreOptions explore;
-    explore.max_states = 500'000;
     // Witness node ids refer to the analyzed (possibly unrolled) graph;
     // map by description onto the original where possible, else confirm
     // against any deadlock.
@@ -240,26 +264,40 @@ int main(int argc, char** argv) {
       for (const auto& w : result.witness)
         if (original.describe(NodeId(i)) == w) suspects.push_back(NodeId(i));
     const core::WitnessCheck check =
-        core::confirm_witness(original, suspects, explore);
+        core::confirm_witness(original, suspects, oracle_options);
     std::printf("confirmation   : %s (%zu states explored)\n",
                 core::witness_status_name(check.status),
                 check.states_explored);
+    if (check.budget.first_cap != wavesim::ExploreCap::None)
+      std::printf("  capped by %s after %zu levels, %zu waves, ~%zu bytes, "
+                  "%zu ms\n",
+                  wavesim::explore_cap_name(check.budget.first_cap),
+                  check.budget.levels, check.budget.visited,
+                  check.budget.bytes_estimate, check.budget.elapsed_ms);
   }
 
   if (run_oracle) {
     const sg::SyncGraph original = sg::build_sync_graph(*program);
-    wavesim::ExploreOptions explore;
-    explore.max_states = 500'000;
     // Assignment-exact exploration when the program uses shared conditions
     // (the plain model would allow inconsistent arm choices).
     const wavesim::SharedExploreResult shared =
-        wavesim::explore_shared(*program, explore);
+        wavesim::explore_shared(*program, oracle_options);
     const wavesim::ExploreResult& truth = shared.combined;
     std::printf("oracle         : %zu states%s, deadlock=%s, stall=%s%s\n",
                 truth.states, truth.complete ? "" : " (capped)",
                 truth.any_deadlock ? "yes" : "no",
                 truth.any_stall ? "yes" : "no",
                 shared.assignments_total > 1 ? " (assignment-exact)" : "");
+    std::printf("oracle budget  : %zu levels, %zu waves, ~%zu bytes, %zu ms, "
+                "%s waves%s\n",
+                truth.budget.levels, truth.budget.visited,
+                truth.budget.bytes_estimate, truth.budget.elapsed_ms,
+                truth.budget.packed ? "packed" : "vector",
+                truth.budget.first_cap == wavesim::ExploreCap::None
+                    ? ""
+                    : (std::string(" — capped by ") +
+                       wavesim::explore_cap_name(truth.budget.first_cap))
+                          .c_str());
     if (!truth.witness_trace.empty() && shared.assignments_total == 1) {
       std::printf("oracle witness : wave sequence to first anomaly\n");
       for (const auto& wave : truth.witness_trace) {

@@ -38,6 +38,7 @@ TriageResult triage_program(const lang::Program& program,
   if (!transform::used_shared_conditions(program).empty()) {
     const auto exact = wavesim::explore_shared(program, options.oracle);
     result.confirmation.states_explored = exact.combined.states;
+    result.confirmation.budget = exact.combined.budget;
     if (exact.combined.any_deadlock) {
       result.verdict = TriageVerdict::ConfirmedDeadlock;
       result.confirmation.status = WitnessStatus::ConfirmedOtherCycle;

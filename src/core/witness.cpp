@@ -26,6 +26,7 @@ WitnessCheck confirm_witness(const sg::SyncGraph& graph,
 
   WitnessCheck check;
   check.states_explored = result.states;
+  check.budget = result.budget;
 
   auto touches_suspects = [&](const wavesim::AnomalyReport& report) {
     for (NodeId d : report.deadlock_nodes)

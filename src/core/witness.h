@@ -32,6 +32,9 @@ struct WitnessCheck {
   wavesim::Wave wave;
   std::vector<wavesim::Wave> trace;
   std::size_t states_explored = 0;
+  // How far exploration got before the verdict (Unknown carries which
+  // budget cut it short in budget.first_cap).
+  wavesim::BudgetReport budget;
 };
 
 [[nodiscard]] const char* witness_status_name(WitnessStatus status);

@@ -1,0 +1,77 @@
+// Fixed-width bit-field packing over a two-word (128-bit) record.
+//
+// The wave explorer stores visited execution waves by the hundreds of
+// thousands; a wave packed into one or two uint64_t words is an order of
+// magnitude smaller than a heap-allocated vector and hashes in a couple of
+// instructions. The layout allocator hands out consecutive fields such that
+// no field straddles a word boundary, so every get/set is a single shift
+// and mask. Fields of width 0 are legal (a domain with one value needs no
+// bits) and always decode to 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "support/require.h"
+
+namespace siwa::support {
+
+// One allocated field: which word it lives in, its shift, and its width.
+struct BitField {
+  std::uint8_t word = 0;
+  std::uint8_t shift = 0;
+  std::uint8_t width = 0;
+
+  [[nodiscard]] std::uint64_t mask() const {
+    return width >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << width) - 1;
+  }
+};
+
+// Allocates fields left to right into two 64-bit words. A field that would
+// cross the word boundary is bumped to the start of the second word (the
+// few wasted bits buy branch-free field access).
+class TwoWordLayout {
+ public:
+  // Allocates a field of `width` bits (0..64). Returns false — leaving the
+  // layout unchanged — when the field no longer fits in the 128-bit record.
+  [[nodiscard]] bool allocate(std::size_t width, BitField* out) {
+    SIWA_REQUIRE(width <= 64, "bit field wider than one word");
+    std::size_t word = word_;
+    std::size_t shift = shift_;
+    if (shift + width > 64) {
+      word += 1;
+      shift = 0;
+    }
+    if (word > 1) return false;
+    out->word = static_cast<std::uint8_t>(word);
+    out->shift = static_cast<std::uint8_t>(shift);
+    out->width = static_cast<std::uint8_t>(width);
+    word_ = word;
+    shift_ = shift + width;
+    if (shift_ == 64 && word_ == 0) {
+      word_ = 1;
+      shift_ = 0;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::size_t bits_allocated() const {
+    return word_ * 64 + shift_;
+  }
+
+ private:
+  std::size_t word_ = 0;
+  std::size_t shift_ = 0;
+};
+
+inline void set_field(std::uint64_t words[2], BitField f, std::uint64_t v) {
+  words[f.word] |= (v & f.mask()) << f.shift;
+}
+
+[[nodiscard]] inline std::uint64_t get_field(const std::uint64_t words[2],
+                                             BitField f) {
+  return (words[f.word] >> f.shift) & f.mask();
+}
+
+}  // namespace siwa::support

@@ -23,12 +23,17 @@ WaveClassifier::WaveClassifier(const sg::SyncGraph& sg)
       ctx_(owned_.get()) {}
 
 std::optional<AnomalyReport> WaveClassifier::classify(const Wave& wave) const {
-  const sg::SyncGraph& sg = ctx_->graph();
-  const graph::CondensedReachability& control_reach = ctx_->control_reach();
   // Indices of tasks still waiting at a rendezvous point.
   std::vector<std::size_t> waiting;
   for (std::size_t u = 0; u < wave.size(); ++u)
-    if (sg.is_rendezvous(wave[u])) waiting.push_back(u);
+    if (ctx_->graph().is_rendezvous(wave[u])) waiting.push_back(u);
+  return classify(wave, waiting);
+}
+
+std::optional<AnomalyReport> WaveClassifier::classify(
+    const Wave& wave, const std::vector<std::size_t>& waiting) const {
+  const sg::SyncGraph& sg = ctx_->graph();
+  const graph::CondensedReachability& control_reach = ctx_->control_reach();
   if (waiting.empty()) return std::nullopt;
 
   for (std::size_t a = 0; a < waiting.size(); ++a)

@@ -53,6 +53,13 @@ class WaveClassifier {
   // only b/e entries remain).
   [[nodiscard]] std::optional<AnomalyReport> classify(const Wave& wave) const;
 
+  // Same contract, with the rendezvous scan hoisted: `waiting` must be the
+  // ascending indices of the wave's rendezvous entries. The explorer
+  // computes that list once per wave (it also drives successor expansion)
+  // and hands it in so classification does not re-derive it.
+  [[nodiscard]] std::optional<AnomalyReport> classify(
+      const Wave& wave, const std::vector<std::size_t>& waiting) const;
+
  private:
   std::unique_ptr<const core::AnalysisContext> owned_;
   const core::AnalysisContext* ctx_;

@@ -1,13 +1,32 @@
 #include "wavesim/explorer.h"
 
 #include <algorithm>
-#include <deque>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "support/require.h"
+#include "support/thread_pool.h"
+#include "wavesim/packed_wave.h"
 
 namespace siwa::wavesim {
+
+const char* explore_cap_name(ExploreCap cap) {
+  switch (cap) {
+    case ExploreCap::None: return "none";
+    case ExploreCap::InitialWaves: return "initial waves";
+    case ExploreCap::States: return "states";
+    case ExploreCap::Memory: return "memory";
+    case ExploreCap::Deadline: return "deadline";
+  }
+  return "?";
+}
 
 WaveExplorer::WaveExplorer(const sg::SyncGraph& sg, ExploreOptions options)
     : sg_(sg), options_(options), classifier_(sg) {
@@ -75,68 +94,456 @@ std::vector<Wave> WaveExplorer::next_waves(const Wave& wave) const {
   return out;
 }
 
-ExploreResult WaveExplorer::explore() const {
-  ExploreResult result;
-  std::unordered_set<Wave, WaveHash> visited;
-  std::unordered_map<Wave, Wave, WaveHash> parent;
-  std::deque<Wave> frontier;
+namespace {
 
-  auto enqueue = [&](const Wave& wave, const Wave* from) {
-    if (visited.size() >= options_.max_states) {
-      result.complete = false;
-      return;
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Per-chunk (deterministic) or per-lane (relaxed) classification results,
+// merged into the ExploreResult in a deterministic order where required.
+struct LevelOut {
+  std::size_t processed = 0;
+  std::size_t transitions = 0;
+  std::size_t anomalous = 0;
+  bool any_deadlock = false;
+  bool any_stall = false;
+  bool can_terminate = false;
+  std::vector<AnomalyReport> reports;     // capped at max_reports
+  std::size_t first_anomalous = kNone;    // frontier index of first anomaly
+};
+
+// The vector fallback: waves stored as-is.
+struct VectorCodec {
+  using Key = Wave;
+  using Hash = WaveHash;
+  [[nodiscard]] static constexpr bool packed() { return false; }
+  [[nodiscard]] Key encode(const Wave& w) const { return w; }
+  void decode_into(const Key& k, Wave& out) const { out = k; }
+};
+
+// Two-word packed waves (see wavesim/packed_wave.h).
+struct PackedCodecRef {
+  const WaveCodec* codec;
+  using Key = PackedWave;
+  using Hash = PackedWaveHash;
+  [[nodiscard]] static constexpr bool packed() { return true; }
+  [[nodiscard]] Key encode(const Wave& w) const { return codec->encode(w); }
+  void decode_into(const Key& k, Wave& out) const {
+    codec->decode_into(k, out);
+  }
+};
+
+// Level-synchronous BFS over wave space. One instance per explore() call;
+// shared immutable inputs (graph, classifier, codec), per-call mutable
+// search state.
+template <class CodecT>
+class Engine {
+  using Key = typename CodecT::Key;
+  using Hash = typename CodecT::Hash;
+  using Clock = std::chrono::steady_clock;
+
+ public:
+  Engine(const sg::SyncGraph& sg, const WaveClassifier& classifier,
+         const ExploreOptions& options, CodecT codec)
+      : sg_(sg),
+        classifier_(classifier),
+        options_(options),
+        codec_(codec),
+        end_node_(sg.end_node()),
+        witness_(options.collect_witness_trace) {
+    entry_bytes_ = sizeof(Key) + 16;  // hash-set node overhead estimate
+    if (!CodecT::packed())
+      entry_bytes_ += sg_.task_count() * sizeof(NodeId);
+    if (witness_) entry_bytes_ += entry_bytes_ + sizeof(Key);  // parent map
+  }
+
+  ExploreResult run(const std::vector<Wave>& initial, bool initial_truncated) {
+    const Clock::time_point start = Clock::now();
+    if (options_.max_millis != 0)
+      deadline_ = start + std::chrono::milliseconds(options_.max_millis);
+
+    ExploreResult result;
+    result.budget.packed = CodecT::packed();
+    if (initial_truncated) hit_cap(result, ExploreCap::InitialWaves);
+
+    const std::size_t lanes =
+        options_.threads == 1 ? 1
+                              : support::resolve_thread_count(options_.threads);
+    std::optional<support::ThreadPool> pool;
+    if (lanes > 1) pool.emplace(lanes);
+
+    shard_count_ = lanes == 1 ? 1 : shard_count_for(lanes);
+    visited_.resize(shard_count_);
+    if (witness_) parents_.resize(shard_count_);
+    if (lanes > 1 && !options_.deterministic)
+      shard_mutexes_ = std::make_unique<std::mutex[]>(shard_count_);
+
+    // Seed level: dedupe + caps over the initial list, serially (the list
+    // is bounded by max_initial_waves and cheap).
+    std::vector<Key> frontier;
+    for (const Wave& w : initial) {
+      const Key key = codec_.encode(w);
+      auto& shard = visited_[shard_of(key)];
+      if (shard.contains(key)) continue;
+      if (over_caps(result)) continue;
+      shard.insert(key);
+      ++admitted_;
+      frontier.push_back(key);
     }
-    if (!visited.insert(wave).second) return;
-    if (options_.collect_witness_trace && from != nullptr)
-      parent.emplace(wave, *from);
-    frontier.push_back(wave);
+
+    std::vector<LaneScratch> scratch(lanes);
+    while (!frontier.empty() && !expired_.load(std::memory_order_relaxed)) {
+      if (deadline_ && Clock::now() > *deadline_) {
+        hit_cap(result, ExploreCap::Deadline);
+        break;
+      }
+      if (options_.collect_waves != nullptr) {
+        Wave w;
+        for (const Key& k : frontier) {
+          codec_.decode_into(k, w);
+          options_.collect_waves->push_back(w);
+        }
+      }
+
+      const std::size_t n = frontier.size();
+      const std::size_t chunk_size =
+          lanes == 1 ? n
+                     : std::max<std::size_t>(
+                           16, (n + lanes * 4 - 1) / (lanes * 4));
+      const std::size_t chunks = (n + chunk_size - 1) / chunk_size;
+
+      std::vector<Key> next;
+      if (lanes > 1 && !options_.deterministic) {
+        run_level_relaxed(frontier, chunks, chunk_size, *pool, scratch,
+                          result, next);
+      } else {
+        run_level_ordered(frontier, chunks, chunk_size,
+                          pool ? &*pool : nullptr, scratch, result, next);
+      }
+      if (expired_.load(std::memory_order_relaxed))
+        hit_cap(result, ExploreCap::Deadline);
+      else
+        ++result.budget.levels;
+      frontier = std::move(next);
+    }
+
+    result.budget.visited = admitted_;
+    result.budget.bytes_estimate = admitted_ * entry_bytes_;
+    result.budget.elapsed_ms = static_cast<std::size_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                              start)
+            .count());
+    return result;
+  }
+
+ private:
+  struct LaneScratch {
+    Wave wave;
+    std::vector<std::size_t> waiting;
   };
 
-  bool initial_truncated = false;
-  for (const Wave& w : initial_waves(&initial_truncated)) enqueue(w, nullptr);
-  if (initial_truncated) result.complete = false;
+  // Candidates of one chunk, in generation order (deterministic mode).
+  struct ChunkOut {
+    LevelOut stats;
+    std::vector<Key> candidates;
+    std::vector<std::uint32_t> sources;    // frontier index (witness only)
+    std::vector<std::uint8_t> shard_ids;
+    std::vector<std::uint8_t> accepted;    // filled by the dedupe phase
+  };
 
-  bool witness_done = false;
-  while (!frontier.empty()) {
-    const Wave wave = std::move(frontier.front());
-    frontier.pop_front();
-    ++result.states;
-    if (options_.collect_waves != nullptr)
-      options_.collect_waves->push_back(wave);
+  static std::size_t shard_count_for(std::size_t lanes) {
+    std::size_t shards = 8;
+    while (shards < lanes * 4) shards *= 2;
+    return std::min<std::size_t>(shards, 256);
+  }
 
-    bool all_done = true;
-    for (NodeId n : wave)
-      if (sg_.is_rendezvous(n)) all_done = false;
-    if (all_done) {
-      result.can_terminate = true;
-      continue;
+  [[nodiscard]] std::size_t shard_of(const Key& key) const {
+    return (Hash{}(key) >> 7) & (shard_count_ - 1);
+  }
+
+  void hit_cap(ExploreResult& result, ExploreCap cap) {
+    result.complete = false;
+    if (result.budget.first_cap == ExploreCap::None)
+      result.budget.first_cap = cap;
+  }
+
+  // True when admitting one more wave would bust a budget; records the cap.
+  bool over_caps(ExploreResult& result) {
+    if (admitted_ >= options_.max_states) {
+      hit_cap(result, ExploreCap::States);
+      return true;
+    }
+    if (options_.max_bytes != 0 &&
+        (admitted_ + 1) * entry_bytes_ > options_.max_bytes) {
+      hit_cap(result, ExploreCap::Memory);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::span<const NodeId> successors_of(NodeId n) const {
+    const auto s = sg_.control_successors(n);
+    if (!s.empty()) return s;
+    return std::span<const NodeId>(&end_node_, 1);
+  }
+
+  // Classifies frontier[index] and streams its successor waves to `sink`
+  // (called as sink(wave, index) with the scratch wave mutated in place).
+  template <class Sink>
+  void process_wave(const std::vector<Key>& frontier, std::size_t index,
+                    LaneScratch& lane, LevelOut& out, Sink&& sink) {
+    codec_.decode_into(frontier[index], lane.wave);
+    Wave& wave = lane.wave;
+    ++out.processed;
+
+    lane.waiting.clear();
+    for (std::size_t u = 0; u < wave.size(); ++u)
+      if (sg_.is_rendezvous(wave[u])) lane.waiting.push_back(u);
+    if (lane.waiting.empty()) {
+      out.can_terminate = true;  // every task is at e
+      return;
     }
 
-    if (auto report = classifier_.classify(wave)) {
-      ++result.anomalous_waves;
-      result.any_deadlock = result.any_deadlock || report->is_deadlock();
-      result.any_stall = result.any_stall || report->is_stall();
-      if (result.reports.size() < options_.max_reports)
-        result.reports.push_back(*report);
-      if (options_.collect_witness_trace && !witness_done) {
-        witness_done = true;
-        std::vector<Wave> trace{wave};
-        auto it = parent.find(wave);
-        while (it != parent.end()) {
-          trace.push_back(it->second);
-          it = parent.find(it->second);
+    if (auto report = classifier_.classify(wave, lane.waiting)) {
+      ++out.anomalous;
+      out.any_deadlock = out.any_deadlock || report->is_deadlock();
+      out.any_stall = out.any_stall || report->is_stall();
+      if (out.reports.size() < options_.max_reports)
+        out.reports.push_back(std::move(*report));
+      if (out.first_anomalous == kNone) out.first_anomalous = index;
+      return;  // anomalous waves have no successors
+    }
+
+    for (std::size_t a = 0; a < lane.waiting.size(); ++a) {
+      const std::size_t u = lane.waiting[a];
+      for (std::size_t b = a + 1; b < lane.waiting.size(); ++b) {
+        const std::size_t v = lane.waiting[b];
+        if (!sg_.has_sync_edge(wave[u], wave[v])) continue;
+        const NodeId from_u = wave[u];
+        const NodeId from_v = wave[v];
+        for (NodeId nu : successors_of(from_u)) {
+          for (NodeId nv : successors_of(from_v)) {
+            wave[u] = nu;
+            wave[v] = nv;
+            ++out.transitions;
+            sink(wave, index);
+          }
         }
-        result.witness_trace.assign(trace.rbegin(), trace.rend());
+        wave[u] = from_u;
+        wave[v] = from_v;
       }
-      continue;  // anomalous waves have no successors
-    }
-
-    for (Wave& next : next_waves(wave)) {
-      ++result.transitions;
-      enqueue(next, &wave);
     }
   }
-  return result;
+
+  void merge_stats(ExploreResult& result, LevelOut& out) {
+    result.states += out.processed;
+    result.transitions += out.transitions;
+    result.anomalous_waves += out.anomalous;
+    result.any_deadlock = result.any_deadlock || out.any_deadlock;
+    result.any_stall = result.any_stall || out.any_stall;
+    result.can_terminate = result.can_terminate || out.can_terminate;
+    for (auto& report : out.reports) {
+      if (result.reports.size() >= options_.max_reports) break;
+      result.reports.push_back(std::move(report));
+    }
+  }
+
+  void build_witness_trace(ExploreResult& result,
+                           const std::vector<Key>& frontier,
+                           std::size_t index) {
+    witness_done_ = true;
+    std::vector<Wave> trace;
+    Key key = frontier[index];
+    while (true) {
+      trace.emplace_back();
+      codec_.decode_into(key, trace.back());
+      const auto& shard = parents_[shard_of(key)];
+      const auto it = shard.find(key);
+      if (it == shard.end()) break;
+      key = it->second;
+    }
+    result.witness_trace.assign(trace.rbegin(), trace.rend());
+  }
+
+  void poll_deadline() {
+    if (deadline_ && Clock::now() > *deadline_)
+      expired_.store(true, std::memory_order_relaxed);
+  }
+
+  // Deterministic level: expand chunks (parallel), dedupe shards
+  // (parallel), then assemble the next frontier and merge statistics in the
+  // exact order the serial search would have produced.
+  void run_level_ordered(const std::vector<Key>& frontier, std::size_t chunks,
+                         std::size_t chunk_size, support::ThreadPool* pool,
+                         std::vector<LaneScratch>& scratch,
+                         ExploreResult& result, std::vector<Key>& next) {
+    std::vector<ChunkOut> outs(chunks);
+
+    auto expand_chunk = [&](std::size_t c, std::size_t lane) {
+      if (expired_.load(std::memory_order_relaxed)) return;
+      ChunkOut& out = outs[c];
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(frontier.size(), lo + chunk_size);
+      for (std::size_t i = lo; i < hi; ++i) {
+        process_wave(frontier, i, scratch[lane], out.stats,
+                     [&](const Wave& w, std::size_t src) {
+                       const Key key = codec_.encode(w);
+                       out.shard_ids.push_back(
+                           static_cast<std::uint8_t>(shard_of(key)));
+                       out.candidates.push_back(key);
+                       if (witness_)
+                         out.sources.push_back(
+                             static_cast<std::uint32_t>(src));
+                     });
+      }
+      out.accepted.assign(out.candidates.size(), 0);
+      poll_deadline();
+    };
+
+    auto dedupe_shard = [&](std::size_t s, std::size_t) {
+      auto& shard = visited_[s];
+      for (ChunkOut& out : outs) {
+        for (std::size_t j = 0; j < out.candidates.size(); ++j) {
+          if (out.shard_ids[j] != s) continue;
+          if (!shard.insert(out.candidates[j]).second) continue;
+          out.accepted[j] = 1;
+          if (witness_)
+            parents_[s].emplace(out.candidates[j],
+                                frontier[out.sources[j]]);
+        }
+      }
+    };
+
+    if (pool != nullptr) {
+      pool->parallel_for_each(chunks, expand_chunk);
+      if (!expired_.load(std::memory_order_relaxed))
+        pool->parallel_for_each(shard_count_, dedupe_shard);
+    } else {
+      for (std::size_t c = 0; c < chunks; ++c) expand_chunk(c, 0);
+      if (!expired_.load(std::memory_order_relaxed))
+        for (std::size_t s = 0; s < shard_count_; ++s) dedupe_shard(s, 0);
+    }
+
+    const bool expired = expired_.load(std::memory_order_relaxed);
+    for (ChunkOut& out : outs) {
+      if (witness_ && !witness_done_ && out.stats.first_anomalous != kNone)
+        build_witness_trace(result, frontier, out.stats.first_anomalous);
+      merge_stats(result, out.stats);
+      if (expired) continue;  // abandoned level: keep counts, admit nothing
+      for (std::size_t j = 0; j < out.candidates.size(); ++j) {
+        if (!out.accepted[j]) continue;
+        // The dedupe phase inserted the key already; apply the admission
+        // budgets here, in global generation order, exactly as the serial
+        // search would. A rejected key stays in the visited set, which is
+        // harmless: once a budget fires nothing new is ever admitted.
+        if (over_caps(result)) continue;
+        ++admitted_;
+        next.push_back(out.candidates[j]);
+      }
+    }
+  }
+
+  // Relaxed level (deterministic == false): expansion, dedupe and admission
+  // fused into one pass; workers publish new waves through per-shard locks
+  // as they find them. Counts match the ordered mode whenever no budget
+  // fires; capped runs may admit a different subset, and report/witness
+  // selection follows worker scheduling.
+  void run_level_relaxed(const std::vector<Key>& frontier, std::size_t chunks,
+                         std::size_t chunk_size, support::ThreadPool& pool,
+                         std::vector<LaneScratch>& scratch,
+                         ExploreResult& result, std::vector<Key>& next) {
+    const std::size_t lanes = pool.worker_count();
+    std::vector<LevelOut> lane_stats(lanes);
+    std::vector<std::vector<Key>> lane_next(lanes);
+    std::atomic<std::size_t> total{admitted_};
+    std::atomic<bool> states_capped{false};
+    std::atomic<bool> bytes_capped{false};
+
+    pool.parallel_for_each(chunks, [&](std::size_t c, std::size_t lane) {
+      if (expired_.load(std::memory_order_relaxed)) return;
+      const std::size_t lo = c * chunk_size;
+      const std::size_t hi = std::min(frontier.size(), lo + chunk_size);
+      for (std::size_t i = lo; i < hi; ++i) {
+        process_wave(frontier, i, scratch[lane], lane_stats[lane],
+                     [&](const Wave& w, std::size_t src) {
+                       const Key key = codec_.encode(w);
+                       const std::size_t s = shard_of(key);
+                       bool inserted;
+                       {
+                         std::lock_guard<std::mutex> lock(shard_mutexes_[s]);
+                         inserted = visited_[s].insert(key).second;
+                         if (inserted && witness_)
+                           parents_[s].emplace(key, frontier[src]);
+                       }
+                       if (!inserted) return;
+                       const std::size_t idx =
+                           total.fetch_add(1, std::memory_order_relaxed);
+                       if (idx >= options_.max_states) {
+                         states_capped.store(true, std::memory_order_relaxed);
+                         return;
+                       }
+                       if (options_.max_bytes != 0 &&
+                           (idx + 1) * entry_bytes_ > options_.max_bytes) {
+                         bytes_capped.store(true, std::memory_order_relaxed);
+                         return;
+                       }
+                       lane_next[lane].push_back(key);
+                     });
+      }
+      poll_deadline();
+    });
+
+    std::size_t first_anomalous = kNone;
+    for (LevelOut& out : lane_stats) {
+      first_anomalous = std::min(first_anomalous, out.first_anomalous);
+      merge_stats(result, out);
+    }
+    if (witness_ && !witness_done_ && first_anomalous != kNone)
+      build_witness_trace(result, frontier, first_anomalous);
+    if (states_capped.load()) hit_cap(result, ExploreCap::States);
+    if (bytes_capped.load()) hit_cap(result, ExploreCap::Memory);
+
+    if (expired_.load(std::memory_order_relaxed)) return;
+    for (std::vector<Key>& part : lane_next) {
+      admitted_ += part.size();
+      next.insert(next.end(), part.begin(), part.end());
+    }
+  }
+
+  const sg::SyncGraph& sg_;
+  const WaveClassifier& classifier_;
+  const ExploreOptions& options_;
+  CodecT codec_;
+  const NodeId end_node_;
+  const bool witness_;
+
+  std::size_t entry_bytes_ = 0;
+  std::size_t shard_count_ = 1;
+  std::size_t admitted_ = 0;
+  bool witness_done_ = false;
+  std::atomic<bool> expired_{false};
+  std::optional<Clock::time_point> deadline_;
+
+  std::vector<std::unordered_set<Key, Hash>> visited_;
+  std::vector<std::unordered_map<Key, Key, Hash>> parents_;
+  std::unique_ptr<std::mutex[]> shard_mutexes_;
+};
+
+}  // namespace
+
+ExploreResult WaveExplorer::explore() const {
+  bool initial_truncated = false;
+  const std::vector<Wave> initial = initial_waves(&initial_truncated);
+
+  if (options_.use_packed_waves) {
+    const WaveCodec codec(sg_);
+    if (codec.usable()) {
+      Engine<PackedCodecRef> engine(sg_, classifier_, options_,
+                                    PackedCodecRef{&codec});
+      return engine.run(initial, initial_truncated);
+    }
+  }
+  Engine<VectorCodec> engine(sg_, classifier_, options_, VectorCodec{});
+  return engine.run(initial, initial_truncated);
 }
 
 }  // namespace siwa::wavesim

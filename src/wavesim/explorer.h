@@ -7,8 +7,20 @@
 // this to Taylor's concurrency-state enumeration; `states` is that state
 // count, used as the baseline in experiment E12). SIWA uses it as the
 // ground-truth oracle when measuring the precision of the CLG detectors.
+//
+// The search is level-synchronous: each BFS level's frontier is expanded
+// into candidate successor waves, deduplicated against a sharded visited
+// set, and assembled into the next frontier. With `threads != 1` the expand
+// and dedupe phases fan out over a support::ThreadPool; in deterministic
+// mode (the default) candidates are accepted in the exact order the serial
+// search would generate them, so verdicts, state counts, retained reports
+// and the chosen witness trace are bit-identical to `threads == 1` at any
+// thread count. Waves are bit-packed into 16 bytes each when the graph
+// permits (see wavesim/packed_wave.h), falling back to the vector form
+// otherwise.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -24,8 +36,52 @@ struct ExploreOptions {
   std::size_t max_reports = 16;  // anomaly reports retained
   bool collect_witness_trace = true;
   // When set, every distinct reachable wave is appended here (used by the
-  // semantic validation tests for the precedence engine).
+  // semantic validation tests for the precedence engine). In deterministic
+  // mode the sequence is identical at any thread count.
   std::vector<Wave>* collect_waves = nullptr;
+
+  // Worker threads for the level-synchronous search; 1 = serial in the
+  // calling thread (the default), 0 = one worker per hardware thread.
+  std::size_t threads = 1;
+  // When true (the default), parallel runs reproduce the serial search bit
+  // for bit: same verdicts, counts, retained reports, witness trace and
+  // collect_waves sequence. When false, workers publish new waves through
+  // per-shard locks as they find them — cheaper by one synchronization
+  // phase per level, but capped runs may visit a different subset and the
+  // retained reports/witness may come from a different (equally valid)
+  // anomalous wave.
+  bool deterministic = true;
+  // Pack waves into two words when the graph permits (always correct;
+  // exposed so benches and tests can force the vector fallback).
+  bool use_packed_waves = true;
+
+  // Robustness budgets. 0 = unlimited. When a budget fires the exploration
+  // degrades gracefully: `complete` is cleared and `budget` records which
+  // cap fired first and how much was explored.
+  std::size_t max_millis = 0;  // wall-clock deadline for explore()
+  std::size_t max_bytes = 0;   // visited-set footprint estimate cap
+};
+
+// Which cap ended an exploration early (first one to fire).
+enum class ExploreCap : std::uint8_t {
+  None,          // ran to exhaustion: result is exact
+  InitialWaves,  // max_initial_waves dropped entry combinations
+  States,        // max_states rejected a distinct new wave
+  Memory,        // max_bytes rejected a distinct new wave
+  Deadline,      // max_millis expired; remaining frontier abandoned
+};
+
+[[nodiscard]] const char* explore_cap_name(ExploreCap cap);
+
+// Structured account of how a (possibly truncated) exploration went —
+// replaces guessing from the bare `complete` boolean.
+struct BudgetReport {
+  ExploreCap first_cap = ExploreCap::None;
+  std::size_t levels = 0;          // BFS levels fully processed
+  std::size_t visited = 0;         // distinct waves admitted to the search
+  std::size_t bytes_estimate = 0;  // approx. visited + parent-map footprint
+  std::size_t elapsed_ms = 0;      // wall clock of explore()
+  bool packed = false;             // packed wave encoding in use
 };
 
 struct ExploreResult {
@@ -40,6 +96,7 @@ struct ExploreResult {
   // Rendezvous-by-rendezvous wave sequence from an initial wave to the
   // first anomalous wave found (empty when no anomaly or disabled).
   std::vector<Wave> witness_trace;
+  BudgetReport budget;
 
   [[nodiscard]] bool has_anomaly() const { return anomalous_waves > 0; }
 };

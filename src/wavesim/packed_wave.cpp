@@ -1,0 +1,80 @@
+#include "wavesim/packed_wave.h"
+
+#include <bit>
+#include <limits>
+
+#include "support/require.h"
+
+namespace siwa::wavesim {
+
+namespace {
+constexpr std::uint32_t kNoCode = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+WaveCodec::WaveCodec(const sg::SyncGraph& sg) : sg_(&sg) {
+  SIWA_REQUIRE(sg.finalized(), "codec requires finalized graph");
+  const std::size_t tasks = sg.task_count();
+
+  code_of_node_.assign(sg.node_count(), kNoCode);
+  code_of_node_[sg.end_node().index()] = 0;  // e is code 0 in every task
+  fields_.resize(tasks);
+
+  // A task's wave entry is confined to {e} ∪ nodes_of_task(t) as long as
+  // every control successor of a task node — and every task entry — stays
+  // inside that domain. Program-built graphs satisfy this by construction;
+  // a gadget graph with cross-task control edges (or edges into b) makes
+  // the codec unusable and the explorer keeps the vector representation.
+  auto in_domain = [&](TaskId t, NodeId n) {
+    if (n == sg.end_node()) return true;
+    return sg.is_rendezvous(n) && sg.node(n).task == t;
+  };
+
+  support::TwoWordLayout layout;
+  for (std::size_t ti = 0; ti < tasks; ++ti) {
+    const TaskId t(ti);
+    const auto nodes = sg.nodes_of_task(t);
+    for (std::size_t k = 0; k < nodes.size(); ++k) {
+      code_of_node_[nodes[k].index()] = static_cast<std::uint32_t>(k + 1);
+      for (NodeId s : sg.control_successors(nodes[k]))
+        if (!in_domain(t, s)) return;
+    }
+    for (NodeId entry : sg.task_entries(t))
+      if (!in_domain(t, entry)) return;
+    const std::size_t width = std::bit_width(nodes.size());  // codes 0..n
+    if (!layout.allocate(width, &fields_[ti])) return;
+  }
+  packed_bits_ = layout.bits_allocated();
+  usable_ = true;
+}
+
+PackedWave WaveCodec::encode(const Wave& wave) const {
+  SIWA_REQUIRE(usable_, "encode on unusable codec");
+  SIWA_REQUIRE(wave.size() == fields_.size(), "wave/task count mismatch");
+  PackedWave packed;
+  for (std::size_t t = 0; t < wave.size(); ++t) {
+    const std::uint32_t code = code_of_node_[wave[t].index()];
+    SIWA_REQUIRE(code != kNoCode, "wave node outside packing domain");
+    support::set_field(packed.words, fields_[t], code);
+  }
+  return packed;
+}
+
+Wave WaveCodec::decode(const PackedWave& packed) const {
+  Wave out;
+  decode_into(packed, out);
+  return out;
+}
+
+void WaveCodec::decode_into(const PackedWave& packed, Wave& out) const {
+  SIWA_REQUIRE(usable_, "decode on unusable codec");
+  out.resize(fields_.size());
+  for (std::size_t t = 0; t < fields_.size(); ++t) {
+    const std::uint64_t code = support::get_field(packed.words, fields_[t]);
+    out[t] = code == 0
+                 ? sg_->end_node()
+                 : sg_->nodes_of_task(TaskId(t))[static_cast<std::size_t>(
+                       code - 1)];
+  }
+}
+
+}  // namespace siwa::wavesim

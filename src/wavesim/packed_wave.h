@@ -1,0 +1,69 @@
+// Packed execution waves.
+//
+// A wave holds one node per task, and each task only ever holds one of its
+// own rendezvous nodes or the end node e. Numbering task t's possibilities
+// 0 = e, 1..n_t = nodes_of_task(t) lets a wave be bit-packed into two
+// uint64_t words with per-task field widths of bit_width(n_t) — for the
+// E12 workloads that is 16 bytes per visited wave instead of a
+// heap-allocated vector, which is what lets the oracle's visited set reach
+// graphs an order of magnitude larger before the memory budget fires.
+//
+// The codec validates at construction that the graph's wave space really is
+// confined to the per-task domains (program-built graphs always are;
+// hand-built gadget graphs may leak control edges across tasks) and that
+// the total width fits in 128 bits. When either check fails, usable() is
+// false and the explorer falls back to the vector representation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitpack.h"
+#include "syncgraph/sync_graph.h"
+#include "wavesim/wave.h"
+
+namespace siwa::wavesim {
+
+struct PackedWave {
+  std::uint64_t words[2] = {0, 0};
+
+  friend bool operator==(const PackedWave& a, const PackedWave& b) {
+    return a.words[0] == b.words[0] && a.words[1] == b.words[1];
+  }
+};
+
+struct PackedWaveHash {
+  std::size_t operator()(const PackedWave& w) const noexcept {
+    auto mix = [](std::uint64_t x) {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    };
+    return static_cast<std::size_t>(mix(w.words[0]) ^
+                                    mix(w.words[1] + 0x7f4a7c15ull));
+  }
+};
+
+class WaveCodec {
+ public:
+  explicit WaveCodec(const sg::SyncGraph& sg);
+
+  // True when every wave of this graph packs into 128 bits. encode/decode
+  // must only be called when usable().
+  [[nodiscard]] bool usable() const { return usable_; }
+  [[nodiscard]] std::size_t packed_bits() const { return packed_bits_; }
+
+  [[nodiscard]] PackedWave encode(const Wave& wave) const;
+  [[nodiscard]] Wave decode(const PackedWave& packed) const;
+  void decode_into(const PackedWave& packed, Wave& out) const;
+
+ private:
+  const sg::SyncGraph* sg_;
+  bool usable_ = false;
+  std::size_t packed_bits_ = 0;
+  std::vector<support::BitField> fields_;    // by task
+  std::vector<std::uint32_t> code_of_node_;  // by node; code within its task
+};
+
+}  // namespace siwa::wavesim

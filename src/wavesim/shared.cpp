@@ -1,5 +1,11 @@
 #include "wavesim/shared.h"
 
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include "support/thread_pool.h"
 #include "syncgraph/builder.h"
 #include "transform/inline.h"
 #include "transform/prune.h"
@@ -7,8 +13,9 @@
 namespace siwa::wavesim {
 namespace {
 
-void merge_into(ExploreResult& combined, const ExploreResult& part,
-                std::size_t max_reports) {
+void merge_into(SharedExploreResult& result, const ExploreResult& part,
+                std::size_t assignment_bits, std::size_t max_reports) {
+  ExploreResult& combined = result.combined;
   combined.complete = combined.complete && part.complete;
   combined.states += part.states;
   combined.transitions += part.transitions;
@@ -20,8 +27,24 @@ void merge_into(ExploreResult& combined, const ExploreResult& part,
     if (combined.reports.size() >= max_reports) break;
     combined.reports.push_back(report);
   }
-  if (combined.witness_trace.empty() && !part.witness_trace.empty())
+  if (combined.witness_trace.empty() && !part.witness_trace.empty()) {
     combined.witness_trace = part.witness_trace;
+    result.has_witness_assignment = true;
+    result.witness_assignment_bits = assignment_bits;
+  }
+
+  if (combined.budget.first_cap == ExploreCap::None)
+    combined.budget.first_cap = part.budget.first_cap;
+  combined.budget.levels = std::max(combined.budget.levels, part.budget.levels);
+  combined.budget.visited += part.budget.visited;
+  combined.budget.bytes_estimate =
+      std::max(combined.budget.bytes_estimate, part.budget.bytes_estimate);
+  combined.budget.packed = combined.budget.packed && part.budget.packed;
+
+  result.work_states += part.states;
+  result.work_transitions += part.transitions;
+  result.peak_states = std::max(result.peak_states, part.states);
+  result.peak_transitions = std::max(result.peak_transitions, part.transitions);
 }
 
 }  // namespace
@@ -29,6 +52,7 @@ void merge_into(ExploreResult& combined, const ExploreResult& part,
 SharedExploreResult explore_shared(const lang::Program& original,
                                    const ExploreOptions& options,
                                    std::size_t max_conditions) {
+  const auto start = std::chrono::steady_clock::now();
   SharedExploreResult result;
   // Inline up front so condition usage inside procedures is visible to the
   // assignment enumeration.
@@ -43,24 +67,80 @@ SharedExploreResult explore_shared(const lang::Program& original,
     const sg::SyncGraph graph = sg::build_sync_graph(program);
     result.combined = WaveExplorer(graph, options).explore();
     result.assignments_total = 1;
+    result.work_states = result.combined.states;
+    result.work_transitions = result.combined.transitions;
+    result.peak_states = result.combined.states;
+    result.peak_transitions = result.combined.transitions;
     return result;
   }
 
   result.assignments_total = std::size_t{1} << conditions.size();
   result.combined.complete = true;
-  for (std::size_t bits = 0; bits < result.assignments_total; ++bits) {
+  result.combined.budget.packed = true;
+
+  // Explore one assignment; nullopt when it is infeasible.
+  auto explore_assignment =
+      [&](std::size_t bits,
+          const ExploreOptions& per_assignment) -> std::optional<ExploreResult> {
     std::map<Symbol, bool> assignment;
     for (std::size_t k = 0; k < conditions.size(); ++k)
       assignment[conditions[k]] = (bits >> k) & 1u;
     const auto pruned = transform::prune_shared(program, assignment);
-    if (!pruned) {
+    if (!pruned) return std::nullopt;
+    const sg::SyncGraph graph = sg::build_sync_graph(*pruned);
+    return WaveExplorer(graph, per_assignment).explore();
+  };
+
+  const std::size_t threads = options.threads == 1
+                                  ? 1
+                                  : support::resolve_thread_count(options.threads);
+  std::vector<std::optional<ExploreResult>> parts(result.assignments_total);
+  if (threads == 1 || result.assignments_total == 1) {
+    for (std::size_t bits = 0; bits < result.assignments_total; ++bits)
+      parts[bits] = explore_assignment(bits, options);
+  } else {
+    // Parallelism goes across assignments — each per-assignment search runs
+    // serially (the ThreadPool nesting policy forbids a second level). The
+    // merge below walks assignments in enumeration order, so the result is
+    // the same at any thread count.
+    ExploreOptions per_assignment = options;
+    per_assignment.threads = 1;
+    // collect_waves is a single caller-owned sink; concurrent appends from
+    // several assignments would race and scramble the order. Buffer per
+    // assignment and splice in enumeration order instead.
+    std::vector<std::vector<Wave>> collected;
+    if (options.collect_waves != nullptr)
+      collected.resize(result.assignments_total);
+    support::ThreadPool pool(threads);
+    pool.parallel_for_each(
+        result.assignments_total, [&](std::size_t bits, std::size_t) {
+          ExploreOptions local = per_assignment;
+          if (options.collect_waves != nullptr)
+            local.collect_waves = &collected[bits];
+          parts[bits] = explore_assignment(bits, local);
+        });
+    if (options.collect_waves != nullptr)
+      for (auto& waves : collected)
+        options.collect_waves->insert(options.collect_waves->end(),
+                                      waves.begin(), waves.end());
+  }
+
+  for (std::size_t bits = 0; bits < result.assignments_total; ++bits) {
+    if (!parts[bits]) {
       ++result.assignments_infeasible;
       continue;
     }
-    const sg::SyncGraph graph = sg::build_sync_graph(*pruned);
-    merge_into(result.combined, WaveExplorer(graph, options).explore(),
-               options.max_reports);
+    merge_into(result, *parts[bits], bits, options.max_reports);
   }
+  if (result.has_witness_assignment)
+    for (std::size_t k = 0; k < conditions.size(); ++k)
+      result.witness_assignment[conditions[k]] =
+          (result.witness_assignment_bits >> k) & 1u;
+
+  result.combined.budget.elapsed_ms = static_cast<std::size_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   return result;
 }
 

@@ -10,7 +10,14 @@
 // explores each residue exactly, and unions the results. Assignments that
 // pin a shared loop condition true are infeasible under the
 // all-tasks-terminate assumption and are skipped (counted in the result).
+//
+// With `options.threads != 1` the feasible assignments are explored
+// concurrently (one level of parallelism: each per-assignment exploration
+// runs serially, per the ThreadPool nesting policy) and merged in
+// assignment order, so the result is identical at any thread count.
 #pragma once
+
+#include <map>
 
 #include "lang/ast.h"
 #include "wavesim/explorer.h"
@@ -21,10 +28,36 @@ struct SharedExploreResult {
   // Union across feasible assignments. NOTE: anomaly reports and witness
   // traces reference the per-assignment pruned graphs, not a graph of the
   // original program; use them for verdicts and counts, not node lookups.
+  //
+  // `combined.states`/`combined.transitions` are summed across assignments
+  // — they measure *work done by this oracle*, not the size of any one
+  // state space (the same wave shape reached under two assignments counts
+  // twice). Experiment E12's "concurrency states" column deliberately uses
+  // the plain explorer, not these sums. `combined.budget` follows the same
+  // convention: `visited` is summed work, `bytes_estimate` is the largest
+  // single-assignment footprint, `levels` the deepest search, `elapsed_ms`
+  // the wall clock of the whole explore_shared call, and `packed` is true
+  // only when every assignment packed.
   ExploreResult combined;
   std::size_t assignments_total = 0;   // 2^k over used shared conditions
   std::size_t assignments_infeasible = 0;
   bool condition_cap_hit = false;      // too many shared conditions
+
+  // Work vs peak accounting. work_* duplicate the sums in `combined` under
+  // explicit names; peak_* are the per-assignment maxima — the honest
+  // answer to "how big was the largest state space explored".
+  std::size_t work_states = 0;
+  std::size_t work_transitions = 0;
+  std::size_t peak_states = 0;
+  std::size_t peak_transitions = 0;
+
+  // Which assignment produced `combined.witness_trace` (the first
+  // assignment, in enumeration order, whose exploration found an anomaly).
+  // Unset when there is no witness or the fallback (no/too many
+  // conditions) path ran.
+  bool has_witness_assignment = false;
+  std::size_t witness_assignment_bits = 0;  // bit k = conditions[k]
+  std::map<Symbol, bool> witness_assignment;
 };
 
 // `max_conditions`: above this, falls back to the plain (conservative)

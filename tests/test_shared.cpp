@@ -238,6 +238,110 @@ task u is begin if v then send t.m; end if; end u;
   EXPECT_EQ(result.assignments_infeasible, 1u);  // v = true
 }
 
+// --- work/peak accounting and parallel assignments ------------------------
+
+const char* kTwoConditionSource = R"(
+shared condition v, w;
+task a is
+begin
+  if v then
+    accept ping;
+    send b.pong;
+  end if;
+  if w then
+    accept tick;
+  end if;
+end a;
+task b is
+begin
+  if v then
+    null;
+  else
+    accept pong;
+    send a.ping;
+  end if;
+  send a.tick;
+end b;
+)";
+
+TEST(SharedOracle, ReportsWorkAndPeakSeparately) {
+  const auto program = parse(kTwoConditionSource);
+  const auto result = wavesim::explore_shared(program);
+  EXPECT_EQ(result.assignments_total, 4u);
+  // combined.states is the summed work — identical to work_states — while
+  // peak_states is the largest single assignment; with several feasible
+  // assignments the sum strictly exceeds the peak.
+  EXPECT_EQ(result.combined.states, result.work_states);
+  EXPECT_EQ(result.combined.transitions, result.work_transitions);
+  EXPECT_GT(result.peak_states, 0u);
+  EXPECT_LE(result.peak_states, result.work_states);
+  EXPECT_LT(result.peak_states, result.work_states);
+}
+
+TEST(SharedOracle, FallbackPathMirrorsWorkIntoPeak) {
+  const auto program = parse(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  const auto result = wavesim::explore_shared(program);
+  EXPECT_EQ(result.assignments_total, 1u);
+  EXPECT_EQ(result.peak_states, result.work_states);
+  EXPECT_EQ(result.work_states, result.combined.states);
+  EXPECT_FALSE(result.has_witness_assignment);
+}
+
+TEST(SharedOracle, RecordsWitnessAssignment) {
+  // The mutual wait is feasible only under v = false (both tasks take the
+  // else arm); the witness trace must carry that assignment.
+  const auto program = parse(R"(
+shared condition v;
+task a is
+begin
+  if v then
+    null;
+  else
+    accept ping;
+    send b.pong;
+  end if;
+end a;
+task b is
+begin
+  if v then
+    null;
+  else
+    accept pong;
+    send a.ping;
+  end if;
+end b;
+)");
+  const auto result = wavesim::explore_shared(program);
+  ASSERT_TRUE(result.combined.any_deadlock);
+  ASSERT_FALSE(result.combined.witness_trace.empty());
+  ASSERT_TRUE(result.has_witness_assignment);
+  ASSERT_EQ(result.witness_assignment.size(), 1u);
+  EXPECT_FALSE(result.witness_assignment.begin()->second);
+}
+
+TEST(SharedOracle, ParallelAssignmentsMatchSerial) {
+  const auto program = parse(kTwoConditionSource);
+  const auto serial = wavesim::explore_shared(program);
+  wavesim::ExploreOptions options;
+  options.threads = 4;
+  const auto parallel = wavesim::explore_shared(program, options);
+  EXPECT_EQ(serial.combined.complete, parallel.combined.complete);
+  EXPECT_EQ(serial.combined.states, parallel.combined.states);
+  EXPECT_EQ(serial.combined.transitions, parallel.combined.transitions);
+  EXPECT_EQ(serial.combined.any_deadlock, parallel.combined.any_deadlock);
+  EXPECT_EQ(serial.combined.any_stall, parallel.combined.any_stall);
+  EXPECT_EQ(serial.combined.anomalous_waves, parallel.combined.anomalous_waves);
+  EXPECT_EQ(serial.combined.witness_trace, parallel.combined.witness_trace);
+  EXPECT_EQ(serial.work_states, parallel.work_states);
+  EXPECT_EQ(serial.peak_states, parallel.peak_states);
+  EXPECT_EQ(serial.assignments_infeasible, parallel.assignments_infeasible);
+  EXPECT_EQ(serial.has_witness_assignment, parallel.has_witness_assignment);
+  EXPECT_EQ(serial.witness_assignment_bits, parallel.witness_assignment_bits);
+}
+
 TEST(Witness, ConfirmsRealDeadlock) {
   const auto program = parse(R"(
 task a is begin accept ping; send b.pong; end a;

@@ -1,12 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <string>
 
 #include "core/analysis_context.h"
 #include "gen/patterns.h"
 #include "lang/parser.h"
 #include "syncgraph/builder.h"
 #include "wavesim/explorer.h"
+#include "wavesim/packed_wave.h"
 
 namespace siwa::wavesim {
 namespace {
@@ -404,6 +406,314 @@ TEST(Explorer, TaskWithoutEntriesStartsFinished) {
   ASSERT_EQ(initial[0].size(), 2u);
   EXPECT_EQ(initial[0][0], acc);
   EXPECT_EQ(initial[0][1], g.end_node());
+}
+
+// --- parallel engine, packing and budgets ---------------------------------
+
+// Everything the deterministic contract promises to keep identical across
+// thread counts and wave encodings (elapsed_ms is wall clock and exempt).
+void expect_same_result(const ExploreResult& a, const ExploreResult& b) {
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.transitions, b.transitions);
+  EXPECT_EQ(a.can_terminate, b.can_terminate);
+  EXPECT_EQ(a.anomalous_waves, b.anomalous_waves);
+  EXPECT_EQ(a.any_deadlock, b.any_deadlock);
+  EXPECT_EQ(a.any_stall, b.any_stall);
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  for (std::size_t i = 0; i < a.reports.size(); ++i) {
+    EXPECT_EQ(a.reports[i].wave, b.reports[i].wave);
+    EXPECT_EQ(a.reports[i].stall_nodes, b.reports[i].stall_nodes);
+    EXPECT_EQ(a.reports[i].deadlock_nodes, b.reports[i].deadlock_nodes);
+    EXPECT_EQ(a.reports[i].blocked_nodes, b.reports[i].blocked_nodes);
+  }
+  EXPECT_EQ(a.witness_trace, b.witness_trace);
+  EXPECT_EQ(a.budget.first_cap, b.budget.first_cap);
+  EXPECT_EQ(a.budget.levels, b.budget.levels);
+  EXPECT_EQ(a.budget.visited, b.budget.visited);
+}
+
+// Regression for the truncation check running before the membership check:
+// a run whose state count lands exactly on max_states, with duplicates still
+// arriving afterwards, is complete — only a *distinct new* wave being
+// rejected makes it incomplete.
+TEST(Explorer, ExactlyMaxStatesDistinctWavesStaysComplete) {
+  // Two independent handshakes: 4 distinct waves, and the final all-done
+  // wave is generated twice (once per interleaving).
+  const auto g = graph_of(R"(
+task a is begin send b.m; end a;
+task b is begin accept m; end b;
+task c is begin send d.n; end c;
+task d is begin accept n; end d;
+)");
+  ExploreOptions options;
+  options.max_states = 4;
+  const ExploreResult r = explore(g, options);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.states, 4u);
+  EXPECT_EQ(r.budget.first_cap, ExploreCap::None);
+  EXPECT_TRUE(r.can_terminate);
+
+  // One state less and a genuinely new wave is rejected.
+  options.max_states = 3;
+  const ExploreResult capped = explore(g, options);
+  EXPECT_FALSE(capped.complete);
+  EXPECT_EQ(capped.budget.first_cap, ExploreCap::States);
+  EXPECT_EQ(capped.states, 3u);
+}
+
+TEST(Explorer, BudgetReportsExhaustiveRun) {
+  const auto g = graph_of(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)");
+  const ExploreResult r = explore(g);
+  EXPECT_EQ(r.budget.first_cap, ExploreCap::None);
+  EXPECT_EQ(r.budget.visited, r.states);
+  EXPECT_GT(r.budget.levels, 0u);
+  EXPECT_GT(r.budget.bytes_estimate, 0u);
+  EXPECT_TRUE(r.budget.packed);
+}
+
+TEST(Explorer, MaxReportsZeroStillCounts) {
+  const auto g = graph_of(R"(
+task a is begin accept ping; send b.pong; end a;
+task b is begin accept pong; send a.ping; end b;
+)");
+  ExploreOptions options;
+  options.max_reports = 0;
+  const ExploreResult r = explore(g, options);
+  EXPECT_TRUE(r.reports.empty());
+  EXPECT_GT(r.anomalous_waves, 0u);
+  EXPECT_TRUE(r.any_deadlock);
+}
+
+TEST(Explorer, MaxInitialWavesOneWithMultiEntryTasks) {
+  const auto g = graph_of(R"(
+task t is
+begin
+  if c then
+    accept m1;
+  else
+    accept m2;
+  end if;
+end t;
+task u is begin send t.m1; send t.m2; end u;
+)");
+  ExploreOptions options;
+  options.max_initial_waves = 1;
+  const ExploreResult r = explore(g, options);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.budget.first_cap, ExploreCap::InitialWaves);
+  EXPECT_GT(r.states, 0u);  // the surviving entry combination is explored
+}
+
+TEST(Explorer, ByteBudgetStopsExploration) {
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(3, /*left_first=*/false));
+  ExploreOptions options;
+  options.max_bytes = 1;  // nothing fits
+  const ExploreResult r = explore(g, options);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.budget.first_cap, ExploreCap::Memory);
+  EXPECT_EQ(r.budget.visited, 0u);
+
+  // A roomy budget changes nothing.
+  options.max_bytes = std::size_t{1} << 30;
+  const ExploreResult roomy = explore(g, options);
+  EXPECT_TRUE(roomy.complete);
+  EXPECT_EQ(roomy.budget.first_cap, ExploreCap::None);
+}
+
+TEST(Explorer, DeadlineBudgetStopsExploration) {
+  // Large enough that a 1 ms deadline fires at a level boundary long before
+  // exhaustion.
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(10, /*left_first=*/false));
+  ExploreOptions options;
+  options.max_millis = 1;
+  options.max_states = 100'000'000;  // the deadline must be what fires
+  options.collect_witness_trace = false;
+  const ExploreResult r = explore(g, options);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.budget.first_cap, ExploreCap::Deadline);
+}
+
+TEST(Explorer, ParallelDeterministicMatchesSerial) {
+  const lang::Program programs[] = {
+      gen::dining_philosophers(4, true),
+      gen::dining_philosophers(4, false),
+      gen::token_ring(4, true),
+      gen::master_worker(2, 2, true),
+      gen::pipeline(3, 2),
+      gen::readers_writer(2, true),
+  };
+  for (const auto& program : programs) {
+    const auto g = sg::build_sync_graph(program);
+    const ExploreResult serial = explore(g);
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      ExploreOptions options;
+      options.threads = threads;
+      expect_same_result(serial, explore(g, options));
+    }
+  }
+}
+
+TEST(Explorer, ParallelDeterministicMatchesSerialUnderStateCap) {
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(4, /*left_first=*/true));
+  ExploreOptions options;
+  options.max_states = 50;
+  const ExploreResult serial = explore(g, options);
+  EXPECT_FALSE(serial.complete);
+  options.threads = 4;
+  expect_same_result(serial, explore(g, options));
+}
+
+TEST(Explorer, RelaxedParallelMatchesVerdictsAndCounts) {
+  // deterministic = false still guarantees identical verdicts and counts on
+  // uncapped runs; only report/witness *selection* may differ.
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(4, /*left_first=*/true));
+  const ExploreResult serial = explore(g);
+  ExploreOptions options;
+  options.threads = 4;
+  options.deterministic = false;
+  const ExploreResult relaxed = explore(g, options);
+  EXPECT_EQ(serial.complete, relaxed.complete);
+  EXPECT_EQ(serial.states, relaxed.states);
+  EXPECT_EQ(serial.transitions, relaxed.transitions);
+  EXPECT_EQ(serial.anomalous_waves, relaxed.anomalous_waves);
+  EXPECT_EQ(serial.any_deadlock, relaxed.any_deadlock);
+  EXPECT_EQ(serial.any_stall, relaxed.any_stall);
+  EXPECT_EQ(serial.can_terminate, relaxed.can_terminate);
+}
+
+TEST(Explorer, CollectWavesParallelMatchesSerial) {
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(4, /*left_first=*/true));
+  std::vector<Wave> serial_waves;
+  ExploreOptions options;
+  options.collect_waves = &serial_waves;
+  explore(g, options);
+
+  std::vector<Wave> parallel_waves;
+  options.collect_waves = &parallel_waves;
+  options.threads = 4;
+  explore(g, options);
+  EXPECT_EQ(serial_waves, parallel_waves);
+}
+
+TEST(PackedWaves, CodecRoundTripsReachableWaves) {
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(3, /*left_first=*/true));
+  const WaveCodec codec(g);
+  ASSERT_TRUE(codec.usable());
+  EXPECT_LE(codec.packed_bits(), 128u);
+
+  std::vector<Wave> waves;
+  ExploreOptions options;
+  options.collect_waves = &waves;
+  explore(g, options);
+  ASSERT_FALSE(waves.empty());
+  for (const Wave& wave : waves)
+    EXPECT_EQ(codec.decode(codec.encode(wave)), wave);
+}
+
+TEST(PackedWaves, PackedExplorationMatchesVector) {
+  const lang::Program programs[] = {
+      gen::dining_philosophers(4, true),
+      gen::token_ring(4, true),
+      gen::master_worker(2, 2, false),
+  };
+  for (const auto& program : programs) {
+    const auto g = sg::build_sync_graph(program);
+    ExploreOptions options;
+    const ExploreResult packed = explore(g, options);
+    options.use_packed_waves = false;
+    const ExploreResult vec = explore(g, options);
+    EXPECT_TRUE(packed.budget.packed);
+    EXPECT_FALSE(vec.budget.packed);
+    expect_same_result(packed, vec);
+  }
+}
+
+// Generates `tasks` accept-only tasks (one rendezvous node each: 1 packed
+// bit per task).
+lang::Program wide_program(std::size_t tasks) {
+  std::string source;
+  for (std::size_t i = 0; i < tasks; ++i) {
+    source += "task t" + std::to_string(i) + " is begin accept m" +
+              std::to_string(i) + "; end t" + std::to_string(i) + ";\n";
+  }
+  return lang::parse_and_check_or_throw(source);
+}
+
+TEST(PackedWaves, FallsBackToVectorPast128Bits) {
+  // 130 one-bit tasks exceed the two-word budget; 120 fit.
+  const auto wide = sg::build_sync_graph(wide_program(130));
+  EXPECT_FALSE(WaveCodec(wide).usable());
+  ExploreOptions options;
+  options.max_states = 10;
+  options.collect_witness_trace = false;
+  EXPECT_FALSE(explore(wide, options).budget.packed);
+
+  const auto fits = sg::build_sync_graph(wide_program(120));
+  const WaveCodec codec(fits);
+  EXPECT_TRUE(codec.usable());
+  EXPECT_EQ(codec.packed_bits(), 120u);
+  EXPECT_TRUE(explore(fits, options).budget.packed);
+}
+
+TEST(PackedWaves, CrossTaskControlEdgeDisablesCodec) {
+  // A hand-built gadget whose control edge leaves the task: the wave entry
+  // domain is no longer per-task, so the codec must refuse and the explorer
+  // must fall back to vector waves.
+  sg::SyncGraph g;
+  const TaskId t0 = g.add_task("t0");
+  const TaskId t1 = g.add_task("t1");
+  const SignalId s0 = g.intern_signal(t0, g.intern_message("m"));
+  const SignalId s1 = g.intern_signal(t1, g.intern_message("n"));
+  const NodeId a = g.add_rendezvous(t0, s0, sg::Sign::Minus);
+  const NodeId b = g.add_rendezvous(t1, s1, sg::Sign::Minus);
+  g.add_control_edge(g.begin_node(), a);
+  g.add_control_edge(g.begin_node(), b);
+  g.add_control_edge(a, b);  // crosses from t0 into t1
+  g.add_control_edge(b, g.end_node());
+  g.add_task_entry(t0, a);
+  g.add_task_entry(t1, b);
+  g.finalize();
+
+  EXPECT_FALSE(WaveCodec(g).usable());
+  ExploreOptions options;
+  options.max_states = 100;
+  const ExploreResult r = explore(g, options);
+  EXPECT_FALSE(r.budget.packed);
+  EXPECT_GT(r.states, 0u);
+}
+
+TEST(Classifier, WaitingHintMatchesPlainClassify) {
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(3, /*left_first=*/true));
+  WaveClassifier classifier(g);
+  std::vector<Wave> waves;
+  ExploreOptions options;
+  options.collect_waves = &waves;
+  explore(g, options);
+  ASSERT_FALSE(waves.empty());
+  for (const Wave& wave : waves) {
+    std::vector<std::size_t> waiting;
+    for (std::size_t u = 0; u < wave.size(); ++u)
+      if (g.is_rendezvous(wave[u])) waiting.push_back(u);
+    const auto plain = classifier.classify(wave);
+    const auto hinted = classifier.classify(wave, waiting);
+    ASSERT_EQ(plain.has_value(), hinted.has_value());
+    if (plain) {
+      EXPECT_EQ(plain->stall_nodes, hinted->stall_nodes);
+      EXPECT_EQ(plain->deadlock_nodes, hinted->deadlock_nodes);
+      EXPECT_EQ(plain->blocked_nodes, hinted->blocked_nodes);
+    }
+  }
 }
 
 TEST(Classifier, NextWavesFollowSyncEdges) {
