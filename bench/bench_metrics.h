@@ -1,0 +1,112 @@
+// Shared machine-readable output for the bench harnesses: every bench
+// binary accepts `--metrics-out FILE` (default BENCH_<name>.json) and
+// writes a siwa-metrics/1 document containing
+//
+//   - a "gate" span covering the pre-timing correctness/determinism gate,
+//     with a gate.mismatches counter,
+//   - one counter triple per measured benchmark run
+//     (bench.<name>.real_time_ns / .iterations / .<user counter>),
+//   - the process-wide counters (graph.closure_constructions etc.).
+//
+// CI validates the files with metrics_check and archives them, so perf
+// numbers are diffable across runs without scraping console output.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace siwa::benchutil {
+
+// Strips `--metrics-out FILE` from argv (call before benchmark::Initialize,
+// which rejects unknown flags) and returns the chosen path, or `fallback`
+// when the flag is absent.
+inline std::string metrics_out_arg(int& argc, char** argv,
+                                   const char* fallback) {
+  std::string path = fallback;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
+// Console output as usual, plus sink counters for every measured run.
+// Aggregate rows (mean/median/stddev of repetitions) and errored runs are
+// skipped: the JSON carries raw per-run numbers only.
+class SinkReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SinkReporter(obs::MetricsSink& sink) : sink_(sink) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string prefix = "bench." + run.benchmark_name();
+      const double per_iter_ns =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9
+              : 0.0;
+      sink_.add(prefix + ".real_time_ns", to_u64(per_iter_ns));
+      sink_.add(prefix + ".iterations",
+                static_cast<std::uint64_t>(run.iterations));
+      for (const auto& [name, counter] : run.counters)
+        sink_.add(prefix + "." + name, to_u64(counter.value));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  static std::uint64_t to_u64(double value) {
+    return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value + 0.5);
+  }
+
+  obs::MetricsSink& sink_;
+};
+
+// Writes the sink as a siwa-metrics/1 document; false (with a message) on
+// I/O failure so the bench can fail its exit code.
+inline bool write_metrics(const obs::MetricsSink& sink, const char* tool,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (out) out << obs::to_metrics_json(sink, tool, sink.now_us());
+  if (!out) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool, path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "%s: wrote %s\n", tool, path.c_str());
+  return true;
+}
+
+// Average construct+destroy cost of a Span against a null sink. The
+// instrumentation contract is that unobserved runs pay (almost) nothing;
+// the caller turns this into a guard with a generous bound that still
+// catches accidental allocation or locking on the null path.
+inline double null_sink_span_avg_ns(std::size_t iters = 1'000'000) {
+  obs::MetricsSink* null_sink = nullptr;
+  benchmark::DoNotOptimize(null_sink);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    obs::Span span(null_sink, "guard");
+    benchmark::DoNotOptimize(span);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(iters);
+}
+
+}  // namespace siwa::benchutil

@@ -8,11 +8,16 @@
 // thread count and verifies that deterministic parallel mode reproduces the
 // serial detector bit for bit (verdict, suspect heads, witness, tested
 // count) — speed is worthless if the parallel engine changes answers.
+// `--smoke` runs only that gate; either way the run writes
+// BENCH_parallel.json (override with --metrics-out).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "core/certifier.h"
 #include "core/coexec.h"
 #include "core/precedence.h"
@@ -152,10 +157,37 @@ BENCHMARK(BM_RefinedFirstHitE9)->Arg(1)->Arg(4)->UseRealTime()
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;  // strip before benchmark::Initialize sees it
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  const std::string metrics_path =
+      benchutil::metrics_out_arg(argc, argv, "BENCH_parallel.json");
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  const std::size_t mismatches = determinism_check(e10_corpus());
-  benchmark::RunSpecifiedBenchmarks();
+
+  obs::MetricsSink sink;
+  std::size_t mismatches = 0;
+  {
+    obs::Span gate(&sink, "gate");
+    mismatches = determinism_check(e10_corpus());
+    gate.arg("mismatches", mismatches);
+  }
+  sink.add("gate.mismatches", mismatches);
+
+  if (!smoke) {
+    benchutil::SinkReporter reporter(sink);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
-  return mismatches == 0 ? 0 : 1;
+  const bool wrote = benchutil::write_metrics(sink, "bench_parallel",
+                                              metrics_path);
+  return (mismatches == 0 && wrote) ? 0 : 1;
 }

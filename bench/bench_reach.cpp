@@ -7,12 +7,16 @@
 // corpus and an E9-scale graph: both kernels must agree bit for bit on
 // every vertex pair, and certification through the shared context must
 // reproduce the legacy per-pass verdicts exactly — speed is worthless if
-// the condensed kernel changes answers.
+// the condensed kernel changes answers. `--smoke` runs only that gate;
+// either way the run writes BENCH_reach.json (override with --metrics-out).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "core/analysis_context.h"
 #include "core/certifier.h"
 #include "gen/random_program.h"
@@ -202,10 +206,37 @@ BENCHMARK(BM_CertifyE9ReusedContext)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;  // strip before benchmark::Initialize sees it
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  const std::string metrics_path =
+      benchutil::metrics_out_arg(argc, argv, "BENCH_reach.json");
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  const std::size_t mismatches = correctness_check(e10_corpus(), e9_graph(192));
-  benchmark::RunSpecifiedBenchmarks();
+
+  obs::MetricsSink sink;
+  std::size_t mismatches = 0;
+  {
+    obs::Span gate(&sink, "gate");
+    mismatches = correctness_check(e10_corpus(), e9_graph(192));
+    gate.arg("mismatches", mismatches);
+  }
+  sink.add("gate.mismatches", mismatches);
+
+  if (!smoke) {
+    benchutil::SinkReporter reporter(sink);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
-  return mismatches == 0 ? 0 : 1;
+  const bool wrote = benchutil::write_metrics(sink, "bench_reach",
+                                              metrics_path);
+  return (mismatches == 0 && wrote) ? 0 : 1;
 }

@@ -9,7 +9,10 @@
 // parallel explorer (threads 2/4/8) and the vector fallback must reproduce
 // the serial packed run bit for bit — verdicts, state counts, retained
 // reports, witness trace. `--smoke` runs only that gate (CI uses it on
-// every PR); the exit code is the number of mismatches either way.
+// every PR). The gate is followed by the null-sink overhead guard: a Span
+// against a null sink must average well under 100 ns, so shipping the
+// instrumented engines costs unobserved runs nothing. Exit code is 0 only
+// when the gate, the guard, and the BENCH_wavesim.json write all succeed.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -17,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "gen/patterns.h"
 #include "gen/random_program.h"
 #include "syncgraph/builder.h"
@@ -205,15 +209,36 @@ int main(int argc, char** argv) {
     argv[out++] = argv[i];
   }
   argc = out;
+  const std::string metrics_path =
+      benchutil::metrics_out_arg(argc, argv, "BENCH_wavesim.json");
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 
-  std::vector<sg::SyncGraph> corpus = random_corpus(smoke ? 40 : 120);
-  for (auto& graph : pattern_corpus()) corpus.push_back(std::move(graph));
-  const std::size_t mismatches = determinism_check(corpus);
+  obs::MetricsSink sink;
+  std::size_t mismatches = 0;
+  {
+    obs::Span gate(&sink, "gate");
+    std::vector<sg::SyncGraph> corpus = random_corpus(smoke ? 40 : 120);
+    for (auto& graph : pattern_corpus()) corpus.push_back(std::move(graph));
+    mismatches = determinism_check(corpus);
+    gate.arg("mismatches", mismatches);
+  }
+  sink.add("gate.mismatches", mismatches);
 
-  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  const double span_ns = benchutil::null_sink_span_avg_ns();
+  const bool guard_ok = span_ns <= 100.0;
+  sink.add("guard.null_span_ns",
+           static_cast<std::uint64_t>(span_ns + 0.5));
+  std::printf("null-sink span: %.1f ns/span%s\n", span_ns,
+              guard_ok ? "" : "  ** exceeds 100 ns budget **");
+
+  if (!smoke) {
+    benchutil::SinkReporter reporter(sink);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
   benchmark::Shutdown();
-  return mismatches == 0 ? 0 : 1;
+  const bool wrote = benchutil::write_metrics(sink, "bench_wavesim",
+                                              metrics_path);
+  return (mismatches == 0 && guard_ok && wrote) ? 0 : 1;
 }

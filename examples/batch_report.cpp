@@ -1,7 +1,8 @@
 // batch_report: analyze every .mada program in a directory and print one
 // summary row per file (CSV with --csv) — the shape of a CI integration.
 //
-//   batch_report [--csv | --format text|json|sarif] <directory>
+//   batch_report [--csv | --format text|json|sarif]
+//                [--trace-out FILE] [--metrics-json FILE] <directory>
 //
 // The table formats (default text table, --csv) show per-file verdicts:
 // file, tasks, nodes, naive, refined, pairs, triage verdict, stall balance;
@@ -23,12 +24,21 @@
 #include "lang/sema.h"
 #include "lint/lint.h"
 #include "lint/render.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "report/table.h"
 #include "stall/balance.h"
 
 namespace {
 
 const char* verdict(bool free) { return free ? "free" : "cycle"; }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: batch_report [--csv | --format text|json|sarif] "
+               "[--trace-out FILE] [--metrics-json FILE] <directory>\n");
+  return 125;
+}
 
 }  // namespace
 
@@ -38,30 +48,46 @@ int main(int argc, char** argv) {
   bool use_lint_format = false;
   lint::OutputFormat format = lint::OutputFormat::Text;
   std::string directory;
+  std::string trace_path;
+  std::string metrics_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
       csv = true;
     } else if (arg == "--format" && i + 1 < argc) {
       const auto parsed = lint::parse_format(argv[++i]);
-      if (!parsed) {
-        std::fprintf(stderr,
-                     "usage: batch_report [--csv | --format text|json|sarif] "
-                     "<directory>\n");
-        return 125;
-      }
+      if (!parsed) return usage();
       format = *parsed;
       use_lint_format = format != lint::OutputFormat::Text;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else {
       directory = arg;
     }
   }
-  if (directory.empty()) {
-    std::fprintf(stderr,
-                 "usage: batch_report [--csv | --format text|json|sarif] "
-                 "<directory>\n");
-    return 125;
-  }
+  if (directory.empty()) return usage();
+
+  obs::MetricsSink metrics_sink;
+  const bool want_metrics = !trace_path.empty() || !metrics_path.empty();
+  const obs::SinkRef metrics{want_metrics ? &metrics_sink : nullptr};
+  // Written on every exit path past this point (including early I/O errors,
+  // so a partial run still leaves a valid metrics file behind).
+  auto flush_metrics = [&]() {
+    if (!want_metrics) return;
+    auto write = [](const std::string& path, const std::string& content) {
+      std::ofstream out(path);
+      if (out) out << content;
+      if (!out)
+        std::fprintf(stderr, "batch_report: cannot write %s\n", path.c_str());
+    };
+    if (!trace_path.empty())
+      write(trace_path, obs::to_trace_event_json(metrics_sink, "batch_report"));
+    if (!metrics_path.empty())
+      write(metrics_path, obs::to_metrics_json(metrics_sink, "batch_report",
+                                               metrics_sink.now_us()));
+  };
 
   std::vector<std::filesystem::path> files;
   std::error_code ec;
@@ -72,6 +98,7 @@ int main(int argc, char** argv) {
   if (ec) {
     std::fprintf(stderr, "cannot read %s: %s\n", directory.c_str(),
                  ec.message().c_str());
+    flush_metrics();
     return 125;
   }
   std::sort(files.begin(), files.end());
@@ -80,6 +107,8 @@ int main(int argc, char** argv) {
     std::vector<lint::FileDiagnostics> lint_files;
     int flagged = 0;
     for (const auto& path : files) {
+      obs::Span file_span(metrics, "batch.file");
+      file_span.arg("index", lint_files.size());
       std::ifstream file(path);
       std::stringstream buffer;
       buffer << file.rdbuf();
@@ -95,8 +124,10 @@ int main(int argc, char** argv) {
         entry.diagnostics = sink.sorted_diagnostics();
         ++flagged;
       } else {
+        lint::LintOptions lint_options;
+        lint_options.metrics = metrics;
         const lint::LintResult result =
-            lint::run_lint(*program, source, {}, sink.diagnostics());
+            lint::run_lint(*program, source, lint_options, sink.diagnostics());
         entry.diagnostics = result.diagnostics;
         if (result.has_errors()) ++flagged;
       }
@@ -104,14 +135,18 @@ int main(int argc, char** argv) {
     }
     std::fputs(lint::render(format, lint_files).c_str(), stdout);
     std::fprintf(stderr, "%zu programs, %d flagged\n", files.size(), flagged);
+    flush_metrics();
     return std::min(flagged, 125);
   }
 
   report::Table table({"file", "tasks", "nodes", "naive", "refined", "pairs",
                        "triage", "stall balance"});
   int flagged = 0;
+  std::size_t file_index = 0;
 
   for (const auto& path : files) {
+    obs::Span file_span(metrics, "batch.file");
+    file_span.arg("index", file_index++);
     std::ifstream file(path);
     std::stringstream buffer;
     buffer << file.rdbuf();
@@ -129,6 +164,7 @@ int main(int argc, char** argv) {
     auto run = [&](core::Algorithm algorithm) {
       core::CertifyOptions options;
       options.algorithm = algorithm;
+      options.metrics = metrics;
       return core::certify_program(*program, options);
     };
     const core::CertifyResult naive = run(core::Algorithm::Naive);
@@ -150,5 +186,6 @@ int main(int argc, char** argv) {
 
   std::printf("%s", csv ? table.to_csv().c_str() : table.to_text().c_str());
   std::printf("\n%zu programs, %d flagged\n", files.size(), flagged);
+  flush_metrics();
   return std::min(flagged, 125);
 }

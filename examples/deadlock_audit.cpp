@@ -26,13 +26,19 @@
 //                                                json/sarif embed the lint
 //                                                diagnostics and suppress the
 //                                                text report
+//     --trace-out <file>                         write a Chrome trace_event
+//                                                JSON of the run's phases
+//     --metrics-json <file>                      write siwa-metrics/1 JSON
+//                                                (phase spans + counters)
 //
 // Exit code: 0 certified deadlock-free, 1 possible deadlock, 2 usage/parse
-// error.
+// error (including malformed numeric flag values, which are rejected rather
+// than wrapped through size_t).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -43,7 +49,10 @@
 #include "lang/sema.h"
 #include "lint/lint.h"
 #include "lint/render.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "stall/balance.h"
+#include "support/cli.h"
 #include "syncgraph/builder.h"
 #include "syncgraph/clg.h"
 #include "syncgraph/export.h"
@@ -60,8 +69,21 @@ int usage() {
                "[--oracle-threads N] [--oracle-max-states N] "
                "[--oracle-deadline-ms N] [--oracle-max-bytes N] "
                "[--confirm] [--triage] [--json] [--format text|json|sarif] "
-               "[--dot FILE] [--clg FILE] <program.mada>\n");
+               "[--dot FILE] [--clg FILE] [--trace-out FILE] "
+               "[--metrics-json FILE] <program.mada>\n");
   return 2;
+}
+
+// Strict numeric flag parsing: anything but a plain non-negative decimal
+// (signs, garbage, overflow, empty) is a usage error, not a silent wrap.
+std::optional<std::size_t> flag_value(const char* flag, const char* text) {
+  const auto parsed = siwa::support::parse_size_arg(text);
+  if (!parsed)
+    std::fprintf(stderr,
+                 "deadlock_audit: invalid value '%s' for %s "
+                 "(expected a non-negative integer)\n",
+                 text, flag);
+  return parsed;
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -85,6 +107,8 @@ int main(int argc, char** argv) {
   bool run_triage = false;
   std::string dot_path;
   std::string clg_path;
+  std::string trace_path;
+  std::string metrics_path;
   std::string input;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,23 +124,20 @@ int main(int argc, char** argv) {
     } else if (arg == "--constraint4") {
       options.apply_constraint4 = true;
     } else if (arg == "--threads" && i + 1 < argc) {
-      char* end = nullptr;
-      const long n = std::strtol(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || n < 0) return usage();
-      options.parallel.threads = static_cast<std::size_t>(n);
+      const auto value = flag_value("--threads", argv[++i]);
+      if (!value) return 2;
+      options.parallel.threads = *value;
     } else if (arg == "--oracle") {
       run_oracle = true;
     } else if ((arg == "--oracle-threads" || arg == "--oracle-max-states" ||
                 arg == "--oracle-deadline-ms" || arg == "--oracle-max-bytes") &&
                i + 1 < argc) {
-      char* end = nullptr;
-      const long long n = std::strtoll(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || n < 0) return usage();
-      const auto value = static_cast<std::size_t>(n);
-      if (arg == "--oracle-threads") oracle_options.threads = value;
-      else if (arg == "--oracle-max-states") oracle_options.max_states = value;
-      else if (arg == "--oracle-deadline-ms") oracle_options.max_millis = value;
-      else oracle_options.max_bytes = value;
+      const auto value = flag_value(arg.c_str(), argv[++i]);
+      if (!value) return 2;
+      if (arg == "--oracle-threads") oracle_options.threads = *value;
+      else if (arg == "--oracle-max-states") oracle_options.max_states = *value;
+      else if (arg == "--oracle-deadline-ms") oracle_options.max_millis = *value;
+      else oracle_options.max_bytes = *value;
     } else if (arg == "--confirm") {
       run_confirm = true;
     } else if (arg == "--json") {
@@ -131,6 +152,10 @@ int main(int argc, char** argv) {
       dot_path = argv[++i];
     } else if (arg == "--clg" && i + 1 < argc) {
       clg_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -139,6 +164,43 @@ int main(int argc, char** argv) {
   }
   if (input.empty()) return usage();
 
+  // One process-wide sink when either output flag asks for it; a null
+  // SinkRef otherwise, which makes every span/counter below a no-op.
+  obs::MetricsSink metrics_sink;
+  const bool want_metrics = !trace_path.empty() || !metrics_path.empty();
+  obs::SinkRef metrics{want_metrics ? &metrics_sink : nullptr};
+  options.metrics = metrics;
+  oracle_options.metrics = metrics;
+
+  // Writes the requested trace/metrics files; returns false on I/O failure.
+  auto flush_metrics = [&]() -> bool {
+    if (!want_metrics) return true;
+    // Snapshot the wall clock before any export I/O so the trace write
+    // itself does not count as untraced run time.
+    const std::uint64_t wall_us = metrics_sink.now_us();
+    bool ok = true;
+    if (!trace_path.empty()) {
+      if (!write_file(trace_path,
+                      obs::to_trace_event_json(metrics_sink, "deadlock_audit"))) {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+        ok = false;
+      }
+    }
+    if (!metrics_path.empty()) {
+      if (!write_file(metrics_path,
+                      obs::to_metrics_json(metrics_sink, "deadlock_audit",
+                                           wall_us))) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  };
+  // Sequential top-level phases; `phase` closes the previous span before
+  // opening the next one so sibling spans never overlap.
+  std::optional<obs::Span> phase;
+
+  phase.emplace(metrics, "audit.parse");
   std::ifstream file(input);
   if (!file) {
     std::fprintf(stderr, "cannot open %s\n", input.c_str());
@@ -152,27 +214,37 @@ int main(int argc, char** argv) {
   if (program) lang::check_program(*program, sink);
   for (const auto& d : sink.diagnostics())
     std::fprintf(stderr, "%s\n", d.to_string().c_str());
+  phase.reset();
   if (!program || sink.has_errors()) return 2;
 
+  phase.emplace(metrics, "audit.certify");
   const core::CertifyResult result = certify_program(*program, options);
+  phase.reset();
+  phase.emplace(metrics, "audit.stall");
   const stall::BalanceVerdict stall_verdict =
       stall::check_stall_balance(*program);
+  phase.reset();
 
   lint::LintOptions lint_options;
   lint_options.algorithm = options.algorithm;
   lint_options.apply_constraint4 = options.apply_constraint4;
   lint_options.threads = options.parallel.threads;
+  lint_options.metrics = metrics;
 
   if (format == lint::OutputFormat::Sarif) {
+    phase.emplace(metrics, "audit.lint");
     const lint::LintResult lint_result = lint::run_lint(
         *program, buffer.str(), lint_options, sink.diagnostics());
     const std::vector<lint::FileDiagnostics> files{
         {input, lint_result.diagnostics}};
     std::fputs(lint::render_sarif(files).c_str(), stdout);
-    return result.certified_free ? 0 : 1;
+    phase.reset();
+    const int code = result.certified_free ? 0 : 1;
+    return flush_metrics() ? code : 2;
   }
 
   if (format == lint::OutputFormat::Json) {
+    phase.emplace(metrics, "audit.lint");
     const lint::LintResult lint_result = lint::run_lint(
         *program, buffer.str(), lint_options, sink.diagnostics());
     auto escape = [](const std::string& text) {
@@ -205,9 +277,12 @@ int main(int argc, char** argv) {
     std::printf("],\n");
     std::printf("  \"diagnostics\": %s\n}\n",
                 lint::json_diagnostic_array(lint_result.diagnostics).c_str());
-    return result.certified_free ? 0 : 1;
+    phase.reset();
+    const int code = result.certified_free ? 0 : 1;
+    return flush_metrics() ? code : 2;
   }
 
+  phase.emplace(metrics, "audit.report");
   std::printf("algorithm      : %s%s\n",
               core::algorithm_name(options.algorithm).c_str(),
               options.apply_constraint4 ? " + constraint4" : "");
@@ -232,6 +307,7 @@ int main(int argc, char** argv) {
   for (const auto& issue : stall_verdict.issues)
     std::printf("  %s\n", issue.description.c_str());
 
+  phase.emplace(metrics, "audit.export");
   const lang::Program analyzed = transform::has_loops(*program)
                                      ? transform::unroll_loops_twice(*program)
                                      : *program;
@@ -242,8 +318,10 @@ int main(int argc, char** argv) {
   if (!clg_path.empty() &&
       write_file(clg_path, sg::clg_to_dot(graph, sg::Clg(graph), input)))
     std::printf("CLG DOT        : %s\n", clg_path.c_str());
+  phase.reset();
 
   if (run_triage) {
+    phase.emplace(metrics, "audit.triage");
     core::TriageOptions triage_options;
     triage_options.oracle = oracle_options;
     const core::TriageResult triage =
@@ -252,9 +330,11 @@ int main(int argc, char** argv) {
                 core::triage_verdict_name(triage.verdict),
                 core::algorithm_name(triage.decided_by).c_str(),
                 triage.certified_statically ? "" : " + oracle");
+    phase.reset();
   }
 
   if (run_confirm && !result.certified_free) {
+    phase.emplace(metrics, "audit.confirm");
     const sg::SyncGraph original = sg::build_sync_graph(*program);
     // Witness node ids refer to the analyzed (possibly unrolled) graph;
     // map by description onto the original where possible, else confirm
@@ -273,10 +353,12 @@ int main(int argc, char** argv) {
                   "%zu ms\n",
                   wavesim::explore_cap_name(check.budget.first_cap),
                   check.budget.levels, check.budget.visited,
-                  check.budget.bytes_estimate, check.budget.elapsed_ms);
+                  check.budget.bytes_estimate, check.budget.elapsed_ms());
+    phase.reset();
   }
 
   if (run_oracle) {
+    phase.emplace(metrics, "audit.oracle");
     const sg::SyncGraph original = sg::build_sync_graph(*program);
     // Assignment-exact exploration when the program uses shared conditions
     // (the plain model would allow inconsistent arm choices).
@@ -291,7 +373,7 @@ int main(int argc, char** argv) {
     std::printf("oracle budget  : %zu levels, %zu waves, ~%zu bytes, %zu ms, "
                 "%s waves%s\n",
                 truth.budget.levels, truth.budget.visited,
-                truth.budget.bytes_estimate, truth.budget.elapsed_ms,
+                truth.budget.bytes_estimate, truth.budget.elapsed_ms(),
                 truth.budget.packed ? "packed" : "vector",
                 truth.budget.first_cap == wavesim::ExploreCap::None
                     ? ""
@@ -308,6 +390,8 @@ int main(int argc, char** argv) {
         std::printf("]\n");
       }
     }
+    phase.reset();
   }
-  return result.certified_free ? 0 : 1;
+  const int code = result.certified_free ? 0 : 1;
+  return flush_metrics() ? code : 2;
 }

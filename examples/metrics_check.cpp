@@ -1,0 +1,74 @@
+// metrics_check: validate siwa-metrics/1 JSON documents.
+//
+//   metrics_check [--coverage PCT] <metrics.json>...
+//
+// Each file must parse as JSON and satisfy the "siwa-metrics/1" schema
+// (see obs/export.h). With --coverage PCT the top-level spans' durations
+// must additionally sum to within PCT percent of the recorded wall_us —
+// the acceptance check that phase tracing actually covers the run.
+//
+// Exit code: 0 all files valid, 1 at least one invalid, 2 usage/I/O error.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+#include "support/cli.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: metrics_check [--coverage PCT] <metrics.json>...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double coverage = -1.0;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--coverage" && i + 1 < argc) {
+      const auto pct = siwa::support::parse_size_arg(argv[++i]);
+      if (!pct) {
+        std::fprintf(stderr,
+                     "metrics_check: invalid value '%s' for --coverage "
+                     "(expected a non-negative integer)\n",
+                     argv[i]);
+        return 2;
+      }
+      coverage = static_cast<double>(*pct);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) return usage();
+
+  int invalid = 0;
+  for (const std::string& input : inputs) {
+    std::ifstream file(input);
+    if (!file) {
+      std::fprintf(stderr, "metrics_check: cannot open %s\n", input.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const auto error =
+        siwa::obs::validate_metrics_json(buffer.str(), coverage);
+    if (error) {
+      std::fprintf(stderr, "metrics_check: %s: %s\n", input.c_str(),
+                   error->c_str());
+      ++invalid;
+    } else {
+      std::printf("%s: ok\n", input.c_str());
+    }
+  }
+  return invalid > 0 ? 1 : 0;
+}

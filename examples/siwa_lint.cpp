@@ -8,6 +8,8 @@
 //     --constraint4               enable the global filter for the detector
 //     --threads N                 hypothesis-sweep parallelism (0 = all cores)
 //     --no-suppress               ignore `-- lint: allow(...)` comments
+//     --trace-out FILE            write a Chrome trace_event JSON of the run
+//     --metrics-json FILE         write siwa-metrics/1 JSON (spans + counters)
 //
 // Every file is parsed, semantically checked, and run through the full lint
 // pipeline; frontend diagnostics are merged into the same report (SIWA000 in
@@ -24,6 +26,9 @@
 #include "lang/sema.h"
 #include "lint/lint.h"
 #include "lint/render.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "support/cli.h"
 
 namespace {
 
@@ -32,6 +37,7 @@ int usage() {
                "usage: siwa_lint [--format text|json|sarif] [--output FILE] "
                "[--no-detector] [--algorithm naive|refined|pairs|headtail|"
                "htpairs] [--constraint4] [--threads N] [--no-suppress] "
+               "[--trace-out FILE] [--metrics-json FILE] "
                "<program.mada>...\n");
   return 2;
 }
@@ -44,6 +50,8 @@ int main(int argc, char** argv) {
   lint::OutputFormat format = lint::OutputFormat::Text;
   lint::LintOptions options;
   std::string output_path;
+  std::string trace_path;
+  std::string metrics_path;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,12 +75,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--constraint4") {
       options.apply_constraint4 = true;
     } else if (arg == "--threads" && i + 1 < argc) {
-      char* end = nullptr;
-      const long n = std::strtol(argv[++i], &end, 10);
-      if (end == nullptr || *end != '\0' || n < 0) return usage();
-      options.threads = static_cast<std::size_t>(n);
+      const auto value = support::parse_size_arg(argv[++i]);
+      if (!value) {
+        std::fprintf(stderr,
+                     "siwa_lint: invalid value '%s' for --threads "
+                     "(expected a non-negative integer)\n",
+                     argv[i]);
+        return 2;
+      }
+      options.threads = *value;
     } else if (arg == "--no-suppress") {
       options.apply_suppressions = false;
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       return usage();
     } else {
@@ -81,12 +98,18 @@ int main(int argc, char** argv) {
   }
   if (inputs.empty()) return usage();
 
+  obs::MetricsSink metrics_sink;
+  const bool want_metrics = !trace_path.empty() || !metrics_path.empty();
+  options.metrics = obs::SinkRef{want_metrics ? &metrics_sink : nullptr};
+
   std::vector<lint::FileDiagnostics> files;
   std::size_t errors = 0;
   std::size_t warnings = 0;
   std::size_t suppressed = 0;
 
   for (const std::string& input : inputs) {
+    obs::Span file_span(options.metrics, "lint.file");
+    file_span.arg("index", files.size());
     std::ifstream file(input);
     if (!file) {
       std::fprintf(stderr, "siwa_lint: cannot open %s\n", input.c_str());
@@ -137,5 +160,22 @@ int main(int argc, char** argv) {
     if (suppressed > 0) std::fprintf(stderr, ", %zu suppressed", suppressed);
     std::fprintf(stderr, "\n");
   }
-  return errors > 0 ? 1 : 0;
+
+  int exit_code = errors > 0 ? 1 : 0;
+  if (want_metrics) {
+    auto write = [&](const std::string& path, const std::string& content) {
+      std::ofstream out(path);
+      if (out) out << content;
+      if (!out) {
+        std::fprintf(stderr, "siwa_lint: cannot write %s\n", path.c_str());
+        exit_code = 2;
+      }
+    };
+    if (!trace_path.empty())
+      write(trace_path, obs::to_trace_event_json(metrics_sink, "siwa_lint"));
+    if (!metrics_path.empty())
+      write(metrics_path, obs::to_metrics_json(metrics_sink, "siwa_lint",
+                                               metrics_sink.now_us()));
+  }
+  return exit_code;
 }

@@ -30,6 +30,7 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
                            const AnalysisContext* ctx,
                            const CertifyOptions& options,
                            std::chrono::steady_clock::time_point start) {
+  obs::Span span(options.metrics, "certify.graph");
   CertifyResult result;
   result.stats.tasks = graph.task_count();
   result.stats.sync_nodes = graph.node_count();
@@ -57,6 +58,7 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
       refined.apply_constraint4 = options.apply_constraint4;
       refined.stop_at_first_hit = options.stop_at_first_hit;
       refined.parallel = options.parallel;
+      refined.metrics = options.metrics;
       refined.mode = options.algorithm == Algorithm::RefinedSingle
                          ? HypothesisMode::SingleHead
                      : options.algorithm == Algorithm::RefinedHeadPair
@@ -80,6 +82,10 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
   result.stats.elapsed_us = std::chrono::duration_cast<std::chrono::microseconds>(
                                 std::chrono::steady_clock::now() - start)
                                 .count();
+  span.arg("nodes", graph.node_count());
+  span.arg("hypotheses", result.stats.hypotheses_tested);
+  obs::add(options.metrics, "certify.graphs", 1);
+  if (result.certified_free) obs::add(options.metrics, "certify.free", 1);
   return result;
 }
 
@@ -91,6 +97,7 @@ CertifyResult certify_graph(const sg::SyncGraph& graph,
   if (options.algorithm == Algorithm::Naive)
     return certify_impl(graph, nullptr, options, start);
   const AnalysisContext ctx(graph);
+  obs::add(options.metrics, "certify.closures", 1);
   return certify_impl(graph, &ctx, options, start);
 }
 
@@ -110,6 +117,13 @@ std::vector<CertifyResult> certify_batch(std::span<const sg::SyncGraph> graphs,
   // a second pool while this one is saturated).
   CertifyOptions per_graph = options;
   per_graph.parallel.threads = 1;
+  // Per-graph certifications record counters only — in the serial path too,
+  // so the span tree does not depend on the thread count (the obs
+  // determinism contract, DESIGN.md section 7).
+  per_graph.metrics = options.metrics.counters_only();
+
+  obs::Span span(options.metrics, "certify.batch");
+  span.arg("graphs", graphs.size());
 
   std::vector<CertifyResult> results(graphs.size());
   const std::size_t threads =
@@ -120,8 +134,10 @@ std::vector<CertifyResult> certify_batch(std::span<const sg::SyncGraph> graphs,
     return results;
   }
   support::ThreadPool pool(threads);
-  pool.parallel_for_each(graphs.size(), [&](std::size_t i, std::size_t) {
-    results[i] = certify_graph(graphs[i], per_graph);
+  pool.parallel_for_each(graphs.size(), [&](std::size_t i, std::size_t worker) {
+    CertifyOptions local = per_graph;
+    local.metrics = local.metrics.with_lane(options.metrics.lane + worker);
+    results[i] = certify_graph(graphs[i], local);
   });
   return results;
 }

@@ -20,6 +20,7 @@
 #include "core/precedence.h"
 #include "core/refined_detector.h"
 #include "lang/ast.h"
+#include "obs/metrics.h"
 #include "syncgraph/sync_graph.h"
 
 namespace siwa::core {
@@ -47,6 +48,12 @@ struct CertifyOptions {
   ParallelOptions parallel;
   PrecedenceOptions precedence;
   std::vector<std::pair<NodeId, NodeId>> extra_not_coexec;
+  // Optional observability sink (see obs/metrics.h). Null = zero-cost.
+  // certify_graph emits a "certify.graph" span plus certify.* counters;
+  // certify_batch spans the batch only and downgrades per-graph work to
+  // counters in both its serial and parallel path, so the span tree is
+  // identical at any thread count.
+  obs::SinkRef metrics;
 };
 
 struct CertifyStats {

@@ -355,10 +355,17 @@ RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
                           const sg::Clg& clg, const Precedence& precedence,
                           const CoExec& coexec, const RefinedOptions& options) {
   RefinedResult result;
-  const std::vector<Hypothesis> hyps =
-      enumerate_impl(sg, ctx, precedence, coexec, options,
-                     &result.possible_heads);
+  std::vector<Hypothesis> hyps;
+  {
+    obs::Span span(options.metrics, "refined.enumerate");
+    hyps = enumerate_impl(sg, ctx, precedence, coexec, options,
+                          &result.possible_heads);
+    span.arg("hypotheses", hyps.size());
+  }
 
+  // No "threads" span arg: args are part of the span-tree signature, which
+  // deterministic runs must reproduce at any thread count.
+  obs::Span sweep_span(options.metrics, "refined.sweep");
   const std::size_t threads =
       support::resolve_thread_count(options.parallel.threads);
   std::vector<HypothesisOutcome> outcomes(hyps.size());
@@ -433,6 +440,9 @@ RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
     }
     if (options.stop_at_first_hit) break;
   }
+  obs::add(options.metrics, "refined.hypotheses", hyps.size());
+  obs::add(options.metrics, "refined.tested", result.hypotheses_tested);
+  obs::add(options.metrics, "refined.confirmed", result.suspect_heads.size());
   return result;
 }
 

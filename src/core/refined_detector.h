@@ -49,6 +49,7 @@
 #include "core/coexec.h"
 #include "core/precedence.h"
 #include "graph/scc.h"
+#include "obs/metrics.h"
 #include "syncgraph/clg.h"
 #include "syncgraph/sync_graph.h"
 
@@ -79,6 +80,12 @@ struct RefinedOptions {
   // an atomic cancellation flag checked by every worker.
   bool stop_at_first_hit = false;
   ParallelOptions parallel;
+  // Optional observability sink (see obs/metrics.h). Null = zero-cost.
+  // Spans (refined.enumerate / refined.sweep) come from the coordinating
+  // thread; the refined.tested counter records the *normalized*
+  // hypotheses_tested (see RefinedResult), so deterministic runs tally the
+  // same totals at any thread count.
+  obs::SinkRef metrics;
 };
 
 // One deadlock-cycle hypothesis. Always has a primary head; tails and the

@@ -1,22 +1,25 @@
 #include "graph/reachability.h"
 
-#include <atomic>
-
 #include "graph/scc.h"
+#include "obs/metrics.h"
 #include "support/require.h"
 
 namespace siwa::graph {
 
 namespace {
-std::atomic<std::size_t> closure_count{0};
+
+// Both kernels tally into the process-wide observability registry; the
+// closure_constructions() accessor and its delta semantics are unchanged.
+constexpr const char* kClosureCounter = "graph.closure_constructions";
+
 }  // namespace
 
 std::size_t closure_constructions() {
-  return closure_count.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(obs::process_counters().total(kClosureCounter));
 }
 
 Reachability::Reachability(const Digraph& g) : matrix_(g.vertex_count()) {
-  closure_count.fetch_add(1, std::memory_order_relaxed);
+  obs::process_counters().add(kClosureCounter, 1);
   const std::size_t n = g.vertex_count();
   std::vector<std::size_t> stack;
   for (std::size_t src = 0; src < n; ++src) {
@@ -44,7 +47,7 @@ Reachability::Reachability(const Digraph& g) : matrix_(g.vertex_count()) {
 }
 
 CondensedReachability::CondensedReachability(const Digraph& g) {
-  closure_count.fetch_add(1, std::memory_order_relaxed);
+  obs::process_counters().add(kClosureCounter, 1);
   const std::size_t n = g.vertex_count();
   const SccResult scc = tarjan_scc(g);
   const std::size_t comps = scc.component_count;

@@ -29,9 +29,10 @@
 namespace siwa::graph {
 
 // Number of transitive-closure constructions (either kernel) since process
-// start. Tests use deltas of this counter to pin down how many closures one
-// certification builds; thread-safe because certify_batch builds closures
-// from pool workers.
+// start, backed by the "graph.closure_constructions" counter in
+// obs::process_counters(). Tests use deltas of this counter to pin down how
+// many closures one certification builds; thread-safe because certify_batch
+// builds closures from pool workers.
 [[nodiscard]] std::size_t closure_constructions();
 
 class Reachability {

@@ -178,6 +178,7 @@ void graph_diagnostics(const core::AnalysisContext& ctx,
     certify.apply_constraint4 = options.apply_constraint4;
     certify.stop_at_first_hit = true;
     certify.parallel.threads = options.threads;
+    certify.metrics = options.metrics;
     const core::CertifyResult result = core::certify_graph(ctx, certify);
     if (certified_free != nullptr) *certified_free = result.certified_free;
     for (Diagnostic& d : witness_diagnostics(graph, result))
@@ -272,7 +273,10 @@ LintResult run_lint(const lang::Program& program, std::string_view source,
   LintResult result;
   std::vector<Diagnostic> diags(frontend.begin(), frontend.end());
 
-  balance_diagnostics(program, diags);
+  {
+    obs::Span span(options.metrics, "lint.balance");
+    balance_diagnostics(program, diags);
+  }
 
   const TaskLocLookup task_loc = [&](std::string_view name) {
     for (const auto& task : program.tasks)
@@ -285,17 +289,21 @@ LintResult run_lint(const lang::Program& program, std::string_view source,
   // when the program has loops it runs on the Lemma 1 unrolled graph
   // instead — statement copies keep their source locations, and the
   // rule+location dedupe collapses the duplicated findings.
-  const sg::SyncGraph graph = sg::build_sync_graph(program);
-  const core::AnalysisContext ctx(graph);
   const bool needs_unroll = transform::has_loops(program);
-
-  LintOptions structural = options;
-  structural.run_detector = options.run_detector && !needs_unroll;
   bool certified = true;
-  graph_diagnostics(ctx, structural, task_loc, &certified, diags);
-  result.detector_ran = structural.run_detector && ctx.control_acyclic();
+  {
+    obs::Span graph_span(options.metrics, "lint.graph");
+    const sg::SyncGraph graph = sg::build_sync_graph(program);
+    const core::AnalysisContext ctx(graph);
+
+    LintOptions structural = options;
+    structural.run_detector = options.run_detector && !needs_unroll;
+    graph_diagnostics(ctx, structural, task_loc, &certified, diags);
+    result.detector_ran = structural.run_detector && ctx.control_acyclic();
+  }
 
   if (options.run_detector && needs_unroll) {
+    obs::Span span(options.metrics, "lint.detector");
     const lang::Program unrolled = transform::unroll_loops_twice(program);
     const sg::SyncGraph unrolled_graph = sg::build_sync_graph(unrolled);
     const core::AnalysisContext unrolled_ctx(unrolled_graph);
@@ -305,6 +313,7 @@ LintResult run_lint(const lang::Program& program, std::string_view source,
       certify.apply_constraint4 = options.apply_constraint4;
       certify.stop_at_first_hit = true;
       certify.parallel.threads = options.threads;
+      certify.metrics = options.metrics;
       const core::CertifyResult r = core::certify_graph(unrolled_ctx, certify);
       certified = r.certified_free;
       for (Diagnostic& d : witness_diagnostics(unrolled_graph, r))
@@ -321,6 +330,9 @@ LintResult run_lint(const lang::Program& program, std::string_view source,
 
   dedupe_by_rule_and_loc(diags);
   result.diagnostics = std::move(diags);
+  obs::add(options.metrics, "lint.programs", 1);
+  obs::add(options.metrics, "lint.diagnostics", result.diagnostics.size());
+  obs::add(options.metrics, "lint.suppressed", result.suppressed);
   return result;
 }
 

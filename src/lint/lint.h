@@ -48,6 +48,10 @@ struct LintOptions {
   std::size_t threads = 1;  // hypothesis-sweep parallelism (0 = all cores)
   // Honor `-- lint: allow(...)` comments in the source text.
   bool apply_suppressions = true;
+  // Optional observability sink (see obs/metrics.h). Null = zero-cost.
+  // run_lint emits lint.balance / lint.graph / lint.detector phase spans
+  // and lint.* counters; the certifier underneath inherits the sink.
+  obs::SinkRef metrics;
 };
 
 struct LintResult {

@@ -1,0 +1,212 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace siwa::obs {
+namespace {
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out += buf;
+}
+
+void append_args_object(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::uint64_t>>& args) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json::escape(key);
+    out += "\":";
+    append_u64(out, value);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string to_trace_event_json(const MetricsSink& sink,
+                                std::string_view process_name) {
+  const std::vector<SpanRecord> spans = sink.spans();
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":\"";
+  out += json::escape(process_name);
+  out += "\"}}";
+  for (const SpanRecord& span : spans) {
+    out += ",{\"name\":\"";
+    out += json::escape(span.name);
+    out += "\",\"cat\":\"siwa\",\"ph\":\"X\",\"ts\":";
+    append_u64(out, span.start_us);
+    out += ",\"dur\":";
+    append_u64(out, span.dur_us);
+    out += ",\"pid\":1,\"tid\":1,\"args\":";
+    append_args_object(out, span.args);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_metrics_json(const MetricsSink& sink, std::string_view tool,
+                            std::uint64_t wall_us,
+                            bool include_process_counters) {
+  std::string out;
+  out += "{\"schema\":\"siwa-metrics/1\",\"tool\":\"";
+  out += json::escape(tool);
+  out += "\",\"wall_us\":";
+  append_u64(out, wall_us);
+  out += ",\"spans\":[";
+  bool first = true;
+  for (const SpanRecord& span : sink.spans()) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += json::escape(span.name);
+    out += "\",\"parent\":";
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%d", span.parent);
+    out += buf;
+    out += ",\"start_us\":";
+    append_u64(out, span.start_us);
+    out += ",\"dur_us\":";
+    append_u64(out, span.dur_us);
+    out += ",\"args\":";
+    append_args_object(out, span.args);
+    out += '}';
+  }
+  out += "],\"counters\":{";
+  std::map<std::string, std::uint64_t> counters = sink.counter_totals();
+  if (include_process_counters) {
+    for (const auto& [name, value] : process_counters().counter_totals())
+      counters[name] += value;
+  }
+  first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json::escape(name);
+    out += "\":";
+    append_u64(out, value);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string span_tree_signature(const MetricsSink& sink) {
+  const std::vector<SpanRecord> spans = sink.spans();
+  std::vector<std::size_t> depth(spans.size(), 0);
+  std::string out;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
+    if (span.parent >= 0)
+      depth[i] = depth[static_cast<std::size_t>(span.parent)] + 1;
+    out.append(depth[i] * 2, ' ');
+    out += span.name;
+    if (!span.args.empty()) {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : span.args) {
+        if (!first) out += ',';
+        first = false;
+        out += key;
+        out += '=';
+        append_u64(out, value);
+      }
+      out += '}';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::string> validate_metrics_json(std::string_view text,
+                                                 double coverage_pct) {
+  const std::optional<json::Value> root = json::parse(text);
+  if (!root) return "not valid JSON";
+  if (!root->is_object()) return "top level is not an object";
+
+  const json::Value* schema = root->find("schema");
+  if (schema == nullptr || !schema->is_string())
+    return "missing string field 'schema'";
+  if (schema->as_string() != "siwa-metrics/1")
+    return "unknown schema '" + schema->as_string() + "'";
+
+  const json::Value* tool = root->find("tool");
+  if (tool == nullptr || !tool->is_string() || tool->as_string().empty())
+    return "missing non-empty string field 'tool'";
+
+  const json::Value* wall = root->find("wall_us");
+  if (wall == nullptr || !wall->is_number() || wall->as_number() < 0)
+    return "missing non-negative number field 'wall_us'";
+
+  const json::Value* spans = root->find("spans");
+  if (spans == nullptr || !spans->is_array())
+    return "missing array field 'spans'";
+  double root_dur_us = 0;
+  const json::Array& span_array = spans->as_array();
+  for (std::size_t i = 0; i < span_array.size(); ++i) {
+    const json::Value& span = span_array[i];
+    const auto bad = [i](const char* what) {
+      return "span " + std::to_string(i) + ": " + what;
+    };
+    if (!span.is_object()) return bad("not an object");
+    const json::Value* name = span.find("name");
+    if (name == nullptr || !name->is_string() || name->as_string().empty())
+      return bad("missing non-empty string 'name'");
+    const json::Value* parent = span.find("parent");
+    if (parent == nullptr || !parent->is_number())
+      return bad("missing number 'parent'");
+    const double p = parent->as_number();
+    if (p != std::floor(p) || p < -1 || p >= static_cast<double>(i))
+      return bad("'parent' must be -1 or the index of an earlier span");
+    for (const char* field : {"start_us", "dur_us"}) {
+      const json::Value* v = span.find(field);
+      if (v == nullptr || !v->is_number() || v->as_number() < 0)
+        return bad("missing non-negative number duration field");
+    }
+    const json::Value* args = span.find("args");
+    if (args == nullptr || !args->is_object())
+      return bad("missing object 'args'");
+    for (const auto& [key, value] : args->as_object()) {
+      (void)key;
+      if (!value.is_number()) return bad("non-numeric arg value");
+    }
+    if (p == -1) root_dur_us += span.find("dur_us")->as_number();
+  }
+
+  const json::Value* counters = root->find("counters");
+  if (counters == nullptr || !counters->is_object())
+    return "missing object field 'counters'";
+  for (const auto& [name, value] : counters->as_object()) {
+    if (!value.is_number() || value.as_number() < 0)
+      return "counter '" + name + "' is not a non-negative number";
+  }
+
+  if (coverage_pct >= 0 && wall->as_number() > 0) {
+    const double wall_us = wall->as_number();
+    const double deviation = std::fabs(root_dur_us - wall_us) / wall_us * 100.0;
+    if (deviation > coverage_pct) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "root spans cover %.0f of %.0f wall_us (%.1f%% deviation, "
+                    "limit %.1f%%)",
+                    root_dur_us, wall_us, deviation, coverage_pct);
+      return std::string(buf);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace siwa::obs

@@ -1,0 +1,53 @@
+// Exporters for MetricsSink contents.
+//
+// Two formats:
+//   - Chrome trace_event JSON (`to_trace_event_json`): complete-phase ("X")
+//     events in microseconds, loadable in chrome://tracing / Perfetto for
+//     flame-style inspection of a run.
+//   - Flat metrics JSON (`to_metrics_json`, schema "siwa-metrics/1"): the
+//     machine-readable shape consumed by the benches' BENCH_<name>.json
+//     output and validated by `metrics_check` in CI:
+//
+//       { "schema": "siwa-metrics/1", "tool": "<argv0ish>", "wall_us": N,
+//         "spans": [ {"name": "...", "parent": -1, "start_us": N,
+//                     "dur_us": N, "args": {"k": N, ...}}, ... ],
+//         "counters": {"name": N, ...} }
+//
+//     `parent` indexes into `spans` (parents precede children); counters are
+//     the sink's merged totals plus the process-wide registry (so always-on
+//     tallies like graph.closure_constructions appear without plumbing).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace siwa::obs {
+
+[[nodiscard]] std::string to_trace_event_json(const MetricsSink& sink,
+                                              std::string_view process_name);
+
+// `wall_us` is the tool's wall time on the sink's clock (usually
+// sink.now_us() at export). Set `include_process_counters` to false when the
+// process-global registry would pollute the output (unit tests).
+[[nodiscard]] std::string to_metrics_json(const MetricsSink& sink,
+                                          std::string_view tool,
+                                          std::uint64_t wall_us,
+                                          bool include_process_counters = true);
+
+// Structural fingerprint of the span tree: one line per span in record
+// order, "depth*2 spaces + name + {k=v,...}" — durations and start times
+// excluded. Deterministic-mode runs at different thread counts must produce
+// identical signatures; the determinism tests compare these strings.
+[[nodiscard]] std::string span_tree_signature(const MetricsSink& sink);
+
+// Validates a "siwa-metrics/1" document. Returns nullopt when valid, else a
+// one-line description of the first problem. When `coverage_pct` >= 0 also
+// requires the root spans' durations to sum to within that percentage of
+// wall_us (skipped when wall_us is 0).
+[[nodiscard]] std::optional<std::string> validate_metrics_json(
+    std::string_view text, double coverage_pct = -1.0);
+
+}  // namespace siwa::obs

@@ -1,0 +1,255 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace siwa::obs::json {
+namespace {
+
+// Out-parameter style (rather than returning std::optional<Value>) keeps the
+// recursion simple and sidesteps GCC's spurious -Wmaybe-uninitialized on
+// optional-of-variant returns.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool run(Value& out) {
+    skip_ws();
+    if (!parse_value(0, out)) return false;
+    skip_ws();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool eat_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_value(std::size_t depth, Value& out) {
+    if (depth > kMaxDepth) return false;
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case 'n':
+        if (!eat_word("null")) return false;
+        out = Value(nullptr);
+        return true;
+      case 't':
+        if (!eat_word("true")) return false;
+        out = Value(true);
+        return true;
+      case 'f':
+        if (!eat_word("false")) return false;
+        out = Value(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Value(std::move(s));
+        return true;
+      }
+      case '[':
+        return parse_array(depth, out);
+      case '{':
+        return parse_object(depth, out);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return false;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9')
+              code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return false;
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs pass through
+          // as two 3-byte sequences (the exporters never emit them).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+      return pos_ > before;
+    };
+    if (!digits()) return false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digits()) return false;
+    }
+    double number = 0.0;
+    const auto result =
+        std::from_chars(text_.data() + start, text_.data() + pos_, number);
+    if (result.ec != std::errc{}) return false;
+    out = Value(number);
+    return true;
+  }
+
+  bool parse_array(std::size_t depth, Value& out) {
+    if (!eat('[')) return false;
+    Array items;
+    skip_ws();
+    if (!eat(']')) {
+      while (true) {
+        skip_ws();
+        Value item;
+        if (!parse_value(depth + 1, item)) return false;
+        items.push_back(std::move(item));
+        skip_ws();
+        if (eat(']')) break;
+        if (!eat(',')) return false;
+      }
+    }
+    out = Value(std::move(items));
+    return true;
+  }
+
+  bool parse_object(std::size_t depth, Value& out) {
+    if (!eat('{')) return false;
+    Object members;
+    skip_ws();
+    if (!eat('}')) {
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!eat(':')) return false;
+        skip_ws();
+        Value value;
+        if (!parse_value(depth + 1, value)) return false;
+        members.insert_or_assign(std::move(key), std::move(value));
+        skip_ws();
+        if (eat('}')) break;
+        if (!eat(',')) return false;
+      }
+    }
+    out = Value(std::move(members));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& object = std::get<Object>(data_);
+  auto it = object.find(std::string(key));
+  return it == object.end() ? nullptr : &it->second;
+}
+
+std::optional<Value> parse(std::string_view text) {
+  Value out;
+  if (!Parser(text).run(out)) return std::nullopt;
+  return out;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace siwa::obs::json

@@ -1,0 +1,81 @@
+// Minimal JSON reader/escaper for the observability layer.
+//
+// The exporters write JSON by hand (the schemas are flat and fixed), but the
+// validator (`metrics_check`, the bench CI gate) and the round-trip tests
+// need to read it back. This is a small recursive-descent parser over the
+// JSON grammar — no dependencies, no DOM beyond a variant tree. Numbers are
+// held as double, which is exact for the 53-bit integer range and far beyond
+// any counter this codebase emits within a process lifetime.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace siwa::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double n) : data_(n) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(data_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(data_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(data_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(data_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(data_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] double as_number() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] const Array& as_array() const { return std::get<Array>(data_); }
+  [[nodiscard]] const Object& as_object() const {
+    return std::get<Object>(data_);
+  }
+
+  // Object member lookup; nullptr when this is not an object or the key is
+  // absent. Chains nicely: `if (const Value* v = root.find("spans"))`.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+// Parses one JSON document (with trailing whitespace allowed); nullopt on any
+// syntax error or trailing garbage.
+[[nodiscard]] std::optional<Value> parse(std::string_view text);
+
+// Escapes `text` for inclusion inside a JSON string literal (quotes not
+// included). Control characters become \u00XX.
+[[nodiscard]] std::string escape(std::string_view text);
+
+}  // namespace siwa::obs::json

@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace siwa::obs {
+namespace {
+
+constexpr std::size_t kDefaultLanes = 64;
+
+// Innermost open span per (thread, sink). Saved/restored by Span so the
+// cursor survives interleaved spans on different sinks.
+thread_local MetricsSink* t_span_sink = nullptr;
+thread_local std::int32_t t_current_span = -1;
+
+}  // namespace
+
+MetricsSink::MetricsSink(std::size_t lanes)
+    : epoch_(std::chrono::steady_clock::now()) {
+  const std::size_t n = lanes == 0 ? kDefaultLanes : lanes;
+  lanes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) lanes_.push_back(std::make_unique<Lane>());
+}
+
+void MetricsSink::add(std::string_view counter, std::uint64_t delta,
+                      std::size_t lane) {
+  Lane& shard = *lanes_[lane % lanes_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.counters.find(counter);
+  if (it == shard.counters.end())
+    shard.counters.emplace(std::string(counter), delta);
+  else
+    it->second += delta;
+}
+
+std::uint64_t MetricsSink::total(std::string_view counter) const {
+  std::uint64_t sum = 0;
+  for (const auto& shard : lanes_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    auto it = shard->counters.find(counter);
+    if (it != shard->counters.end()) sum += it->second;
+  }
+  return sum;
+}
+
+std::map<std::string, std::uint64_t> MetricsSink::counter_totals() const {
+  std::map<std::string, std::uint64_t> merged;
+  for (const auto& shard : lanes_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [name, value] : shard->counters) merged[name] += value;
+  }
+  return merged;
+}
+
+std::vector<SpanRecord> MetricsSink::spans() const {
+  std::lock_guard<std::mutex> lock(span_mutex_);
+  // Closed spans only. A closed span under a still-open ancestor is dropped
+  // with it (its subtree is incomplete); parent indices are remapped into
+  // the filtered vector. RAII nesting closes children before parents, so a
+  // closed parent never strands a closed child.
+  std::vector<std::int32_t> remap(spans_.size(), -1);
+  std::vector<SpanRecord> out;
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const SpanRecord& record = spans_[i];
+    const bool parent_kept =
+        record.parent < 0 || remap[static_cast<std::size_t>(record.parent)] >= 0;
+    if (!closed_[i] || !parent_kept) continue;
+    remap[i] = static_cast<std::int32_t>(out.size());
+    out.push_back(record);
+    out.back().parent =
+        record.parent < 0 ? -1 : remap[static_cast<std::size_t>(record.parent)];
+  }
+  return out;
+}
+
+std::uint64_t MetricsSink::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::int32_t MetricsSink::open_span(std::string_view name,
+                                    std::int32_t parent) {
+  std::lock_guard<std::mutex> lock(span_mutex_);
+  const std::int32_t index = static_cast<std::int32_t>(spans_.size());
+  SpanRecord record;
+  record.name.assign(name.data(), name.size());
+  record.parent = parent;
+  spans_.push_back(std::move(record));
+  closed_.push_back(0);
+  return index;
+}
+
+void MetricsSink::close_span(
+    std::int32_t index, std::uint64_t start_us, std::uint64_t dur_us,
+    std::vector<std::pair<std::string, std::uint64_t>>&& args) {
+  std::lock_guard<std::mutex> lock(span_mutex_);
+  SpanRecord& record = spans_[static_cast<std::size_t>(index)];
+  record.start_us = start_us;
+  record.dur_us = dur_us;
+  record.args = std::move(args);
+  closed_[static_cast<std::size_t>(index)] = 1;
+}
+
+Span::Span(MetricsSink* sink, std::string_view name) : sink_(sink) {
+  if (sink_ == nullptr) return;  // null-sink fast path: no clock, no lock
+  start_ = std::chrono::steady_clock::now();
+  start_us_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(start_ -
+                                                            sink_->epoch_)
+          .count());
+  const std::int32_t parent =
+      (t_span_sink == sink_) ? t_current_span : std::int32_t{-1};
+  index_ = sink_->open_span(name, parent);
+  saved_sink_ = t_span_sink;
+  saved_current_ = t_current_span;
+  t_span_sink = sink_;
+  t_current_span = index_;
+}
+
+Span::~Span() {
+  if (sink_ == nullptr) return;
+  const auto dur = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start_);
+  sink_->close_span(index_, start_us_, static_cast<std::uint64_t>(dur.count()),
+                    std::move(args_));
+  t_span_sink = saved_sink_;
+  t_current_span = saved_current_;
+}
+
+void Span::arg(std::string_view key, std::uint64_t value) {
+  if (sink_ == nullptr) return;
+  args_.emplace_back(std::string(key), value);
+}
+
+MetricsSink& process_counters() {
+  static MetricsSink* sink = new MetricsSink();  // leaked: alive for atexit
+  return *sink;
+}
+
+}  // namespace siwa::obs

@@ -1,0 +1,157 @@
+// Observability core: hierarchical phase spans and deterministic counters.
+//
+// The analysis engines (certifier, refined detector, wave explorer, lint)
+// accept an optional `SinkRef` through their options structs. When no sink is
+// installed every instrumentation point collapses to a single null-pointer
+// check — hot loops pay nothing, which a bench guard enforces. When a sink is
+// installed:
+//
+//   - `Span` records a named, nested phase timing (steady clock, microsecond
+//     resolution). Nesting is tracked per thread, so a span opened on a
+//     coordinator thread parents the spans its callee opens on that same
+//     thread and nothing else.
+//   - Counters are named monotone sums, sharded into lanes so concurrent
+//     workers do not serialize on one mutex. `total()` merges the shards in
+//     lane order; because addition over unsigned integers is commutative the
+//     merged totals are bit-identical at any thread count whenever the
+//     engines feed the same deltas — which the deterministic parallel modes
+//     guarantee (see DESIGN.md section 7 for the contract).
+//
+// Determinism contract for spans: engines only open spans from coordinating
+// threads (never from pool workers), and fan-out layers downgrade the sink to
+// `counters_only()` for their children in BOTH serial and parallel paths, so
+// the recorded span tree is the same shape at threads=1 and threads=8.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace siwa::obs {
+
+class MetricsSink;
+
+// A nullable handle to a sink, threaded through engine options. `spans`
+// gates span recording only — counters always flow. `lane` names the counter
+// shard this context should add into (fan-out layers hand each worker its
+// own lane to avoid contention; any lane maps to the same totals).
+struct SinkRef {
+  MetricsSink* sink = nullptr;
+  bool spans = true;
+  std::size_t lane = 0;
+
+  [[nodiscard]] MetricsSink* span_sink() const { return spans ? sink : nullptr; }
+  [[nodiscard]] SinkRef counters_only() const { return {sink, false, lane}; }
+  [[nodiscard]] SinkRef with_lane(std::size_t l) const {
+    return {sink, spans, l};
+  }
+  explicit operator bool() const { return sink != nullptr; }
+};
+
+// One closed span. `parent` indexes into the same spans() vector (-1 for a
+// root); records are stored in open order, so a parent always precedes its
+// children.
+struct SpanRecord {
+  std::string name;
+  std::int32_t parent = -1;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> args;
+};
+
+class MetricsSink {
+ public:
+  // `lanes` is the number of counter shards (0 picks a default comfortably
+  // above typical worker counts). Lane indices passed to add() are reduced
+  // modulo the shard count, which never changes totals.
+  explicit MetricsSink(std::size_t lanes = 0);
+
+  MetricsSink(const MetricsSink&) = delete;
+  MetricsSink& operator=(const MetricsSink&) = delete;
+
+  void add(std::string_view counter, std::uint64_t delta, std::size_t lane = 0);
+  [[nodiscard]] std::uint64_t total(std::string_view counter) const;
+  // All counters, merged over the lanes. Keyed map, so iteration order is
+  // name order regardless of which lanes the deltas landed in.
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_totals() const;
+
+  // Snapshot of the closed spans, in open order. Spans still open (their
+  // `Span` has not destructed) are not included.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+
+  // Microseconds since this sink was constructed; the time base of every
+  // SpanRecord::start_us.
+  [[nodiscard]] std::uint64_t now_us() const;
+
+ private:
+  friend class Span;
+
+  // Span protocol used by the RAII wrapper: reserve a record slot at open so
+  // parents precede children, fill it in at close.
+  std::int32_t open_span(std::string_view name, std::int32_t parent);
+  void close_span(std::int32_t index, std::uint64_t start_us,
+                  std::uint64_t dur_us,
+                  std::vector<std::pair<std::string, std::uint64_t>>&& args);
+
+  struct Lane {
+    std::mutex mutex;
+    std::map<std::string, std::uint64_t, std::less<>> counters;
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  mutable std::mutex span_mutex_;
+  std::vector<SpanRecord> spans_;
+  std::vector<char> closed_;  // parallel to spans_: slot filled in yet?
+};
+
+// Counter add through a ref; the null-sink fast path is this one branch.
+inline void add(const SinkRef& ref, std::string_view counter,
+                std::uint64_t delta) {
+  if (ref.sink != nullptr) ref.sink->add(counter, delta, ref.lane);
+}
+
+// Scoped phase timer. Construct with the sink (or a SinkRef, which applies
+// its `spans` gate); destruction closes the span. Parentage is tracked
+// through a thread-local cursor: while this span is the innermost open span
+// *on this thread and this sink*, spans opened later nest under it.
+class Span {
+ public:
+  Span(MetricsSink* sink, std::string_view name);
+  Span(const SinkRef& ref, std::string_view name)
+      : Span(ref.span_sink(), name) {}
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attach a named integer payload (frontier size, hypothesis count, ...).
+  // Args become part of the span-tree signature, so engines must only attach
+  // deterministic values.
+  void arg(std::string_view key, std::uint64_t value);
+
+ private:
+  MetricsSink* sink_ = nullptr;
+  std::int32_t index_ = -1;
+  MetricsSink* saved_sink_ = nullptr;
+  std::int32_t saved_current_ = -1;
+  std::uint64_t start_us_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::uint64_t>> args_;
+};
+
+// Process-wide, counters-only sink for always-on tallies that predate any
+// caller-installed sink; `graph::closure_constructions()` is backed by it
+// ("graph.closure_constructions"). Exporters fold these totals into
+// metrics.json so CLI runs see them without extra plumbing.
+[[nodiscard]] MetricsSink& process_counters();
+
+}  // namespace siwa::obs

@@ -1,0 +1,21 @@
+#include "support/cli.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace siwa::support {
+
+std::optional<std::size_t> parse_size_arg(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::size_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (kMax - digit) / 10) return std::nullopt;  // would overflow
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace siwa::support

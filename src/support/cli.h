@@ -1,0 +1,19 @@
+// Strict numeric parsing for CLI flags.
+//
+// The strtol family silently accepts what a budget flag must not: leading
+// whitespace, signs (which wrap through size_t), trailing garbage, an empty
+// string (parsed as 0), and out-of-range values clamped to LONG_MAX with
+// only errno to tell. Every numeric flag in the example tools goes through
+// parse_size_arg instead, which accepts exactly nonempty decimal digit
+// strings that fit in size_t.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace siwa::support {
+
+[[nodiscard]] std::optional<std::size_t> parse_size_arg(std::string_view text);
+
+}  // namespace siwa::support

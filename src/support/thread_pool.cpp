@@ -2,7 +2,17 @@
 
 #include <algorithm>
 
+#include "support/require.h"
+
 namespace siwa::support {
+namespace {
+
+// Identity of the pool whose worker_main owns this thread, if any. Lets
+// parallel_for_each detect the re-entrant call that would otherwise park a
+// worker on its own pool's completion forever.
+thread_local const ThreadPool* t_worker_of = nullptr;
+
+}  // namespace
 
 std::size_t resolve_thread_count(std::size_t requested) {
   if (requested != 0) return requested;
@@ -29,6 +39,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::parallel_for_each(
     std::size_t count,
     const std::function<void(std::size_t index, std::size_t worker)>& body) {
+  SIWA_REQUIRE(t_worker_of != this,
+               "parallel_for_each called from a body on the same pool; "
+               "nested fan-out must use a different pool");
   std::unique_lock<std::mutex> lock(mutex_);
   body_ = &body;
   count_ = count;
@@ -46,6 +59,7 @@ void ThreadPool::parallel_for_each(
 }
 
 void ThreadPool::worker_main(std::size_t worker) {
+  t_worker_of = this;
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {

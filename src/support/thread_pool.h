@@ -15,9 +15,12 @@
 //
 // Nesting policy: `parallel_for_each` must not be called from inside a body
 // running on the same pool (the call would block a worker on its own pool's
-// completion). Callers that fan out at two levels — e.g. `certify_batch`
-// over graphs, each graph running the refined detector — must parallelize
-// exactly one level.
+// completion — with every worker re-entering, the job never finishes and the
+// process hangs silently). The pool tracks worker identity and fails fast
+// with a SIWA_REQUIRE diagnostic on such a call instead of deadlocking.
+// Callers that fan out at two levels — e.g. `certify_batch` over graphs,
+// each graph running the refined detector — must parallelize exactly one
+// level. Nesting across *different* pools remains legal.
 #pragma once
 
 #include <condition_variable>

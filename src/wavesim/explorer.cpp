@@ -157,6 +157,7 @@ class Engine {
   }
 
   ExploreResult run(const std::vector<Wave>& initial, bool initial_truncated) {
+    obs::Span explore_span(options_.metrics, "wavesim.explore");
     const Clock::time_point start = Clock::now();
     if (options_.max_millis != 0)
       deadline_ = start + std::chrono::milliseconds(options_.max_millis);
@@ -204,7 +205,9 @@ class Engine {
         }
       }
 
+      obs::Span level_span(options_.metrics, "wavesim.level");
       const std::size_t n = frontier.size();
+      level_span.arg("frontier", n);
       const std::size_t chunk_size =
           lanes == 1 ? n
                      : std::max<std::size_t>(
@@ -228,10 +231,17 @@ class Engine {
 
     result.budget.visited = admitted_;
     result.budget.bytes_estimate = admitted_ * entry_bytes_;
-    result.budget.elapsed_ms = static_cast<std::size_t>(
-        std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+    result.budget.elapsed_us = static_cast<std::size_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
                                                               start)
             .count());
+    explore_span.arg("levels", result.budget.levels);
+    explore_span.arg("visited", admitted_);
+    obs::add(options_.metrics, "wavesim.explores", 1);
+    obs::add(options_.metrics, "wavesim.levels", result.budget.levels);
+    obs::add(options_.metrics, "wavesim.visited", admitted_);
+    obs::add(options_.metrics, "wavesim.transitions", result.transitions);
+    obs::add(options_.metrics, "wavesim.anomalous", result.anomalous_waves);
     return result;
   }
 
@@ -262,8 +272,12 @@ class Engine {
 
   void hit_cap(ExploreResult& result, ExploreCap cap) {
     result.complete = false;
-    if (result.budget.first_cap == ExploreCap::None)
+    if (result.budget.first_cap == ExploreCap::None) {
       result.budget.first_cap = cap;
+      if (options_.metrics)
+        obs::add(options_.metrics,
+                 std::string("wavesim.cap.") + explore_cap_name(cap), 1);
+    }
   }
 
   // True when admitting one more wave would bust a budget; records the cap.
@@ -396,6 +410,9 @@ class Engine {
                      });
       }
       out.accepted.assign(out.candidates.size(), 0);
+      if (options_.metrics.sink != nullptr)
+        options_.metrics.sink->add("wavesim.candidates", out.candidates.size(),
+                                   options_.metrics.lane + lane);
       poll_deadline();
     };
 
@@ -413,14 +430,27 @@ class Engine {
       }
     };
 
+    // The expand/dedupe spans are opened on the coordinating thread in both
+    // the pooled and the serial path, so the recorded span tree has the same
+    // shape at any thread count.
     if (pool != nullptr) {
-      pool->parallel_for_each(chunks, expand_chunk);
-      if (!expired_.load(std::memory_order_relaxed))
+      {
+        obs::Span expand_span(options_.metrics, "wavesim.expand");
+        pool->parallel_for_each(chunks, expand_chunk);
+      }
+      if (!expired_.load(std::memory_order_relaxed)) {
+        obs::Span dedupe_span(options_.metrics, "wavesim.dedupe");
         pool->parallel_for_each(shard_count_, dedupe_shard);
+      }
     } else {
-      for (std::size_t c = 0; c < chunks; ++c) expand_chunk(c, 0);
-      if (!expired_.load(std::memory_order_relaxed))
+      {
+        obs::Span expand_span(options_.metrics, "wavesim.expand");
+        for (std::size_t c = 0; c < chunks; ++c) expand_chunk(c, 0);
+      }
+      if (!expired_.load(std::memory_order_relaxed)) {
+        obs::Span dedupe_span(options_.metrics, "wavesim.dedupe");
         for (std::size_t s = 0; s < shard_count_; ++s) dedupe_shard(s, 0);
+      }
     }
 
     const bool expired = expired_.load(std::memory_order_relaxed);
@@ -458,13 +488,16 @@ class Engine {
     std::atomic<bool> states_capped{false};
     std::atomic<bool> bytes_capped{false};
 
+    obs::Span expand_span(options_.metrics, "wavesim.expand");
     pool.parallel_for_each(chunks, [&](std::size_t c, std::size_t lane) {
       if (expired_.load(std::memory_order_relaxed)) return;
       const std::size_t lo = c * chunk_size;
       const std::size_t hi = std::min(frontier.size(), lo + chunk_size);
+      std::size_t produced = 0;
       for (std::size_t i = lo; i < hi; ++i) {
         process_wave(frontier, i, scratch[lane], lane_stats[lane],
                      [&](const Wave& w, std::size_t src) {
+                       ++produced;
                        const Key key = codec_.encode(w);
                        const std::size_t s = shard_of(key);
                        bool inserted;
@@ -489,6 +522,9 @@ class Engine {
                        lane_next[lane].push_back(key);
                      });
       }
+      if (options_.metrics.sink != nullptr && produced != 0)
+        options_.metrics.sink->add("wavesim.candidates", produced,
+                                   options_.metrics.lane + lane);
       poll_deadline();
     });
 

@@ -20,10 +20,12 @@
 // otherwise.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "syncgraph/sync_graph.h"
 #include "wavesim/classify.h"
 #include "wavesim/wave.h"
@@ -60,6 +62,12 @@ struct ExploreOptions {
   // cap fired first and how much was explored.
   std::size_t max_millis = 0;  // wall-clock deadline for explore()
   std::size_t max_bytes = 0;   // visited-set footprint estimate cap
+
+  // Optional observability sink (see obs/metrics.h). Null = zero-cost.
+  // Spans (wavesim.explore / .level / .expand / .dedupe) are emitted from
+  // the coordinating thread only; counters are lane-sharded per worker, so
+  // in deterministic mode both are identical at any thread count.
+  obs::SinkRef metrics;
 };
 
 // Which cap ended an exploration early (first one to fire).
@@ -80,8 +88,16 @@ struct BudgetReport {
   std::size_t levels = 0;          // BFS levels fully processed
   std::size_t visited = 0;         // distinct waves admitted to the search
   std::size_t bytes_estimate = 0;  // approx. visited + parent-map footprint
-  std::size_t elapsed_ms = 0;      // wall clock of explore()
+  std::size_t elapsed_us = 0;      // wall clock of explore(), microseconds
   bool packed = false;             // packed wave encoding in use
+
+  // Reporting boundary: wall clock in milliseconds, rounded up. A capped
+  // run consumed real time by definition, so it reports >= 1 ms — the old
+  // integer field truncated sub-millisecond capped runs to a "0 ms" claim.
+  [[nodiscard]] std::size_t elapsed_ms() const {
+    const std::size_t ms = (elapsed_us + 999) / 1000;
+    return first_cap == ExploreCap::None ? ms : std::max<std::size_t>(ms, 1);
+  }
 };
 
 struct ExploreResult {

@@ -52,6 +52,7 @@ void merge_into(SharedExploreResult& result, const ExploreResult& part,
 SharedExploreResult explore_shared(const lang::Program& original,
                                    const ExploreOptions& options,
                                    std::size_t max_conditions) {
+  obs::Span shared_span(options.metrics, "wavesim.explore_shared");
   const auto start = std::chrono::steady_clock::now();
   SharedExploreResult result;
   // Inline up front so condition usage inside procedures is visible to the
@@ -94,10 +95,16 @@ SharedExploreResult explore_shared(const lang::Program& original,
   const std::size_t threads = options.threads == 1
                                   ? 1
                                   : support::resolve_thread_count(options.threads);
+  // Per-assignment explorations record counters only: spans from the fanned
+  // out explorers would make the recorded tree depend on the thread count,
+  // so both the serial and the parallel path downgrade the sink the same
+  // way (the obs determinism contract, DESIGN.md section 7).
   std::vector<std::optional<ExploreResult>> parts(result.assignments_total);
   if (threads == 1 || result.assignments_total == 1) {
+    ExploreOptions per_assignment = options;
+    per_assignment.metrics = options.metrics.counters_only();
     for (std::size_t bits = 0; bits < result.assignments_total; ++bits)
-      parts[bits] = explore_assignment(bits, options);
+      parts[bits] = explore_assignment(bits, per_assignment);
   } else {
     // Parallelism goes across assignments — each per-assignment search runs
     // serially (the ThreadPool nesting policy forbids a second level). The
@@ -105,6 +112,7 @@ SharedExploreResult explore_shared(const lang::Program& original,
     // the same at any thread count.
     ExploreOptions per_assignment = options;
     per_assignment.threads = 1;
+    per_assignment.metrics = options.metrics.counters_only();
     // collect_waves is a single caller-owned sink; concurrent appends from
     // several assignments would race and scramble the order. Buffer per
     // assignment and splice in enumeration order instead.
@@ -113,8 +121,10 @@ SharedExploreResult explore_shared(const lang::Program& original,
       collected.resize(result.assignments_total);
     support::ThreadPool pool(threads);
     pool.parallel_for_each(
-        result.assignments_total, [&](std::size_t bits, std::size_t) {
+        result.assignments_total, [&](std::size_t bits, std::size_t worker) {
           ExploreOptions local = per_assignment;
+          local.metrics =
+              local.metrics.with_lane(options.metrics.lane + worker);
           if (options.collect_waves != nullptr)
             local.collect_waves = &collected[bits];
           parts[bits] = explore_assignment(bits, local);
@@ -137,10 +147,16 @@ SharedExploreResult explore_shared(const lang::Program& original,
       result.witness_assignment[conditions[k]] =
           (result.witness_assignment_bits >> k) & 1u;
 
-  result.combined.budget.elapsed_ms = static_cast<std::size_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
+  result.combined.budget.elapsed_us = static_cast<std::size_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+  shared_span.arg("assignments", result.assignments_total);
+  shared_span.arg("infeasible", result.assignments_infeasible);
+  obs::add(options.metrics, "shared.assignments_total",
+           result.assignments_total);
+  obs::add(options.metrics, "shared.assignments_infeasible",
+           result.assignments_infeasible);
   return result;
 }
 

@@ -35,7 +35,7 @@ struct SharedExploreResult {
   // twice). Experiment E12's "concurrency states" column deliberately uses
   // the plain explorer, not these sums. `combined.budget` follows the same
   // convention: `visited` is summed work, `bytes_estimate` is the largest
-  // single-assignment footprint, `levels` the deepest search, `elapsed_ms`
+  // single-assignment footprint, `levels` the deepest search, `elapsed_us`
   // the wall clock of the whole explore_shared call, and `packed` is true
   // only when every assignment packed.
   ExploreResult combined;

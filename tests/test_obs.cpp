@@ -1,0 +1,399 @@
+// The observability layer: counter lanes and merged totals, span nesting
+// and the tree signature, the null-sink fast path, both exporters and the
+// metrics validator, the JSON mini-parser — and the layer's central
+// promise, counter/span determinism: the instrumented engines must record
+// bit-identical counter totals and span trees at any thread count in
+// deterministic mode.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/certifier.h"
+#include "gen/patterns.h"
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "syncgraph/builder.h"
+#include "wavesim/explorer.h"
+#include "wavesim/shared.h"
+
+namespace siwa::obs {
+namespace {
+
+// ----- counters -----
+
+TEST(MetricsSink, CountersSumAcrossLanes) {
+  MetricsSink sink(4);
+  sink.add("a", 1, 0);
+  sink.add("a", 2, 1);
+  sink.add("a", 3, 2);
+  sink.add("b", 10, 3);
+  sink.add("b", 5, 3);
+  EXPECT_EQ(sink.total("a"), 6u);
+  EXPECT_EQ(sink.total("b"), 15u);
+  EXPECT_EQ(sink.total("missing"), 0u);
+  const auto totals = sink.counter_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals.at("a"), 6u);
+  EXPECT_EQ(totals.at("b"), 15u);
+}
+
+TEST(MetricsSink, LaneIndexReducesModuloShardCount) {
+  MetricsSink sink(2);
+  sink.add("x", 1, 0);
+  sink.add("x", 1, 7);  // lane 7 lands in shard 1
+  EXPECT_EQ(sink.total("x"), 2u);
+}
+
+TEST(MetricsSink, ConcurrentAddsFromManyThreadsMergeExactly) {
+  MetricsSink sink;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    threads.emplace_back([&sink, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        sink.add("hits", 1, t);
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sink.total("hits"), kThreads * kPerThread);
+}
+
+TEST(SinkRef, NullRefDropsCountersAndSpans) {
+  SinkRef null_ref;
+  EXPECT_FALSE(null_ref);
+  add(null_ref, "dropped", 7);  // must not crash
+  Span span(null_ref, "dropped");
+  span.arg("k", 1);
+}
+
+TEST(SinkRef, CountersOnlyStillCounts) {
+  MetricsSink sink;
+  SinkRef ref{&sink};
+  const SinkRef quiet = ref.counters_only();
+  add(quiet, "c", 3);
+  { Span span(quiet, "invisible"); }
+  EXPECT_EQ(sink.total("c"), 3u);
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+// ----- spans -----
+
+TEST(Span, NestsOnOneThreadAndRecordsArgs) {
+  MetricsSink sink;
+  {
+    Span outer(&sink, "outer");
+    outer.arg("n", 42);
+    { Span inner(&sink, "inner"); }
+    { Span inner2(&sink, "inner2"); }
+  }
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Records are stored in open order: parents precede children.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, -1);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "n");
+  EXPECT_EQ(spans[0].args[0].second, 42u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, 0);
+  EXPECT_EQ(spans[2].name, "inner2");
+  EXPECT_EQ(spans[2].parent, 0);
+}
+
+TEST(Span, SpansOnAnotherThreadDoNotInheritThisThreadsParent) {
+  MetricsSink sink;
+  {
+    Span outer(&sink, "outer");
+    std::thread([&sink] { Span other(&sink, "other"); }).join();
+  }
+  const auto spans = sink.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const auto& s : spans)
+    EXPECT_EQ(s.parent, -1) << s.name;
+}
+
+TEST(Span, OpenSpansAreExcludedFromSnapshots) {
+  MetricsSink sink;
+  Span open(&sink, "still-open");
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+TEST(Span, SignatureShowsShapeAndArgsWithoutTimings) {
+  MetricsSink sink;
+  {
+    Span outer(&sink, "phase");
+    outer.arg("items", 3);
+    { Span inner(&sink, "step"); }
+  }
+  EXPECT_EQ(span_tree_signature(sink), "phase{items=3}\n  step\n");
+}
+
+// The contract the bench guard enforces at ~100 ns; the unit-test bound is
+// deliberately loose (sanitizers, debug builds) but still catches a lock
+// or allocation sneaking onto the null path.
+TEST(Span, NullSinkPathStaysCheap) {
+  constexpr std::size_t kIters = 200'000;
+  MetricsSink* null_sink = nullptr;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kIters; ++i) {
+    Span span(null_sink, "guard");
+  }
+  const double ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      static_cast<double>(kIters);
+  EXPECT_LT(ns, 2000.0);
+}
+
+// ----- exporters and validator -----
+
+TEST(Export, TraceEventJsonRoundTripsThroughTheParser) {
+  MetricsSink sink;
+  {
+    Span outer(&sink, "load \"x\"");  // name needing escapes
+    { Span inner(&sink, "parse"); }
+  }
+  const auto doc = json::parse(to_trace_event_json(sink, "test-proc"));
+  ASSERT_TRUE(doc.has_value());
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // Metadata event + two phase events.
+  ASSERT_EQ(events->as_array().size(), 3u);
+  const json::Value& meta = events->as_array()[0];
+  ASSERT_NE(meta.find("ph"), nullptr);
+  EXPECT_EQ(meta.find("ph")->as_string(), "M");
+  const json::Value& first = events->as_array()[1];
+  EXPECT_EQ(first.find("ph")->as_string(), "X");
+  EXPECT_EQ(first.find("name")->as_string(), "load \"x\"");
+  EXPECT_TRUE(first.find("dur")->is_number());
+}
+
+TEST(Export, MetricsJsonRoundTripsAndValidates) {
+  MetricsSink sink;
+  {
+    Span outer(&sink, "phase");
+    outer.arg("n", 2);
+    { Span inner(&sink, "step"); }
+  }
+  sink.add("widgets", 11);
+  const std::string text =
+      to_metrics_json(sink, "test-tool", sink.now_us(),
+                      /*include_process_counters=*/false);
+  EXPECT_EQ(validate_metrics_json(text), std::nullopt);
+
+  const auto doc = json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("schema")->as_string(), "siwa-metrics/1");
+  EXPECT_EQ(doc->find("tool")->as_string(), "test-tool");
+  const json::Value* spans = doc->find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->as_array().size(), 2u);
+  EXPECT_EQ(spans->as_array()[0].find("name")->as_string(), "phase");
+  EXPECT_EQ(spans->as_array()[1].find("parent")->as_number(), 0.0);
+  const json::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("widgets")->as_number(), 11.0);
+}
+
+TEST(Export, ValidatorRejectsMalformedDocuments) {
+  // Not JSON at all.
+  EXPECT_TRUE(validate_metrics_json("{nope").has_value());
+  // Wrong schema tag.
+  EXPECT_TRUE(validate_metrics_json(
+                  R"({"schema":"other/1","tool":"t","wall_us":1,)"
+                  R"("spans":[],"counters":{}})")
+                  .has_value());
+  // Missing counters object.
+  EXPECT_TRUE(validate_metrics_json(
+                  R"({"schema":"siwa-metrics/1","tool":"t","wall_us":1,)"
+                  R"("spans":[]})")
+                  .has_value());
+  // Span parent pointing forward (child before parent).
+  EXPECT_TRUE(
+      validate_metrics_json(
+          R"({"schema":"siwa-metrics/1","tool":"t","wall_us":1,"spans":[)"
+          R"({"name":"a","parent":1,"start_us":0,"dur_us":1,"args":{}},)"
+          R"({"name":"b","parent":-1,"start_us":0,"dur_us":1,"args":{}}],)"
+          R"("counters":{}})")
+          .has_value());
+  // Negative duration.
+  EXPECT_TRUE(
+      validate_metrics_json(
+          R"({"schema":"siwa-metrics/1","tool":"t","wall_us":1,"spans":[)"
+          R"({"name":"a","parent":-1,"start_us":0,"dur_us":-5,"args":{}}],)"
+          R"("counters":{}})")
+          .has_value());
+}
+
+TEST(Export, ValidatorEnforcesCoverageWhenAsked) {
+  // Root spans cover 50 of 100 µs: fails a 10% requirement, passes 60%.
+  const std::string text =
+      R"({"schema":"siwa-metrics/1","tool":"t","wall_us":100,"spans":[)"
+      R"({"name":"a","parent":-1,"start_us":0,"dur_us":30,"args":{}},)"
+      R"({"name":"b","parent":0,"start_us":0,"dur_us":29,"args":{}},)"
+      R"({"name":"c","parent":-1,"start_us":30,"dur_us":20,"args":{}}],)"
+      R"("counters":{}})";
+  EXPECT_EQ(validate_metrics_json(text), std::nullopt);
+  EXPECT_TRUE(validate_metrics_json(text, 10.0).has_value());
+  EXPECT_EQ(validate_metrics_json(text, 60.0), std::nullopt);
+}
+
+// ----- the JSON mini-parser -----
+
+TEST(Json, ParsesScalarsArraysObjects) {
+  const auto doc = json::parse(
+      R"({"s":"a\"bA","n":-1.5e2,"t":true,"f":false,"z":null,)"
+      R"("arr":[1,2,3]})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("s")->as_string(), "a\"bA");
+  EXPECT_EQ(doc->find("n")->as_number(), -150.0);
+  EXPECT_TRUE(doc->find("t")->as_bool());
+  EXPECT_FALSE(doc->find("f")->as_bool());
+  EXPECT_TRUE(doc->find("z")->is_null());
+  ASSERT_EQ(doc->find("arr")->as_array().size(), 3u);
+  EXPECT_EQ(doc->find("arr")->as_array()[2].as_number(), 3.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json::parse("").has_value());
+  EXPECT_FALSE(json::parse("{").has_value());
+  EXPECT_FALSE(json::parse("[1,]").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(json::parse("01a").has_value());
+  EXPECT_FALSE(json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(json::parse("1 2").has_value());  // trailing garbage
+  EXPECT_FALSE(json::parse("nul").has_value());
+}
+
+TEST(Json, EscapeCoversQuotesBackslashesAndControls) {
+  EXPECT_EQ(json::escape("a\"b\\c\n\t\x01"), "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+// ----- engine determinism across thread counts -----
+
+sg::SyncGraph graph_of(const char* source) {
+  return sg::build_sync_graph(lang::parse_and_check_or_throw(source));
+}
+
+// Instrumented deterministic exploration must record the same counters and
+// the same span tree at every thread count: spans only come from the
+// coordinating thread and per-level counter deltas are fixed by the
+// level-synchronous schedule.
+TEST(Determinism, ExplorerCountersAndSpansMatchSerialAtAnyThreadCount) {
+  const sg::SyncGraph graph =
+      sg::build_sync_graph(gen::dining_philosophers(4, /*left_first=*/true));
+
+  std::map<std::string, std::uint64_t> expected_counters;
+  std::string expected_signature;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    MetricsSink sink;
+    wavesim::ExploreOptions options;
+    options.threads = threads;
+    options.metrics = SinkRef{&sink};
+    const auto result = wavesim::WaveExplorer(graph, options).explore();
+    EXPECT_TRUE(result.complete);
+    const auto counters = sink.counter_totals();
+    const std::string signature = span_tree_signature(sink);
+    EXPECT_GT(counters.at("wavesim.visited"), 0u);
+    if (threads == 1) {
+      expected_counters = counters;
+      expected_signature = signature;
+    } else {
+      EXPECT_EQ(counters, expected_counters) << "threads=" << threads;
+      EXPECT_EQ(signature, expected_signature) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, ExploreSharedCountersAndSpansMatchSerial) {
+  gen::RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 6;
+  config.branch_probability = 0.4;
+  config.shared_conditions = 3;
+  config.shared_condition_probability = 0.8;
+  config.seed = 11;
+  const lang::Program program = gen::random_program(config);
+
+  std::map<std::string, std::uint64_t> expected_counters;
+  std::string expected_signature;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    MetricsSink sink;
+    wavesim::ExploreOptions options;
+    options.threads = threads;
+    options.metrics = SinkRef{&sink};
+    const auto result = wavesim::explore_shared(program, options);
+    EXPECT_GE(result.assignments_total, 1u);
+    const auto counters = sink.counter_totals();
+    const std::string signature = span_tree_signature(sink);
+    if (threads == 1) {
+      expected_counters = counters;
+      expected_signature = signature;
+    } else {
+      EXPECT_EQ(counters, expected_counters) << "threads=" << threads;
+      EXPECT_EQ(signature, expected_signature) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, CertifyBatchCountersAndSpansMatchSerial) {
+  std::vector<sg::SyncGraph> corpus;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 3;
+    config.rendezvous_pairs = 5;
+    config.branch_probability = 0.3;
+    config.seed = seed;
+    corpus.push_back(sg::build_sync_graph(gen::random_program(config)));
+  }
+
+  std::map<std::string, std::uint64_t> expected_counters;
+  std::string expected_signature;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    MetricsSink sink;
+    core::CertifyOptions options;
+    options.algorithm = core::Algorithm::RefinedHeadPair;
+    options.parallel.threads = threads;
+    options.metrics = SinkRef{&sink};
+    const auto results = core::certify_batch(corpus, options);
+    EXPECT_EQ(results.size(), corpus.size());
+    const auto counters = sink.counter_totals();
+    const std::string signature = span_tree_signature(sink);
+    EXPECT_EQ(counters.at("certify.graphs"), corpus.size());
+    if (threads == 1) {
+      expected_counters = counters;
+      expected_signature = signature;
+    } else {
+      EXPECT_EQ(counters, expected_counters) << "threads=" << threads;
+      EXPECT_EQ(signature, expected_signature) << "threads=" << threads;
+    }
+  }
+}
+
+// Capping the explorer surfaces as a wavesim.cap.* counter.
+TEST(Determinism, CapCounterNamesTheFirstCapHit) {
+  const auto g = graph_of(R"(
+task a is begin send b.m; send b.m; end a;
+task b is begin accept m; accept m; end b;
+)");
+  MetricsSink sink;
+  wavesim::ExploreOptions options;
+  options.max_states = 1;
+  options.metrics = SinkRef{&sink};
+  const auto result = wavesim::WaveExplorer(g, options).explore();
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(sink.total("wavesim.cap.states"), 1u);
+}
+
+}  // namespace
+}  // namespace siwa::obs

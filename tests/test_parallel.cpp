@@ -173,6 +173,35 @@ TEST(ThreadPool, ResolveThreadCount) {
   EXPECT_GE(support::resolve_thread_count(0), 1u);
 }
 
+// Re-entrant fan-out on the SAME pool would park a worker on its own
+// completion wait forever (every worker is busy running the outer body, so
+// the inner parallel_for_each's done_cv never fires). The pool fails fast
+// instead of deadlocking.
+TEST(ThreadPoolDeathTest, NestedFanOutOnSamePoolFailsFast) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  support::ThreadPool pool(2);
+  EXPECT_DEATH(
+      pool.parallel_for_each(4,
+                             [&](std::size_t, std::size_t) {
+                               pool.parallel_for_each(
+                                   1, [](std::size_t, std::size_t) {});
+                             }),
+      "same pool");
+}
+
+// Nested fan-out on a DIFFERENT pool is the supported shape (explore_shared
+// does exactly this: assignment workers fan out level expansion on inner
+// pools) and must complete normally.
+TEST(ThreadPool, NestedFanOutOnDifferentPoolRuns) {
+  support::ThreadPool outer(2);
+  std::atomic<int> total{0};
+  outer.parallel_for_each(4, [&](std::size_t, std::size_t) {
+    support::ThreadPool inner(2);
+    inner.parallel_for_each(8, [&](std::size_t, std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
 // ----- parallel determinism (property ii) -----
 
 TEST(ParallelDetector, DeterministicModeMatchesSerialOnCorpus) {

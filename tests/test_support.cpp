@@ -1,14 +1,44 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
 #include <unordered_set>
 
 #include "support/bitset.h"
+#include "support/cli.h"
 #include "support/diagnostics.h"
 #include "support/ids.h"
 #include "support/interner.h"
 
 namespace siwa {
 namespace {
+
+TEST(ParseSizeArg, AcceptsPlainDecimals) {
+  EXPECT_EQ(support::parse_size_arg("0"), std::size_t{0});
+  EXPECT_EQ(support::parse_size_arg("42"), std::size_t{42});
+  EXPECT_EQ(support::parse_size_arg("007"), std::size_t{7});
+  const std::size_t max = std::numeric_limits<std::size_t>::max();
+  EXPECT_EQ(support::parse_size_arg(std::to_string(max)), max);
+}
+
+TEST(ParseSizeArg, RejectsEverythingElse) {
+  EXPECT_EQ(support::parse_size_arg(""), std::nullopt);
+  EXPECT_EQ(support::parse_size_arg("-1"), std::nullopt);   // no sign
+  EXPECT_EQ(support::parse_size_arg("+1"), std::nullopt);
+  EXPECT_EQ(support::parse_size_arg("1x"), std::nullopt);   // trailing junk
+  EXPECT_EQ(support::parse_size_arg(" 1"), std::nullopt);   // no whitespace
+  EXPECT_EQ(support::parse_size_arg("1 "), std::nullopt);
+  EXPECT_EQ(support::parse_size_arg("0x10"), std::nullopt); // decimal only
+  EXPECT_EQ(support::parse_size_arg("1e3"), std::nullopt);
+}
+
+TEST(ParseSizeArg, RejectsOverflowInsteadOfWrapping) {
+  const std::size_t max = std::numeric_limits<std::size_t>::max();
+  std::string over = std::to_string(max);
+  ++over.back();  // max ends in 5 (2^64-1) or 7 (2^32-1); +1 never carries
+  EXPECT_EQ(support::parse_size_arg(over), std::nullopt);
+  EXPECT_EQ(support::parse_size_arg(std::to_string(max) + "0"), std::nullopt);
+}
 
 TEST(Ids, DefaultIsInvalid) {
   NodeId id;

@@ -460,6 +460,32 @@ task d is begin accept n; end d;
   EXPECT_FALSE(capped.complete);
   EXPECT_EQ(capped.budget.first_cap, ExploreCap::States);
   EXPECT_EQ(capped.states, 3u);
+  // A capped run always reports a nonzero elapsed time, even when the
+  // whole exploration fits in well under a millisecond — "capped by states
+  // after 0 ms" misreads as a bug in the budget accounting.
+  EXPECT_GE(capped.budget.elapsed_ms(), 1u);
+}
+
+// elapsed_ms is derived from the microsecond record at the reporting
+// boundary: round up (never truncate a 400 µs run to 0 ms), and capped
+// runs report at least 1 ms regardless.
+TEST(Explorer, BudgetElapsedMsRoundsUpFromMicros) {
+  BudgetReport budget;
+  EXPECT_EQ(budget.elapsed_ms(), 0u);  // uncapped and truly instant
+  budget.elapsed_us = 1;
+  EXPECT_EQ(budget.elapsed_ms(), 1u);
+  budget.elapsed_us = 400;
+  EXPECT_EQ(budget.elapsed_ms(), 1u);
+  budget.elapsed_us = 1000;
+  EXPECT_EQ(budget.elapsed_ms(), 1u);
+  budget.elapsed_us = 1001;
+  EXPECT_EQ(budget.elapsed_ms(), 2u);
+
+  BudgetReport capped;
+  capped.first_cap = ExploreCap::Deadline;
+  EXPECT_EQ(capped.elapsed_ms(), 1u);  // capped: never report 0 ms
+  capped.elapsed_us = 2500;
+  EXPECT_EQ(capped.elapsed_ms(), 3u);
 }
 
 TEST(Explorer, BudgetReportsExhaustiveRun) {
