@@ -1,0 +1,167 @@
+// bench_gate: performance-regression smoke gate over siwa-metrics/1 bench
+// documents.
+//
+//   bench_gate [--tolerance PCT] [--min-ns NS] <baseline.json> <fresh.json>
+//
+// Both inputs are BENCH_*.json files as written by the bench binaries'
+// --metrics-out mode. The gate compares every `bench.<name>.real_time_ns`
+// counter present in the baseline against the fresh run. real_time_ns is
+// google-benchmark's per-iteration mean, so the comparison is already
+// normalized over iteration counts; a fresh value above
+// baseline * (1 + PCT/100) is a regression and fails the gate.
+//
+// Tolerance defaults to 20% — wide enough to absorb shared-runner noise on
+// millisecond-scale certify benches, tight enough to catch a real hot-path
+// regression (the gated kernels moved 5x, not 1.2x). Benchmarks faster than
+// --min-ns (default 5000) in the baseline are reported but never gated:
+// sub-5us timings on CI runners are dominated by scheduling jitter.
+//
+// A benchmark present in the baseline but missing from the fresh run fails
+// the gate (a silently dropped benchmark is how regressions hide);
+// benchmarks new in the fresh run are listed as informational.
+//
+// Exit code: 0 pass, 1 regression or missing benchmark, 2 usage/parse error.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "support/cli.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate [--tolerance PCT] [--min-ns NS] "
+               "<baseline.json> <fresh.json>\n");
+  return 2;
+}
+
+// All bench.<name>.real_time_ns counters of one document, keyed by <name>.
+std::optional<std::map<std::string, double>> load_bench_times(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench_gate: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const auto doc = siwa::obs::json::parse(buffer.str());
+  if (!doc) {
+    std::fprintf(stderr, "bench_gate: %s: invalid JSON\n", path.c_str());
+    return std::nullopt;
+  }
+  const siwa::obs::json::Value* counters = doc->find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    std::fprintf(stderr, "bench_gate: %s: no counters object\n", path.c_str());
+    return std::nullopt;
+  }
+  constexpr const char* kPrefix = "bench.";
+  constexpr const char* kSuffix = ".real_time_ns";
+  std::map<std::string, double> times;
+  for (const auto& [key, value] : counters->as_object()) {
+    if (!value.is_number()) continue;
+    if (key.rfind(kPrefix, 0) != 0) continue;
+    const std::size_t suffix_len = std::string(kSuffix).size();
+    if (key.size() <= suffix_len ||
+        key.compare(key.size() - suffix_len, suffix_len, kSuffix) != 0)
+      continue;
+    const std::string name =
+        key.substr(std::string(kPrefix).size(),
+                   key.size() - std::string(kPrefix).size() - suffix_len);
+    times[name] = value.as_number();
+  }
+  return times;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance_pct = 20.0;
+  double min_ns = 5000.0;
+  std::string baseline_path;
+  std::string fresh_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      const auto pct = siwa::support::parse_size_arg(argv[++i]);
+      if (!pct) {
+        std::fprintf(stderr,
+                     "bench_gate: invalid value '%s' for --tolerance "
+                     "(expected a non-negative integer)\n",
+                     argv[i]);
+        return 2;
+      }
+      tolerance_pct = static_cast<double>(*pct);
+    } else if (arg == "--min-ns" && i + 1 < argc) {
+      const auto ns = siwa::support::parse_size_arg(argv[++i]);
+      if (!ns) {
+        std::fprintf(stderr,
+                     "bench_gate: invalid value '%s' for --min-ns "
+                     "(expected a non-negative integer)\n",
+                     argv[i]);
+        return 2;
+      }
+      min_ns = static_cast<double>(*ns);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) return usage();
+
+  const auto baseline = load_bench_times(baseline_path);
+  const auto fresh = load_bench_times(fresh_path);
+  if (!baseline || !fresh) return 2;
+  if (baseline->empty()) {
+    std::fprintf(stderr, "bench_gate: %s: no bench.*.real_time_ns counters\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+
+  const double limit = 1.0 + tolerance_pct / 100.0;
+  int failures = 0;
+  std::size_t gated = 0;
+  for (const auto& [name, base_ns] : *baseline) {
+    const auto it = fresh->find(name);
+    if (it == fresh->end()) {
+      std::printf("FAIL %-48s missing from fresh run\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    const double fresh_ns = it->second;
+    const double ratio = base_ns > 0.0 ? fresh_ns / base_ns : 1.0;
+    if (base_ns < min_ns) {
+      std::printf("skip %-48s %12.0f -> %12.0f ns (%.2fx, under --min-ns)\n",
+                  name.c_str(), base_ns, fresh_ns, ratio);
+      continue;
+    }
+    ++gated;
+    if (fresh_ns > base_ns * limit) {
+      std::printf("FAIL %-48s %12.0f -> %12.0f ns (%.2fx > %.2fx allowed)\n",
+                  name.c_str(), base_ns, fresh_ns, ratio, limit);
+      ++failures;
+    } else {
+      std::printf("ok   %-48s %12.0f -> %12.0f ns (%.2fx)\n", name.c_str(),
+                  base_ns, fresh_ns, ratio);
+    }
+  }
+  for (const auto& [name, fresh_ns] : *fresh)
+    if (baseline->find(name) == baseline->end())
+      std::printf("new  %-48s %27.0f ns (no baseline)\n", name.c_str(),
+                  fresh_ns);
+
+  std::printf("bench_gate: %zu gated, %d regression%s (tolerance %.0f%%)\n",
+              gated, failures, failures == 1 ? "" : "s", tolerance_pct);
+  return failures > 0 ? 1 : 0;
+}

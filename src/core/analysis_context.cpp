@@ -9,4 +9,17 @@ AnalysisContext::AnalysisContext(const sg::SyncGraph& sg) : sg_(&sg) {
   reach_ = graph::CondensedReachability(sg.control_graph());
 }
 
+const sg::Clg& AnalysisContext::clg() const {
+  std::call_once(clg_once_, [this] { clg_ = std::make_unique<sg::Clg>(*sg_); });
+  return *clg_;
+}
+
+const graph::Dominators& AnalysisContext::dominators() const {
+  std::call_once(dom_once_, [this] {
+    dom_ = std::make_unique<graph::Dominators>(sg_->control_graph(),
+                                               VertexId(0) /* b */);
+  });
+  return *dom_;
+}
+
 }  // namespace siwa::core

@@ -15,7 +15,12 @@
 // the parallel hypothesis sweep rely on exactly that.
 #pragma once
 
+#include <memory>
+#include <mutex>
+
+#include "graph/dominators.h"
 #include "graph/reachability.h"
+#include "syncgraph/clg.h"
 #include "syncgraph/sync_graph.h"
 
 namespace siwa::core {
@@ -40,9 +45,23 @@ class AnalysisContext {
   // Derived from the SCC condensation, no extra traversal.
   [[nodiscard]] bool control_acyclic() const { return reach_.acyclic(); }
 
+  // The CLG of the graph, built on first use (thread-safe) and cached for
+  // the context's lifetime. Callers that certify the same graph repeatedly
+  // through one context skip the per-call CLG construction entirely.
+  [[nodiscard]] const sg::Clg& clg() const;
+
+  // Dominator tree of the control graph rooted at b, built on first use
+  // (thread-safe) and cached. Shared by the precedence engine's R1/R3 rules
+  // across the per-algorithm rebuilds a multi-algorithm certify performs.
+  [[nodiscard]] const graph::Dominators& dominators() const;
+
  private:
   const sg::SyncGraph* sg_;
   graph::CondensedReachability reach_;
+  mutable std::once_flag clg_once_;
+  mutable std::unique_ptr<sg::Clg> clg_;
+  mutable std::once_flag dom_once_;
+  mutable std::unique_ptr<graph::Dominators> dom_;
 };
 
 }  // namespace siwa::core

@@ -1,6 +1,7 @@
 #include "core/certifier.h"
 
 #include <chrono>
+#include <optional>
 
 #include "support/thread_pool.h"
 #include "syncgraph/builder.h"
@@ -37,7 +38,11 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
   result.stats.control_edges = graph.control_edge_count();
   result.stats.sync_edges = graph.sync_edge_count();
 
-  const sg::Clg clg(graph);
+  // Refined paths read the context's cached CLG (built once per context, so
+  // repeated certifications through one context skip the rebuild); the naive
+  // path has no context and builds its own.
+  std::optional<sg::Clg> local_clg;
+  const sg::Clg& clg = ctx ? ctx->clg() : local_clg.emplace(graph);
   result.stats.clg_nodes = clg.node_count();
   result.stats.clg_edges = clg.edge_count();
 

@@ -39,6 +39,11 @@ class CoExec {
   }
   [[nodiscard]] std::vector<NodeId> not_coexec_with(NodeId r) const;
 
+  // Row view over the packed relation, for allocation-free consumers.
+  [[nodiscard]] ConstBitRow not_coexec_row(NodeId r) const {
+    return not_coexec_.row(r.index());
+  }
+
  private:
   std::size_t n_;
   BitMatrix not_coexec_;

@@ -1,9 +1,11 @@
 #include "core/constraint4.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <cstdint>
 
 #include "graph/dominators.h"
 #include "graph/reachability.h"
+#include "support/arena.h"
 
 namespace siwa::core {
 
@@ -15,35 +17,47 @@ Constraint4Filter::Constraint4Filter(const AnalysisContext& ctx,
   always_broken_.assign(n, false);
 
   // Condition (iii) per task: w lies on every entry-to-exit path of its
-  // task. Computed on a per-task subgraph (task nodes plus local copies of
-  // b and e) as "w dominates the local exit".
-  std::vector<bool> unconditional(n, false);
-  for (std::size_t t = 0; t < sg.task_count(); ++t) {
-    const auto nodes = sg.nodes_of_task(TaskId(t));
-    graph::Digraph local(nodes.size() + 2);  // [0]=entry, [1]=exit
-    std::unordered_map<std::int32_t, std::size_t> local_of;
-    for (std::size_t k = 0; k < nodes.size(); ++k)
-      local_of[nodes[k].value] = k + 2;
+  // task, computed as "w dominates the task's exit". One combined graph
+  // replaces the per-task subgraph builds: vertex 0 is a shared super-entry
+  // with an edge into every task's entry set, and each task keeps its own
+  // exit vertex (1 + t). Tasks are vertex-disjoint in the control graph, so
+  // w dominates exit_t in the combined graph exactly when w lies on every
+  // entry-to-exit path of its own task — the per-task predicate, for the
+  // price of a single Dominators pass.
+  support::Arena& arena = support::scratch_arena();
+  const support::Arena::Scope scope(arena);
+  std::uint8_t* unconditional = arena.alloc_array<std::uint8_t>(n);
+  std::fill_n(unconditional, n, std::uint8_t{0});
 
-    for (NodeId entry : sg.task_entries(TaskId(t))) {
-      if (entry == sg.end_node())
-        local.add_edge(VertexId(0), VertexId(1));
-      else
-        local.add_edge(VertexId(0), VertexId(local_of.at(entry.value)));
-    }
-    for (NodeId r : nodes) {
+  const std::size_t tasks = sg.task_count();
+  // Node i (i >= 2: b and e stay out of the combined graph) -> vertex
+  // tasks - 1 + i; exit of task t -> vertex 1 + t; super-entry -> vertex 0.
+  const auto local = [tasks](NodeId v) {
+    return VertexId(tasks - 1 + v.index());
+  };
+  graph::Digraph combined(n - 2 + tasks + 1);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    const VertexId exit(1 + t);
+    for (NodeId entry : sg.task_entries(TaskId(t)))
+      combined.add_edge(VertexId(0),
+                        entry == sg.end_node() ? exit : local(entry));
+    for (NodeId r : sg.nodes_of_task(TaskId(t))) {
       for (NodeId s : sg.control_successors(r)) {
-        const VertexId from(local_of.at(r.value));
         if (s == sg.end_node())
-          local.add_edge(from, VertexId(1));
-        else
-          local.add_edge(from, VertexId(local_of.at(s.value)));
+          combined.add_edge(local(r), exit);
+        else if (sg.task_of(s) == TaskId(t))
+          combined.add_edge(local(r), local(s));
+        // A control successor in another task (no frontend emits one today)
+        // is not part of the task-local path structure; dropping it keeps
+        // the per-task semantics and the disjointness argument above.
       }
     }
-    const graph::Dominators dom(local, VertexId(0));
-    for (std::size_t k = 0; k < nodes.size(); ++k)
-      if (dom.dominates(VertexId(k + 2), VertexId(1)))
-        unconditional[nodes[k].index()] = true;
+  }
+  const graph::Dominators dom(combined, VertexId(0));
+  for (std::size_t i = 2; i < n; ++i) {
+    const NodeId w(i);
+    if (dom.dominates(local(w), VertexId(1 + sg.task_of(w).index())))
+      unconditional[i] = 1;
   }
 
   // For every sync edge {w, t}, test whether w breaks head t.
@@ -53,7 +67,7 @@ Constraint4Filter::Constraint4Filter(const AnalysisContext& ctx,
     if (!unconditional[wi]) continue;
 
     for (NodeId t : sg.sync_partners(w)) {
-      if (sg.node(t).task == sg.node(w).task) continue;
+      if (sg.task_of(t) == sg.task_of(w)) continue;
       // (ii): every other partner of w starts after t finishes.
       bool ok = true;
       for (NodeId v : sg.sync_partners(w)) {
@@ -65,7 +79,7 @@ Constraint4Filter::Constraint4Filter(const AnalysisContext& ctx,
       }
       if (!ok) continue;
       // (iv): every rendezvous ancestor of w precedes t.
-      for (NodeId p : sg.nodes_of_task(sg.node(w).task)) {
+      for (NodeId p : sg.nodes_of_task(sg.task_of(w))) {
         if (p == w) continue;
         if (!reach.reaches(VertexId(p.value), VertexId(w.value))) continue;
         if (!precedence.precedes(p, t)) {

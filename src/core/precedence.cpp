@@ -1,12 +1,28 @@
 #include "core/precedence.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <optional>
 
 #include "graph/dominators.h"
 #include "graph/reachability.h"
+#include "support/arena.h"
 #include "support/require.h"
 
 namespace siwa::core {
+
+namespace {
+
+// Zero-initialized arena array (alloc_array returns raw storage).
+template <class T>
+[[nodiscard]] T* zeroed(support::Arena& arena, std::size_t n) {
+  T* p = arena.alloc_array<T>(n);
+  std::fill_n(p, n, T{});
+  return p;
+}
+
+}  // namespace
 
 Precedence::Precedence(const AnalysisContext& ctx, PrecedenceOptions options)
     : n_(ctx.graph().node_count()),
@@ -15,7 +31,7 @@ Precedence::Precedence(const AnalysisContext& ctx, PrecedenceOptions options)
   SIWA_REQUIRE(ctx.control_acyclic(),
                "precedence analysis requires acyclic control flow; "
                "apply the Lemma 1 unroller first");
-  build(ctx.graph(), options);
+  build(ctx.graph(), options, &ctx.dominators());
 }
 
 Precedence::Precedence(const sg::SyncGraph& sg, PrecedenceOptions options)
@@ -24,14 +40,27 @@ Precedence::Precedence(const sg::SyncGraph& sg, PrecedenceOptions options)
   SIWA_REQUIRE(graph::topological_order(sg.control_graph()).has_value(),
                "precedence analysis requires acyclic control flow; "
                "apply the Lemma 1 unroller first");
-  build(sg, options);
+  build(sg, options, nullptr);
 }
 
 void Precedence::build(const sg::SyncGraph& sg,
-                       const PrecedenceOptions& options) {
+                       const PrecedenceOptions& options,
+                       const graph::Dominators* cached_dom) {
+  // Every fixpoint buffer below lives in the per-thread scratch arena and is
+  // released as one rewind when the build returns; after the first certify
+  // warms the arena, a build performs zero heap allocations for scratch.
+  support::Arena& arena = support::scratch_arena();
+  const support::Arena::Scope scope(arena);
+  const std::size_t words = bitset_words_for(n_);
+
+  std::optional<graph::Dominators> local_dom;
+  const graph::Dominators& dom =
+      cached_dom != nullptr
+          ? *cached_dom
+          : local_dom.emplace(sg.control_graph(), VertexId(0) /* b */);
+
   // R1: dominator chains. Walking each node's idom chain enumerates all of
   // its dominators; chains stay within the node's own task until they hit b.
-  const graph::Dominators dom(sg.control_graph(), VertexId(0) /* b */);
   for (std::size_t i = 2; i < n_; ++i) {
     if (!dom.reachable(VertexId(i))) continue;
     VertexId d = dom.idom(VertexId(i));
@@ -45,9 +74,19 @@ void Precedence::build(const sg::SyncGraph& sg,
 
   for (auto [a, b] : options.extra_precedes) strong_.set(a.index(), b.index());
 
-  // Send/accept node lists per signal, for R4.
-  std::vector<std::vector<std::size_t>> sends_of;
-  std::vector<std::vector<std::size_t>> accepts_of;
+  // R4 setup: every signal with at least one send and one accept gets a
+  // dense slot carrying its node masks and counting thresholds, all in flat
+  // arena arrays (no per-signal containers).
+  constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  std::size_t n_slots = 0;
+  std::uint32_t* r4_slot = nullptr;       // node -> slot (or kNoSlot)
+  std::uint8_t* r4_is_send = nullptr;     // node -> counted on the send side
+  std::uint32_t* fire_need_send = nullptr;  // sends completed that exhaust accepts
+  std::uint32_t* fire_need_acc = nullptr;   // accepts completed that exhaust sends
+  std::uint64_t* send_mask_w = nullptr;   // n_slots x words
+  std::uint64_t* acc_mask_w = nullptr;
+  std::uint32_t* cnt_send = nullptr;      // |pred[t] ∩ sends|, n_slots x n_
+  std::uint32_t* cnt_acc = nullptr;
   if (options.use_rule_r4) {
     std::size_t signal_count = 0;
     for (std::size_t i = 2; i < n_; ++i) {
@@ -55,123 +94,203 @@ void Precedence::build(const sg::SyncGraph& sg,
       signal_count =
           std::max(signal_count, static_cast<std::size_t>(node.signal.value) + 1);
     }
-    sends_of.resize(signal_count);
-    accepts_of.resize(signal_count);
+    std::uint32_t* sends_per = zeroed<std::uint32_t>(arena, signal_count);
+    std::uint32_t* accs_per = zeroed<std::uint32_t>(arena, signal_count);
     for (std::size_t i = 2; i < n_; ++i) {
       const auto& node = sg.node(NodeId(i));
-      (node.sign == sg::Sign::Plus ? sends_of : accepts_of)[node.signal.index()]
-          .push_back(i);
+      ++(node.sign == sg::Sign::Plus ? sends_per : accs_per)[node.signal.index()];
+    }
+    std::uint32_t* slot_of_signal = arena.alloc_array<std::uint32_t>(signal_count);
+    for (std::size_t s = 0; s < signal_count; ++s)
+      slot_of_signal[s] = (sends_per[s] != 0 && accs_per[s] != 0)
+                              ? static_cast<std::uint32_t>(n_slots++)
+                              : kNoSlot;
+    if (n_slots != 0) {
+      r4_slot = arena.alloc_array<std::uint32_t>(n_);
+      std::fill_n(r4_slot, n_, kNoSlot);
+      r4_is_send = zeroed<std::uint8_t>(arena, n_);
+      fire_need_send = arena.alloc_array<std::uint32_t>(n_slots);
+      fire_need_acc = arena.alloc_array<std::uint32_t>(n_slots);
+      for (std::size_t s = 0; s < signal_count; ++s) {
+        const std::uint32_t slot = slot_of_signal[s];
+        if (slot == kNoSlot) continue;
+        fire_need_send[slot] = accs_per[s];
+        fire_need_acc[slot] = sends_per[s];
+      }
+      send_mask_w = zeroed<std::uint64_t>(arena, n_slots * words);
+      acc_mask_w = zeroed<std::uint64_t>(arena, n_slots * words);
+      for (std::size_t i = 2; i < n_; ++i) {
+        const auto& node = sg.node(NodeId(i));
+        const std::uint32_t slot = slot_of_signal[node.signal.index()];
+        if (slot == kNoSlot) continue;
+        r4_slot[i] = slot;
+        if (node.sign == sg::Sign::Plus) {
+          r4_is_send[i] = 1;
+          BitRow(send_mask_w + slot * words, n_).set(i);
+        } else {
+          BitRow(acc_mask_w + slot * words, n_).set(i);
+        }
+      }
+      cnt_send = zeroed<std::uint32_t>(arena, n_slots * n_);
+      cnt_acc = zeroed<std::uint32_t>(arena, n_slots * n_);
     }
   }
 
+  // The fixpoint runs entirely on the *transposed* relation:
+  // pred[t] = { x : S(x, t) }. Every rule reads and writes whole pred rows,
+  // so the sweeps are word-parallel ORs/intersections instead of per-bit
+  // column updates (R3 in row-major STRONG was the dominant certify cost),
+  // and no per-iteration transpose rebuild is needed. The rules are
+  // monotone, so the least fixpoint — and hence every verdict derived from
+  // it — is identical under either orientation. STRONG and EXCLUSION are
+  // materialized once at the end.
+  std::uint64_t* pred_w = zeroed<std::uint64_t>(arena, n_ * words);
+  const auto pred_row = [&](std::size_t t) {
+    return BitRow(pred_w + t * words, n_);
+  };
+  transpose_bit_matrix(pred_w, strong_.row(0).words(), n_);
+
+  // Semi-naive bookkeeping: `merged` records which (t, x) pairs the T sweep
+  // has already absorbed, `grew` marks the rows that gained bits last round,
+  // and `dirty`/`snap` drive the delta-counting R4 pass. A pair is re-merged
+  // only when x is new in pred[t] or pred[x] itself grew, so each merge runs
+  // once per actual delta instead of once per global sweep.
+  std::uint64_t* merged_w = zeroed<std::uint64_t>(arena, n_ * words);
+  std::uint64_t* snap_w =
+      n_slots != 0 ? zeroed<std::uint64_t>(arena, n_ * words) : nullptr;
+  BitRow all_before(arena.alloc_array<std::uint64_t>(words), n_);
+  BitRow grew_prev(zeroed<std::uint64_t>(arena, words), n_);
+  BitRow grew_cur(zeroed<std::uint64_t>(arena, words), n_);
+  BitRow dirty(zeroed<std::uint64_t>(arena, words), n_);
+  std::size_t* via = arena.alloc_array<std::size_t>(n_);
+
   // STRONG fixpoint over T, R3, R4.
+  bool first = true;
   bool changed = true;
   while (changed) {
     changed = false;
+    grew_cur.clear();
 
-    // T: transitive closure sweep.
-    for (std::size_t a = 0; a < n_; ++a) {
-      std::vector<std::size_t> via;
-      strong_.row(a).for_each([&](std::size_t b) { via.push_back(b); });
-      for (std::size_t b : via) changed |= strong_.row(a).merge(strong_.row(b));
-    }
-
-    // Transposed relation: before[s] = { x : S(x, s) }, shared by R3/R4.
-    BitMatrix before(n_);
-    if (options.use_rule_r3 || options.use_rule_r4) {
-      for (std::size_t a = 0; a < n_; ++a)
-        strong_.row(a).for_each([&](std::size_t b) { before.set(b, a); });
+    // T: transitive closure sweep. S(y, x) and S(x, t) imply S(y, t), i.e.
+    // pred[t] absorbs pred[x] for every x already in pred[t].
+    for (std::size_t t = 0; t < n_; ++t) {
+      std::size_t via_n = 0;
+      BitRow merged_t(merged_w + t * words, n_);
+      pred_row(t).for_each([&](std::size_t x) {
+        if (!merged_t.test(x) || grew_prev.test(x)) via[via_n++] = x;
+      });
+      bool t_grew = false;
+      for (std::size_t v = 0; v < via_n; ++v) {
+        const std::size_t x = via[v];
+        t_grew |= pred_row(t).merge(pred_row(x));
+        merged_t.set(x);
+      }
+      if (t_grew) {
+        grew_cur.set(t);
+        dirty.set(t);
+        changed = true;
+      }
     }
 
     if (options.use_rule_r3) {
       for (std::size_t r = 2; r < n_; ++r) {
         const auto partners = sg.sync_partners(NodeId(r));
         if (partners.empty()) continue;
-        // {x : x strongly precedes every partner of r}.
-        DynamicBitset all_before(n_);
-        bool first = true;
-        for (NodeId s : partners) {
-          if (first) {
-            all_before = before.row(s.index());
-            first = false;
-          } else {
-            all_before.intersect(before.row(s.index()));
-          }
+        if (!first) {
+          bool partner_grew = false;
+          for (NodeId s : partners)
+            partner_grew |= grew_prev.test(s.index()) || grew_cur.test(s.index());
+          if (!partner_grew) continue;
         }
+        // {x : x strongly precedes every partner of r}.
+        all_before.assign(pred_row(partners.front().index()));
+        for (NodeId s : partners.subspan(1))
+          all_before.intersect(pred_row(s.index()));
         if (!all_before.any()) continue;
-        for (NodeId t : sg.nodes_of_task(sg.node(NodeId(r)).task)) {
+        for (NodeId t : sg.nodes_of_task(sg.task_of(NodeId(r)))) {
           if (t.index() == r) continue;
           if (!dom.dominates(VertexId(r), VertexId(t.value))) continue;
-          bool row_changed = false;
-          all_before.for_each([&](std::size_t x) {
-            if (!strong_.test(x, t.index())) {
-              strong_.set(x, t.index());
-              row_changed = true;
-            }
-          });
-          changed |= row_changed;
+          if (pred_row(t.index()).merge(all_before)) {
+            grew_cur.set(t.index());
+            dirty.set(t.index());
+            changed = true;
+          }
         }
       }
     }
 
-    if (options.use_rule_r4) {
+    if (options.use_rule_r4 && n_slots != 0) {
       // Generalized counting: each completed send of a signal pairs with a
       // distinct completed accept (nodes execute at most once). So if, by
       // the time t is reached, at least |accepts(sigma)| sends of sigma have
       // completed, *every* accept of sigma has completed — and mirrored.
-      for (std::size_t s = 0; s < sends_of.size(); ++s) {
-        if (sends_of[s].empty() || accepts_of[s].empty()) continue;
-        DynamicBitset send_mask(n_);
-        for (std::size_t x : sends_of[s]) send_mask.set(x);
-        DynamicBitset accept_mask(n_);
-        for (std::size_t a : accepts_of[s]) accept_mask.set(a);
-        for (std::size_t t = 0; t < n_; ++t) {
-          const DynamicBitset& done_before_t = before.row(t);
-          if (done_before_t.count_and(send_mask) >= accepts_of[s].size()) {
-            for (std::size_t a : accepts_of[s]) {
-              if (!strong_.test(a, t)) {
-                strong_.set(a, t);
-                before.set(t, a);
-                changed = true;
+      // Evaluated over the insertion deltas: only rows whose pred changed
+      // since their last scan are visited, only the new bits counted, and a
+      // threshold fires exactly once, at the insertion that reaches it.
+      for (std::size_t t = 0; t < n_; ++t) {
+        if (!first && !dirty.test(t)) continue;
+        // A fired mask can insert bits into words already scanned this pass
+        // (sends/accepts of *other* signals, cascading); rescan until the
+        // row is quiescent. Counters are monotone, so this terminates.
+        bool rescan = true;
+        while (rescan) {
+          rescan = false;
+          std::uint64_t* row_w = pred_w + t * words;
+          std::uint64_t* snap_row = snap_w + t * words;
+          for (std::size_t w = 0; w < words; ++w) {
+            std::uint64_t delta = row_w[w] & ~snap_row[w];
+            snap_row[w] = row_w[w];
+            while (delta != 0) {
+              const std::size_t x =
+                  w * kBitsetWordBits +
+                  static_cast<std::size_t>(std::countr_zero(delta));
+              delta &= delta - 1;
+              const std::uint32_t slot = r4_slot[x];
+              if (slot == kNoSlot) continue;
+              bool fired = false;
+              if (r4_is_send[x]) {
+                if (++cnt_send[slot * n_ + t] == fire_need_send[slot])
+                  fired = pred_row(t).merge(
+                      ConstBitRow(acc_mask_w + slot * words, n_));
+              } else {
+                if (++cnt_acc[slot * n_ + t] == fire_need_acc[slot])
+                  fired = pred_row(t).merge(
+                      ConstBitRow(send_mask_w + slot * words, n_));
               }
-            }
-          }
-          if (done_before_t.count_and(accept_mask) >= sends_of[s].size()) {
-            for (std::size_t x : sends_of[s]) {
-              if (!strong_.test(x, t)) {
-                strong_.set(x, t);
-                before.set(t, x);
+              if (fired) {
+                rescan = true;
+                grew_cur.set(t);
                 changed = true;
               }
             }
           }
         }
+        dirty.reset(t);
       }
     }
+
+    std::swap(grew_prev, grew_cur);
+    first = false;
   }
 
-  // EXCLUSION: symmetrized strong facts plus one R2 pass.
+  // Materialize STRONG (transpose of pred; a full overwrite is correct
+  // because pred was seeded from strong_'s transpose and only grew) and
+  // EXCLUSION (the symmetric closure: excl[a] = strong[a] | pred[a]) plus
+  // one R2 pass.
+  transpose_bit_matrix(strong_.row(0).words(), pred_w, n_);
   for (std::size_t a = 0; a < n_; ++a) {
-    strong_.row(a).for_each([&](std::size_t b) {
-      excl_.set(a, b);
-      excl_.set(b, a);
-    });
+    BitRow row = excl_.row(a);
+    row.assign(strong_.row(a));
+    row.merge(pred_row(a));
   }
   if (options.use_rule_r2) {
     for (std::size_t r = 2; r < n_; ++r) {
       const auto partners = sg.sync_partners(NodeId(r));
       if (partners.empty()) continue;
-      DynamicBitset targets(n_);
-      bool first = true;
-      for (NodeId s : partners) {
-        if (first) {
-          targets = strong_.row(s.index());
-          first = false;
-        } else {
-          targets.intersect(strong_.row(s.index()));
-        }
-      }
-      targets.for_each([&](std::size_t t) {
+      all_before.assign(strong_.row(partners.front().index()));
+      for (NodeId s : partners.subspan(1))
+        all_before.intersect(strong_.row(s.index()));
+      all_before.for_each([&](std::size_t t) {
         excl_.set(r, t);
         excl_.set(t, r);
       });

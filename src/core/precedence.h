@@ -78,11 +78,23 @@ class Precedence {
   }
   [[nodiscard]] std::vector<NodeId> sequenceable_with(NodeId r) const;
 
+  // Row views over the packed relations, for allocation-free consumers
+  // (MarkedSearch reads these instead of materializing node-id vectors).
+  [[nodiscard]] ConstBitRow sequenceable_row(NodeId r) const {
+    return excl_.row(r.index());
+  }
+  [[nodiscard]] ConstBitRow precedes_row(NodeId a) const {
+    return strong_.row(a.index());
+  }
+
   [[nodiscard]] std::size_t strong_pair_count() const;
   [[nodiscard]] std::size_t excluded_pair_count() const;
 
  private:
-  void build(const sg::SyncGraph& sg, const PrecedenceOptions& options);
+  // cached_dom: the context's dominator tree when available; null makes the
+  // build construct its own (standalone path).
+  void build(const sg::SyncGraph& sg, const PrecedenceOptions& options,
+             const graph::Dominators* cached_dom);
 
   std::size_t n_;
   BitMatrix strong_;

@@ -33,7 +33,7 @@ bool enumeration_needs_closure(const RefinedOptions& options) {
 // fallback), the component's node list is returned instead.
 std::vector<ClgNodeId> extract_witness_clg(const sg::Clg& clg,
                                            const MarkedSearch& search,
-                                           const graph::SccResult& scc,
+                                           const MarkedSearch::SccView& scc,
                                            std::size_t anchor) {
   std::vector<std::int32_t> parent(clg.node_count(), -1);
   std::vector<std::size_t> queue{anchor};
@@ -43,17 +43,18 @@ std::vector<ClgNodeId> extract_witness_clg(const sg::Clg& clg,
   std::size_t closer = anchor;
   while (back < queue.size() && !closed) {
     const std::size_t v = queue[back++];
-    for (VertexId w : clg.graph().successors(VertexId(v))) {
-      if (!scc.same_component(anchor, w.index())) continue;
-      if (!search.edge_allowed(v, w.index())) continue;
-      if (w.index() == anchor) {
+    for (std::uint32_t w32 : clg.successors(ClgNodeId(v))) {
+      const auto w = static_cast<std::size_t>(w32);
+      if (!scc.same_component(anchor, w)) continue;
+      if (!search.edge_allowed(v, w)) continue;
+      if (w == anchor) {
         closed = true;
         closer = v;
         break;
       }
-      if (parent[w.index()] >= 0) continue;
-      parent[w.index()] = static_cast<std::int32_t>(v);
-      queue.push_back(w.index());
+      if (parent[w] >= 0) continue;
+      parent[w] = static_cast<std::int32_t>(v);
+      queue.push_back(w);
     }
   }
   std::vector<ClgNodeId> out;
@@ -86,16 +87,18 @@ std::vector<NodeId> witness_origins(const sg::Clg& clg,
 
 // Roots of the filtered SCC search: the in-node of every head and the
 // out-node of every pinned tail. A hypothesis is confirmed when all roots
-// share one strong component of size > 1.
-std::vector<std::size_t> hypothesis_roots(const sg::Clg& clg,
-                                          const Hypothesis& hyp) {
-  std::vector<std::size_t> roots{clg.in_of(hyp.head1).index()};
-  if (hyp.tail1.valid()) roots.push_back(clg.out_of(hyp.tail1).index());
+// share one strong component of size > 1. At most 4 roots, so they live in
+// a caller-provided fixed array.
+std::size_t hypothesis_roots(const sg::Clg& clg, const Hypothesis& hyp,
+                             std::size_t (&roots)[4]) {
+  std::size_t count = 0;
+  roots[count++] = clg.in_of(hyp.head1).index();
+  if (hyp.tail1.valid()) roots[count++] = clg.out_of(hyp.tail1).index();
   if (hyp.head2.valid()) {
-    roots.push_back(clg.in_of(hyp.head2).index());
-    if (hyp.tail2.valid()) roots.push_back(clg.out_of(hyp.tail2).index());
+    roots[count++] = clg.in_of(hyp.head2).index();
+    if (hyp.tail2.valid()) roots[count++] = clg.out_of(hyp.tail2).index();
   }
-  return roots;
+  return count;
 }
 
 // Heads whose hypothesis must also be tested alone in the pair modes: a
@@ -103,7 +106,7 @@ std::vector<std::size_t> hypothesis_roots(const sg::Clg& clg,
 // i.e. the head has a sync partner in its own task (footnote 6).
 bool has_self_partner(const sg::SyncGraph& sg, NodeId h) {
   for (NodeId p : sg.sync_partners(h))
-    if (sg.node(p).task == sg.node(h).task) return true;
+    if (sg.task_of(p) == sg.task_of(h)) return true;
   return false;
 }
 
@@ -111,26 +114,53 @@ bool has_self_partner(const sg::SyncGraph& sg, NodeId h) {
 
 MarkedSearch::MarkedSearch(const sg::Clg& clg)
     : clg_(clg),
-      no_sync_(clg.node_count(), false),
-      do_not_enter_(clg.node_count(), false) {}
+      n_(clg.node_count()),
+      owned_arena_(std::make_unique<support::Arena>()),
+      arena_(owned_arena_.get()) {
+  alloc_scratch();
+}
+
+MarkedSearch::MarkedSearch(const sg::Clg& clg, support::Arena& arena)
+    : clg_(clg), n_(clg.node_count()), arena_(&arena) {
+  alloc_scratch();
+}
+
+void MarkedSearch::alloc_scratch() {
+  no_sync_ = arena_->alloc_array<std::uint8_t>(n_);
+  do_not_enter_ = arena_->alloc_array<std::uint8_t>(n_);
+  index_ = arena_->alloc_array<std::int32_t>(n_);
+  lowlink_ = arena_->alloc_array<std::int32_t>(n_);
+  on_stack_ = arena_->alloc_array<std::uint8_t>(n_);
+  scc_stack_ = arena_->alloc_array<std::uint32_t>(n_);
+  frames_ = arena_->alloc_array<Frame>(n_);
+  component_of_ = arena_->alloc_array<std::int32_t>(n_);
+  component_size_ = arena_->alloc_array<std::size_t>(n_);
+  // Size of the arrays above, independent of which arena holds them (a
+  // shared scratch arena's bytes_used() would also count unrelated callers,
+  // breaking the obs determinism contract for refined.scratch_bytes).
+  scratch_bytes_ = n_ * (3 * sizeof(std::uint8_t) + 2 * sizeof(std::int32_t) +
+                         sizeof(std::uint32_t) + sizeof(Frame) +
+                         sizeof(std::int32_t) + sizeof(std::size_t));
+  clear();
+}
 
 void MarkedSearch::clear() {
-  std::fill(no_sync_.begin(), no_sync_.end(), false);
-  std::fill(do_not_enter_.begin(), do_not_enter_.end(), false);
+  std::fill(no_sync_, no_sync_ + n_, std::uint8_t{0});
+  std::fill(do_not_enter_, do_not_enter_ + n_, std::uint8_t{0});
 }
 
 void MarkedSearch::mark_no_sync_pair(NodeId k) {
-  no_sync_[clg_.in_of(k).index()] = true;
-  no_sync_[clg_.out_of(k).index()] = true;
+  no_sync_[clg_.in_of(k).index()] = 1;
+  no_sync_[clg_.out_of(k).index()] = 1;
 }
 
 void MarkedSearch::mark_no_sync_in(NodeId k) {
-  no_sync_[clg_.in_of(k).index()] = true;
+  no_sync_[clg_.in_of(k).index()] = 1;
 }
 
 void MarkedSearch::mark_do_not_enter(NodeId k) {
-  do_not_enter_[clg_.in_of(k).index()] = true;
-  do_not_enter_[clg_.out_of(k).index()] = true;
+  do_not_enter_[clg_.in_of(k).index()] = 1;
+  do_not_enter_[clg_.out_of(k).index()] = 1;
 }
 
 bool MarkedSearch::edge_allowed(std::size_t from, std::size_t to) const {
@@ -139,16 +169,93 @@ bool MarkedSearch::edge_allowed(std::size_t from, std::size_t to) const {
            (no_sync_[from] || no_sync_[to]));
 }
 
-graph::SccResult MarkedSearch::search(
-    const std::vector<std::size_t>& roots) const {
-  return graph::tarjan_scc(
-      clg_.node_count(),
-      [&](std::size_t v, auto&& visit) {
-        for (VertexId w : clg_.graph().successors(VertexId(v)))
-          if (edge_allowed(v, w.index())) visit(w.index());
-      },
-      roots);
+MarkedSearch::SccView MarkedSearch::search_view(const std::size_t* roots,
+                                                std::size_t root_count) {
+  // A dedicated iterative Tarjan over the CLG's CSR arrays. Mirrors the
+  // traversal (and therefore the component numbering) of the generic
+  // graph::tarjan_scc template, but reads successors and the per-edge sync
+  // flag straight from the flat arrays — no per-call successor cache, no
+  // allocation of any kind.
+  std::fill(index_, index_ + n_, std::int32_t{-1});
+  std::fill(on_stack_, on_stack_ + n_, std::uint8_t{0});
+  std::fill(component_of_, component_of_ + n_, std::int32_t{-1});
+  component_count_ = 0;
+
+  const std::uint32_t* off = clg_.succ_offsets();
+  const std::uint32_t* targets = clg_.succ_targets();
+  const std::uint8_t* is_sync = clg_.edge_is_sync();
+
+  std::int32_t next_index = 0;
+  std::size_t stack_top = 0;
+  std::size_t frame_top = 0;
+
+  for (std::size_t r = 0; r < root_count; ++r) {
+    const std::size_t root = roots[r];
+    if (index_[root] >= 0) continue;
+    frames_[frame_top++] = {static_cast<std::uint32_t>(root), off[root]};
+    index_[root] = lowlink_[root] = next_index++;
+    scc_stack_[stack_top++] = static_cast<std::uint32_t>(root);
+    on_stack_[root] = 1;
+
+    while (frame_top != 0) {
+      Frame& frame = frames_[frame_top - 1];
+      const std::size_t v = frame.vertex;
+      const std::uint32_t end = off[v + 1];
+      const std::uint8_t ns_v = no_sync_[v];
+      bool descended = false;
+      std::uint32_t e = frame.next_edge;
+      for (; e < end; ++e) {
+        const std::uint32_t w = targets[e];
+        // edge_allowed(v, w), with the edge kind read from the flag array.
+        if (do_not_enter_[w]) continue;
+        if (is_sync[e] != 0 && (ns_v || no_sync_[w])) continue;
+        if (index_[w] < 0) {
+          frame.next_edge = e + 1;
+          frames_[frame_top++] = {w, off[w]};
+          index_[w] = lowlink_[w] = next_index++;
+          scc_stack_[stack_top++] = w;
+          on_stack_[w] = 1;
+          descended = true;
+          break;
+        }
+        if (on_stack_[w] != 0 && index_[w] < lowlink_[v]) lowlink_[v] = index_[w];
+      }
+      if (descended) continue;
+      if (e >= end) {
+        --frame_top;
+        if (frame_top != 0) {
+          const std::size_t parent = frames_[frame_top - 1].vertex;
+          if (lowlink_[v] < lowlink_[parent]) lowlink_[parent] = lowlink_[v];
+        }
+        if (lowlink_[v] == index_[v]) {
+          const auto comp = static_cast<std::int32_t>(component_count_);
+          std::size_t size = 0;
+          while (true) {
+            const std::uint32_t w = scc_stack_[--stack_top];
+            on_stack_[w] = 0;
+            component_of_[w] = comp;
+            ++size;
+            if (w == v) break;
+          }
+          component_size_[component_count_++] = size;
+        }
+      }
+    }
+  }
+  return SccView{component_of_, component_size_, component_count_};
 }
+
+graph::SccResult MarkedSearch::search(const std::vector<std::size_t>& roots) {
+  const SccView view = search_view(roots.data(), roots.size());
+  graph::SccResult result;
+  result.component_of.assign(view.component_of, view.component_of + n_);
+  result.component_count = view.component_count;
+  result.component_size.assign(view.component_size,
+                               view.component_size + view.component_count);
+  return result;
+}
+
+std::size_t MarkedSearch::scratch_bytes() const { return scratch_bytes_; }
 
 void MarkedSearch::apply(const sg::SyncGraph& sg, const Precedence& precedence,
                          const CoExec& coexec, const Hypothesis& hyp) {
@@ -163,18 +270,29 @@ void MarkedSearch::apply(const sg::SyncGraph& sg, const Precedence& precedence,
   // Lemma 2, which forbids *exiting* h's task through a same-type accept,
   // so they block the out-side; blocking the in-side as well is safe
   // because a cycle enters h's task only at h under this hypothesis.
+  // The relations are consumed as packed row views (no intermediate node-id
+  // vectors): sequenceable_with(h) is the EXCLUSION row of h minus b/e, h
+  // itself and h's own task; not_coexec_with is that relation's row as-is.
   auto mark_unit = [&](NodeId head, NodeId tail) {
-    for (NodeId k : precedence.sequenceable_with(head)) {
-      if (sg.node(k).task == sg.node(head).task) continue;
-      mark_no_sync_in(k);
-    }
-    for (NodeId k : coexec.not_coexec_with(head)) mark_do_not_enter(k);
+    const TaskId head_task = sg.task_of(head);
+    precedence.sequenceable_row(head).for_each([&](std::size_t k) {
+      if (k < 2 || k == head.index()) return;
+      const NodeId node(k);
+      if (sg.task_of(node) == head_task) return;
+      mark_no_sync_in(node);
+    });
+    coexec.not_coexec_row(head).for_each(
+        [&](std::size_t k) { mark_do_not_enter(NodeId(k)); });
     if (tail.valid()) {
       // Head-tail style: the exit is pinned to the tail, so Lemma 2's
       // COACCEPT discipline is replaced by the tail's co-executability.
-      for (NodeId k : coexec.not_coexec_with(tail)) mark_do_not_enter(k);
-    } else {
-      for (NodeId k : coaccept_nodes(sg, head)) mark_no_sync_pair(k);
+      coexec.not_coexec_row(tail).for_each(
+          [&](std::size_t k) { mark_do_not_enter(NodeId(k)); });
+    } else if (sg.kind_of(head) == sg::NodeKind::Rendezvous &&
+               sg.sign_of(head) == sg::Sign::Minus) {
+      // COACCEPT[head] inline: accepts of head's signal type, minus head.
+      for (NodeId k : sg.accepts_of_signal(sg.signal_of(head)))
+        if (k != head) mark_no_sync_pair(k);
     }
   };
   mark_unit(hyp.head1, hyp.tail1);
@@ -237,7 +355,7 @@ std::vector<Hypothesis> enumerate_impl(const sg::SyncGraph& sg,
           if (sg.has_sync_edge(h1, h2)) continue;
           if (precedence.sequenceable(h1, h2)) continue;
           if (!coexec.coexecutable(h1, h2)) continue;
-          if (sg.node(h1).task == sg.node(h2).task) continue;
+          if (sg.task_of(h1) == sg.task_of(h2)) continue;
           hyps.push_back(Hypothesis{.head1 = h1, .head2 = h2});
         }
       }
@@ -255,7 +373,7 @@ std::vector<Hypothesis> enumerate_impl(const sg::SyncGraph& sg,
       for (NodeId h : heads) {
         coaccept_mask.clear();
         for (NodeId k : coaccept_nodes(sg, h)) coaccept_mask.set(k.index());
-        for (NodeId t : sg.nodes_of_task(sg.node(h).task)) {
+        for (NodeId t : sg.nodes_of_task(sg.task_of(h))) {
           if (t == h) continue;
           if (!reach.reaches(VertexId(h.value), VertexId(t.value))) continue;
           if (sg.sync_partners(t).empty()) continue;
@@ -275,7 +393,7 @@ std::vector<Hypothesis> enumerate_impl(const sg::SyncGraph& sg,
         for (std::size_t b = a + 1; b < candidates.size(); ++b) {
           const Hypothesis& p1 = candidates[a];
           const Hypothesis& p2 = candidates[b];
-          if (sg.node(p1.head1).task == sg.node(p2.head1).task) continue;
+          if (sg.task_of(p1.head1) == sg.task_of(p2.head1)) continue;
           // Constraints between the two heads, as in HeadPair mode.
           if (sg.has_sync_edge(p1.head1, p2.head1)) continue;
           if (precedence.sequenceable(p1.head1, p2.head1)) continue;
@@ -325,15 +443,16 @@ HypothesisOutcome evaluate_hypothesis(const sg::SyncGraph& sg,
                                       MarkedSearch& scratch) {
   scratch.clear();
   scratch.apply(sg, precedence, coexec, hyp);
-  const std::vector<std::size_t> roots = hypothesis_roots(clg, hyp);
-  const graph::SccResult scc = scratch.search(roots);
+  std::size_t roots[4];
+  const std::size_t root_count = hypothesis_roots(clg, hyp, roots);
+  const MarkedSearch::SccView scc = scratch.search_view(roots, root_count);
   const std::size_t anchor = roots[0];
   const auto comp = scc.component_of[anchor];
   HypothesisOutcome outcome;
   if (comp < 0 || scc.component_size[static_cast<std::size_t>(comp)] <= 1)
     return outcome;
-  for (std::size_t r : roots)
-    if (!scc.same_component(anchor, r)) return outcome;
+  for (std::size_t r = 0; r < root_count; ++r)
+    if (!scc.same_component(anchor, roots[r])) return outcome;
   outcome.hit = true;
   outcome.witness_clg = extract_witness_clg(clg, scratch, scc, anchor);
   return outcome;
@@ -371,8 +490,21 @@ RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
   std::vector<HypothesisOutcome> outcomes(hyps.size());
   std::size_t evaluated = 0;
 
+  // All MarkedSearch scratch lives in the coordinator's per-thread arena
+  // and is rewound wholesale when the sweep finishes. The parallel path
+  // allocates every worker's scratch here, before the pool runs; workers
+  // only read/write the arrays, never the arena, so no synchronization is
+  // needed and the Scope unwinds after parallel_for_each has joined.
+  support::Arena& scratch_mem = support::scratch_arena();
+  const support::Arena::Scope scratch_scope(scratch_mem);
+
   if (threads <= 1 || hyps.size() <= 1) {
-    MarkedSearch scratch(clg);
+    MarkedSearch scratch(clg, scratch_mem);
+    // Per-scratch arena high-water mark, not a per-worker total: every
+    // worker's scratch is sized identically from the CLG, so reporting one
+    // instance keeps the counter independent of the thread count (the obs
+    // determinism contract).
+    obs::add(options.metrics, "refined.scratch_bytes", scratch.scratch_bytes());
     for (std::size_t i = 0; i < hyps.size(); ++i) {
       outcomes[i] =
           evaluate_hypothesis(sg, clg, precedence, coexec, hyps[i], scratch);
@@ -384,7 +516,9 @@ RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
     std::vector<MarkedSearch> scratch;
     scratch.reserve(pool.worker_count());
     for (std::size_t w = 0; w < pool.worker_count(); ++w)
-      scratch.emplace_back(clg);
+      scratch.emplace_back(clg, scratch_mem);
+    obs::add(options.metrics, "refined.scratch_bytes",
+             scratch.front().scratch_bytes());
 
     // Early-exit cancellation: the lowest confirmed hypothesis index so
     // far. Deterministic mode must still evaluate every index *below* the

@@ -43,9 +43,12 @@
 // `RefinedOptions::parallel.threads != 1`.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/analysis_context.h"
+#include "support/arena.h"
 #include "core/coexec.h"
 #include "core/precedence.h"
 #include "graph/scc.h"
@@ -104,9 +107,23 @@ struct Hypothesis {
 
 // One hypothesis's marks over CLG nodes, plus the filtered SCC search.
 // Reusable scratch: one instance per thread, `clear()` between hypotheses.
+//
+// All scratch (marks, the dedicated Tarjan's stacks and component arrays)
+// lives in one arena owned by the instance, allocated on construction and
+// reused across hypotheses — evaluating a hypothesis performs no heap
+// allocation. The search runs directly over the CLG's CSR arrays with the
+// per-edge sync flags, instead of the generic tarjan_scc template (whose
+// per-call successor cache allocated |N_CLG| vectors per hypothesis).
 class MarkedSearch {
  public:
   explicit MarkedSearch(const sg::Clg& clg);
+
+  // Borrowing form: scratch lives in `arena` (e.g. support::scratch_arena())
+  // instead of a privately owned one, so repeated detect calls reuse the
+  // same warm blocks. The caller keeps the arena alive for the instance's
+  // lifetime and must not rewind past the construction point while the
+  // instance is in use.
+  MarkedSearch(const sg::Clg& clg, support::Arena& arena);
 
   void clear();
 
@@ -124,14 +141,53 @@ class MarkedSearch {
   // Whether the CLG edge (from, to) survives the current marks.
   [[nodiscard]] bool edge_allowed(std::size_t from, std::size_t to) const;
 
-  // SCC search of the filtered CLG from the given roots.
-  [[nodiscard]] graph::SccResult search(
-      const std::vector<std::size_t>& roots) const;
+  // Result of the filtered SCC search, as views over this instance's
+  // scratch arrays: valid until the next search_view/search call on the
+  // same instance. Same numbering contract as graph::SccResult.
+  struct SccView {
+    const std::int32_t* component_of = nullptr;   // by CLG node, -1 unvisited
+    const std::size_t* component_size = nullptr;  // by component
+    std::size_t component_count = 0;
+
+    [[nodiscard]] bool same_component(std::size_t a, std::size_t b) const {
+      return component_of[a] >= 0 && component_of[a] == component_of[b];
+    }
+  };
+
+  // SCC search of the filtered CLG from the given roots, allocation-free.
+  [[nodiscard]] SccView search_view(const std::size_t* roots,
+                                    std::size_t root_count);
+
+  // Back-compat form materializing a graph::SccResult (allocates).
+  [[nodiscard]] graph::SccResult search(const std::vector<std::size_t>& roots);
+
+  // High-water bytes of arena scratch held by this instance; constant per
+  // CLG, surfaced through the refined.scratch_bytes obs counter.
+  [[nodiscard]] std::size_t scratch_bytes() const;
 
  private:
+  struct Frame {
+    std::uint32_t vertex;
+    std::uint32_t next_edge;  // resume position in the CSR edge range
+  };
+
+  void alloc_scratch();
+
   const sg::Clg& clg_;
-  std::vector<bool> no_sync_;
-  std::vector<bool> do_not_enter_;
+  std::size_t n_;
+  std::unique_ptr<support::Arena> owned_arena_;  // null in the borrowing form
+  support::Arena* arena_ = nullptr;
+  std::size_t scratch_bytes_ = 0;
+  std::uint8_t* no_sync_ = nullptr;
+  std::uint8_t* do_not_enter_ = nullptr;
+  std::int32_t* index_ = nullptr;
+  std::int32_t* lowlink_ = nullptr;
+  std::uint8_t* on_stack_ = nullptr;
+  std::uint32_t* scc_stack_ = nullptr;
+  Frame* frames_ = nullptr;
+  std::int32_t* component_of_ = nullptr;
+  std::size_t* component_size_ = nullptr;
+  std::size_t component_count_ = 0;
 };
 
 struct RefinedResult {

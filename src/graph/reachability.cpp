@@ -23,7 +23,7 @@ Reachability::Reachability(const Digraph& g) : matrix_(g.vertex_count()) {
   const std::size_t n = g.vertex_count();
   std::vector<std::size_t> stack;
   for (std::size_t src = 0; src < n; ++src) {
-    DynamicBitset& row = matrix_.row(src);
+    BitRow row = matrix_.row(src);
     stack.clear();
     // Seed with direct successors so that reaches(v, v) holds only via a
     // genuine cycle, not trivially.
@@ -91,17 +91,17 @@ CondensedReachability::CondensedReachability(const Digraph& g) {
   // cyclic component's row already contains its members by the time any
   // later component merges it; a singleton acyclic successor contributes
   // just its one vertex bit.
-  rows_.assign(comps, DynamicBitset(n));
+  rows_ = BitMatrix(comps, n);
   std::vector<std::size_t> seen_in(comps, comps);  // dedup stamp per sweep
   for (std::size_t c = 0; c < comps; ++c) {
-    DynamicBitset& row = rows_[c];
+    BitRow row = rows_.row(c);
     for (std::size_t m = member_start[c]; m < member_start[c + 1]; ++m) {
       for (VertexId w : g.successors(VertexId(members[m]))) {
         const std::size_t d = component_of_[w.index()];
         if (d == c || seen_in[d] == c) continue;
         seen_in[d] = c;
         SIWA_REQUIRE(d < c, "condensation edge against Tarjan's order");
-        row.merge(rows_[d]);
+        row.merge(rows_.row(d));
         if (!cyclic[d]) row.set(members[member_start[d]]);
       }
     }

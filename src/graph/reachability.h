@@ -46,7 +46,7 @@ class Reachability {
     return matrix_.test(a.index(), b.index());
   }
 
-  [[nodiscard]] const DynamicBitset& reachable_set(VertexId a) const {
+  [[nodiscard]] ConstBitRow reachable_set(VertexId a) const {
     return matrix_.row(a.index());
   }
 
@@ -65,26 +65,30 @@ class CondensedReachability {
   explicit CondensedReachability(const Digraph& g);
 
   [[nodiscard]] bool reaches(VertexId a, VertexId b) const {
-    return rows_[component_of_[a.index()]].test(b.index());
+    return rows_.test(component_of_[a.index()], b.index());
   }
 
-  // The closure row of a's component (shared by every vertex of it).
-  [[nodiscard]] const DynamicBitset& reachable_set(VertexId a) const {
-    return rows_[component_of_[a.index()]];
+  // The closure row of a's component (shared by every vertex of it). The
+  // view aliases the matrix's flat storage: two vertices of one component
+  // return views over the same words.
+  [[nodiscard]] ConstBitRow reachable_set(VertexId a) const {
+    return rows_.row(component_of_[a.index()]);
   }
 
   // True when the graph has no directed cycle (no component of size > 1 and
   // no self-loop) — the same predicate as topological_order().has_value().
   [[nodiscard]] bool acyclic() const { return acyclic_; }
 
-  [[nodiscard]] std::size_t component_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t component_count() const {
+    return rows_.row_count();
+  }
   [[nodiscard]] std::size_t component_of(VertexId v) const {
     return component_of_[v.index()];
   }
 
  private:
   std::vector<std::size_t> component_of_;  // by vertex
-  std::vector<DynamicBitset> rows_;        // by component, over vertices
+  BitMatrix rows_;                         // by component, over vertices
   bool acyclic_ = true;
 };
 

@@ -1,0 +1,107 @@
+#include "support/arena.h"
+
+#include "support/require.h"
+
+namespace siwa::support {
+namespace {
+
+[[nodiscard]] bool is_pow2(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+void* Arena::try_bump(Block& block, std::size_t bytes, std::size_t align) {
+  const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+  std::size_t old = block.used.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uintptr_t raw = base + old;
+    const std::size_t pad =
+        static_cast<std::size_t>((~raw + 1) & (align - 1));  // to next multiple
+    const std::size_t start = old + pad;
+    if (start + bytes > block.size || start + bytes < start) return nullptr;
+    if (block.used.compare_exchange_weak(old, start + bytes,
+                                         std::memory_order_relaxed)) {
+      return block.data.get() + start;
+    }
+    // old was reloaded by the failed CAS; retry with the new position.
+  }
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  SIWA_REQUIRE(is_pow2(align) && align <= kMaxAlign,
+               "arena alignment must be a power of two <= kMaxAlign");
+  if (bytes == 0) bytes = 1;
+  const std::size_t cur = current_.load(std::memory_order_acquire);
+  if (cur < blocks_.size()) {
+    if (void* p = try_bump(*blocks_[cur], bytes, align)) return p;
+  }
+  return allocate_slow(bytes, align);
+}
+
+void* Arena::allocate_slow(std::size_t bytes, std::size_t align) {
+  std::lock_guard<std::mutex> lock(grow_mutex_);
+  // Another thread may have advanced to (or created) a block with room, and
+  // rewound blocks past `current_` from earlier high-water marks may be
+  // reusable — walk forward before touching the heap.
+  std::size_t cur = current_.load(std::memory_order_relaxed);
+  for (; cur < blocks_.size(); ++cur) {
+    if (void* p = try_bump(*blocks_[cur], bytes, align)) {
+      current_.store(cur, std::memory_order_release);
+      return p;
+    }
+  }
+  // `new std::byte[]` guarantees alignment only to the default; reserve slack
+  // so try_bump can always pad up to the requested alignment.
+  const std::size_t want = bytes + align;
+  auto block = std::make_unique<Block>();
+  block->size = want > block_bytes_ ? want : block_bytes_;
+  block->data = std::make_unique<std::byte[]>(block->size);
+  blocks_.push_back(std::move(block));
+  block_allocations_.fetch_add(1, std::memory_order_relaxed);
+  current_.store(blocks_.size() - 1, std::memory_order_release);
+  void* p = try_bump(*blocks_.back(), bytes, align);
+  SIWA_REQUIRE(p != nullptr, "arena block sizing failed to fit allocation");
+  return p;
+}
+
+void Arena::reset() { rewind(Marker{0, 0}); }
+
+Arena::Marker Arena::mark() const {
+  Marker m;
+  m.block = current_.load(std::memory_order_relaxed);
+  if (m.block < blocks_.size())
+    m.used = blocks_[m.block]->used.load(std::memory_order_relaxed);
+  return m;
+}
+
+void Arena::rewind(Marker m) {
+  // Quiescent-only: no concurrent allocate() while rewinding.
+  if (m.block < blocks_.size())
+    blocks_[m.block]->used.store(m.used, std::memory_order_relaxed);
+  for (std::size_t b = m.block + 1; b < blocks_.size(); ++b)
+    blocks_[b]->used.store(0, std::memory_order_relaxed);
+  current_.store(m.block, std::memory_order_relaxed);
+}
+
+Arena& scratch_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+std::size_t Arena::block_count() const { return blocks_.size(); }
+
+std::size_t Arena::bytes_reserved() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks_) n += b->size;
+  return n;
+}
+
+std::size_t Arena::bytes_used() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks_) n += b->used.load(std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace siwa::support

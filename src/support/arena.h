@@ -1,0 +1,154 @@
+// Bump-pointer arena for per-certify scratch memory.
+//
+// The refined detector, its MarkedSearch scratch, and the wave explorer's
+// staging buffers all follow the same lifecycle: a burst of short-lived
+// allocations per certify (or per wave level), all dead together at the end.
+// A bump arena turns that burst into pointer arithmetic — blocks are acquired
+// from the heap once, then reused across resets, so steady-state certify work
+// performs zero heap allocations. `block_allocations()` counts the heap
+// acquisitions over the arena's lifetime; a flat counter after warmup is the
+// observable evidence of O(1) allocations per certify.
+//
+// Thread safety: `allocate` is safe to call concurrently (lock-free CAS bump
+// on the current block, mutex only when a new block is needed), so parallel
+// workers may share one arena for staging. `reset`/`rewind`/`Scope` are NOT
+// concurrency-safe — callers rewind only at quiescent points, which is how
+// the explorer uses it (workers allocate during a level, the coordinator
+// rewinds between levels).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+namespace siwa::support {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `bytes` of storage whose address is a multiple of `align`
+  // (align must be a power of two, at most kMaxAlign). Never returns
+  // nullptr; requests larger than the block size get a dedicated block.
+  void* allocate(std::size_t bytes, std::size_t align);
+
+  // Uninitialized storage for n objects of T. T must be trivially
+  // destructible — the arena never runs destructors.
+  template <class T>
+  [[nodiscard]] T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Rewinds every block to empty. Keeps the blocks for reuse.
+  void reset();
+
+  struct Marker {
+    std::size_t block = 0;
+    std::size_t used = 0;
+  };
+
+  // Snapshot of the bump position; `rewind` releases everything allocated
+  // after the marker was taken (memory stays reserved for reuse).
+  [[nodiscard]] Marker mark() const;
+  void rewind(Marker m);
+
+  // RAII scoped reset: everything allocated while the scope is live is
+  // released when it ends.
+  class Scope {
+   public:
+    explicit Scope(Arena& arena) : arena_(arena), marker_(arena.mark()) {}
+    ~Scope() { arena_.rewind(marker_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Arena& arena_;
+    Marker marker_;
+  };
+
+  // --- statistics (quiescent reads; used by obs counters and tests) ---
+
+  // Heap block acquisitions over the arena's lifetime (monotone; flat after
+  // warmup when per-certify scratch fits the reserved blocks).
+  [[nodiscard]] std::size_t block_allocations() const {
+    return block_allocations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t block_count() const;
+  [[nodiscard]] std::size_t bytes_reserved() const;
+  [[nodiscard]] std::size_t bytes_used() const;
+
+  static constexpr std::size_t kMaxAlign = 64;
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::atomic<std::size_t> used{0};
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align);
+  static void* try_bump(Block& block, std::size_t bytes, std::size_t align);
+
+  const std::size_t block_bytes_;
+  // unique_ptr<Block> so Block addresses are stable while the vector grows.
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::atomic<std::size_t> current_{0};
+  std::atomic<std::size_t> block_allocations_{0};
+  std::mutex grow_mutex_;
+};
+
+// Minimal std allocator over an Arena, for containers whose lifetime sits
+// inside an arena scope. `deallocate` is a no-op: memory comes back only via
+// Arena::reset/rewind, so geometric growth of a vector strands its previous
+// capacity until the next rewind — size staging buffers up front where it
+// matters.
+// The per-thread scratch arena shared by the analysis hot paths (precedence
+// fixpoint buffers, detector scratch, constraint-4 staging). Each thread owns
+// its arena, so allocation needs no synchronization beyond the arena's own;
+// callers bracket their burst with an Arena::Scope so nested users compose
+// under strict stack discipline. Blocks persist for the thread's lifetime —
+// after the first certify warms it up, steady-state certifies touch the heap
+// zero times (block_allocations() goes flat).
+[[nodiscard]] Arena& scratch_arena();
+
+template <class T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <class U>
+  ArenaAllocator(const ArenaAllocator<U>& other)  // NOLINT(google-explicit-constructor)
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace siwa::support

@@ -1,97 +1,277 @@
-// Dynamic bitset sized at run time.
+// Dynamic bitset sized at run time, plus non-owning row views.
 //
 // The precedence and reachability analyses keep |N| x |N| boolean relations;
-// a packed word representation with bulk OR/AND-NOT keeps the fixpoint
-// iterations cache-friendly. Only the operations those analyses need are
-// provided.
+// a packed word representation with bulk OR/AND keeps the fixpoint iterations
+// cache-friendly. The bulk loops live in support/simd.h (runtime-dispatched
+// AVX2 with a portable fallback); this header provides the owning container
+// (`DynamicBitset`), the view types (`BitRow`/`ConstBitRow`) that `BitMatrix`
+// rows hand out over its flat storage, and the index-level operations.
+//
+// Contract: every binary operation (`merge`/`operator|=`, `intersect`/
+// `operator&=`, `intersects`, `count_and`, `assign`) requires both operands to
+// have the same bit width, enforced with SIWA_REQUIRE. Mixed-width operands
+// were previously accepted by the word loops and silently read or ignored the
+// excess words; the width check turns that latent miscount into a hard fault.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "support/require.h"
+#include "support/simd.h"
 
 namespace siwa {
+
+inline constexpr std::size_t kBitsetWordBits = 64;
+
+[[nodiscard]] inline constexpr std::size_t bitset_words_for(std::size_t bits) {
+  return (bits + kBitsetWordBits - 1) / kBitsetWordBits;
+}
+
+// Transposes the 64x64 bit block `m` in place: bit c of m[r] moves to bit r
+// of m[c] (LSB-first columns). Recursive block swaps at scales 32..1
+// (Hacker's Delight 7-3, mirrored for LSB-first), ~6*64 word operations —
+// the building block for whole-matrix transposes that would otherwise cost
+// one load/store per set bit.
+inline void transpose_64x64(std::uint64_t* m) {
+  std::uint64_t mask = 0x00000000FFFFFFFFull;
+  for (std::size_t j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+    for (std::size_t k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      const std::uint64_t t = ((m[k] >> j) ^ m[k | j]) & mask;
+      m[k] ^= t << j;
+      m[k | j] ^= t;
+    }
+  }
+}
+
+// dst = src^T for an n x n bit matrix stored row-major with
+// bitset_words_for(n) words per row. Overwrites every word of dst's first n
+// rows (dst and src must not alias). Blocks of 64x64 bits go through
+// transpose_64x64; rows past n load as zero, columns past n are not stored.
+inline void transpose_bit_matrix(std::uint64_t* dst, const std::uint64_t* src,
+                                 std::size_t n) {
+  const std::size_t words = bitset_words_for(n);
+  std::uint64_t block[64];
+  for (std::size_t bi = 0; bi < words; ++bi) {    // source row block
+    const std::size_t r0 = bi * kBitsetWordBits;
+    const std::size_t rows = n - r0 < 64 ? n - r0 : 64;
+    for (std::size_t bj = 0; bj < words; ++bj) {  // source word column
+      for (std::size_t k = 0; k < rows; ++k)
+        block[k] = src[(r0 + k) * words + bj];
+      for (std::size_t k = rows; k < 64; ++k) block[k] = 0;
+      transpose_64x64(block);
+      const std::size_t c0 = bj * kBitsetWordBits;
+      const std::size_t cols = n - c0 < 64 ? n - c0 : 64;
+      for (std::size_t k = 0; k < cols; ++k)
+        dst[(c0 + k) * words + bi] = block[k];
+    }
+  }
+}
+
+// Read-only view over `bits` packed bits. Cheap to copy; does not own the
+// words. `DynamicBitset` and `BitRow` convert to this implicitly, so every
+// binary operation below accepts any of the three as its right-hand side.
+class ConstBitRow {
+ public:
+  ConstBitRow() = default;
+  ConstBitRow(const std::uint64_t* words, std::size_t bits)
+      : words_(words), bits_(bits) {}
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] std::size_t word_count() const {
+    return bitset_words_for(bits_);
+  }
+  [[nodiscard]] const std::uint64_t* words() const { return words_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    SIWA_REQUIRE(i < bits_, "bitset index out of range");
+    return (words_[i / kBitsetWordBits] >> (i % kBitsetWordBits)) & 1u;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (std::size_t w = 0; w < word_count(); ++w)
+      if (words_[w] != 0) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    return support::simd::popcount(words_, word_count());
+  }
+
+  // |*this AND other| without materializing the intersection.
+  [[nodiscard]] std::size_t count_and(ConstBitRow other) const {
+    SIWA_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    return support::simd::popcount_and(words_, other.words_, word_count());
+  }
+
+  // True when the two rows share at least one set bit (early exit).
+  [[nodiscard]] bool intersects(ConstBitRow other) const {
+    SIWA_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
+    return support::simd::intersects(words_, other.words_, word_count());
+  }
+
+  // Calls fn(index) for every set bit, in increasing index order.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < word_count(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        fn(w * kBitsetWordBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  friend bool operator==(ConstBitRow a, ConstBitRow b) {
+    if (a.bits_ != b.bits_) return false;
+    for (std::size_t w = 0; w < a.word_count(); ++w)
+      if (a.words_[w] != b.words_[w]) return false;
+    return true;
+  }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t bits_ = 0;
+};
+
+// Mutable view over `bits` packed bits. Hands out by `BitMatrix::row` and the
+// arena-backed scratch buffers; the owner guarantees the words outlive the
+// view.
+class BitRow {
+ public:
+  BitRow() = default;
+  BitRow(std::uint64_t* words, std::size_t bits)
+      : words_(words), bits_(bits) {}
+
+  operator ConstBitRow() const { return {words_, bits_}; }  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] std::size_t word_count() const {
+    return bitset_words_for(bits_);
+  }
+  [[nodiscard]] std::uint64_t* words() const { return words_; }
+
+  void set(std::size_t i) {
+    SIWA_REQUIRE(i < bits_, "bitset index out of range");
+    words_[i / kBitsetWordBits] |= std::uint64_t{1} << (i % kBitsetWordBits);
+  }
+
+  void reset(std::size_t i) {
+    SIWA_REQUIRE(i < bits_, "bitset index out of range");
+    words_[i / kBitsetWordBits] &= ~(std::uint64_t{1} << (i % kBitsetWordBits));
+  }
+
+  void clear() {
+    for (std::size_t w = 0; w < word_count(); ++w) words_[w] = 0;
+  }
+
+  // *this |= other. Returns true if any bit changed (fixpoint detection).
+  bool merge(ConstBitRow other) {
+    SIWA_REQUIRE(bits_ == other.size(), "bitset size mismatch");
+    return support::simd::or_into(words_, other.words(), word_count());
+  }
+
+  BitRow& operator|=(ConstBitRow other) {
+    merge(other);
+    return *this;
+  }
+
+  // *this &= other.
+  void intersect(ConstBitRow other) {
+    SIWA_REQUIRE(bits_ == other.size(), "bitset size mismatch");
+    support::simd::and_into(words_, other.words(), word_count());
+  }
+
+  BitRow& operator&=(ConstBitRow other) {
+    intersect(other);
+    return *this;
+  }
+
+  // Overwrites *this with other's bits (same width required).
+  void assign(ConstBitRow other) {
+    SIWA_REQUIRE(bits_ == other.size(), "bitset size mismatch");
+    for (std::size_t w = 0; w < word_count(); ++w) words_[w] = other.words()[w];
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return ConstBitRow(*this).test(i);
+  }
+  [[nodiscard]] bool any() const { return ConstBitRow(*this).any(); }
+  [[nodiscard]] std::size_t count() const { return ConstBitRow(*this).count(); }
+  [[nodiscard]] std::size_t count_and(ConstBitRow other) const {
+    return ConstBitRow(*this).count_and(other);
+  }
+  [[nodiscard]] bool intersects(ConstBitRow other) const {
+    return ConstBitRow(*this).intersects(other);
+  }
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    ConstBitRow(*this).for_each(static_cast<Fn&&>(fn));
+  }
+
+ private:
+  std::uint64_t* words_ = nullptr;
+  std::size_t bits_ = 0;
+};
 
 class DynamicBitset {
  public:
   DynamicBitset() = default;
   explicit DynamicBitset(std::size_t bits)
-      : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
+      : bits_(bits), words_(bitset_words_for(bits), 0) {}
+  explicit DynamicBitset(ConstBitRow row)
+      : bits_(row.size()), words_(row.words(), row.words() + row.word_count()) {}
+
+  operator ConstBitRow() const { return {words_.data(), bits_}; }  // NOLINT(google-explicit-constructor)
+  operator BitRow() { return {words_.data(), bits_}; }  // NOLINT(google-explicit-constructor)
+  [[nodiscard]] ConstBitRow view() const { return {words_.data(), bits_}; }
+  [[nodiscard]] BitRow view() { return {words_.data(), bits_}; }
 
   [[nodiscard]] std::size_t size() const { return bits_; }
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+  [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
+  [[nodiscard]] std::uint64_t* words() { return words_.data(); }
 
-  void set(std::size_t i) {
-    SIWA_REQUIRE(i < bits_, "bitset index out of range");
-    words_[i / kWordBits] |= std::uint64_t{1} << (i % kWordBits);
-  }
-
-  void reset(std::size_t i) {
-    SIWA_REQUIRE(i < bits_, "bitset index out of range");
-    words_[i / kWordBits] &= ~(std::uint64_t{1} << (i % kWordBits));
-  }
-
-  [[nodiscard]] bool test(std::size_t i) const {
-    SIWA_REQUIRE(i < bits_, "bitset index out of range");
-    return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
-  }
+  void set(std::size_t i) { view().set(i); }
+  void reset(std::size_t i) { view().reset(i); }
+  [[nodiscard]] bool test(std::size_t i) const { return view().test(i); }
 
   void clear() {
     for (auto& w : words_) w = 0;
   }
 
   // *this |= other. Returns true if any bit changed (fixpoint detection).
-  bool merge(const DynamicBitset& other) {
-    SIWA_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
-    bool changed = false;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      const std::uint64_t before = words_[w];
-      words_[w] = before | other.words_[w];
-      changed |= (words_[w] != before);
-    }
-    return changed;
+  bool merge(ConstBitRow other) { return view().merge(other); }
+  DynamicBitset& operator|=(ConstBitRow other) {
+    view().merge(other);
+    return *this;
   }
 
   // *this &= other.
-  void intersect(const DynamicBitset& other) {
-    SIWA_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  void intersect(ConstBitRow other) { view().intersect(other); }
+  DynamicBitset& operator&=(ConstBitRow other) {
+    view().intersect(other);
+    return *this;
   }
 
-  [[nodiscard]] bool any() const {
-    for (auto w : words_)
-      if (w != 0) return true;
-    return false;
-  }
+  // Overwrites *this with other's bits (same width required).
+  void assign(ConstBitRow other) { view().assign(other); }
 
-  // |*this AND other| without materializing the intersection.
-  [[nodiscard]] std::size_t count_and(const DynamicBitset& other) const {
-    SIWA_REQUIRE(bits_ == other.bits_, "bitset size mismatch");
-    std::size_t n = 0;
-    for (std::size_t w = 0; w < words_.size(); ++w)
-      n += static_cast<std::size_t>(
-          __builtin_popcountll(words_[w] & other.words_[w]));
-    return n;
+  [[nodiscard]] bool any() const { return view().any(); }
+  [[nodiscard]] std::size_t count_and(ConstBitRow other) const {
+    return view().count_and(other);
   }
-
-  [[nodiscard]] std::size_t count() const {
-    std::size_t n = 0;
-    for (auto w : words_) n += static_cast<std::size_t>(__builtin_popcountll(w));
-    return n;
+  [[nodiscard]] bool intersects(ConstBitRow other) const {
+    return view().intersects(other);
   }
+  [[nodiscard]] std::size_t count() const { return view().count(); }
 
-  // Calls fn(index) for every set bit, in increasing index order.
   template <class Fn>
   void for_each(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w];
-      while (word != 0) {
-        const int bit = __builtin_ctzll(word);
-        fn(w * kWordBits + static_cast<std::size_t>(bit));
-        word &= word - 1;
-      }
-    }
+    view().for_each(static_cast<Fn&&>(fn));
   }
 
   friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
@@ -99,33 +279,51 @@ class DynamicBitset {
   }
 
  private:
-  static constexpr std::size_t kWordBits = 64;
-
   std::size_t bits_ = 0;
   std::vector<std::uint64_t> words_;
 };
 
-// A dense |n| x |n| boolean relation stored as n bitset rows.
+// A dense |rows| x |cols| boolean relation in one flat word array, so a sweep
+// over consecutive rows walks contiguous memory. Rows are handed out as
+// views; they stay valid for the lifetime of the matrix (storage never
+// reallocates after construction).
 class BitMatrix {
  public:
   BitMatrix() = default;
-  explicit BitMatrix(std::size_t n) : n_(n), rows_(n, DynamicBitset(n)) {}
+  explicit BitMatrix(std::size_t n) : BitMatrix(n, n) {}
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        words_per_row_(bitset_words_for(cols)),
+        words_(rows * words_per_row_, 0) {}
 
-  [[nodiscard]] std::size_t dim() const { return n_; }
+  [[nodiscard]] std::size_t dim() const { return rows_; }
+  [[nodiscard]] std::size_t row_count() const { return rows_; }
+  [[nodiscard]] std::size_t col_count() const { return cols_; }
 
-  void set(std::size_t r, std::size_t c) { rows_[r].set(c); }
+  void set(std::size_t r, std::size_t c) { row(r).set(c); }
   [[nodiscard]] bool test(std::size_t r, std::size_t c) const {
-    return rows_[r].test(c);
+    return row(r).test(c);
   }
 
-  [[nodiscard]] DynamicBitset& row(std::size_t r) { return rows_[r]; }
-  [[nodiscard]] const DynamicBitset& row(std::size_t r) const {
-    return rows_[r];
+  [[nodiscard]] BitRow row(std::size_t r) {
+    SIWA_REQUIRE(r < rows_, "bit matrix row out of range");
+    return {words_.data() + r * words_per_row_, cols_};
+  }
+  [[nodiscard]] ConstBitRow row(std::size_t r) const {
+    SIWA_REQUIRE(r < rows_, "bit matrix row out of range");
+    return {words_.data() + r * words_per_row_, cols_};
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
   }
 
  private:
-  std::size_t n_ = 0;
-  std::vector<DynamicBitset> rows_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace siwa

@@ -1,0 +1,50 @@
+// Word-parallel kernels over packed 64-bit bitset words.
+//
+// The dense relations (Precedence STRONG/EXCLUSION, CoExec, condensed
+// reachability rows) spend their time in four bulk loops: OR a row into
+// another, AND a row into another, test two rows for intersection, and count
+// the intersection. These are exposed here as free functions over raw word
+// spans so `DynamicBitset`, the row views, and `CondensedReachability` all
+// share one implementation.
+//
+// On x86-64 each kernel has an AVX2 variant compiled with
+// `__attribute__((target("avx2")))` and selected once at startup via
+// `__builtin_cpu_supports`; everything else (and non-x86 builds) uses the
+// portable loops. The two backends are bit-identical — tests cross-check them
+// on random data — and `force_portable()` lets tests and benchmarks pin the
+// fallback at run time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace siwa::support::simd {
+
+// dst[i] |= src[i] for i in [0, words). Returns true when any dst word
+// changed (fixpoint detection). dst and src must not partially overlap.
+bool or_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t words);
+
+// dst[i] &= src[i] for i in [0, words).
+void and_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t words);
+
+// True when a[i] & b[i] != 0 for any i (early exit).
+bool intersects(const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t words);
+
+// popcount over a[i] & b[i] without materializing the intersection.
+std::size_t popcount_and(const std::uint64_t* a, const std::uint64_t* b,
+                         std::size_t words);
+
+// popcount over a[0..words).
+std::size_t popcount(const std::uint64_t* a, std::size_t words);
+
+// Name of the backend currently in use: "avx2" or "portable". Stable for the
+// process lifetime unless force_portable() flips it.
+const char* active_backend();
+
+// Pins (true) or unpins (false) the portable backend. Intended for tests that
+// cross-check the two implementations; not thread-safe against concurrent
+// kernel calls, so flip it only from single-threaded test setup.
+void force_portable(bool on);
+
+}  // namespace siwa::support::simd

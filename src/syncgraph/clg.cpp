@@ -1,5 +1,7 @@
 #include "syncgraph/clg.h"
 
+#include <utility>
+
 #include "support/require.h"
 
 namespace siwa::sg {
@@ -10,26 +12,30 @@ Clg::Clg(const SyncGraph& sg) {
   in_of_.assign(n, ClgNodeId::invalid());
   out_of_.assign(n, ClgNodeId::invalid());
 
-  // Step 1: distinguished nodes. CLG vertex 0 = b, 1 = e.
+  // Steps 1 and 2: distinguished nodes (CLG vertex 0 = b, 1 = e) and split
+  // pairs.
   origin_.assign(2, NodeId::invalid());
-  is_in_.assign(2, false);
-  graph_.grow_to(2);
-
-  // Step 2: split pairs.
+  is_in_.assign(2, 0);
+  std::size_t next = 2;
   for (std::size_t i = 2; i < n; ++i) {
-    const VertexId vi = graph_.add_vertex();
     origin_.push_back(NodeId(i));
-    is_in_.push_back(true);
-    in_of_[i] = ClgNodeId(vi.index());
+    is_in_.push_back(1);
+    in_of_[i] = ClgNodeId(next++);
 
-    const VertexId vo = graph_.add_vertex();
     origin_.push_back(NodeId(i));
-    is_in_.push_back(false);
-    out_of_[i] = ClgNodeId(vo.index());
+    is_in_.push_back(0);
+    out_of_[i] = ClgNodeId(next++);
   }
+  node_count_ = next;
 
+  // Edges are collected as (from, to) pairs and then counting-sorted into
+  // CSR. The sort is stable per source vertex, so each vertex's successor
+  // order equals construction order — the same order the old adjacency-list
+  // representation produced.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
   auto edge = [&](ClgNodeId a, ClgNodeId b) {
-    graph_.add_edge(VertexId(a.value), VertexId(b.value));
+    edges.emplace_back(static_cast<std::uint32_t>(a.index()),
+                       static_cast<std::uint32_t>(b.index()));
   };
 
   // Step 3: internal (r_o, r_i) edges.
@@ -63,6 +69,35 @@ Clg::Clg(const SyncGraph& sg) {
       edge(out_of_[s.index()], in_of_[r.index()]);
     }
   }
+
+  // Counting sort by source vertex (stable: edges scanned in insertion
+  // order), then derive the per-edge sync flag from the node attributes.
+  succ_off_.assign(node_count_ + 1, 0);
+  for (const auto& [from, to] : edges) ++succ_off_[from + 1];
+  for (std::size_t v = 0; v < node_count_; ++v) succ_off_[v + 1] += succ_off_[v];
+  succ_.resize(edges.size());
+  edge_sync_.resize(edges.size());
+  std::vector<std::uint32_t> cursor(succ_off_.begin(), succ_off_.end() - 1);
+  for (const auto& [from, to] : edges) {
+    const std::uint32_t slot = cursor[from]++;
+    succ_[slot] = to;
+    edge_sync_[slot] = is_sync_edge(ClgNodeId(static_cast<std::size_t>(from)),
+                                    ClgNodeId(static_cast<std::size_t>(to)))
+                           ? 1
+                           : 0;
+  }
+}
+
+const graph::Digraph& Clg::graph() const {
+  std::call_once(graph_once_, [this] {
+    auto g = std::make_unique<graph::Digraph>();
+    g->grow_to(node_count_);
+    for (std::size_t v = 0; v < node_count_; ++v)
+      for (std::uint32_t t : successors(ClgNodeId(v)))
+        g->add_edge(VertexId(v), VertexId(static_cast<std::size_t>(t)));
+    graph_ = std::move(g);
+  });
+  return *graph_;
 }
 
 std::string Clg::describe(const SyncGraph& sg, ClgNodeId v) const {

@@ -17,8 +17,19 @@
 // Edge kinds are recoverable without per-edge storage: an edge (x, y) is a
 // sync edge (step 6) exactly when x is an out-node and y is an in-node of a
 // *different* sync node; every other edge is a (transformed) control edge.
+//
+// Storage is CSR (offsets + flat target array, plus a parallel per-edge
+// sync-flag byte) so the refined detector's per-hypothesis cycle searches
+// walk contiguous arrays. A conventional `graph::Digraph` view is
+// materialized lazily for the generic algorithms (naive detector, exports,
+// witness extraction) that speak VertexId adjacency lists; per-vertex
+// successor order in both representations equals construction order.
 #pragma once
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,9 +42,11 @@ class Clg {
  public:
   explicit Clg(const SyncGraph& sg);
 
-  [[nodiscard]] const graph::Digraph& graph() const { return graph_; }
-  [[nodiscard]] std::size_t node_count() const { return graph_.vertex_count(); }
-  [[nodiscard]] std::size_t edge_count() const { return graph_.edge_count(); }
+  // Adjacency-list view, built on first use (thread-safe); hot paths use the
+  // CSR accessors below instead.
+  [[nodiscard]] const graph::Digraph& graph() const;
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+  [[nodiscard]] std::size_t edge_count() const { return succ_.size(); }
 
   [[nodiscard]] ClgNodeId b() const { return ClgNodeId(0); }
   [[nodiscard]] ClgNodeId e() const { return ClgNodeId(1); }
@@ -42,22 +55,47 @@ class Clg {
 
   // The sync-graph node a CLG node was split from (invalid for b/e).
   [[nodiscard]] NodeId origin(ClgNodeId v) const { return origin_[v.index()]; }
-  [[nodiscard]] bool is_in_node(ClgNodeId v) const { return is_in_[v.index()]; }
+  [[nodiscard]] bool is_in_node(ClgNodeId v) const {
+    return is_in_[v.index()] != 0;
+  }
 
   [[nodiscard]] bool is_sync_edge(ClgNodeId from, ClgNodeId to) const {
     return origin_[from.index()].valid() && origin_[to.index()].valid() &&
-           !is_in_[from.index()] && is_in_[to.index()] &&
+           is_in_[from.index()] == 0 && is_in_[to.index()] != 0 &&
            origin_[from.index()] != origin_[to.index()];
+  }
+
+  // ----- CSR accessors (hot path) -----
+  // Successors of v occupy succ_targets()[succ_offsets()[v] ..
+  // succ_offsets()[v + 1]); edge_is_sync() is parallel to succ_targets().
+  [[nodiscard]] const std::uint32_t* succ_offsets() const {
+    return succ_off_.data();
+  }
+  [[nodiscard]] const std::uint32_t* succ_targets() const {
+    return succ_.data();
+  }
+  [[nodiscard]] const std::uint8_t* edge_is_sync() const {
+    return edge_sync_.data();
+  }
+  [[nodiscard]] std::span<const std::uint32_t> successors(ClgNodeId v) const {
+    return {succ_.data() + succ_off_[v.index()],
+            succ_off_[v.index() + 1] - succ_off_[v.index()]};
   }
 
   [[nodiscard]] std::string describe(const SyncGraph& sg, ClgNodeId v) const;
 
  private:
-  graph::Digraph graph_;
-  std::vector<ClgNodeId> in_of_;   // by sync NodeId
-  std::vector<ClgNodeId> out_of_;  // by sync NodeId
-  std::vector<NodeId> origin_;     // by ClgNodeId
-  std::vector<bool> is_in_;        // by ClgNodeId
+  std::size_t node_count_ = 0;
+  std::vector<std::uint32_t> succ_off_;  // size node_count_ + 1
+  std::vector<std::uint32_t> succ_;      // flat targets, by edge
+  std::vector<std::uint8_t> edge_sync_;  // parallel to succ_
+  std::vector<ClgNodeId> in_of_;         // by sync NodeId
+  std::vector<ClgNodeId> out_of_;        // by sync NodeId
+  std::vector<NodeId> origin_;           // by ClgNodeId
+  std::vector<std::uint8_t> is_in_;      // by ClgNodeId (flat, not vector<bool>)
+
+  mutable std::once_flag graph_once_;
+  mutable std::unique_ptr<graph::Digraph> graph_;
 };
 
 }  // namespace siwa::sg

@@ -13,6 +13,12 @@ SyncGraph::SyncGraph() {
                     Sign::Plus, SourceLoc{}, {}});
   nodes_.push_back({NodeKind::End, TaskId::invalid(), SignalId::invalid(),
                     Sign::Plus, SourceLoc{}, {}});
+  for (const SyncNode& n : nodes_) {
+    kind_of_.push_back(n.kind);
+    task_of_.push_back(n.task);
+    signal_of_.push_back(n.signal);
+    sign_of_.push_back(n.sign);
+  }
   control_.grow_to(2);
 }
 
@@ -41,6 +47,10 @@ NodeId SyncGraph::add_rendezvous(TaskId task, SignalId signal, Sign sign,
                "bad signal");
   nodes_.push_back(
       {NodeKind::Rendezvous, task, signal, sign, loc, std::move(guards)});
+  kind_of_.push_back(NodeKind::Rendezvous);
+  task_of_.push_back(task);
+  signal_of_.push_back(signal);
+  sign_of_.push_back(sign);
   control_.grow_to(nodes_.size());
   const NodeId id(nodes_.size() - 1);
   task_nodes_[task.index()].push_back(id);
@@ -71,51 +81,89 @@ void SyncGraph::add_explicit_sync_edge(NodeId a, NodeId b) {
   explicit_sync_edges_.emplace_back(a, b);
 }
 
+namespace {
+
+// Flattens per-node adjacency vectors into CSR (offsets + one contiguous
+// array), preserving per-node order. `adj` may be shorter than `n` (tail
+// nodes without edges).
+void flatten_csr(const std::vector<std::vector<NodeId>>& adj, std::size_t n,
+                 std::vector<std::uint32_t>& off, std::vector<NodeId>& csr) {
+  off.assign(n + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < adj.size()) total += adj[i].size();
+    off[i + 1] = static_cast<std::uint32_t>(total);
+  }
+  csr.clear();
+  csr.reserve(total);
+  for (std::size_t i = 0; i < n && i < adj.size(); ++i)
+    csr.insert(csr.end(), adj[i].begin(), adj[i].end());
+}
+
+}  // namespace
+
 void SyncGraph::finalize() {
   SIWA_REQUIRE(!finalized_, "graph already finalized");
-  sync_adj_.assign(nodes_.size(), {});
+  std::vector<std::vector<NodeId>> sync_adj(nodes_.size());
 
   // Derived sync edges: every (t, m, +) with every (t, m, -).
   std::vector<std::vector<NodeId>> signal_sends(signals_.size());
   for (std::size_t i = 2; i < nodes_.size(); ++i) {
-    const SyncNode& n = nodes_[i];
-    if (n.sign == Sign::Plus)
-      signal_sends[n.signal.index()].push_back(NodeId(i));
+    if (sign_of_[i] == Sign::Plus)
+      signal_sends[signal_of_[i].index()].push_back(NodeId(i));
   }
   for (std::size_t s = 0; s < signals_.size(); ++s) {
     for (NodeId send : signal_sends[s]) {
       for (NodeId accept : signal_accepts_[s]) {
-        sync_adj_[send.index()].push_back(accept);
-        sync_adj_[accept.index()].push_back(send);
+        sync_adj[send.index()].push_back(accept);
+        sync_adj[accept.index()].push_back(send);
         ++sync_edge_count_;
       }
     }
   }
   for (auto [a, b] : explicit_sync_edges_) {
-    sync_adj_[a.index()].push_back(b);
-    sync_adj_[b.index()].push_back(a);
+    sync_adj[a.index()].push_back(b);
+    sync_adj[b.index()].push_back(a);
     ++sync_edge_count_;
   }
-  // Dedupe adjacency (explicit edges may duplicate derived ones).
-  for (auto& adj : sync_adj_) {
+  // Dedupe adjacency (explicit edges may duplicate derived ones), then
+  // flatten to CSR so partner sweeps walk one contiguous array.
+  for (auto& adj : sync_adj) {
     std::sort(adj.begin(), adj.end());
     adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
   }
+  flatten_csr(sync_adj, nodes_.size(), sync_off_, sync_csr_);
+
+  // Control adjacency likewise; the build-time vectors are dropped.
+  flatten_csr(csucc_, nodes_.size(), csucc_off_, csucc_csr_);
+  flatten_csr(cpred_, nodes_.size(), cpred_off_, cpred_csr_);
+  csucc_.clear();
+  csucc_.shrink_to_fit();
+  cpred_.clear();
+  cpred_.shrink_to_fit();
   finalized_ = true;
 }
 
 std::span<const NodeId> SyncGraph::control_successors(NodeId id) const {
-  if (id.index() >= csucc_.size()) return {};
-  return csucc_[id.index()];
+  const std::size_t i = id.index();
+  if (finalized_) {
+    return {csucc_csr_.data() + csucc_off_[i], csucc_off_[i + 1] - csucc_off_[i]};
+  }
+  if (i >= csucc_.size()) return {};
+  return csucc_[i];
 }
 
 std::span<const NodeId> SyncGraph::control_predecessors(NodeId id) const {
-  if (id.index() >= cpred_.size()) return {};
-  return cpred_[id.index()];
+  const std::size_t i = id.index();
+  if (finalized_) {
+    return {cpred_csr_.data() + cpred_off_[i], cpred_off_[i + 1] - cpred_off_[i]};
+  }
+  if (i >= cpred_.size()) return {};
+  return cpred_[i];
 }
 
 bool SyncGraph::has_sync_edge(NodeId a, NodeId b) const {
-  const auto& adj = sync_adj_[a.index()];
+  const auto adj = sync_partners(a);
   return std::binary_search(adj.begin(), adj.end(), b);
 }
 

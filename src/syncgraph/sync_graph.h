@@ -107,8 +107,27 @@ class SyncGraph {
     return nodes_[id.index()];
   }
   [[nodiscard]] bool is_rendezvous(NodeId id) const {
-    return node(id).kind == NodeKind::Rendezvous;
+    return kind_of_[id.index()] == NodeKind::Rendezvous;
   }
+
+  // Struct-of-arrays accessors for the hot sweeps (Precedence, CoExec,
+  // constraint 4, wave classification): each field lives in its own flat
+  // array, so scanning one attribute across all nodes walks contiguous
+  // memory instead of striding over SyncNode's guards vector.
+  [[nodiscard]] NodeKind kind_of(NodeId id) const {
+    return kind_of_[id.index()];
+  }
+  [[nodiscard]] TaskId task_of(NodeId id) const { return task_of_[id.index()]; }
+  [[nodiscard]] SignalId signal_of(NodeId id) const {
+    return signal_of_[id.index()];
+  }
+  [[nodiscard]] Sign sign_of(NodeId id) const { return sign_of_[id.index()]; }
+  [[nodiscard]] std::span<const NodeKind> kinds() const { return kind_of_; }
+  [[nodiscard]] std::span<const TaskId> tasks() const { return task_of_; }
+  [[nodiscard]] std::span<const SignalId> signals_of_nodes() const {
+    return signal_of_;
+  }
+  [[nodiscard]] std::span<const Sign> signs() const { return sign_of_; }
   [[nodiscard]] const std::string& task_name(TaskId t) const {
     return task_names_[t.index()];
   }
@@ -127,8 +146,12 @@ class SyncGraph {
 
   [[nodiscard]] std::span<const NodeId> control_successors(NodeId id) const;
   [[nodiscard]] std::span<const NodeId> control_predecessors(NodeId id) const;
+  // After finalize(), sync partners come from a CSR layout: one flat sorted
+  // array sliced per node, so whole-graph partner sweeps are contiguous.
   [[nodiscard]] std::span<const NodeId> sync_partners(NodeId id) const {
-    return sync_adj_[id.index()];
+    const std::size_t i = id.index();
+    return {sync_csr_.data() + sync_off_[i],
+            sync_off_[i + 1] - sync_off_[i]};
   }
   [[nodiscard]] bool has_sync_edge(NodeId a, NodeId b) const;
 
@@ -159,19 +182,31 @@ class SyncGraph {
   [[nodiscard]] std::vector<std::string> validate(bool program_derived) const;
 
  private:
-  std::vector<SyncNode> nodes_;
+  std::vector<SyncNode> nodes_;  // full records (guards, loc): cold data
+  // SoA mirrors of the hot SyncNode fields, maintained on every add.
+  std::vector<NodeKind> kind_of_;
+  std::vector<TaskId> task_of_;
+  std::vector<SignalId> signal_of_;
+  std::vector<Sign> sign_of_;
+
   graph::Digraph control_;
   // NodeId-typed mirrors of control_'s adjacency (control_ itself is kept
-  // for the generic graph algorithms, which speak VertexId).
+  // for the generic graph algorithms, which speak VertexId). Used directly
+  // before finalize(); flattened into CSR form by finalize().
   std::vector<std::vector<NodeId>> csucc_;
   std::vector<std::vector<NodeId>> cpred_;
+  std::vector<std::uint32_t> csucc_off_, cpred_off_;
+  std::vector<NodeId> csucc_csr_, cpred_csr_;
+
   std::vector<std::string> task_names_;
   std::vector<SignalType> signals_;
   Interner messages_;
 
   std::vector<std::vector<NodeId>> task_entries_;
   std::vector<std::vector<NodeId>> task_nodes_;
-  std::vector<std::vector<NodeId>> sync_adj_;
+  // Sync adjacency in CSR form (built by finalize); rows sorted + deduped.
+  std::vector<std::uint32_t> sync_off_;
+  std::vector<NodeId> sync_csr_;
   std::vector<std::vector<NodeId>> signal_accepts_;
   std::vector<std::pair<NodeId, NodeId>> explicit_sync_edges_;
   std::size_t sync_edge_count_ = 0;

@@ -1,6 +1,7 @@
 #include "wavesim/classify.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "graph/scc.h"
 #include "support/require.h"
@@ -67,44 +68,89 @@ std::optional<AnomalyReport> WaveClassifier::classify(
     if (!partner_ahead) is_stall[k] = true;
   }
 
-  // Coupling digraph over the waiting nodes: edge k -> j when wave node k is
-  // coupled to wave node j (some control descendant of j is a sync partner
-  // of k). Includes self-loops (a task whose own descendant could satisfy
-  // it — e.g. a self-send — couples to itself).
-  graph::Digraph coupling(waiting.size());
-  for (std::size_t k = 0; k < waiting.size(); ++k) {
-    const NodeId r = wave[waiting[k]];
-    for (std::size_t j = 0; j < waiting.size(); ++j) {
-      const NodeId s = wave[waiting[j]];
-      bool coupled = false;
-      for (NodeId z : sg.sync_partners(r)) {
-        if (control_reach.reaches(VertexId(s.value), VertexId(z.value))) {
-          coupled = true;
-          break;
+  // Coupling relation over the waiting nodes: edge k -> j when wave node k
+  // is coupled to wave node j (some control descendant of j is a sync
+  // partner of k). Includes self-loops (a task whose own descendant could
+  // satisfy it — e.g. a self-send — couples to itself).
+  //
+  // Deadlock participants are the vertices on coupling cycles; blocked
+  // vertices reach a stall or deadlock vertex along coupling edges. Both
+  // reduce to the transitive closure of the relation, so for waves with at
+  // most 64 waiting tasks (virtually all of the corpus) the relation lives
+  // in one uint64_t mask per vertex and the closure is Warshall's algorithm
+  // over word-parallel OR — no digraph, no SCC run, no per-vertex BFS
+  // allocations. Larger waves fall back to the general SCC-based path.
+  const std::size_t m = waiting.size();
+  std::vector<bool> in_deadlock(m, false);
+  std::vector<bool> blocked(m, false);
+  if (m <= 64) {
+    std::uint64_t closure[64];
+    for (std::size_t k = 0; k < m; ++k) {
+      const NodeId r = wave[waiting[k]];
+      std::uint64_t row = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const NodeId s = wave[waiting[j]];
+        for (NodeId z : sg.sync_partners(r)) {
+          if (control_reach.reaches(VertexId(s.value), VertexId(z.value))) {
+            row |= std::uint64_t{1} << j;
+            break;
+          }
         }
       }
-      if (coupled) coupling.add_edge(VertexId(k), VertexId(j));
+      closure[k] = row;
     }
-  }
+    // Warshall over bit rows: after intermediate j, closure[k] holds all
+    // vertices reachable from k via paths of length >= 1 through
+    // intermediates <= j.
+    for (std::size_t j = 0; j < m; ++j) {
+      const std::uint64_t through_j = closure[j];
+      for (std::size_t k = 0; k < m; ++k)
+        if ((closure[k] >> j) & 1) closure[k] |= through_j;
+    }
+    // On a cycle exactly when some >= 1-edge path returns to k.
+    std::uint64_t stall_or_dead = 0;
+    for (std::size_t k = 0; k < m; ++k) {
+      if ((closure[k] >> k) & 1) in_deadlock[k] = true;
+      if (is_stall[k] || in_deadlock[k]) stall_or_dead |= std::uint64_t{1} << k;
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      if (is_stall[k] || in_deadlock[k]) continue;
+      if (closure[k] & stall_or_dead) blocked[k] = true;
+    }
+  } else {
+    graph::Digraph coupling(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      const NodeId r = wave[waiting[k]];
+      for (std::size_t j = 0; j < m; ++j) {
+        const NodeId s = wave[waiting[j]];
+        bool coupled = false;
+        for (NodeId z : sg.sync_partners(r)) {
+          if (control_reach.reaches(VertexId(s.value), VertexId(z.value))) {
+            coupled = true;
+            break;
+          }
+        }
+        if (coupled) coupling.add_edge(VertexId(k), VertexId(j));
+      }
+    }
 
-  // Deadlock participants: vertices on coupling cycles.
-  const graph::SccResult scc = graph::tarjan_scc(coupling);
-  std::vector<bool> in_deadlock(waiting.size(), false);
-  for (std::size_t k = 0; k < waiting.size(); ++k) {
-    const auto comp = scc.component_of[k];
-    if (comp >= 0 && scc.component_size[static_cast<std::size_t>(comp)] > 1)
-      in_deadlock[k] = true;
-    if (coupling.has_edge(VertexId(k), VertexId(k))) in_deadlock[k] = true;
-  }
+    // Deadlock participants: vertices on coupling cycles.
+    const graph::SccResult scc = graph::tarjan_scc(coupling);
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto comp = scc.component_of[k];
+      if (comp >= 0 && scc.component_size[static_cast<std::size_t>(comp)] > 1)
+        in_deadlock[k] = true;
+      if (coupling.has_edge(VertexId(k), VertexId(k))) in_deadlock[k] = true;
+    }
 
-  // Blocked: can reach a stall or deadlock vertex along coupling edges.
-  std::vector<bool> blocked(waiting.size(), false);
-  for (std::size_t k = 0; k < waiting.size(); ++k) {
-    if (is_stall[k] || in_deadlock[k]) continue;
-    const DynamicBitset reach = graph::reachable_from(coupling, VertexId(k));
-    reach.for_each([&](std::size_t j) {
-      if (is_stall[j] || in_deadlock[j]) blocked[k] = true;
-    });
+    // Blocked: can reach a stall or deadlock vertex along coupling edges.
+    for (std::size_t k = 0; k < m; ++k) {
+      if (is_stall[k] || in_deadlock[k]) continue;
+      const DynamicBitset reach = graph::reachable_from(coupling, VertexId(k));
+      reach.for_each([&](std::size_t j) {
+        if (is_stall[j] || in_deadlock[j]) blocked[k] = true;
+      });
+    }
   }
 
   for (std::size_t k = 0; k < waiting.size(); ++k) {

@@ -181,6 +181,7 @@ class Engine {
     // Seed level: dedupe + caps over the initial list, serially (the list
     // is bounded by max_initial_waves and cheap).
     std::vector<Key> frontier;
+    frontier.reserve(initial.size());
     for (const Wave& w : initial) {
       const Key key = codec_.encode(w);
       auto& shard = visited_[shard_of(key)];
@@ -418,6 +419,15 @@ class Engine {
 
     auto dedupe_shard = [&](std::size_t s, std::size_t) {
       auto& shard = visited_[s];
+      // Pre-size the shard for this level's incoming keys so the insert
+      // loop never rehashes mid-level (at most one rehash here, none
+      // below). The count pass is a linear scan of bytes already resident
+      // from the expand phase.
+      std::size_t incoming = 0;
+      for (const ChunkOut& out : outs)
+        for (std::uint8_t id : out.shard_ids) incoming += (id == s);
+      shard.reserve(shard.size() + incoming);
+      if (witness_) parents_[s].reserve(parents_[s].size() + incoming);
       for (ChunkOut& out : outs) {
         for (std::size_t j = 0; j < out.candidates.size(); ++j) {
           if (out.shard_ids[j] != s) continue;
@@ -454,6 +464,17 @@ class Engine {
     }
 
     const bool expired = expired_.load(std::memory_order_relaxed);
+    // Exact upper bound on the next frontier: the dedupe phase already
+    // decided acceptance, budgets below can only shrink it. One reserve up
+    // front means the assembly loop never reallocates; the counter proves
+    // it (flat zero per level on deterministic runs, at any thread count,
+    // since the next frontier is always coordinator-built here).
+    std::size_t accepted_total = 0;
+    for (const ChunkOut& out : outs)
+      for (const std::uint8_t a : out.accepted) accepted_total += a;
+    next.reserve(accepted_total);
+    std::size_t frontier_reallocs = 0;
+    std::size_t cap = next.capacity();
     for (ChunkOut& out : outs) {
       if (witness_ && !witness_done_ && out.stats.first_anomalous != kNone)
         build_witness_trace(result, frontier, out.stats.first_anomalous);
@@ -468,8 +489,13 @@ class Engine {
         if (over_caps(result)) continue;
         ++admitted_;
         next.push_back(out.candidates[j]);
+        if (next.capacity() != cap) {
+          cap = next.capacity();
+          ++frontier_reallocs;
+        }
       }
     }
+    obs::add(options_.metrics, "wavesim.frontier_reallocs", frontier_reallocs);
   }
 
   // Relaxed level (deterministic == false): expansion, dedupe and admission

@@ -2,9 +2,12 @@
 
 #include <limits>
 #include <string>
+#include <tuple>
 #include <unordered_set>
+#include <vector>
 
 #include "support/bitset.h"
+#include "support/simd.h"
 #include "support/cli.h"
 #include "support/diagnostics.h"
 #include "support/ids.h"
@@ -183,6 +186,120 @@ TEST(Bitset, CountAndMatchesManualIntersection) {
   DynamicBitset c = a;
   c.intersect(b);
   EXPECT_EQ(c.count(), 2u);
+}
+
+TEST(Bitset, Transpose64x64RoundTripsAndMatchesPerBit) {
+  std::uint64_t a[64];
+  std::uint64_t state = 0x2545f4914f6cdd1dull;
+  for (auto& w : a) {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    w = state;
+  }
+  std::uint64_t t[64];
+  std::copy(std::begin(a), std::end(a), std::begin(t));
+  transpose_64x64(t);
+  for (std::size_t r = 0; r < 64; ++r)
+    for (std::size_t c = 0; c < 64; ++c)
+      ASSERT_EQ((a[r] >> c) & 1, (t[c] >> r) & 1) << r << "," << c;
+  transpose_64x64(t);  // involution
+  EXPECT_TRUE(std::equal(std::begin(a), std::end(a), std::begin(t)));
+}
+
+TEST(Bitset, TransposeBitMatrixHandlesRaggedEdge) {
+  // 130 bits: two full 64-bit blocks plus a 2-bit ragged edge in both
+  // dimensions, so padding rows/columns are exercised.
+  constexpr std::size_t kN = 130;
+  const std::size_t words = bitset_words_for(kN);
+  std::vector<std::uint64_t> src(kN * words, 0), dst(kN * words, ~0ull);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t r = 0; r < kN; ++r)
+    for (std::size_t c = 0; c < kN; ++c) {
+      state = state * 6364136223846793005ull + 1442695040888963407ull;
+      if ((state >> 60) == 0)
+        BitRow(src.data() + r * words, kN).set(c);
+    }
+  transpose_bit_matrix(dst.data(), src.data(), kN);
+  for (std::size_t r = 0; r < kN; ++r) {
+    ConstBitRow row(dst.data() + r * words, kN);
+    for (std::size_t c = 0; c < kN; ++c)
+      ASSERT_EQ(row.test(c),
+                ConstBitRow(src.data() + c * words, kN).test(r))
+          << r << "," << c;
+    // Padding bits past kN must be zero (overwrite, not merge).
+    for (std::size_t b = kN; b < words * kBitsetWordBits; ++b)
+      ASSERT_FALSE((dst[r * words + b / 64] >> (b % 64)) & 1);
+  }
+}
+
+// Every binary bitset operation requires operands of identical width: a
+// silent word-count mismatch would read or write out of bounds (the kernel
+// bug this release fixed). Each one must trip SIWA_REQUIRE instead.
+TEST(BitsetDeathTest, BinaryOpsRejectMismatchedWidths) {
+  DynamicBitset narrow(64);
+  DynamicBitset wide(128);
+  EXPECT_DEATH(narrow |= wide, "bitset size mismatch");
+  EXPECT_DEATH(wide |= narrow, "bitset size mismatch");
+  EXPECT_DEATH(narrow &= wide, "bitset size mismatch");
+  EXPECT_DEATH(narrow.merge(wide), "bitset size mismatch");
+  EXPECT_DEATH(narrow.intersect(wide), "bitset size mismatch");
+  EXPECT_DEATH((void)narrow.intersects(wide), "bitset size mismatch");
+  EXPECT_DEATH((void)narrow.count_and(wide), "bitset size mismatch");
+  EXPECT_DEATH(narrow.assign(wide), "bitset size mismatch");
+}
+
+// The AVX2 and portable kernels must be bit-identical; cross-check them on
+// data wide enough to exercise the vector body plus a scalar tail.
+TEST(Simd, BackendsAgree) {
+  constexpr std::size_t kBits = 64 * 13 + 64;  // 14 words: 3 AVX2 blocks + 2
+  DynamicBitset a(kBits);
+  DynamicBitset b(kBits);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (std::size_t i = 0; i < kBits; ++i) {
+    if (next() & 1) a.set(i);
+    if (next() & 2) b.set(i);
+  }
+
+  const auto run = [&] {
+    DynamicBitset or_ab = a;
+    const bool changed = or_ab.merge(b);
+    DynamicBitset and_ab = a;
+    and_ab.intersect(b);
+    return std::tuple(or_ab, and_ab, changed, a.intersects(b), a.count_and(b),
+                      a.count());
+  };
+
+  const auto native = run();
+  support::simd::force_portable(true);
+  EXPECT_STREQ(support::simd::active_backend(), "portable");
+  const auto portable = run();
+  support::simd::force_portable(false);
+
+  EXPECT_EQ(std::get<0>(native), std::get<0>(portable));
+  EXPECT_EQ(std::get<1>(native), std::get<1>(portable));
+  EXPECT_EQ(std::get<2>(native), std::get<2>(portable));
+  EXPECT_EQ(std::get<3>(native), std::get<3>(portable));
+  EXPECT_EQ(std::get<4>(native), std::get<4>(portable));
+  EXPECT_EQ(std::get<5>(native), std::get<5>(portable));
+}
+
+TEST(Simd, OrIntoReportsChangeExactly) {
+  for (std::size_t words : {std::size_t{1}, std::size_t{4}, std::size_t{9}}) {
+    std::vector<std::uint64_t> dst(words, 0xff00ff00ff00ff00ull);
+    std::vector<std::uint64_t> same(dst);
+    EXPECT_FALSE(support::simd::or_into(dst.data(), same.data(), words));
+    std::vector<std::uint64_t> more(words, 0);
+    more[words - 1] = 1;  // one new bit in the last word
+    EXPECT_TRUE(support::simd::or_into(dst.data(), more.data(), words));
+    EXPECT_FALSE(support::simd::or_into(dst.data(), more.data(), words));
+  }
 }
 
 TEST(Diagnostics, CollectsAndCounts) {

@@ -585,6 +585,26 @@ TEST(Explorer, ParallelDeterministicMatchesSerial) {
   }
 }
 
+TEST(Explorer, DeterministicFrontierAssemblyNeverReallocates) {
+  // The ordered level assembly reserves the exact accepted count before
+  // building the next frontier; the wavesim.frontier_reallocs counter is the
+  // proof, and it must read zero at any thread count (same coordinator-built
+  // frontier either way).
+  const auto g =
+      sg::build_sync_graph(gen::dining_philosophers(5, /*left_first=*/false));
+  for (std::size_t threads : {1u, 4u}) {
+    obs::MetricsSink sink;
+    ExploreOptions options;
+    options.threads = threads;
+    options.metrics = obs::SinkRef{&sink};
+    const ExploreResult r = explore(g, options);
+    EXPECT_TRUE(r.complete);
+    EXPECT_GT(r.budget.levels, 1u);
+    EXPECT_EQ(sink.total("wavesim.frontier_reallocs"), 0u)
+        << "threads=" << threads;
+  }
+}
+
 TEST(Explorer, ParallelDeterministicMatchesSerialUnderStateCap) {
   const auto g =
       sg::build_sync_graph(gen::dining_philosophers(4, /*left_first=*/true));
