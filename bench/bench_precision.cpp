@@ -5,15 +5,21 @@
 // Expected shape: zero false negatives everywhere; false-positive rate
 // non-increasing along naive -> refined -> refined+pairs; the precedence
 // rule ablations (no R2 / no R3 / no R4) only lose precision, never
-// safety.
+// safety. The shared-guards family additionally compares refined against
+// refined+dataflow (the guard-feasibility engine): agreement with the
+// assignment-exact oracle may only go up, and the dataflow must introduce
+// zero false negatives. Verdict-agreement counts land in
+// BENCH_precision.json (see bench_metrics.h) for CI diffing.
 #include <cstdio>
 
+#include "bench_metrics.h"
 #include "core/certifier.h"
 #include "core/witness.h"
 #include "gen/random_program.h"
 #include "report/table.h"
 #include "syncgraph/builder.h"
 #include "wavesim/explorer.h"
+#include "wavesim/shared.h"
 
 namespace {
 using namespace siwa;
@@ -31,20 +37,37 @@ struct Detector {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path =
+      benchutil::metrics_out_arg(argc, argv, "BENCH_precision.json");
+  obs::MetricsSink sink;
+
   std::vector<Detector> detectors;
   {
     Detector d{"naive", {}};
     d.options.algorithm = core::Algorithm::Naive;
     detectors.push_back(d);
   }
+  const std::size_t refined_idx = detectors.size();
   {
     Detector d{"refined", {}};
+    detectors.push_back(d);
+  }
+  const std::size_t dataflow_idx = detectors.size();
+  {
+    Detector d{"refined+dataflow", {}};
+    d.options.use_guard_dataflow = true;
     detectors.push_back(d);
   }
   {
     Detector d{"refined+c4", {}};
     d.options.apply_constraint4 = true;
+    detectors.push_back(d);
+  }
+  {
+    Detector d{"refined+c4+dataflow", {}};
+    d.options.apply_constraint4 = true;
+    d.options.use_guard_dataflow = true;
     detectors.push_back(d);
   }
   {
@@ -83,12 +106,14 @@ int main() {
     double branch;
     double loop;
     std::size_t unmatched;
+    std::size_t shared = 0;  // shared conditions; truth via explore_shared
   };
   const Family families[] = {
       {"straight-line", 0.0, 0.0, 0},
       {"branching", 0.35, 0.0, 0},
       {"branch+stalls", 0.3, 0.0, 1},
       {"loops", 0.2, 0.25, 0},
+      {"shared-guards", 0.3, 0.2, 0, 2},
   };
   constexpr std::uint64_t kSeeds = 120;
 
@@ -96,6 +121,11 @@ int main() {
     std::size_t corpus = 0;
     std::size_t true_deadlocks = 0;
     std::vector<Tally> tallies(detectors.size());
+    // Verdict agreement with the oracle: refined vs refined+dataflow.
+    std::size_t agree_refined = 0;
+    std::size_t agree_dataflow = 0;
+    std::size_t fp_pruned = 0;     // refined reported, dataflow certified free
+    std::size_t dataflow_fn = 0;   // dataflow free on a real deadlock (must be 0)
 
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
       gen::RandomProgramConfig config;
@@ -104,27 +134,59 @@ int main() {
       config.branch_probability = family.branch;
       config.loop_probability = family.loop;
       config.unmatched_rendezvous = family.unmatched;
+      config.shared_conditions = family.shared;
       config.seed = seed;
       const lang::Program program = gen::random_program(config);
 
-      const sg::SyncGraph graph = sg::build_sync_graph(program);
       wavesim::ExploreOptions explore;
       explore.max_states = 120'000;
       explore.collect_witness_trace = false;
-      const wavesim::ExploreResult truth =
-          wavesim::WaveExplorer(graph, explore).explore();
-      if (!truth.complete) continue;
+      // Shared-condition programs need the assignment-exact oracle; the
+      // plain explorer treats every guard arm as feasible and would call
+      // correct dataflow prunes "false negatives".
+      bool truth_deadlock = false;
+      if (family.shared > 0) {
+        const wavesim::SharedExploreResult truth =
+            wavesim::explore_shared(program, explore);
+        if (!truth.combined.complete || truth.condition_cap_hit) continue;
+        truth_deadlock = truth.combined.any_deadlock;
+      } else {
+        const sg::SyncGraph graph = sg::build_sync_graph(program);
+        const wavesim::ExploreResult truth =
+            wavesim::WaveExplorer(graph, explore).explore();
+        if (!truth.complete) continue;
+        truth_deadlock = truth.any_deadlock;
+      }
       ++corpus;
-      if (truth.any_deadlock) ++true_deadlocks;
+      if (truth_deadlock) ++true_deadlocks;
 
+      std::vector<char> free(detectors.size(), 0);
       for (std::size_t d = 0; d < detectors.size(); ++d) {
-        const bool free =
-            certify_program(program, detectors[d].options).certified_free;
-        if (!free) ++tallies[d].reports;
-        if (!free && !truth.any_deadlock) ++tallies[d].false_positives;
-        if (free && truth.any_deadlock) ++tallies[d].false_negatives;
+        free[d] =
+            certify_program(program, detectors[d].options).certified_free
+                ? 1
+                : 0;
+        if (!free[d]) ++tallies[d].reports;
+        if (!free[d] && !truth_deadlock) ++tallies[d].false_positives;
+        if (free[d] && truth_deadlock) ++tallies[d].false_negatives;
+      }
+      if ((free[refined_idx] != 0) == !truth_deadlock) ++agree_refined;
+      if ((free[dataflow_idx] != 0) == !truth_deadlock) ++agree_dataflow;
+      if (!free[refined_idx] && free[dataflow_idx]) {
+        if (truth_deadlock)
+          ++dataflow_fn;
+        else
+          ++fp_pruned;
       }
     }
+
+    const std::string fam = std::string("precision.") + family.name;
+    sink.add(fam + ".corpus", corpus);
+    sink.add(fam + ".true_deadlocks", true_deadlocks);
+    sink.add(fam + ".agree.refined", agree_refined);
+    sink.add(fam + ".agree.refined_dataflow", agree_dataflow);
+    sink.add(fam + ".dataflow.fp_pruned", fp_pruned);
+    sink.add(fam + ".dataflow.false_negatives", dataflow_fn);
 
     std::printf("E10 corpus '%s': %zu programs, %zu with real deadlocks "
                 "(%zu clean)\n",
@@ -144,6 +206,11 @@ int main() {
                      report::fmt(tallies[d].false_negatives)});
     }
     std::printf("%s\n", table.to_text().c_str());
+    std::printf("verdict agreement with oracle: refined %zu/%zu, "
+                "refined+dataflow %zu/%zu (%zu false positives pruned, "
+                "%zu dataflow false negatives)\n\n",
+                agree_refined, corpus, agree_dataflow, corpus, fp_pruned,
+                dataflow_fn);
   }
 
   // Witness triage: replay every refined-detector report against the
@@ -186,6 +253,9 @@ int main() {
   std::printf("Expected shape: false-neg column identically zero (the paper's\n"
               "safety claim); FP rate weakly decreasing from naive through\n"
               "refined to refined+pairs; removing precedence rules can only\n"
-              "move FP up, never create false negatives.\n");
-  return 0;
+              "move FP up, never create false negatives; refined+dataflow\n"
+              "agreement with the oracle at least refined's, with zero\n"
+              "dataflow false negatives.\n");
+  return benchutil::write_metrics(sink, "bench_precision", metrics_path) ? 0
+                                                                         : 1;
 }

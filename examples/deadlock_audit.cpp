@@ -3,6 +3,9 @@
 //   deadlock_audit [options] <program.mada>
 //     --algorithm naive|refined|pairs|headtail|htpairs   (default refined)
 //     --constraint4                              enable the global filter
+//     --dataflow                                 guard-feasibility pruning
+//                                                (prints infeasibility facts
+//                                                with the witness)
 //     --threads N                                parallel hypothesis sweep
 //                                                (1 = serial, 0 = all cores)
 //     --oracle                                   also run the wave oracle
@@ -65,7 +68,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: deadlock_audit [--algorithm naive|refined|pairs|"
-               "headtail|htpairs] [--constraint4] [--threads N] [--oracle] "
+               "headtail|htpairs] [--constraint4] [--dataflow] [--threads N] "
+               "[--oracle] "
                "[--oracle-threads N] [--oracle-max-states N] "
                "[--oracle-deadline-ms N] [--oracle-max-bytes N] "
                "[--confirm] [--triage] [--json] [--format text|json|sarif] "
@@ -123,6 +127,8 @@ int main(int argc, char** argv) {
       else return usage();
     } else if (arg == "--constraint4") {
       options.apply_constraint4 = true;
+    } else if (arg == "--dataflow") {
+      options.use_guard_dataflow = true;
     } else if (arg == "--threads" && i + 1 < argc) {
       const auto value = flag_value("--threads", argv[++i]);
       if (!value) return 2;
@@ -301,6 +307,12 @@ int main(int argc, char** argv) {
     for (const auto& node : result.witness)
       std::printf("  %s\n", node.c_str());
   }
+  if (options.use_guard_dataflow) {
+    std::printf("guard dataflow : %zu statically infeasible node(s)\n",
+                result.stats.infeasible_nodes);
+    for (const auto& fact : result.infeasibility_facts)
+      std::printf("  %s\n", fact.c_str());
+  }
 
   std::printf("stall balance  : %s\n",
               stall_verdict.stall_free ? "stall-free" : "may stall");
@@ -324,6 +336,7 @@ int main(int argc, char** argv) {
     phase.emplace(metrics, "audit.triage");
     core::TriageOptions triage_options;
     triage_options.oracle = oracle_options;
+    triage_options.use_guard_dataflow = options.use_guard_dataflow;
     const core::TriageResult triage =
         core::triage_program(*program, triage_options);
     std::printf("triage         : %s (decided by %s%s)\n",

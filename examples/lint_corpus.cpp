@@ -13,12 +13,16 @@
 //
 // Warnings are allowed anywhere — they are conservative by contract. Any
 // Error on a certified-free program is a soundness violation and fails the
-// run. With --sarif the merged findings are written as a SARIF 2.1.0 log
+// run. The gate covers every rule the pipeline runs, including the
+// guard-dataflow rules SIWA006-008 (on by default); the summary prints a
+// per-rule count so CI logs show which rules actually exercised on the
+// corpus. With --sarif the merged findings are written as a SARIF 2.1.0 log
 // (the CI artifact). Exit code: 0 sound, 1 soundness violation, 2 usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -79,6 +83,7 @@ int main(int argc, char** argv) {
   std::size_t total_errors = 0;
   std::size_t total_warnings = 0;
   std::size_t violations = 0;
+  std::map<std::string, std::size_t> rule_counts;
 
   for (std::size_t i = 0; i < count; ++i) {
     gen::RandomProgramConfig config;
@@ -113,6 +118,8 @@ int main(int argc, char** argv) {
     const std::size_t errors = result.count(Severity::Error);
     total_errors += errors;
     total_warnings += result.count(Severity::Warning);
+    for (const Diagnostic& d : result.diagnostics)
+      ++rule_counts[d.rule_id.empty() ? std::string("(untagged)") : d.rule_id];
 
     char name[64];
     std::snprintf(name, sizeof name, "corpus/prog_%llu_%03zu.mada",
@@ -148,6 +155,12 @@ int main(int argc, char** argv) {
     std::printf("SARIF log: %s\n", sarif_path.c_str());
   }
 
+  if (!rule_counts.empty()) {
+    std::printf("findings by rule:");
+    for (const auto& [rule, n] : rule_counts)
+      std::printf(" %s=%zu", rule.c_str(), n);
+    std::printf("\n");
+  }
   std::printf(
       "%zu programs: %zu oracle-free, %zu anomalous, %zu incomplete; "
       "lint %zu error(s), %zu warning(s); %zu soundness violation(s)\n",

@@ -22,4 +22,11 @@ const graph::Dominators& AnalysisContext::dominators() const {
   return *dom_;
 }
 
+const dataflow::GuardFeasibility& AnalysisContext::guard_feasibility() const {
+  std::call_once(feas_once_, [this] {
+    feas_ = std::make_unique<dataflow::GuardFeasibility>(*sg_);
+  });
+  return *feas_;
+}
+
 }  // namespace siwa::core

@@ -18,6 +18,7 @@
 #include <memory>
 #include <mutex>
 
+#include "dataflow/guard_feasibility.h"
 #include "graph/dominators.h"
 #include "graph/reachability.h"
 #include "syncgraph/clg.h"
@@ -55,6 +56,13 @@ class AnalysisContext {
   // across the per-algorithm rebuilds a multi-algorithm certify performs.
   [[nodiscard]] const graph::Dominators& dominators() const;
 
+  // Guard-feasibility dataflow over the control graph, built on first use
+  // (thread-safe) and cached. Built without a metrics sink so the cached
+  // result is caller-independent; consumers that want instrumentation
+  // record their own span around the first call and read the counters off
+  // the returned engine (infeasible_count(), iterations()).
+  [[nodiscard]] const dataflow::GuardFeasibility& guard_feasibility() const;
+
  private:
   const sg::SyncGraph* sg_;
   graph::CondensedReachability reach_;
@@ -62,6 +70,8 @@ class AnalysisContext {
   mutable std::unique_ptr<sg::Clg> clg_;
   mutable std::once_flag dom_once_;
   mutable std::unique_ptr<graph::Dominators> dom_;
+  mutable std::once_flag feas_once_;
+  mutable std::unique_ptr<dataflow::GuardFeasibility> feas_;
 };
 
 }  // namespace siwa::core

@@ -57,13 +57,31 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
     case Algorithm::RefinedHeadPair:
     case Algorithm::RefinedHeadTail:
     case Algorithm::RefinedHeadTailPairs: {
-      const Precedence precedence(*ctx, options.precedence);
-      const CoExec coexec(*ctx, options.extra_not_coexec);
+      // Guard dataflow (opt-in): the engine is cached on the context, so
+      // repeated certifications through one context pay for it once. A
+      // graph with no shared conditions degenerates to a null engine and
+      // the exact guard-blind code paths below.
+      const dataflow::GuardFeasibility* feas = nullptr;
+      if (options.use_guard_dataflow) {
+        obs::Span dspan(options.metrics, "certify.dataflow");
+        const dataflow::GuardFeasibility& engine = ctx->guard_feasibility();
+        dspan.arg("conditions", engine.condition_count());
+        dspan.arg("infeasible", engine.infeasible_count());
+        obs::add(options.metrics, "certify.dataflow_infeasible",
+                 engine.infeasible_count());
+        if (engine.has_conditions()) feas = &engine;
+        result.stats.infeasible_nodes = engine.infeasible_count();
+      }
+      PrecedenceOptions prec_options = options.precedence;
+      prec_options.feasibility = feas;
+      const Precedence precedence(*ctx, prec_options);
+      const CoExec coexec(*ctx, options.extra_not_coexec, feas);
       RefinedOptions refined;
       refined.apply_constraint4 = options.apply_constraint4;
       refined.stop_at_first_hit = options.stop_at_first_hit;
       refined.parallel = options.parallel;
       refined.metrics = options.metrics;
+      refined.feasibility = feas;
       refined.mode = options.algorithm == Algorithm::RefinedSingle
                          ? HypothesisMode::SingleHead
                      : options.algorithm == Algorithm::RefinedHeadPair
@@ -77,6 +95,28 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
       result.witness_nodes = r.witness_cycle;
       result.stats.hypotheses_tested = r.hypotheses_tested;
       result.stats.possible_heads = r.possible_heads;
+      if (feas != nullptr) {
+        for (NodeId bad : feas->infeasible_nodes())
+          result.infeasibility_facts.push_back(
+              graph.describe(bad) +
+              ": statically infeasible (no shared-condition valuation "
+              "reaches it)");
+        for (NodeId w : result.witness_nodes) {
+          std::string pins;
+          for (Symbol c : feas->conditions()) {
+            const dataflow::GuardFeasibility::Value v = feas->value(w, c);
+            if (v != dataflow::GuardFeasibility::Value::False &&
+                v != dataflow::GuardFeasibility::Value::True)
+              continue;
+            if (!pins.empty()) pins += ", ";
+            pins += std::string(graph.message_name(c));
+            pins += v == dataflow::GuardFeasibility::Value::True ? "=1" : "=0";
+          }
+          if (!pins.empty())
+            result.infeasibility_facts.push_back(graph.describe(w) +
+                                                 ": requires " + pins);
+        }
+      }
       break;
     }
   }

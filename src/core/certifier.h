@@ -43,6 +43,15 @@ struct CertifyOptions {
   // to the serial run's first hit); only the suspect list and the tested
   // count shrink. Ignored by the naive algorithm.
   bool stop_at_first_hit = false;
+  // Run the guard-feasibility dataflow (cached on the context) and thread
+  // it through Precedence, CoExec, constraint 4 and the refined
+  // enumeration: statically infeasible nodes are pruned before detection
+  // and the pairwise guard conflict upgrades to the path-sensitive form.
+  // Pruning-only, so reports can only shrink — a deadlock reported with
+  // the dataflow on is also reported with it off. Off by default to keep
+  // existing verdicts and benchmarks bit-identical. Ignored by the naive
+  // algorithm (which builds no context).
+  bool use_guard_dataflow = false;
   // Parallelism of the refined hypothesis sweep (see RefinedOptions);
   // also sizes the certify_batch worker pool.
   ParallelOptions parallel;
@@ -65,6 +74,9 @@ struct CertifyStats {
   std::size_t clg_edges = 0;
   std::size_t hypotheses_tested = 0;
   std::size_t possible_heads = 0;
+  // Rendezvous nodes the guard dataflow proved unreachable under every
+  // shared-condition valuation (0 unless use_guard_dataflow).
+  std::size_t infeasible_nodes = 0;
   bool unrolled = false;
   std::int64_t elapsed_us = 0;
 };
@@ -75,6 +87,12 @@ struct CertifyResult {
   // in sync-graph node descriptions.
   std::vector<std::string> witness;
   std::vector<NodeId> witness_nodes;
+  // Human-readable guard-dataflow facts (use_guard_dataflow only): one line
+  // per statically infeasible rendezvous node pruned before detection,
+  // plus, when a witness is reported, the shared-condition values each
+  // witness node pins — the valuations under which the reported wait could
+  // actually arise.
+  std::vector<std::string> infeasibility_facts;
   CertifyStats stats;
 };
 

@@ -3,7 +3,8 @@
 namespace siwa::core {
 
 CoExec::CoExec(const AnalysisContext& ctx,
-               std::vector<std::pair<NodeId, NodeId>> extra_not_coexec)
+               std::vector<std::pair<NodeId, NodeId>> extra_not_coexec,
+               const dataflow::GuardFeasibility* feasibility)
     : n_(ctx.graph().node_count()), not_coexec_(ctx.graph().node_count()) {
   const sg::SyncGraph& sg = ctx.graph();
   const graph::CondensedReachability& reach = ctx.control_reach();
@@ -21,16 +22,44 @@ CoExec::CoExec(const AnalysisContext& ctx,
       }
     }
   }
-  // Shared-condition guards: nodes on opposite arms of one encapsulated
-  // condition never execute in the same run, in *any* pair of tasks. Every
-  // node is checked — b/e carry no guards today, but nothing here should
-  // depend on that invariant silently.
-  for (std::size_t i = 0; i < n_; ++i) {
-    if (sg.node(NodeId(i)).guards.empty()) continue;
-    for (std::size_t j = i + 1; j < n_; ++j) {
-      if (sg.guards_conflict(NodeId(i), NodeId(j))) {
+  if (feasibility != nullptr && feasibility->has_conditions()) {
+    // Path-sensitive guard sweep (subsumes the syntactic one, see header).
+    // Only nodes that constrain some condition can be incompatible with a
+    // feasible partner, so the pairwise pass visits those alone.
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (feasibility->feasible(NodeId(i))) continue;
+      for (std::size_t j = 0; j < n_; ++j) {
+        if (j == i) continue;
         not_coexec_.set(i, j);
         not_coexec_.set(j, i);
+      }
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!feasibility->feasible(NodeId(i)) ||
+          !feasibility->constrained(NodeId(i)))
+        continue;
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        if (!feasibility->feasible(NodeId(j)) ||
+            !feasibility->constrained(NodeId(j)))
+          continue;
+        if (!feasibility->compatible(NodeId(i), NodeId(j))) {
+          not_coexec_.set(i, j);
+          not_coexec_.set(j, i);
+        }
+      }
+    }
+  } else {
+    // Shared-condition guards: nodes on opposite arms of one encapsulated
+    // condition never execute in the same run, in *any* pair of tasks.
+    // Every node is checked — b/e carry no guards today, but nothing here
+    // should depend on that invariant silently.
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (sg.node(NodeId(i)).guards.empty()) continue;
+      for (std::size_t j = i + 1; j < n_; ++j) {
+        if (sg.guards_conflict(NodeId(i), NodeId(j))) {
+          not_coexec_.set(i, j);
+          not_coexec_.set(j, i);
+        }
       }
     }
   }

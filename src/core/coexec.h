@@ -23,10 +23,19 @@ namespace siwa::core {
 class CoExec {
  public:
   // Primary constructor: reads the control closure from the shared context
-  // instead of building one.
+  // instead of building one. When `feasibility` is non-null (an engine over
+  // the same graph), the guard sweep upgrades from the syntactic pairwise
+  // conflict to path-sensitive incompatibility: infeasible nodes are not
+  // co-executable with anything, and two feasible nodes whose reaching
+  // valuation sets admit no common valuation are not co-executable either.
+  // The dataflow conflict subsumes the syntactic one for feasible pairs
+  // (an own-guard (c, arm) clears the opposite value at the node, so
+  // opposite arms leave no common value for c), so the old sweep is
+  // skipped entirely when the engine is active.
   explicit CoExec(
       const AnalysisContext& ctx,
-      std::vector<std::pair<NodeId, NodeId>> extra_not_coexec = {});
+      std::vector<std::pair<NodeId, NodeId>> extra_not_coexec = {},
+      const dataflow::GuardFeasibility* feasibility = nullptr);
 
   // Back-compat: builds a private AnalysisContext (one closure), as the old
   // standalone constructor did.

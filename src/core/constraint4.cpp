@@ -9,8 +9,12 @@
 
 namespace siwa::core {
 
-Constraint4Filter::Constraint4Filter(const AnalysisContext& ctx,
-                                     const Precedence& precedence) {
+Constraint4Filter::Constraint4Filter(
+    const AnalysisContext& ctx, const Precedence& precedence,
+    const dataflow::GuardFeasibility* feasibility) {
+  const dataflow::GuardFeasibility* feas =
+      feasibility != nullptr && feasibility->has_conditions() ? feasibility
+                                                              : nullptr;
   const sg::SyncGraph& sg = ctx.graph();
   const graph::CondensedReachability& reach = ctx.control_reach();
   const std::size_t n = sg.node_count();
@@ -65,22 +69,30 @@ Constraint4Filter::Constraint4Filter(const AnalysisContext& ctx,
     const NodeId w(wi);
     if (!sg.is_rendezvous(w)) continue;
     if (!unconditional[wi]) continue;
+    // A breaker must be able to execute at all.
+    if (feas != nullptr && !feas->feasible(w)) continue;
 
     for (NodeId t : sg.sync_partners(w)) {
       if (sg.task_of(t) == sg.task_of(w)) continue;
-      // (ii): every other partner of w starts after t finishes.
+      // (ii): every other partner of w starts after t finishes. w's actual
+      // rendezvous partner executed, hence is feasible — infeasible
+      // partners never compete and are skipped.
       bool ok = true;
       for (NodeId v : sg.sync_partners(w)) {
         if (v == t) continue;
+        if (feas != nullptr && !feas->feasible(v)) continue;
         if (!precedence.precedes(t, v)) {
           ok = false;
           break;
         }
       }
       if (!ok) continue;
-      // (iv): every rendezvous ancestor of w precedes t.
+      // (iv): every rendezvous ancestor of w precedes t. An ancestor
+      // standing on a wave was reached in that run, hence is feasible —
+      // infeasible ancestors are skipped.
       for (NodeId p : sg.nodes_of_task(sg.task_of(w))) {
         if (p == w) continue;
+        if (feas != nullptr && !feas->feasible(p)) continue;
         if (!reach.reaches(VertexId(p.value), VertexId(w.value))) continue;
         if (!precedence.precedes(p, t)) {
           ok = false;

@@ -33,7 +33,13 @@ namespace siwa::core {
 class Constraint4Filter {
  public:
   // Primary constructor: reads the control closure from the shared context.
-  Constraint4Filter(const AnalysisContext& ctx, const Precedence& precedence);
+  // `feasibility` (optional, same graph) restricts the breaker search to
+  // nodes that can actually execute: w itself must be feasible, and the
+  // (ii)/(iv) quantifiers skip infeasible partners/ancestors — sound
+  // because a node that rendezvouses or is reached on a wave in a real run
+  // is never proven infeasible, and strictly more heads get filtered.
+  Constraint4Filter(const AnalysisContext& ctx, const Precedence& precedence,
+                    const dataflow::GuardFeasibility* feasibility = nullptr);
 
   // Back-compat: builds a private AnalysisContext (one closure).
   Constraint4Filter(const sg::SyncGraph& sg, const Precedence& precedence);

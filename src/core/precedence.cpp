@@ -53,6 +53,12 @@ void Precedence::build(const sg::SyncGraph& sg,
   const support::Arena::Scope scope(arena);
   const std::size_t words = bitset_words_for(n_);
 
+  const dataflow::GuardFeasibility* feas = options.feasibility;
+  if (feas != nullptr && !feas->has_conditions()) feas = nullptr;
+  const auto infeasible = [&](std::size_t i) {
+    return feas != nullptr && !feas->feasible(NodeId(i));
+  };
+
   std::optional<graph::Dominators> local_dom;
   const graph::Dominators& dom =
       cached_dom != nullptr
@@ -94,9 +100,14 @@ void Precedence::build(const sg::SyncGraph& sg,
       signal_count =
           std::max(signal_count, static_cast<std::size_t>(node.signal.value) + 1);
     }
+    // Infeasible nodes never execute, so they are excluded from the counts,
+    // the thresholds, and the fired masks alike: the counting argument then
+    // runs over feasible nodes only (every node that completes in a real
+    // run is feasible), with lower thresholds — strictly more precise.
     std::uint32_t* sends_per = zeroed<std::uint32_t>(arena, signal_count);
     std::uint32_t* accs_per = zeroed<std::uint32_t>(arena, signal_count);
     for (std::size_t i = 2; i < n_; ++i) {
+      if (infeasible(i)) continue;
       const auto& node = sg.node(NodeId(i));
       ++(node.sign == sg::Sign::Plus ? sends_per : accs_per)[node.signal.index()];
     }
@@ -120,6 +131,7 @@ void Precedence::build(const sg::SyncGraph& sg,
       send_mask_w = zeroed<std::uint64_t>(arena, n_slots * words);
       acc_mask_w = zeroed<std::uint64_t>(arena, n_slots * words);
       for (std::size_t i = 2; i < n_; ++i) {
+        if (infeasible(i)) continue;
         const auto& node = sg.node(NodeId(i));
         const std::uint32_t slot = slot_of_signal[node.signal.index()];
         if (slot == kNoSlot) continue;
@@ -194,18 +206,33 @@ void Precedence::build(const sg::SyncGraph& sg,
 
     if (options.use_rule_r3) {
       for (std::size_t r = 2; r < n_; ++r) {
+        // r's completion pairs it with a partner that actually executed —
+        // a feasible one — so the intersection ranges over feasible
+        // partners only. With none, r never completes and every dominated
+        // conclusion site is unreachable; skip conservatively. Infeasible
+        // r likewise: its dominated nodes are unreachable too.
+        if (infeasible(r)) continue;
         const auto partners = sg.sync_partners(NodeId(r));
-        if (partners.empty()) continue;
-        if (!first) {
-          bool partner_grew = false;
-          for (NodeId s : partners)
-            partner_grew |= grew_prev.test(s.index()) || grew_cur.test(s.index());
-          if (!partner_grew) continue;
+        bool any_partner = false;
+        bool partner_grew = first;
+        for (NodeId s : partners) {
+          if (feas != nullptr && !feas->feasible(s)) continue;
+          any_partner = true;
+          partner_grew = partner_grew || grew_prev.test(s.index()) ||
+                         grew_cur.test(s.index());
         }
-        // {x : x strongly precedes every partner of r}.
-        all_before.assign(pred_row(partners.front().index()));
-        for (NodeId s : partners.subspan(1))
-          all_before.intersect(pred_row(s.index()));
+        if (!any_partner || !partner_grew) continue;
+        // {x : x strongly precedes every feasible partner of r}.
+        bool seeded = false;
+        for (NodeId s : partners) {
+          if (feas != nullptr && !feas->feasible(s)) continue;
+          if (!seeded) {
+            all_before.assign(pred_row(s.index()));
+            seeded = true;
+          } else {
+            all_before.intersect(pred_row(s.index()));
+          }
+        }
         if (!all_before.any()) continue;
         for (NodeId t : sg.nodes_of_task(sg.task_of(NodeId(r)))) {
           if (t.index() == r) continue;
@@ -285,15 +312,41 @@ void Precedence::build(const sg::SyncGraph& sg,
   }
   if (options.use_rule_r2) {
     for (std::size_t r = 2; r < n_; ++r) {
+      // A head r waits for a NOT-SEEN partner z that is reached on the
+      // wave, hence feasible — so only feasible partners need S(z, t).
+      // Zero feasible partners (or infeasible r) falls to the full X fill
+      // below when the dataflow is active.
+      if (infeasible(r)) continue;
       const auto partners = sg.sync_partners(NodeId(r));
-      if (partners.empty()) continue;
-      all_before.assign(strong_.row(partners.front().index()));
-      for (NodeId s : partners.subspan(1))
-        all_before.intersect(strong_.row(s.index()));
+      bool seeded = false;
+      for (NodeId s : partners) {
+        if (feas != nullptr && !feas->feasible(s)) continue;
+        if (!seeded) {
+          all_before.assign(strong_.row(s.index()));
+          seeded = true;
+        } else {
+          all_before.intersect(strong_.row(s.index()));
+        }
+      }
+      if (!seeded) continue;
       all_before.for_each([&](std::size_t t) {
         excl_.set(r, t);
         excl_.set(t, r);
       });
+    }
+  }
+
+  if (feas != nullptr) {
+    // An infeasible node executes in no feasible run, so it never heads a
+    // deadlock cycle: X holds against every node, in both directions.
+    std::uint64_t* full = all_before.words();
+    for (std::size_t w = 0; w < words; ++w) full[w] = ~std::uint64_t{0};
+    const std::size_t tail = n_ % kBitsetWordBits;
+    if (tail != 0) full[words - 1] = (std::uint64_t{1} << tail) - 1;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!infeasible(i)) continue;
+      excl_.row(i).assign(all_before);
+      for (std::size_t a = 0; a < n_; ++a) excl_.set(a, i);
     }
   }
 }

@@ -57,6 +57,14 @@ struct PrecedenceOptions {
   // Externally established *strong* orderings (e.g. the exact gadget order
   // in the Theorem 2 experiment), seeded into S before the fixpoint.
   std::vector<std::pair<NodeId, NodeId>> extra_precedes;
+  // Optional guard-feasibility engine (must be built over the same graph).
+  // When set, R4 counts only feasible sends/accepts against feasible-only
+  // thresholds, R3/R2 quantify over feasible partners, and every infeasible
+  // node gets a full EXCLUSION row/column — each restriction is sound
+  // because nodes that execute in a feasible run are never proven
+  // infeasible (see dataflow/guard_feasibility.h), and strictly sharpens
+  // the relation. Null preserves the guard-blind behavior bit for bit.
+  const dataflow::GuardFeasibility* feasibility = nullptr;
 };
 
 class Precedence {

@@ -325,8 +325,16 @@ std::vector<Hypothesis> enumerate_impl(const sg::SyncGraph& sg,
   SIWA_REQUIRE(ctx != nullptr || !enumeration_needs_closure(options),
                "enumeration mode requires an analysis context");
   std::vector<NodeId> heads = possible_heads(sg);
+  const dataflow::GuardFeasibility* feas =
+      options.feasibility != nullptr && options.feasibility->has_conditions()
+          ? options.feasibility
+          : nullptr;
+  // A deadlock head stands reached on the wave of a real run, so a node no
+  // feasible valuation reaches can never head a cycle.
+  if (feas != nullptr)
+    std::erase_if(heads, [&](NodeId h) { return !feas->feasible(h); });
   if (options.apply_constraint4) {
-    const Constraint4Filter filter(*ctx, precedence);
+    const Constraint4Filter filter(*ctx, precedence, feas);
     std::erase_if(heads, [&](NodeId h) { return filter.always_broken(h); });
   }
   if (possible_head_count != nullptr) *possible_head_count = heads.size();
@@ -375,6 +383,8 @@ std::vector<Hypothesis> enumerate_impl(const sg::SyncGraph& sg,
         for (NodeId k : coaccept_nodes(sg, h)) coaccept_mask.set(k.index());
         for (NodeId t : sg.nodes_of_task(sg.task_of(h))) {
           if (t == h) continue;
+          // Tails stand reached on the wave too; infeasible nodes can't.
+          if (feas != nullptr && !feas->feasible(t)) continue;
           if (!reach.reaches(VertexId(h.value), VertexId(t.value))) continue;
           if (sg.sync_partners(t).empty()) continue;
           if (coaccept_mask.test(t.index())) continue;

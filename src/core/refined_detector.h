@@ -83,6 +83,14 @@ struct RefinedOptions {
   // an atomic cancellation flag checked by every worker.
   bool stop_at_first_hit = false;
   ParallelOptions parallel;
+  // Optional guard-feasibility engine over the same graph. Enumeration then
+  // drops statically infeasible heads and tails — sound because a real
+  // deadlock's heads and tails stand *reached* on the wave of an actual
+  // run, and nodes reached in a run are never proven infeasible — and the
+  // constraint-4 filter receives the engine for its own restrictions. The
+  // caller should build Precedence/CoExec with the same engine so the
+  // relations agree. Null reproduces the guard-blind enumeration exactly.
+  const dataflow::GuardFeasibility* feasibility = nullptr;
   // Optional observability sink (see obs/metrics.h). Null = zero-cost.
   // Spans (refined.enumerate / refined.sweep) come from the coordinating
   // thread; the refined.tested counter records the *normalized*

@@ -23,6 +23,7 @@ TriageResult triage_program(const lang::Program& program,
     CertifyOptions certify;
     certify.algorithm = algorithm;
     certify.apply_constraint4 = options.apply_constraint4;
+    certify.use_guard_dataflow = options.use_guard_dataflow;
     result.last_report = certify_program(program, certify);
     result.decided_by = algorithm;
     if (result.last_report.certified_free) {

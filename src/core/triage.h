@@ -29,6 +29,11 @@ struct TriageOptions {
                                 Algorithm::RefinedHeadPair,
                                 Algorithm::RefinedHeadTailPairs};
   bool apply_constraint4 = true;
+  // Thread the guard-feasibility dataflow through every ladder rung (see
+  // CertifyOptions::use_guard_dataflow). More programs certify statically
+  // — so fewer reach the exponential oracle — and surviving reports carry
+  // infeasibility facts. Off by default to keep baselines bit-identical.
+  bool use_guard_dataflow = false;
   wavesim::ExploreOptions oracle;  // bounds the confirmation step
 };
 

@@ -1,0 +1,186 @@
+#include "dataflow/guard_feasibility.h"
+
+#include <algorithm>
+
+#include "support/require.h"
+
+namespace siwa::dataflow {
+
+GuardFeasibility::GuardFeasibility(const sg::SyncGraph& sg,
+                                   obs::SinkRef metrics)
+    : sg_(&sg) {
+  SIWA_REQUIRE(sg.finalized(), "guard feasibility requires finalize()");
+  obs::Span span(metrics, "dataflow.build");
+
+  const std::size_t n = sg.node_count();
+  for (std::size_t i = 0; i < n; ++i)
+    for (const sg::Guard& g : sg.node(NodeId(i)).guards)
+      conditions_.push_back(g.cond);
+  for (Symbol c : sg.loop_conditions()) conditions_.push_back(c);
+  std::sort(conditions_.begin(), conditions_.end());
+  conditions_.erase(std::unique(conditions_.begin(), conditions_.end()),
+                    conditions_.end());
+
+  const std::size_t k = conditions_.size();
+  span.arg("conditions", k);
+  span.arg("nodes", n);
+  obs::add(metrics, "dataflow.conditions", k);
+  if (k == 0) return;  // every query short-circuits on has_conditions()
+
+  may0_ = BitMatrix(n, k);
+  may1_ = BitMatrix(n, k);
+  full_ = DynamicBitset(k);
+  for (std::size_t c = 0; c < k; ++c) full_.set(c);
+
+  // Per-node assume masks: the condition values the node's own guard set
+  // still allows. Precomputed once so each transfer is two row ANDs.
+  BitMatrix keep0(n, k);
+  BitMatrix keep1(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    keep0.row(i).assign(full_);
+    keep1.row(i).assign(full_);
+    for (const sg::Guard& g : sg.node(NodeId(i)).guards) {
+      const auto c = static_cast<std::size_t>(cond_index(g.cond));
+      if (g.arm)
+        keep0.row(i).reset(c);  // inside the true arm: c = 0 impossible here
+      else
+        keep1.row(i).reset(c);
+    }
+  }
+
+  // Initial state at b: any value for every condition, except loop
+  // conditions, pinned to {0} (all-tasks-terminate; see header comment).
+  may0_.row(0).assign(full_);
+  may1_.row(0).assign(full_);
+  for (Symbol c : sg.loop_conditions())
+    may1_.row(0).reset(static_cast<std::size_t>(cond_index(c)));
+
+  // Task entries have no control edge from b (entry-ness lives in
+  // task_entries_, exactly why constraint 4 builds a super-entry graph), so
+  // give them a virtual b -> entry edge. The end node also seeds from b:
+  // every completed run reaches e whatever its control predecessors look
+  // like, so e must never go bottom even in gadget graphs where it is
+  // control-unreachable.
+  std::vector<std::uint8_t> from_begin(n, 0);
+  from_begin[sg.end_node().index()] = 1;
+  for (std::size_t t = 0; t < sg.task_count(); ++t)
+    for (NodeId entry : sg.task_entries(TaskId(t)))
+      from_begin[entry.index()] = 1;
+
+  // Kleene iteration from bottom. States only grow and the transfer
+  // (join predecessors, apply assume masks, normalize to bottom when some
+  // condition loses both values) is monotone — a state that newly covers
+  // every condition column can only have grown, never shrunk — so the
+  // round-robin sweep reaches the least fixpoint and stops. Each per-node
+  // result is all-zero or covers every column; merging such states
+  // preserves the invariant, which is what lets feasible() read row.any().
+  const std::size_t words = bitset_words_for(k);
+  std::vector<std::uint64_t> scratch(2 * words);
+  BitRow new0(scratch.data(), k);
+  BitRow new1(scratch.data() + words, k);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++iterations_;
+    for (std::size_t i = 1; i < n; ++i) {  // b's state is fixed
+      new0.clear();
+      new1.clear();
+      if (from_begin[i] != 0) {
+        new0.merge(may0_.row(0));
+        new1.merge(may1_.row(0));
+      }
+      for (NodeId p : sg.control_predecessors(NodeId(i))) {
+        new0.merge(may0_.row(p.index()));
+        new1.merge(may1_.row(p.index()));
+      }
+      new0.intersect(keep0.row(i));
+      new1.intersect(keep1.row(i));
+      bool covered = true;
+      for (std::size_t w = 0; w < words; ++w)
+        if ((scratch[w] | scratch[words + w]) != full_.words()[w]) {
+          covered = false;
+          break;
+        }
+      if (!covered) {
+        new0.clear();
+        new1.clear();
+      }
+      if (may0_.row(i).merge(new0)) changed = true;
+      if (may1_.row(i).merge(new1)) changed = true;
+    }
+  }
+
+  feasible_.assign(n, 0);
+  constrained_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ConstBitRow r0 = may0_.row(i);
+    const ConstBitRow r1 = may1_.row(i);
+    if (!r0.any() && !r1.any()) {
+      if (sg.is_rendezvous(NodeId(i))) ++infeasible_count_;
+      continue;
+    }
+    feasible_[i] = 1;
+    // Constrained: some condition kept exactly one value, i.e. the pairwise
+    // intersection misses a column the union covers.
+    if (r0.count_and(r1) != k) constrained_[i] = 1;
+  }
+
+  span.arg("infeasible", infeasible_count_);
+  span.arg("iterations", iterations_);
+  obs::add(metrics, "dataflow.infeasible_nodes", infeasible_count_);
+  obs::add(metrics, "dataflow.iterations", iterations_);
+}
+
+int GuardFeasibility::cond_index(Symbol cond) const {
+  const auto it =
+      std::lower_bound(conditions_.begin(), conditions_.end(), cond);
+  if (it == conditions_.end() || !(*it == cond)) return -1;
+  return static_cast<int>(it - conditions_.begin());
+}
+
+GuardFeasibility::Value GuardFeasibility::value(NodeId n, Symbol cond) const {
+  if (!has_conditions()) return Value::Top;
+  const int c = cond_index(cond);
+  if (c < 0) return Value::Top;
+  const bool m0 = may0_.row(n.index()).test(static_cast<std::size_t>(c));
+  const bool m1 = may1_.row(n.index()).test(static_cast<std::size_t>(c));
+  if (m0 && m1) return Value::Top;
+  if (m1) return Value::True;
+  if (m0) return Value::False;
+  return Value::Bottom;
+}
+
+bool GuardFeasibility::compatible(NodeId a, NodeId b) const {
+  if (!has_conditions()) return true;
+  // A single valuation reaching both nodes must pick, per condition, a value
+  // both states allow: ((a0 & b0) | (a1 & b1)) has to cover every column.
+  const std::size_t words = full_.word_count();
+  const std::uint64_t* a0 = may0_.row(a.index()).words();
+  const std::uint64_t* a1 = may1_.row(a.index()).words();
+  const std::uint64_t* b0 = may0_.row(b.index()).words();
+  const std::uint64_t* b1 = may1_.row(b.index()).words();
+  for (std::size_t w = 0; w < words; ++w)
+    if (((a0[w] & b0[w]) | (a1[w] & b1[w])) != full_.words()[w]) return false;
+  return true;
+}
+
+bool GuardFeasibility::contradictory_guards(NodeId n) const {
+  const auto& guards = sg_->node(n).guards;
+  for (std::size_t i = 0; i < guards.size(); ++i)
+    for (std::size_t j = i + 1; j < guards.size(); ++j)
+      if (guards[i].cond == guards[j].cond && guards[i].arm != guards[j].arm)
+        return true;
+  return false;
+}
+
+std::vector<NodeId> GuardFeasibility::infeasible_nodes() const {
+  std::vector<NodeId> out;
+  if (!has_conditions()) return out;
+  out.reserve(infeasible_count_);
+  for (std::size_t i = 2; i < sg_->node_count(); ++i)
+    if (feasible_[i] == 0 && sg_->is_rendezvous(NodeId(i)))
+      out.push_back(NodeId(i));
+  return out;
+}
+
+}  // namespace siwa::dataflow

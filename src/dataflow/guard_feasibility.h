@@ -1,0 +1,133 @@
+// Guard-feasibility dataflow: which shared-condition valuations can reach
+// each node of a finalized sync graph.
+//
+// Shared (encapsulated) conditions have one program-wide value per run, so
+// every branch arm a control path crosses constrains the valuations that
+// path is consistent with. This engine runs a forward abstract
+// interpretation over the control graph with one three-valued slot per
+// condition and node:
+//
+//   {0}  only valuations with c = false reach the node this way,
+//   {1}  only valuations with c = true,
+//   top  both values possible,
+//   bottom (empty) no valuation at all — the node is infeasible.
+//
+// Transfer: entering a node intersects the state with the node's own guard
+// set (a guard (c, arm) is an assume-edge: it clears the opposite value's
+// bit). Join: control-flow merges union the per-condition value sets (meet
+// over paths in the may-direction). Loop conditions — shared conditions
+// that guard a `while` sitting under no enclosing shared-condition guard —
+// are pinned to {0} at the begin node: under the all-tasks-terminate
+// assumption a run with such a condition true never finishes its loop,
+// exactly the assignments the assignment-exact oracle
+// (wavesim::explore_shared) skips as infeasible. A while nested inside a
+// shared guard forces its condition only in runs entering that arm, which
+// this Cartesian domain cannot express, so the builder never registers it
+// as a loop condition (its (cond, true) node guards still apply locally).
+//
+// The per-condition (Cartesian) abstraction over-approximates the true set
+// of reaching valuations: any run that executes a node follows one control
+// path, and that path's constraints are all honored by the abstract state.
+// Hence every query is conservative —
+//
+//   feasible(n) == false   =>  no oracle-feasible valuation executes n;
+//   compatible(a, b) == false  =>  no single run executes both a and b
+//
+// — the direction the deadlock detector, CoExec, and the lint rules need:
+// they only ever *prune* on a definite "no". A state with some condition's
+// value set empty is normalized to bottom wholesale (all-zero rows), which
+// both sharpens joins and makes "infeasible" a single flag.
+//
+// Deterministic by construction (round-robin Kleene iteration to the least
+// fixpoint, no tie-breaking); safe to share read-only across threads after
+// construction. Graphs without shared-condition guards pay one vector scan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "support/bitset.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::dataflow {
+
+class GuardFeasibility {
+ public:
+  // Per-(node, condition) abstract value. Bottom only appears on infeasible
+  // nodes; feasible nodes always keep at least one value per condition.
+  enum class Value : std::uint8_t { Bottom, False, True, Top };
+
+  // `metrics`: optional observability sink; the build emits a
+  // dataflow.build span with condition/infeasible args plus dataflow.*
+  // counters. Null = zero cost.
+  explicit GuardFeasibility(const sg::SyncGraph& sg, obs::SinkRef metrics = {});
+
+  // The analyzed conditions: every condition appearing in some node's guard
+  // set, unioned with the graph's loop conditions; sorted by symbol.
+  [[nodiscard]] std::span<const Symbol> conditions() const {
+    return conditions_;
+  }
+  [[nodiscard]] std::size_t condition_count() const {
+    return conditions_.size();
+  }
+  [[nodiscard]] bool has_conditions() const { return !conditions_.empty(); }
+
+  // Whether any oracle-feasible valuation reaches the node along control
+  // flow. False is definite; true is conservative (may-reach).
+  [[nodiscard]] bool feasible(NodeId n) const {
+    return !has_conditions() || feasible_[n.index()] != 0;
+  }
+
+  // The node's abstract value for one condition. Unknown symbols are Top.
+  [[nodiscard]] Value value(NodeId n, Symbol cond) const;
+
+  // Whether some single valuation is consistent with reaching both nodes —
+  // the path-sensitive refinement of SyncGraph::guards_conflict (false
+  // whenever the syntactic guards conflict, and in more cases). False is
+  // definite: no run of the program executes both nodes.
+  [[nodiscard]] bool compatible(NodeId a, NodeId b) const;
+
+  // feasible(a) && feasible(b) && compatible(a, b): the one-call form the
+  // co-executability sweep uses. False proves "never both in one run".
+  [[nodiscard]] bool coexec_possible(NodeId a, NodeId b) const {
+    return feasible(a) && feasible(b) && compatible(a, b);
+  }
+
+  // Whether the node constrains at least one condition to a single value —
+  // the only nodes that can ever be incompatible with a feasible partner.
+  [[nodiscard]] bool constrained(NodeId n) const {
+    return has_conditions() && constrained_[n.index()] != 0;
+  }
+
+  // Whether the node's own guard set contains both arms of one condition
+  // (contradictory nesting; such a node is always infeasible).
+  [[nodiscard]] bool contradictory_guards(NodeId n) const;
+
+  // Rendezvous nodes (ids >= 2) proved infeasible, in id order.
+  [[nodiscard]] std::vector<NodeId> infeasible_nodes() const;
+  [[nodiscard]] std::size_t infeasible_count() const {
+    return infeasible_count_;
+  }
+
+  // Kleene passes until the fixpoint settled (0 when no conditions).
+  [[nodiscard]] std::size_t iterations() const { return iterations_; }
+
+ private:
+  [[nodiscard]] int cond_index(Symbol cond) const;
+
+  const sg::SyncGraph* sg_;
+  std::vector<Symbol> conditions_;  // sorted by symbol value
+  // Row i of mayN: the set of conditions for which value N is possible at
+  // node i. Both rows all-zero <=> infeasible (normalized bottom).
+  BitMatrix may0_;
+  BitMatrix may1_;
+  DynamicBitset full_;  // all condition bits set, the "every column covered" mask
+  std::vector<std::uint8_t> feasible_;
+  std::vector<std::uint8_t> constrained_;
+  std::size_t infeasible_count_ = 0;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace siwa::dataflow

@@ -70,6 +70,12 @@ struct Program {
   // programs may leave this short or empty; consumers must treat a missing
   // entry as "no location".
   std::vector<SourceLoc> shared_condition_locs;
+  // Shared conditions that guard a `while` loop somewhere — possibly in a
+  // source form this program no longer has (the Lemma 1 unroller rewrites
+  // `while c` into nested ifs but records c here). Under the
+  // all-tasks-terminate assumption such a condition is false in every
+  // feasible run; the guard dataflow pins it accordingly.
+  std::vector<Symbol> shared_loop_conditions;
 
   [[nodiscard]] SourceLoc shared_condition_loc(std::size_t index) const {
     return index < shared_condition_locs.size() ? shared_condition_locs[index]

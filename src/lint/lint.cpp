@@ -8,6 +8,7 @@
 #include <tuple>
 #include <utility>
 
+#include "dataflow/guard_feasibility.h"
 #include "lint/rules.h"
 #include "lint/suppress.h"
 #include "stall/balance.h"
@@ -91,6 +92,15 @@ void graph_diagnostics(const core::AnalysisContext& ctx,
   const sg::SyncGraph& graph = ctx.graph();
   const NodeId begin = graph.begin_node();
 
+  // Guard dataflow (SIWA006-008): cached on the context, so the detector
+  // pass below reuses the same engine. Null when the graph carries no
+  // shared conditions — the loop body then skips every dataflow rule.
+  const dataflow::GuardFeasibility* feas = nullptr;
+  if (options.use_guard_dataflow) {
+    const dataflow::GuardFeasibility& engine = ctx.guard_feasibility();
+    if (engine.has_conditions()) feas = &engine;
+  }
+
   for (std::size_t i = 2; i < graph.node_count(); ++i) {
     const NodeId id(i);
     const sg::SyncNode& node = graph.node(id);
@@ -157,6 +167,76 @@ void graph_diagnostics(const core::AnalysisContext& ctx,
                        : downgrade;
       diags.push_back(std::move(d));
     }
+
+    if (feas != nullptr) {
+      if (feas->contradictory_guards(id)) {
+        // SIWA007: both arms of one condition enclose the node. Find the
+        // offending condition for the message; contradictory guards also
+        // make the node infeasible, so SIWA006 is skipped as redundant.
+        Symbol contradicted;
+        for (std::size_t a = 0; a < node.guards.size() && !contradicted.valid();
+             ++a)
+          for (std::size_t b = a + 1; b < node.guards.size(); ++b)
+            if (node.guards[a].cond == node.guards[b].cond &&
+                node.guards[a].arm != node.guards[b].arm) {
+              contradicted = node.guards[a].cond;
+              break;
+            }
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.rule_id = rule_id(kRuleContradictoryGuards);
+        d.loc = node.loc;
+        d.message = "rendezvous " + graph.describe(id) +
+                    " is nested under both arms of shared condition '" +
+                    std::string(graph.message_name(contradicted)) +
+                    "'; shared conditions are fixed per run, so the inner "
+                    "region can never execute";
+        diags.push_back(std::move(d));
+      } else if (reachable && !feas->feasible(id)) {
+        // SIWA006: no contradiction among the node's own guards, but the
+        // dataflow proves no shared-condition valuation reaches it (e.g. a
+        // body guarded by a loop condition pinned false, or conflicting
+        // guards accumulated across the path).
+        Diagnostic d;
+        d.severity = Severity::Warning;
+        d.rule_id = rule_id(kRuleDeadGuardedArm);
+        d.loc = node.loc;
+        d.message = "rendezvous " + graph.describe(id) +
+                    " sits on a dead guarded arm: no assignment of the "
+                    "shared conditions reaches it, so the arm is dead code";
+        diags.push_back(std::move(d));
+      }
+
+      if (feas->feasible(id) && !graph.sync_partners(id).empty()) {
+        bool any_possible = false;
+        for (NodeId v : graph.sync_partners(id)) {
+          if (feas->coexec_possible(id, v)) {
+            any_possible = true;
+            break;
+          }
+        }
+        if (!any_possible) {
+          // SIWA008: the node can execute, but no partner can co-execute
+          // with it under any single valuation — the rendezvous never
+          // completes. Error under the same gate as SIWA001: reachable and
+          // unguarded means the site is reached (or the task sticks
+          // earlier) on every feasible assignment.
+          Diagnostic d;
+          d.severity = gated;
+          d.rule_id = rule_id(kRuleConflictingRendezvous);
+          d.loc = node.loc;
+          d.message =
+              "rendezvous " + graph.describe(id) +
+              " can never complete: every sync partner is statically "
+              "infeasible or requires a conflicting shared-condition "
+              "valuation";
+          d.message += gated == Severity::Error
+                           ? "; reaching it is a guaranteed infinite wait"
+                           : downgrade;
+          diags.push_back(std::move(d));
+        }
+      }
+    }
   }
 
   for (std::size_t t = 0; t < graph.task_count(); ++t) {
@@ -177,6 +257,7 @@ void graph_diagnostics(const core::AnalysisContext& ctx,
     certify.algorithm = options.algorithm;
     certify.apply_constraint4 = options.apply_constraint4;
     certify.stop_at_first_hit = true;
+    certify.use_guard_dataflow = options.use_guard_dataflow;
     certify.parallel.threads = options.threads;
     certify.metrics = options.metrics;
     const core::CertifyResult result = core::certify_graph(ctx, certify);
@@ -312,6 +393,7 @@ LintResult run_lint(const lang::Program& program, std::string_view source,
       certify.algorithm = options.algorithm;
       certify.apply_constraint4 = options.apply_constraint4;
       certify.stop_at_first_hit = true;
+      certify.use_guard_dataflow = options.use_guard_dataflow;
       certify.parallel.threads = options.threads;
       certify.metrics = options.metrics;
       const core::CertifyResult r = core::certify_graph(unrolled_ctx, certify);

@@ -12,7 +12,10 @@
 //   Graph passes (need one finalized sync graph + its AnalysisContext, so
 //   every reachability query shares a single control-closure): SIWA001
 //   unmatched signal type, SIWA002 unreachable rendezvous, SIWA003
-//   self-send, SIWA005 uncoupled task, and SIWA010 — the refined detector's
+//   self-send, SIWA005 uncoupled task, the guard-dataflow rules SIWA006
+//   (dead guarded arm), SIWA007 (contradictory guard nesting) and SIWA008
+//   (rendezvous only completable under conflicting shared-condition
+//   valuations), and SIWA010 — the refined detector's
 //   possible-deadlock witness rendered as a source-anchored diagnostic
 //   (cycle head at the primary location, remaining cycle nodes as related
 //   locations).
@@ -45,6 +48,13 @@ struct LintOptions {
   bool run_detector = true;
   core::Algorithm algorithm = core::Algorithm::RefinedSingle;
   bool apply_constraint4 = false;
+  // Run the guard-feasibility dataflow (dataflow/guard_feasibility.h) over
+  // the graph: enables SIWA006 (dead guarded arm), SIWA007 (contradictory
+  // guard nesting) and SIWA008 (rendezvous only completable under
+  // conflicting valuations), and threads the engine through the SIWA010
+  // detector so statically infeasible witnesses are pruned. No-op on
+  // programs without shared conditions.
+  bool use_guard_dataflow = true;
   std::size_t threads = 1;  // hypothesis-sweep parallelism (0 = all cores)
   // Honor `-- lint: allow(...)` comments in the source text.
   bool apply_suppressions = true;

@@ -26,6 +26,22 @@ constexpr RuleInfo kRules[] = {
     {kRuleUncoupledTask, "uncoupled-task", Severity::Warning,
      "A task that contributes no rendezvous points to the sync graph: it "
      "never synchronizes with the rest of the program."},
+    {kRuleDeadGuardedArm, "dead-guarded-arm", Severity::Warning,
+     "A rendezvous point whose shared-condition guards admit no valuation: "
+     "the guard-feasibility dataflow proves that no assignment of the "
+     "shared conditions reaches it, so the guarded arm is dead code."},
+    {kRuleContradictoryGuards, "contradictory-guard-nesting", Severity::Warning,
+     "A rendezvous point nested under both arms of one shared condition "
+     "(e.g. an if c inside an if not-c); the inner region is unreachable "
+     "under every valuation, since shared conditions are fixed per run."},
+    {kRuleConflictingRendezvous, "conflicting-valuation-rendezvous",
+     Severity::Error,
+     "A rendezvous point whose sync partners are all either statically "
+     "infeasible or only reachable under a conflicting shared-condition "
+     "valuation: no single run can place both sides at the rendezvous, so "
+     "it can never complete and reaching it is a guaranteed infinite "
+     "wait. Downgraded to Warning when the site itself is guarded or "
+     "unreachable."},
     {kRuleDeadlockWitness, "deadlock-witness", Severity::Warning,
      "The refined detector (section 4.2) reported a possible deadlock; the "
      "diagnostic anchors the coupling-cycle head and lists the remaining "

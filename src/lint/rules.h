@@ -35,6 +35,9 @@ inline constexpr std::string_view kRuleUnreachableRendezvous = "SIWA002";
 inline constexpr std::string_view kRuleSelfSend = "SIWA003";
 inline constexpr std::string_view kRuleSignalImbalance = "SIWA004";
 inline constexpr std::string_view kRuleUncoupledTask = "SIWA005";
+inline constexpr std::string_view kRuleDeadGuardedArm = "SIWA006";
+inline constexpr std::string_view kRuleContradictoryGuards = "SIWA007";
+inline constexpr std::string_view kRuleConflictingRendezvous = "SIWA008";
 inline constexpr std::string_view kRuleDeadlockWitness = "SIWA010";
 
 struct RuleInfo {

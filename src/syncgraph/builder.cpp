@@ -33,6 +33,10 @@ class Builder {
       const TaskId id = graph_.add_task(std::string(program_.name_of(task.name)));
       task_of_symbol_.emplace(task.name, id);
     }
+    // Loop conditions recorded by earlier transforms (the unroller rewrites
+    // `while c` away before the builder ever sees it).
+    for (Symbol c : program_.shared_loop_conditions)
+      graph_.add_loop_condition(graph_.intern_message(program_.name_of(c)));
     for (std::size_t t = 0; t < program_.tasks.size(); ++t)
       create_nodes(TaskId(t), program_.tasks[t].body);
     for (std::size_t t = 0; t < program_.tasks.size(); ++t) {
@@ -57,11 +61,13 @@ class Builder {
   // nesting is path-independent, so every node created inside an arm
   // carries exactly those guards.
   void push_guard(Symbol cond, bool arm) {
-    // A shared condition never changes value, so a nested occurrence of the
-    // same condition adds no information; keep the outermost entry. (The
+    // A shared condition never changes value, so a nested same-arm
+    // occurrence adds no information; keep the outermost entry. A nested
+    // *opposite*-arm occurrence is a contradiction and must be recorded —
+    // dropping it would hide that the enclosed nodes are infeasible. (The
     // false marker keeps push/pop calls paired.)
     for (const Guard& g : guards_) {
-      if (g.cond == cond) {
+      if (g.cond == cond && g.arm == arm) {
         guard_pushed_.push_back(false);
         return;
       }
@@ -106,7 +112,16 @@ class Builder {
         }
         case lang::StmtKind::While: {
           const bool shared = program_.is_shared_condition(s.cond);
-          if (shared) push_guard(intern_cond(s.cond), true);
+          if (shared) {
+            // All-tasks-terminate pins the loop condition to false -- but only
+            // when the while sits under no shared-condition guard.  A while
+            // nested inside a guarded arm forces its condition only in runs
+            // that enter the arm, which the per-condition Cartesian domain
+            // cannot express; registering it globally would wrongly prove
+            // (cond, true)-guarded nodes elsewhere infeasible.
+            if (guards_.empty()) graph_.add_loop_condition(intern_cond(s.cond));
+            push_guard(intern_cond(s.cond), true);
+          }
           create_nodes(task, s.body);
           if (shared) pop_guard();
           break;

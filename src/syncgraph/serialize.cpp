@@ -21,6 +21,12 @@ std::string serialize_sync_graph(const SyncGraph& graph) {
   for (std::size_t t = 0; t < graph.task_count(); ++t)
     os << "task " << graph.task_name(TaskId(t)) << '\n';
 
+  // Shared loop conditions (pinned false by the guard dataflow under the
+  // all-tasks-terminate assumption) — emitted before nodes so a parse sees
+  // them whether or not any node is guarded by one.
+  for (Symbol c : graph.loop_conditions())
+    os << "loopcond " << graph.message_name(c) << '\n';
+
   for (std::size_t i = 2; i < graph.node_count(); ++i) {
     const SyncNode& n = graph.node(NodeId(i));
     const SignalType sig = graph.signal_type(n.signal);
@@ -86,6 +92,10 @@ std::optional<SyncGraph> parse_sync_graph(std::string_view text,
       if (!(fields >> name)) return fail("task needs a name" + at);
       if (tasks.count(name)) return fail("duplicate task " + name + at);
       tasks[name] = graph.add_task(name);
+    } else if (kind == "loopcond") {
+      std::string name;
+      if (!(fields >> name)) return fail("loopcond needs a name" + at);
+      graph.add_loop_condition(graph.intern_message(name));
     } else if (kind == "node") {
       long id = 0;
       std::string task;

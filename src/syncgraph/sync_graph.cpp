@@ -81,6 +81,11 @@ void SyncGraph::add_explicit_sync_edge(NodeId a, NodeId b) {
   explicit_sync_edges_.emplace_back(a, b);
 }
 
+void SyncGraph::add_loop_condition(Symbol cond) {
+  SIWA_REQUIRE(!finalized_, "graph already finalized");
+  loop_conditions_.push_back(cond);
+}
+
 namespace {
 
 // Flattens per-node adjacency vectors into CSR (offsets + one contiguous
@@ -141,6 +146,33 @@ void SyncGraph::finalize() {
   csucc_.shrink_to_fit();
   cpred_.clear();
   cpred_.shrink_to_fit();
+
+  std::sort(loop_conditions_.begin(), loop_conditions_.end());
+  loop_conditions_.erase(
+      std::unique(loop_conditions_.begin(), loop_conditions_.end()),
+      loop_conditions_.end());
+
+  // Pack each node's guard set as sorted, deduped (cond << 1) | arm keys in
+  // CSR form. guards_conflict then merge-scans two sorted runs instead of
+  // walking the nested SyncNode::guards vectors.
+  guard_off_.assign(nodes_.size() + 1, 0);
+  std::size_t guard_total = 0;
+  std::vector<std::uint64_t> keys;
+  guard_keys_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    keys.clear();
+    for (const Guard& g : nodes_[i].guards)
+      keys.push_back((static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(g.cond.value))
+                      << 1) |
+                     (g.arm ? 1u : 0u));
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    guard_keys_.insert(guard_keys_.end(), keys.begin(), keys.end());
+    guard_total += keys.size();
+    guard_off_[i + 1] = static_cast<std::uint32_t>(guard_total);
+  }
+
   finalized_ = true;
 }
 
@@ -168,9 +200,40 @@ bool SyncGraph::has_sync_edge(NodeId a, NodeId b) const {
 }
 
 bool SyncGraph::guards_conflict(NodeId a, NodeId b) const {
-  for (const Guard& ga : node(a).guards)
-    for (const Guard& gb : node(b).guards)
-      if (ga.cond == gb.cond && ga.arm != gb.arm) return true;
+  if (!finalized_) {  // cold path: packed keys not built yet
+    for (const Guard& ga : node(a).guards)
+      for (const Guard& gb : node(b).guards)
+        if (ga.cond == gb.cond && ga.arm != gb.arm) return true;
+    return false;
+  }
+  // Merge-scan the two sorted key runs. Equal-condition groups are compared
+  // as arm masks, which stays correct when one node itself carries both
+  // arms of a condition (contradictory nesting): such a group conflicts
+  // with any occurrence of that condition on the other side.
+  const std::uint64_t* ka = guard_keys_.data() + guard_off_[a.index()];
+  const std::uint64_t* kb = guard_keys_.data() + guard_off_[b.index()];
+  const std::size_t ea = guard_off_[a.index() + 1] - guard_off_[a.index()];
+  const std::size_t eb = guard_off_[b.index() + 1] - guard_off_[b.index()];
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < ea && j < eb) {
+    const std::uint64_t ca = ka[i] >> 1;
+    const std::uint64_t cb = kb[j] >> 1;
+    if (ca < cb) {
+      ++i;
+    } else if (cb < ca) {
+      ++j;
+    } else {
+      unsigned arms_a = 0;
+      unsigned arms_b = 0;
+      while (i < ea && (ka[i] >> 1) == ca)
+        arms_a |= 1u << (ka[i++] & 1u);
+      while (j < eb && (kb[j] >> 1) == ca)
+        arms_b |= 1u << (kb[j++] & 1u);
+      if (((arms_a & 1u) && (arms_b & 2u)) || ((arms_a & 2u) && (arms_b & 1u)))
+        return true;
+    }
+  }
   return false;
 }
 

@@ -86,6 +86,12 @@ class SyncGraph {
   void add_task_entry(TaskId task, NodeId node);
   // Raw sync edge for gadget graphs that no program generates.
   void add_explicit_sync_edge(NodeId a, NodeId b);
+  // Declares `cond` a shared condition guarding a `while` loop somewhere in
+  // the source (possibly a form this graph no longer shows — the Lemma 1
+  // unroller rewrites the loop away). Under the all-tasks-terminate
+  // assumption such a condition is false in every feasible run; the guard
+  // dataflow pins it accordingly.
+  void add_loop_condition(Symbol cond);
 
   // Derives E_S from signal types, merges explicit edges, and freezes the
   // graph. Must be called exactly once, before any query below.
@@ -138,8 +144,16 @@ class SyncGraph {
     return messages_.text(m);
   }
   // True when some shared condition appears with opposite arms in the two
-  // nodes' guard sets: they cannot both execute in one run.
+  // nodes' guard sets: they cannot both execute in one run. After
+  // finalize() this runs over packed per-node guard keys (sorted once, one
+  // merge-scan per query) instead of the nested O(|Ga|*|Gb|) scan.
   [[nodiscard]] bool guards_conflict(NodeId a, NodeId b) const;
+
+  // Shared loop conditions declared via add_loop_condition(), sorted and
+  // deduplicated by finalize().
+  [[nodiscard]] std::span<const Symbol> loop_conditions() const {
+    return loop_conditions_;
+  }
 
   // Human-readable "(t2, sig1, +)" / "b" / "e" plus the task holding it.
   [[nodiscard]] std::string describe(NodeId id) const;
@@ -210,6 +224,11 @@ class SyncGraph {
   std::vector<std::vector<NodeId>> signal_accepts_;
   std::vector<std::pair<NodeId, NodeId>> explicit_sync_edges_;
   std::size_t sync_edge_count_ = 0;
+  // Packed guard keys ((cond << 1) | arm, sorted, deduped) in CSR form,
+  // built by finalize(); the hot storage behind guards_conflict.
+  std::vector<std::uint32_t> guard_off_;
+  std::vector<std::uint64_t> guard_keys_;
+  std::vector<Symbol> loop_conditions_;
   bool finalized_ = false;
 };
 

@@ -49,6 +49,7 @@ lang::Program inline_procedures(const lang::Program& program) {
   out.interner = program.interner;
   out.shared_conditions = program.shared_conditions;
   out.shared_condition_locs = program.shared_condition_locs;
+  out.shared_loop_conditions = program.shared_loop_conditions;
   for (const auto& task : program.tasks) {
     lang::TaskDecl t;
     t.name = task.name;

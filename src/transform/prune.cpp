@@ -88,6 +88,11 @@ std::optional<lang::Program> prune_shared(
       out.shared_condition_locs.push_back(program.shared_condition_loc(i));
     }
   }
+  // Loop conditions the assignment resolves drop out of the residue along
+  // with their loops (a true-assigned one returns nullopt below anyway).
+  for (Symbol c : program.shared_loop_conditions)
+    if (assignment.find(c) == assignment.end())
+      out.shared_loop_conditions.push_back(c);
   for (const auto& task : program.tasks) {
     lang::TaskDecl t;
     t.name = task.name;

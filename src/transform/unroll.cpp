@@ -1,5 +1,7 @@
 #include "transform/unroll.h"
 
+#include <algorithm>
+
 #include "transform/inline.h"
 
 namespace siwa::transform {
@@ -49,6 +51,27 @@ std::vector<lang::Stmt> unroll_list(const std::vector<lang::Stmt>& stmts) {
   return out;
 }
 
+// Shared conditions guarding a While anywhere below `stmts`, deduped into
+// `out`. Recorded before the rewrite erases the loops.  `under_shared` marks
+// whiles nested inside a shared-condition guard (if-arm or outer shared
+// while): those force their condition only in runs that enter the arm, so
+// they must NOT be pinned globally (mirrors the builder, which only registers
+// loop conditions of whiles with an empty shared-guard context).
+void collect_shared_loop_conds(const lang::Program& program,
+                               const std::vector<lang::Stmt>& stmts,
+                               bool under_shared, std::vector<Symbol>& out) {
+  for (const auto& s : stmts) {
+    const bool shared = program.is_shared_condition(s.cond) &&
+                        (s.kind == lang::StmtKind::While ||
+                         s.kind == lang::StmtKind::If);
+    if (s.kind == lang::StmtKind::While && shared && !under_shared &&
+        std::find(out.begin(), out.end(), s.cond) == out.end())
+      out.push_back(s.cond);
+    collect_shared_loop_conds(program, s.body, under_shared || shared, out);
+    collect_shared_loop_conds(program, s.orelse, under_shared || shared, out);
+  }
+}
+
 bool list_has_loops(const std::vector<lang::Stmt>& stmts) {
   for (const auto& s : stmts) {
     if (s.kind == lang::StmtKind::While) return true;
@@ -65,6 +88,13 @@ lang::Program unroll_loops_twice(const lang::Program& original) {
   out.interner = program.interner;
   out.shared_conditions = program.shared_conditions;
   out.shared_condition_locs = program.shared_condition_locs;
+  // The rewrite turns `while c` into nested ifs, so record every shared
+  // loop condition before it disappears (unioned with conditions earlier
+  // transforms already recorded).
+  out.shared_loop_conditions = program.shared_loop_conditions;
+  for (const auto& task : program.tasks)
+    collect_shared_loop_conds(program, task.body, /*under_shared=*/false,
+                              out.shared_loop_conditions);
   out.tasks.reserve(program.tasks.size());
   for (const auto& task : program.tasks) {
     lang::TaskDecl t;

@@ -1,0 +1,445 @@
+// Guard-feasibility dataflow engine (dataflow/guard_feasibility.h): lattice
+// unit tests, loop-condition pinning, contradictory nesting, subsumption of
+// the syntactic guard conflict, the conservativeness property against the
+// per-assignment pruned graphs, end-to-end precision/safety of
+// refined+dataflow against the assignment-exact oracle, and thread-count
+// determinism of dataflow-enabled certification.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/analysis_context.h"
+#include "core/certifier.h"
+#include "dataflow/guard_feasibility.h"
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/serialize.h"
+#include "transform/prune.h"
+#include "wavesim/shared.h"
+
+namespace siwa {
+namespace {
+
+using dataflow::GuardFeasibility;
+using Value = dataflow::GuardFeasibility::Value;
+
+lang::Program parse(const char* source) {
+  return lang::parse_and_check_or_throw(source);
+}
+
+NodeId node_of(const sg::SyncGraph& g, const std::string& task, std::size_t n) {
+  for (std::size_t t = 0; t < g.task_count(); ++t)
+    if (g.task_name(TaskId(t)) == task) return g.nodes_of_task(TaskId(t))[n];
+  ADD_FAILURE() << "no task " << task;
+  return NodeId::invalid();
+}
+
+// The crafted flip program: a classic ping-pong deadlock cycle whose every
+// rendezvous sits in a shared-condition loop body. The loop condition is
+// pinned false under all-tasks-terminate, so the cycle is statically
+// infeasible — the guard-blind refined detector reports it, refined+dataflow
+// and the assignment-exact oracle both certify the program free.
+const char* kLoopCycleSource = R"(shared condition c;
+task a is
+begin
+  while c loop
+    accept ping;
+    send b.pong;
+  end loop;
+end a;
+task b is
+begin
+  while c loop
+    accept pong;
+    send a.ping;
+  end loop;
+end b;
+)";
+
+TEST(Dataflow, NoSharedConditionsShortCircuits) {
+  const sg::SyncGraph g = sg::build_sync_graph(parse(R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)"));
+  const GuardFeasibility feas(g);
+  EXPECT_FALSE(feas.has_conditions());
+  EXPECT_EQ(feas.condition_count(), 0u);
+  EXPECT_EQ(feas.infeasible_count(), 0u);
+  for (std::size_t i = 0; i < g.node_count(); ++i) {
+    EXPECT_TRUE(feas.feasible(NodeId(i)));
+    EXPECT_FALSE(feas.constrained(NodeId(i)));
+  }
+  EXPECT_TRUE(feas.coexec_possible(node_of(g, "a", 0), node_of(g, "b", 0)));
+}
+
+TEST(Dataflow, GuardArmsPinValues) {
+  const sg::SyncGraph g = sg::build_sync_graph(parse(R"(
+shared condition v;
+task t is
+begin
+  if v then
+    accept m1;
+  else
+    accept m2;
+  end if;
+  accept m3;
+end t;
+task u is begin send t.m1; send t.m2; send t.m3; end u;
+)"));
+  const GuardFeasibility feas(g);
+  ASSERT_TRUE(feas.has_conditions());
+  EXPECT_EQ(feas.condition_count(), 1u);
+
+  const NodeId m1 = node_of(g, "t", 0);
+  const NodeId m2 = node_of(g, "t", 1);
+  const NodeId m3 = node_of(g, "t", 2);
+  const Symbol v = g.node(m1).guards.at(0).cond;
+
+  EXPECT_EQ(feas.value(m1, v), Value::True);
+  EXPECT_EQ(feas.value(m2, v), Value::False);
+  EXPECT_EQ(feas.value(m3, v), Value::Top);  // arms rejoin: both values flow
+
+  EXPECT_TRUE(feas.feasible(m1));
+  EXPECT_TRUE(feas.feasible(m2));
+  EXPECT_TRUE(feas.feasible(m3));
+  EXPECT_EQ(feas.infeasible_count(), 0u);
+
+  EXPECT_TRUE(feas.constrained(m1));
+  EXPECT_TRUE(feas.constrained(m2));
+  EXPECT_FALSE(feas.constrained(m3));
+
+  // Opposite arms can never co-execute; either arm pairs with the join.
+  EXPECT_FALSE(feas.compatible(m1, m2));
+  EXPECT_FALSE(feas.coexec_possible(m1, m2));
+  EXPECT_TRUE(feas.compatible(m1, m3));
+  EXPECT_TRUE(feas.compatible(m2, m3));
+}
+
+TEST(Dataflow, LoopConditionPinnedFalse) {
+  const sg::SyncGraph g = sg::build_sync_graph(parse(R"(
+shared condition w;
+task t is
+begin
+  while w loop
+    accept inside;
+  end loop;
+  accept after;
+end t;
+task u is begin send t.inside; send t.after; end u;
+)"));
+  ASSERT_EQ(g.loop_conditions().size(), 1u);
+  const GuardFeasibility feas(g);
+  ASSERT_TRUE(feas.has_conditions());
+
+  const NodeId inside = node_of(g, "t", 0);
+  const NodeId after = node_of(g, "t", 1);
+  const Symbol w = g.loop_conditions()[0];
+
+  // All tasks terminate, so a fixed-per-run loop condition must be false;
+  // the loop body is dead under every feasible valuation.
+  EXPECT_FALSE(feas.feasible(inside));
+  EXPECT_TRUE(feas.feasible(after));
+  EXPECT_EQ(feas.value(after, w), Value::False);
+  EXPECT_EQ(feas.infeasible_count(), 1u);
+  const std::vector<NodeId> dead = feas.infeasible_nodes();
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0], inside);
+
+  // The unguarded sender is feasible but can never pair with the dead body.
+  const NodeId send_inside = node_of(g, "u", 0);
+  EXPECT_TRUE(feas.feasible(send_inside));
+  EXPECT_FALSE(feas.coexec_possible(send_inside, inside));
+}
+
+TEST(Dataflow, ContradictoryNestingIsInfeasible) {
+  const sg::SyncGraph g = sg::build_sync_graph(parse(R"(
+shared condition c;
+task t is
+begin
+  if c then
+    accept live;
+  else
+    if c then
+      accept dead;
+    end if;
+  end if;
+end t;
+task u is begin send t.live; send t.dead; end u;
+)"));
+  const GuardFeasibility feas(g);
+  const NodeId live = node_of(g, "t", 0);
+  const NodeId dead = node_of(g, "t", 1);
+
+  ASSERT_EQ(g.node(dead).guards.size(), 2u);  // both arms recorded
+  EXPECT_TRUE(feas.contradictory_guards(dead));
+  EXPECT_FALSE(feas.contradictory_guards(live));
+  EXPECT_FALSE(feas.feasible(dead));
+  EXPECT_TRUE(feas.feasible(live));
+}
+
+TEST(Dataflow, ConflictSubsumesSyntacticGuardConflict) {
+  // Wherever the syntactic pairwise check proves a conflict, the dataflow
+  // must agree (it may prove strictly more) — this is what lets CoExec swap
+  // one for the other without losing precision.
+  std::size_t conflicting_pairs = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 2 + seed % 3;
+    config.rendezvous_pairs = 4;
+    config.branch_probability = 0.5;
+    config.shared_conditions = 2;
+    config.seed = seed;
+    const sg::SyncGraph g =
+        sg::build_sync_graph(gen::random_program(config));
+    const GuardFeasibility feas(g);
+    if (!feas.has_conditions()) continue;
+    for (std::size_t i = 2; i < g.node_count(); ++i) {
+      for (std::size_t j = i + 1; j < g.node_count(); ++j) {
+        const NodeId a(i);
+        const NodeId b(j);
+        if (!g.is_rendezvous(a) || !g.is_rendezvous(b)) continue;
+        if (!g.guards_conflict(a, b)) continue;
+        ++conflicting_pairs;
+        EXPECT_FALSE(feas.coexec_possible(a, b))
+            << "seed " << seed << ": syntactic conflict " << g.describe(a)
+            << " / " << g.describe(b) << " not proven by the dataflow";
+      }
+    }
+  }
+  EXPECT_GT(conflicting_pairs, 0u) << "corpus produced no guard conflicts";
+}
+
+// Stamps each statement with a unique source line so (line, column, sign)
+// becomes an exact node identity. The random generator leaves every loc at
+// 0:0, and prune_shared copies statements wholesale, so stamped locs survive
+// into both the original and the pruned sync graphs.
+void stamp_unique_locs(std::vector<lang::Stmt>& stmts, int& next_line) {
+  for (lang::Stmt& s : stmts) {
+    s.loc.line = next_line++;
+    stamp_unique_locs(s.body, next_line);
+    stamp_unique_locs(s.orelse, next_line);
+  }
+}
+
+TEST(Dataflow, ConservativeNeverPrunesAssignmentReachableNodes) {
+  // Soundness property: a node the dataflow proves infeasible must be absent
+  // from the pruned program of EVERY feasible shared-condition assignment.
+  // (Presence in a pruned graph over-approximates execution, so this is the
+  // strictest structural check available.) Nodes match by source location
+  // and sign, which the pruner preserves.
+  std::size_t infeasible_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 2 + seed % 3;
+    config.rendezvous_pairs = 4 + seed % 3;
+    config.branch_probability = 0.4;
+    config.loop_probability = 0.25;
+    config.shared_conditions = 2;
+    config.seed = 100 + seed;
+    lang::Program program = gen::random_program(config);
+    int next_line = 1;
+    for (lang::TaskDecl& task : program.tasks)
+      stamp_unique_locs(task.body, next_line);
+    const sg::SyncGraph g = sg::build_sync_graph(program);
+    const GuardFeasibility feas(g);
+    const std::vector<NodeId> dead = feas.infeasible_nodes();
+    if (dead.empty()) continue;
+    infeasible_seen += dead.size();
+
+    const std::vector<Symbol> conds = transform::used_shared_conditions(program);
+    ASSERT_LE(conds.size(), 4u);
+    for (std::size_t bits = 0; bits < (1u << conds.size()); ++bits) {
+      std::map<Symbol, bool> assignment;
+      for (std::size_t k = 0; k < conds.size(); ++k)
+        assignment[conds[k]] = ((bits >> k) & 1u) != 0;
+      const auto pruned = transform::prune_shared(program, assignment);
+      if (!pruned.has_value()) continue;  // infeasible assignment
+      const sg::SyncGraph pg = sg::build_sync_graph(*pruned);
+      std::set<std::tuple<int, int, int>> present;
+      for (std::size_t i = 2; i < pg.node_count(); ++i) {
+        const sg::SyncNode& n = pg.node(NodeId(i));
+        present.insert({n.loc.line, n.loc.column,
+                        n.sign == sg::Sign::Plus ? 1 : 0});
+      }
+      for (NodeId d : dead) {
+        const sg::SyncNode& n = g.node(d);
+        EXPECT_EQ(present.count({n.loc.line, n.loc.column,
+                                 n.sign == sg::Sign::Plus ? 1 : 0}),
+                  0u)
+            << "seed " << config.seed << " assignment " << bits << ": "
+            << g.describe(d)
+            << " was proven infeasible but survives pruning";
+      }
+    }
+  }
+  EXPECT_GT(infeasible_seen, 0u) << "corpus produced no infeasible nodes";
+}
+
+TEST(Dataflow, LoopCycleFlipsToCertifiedFree) {
+  const lang::Program program = parse(kLoopCycleSource);
+
+  core::CertifyOptions blind;
+  const core::CertifyResult without = core::certify_program(program, blind);
+  EXPECT_FALSE(without.certified_free)
+      << "guard-blind refined must report the syntactic cycle";
+
+  core::CertifyOptions with = blind;
+  with.use_guard_dataflow = true;
+  const core::CertifyResult refined = core::certify_program(program, with);
+  EXPECT_TRUE(refined.certified_free);
+  EXPECT_GT(refined.stats.infeasible_nodes, 0u);
+  EXPECT_FALSE(refined.infeasibility_facts.empty());
+
+  wavesim::ExploreOptions explore;
+  explore.max_states = 100'000;
+  const wavesim::SharedExploreResult oracle =
+      wavesim::explore_shared(program, explore);
+  ASSERT_TRUE(oracle.combined.complete);
+  EXPECT_FALSE(oracle.combined.any_deadlock)
+      << "the oracle must agree the cycle is infeasible";
+}
+
+TEST(Dataflow, RefinedPlusDataflowSafeAndNoLessPreciseOnCorpus) {
+  // Over a shared-condition corpus with assignment-exact ground truth:
+  // the dataflow may only prune (its reports are a subset of refined's),
+  // introduces zero false negatives, and strictly improves oracle agreement
+  // thanks to at least the crafted loop-cycle program.
+  std::vector<lang::Program> corpus;
+  corpus.push_back(parse(kLoopCycleSource));
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 2 + seed % 3;
+    config.rendezvous_pairs = 3 + seed % 3;
+    config.branch_probability = 0.35;
+    config.loop_probability = 0.2;
+    config.shared_conditions = 2;
+    config.seed = 500 + seed;
+    corpus.push_back(gen::random_program(config));
+  }
+
+  std::size_t agree_refined = 0;
+  std::size_t agree_dataflow = 0;
+  std::size_t graded = 0;
+  for (const lang::Program& program : corpus) {
+    wavesim::ExploreOptions explore;
+    explore.max_states = 100'000;
+    explore.collect_witness_trace = false;
+    const wavesim::SharedExploreResult oracle =
+        wavesim::explore_shared(program, explore);
+    if (!oracle.combined.complete || oracle.condition_cap_hit) continue;
+    ++graded;
+    const bool truth_deadlock = oracle.combined.any_deadlock;
+
+    const bool refined_free =
+        core::certify_program(program, {}).certified_free;
+    core::CertifyOptions with;
+    with.use_guard_dataflow = true;
+    const bool dataflow_free =
+        core::certify_program(program, with).certified_free;
+
+    // Pruning-only: dataflow can only turn reports into certifications.
+    if (refined_free) EXPECT_TRUE(dataflow_free);
+    // Safety: never certify a real deadlock free.
+    if (truth_deadlock) EXPECT_FALSE(dataflow_free);
+
+    if (refined_free == !truth_deadlock) ++agree_refined;
+    if (dataflow_free == !truth_deadlock) ++agree_dataflow;
+  }
+  EXPECT_GT(graded, 10u);
+  EXPECT_GT(agree_dataflow, agree_refined)
+      << "dataflow must strictly improve oracle agreement on this corpus";
+}
+
+TEST(Dataflow, DeterministicAcrossThreadCounts) {
+  std::vector<lang::Program> corpus;
+  corpus.push_back(parse(kLoopCycleSource));
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 3;
+    config.rendezvous_pairs = 5;
+    config.branch_probability = 0.35;
+    config.shared_conditions = 2;
+    config.seed = 900 + seed;
+    corpus.push_back(gen::random_program(config));
+  }
+
+  for (const lang::Program& program : corpus) {
+    core::CertifyOptions base;
+    base.use_guard_dataflow = true;
+    base.algorithm = core::Algorithm::RefinedHeadTail;
+    const core::CertifyResult serial = core::certify_program(program, base);
+    for (std::size_t threads : {2u, 4u, 8u}) {
+      core::CertifyOptions opt = base;
+      opt.parallel.threads = threads;
+      const core::CertifyResult parallel =
+          core::certify_program(program, opt);
+      EXPECT_EQ(parallel.certified_free, serial.certified_free);
+      EXPECT_EQ(parallel.witness_nodes, serial.witness_nodes);
+      EXPECT_EQ(parallel.witness, serial.witness);
+      EXPECT_EQ(parallel.infeasibility_facts, serial.infeasibility_facts);
+      EXPECT_EQ(parallel.stats.infeasible_nodes, serial.stats.infeasible_nodes);
+      EXPECT_EQ(parallel.stats.hypotheses_tested,
+                serial.stats.hypotheses_tested);
+    }
+  }
+}
+
+// ---- fast guards_conflict vs the reference nested scan ----
+
+bool reference_guards_conflict(const sg::SyncGraph& g, NodeId a, NodeId b) {
+  for (const sg::Guard& ga : g.node(a).guards)
+    for (const sg::Guard& gb : g.node(b).guards)
+      if (ga.cond == gb.cond && ga.arm != gb.arm) return true;
+  return false;
+}
+
+TEST(GuardsConflictFast, MatchesReferenceOnRandomCorpus) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    gen::RandomProgramConfig config;
+    config.tasks = 2 + seed % 3;
+    config.rendezvous_pairs = 5;
+    config.branch_probability = 0.5;
+    config.shared_conditions = 3;
+    config.seed = seed;
+    const sg::SyncGraph g =
+        sg::build_sync_graph(gen::random_program(config));
+    for (std::size_t i = 2; i < g.node_count(); ++i)
+      for (std::size_t j = 2; j < g.node_count(); ++j)
+        EXPECT_EQ(g.guards_conflict(NodeId(i), NodeId(j)),
+                  reference_guards_conflict(g, NodeId(i), NodeId(j)))
+            << "seed " << seed << " nodes " << i << "/" << j;
+  }
+}
+
+TEST(GuardsConflictFast, NodeCarryingBothArmsConflictsWithEitherArm) {
+  // A node under contradictory nesting carries both arms of one condition;
+  // the packed merge-scan must still see the conflict against a plain
+  // single-arm node (a naive two-pointer walk can step past it).
+  const auto parsed = sg::parse_sync_graph(R"(# gadget
+task t
+task u
+node 2 t t.m - guard c=0 guard c=1
+node 3 u t.m + guard c=0
+node 4 u t.m + guard c=1
+entry t 2
+entry u 3
+cedge b 2
+cedge b 3
+cedge 2 e
+cedge 3 4
+cedge 4 e
+)");
+  ASSERT_TRUE(parsed.has_value());
+  const NodeId both(2), arm0(3), arm1(4);
+  EXPECT_TRUE(parsed->guards_conflict(both, arm0));
+  EXPECT_TRUE(parsed->guards_conflict(both, arm1));
+  EXPECT_TRUE(parsed->guards_conflict(arm0, arm1));
+  EXPECT_TRUE(reference_guards_conflict(*parsed, both, arm0));
+}
+
+}  // namespace
+}  // namespace siwa

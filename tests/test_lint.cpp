@@ -199,6 +199,137 @@ TEST(Lint, UnreachableRendezvousOnGadgetGraph) {
   (void)recv;
 }
 
+// ---- SIWA006-008: guard-dataflow rules ----
+
+TEST(Lint, DeadGuardedArmInSharedLoopIsWarning) {
+  const char* src = R"(shared condition w;
+task t is
+begin
+  while w loop
+    accept inside;
+  end loop;
+  accept after;
+end t;
+task u is
+begin
+  send t.inside;
+  send t.after;
+end u;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  const auto dead = with_rule(result.diagnostics, lint::kRuleDeadGuardedArm);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].severity, Severity::Warning);
+  EXPECT_EQ(dead[0].loc.line, 5);  // the accept inside the pinned loop
+  EXPECT_NE(dead[0].message.find("dead"), std::string::npos);
+}
+
+TEST(Lint, ContradictoryGuardNestingIsWarning) {
+  const char* src = R"(shared condition c;
+task t is
+begin
+  if c then
+    accept live;
+  else
+    if c then
+      accept dead;
+    end if;
+  end if;
+end t;
+task u is
+begin
+  send t.live;
+  send t.dead;
+end u;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  const auto contradictory =
+      with_rule(result.diagnostics, lint::kRuleContradictoryGuards);
+  ASSERT_EQ(contradictory.size(), 1u);
+  EXPECT_EQ(contradictory[0].severity, Severity::Warning);
+  EXPECT_EQ(contradictory[0].loc.line, 8);
+  EXPECT_NE(contradictory[0].message.find("'c'"), std::string::npos);
+  // SIWA007 explains the infeasibility; SIWA006 must not pile on.
+  EXPECT_TRUE(
+      with_rule(result.diagnostics, lint::kRuleDeadGuardedArm).empty());
+}
+
+TEST(Lint, ConflictingValuationRendezvousGates) {
+  // The unguarded send's only partner sits in a shared loop body, pinned
+  // infeasible: the rendezvous can never complete, so the send is an Error
+  // (it is reached, or the task sticks earlier, on every assignment).
+  const char* src = R"(shared condition w;
+task t is
+begin
+  while w loop
+    accept m;
+  end loop;
+end t;
+task u is
+begin
+  send t.m;
+end u;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  const auto conflicting =
+      with_rule(result.diagnostics, lint::kRuleConflictingRendezvous);
+  ASSERT_EQ(conflicting.size(), 1u);
+  EXPECT_EQ(conflicting[0].severity, Severity::Error);
+  EXPECT_EQ(conflicting[0].loc.line, 10);
+  EXPECT_NE(conflicting[0].message.find("guaranteed infinite wait"),
+            std::string::npos);
+}
+
+TEST(Lint, ConflictingValuationDowngradesWhenGuarded) {
+  // Opposite-arm partners: each side is itself guarded, so the Error gate
+  // (which needs an unguarded, reachable site) does not apply and both
+  // findings stay conservative Warnings.
+  const char* src = R"(shared condition c;
+task a is
+begin
+  if c then
+    send b.m;
+  end if;
+end a;
+task b is
+begin
+  if c then
+    null;
+  else
+    accept m;
+  end if;
+end b;
+)";
+  const lint::LintResult result = lint::run_lint(parse(src), src);
+  const auto conflicting =
+      with_rule(result.diagnostics, lint::kRuleConflictingRendezvous);
+  ASSERT_EQ(conflicting.size(), 2u);  // the send and the accept
+  for (const Diagnostic& d : conflicting)
+    EXPECT_EQ(d.severity, Severity::Warning);
+}
+
+TEST(Lint, GuardDataflowRulesOffWhenDisabled) {
+  const char* src = R"(shared condition w;
+task t is
+begin
+  while w loop
+    accept m;
+  end loop;
+end t;
+task u is
+begin
+  send t.m;
+end u;
+)";
+  lint::LintOptions options;
+  options.use_guard_dataflow = false;
+  const lint::LintResult result = lint::run_lint(parse(src), src, options);
+  EXPECT_TRUE(
+      with_rule(result.diagnostics, lint::kRuleDeadGuardedArm).empty());
+  EXPECT_TRUE(
+      with_rule(result.diagnostics, lint::kRuleConflictingRendezvous).empty());
+}
+
 // ---- SIWA010: detector witness as a source-anchored diagnostic ----
 
 TEST(Lint, DeadlockWitnessCarriesSourceAnchors) {

@@ -1,11 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
 #include "graph/reachability.h"
 #include "lang/parser.h"
 #include "lang/printer.h"
+#include "stall/codependent.h"
 #include "syncgraph/builder.h"
+#include "transform/inline.h"
 #include "transform/linearize.h"
 #include "transform/merge.h"
+#include "transform/prune.h"
 #include "transform/unroll.h"
 
 namespace siwa::transform {
@@ -385,6 +395,159 @@ task u is begin send t.m; end u;
   EXPECT_EQ(q.tasks[0].body[0].kind, lang::StmtKind::If);
   ASSERT_EQ(q.tasks[0].body[0].body.size(), 1u);
   EXPECT_EQ(q.tasks[0].body[0].body[0].kind, lang::StmtKind::Accept);
+}
+
+// ---- guard metadata preservation through the transform passes ----
+
+// Guard sets seen per (line, column, sign) — location-stable across the
+// AST passes, which preserve statement locs. The value is the SET of
+// distinct guard multisets, so unrolled copies of one statement (same loc,
+// same guards) collapse to a single entry.
+using GuardSet = std::multiset<std::pair<std::string, bool>>;
+using GuardSignature = std::map<std::tuple<int, int, bool>, std::set<GuardSet>>;
+
+GuardSignature guard_signature(const sg::SyncGraph& g) {
+  GuardSignature out;
+  for (std::size_t i = 2; i < g.node_count(); ++i) {
+    const sg::SyncNode& n = g.node(NodeId(i));
+    GuardSet guards;
+    for (const sg::Guard& guard : n.guards)
+      guards.insert({std::string(g.message_name(guard.cond)), guard.arm});
+    out[{n.loc.line, n.loc.column, n.sign == sg::Sign::Plus}].insert(
+        std::move(guards));
+  }
+  return out;
+}
+
+std::vector<std::string> loop_cond_names(const sg::SyncGraph& g) {
+  std::vector<std::string> names;
+  for (Symbol c : g.loop_conditions())
+    names.emplace_back(g.message_name(c));
+  return names;
+}
+
+TEST(GuardPreservation, UnrollKeepsGuardsAndLoopConditions) {
+  const lang::Program p = parse(R"(
+shared condition c;
+shared condition d;
+task t is
+begin
+  while c loop
+    if d then
+      accept m;
+    end if;
+  end loop;
+end t;
+task u is begin send t.m; end u;
+)");
+  const sg::SyncGraph before = sg::build_sync_graph(p);
+  const lang::Program q = unroll_loops_twice(p);
+  EXPECT_EQ(q.shared_loop_conditions.size(), 1u);
+  const sg::SyncGraph after = sg::build_sync_graph(q);
+
+  // The loop condition survives unrolling (the unrolled graph has no While
+  // statement left to rediscover it from — the carrier field must do it).
+  EXPECT_EQ(loop_cond_names(after), loop_cond_names(before));
+
+  // Every unrolled copy keeps its source node's guard set: same (loc, sign)
+  // key, same multiset of (condition, arm).
+  const auto sig_before = guard_signature(before);
+  for (const auto& [key, guards] : guard_signature(after)) {
+    const auto it = sig_before.find(key);
+    ASSERT_NE(it, sig_before.end())
+        << "unroll invented a node at line " << std::get<0>(key);
+    EXPECT_EQ(guards, it->second);
+  }
+}
+
+TEST(GuardPreservation, StructuralPassesKeepGuardsAndLoopConditions) {
+  // inline/merge/codependent may restructure conditionals, but none of them
+  // may lose the shared while (and with it the pinned loop condition) or
+  // the guard on a rendezvous they leave in place.
+  const char* src = R"(
+shared condition c;
+task t is
+begin
+  while c loop
+    accept m;
+  end loop;
+  if c then
+    send u.x;
+  else
+    send u.y;
+  end if;
+end t;
+task u is begin accept x; accept y; send t.m; end u;
+)";
+  const lang::Program p = parse(src);
+  ASSERT_FALSE(used_shared_conditions(p).empty());
+
+  const lang::Program inlined = inline_procedures(p);
+  EXPECT_EQ(inlined.shared_loop_conditions, p.shared_loop_conditions);
+  const lang::Program merged = merge_branch_rendezvous(inlined);
+  EXPECT_EQ(merged.shared_loop_conditions, p.shared_loop_conditions);
+  std::size_t factored = 0;
+  const lang::Program codep = stall::factor_codependent(merged, &factored);
+  EXPECT_EQ(codep.shared_loop_conditions, p.shared_loop_conditions);
+
+  for (const lang::Program* q : {&inlined, &merged, &codep}) {
+    const sg::SyncGraph g = sg::build_sync_graph(*q);
+    EXPECT_EQ(loop_cond_names(g), std::vector<std::string>{"c"});
+    // The loop-body accept must still carry its (c, true) guard.
+    bool guarded_accept = false;
+    for (std::size_t i = 2; i < g.node_count(); ++i) {
+      const sg::SyncNode& n = g.node(NodeId(i));
+      if (n.sign != sg::Sign::Minus || n.guards.empty()) continue;
+      for (const sg::Guard& guard : n.guards)
+        if (g.message_name(guard.cond) == "c" && guard.arm)
+          guarded_accept = true;
+    }
+    EXPECT_TRUE(guarded_accept) << "pass dropped the loop-body guard";
+  }
+}
+
+TEST(GuardPreservation, PruneFiltersAssignedConditions) {
+  const lang::Program p = parse(R"(
+shared condition c;
+shared condition w;
+task t is
+begin
+  while w loop
+    accept inside;
+  end loop;
+  if c then
+    accept m;
+  end if;
+end t;
+task u is begin send t.inside; send t.m; end u;
+)");
+  ASSERT_EQ(p.shared_loop_conditions.size(), 0u);  // populated by build/unroll
+  const sg::SyncGraph g = sg::build_sync_graph(p);
+  ASSERT_EQ(loop_cond_names(g), std::vector<std::string>{"w"});
+
+  // Assign only c: the loop condition stays unassigned, so it must survive
+  // into the pruned program's carrier and graph.
+  std::map<Symbol, bool> assignment;
+  for (Symbol s : used_shared_conditions(p))
+    if (p.name_of(s) == "c") assignment[s] = true;
+  ASSERT_EQ(assignment.size(), 1u);
+  const auto pruned = prune_shared(p, assignment);
+  ASSERT_TRUE(pruned.has_value());
+  const sg::SyncGraph pg = sg::build_sync_graph(*pruned);
+  EXPECT_EQ(loop_cond_names(pg), std::vector<std::string>{"w"});
+  // The kept arm's accept lost its c guard (the condition is decided).
+  for (std::size_t i = 2; i < pg.node_count(); ++i)
+    for (const sg::Guard& guard : pg.node(NodeId(i)).guards)
+      EXPECT_NE(pg.message_name(guard.cond), "c");
+
+  // Assigning the loop condition false removes both the loop and the
+  // carrier entry.
+  std::map<Symbol, bool> loop_assignment;
+  for (Symbol s : used_shared_conditions(p))
+    if (p.name_of(s) == "w") loop_assignment[s] = false;
+  const auto no_loop = prune_shared(p, loop_assignment);
+  ASSERT_TRUE(no_loop.has_value());
+  EXPECT_TRUE(sg::build_sync_graph(*no_loop).loop_conditions().empty());
 }
 
 }  // namespace
