@@ -1,0 +1,281 @@
+// Incremental re-analysis: the LintCache/AnalysisContext refresh path that
+// powers siwa_lintd, measured against cold certify+lint on an E9-scale
+// program (the bench_parallel generator at 4x scale: 768 rendezvous pairs,
+// 96 tasks) with two guarded probe tasks appended as edit targets.
+//
+// Before timing anything, the harness replays a realistic edit script —
+// docstring content tweaks (zero graph delta), guard-condition swaps
+// (guard-only delta, restricted dataflow re-fixpoint) and message renames
+// (structural fallback) — and enforces the identity contract: the cached
+// pipeline's rendered report must be byte-identical to a cold, cache-less
+// lint of the same text after EVERY edit. The gate also times the
+// docstring steps and requires warm re-analysis (reparse + diff + memoized
+// verdict) to be >= 10x faster than the cold pipeline; both the mismatch
+// count and the measured ratio are gate counters, so the perf gate and CI
+// see regressions in either. `--smoke` runs only the gate; either way the
+// run writes BENCH_incremental.json (override with --metrics-out).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.h"
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "lang/sema.h"
+#include "lint/cache.h"
+#include "lint/lint.h"
+#include "lint/render.h"
+
+namespace {
+using namespace siwa;
+
+// The probe tasks appended to the generated program: a docstring statement
+// to edit (no sync node, so its edits provably cannot change the graph)
+// and two sends guarded by distinct shared conditions, so a gc1 <-> gc2
+// swap is a pure guard-set edit that keeps the condition vocabulary (and
+// with it the dataflow's restricted-refresh path) stable.
+const char* kProbeTasks =
+    "task prober is\n"
+    "begin\n"
+    "  \"edit cursor 0\";\n"
+    "  if gc1 then\n"
+    "    send probe.tick;\n"
+    "  end if;\n"
+    "  if gc2 then\n"
+    "    send probe.tock;\n"
+    "  end if;\n"
+    "end prober;\n"
+    "\n"
+    "task probe is\n"
+    "begin\n"
+    "  accept tick;\n"
+    "  accept tock;\n"
+    "end probe;\n";
+
+std::string e9_source() {
+  gen::RandomProgramConfig config;
+  config.tasks = 96;  // max(3, pairs / 8), as in bench_parallel
+  config.rendezvous_pairs = 768;
+  config.message_types = 4;
+  config.branch_probability = 0.15;
+  config.seed = 17;
+  return "shared condition gc1, gc2;\n" +
+         lang::print_program(gen::random_program(config)) + "\n" + kProbeTasks;
+}
+
+lint::LintOptions bench_options() {
+  lint::LintOptions options;
+  // The head-pair sweep is the E9 configuration with thousands of
+  // hypotheses — the workload the certify memo amortizes away.
+  options.algorithm = core::Algorithm::RefinedHeadPair;
+  options.threads = 1;
+  return options;
+}
+
+// Replaces the first occurrence of `from`; the edit scripts below only
+// ever touch markers that occur exactly once.
+bool replace_first(std::string& text, std::string_view from,
+                   std::string_view to) {
+  const std::size_t at = text.find(from);
+  if (at == std::string::npos) return false;
+  text.replace(at, from.size(), to);
+  return true;
+}
+
+// One editor round trip: parse the full text and run the lint pipeline,
+// cold (cache == nullptr) or through the persistent cache.
+std::string lint_pass(const std::string& text, const lint::LintOptions& options,
+                      lint::LintCache* cache) {
+  DiagnosticSink sink;
+  auto program = lang::parse_program(text, sink);
+  if (!program || (lang::check_program(*program, sink), sink.has_errors())) {
+    std::fprintf(stderr, "bench_incremental: probe program does not parse\n");
+    std::abort();
+  }
+  const lint::LintResult result =
+      lint::run_lint(*program, text, options, sink.diagnostics(), cache);
+  const lint::FileDiagnostics entry{"bench://e9.mada", result.diagnostics};
+  return lint::render_text({&entry, 1});
+}
+
+double elapsed_ns(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+struct GateResult {
+  std::size_t edits = 0;
+  std::size_t mismatches = 0;
+  double cold_docstring_ns = 0;  // summed over the docstring steps only
+  double warm_docstring_ns = 0;
+  double speedup = 0;
+};
+
+// Replays the edit script, comparing warm vs cold output after every step
+// and timing the docstring steps (the common editor case) on both paths.
+GateResult identity_and_speedup_gate() {
+  const lint::LintOptions options = bench_options();
+  std::string text = e9_source();
+  lint::LintCache cache;
+
+  GateResult gate;
+  auto step = [&](const char* kind, bool timed) {
+    ++gate.edits;
+    const auto warm_start = std::chrono::steady_clock::now();
+    const std::string warm = lint_pass(text, options, &cache);
+    const double warm_ns = elapsed_ns(warm_start);
+    const auto cold_start = std::chrono::steady_clock::now();
+    const std::string cold = lint_pass(text, options, nullptr);
+    const double cold_ns = elapsed_ns(cold_start);
+    if (warm != cold) {
+      ++gate.mismatches;
+      std::printf("identity MISMATCH after %s edit %zu\n", kind, gate.edits);
+    }
+    if (timed) {
+      gate.warm_docstring_ns += warm_ns;
+      gate.cold_docstring_ns += cold_ns;
+    }
+  };
+
+  step("open", /*timed=*/false);  // first pass populates the cache
+  std::string cursor = "\"edit cursor 0\"";
+  for (int i = 1; i <= 10; ++i) {
+    const std::string next = "\"edit cursor " + std::to_string(i) + "\"";
+    replace_first(text, cursor, next);
+    cursor = next;
+    step("docstring", /*timed=*/true);
+  }
+  for (int i = 0; i < 2; ++i) {
+    // Swap which condition guards the tick send (and back): a guard-only
+    // graph delta — the context refreshes instead of rebuilding.
+    replace_first(text, i % 2 == 0 ? "if gc1 then\n    send probe.tick"
+                                   : "if gc2 then\n    send probe.tick",
+                  i % 2 == 0 ? "if gc2 then\n    send probe.tick"
+                             : "if gc1 then\n    send probe.tick");
+    step("guard-swap", /*timed=*/false);
+  }
+  for (int i = 0; i < 2; ++i) {
+    // Rename a rendezvous message (and back): the signal table changes, so
+    // the diff disengages and the cache rebuilds the slot — the structural
+    // fallback must stay byte-identical too.
+    replace_first(text, i % 2 == 0 ? "probe.tock" : "probe.knock",
+                  i % 2 == 0 ? "probe.knock" : "probe.tock");
+    replace_first(text, i % 2 == 0 ? "accept tock" : "accept knock",
+                  i % 2 == 0 ? "accept knock" : "accept tock");
+    step("rename", /*timed=*/false);
+  }
+
+  gate.speedup = gate.warm_docstring_ns > 0
+                     ? gate.cold_docstring_ns / gate.warm_docstring_ns
+                     : 0;
+  std::printf(
+      "identity: %zu edits, %zu mismatches; docstring edits: cold %.1f ms, "
+      "warm %.1f ms, speedup %.1fx (bar: >= 10x)\n",
+      gate.edits, gate.mismatches, gate.cold_docstring_ns / 1e6,
+      gate.warm_docstring_ns / 1e6, gate.speedup);
+  return gate;
+}
+
+// Cold pipeline per edit: what a cache-less siwa_lint pays every save.
+void BM_ColdLintE9(benchmark::State& state) {
+  static const std::string text = e9_source();
+  const lint::LintOptions options = bench_options();
+  for (auto _ : state) {
+    auto report = lint_pass(text, options, nullptr);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ColdLintE9)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Warm pipeline per docstring edit: reparse + empty diff + memoized
+// verdict. Every iteration is a real text edit (the cursor line flips), so
+// the cache never sees the same bytes twice in a row.
+void BM_WarmDocstringEditE9(benchmark::State& state) {
+  static std::string text = e9_source();
+  static lint::LintCache cache;
+  const lint::LintOptions options = bench_options();
+  (void)lint_pass(text, options, &cache);  // populate outside the timing loop
+  int flip = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    replace_first(text, flip % 2 == 0 ? "edit cursor" : "cursor moved",
+                  flip % 2 == 0 ? "cursor moved" : "edit cursor");
+    ++flip;
+    state.ResumeTiming();
+    auto report = lint_pass(text, options, &cache);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_WarmDocstringEditE9)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Warm pipeline per guard edit: reparse + guard-only diff + restricted
+// dataflow refresh + a real certify (the revision bumped).
+void BM_WarmGuardEditE9(benchmark::State& state) {
+  static std::string text = e9_source();
+  static lint::LintCache cache;
+  const lint::LintOptions options = bench_options();
+  (void)lint_pass(text, options, &cache);
+  int flip = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    replace_first(text, flip % 2 == 0 ? "if gc1 then\n    send probe.tick"
+                                      : "if gc2 then\n    send probe.tick",
+                  flip % 2 == 0 ? "if gc2 then\n    send probe.tick"
+                                : "if gc1 then\n    send probe.tick");
+    ++flip;
+    state.ResumeTiming();
+    auto report = lint_pass(text, options, &cache);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_WarmGuardEditE9)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;  // strip before benchmark::Initialize sees it
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  const std::string metrics_path =
+      benchutil::metrics_out_arg(argc, argv, "BENCH_incremental.json");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  obs::MetricsSink sink;
+  GateResult result;
+  {
+    obs::Span gate(&sink, "gate");
+    result = identity_and_speedup_gate();
+    gate.arg("mismatches", result.mismatches);
+    gate.arg("speedup_x10", static_cast<std::uint64_t>(result.speedup * 10));
+  }
+  sink.add("gate.mismatches", result.mismatches);
+  sink.add("gate.speedup_x10",
+           static_cast<std::uint64_t>(result.speedup * 10));
+  const bool fast_enough = result.speedup >= 10.0;
+  if (!fast_enough)
+    std::printf("SPEEDUP GATE FAILED: %.1fx < 10x\n", result.speedup);
+
+  if (!smoke) {
+    benchutil::SinkReporter reporter(sink);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  const bool wrote =
+      benchutil::write_metrics(sink, "bench_incremental", metrics_path);
+  return (result.mismatches == 0 && fast_enough && wrote) ? 0 : 1;
+}

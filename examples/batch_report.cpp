@@ -106,6 +106,7 @@ int main(int argc, char** argv) {
   if (use_lint_format) {
     std::vector<lint::FileDiagnostics> lint_files;
     int flagged = 0;
+    std::size_t certified = 0;  // files the detector certified anomaly-free
     for (const auto& path : files) {
       obs::Span file_span(metrics, "batch.file");
       file_span.arg("index", lint_files.size());
@@ -130,11 +131,13 @@ int main(int argc, char** argv) {
             lint::run_lint(*program, source, lint_options, sink.diagnostics());
         entry.diagnostics = result.diagnostics;
         if (result.has_errors()) ++flagged;
+        if (result.certified_free == true) ++certified;
       }
       lint_files.push_back(std::move(entry));
     }
     std::fputs(lint::render(format, lint_files).c_str(), stdout);
-    std::fprintf(stderr, "%zu programs, %d flagged\n", files.size(), flagged);
+    std::fprintf(stderr, "%zu programs, %d flagged, %zu certified free\n",
+                 files.size(), flagged, certified);
     flush_metrics();
     return std::min(flagged, 125);
   }

@@ -82,6 +82,8 @@ int main(int argc, char** argv) {
   std::size_t oracle_incomplete = 0;
   std::size_t total_errors = 0;
   std::size_t total_warnings = 0;
+  std::size_t lint_certified = 0;
+  std::size_t lint_no_verdict = 0;
   std::size_t violations = 0;
   std::map<std::string, std::size_t> rule_counts;
 
@@ -118,6 +120,8 @@ int main(int argc, char** argv) {
     const std::size_t errors = result.count(Severity::Error);
     total_errors += errors;
     total_warnings += result.count(Severity::Warning);
+    if (result.certified_free == true) ++lint_certified;
+    else if (!result.certified_free.has_value()) ++lint_no_verdict;
     for (const Diagnostic& d : result.diagnostics)
       ++rule_counts[d.rule_id.empty() ? std::string("(untagged)") : d.rule_id];
 
@@ -136,11 +140,17 @@ int main(int argc, char** argv) {
         if (d.severity == Severity::Error)
           std::printf("  %s\n", d.to_string().c_str());
     } else if (verbose) {
-      std::printf("%s: oracle=%s lint=%zuE/%zuW\n", name,
+      // result.certified_free is tri-state: disengaged means no detector
+      // verdict was reached (e.g. the unrolled graph stayed cyclic), which
+      // is different from "checked and clean".
+      const char* lint_verdict = !result.certified_free.has_value() ? "none"
+                                 : *result.certified_free          ? "free"
+                                                                   : "witness";
+      std::printf("%s: oracle=%s lint=%zuE/%zuW verdict=%s\n", name,
                   !oracle.combined.complete ? "incomplete"
                   : certified_free         ? "free"
                                            : "anomalous",
-                  errors, result.count(Severity::Warning));
+                  errors, result.count(Severity::Warning), lint_verdict);
     }
   }
 
@@ -163,8 +173,9 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "%zu programs: %zu oracle-free, %zu anomalous, %zu incomplete; "
-      "lint %zu error(s), %zu warning(s); %zu soundness violation(s)\n",
+      "lint %zu error(s), %zu warning(s), %zu certified, %zu no-verdict; "
+      "%zu soundness violation(s)\n",
       count, oracle_free, oracle_anomalous, oracle_incomplete, total_errors,
-      total_warnings, violations);
+      total_warnings, lint_certified, lint_no_verdict, violations);
   return violations > 0 ? 1 : 0;
 }

@@ -1,0 +1,229 @@
+// lintd_smoke: end-to-end acceptance drive of the siwa_lintd server core.
+//
+// Drives server::LintServer in-process through the protocol an editor
+// would use — open, two edits, diagnostics, close, shutdown — and enforces
+// the server's central identity contract at every step:
+//
+//   1. The server's rendered reports (text, json, sarif) are byte-identical
+//      to a cold siwa_lint-style run (fresh parse, fresh analysis, no
+//      cache) over the same text.
+//   2. The added/removed deltas compose: previous publish minus removed
+//      plus added equals the current publish.
+//   3. A location-only edit (inserting a docstring line) reuses the cached
+//      analysis context (reused_context:true) while still republishing the
+//      moved diagnostics.
+//
+// Exit code: 0 all checks pass, 1 any mismatch (with a message on stderr).
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "lint/lint.h"
+#include "lint/render.h"
+#include "obs/json.h"
+#include "server/lint_server.h"
+
+namespace {
+
+using namespace siwa;
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    ++failures;
+    std::fprintf(stderr, "lintd_smoke: FAIL: %s\n", what);
+  }
+}
+
+// The three revisions of the edited file. v0 has two deliberate findings
+// (the send of `stop` and the accept of `halt` are both unmatched). v1
+// only inserts a docstring statement — zero graph delta, but every later
+// diagnostic moves down one line. v2 renames the accepted entry so the
+// send matches, changing the signal table (a structural edit).
+const char* kV0 =
+    "task producer is\n"
+    "begin\n"
+    "  send consumer.item;\n"
+    "  send consumer.stop;\n"
+    "end producer;\n"
+    "\n"
+    "task consumer is\n"
+    "begin\n"
+    "  accept item;\n"
+    "  accept halt;\n"
+    "end consumer;\n";
+
+const char* kV1 =
+    "task producer is\n"
+    "begin\n"
+    "  \"hand-off order matters here\";\n"
+    "  send consumer.item;\n"
+    "  send consumer.stop;\n"
+    "end producer;\n"
+    "\n"
+    "task consumer is\n"
+    "begin\n"
+    "  accept item;\n"
+    "  accept halt;\n"
+    "end consumer;\n";
+
+const char* kV2 =
+    "task producer is\n"
+    "begin\n"
+    "  \"hand-off order matters here\";\n"
+    "  send consumer.item;\n"
+    "  send consumer.stop;\n"
+    "end producer;\n"
+    "\n"
+    "task consumer is\n"
+    "begin\n"
+    "  accept item;\n"
+    "  accept stop;\n"
+    "end consumer;\n";
+
+// What a cold, cache-less lint of `text` publishes — the reference the
+// server must match byte for byte.
+lint::FileDiagnostics cold_lint(const std::string& uri,
+                                const std::string& text,
+                                const lint::LintOptions& options) {
+  DiagnosticSink sink;
+  auto program = lang::parse_program(text, sink);
+  if (program) lang::check_program(*program, sink);
+  lint::FileDiagnostics entry;
+  entry.path = uri;
+  if (!program || sink.has_errors()) {
+    entry.diagnostics = sink.sorted_diagnostics();
+  } else {
+    entry.diagnostics =
+        lint::run_lint(*program, text, options, sink.diagnostics())
+            .diagnostics;
+  }
+  return entry;
+}
+
+std::string request(const std::string& method, const std::string& uri,
+                    const std::string& text) {
+  return "{\"method\":\"" + method + "\",\"uri\":\"" +
+         lint::json_escape(uri) + "\",\"text\":\"" + lint::json_escape(text) +
+         "\"}";
+}
+
+obs::json::Value parse_ok(server::LintServer& server, const std::string& line,
+                          const char* what) {
+  const std::string response = server.handle_line(line);
+  auto doc = obs::json::parse(response);
+  check(doc.has_value() && doc->is_object(), what);
+  if (!doc) return obs::json::Value{};
+  const obs::json::Value* ok = doc->find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    ++failures;
+    std::fprintf(stderr, "lintd_smoke: FAIL: %s: response %s\n", what,
+                 response.c_str());
+  }
+  return *doc;
+}
+
+// Asserts the server's rendered report for `uri` equals a cold render of
+// `reference` in every format.
+void check_reports(server::LintServer& server, const std::string& uri,
+                   const lint::FileDiagnostics& reference) {
+  for (const char* format : {"text", "json", "sarif"}) {
+    const obs::json::Value doc = parse_ok(
+        server,
+        "{\"method\":\"diagnostics\",\"uri\":\"" + lint::json_escape(uri) +
+            "\",\"format\":\"" + format + "\"}",
+        "diagnostics request succeeds");
+    const obs::json::Value* report = doc.find("report");
+    if (report == nullptr || !report->is_string()) {
+      check(false, "diagnostics response carries a report string");
+      continue;
+    }
+    const std::string cold =
+        lint::render(*lint::parse_format(format), {&reference, 1});
+    if (report->as_string() != cold) {
+      ++failures;
+      std::fprintf(stderr,
+                   "lintd_smoke: FAIL: %s report differs from cold lint\n"
+                   "---- server ----\n%s\n---- cold ----\n%s\n",
+                   format, report->as_string().c_str(), cold.c_str());
+    }
+  }
+}
+
+std::size_t count_array(const obs::json::Value& doc, const char* key) {
+  const obs::json::Value* v = doc.find(key);
+  return v != nullptr && v->is_array() ? v->as_array().size() : 0;
+}
+
+bool flag(const obs::json::Value& doc, const char* key) {
+  const obs::json::Value* v = doc.find(key);
+  return v != nullptr && v->is_bool() && v->as_bool();
+}
+
+}  // namespace
+
+int main() {
+  const std::string uri = "mem://pipeline.mada";
+  lint::LintOptions options;  // defaults: detector on, guard dataflow on
+
+  obs::MetricsSink sink;
+  server::LintServer server(options, obs::SinkRef{&sink});
+
+  // open: everything publishes as added.
+  const obs::json::Value opened =
+      parse_ok(server, request("open", uri, kV0), "open succeeds");
+  const lint::FileDiagnostics cold0 = cold_lint(uri, kV0, options);
+  check(!cold0.diagnostics.empty(), "v0 has findings to publish");
+  check(count_array(opened, "added") == cold0.diagnostics.size(),
+        "open publishes every cold finding as added");
+  check(count_array(opened, "removed") == 0, "open removes nothing");
+  check_reports(server, uri, cold0);
+
+  // edit 1 (docstring insert): the analysis context must be reused, and
+  // the republished diagnostics must match a cold lint of the new text.
+  const obs::json::Value edited1 =
+      parse_ok(server, request("edit", uri, kV1), "edit v1 succeeds");
+  check(flag(edited1, "reused_context"),
+        "docstring edit reuses the cached analysis context");
+  const lint::FileDiagnostics cold1 = cold_lint(uri, kV1, options);
+  check_reports(server, uri, cold1);
+  // The deltas must compose: |published| = |prev| - removed + added.
+  check(cold0.diagnostics.size() - count_array(edited1, "removed") +
+                count_array(edited1, "added") ==
+            cold1.diagnostics.size(),
+        "edit v1 deltas compose to the new publish");
+
+  // edit 2 (entry rename): structurally different signal table — the
+  // server falls back to a rebuild but must still match the cold run.
+  const obs::json::Value edited2 =
+      parse_ok(server, request("edit", uri, kV2), "edit v2 succeeds");
+  const lint::FileDiagnostics cold2 = cold_lint(uri, kV2, options);
+  check(cold2.diagnostics.size() < cold1.diagnostics.size(),
+        "matching the send shrinks the findings");
+  check(count_array(edited2, "removed") > 0, "edit v2 retracts findings");
+  check_reports(server, uri, cold2);
+
+  // close + shutdown round out the protocol.
+  parse_ok(server,
+           "{\"method\":\"close\",\"uri\":\"" + lint::json_escape(uri) + "\"}",
+           "close succeeds");
+  check(server.open_count() == 0, "close drops the session");
+  parse_ok(server, "{\"method\":\"shutdown\"}", "shutdown succeeds");
+  check(server.shutdown_requested(), "shutdown latches");
+
+  // Protocol error paths answer, never throw.
+  check(server.handle_line("not json").find("\"ok\":false") !=
+            std::string::npos,
+        "malformed request yields ok:false");
+  check(server.handle_line("{\"method\":\"edit\",\"uri\":\"nope\",\"text\":"
+                           "\"x\"}")
+                .find("no open session") != std::string::npos,
+        "edit of unknown uri is rejected");
+
+  if (failures == 0) std::printf("lintd_smoke: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -106,6 +106,8 @@ int main(int argc, char** argv) {
   std::size_t errors = 0;
   std::size_t warnings = 0;
   std::size_t suppressed = 0;
+  std::size_t certified = 0;   // detector ran and certified anomaly-free
+  std::size_t unverified = 0;  // no detector verdict (tri-state disengaged)
 
   for (const std::string& input : inputs) {
     obs::Span file_span(options.metrics, "lint.file");
@@ -134,6 +136,11 @@ int main(int argc, char** argv) {
           lint::run_lint(*program, source, options, sink.diagnostics());
       entry.diagnostics = result.diagnostics;
       suppressed += result.suppressed;
+      // certified_free is tri-state: disengaged when no detector ran (e.g.
+      // --no-detector, or the unrolled graph stayed cyclic). Count those
+      // separately instead of conflating "never checked" with "clean".
+      if (result.certified_free == true) ++certified;
+      else if (!result.certified_free.has_value()) ++unverified;
     }
     for (const Diagnostic& d : entry.diagnostics) {
       if (d.severity == Severity::Error) ++errors;
@@ -158,6 +165,10 @@ int main(int argc, char** argv) {
   if (format == lint::OutputFormat::Text) {
     std::fprintf(stderr, "%zu error(s), %zu warning(s)", errors, warnings);
     if (suppressed > 0) std::fprintf(stderr, ", %zu suppressed", suppressed);
+    if (certified > 0)
+      std::fprintf(stderr, ", %zu certified deadlock-free", certified);
+    if (unverified > 0)
+      std::fprintf(stderr, ", %zu without detector verdict", unverified);
     std::fprintf(stderr, "\n");
   }
 

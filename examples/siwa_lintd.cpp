@@ -1,0 +1,103 @@
+// siwa_lintd: the persistent lint daemon for MiniAda programs.
+//
+//   siwa_lintd [options]
+//     --script FILE         read requests from FILE instead of stdin
+//     --no-detector         skip the SIWA010 deadlock-witness pass
+//     --threads N           hypothesis-sweep parallelism (0 = all cores)
+//     --no-suppress         ignore `-- lint: allow(...)` comments
+//     --metrics-json FILE   write siwa-metrics/1 JSON (lintd.* + lint.*
+//                           counters) on exit
+//
+// Speaks the line-delimited JSON protocol of server/lint_server.h: one
+// request per input line, one response per output line (responses are
+// flushed immediately so a pipe-driving editor never stalls). The process
+// exits on a {"method":"shutdown"} request or end of input. Sessions keep
+// per-file analysis caches across edits — see DESIGN.md section 10 for the
+// invalidation protocol and README.md for a walkthrough.
+//
+// Exit code: 0 clean exit (shutdown or EOF), 2 usage or I/O failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "server/lint_server.h"
+#include "support/cli.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: siwa_lintd [--script FILE] [--no-detector] "
+               "[--threads N] [--no-suppress] [--metrics-json FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace siwa;
+
+  lint::LintOptions options;
+  std::string script_path;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--script" && i + 1 < argc) {
+      script_path = argv[++i];
+    } else if (arg == "--no-detector") {
+      options.run_detector = false;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      const auto value = support::parse_size_arg(argv[++i]);
+      if (!value) {
+        std::fprintf(stderr,
+                     "siwa_lintd: invalid value '%s' for --threads "
+                     "(expected a non-negative integer)\n",
+                     argv[i]);
+        return 2;
+      }
+      options.threads = *value;
+    } else if (arg == "--no-suppress") {
+      options.apply_suppressions = false;
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  obs::MetricsSink sink;
+  server::LintServer server(options, obs::SinkRef{&sink});
+
+  std::ifstream script;
+  if (!script_path.empty()) {
+    script.open(script_path);
+    if (!script) {
+      std::fprintf(stderr, "siwa_lintd: cannot open %s\n",
+                   script_path.c_str());
+      return 2;
+    }
+  }
+  std::istream& in = script_path.empty() ? std::cin : script;
+
+  std::string line;
+  while (!server.shutdown_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::cout << server.handle_line(line) << '\n' << std::flush;
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (out) out << obs::to_metrics_json(sink, "siwa_lintd", sink.now_us());
+    if (!out) {
+      std::fprintf(stderr, "siwa_lintd: cannot write %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,8 @@
 #include "core/analysis_context.h"
 
+#include <utility>
+#include <vector>
+
 #include "support/require.h"
 
 namespace siwa::core {
@@ -10,23 +13,106 @@ AnalysisContext::AnalysisContext(const sg::SyncGraph& sg) : sg_(&sg) {
 }
 
 const sg::Clg& AnalysisContext::clg() const {
-  std::call_once(clg_once_, [this] { clg_ = std::make_unique<sg::Clg>(*sg_); });
-  return *clg_;
+  return clg_.get([this] { return std::make_unique<sg::Clg>(*sg_); });
 }
 
 const graph::Dominators& AnalysisContext::dominators() const {
-  std::call_once(dom_once_, [this] {
-    dom_ = std::make_unique<graph::Dominators>(sg_->control_graph(),
+  return dom_.get([this] {
+    return std::make_unique<graph::Dominators>(sg_->control_graph(),
                                                VertexId(0) /* b */);
   });
-  return *dom_;
 }
 
 const dataflow::GuardFeasibility& AnalysisContext::guard_feasibility() const {
-  std::call_once(feas_once_, [this] {
-    feas_ = std::make_unique<dataflow::GuardFeasibility>(*sg_);
-  });
-  return *feas_;
+  return feas_.get(
+      [this] { return std::make_unique<dataflow::GuardFeasibility>(*sg_); });
+}
+
+bool AnalysisContext::refresh(const sg::SyncGraph& updated,
+                              const sg::GraphEdits& edits) {
+  SIWA_REQUIRE(updated.finalized(), "refresh requires a finalized graph");
+  last_refresh_ = RefreshStats{};
+
+  // Rebind pointers first: with an empty edit log the updated graph is
+  // analysis-equivalent, but it may still be a different object (the
+  // diff_graphs path rebuilds from source), and cached engines must not
+  // dangle into the old one.
+  sg_ = &updated;
+  if (auto* feas = feas_.peek()) feas->rebind(updated);
+  if (edits.empty()) return false;
+  last_refresh_.refreshed = true;
+  ++revision_;
+
+  // Structural growth (or a node-count mismatch the log missed): every
+  // cached product keys rows by NodeId, so nothing survives.
+  if (edits.structural() ||
+      updated.node_count() != reach_.vertex_count()) {
+    last_refresh_.full_rebuild = true;
+    reach_ = graph::CondensedReachability(updated.control_graph());
+    clg_.reset();
+    dom_.reset();
+    feas_.reset();
+    return true;
+  }
+
+  // ---- closure: component-selective re-sweep.
+  std::vector<std::pair<VertexId, VertexId>> added;
+  std::vector<std::pair<VertexId, VertexId>> removed;
+  if (edits.any_control()) {
+    added.reserve(edits.control_added.size());
+    for (const auto& e : edits.control_added)
+      added.emplace_back(VertexId(e.first.value), VertexId(e.second.value));
+    removed.reserve(edits.control_removed.size());
+    for (const auto& e : edits.control_removed)
+      removed.emplace_back(VertexId(e.first.value), VertexId(e.second.value));
+    const auto stats = reach_.update(updated.control_graph(), added, removed);
+    last_refresh_.closure_rebuilt = stats.full_rebuild;
+    last_refresh_.closure_rows = stats.rows_recomputed;
+  }
+
+  // ---- CLG: a from-scratch product of the control and sync edge sets
+  // with no delta form; drop it and let the next user rebuild.
+  if (edits.any_control() || edits.any_sync()) {
+    clg_.reset();
+    last_refresh_.clg_reset = true;
+  }
+
+  // ---- dominators: only control edits can change dominance, and only a
+  // context that ever built the tree pays for the recompute.
+  if (edits.any_control()) {
+    if (auto* dom = dom_.peek()) {
+      dom->update(updated.control_graph());
+      last_refresh_.dominators_rebuilt = true;
+    }
+  }
+
+  // ---- guard dataflow: restricted re-fixpoint. The affected set must be
+  // closed under control-flow reachability in the new graph (see
+  // GuardFeasibility::update), which is exactly what the freshly updated
+  // closure provides: changed nodes plus everything they reach.
+  if (auto* feas = feas_.peek()) {
+    if (edits.loop_conditions_changed) {
+      feas_.reset();
+      last_refresh_.feasibility_rebuilt = true;
+    } else if (edits.any_guards() || edits.any_control()) {
+      const std::size_t n = updated.node_count();
+      std::vector<std::uint8_t> affected(n, 0);
+      const auto mark = [&](NodeId node) {
+        const VertexId v(node.value);
+        affected[v.index()] = 1;
+        reach_.reachable_set(v).for_each(
+            [&](std::size_t i) { affected[i] = 1; });
+      };
+      for (NodeId node : edits.guards_changed) mark(node);
+      for (const auto& e : added) mark(NodeId(e.second.index()));
+      for (const auto& e : removed) mark(NodeId(e.second.index()));
+      const auto stats = feas->update(updated, affected);
+      last_refresh_.feasibility_rebuilt = stats.full_rebuild;
+      last_refresh_.feasibility_nodes = stats.nodes_refreshed;
+    }
+  }
+
+  return true;
 }
 
 }  // namespace siwa::core

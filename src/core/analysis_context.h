@@ -9,12 +9,36 @@
 // takes `const AnalysisContext&` instead of building its own.
 //
 // Ownership and thread safety: the context borrows the sync graph (the
-// caller keeps it alive) and owns the closure. It is immutable after
-// construction, so one context may be shared read-only across
+// caller keeps it alive) and owns the closure. Between refresh() calls it
+// is immutable, so one context may be shared read-only across
 // support::ThreadPool workers with no synchronization — certify_batch and
-// the parallel hypothesis sweep rely on exactly that.
+// the parallel hypothesis sweep rely on exactly that. refresh() itself
+// requires exclusive access, the same rule as mutating the graph.
+//
+// Invalidation protocol (the incremental engine): after the graph changes,
+// the owner hands refresh() the updated graph plus the sg::GraphEdits log
+// (from SyncGraph::refinalize() or sg::diff_graphs). The context then
+// selectively repairs its cached products instead of rebuilding them:
+//
+//   closure      control edits    CondensedReachability::update re-sweeps
+//                                 only components whose row can change.
+//   CLG          control or sync  dropped (rebuilt on next use) — the CLG
+//                edits            is a from-scratch product of both edge
+//                                 sets and has no cheap delta form.
+//   dominators   control edits    in-place recompute, only if ever built.
+//   guard flow   guard or         restricted re-fixpoint seeded from the
+//                control edits    changed assume masks, bounded by the
+//                                 closure of the changed nodes; full
+//                                 rebuild when the loop-condition pin or
+//                                 the condition set changed.
+//
+// Structural edits (appended nodes, incompatible diff) fall back to a full
+// recompute of everything. Every refresh that changes any visible answer
+// bumps revision(), the key memoized certify/lint results hang off.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 
@@ -22,9 +46,50 @@
 #include "graph/dominators.h"
 #include "graph/reachability.h"
 #include "syncgraph/clg.h"
+#include "syncgraph/graph_edits.h"
 #include "syncgraph/sync_graph.h"
 
 namespace siwa::core {
+
+// A resettable lazily-built slot: call_once semantics on the hot path
+// (double-checked atomic load), plus reset() for the invalidation
+// protocol. reset() and refresh-time mutation require the same exclusive
+// access the owning context demands.
+template <typename T>
+class LazySlot {
+ public:
+  // Returns the cached value, building it via `make` on first use.
+  template <typename F>
+  T& get(F&& make) const {
+    T* p = ptr_.load(std::memory_order_acquire);
+    if (p == nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      p = ptr_.load(std::memory_order_relaxed);
+      if (p == nullptr) {
+        owned_ = make();
+        p = owned_.get();
+        ptr_.store(p, std::memory_order_release);
+      }
+    }
+    return *p;
+  }
+
+  // The value if already built, else nullptr (never builds).
+  [[nodiscard]] T* peek() const {
+    return ptr_.load(std::memory_order_acquire);
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ptr_.store(nullptr, std::memory_order_release);
+    owned_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<T> owned_;
+  mutable std::atomic<T*> ptr_{nullptr};
+};
 
 class AnalysisContext {
  public:
@@ -46,9 +111,9 @@ class AnalysisContext {
   // Derived from the SCC condensation, no extra traversal.
   [[nodiscard]] bool control_acyclic() const { return reach_.acyclic(); }
 
-  // The CLG of the graph, built on first use (thread-safe) and cached for
-  // the context's lifetime. Callers that certify the same graph repeatedly
-  // through one context skip the per-call CLG construction entirely.
+  // The CLG of the graph, built on first use (thread-safe) and cached
+  // until a refresh invalidates it. Callers that certify the same graph
+  // repeatedly through one context skip the per-call CLG construction.
   [[nodiscard]] const sg::Clg& clg() const;
 
   // Dominator tree of the control graph rooted at b, built on first use
@@ -63,15 +128,44 @@ class AnalysisContext {
   // the returned engine (infeasible_count(), iterations()).
   [[nodiscard]] const dataflow::GuardFeasibility& guard_feasibility() const;
 
+  // ----- incremental refresh -----
+
+  // What one refresh() did, for observability and tests.
+  struct RefreshStats {
+    bool refreshed = false;       // revision bumped
+    bool full_rebuild = false;    // structural fallback: everything rebuilt
+    bool closure_rebuilt = false; // incremental closure hit its own fallback
+    std::size_t closure_rows = 0; // closure rows re-swept
+    bool clg_reset = false;
+    bool dominators_rebuilt = false;
+    bool feasibility_rebuilt = false;
+    std::size_t feasibility_nodes = 0;  // dataflow rows re-raised
+  };
+
+  // Monotone counter, bumped by every refresh() that may change an answer.
+  // Fresh contexts start at 0. Memoized products derived from this context
+  // (cached certify results, published lint diagnostics) key off it.
+  [[nodiscard]] std::uint64_t revision() const { return revision_; }
+  [[nodiscard]] const RefreshStats& last_refresh() const {
+    return last_refresh_;
+  }
+
+  // Repairs the cached products after the graph changed per `edits` (see
+  // the invalidation table above). `updated` may be the same object the
+  // context was built over (the in-place refinalize() path) or a freshly
+  // built equivalent (the diff_graphs path) — the context rebinds either
+  // way. Returns true iff the revision was bumped; a no-op edit log only
+  // rebinds. Requires exclusive access to the context.
+  bool refresh(const sg::SyncGraph& updated, const sg::GraphEdits& edits);
+
  private:
   const sg::SyncGraph* sg_;
   graph::CondensedReachability reach_;
-  mutable std::once_flag clg_once_;
-  mutable std::unique_ptr<sg::Clg> clg_;
-  mutable std::once_flag dom_once_;
-  mutable std::unique_ptr<graph::Dominators> dom_;
-  mutable std::once_flag feas_once_;
-  mutable std::unique_ptr<dataflow::GuardFeasibility> feas_;
+  LazySlot<sg::Clg> clg_;
+  LazySlot<graph::Dominators> dom_;
+  LazySlot<dataflow::GuardFeasibility> feas_;
+  std::uint64_t revision_ = 0;
+  RefreshStats last_refresh_;
 };
 
 }  // namespace siwa::core

@@ -6,21 +6,50 @@
 
 namespace siwa::dataflow {
 
+namespace {
+
+// The analyzed condition set of a graph: guard conditions unioned with loop
+// conditions, sorted and deduplicated. Recomputed by update() to detect
+// column-layout changes.
+std::vector<Symbol> collect_conditions(const sg::SyncGraph& sg) {
+  std::vector<Symbol> conditions;
+  const std::size_t n = sg.node_count();
+  for (std::size_t i = 0; i < n; ++i)
+    for (const sg::Guard& g : sg.node(NodeId(i)).guards)
+      conditions.push_back(g.cond);
+  for (Symbol c : sg.loop_conditions()) conditions.push_back(c);
+  std::sort(conditions.begin(), conditions.end());
+  conditions.erase(std::unique(conditions.begin(), conditions.end()),
+                   conditions.end());
+  return conditions;
+}
+
+}  // namespace
+
 GuardFeasibility::GuardFeasibility(const sg::SyncGraph& sg,
                                    obs::SinkRef metrics)
     : sg_(&sg) {
   SIWA_REQUIRE(sg.finalized(), "guard feasibility requires finalize()");
+  build(metrics);
+}
+
+void GuardFeasibility::build(obs::SinkRef metrics) {
   obs::Span span(metrics, "dataflow.build");
+  const sg::SyncGraph& sg = *sg_;
+
+  conditions_ = collect_conditions(sg);
+  may0_ = BitMatrix();
+  may1_ = BitMatrix();
+  keep0_ = BitMatrix();
+  keep1_ = BitMatrix();
+  from_begin_.clear();
+  full_ = DynamicBitset();
+  feasible_.clear();
+  constrained_.clear();
+  infeasible_count_ = 0;
+  iterations_ = 0;
 
   const std::size_t n = sg.node_count();
-  for (std::size_t i = 0; i < n; ++i)
-    for (const sg::Guard& g : sg.node(NodeId(i)).guards)
-      conditions_.push_back(g.cond);
-  for (Symbol c : sg.loop_conditions()) conditions_.push_back(c);
-  std::sort(conditions_.begin(), conditions_.end());
-  conditions_.erase(std::unique(conditions_.begin(), conditions_.end()),
-                    conditions_.end());
-
   const std::size_t k = conditions_.size();
   span.arg("conditions", k);
   span.arg("nodes", n);
@@ -33,18 +62,19 @@ GuardFeasibility::GuardFeasibility(const sg::SyncGraph& sg,
   for (std::size_t c = 0; c < k; ++c) full_.set(c);
 
   // Per-node assume masks: the condition values the node's own guard set
-  // still allows. Precomputed once so each transfer is two row ANDs.
-  BitMatrix keep0(n, k);
-  BitMatrix keep1(n, k);
+  // still allows. Precomputed once so each transfer is two row ANDs; kept
+  // as members so update() can re-derive only edited nodes' masks.
+  keep0_ = BitMatrix(n, k);
+  keep1_ = BitMatrix(n, k);
   for (std::size_t i = 0; i < n; ++i) {
-    keep0.row(i).assign(full_);
-    keep1.row(i).assign(full_);
+    keep0_.row(i).assign(full_);
+    keep1_.row(i).assign(full_);
     for (const sg::Guard& g : sg.node(NodeId(i)).guards) {
       const auto c = static_cast<std::size_t>(cond_index(g.cond));
       if (g.arm)
-        keep0.row(i).reset(c);  // inside the true arm: c = 0 impossible here
+        keep0_.row(i).reset(c);  // inside the true arm: c = 0 impossible here
       else
-        keep1.row(i).reset(c);
+        keep1_.row(i).reset(c);
     }
   }
 
@@ -61,11 +91,11 @@ GuardFeasibility::GuardFeasibility(const sg::SyncGraph& sg,
   // every completed run reaches e whatever its control predecessors look
   // like, so e must never go bottom even in gadget graphs where it is
   // control-unreachable.
-  std::vector<std::uint8_t> from_begin(n, 0);
-  from_begin[sg.end_node().index()] = 1;
+  from_begin_.assign(n, 0);
+  from_begin_[sg.end_node().index()] = 1;
   for (std::size_t t = 0; t < sg.task_count(); ++t)
     for (NodeId entry : sg.task_entries(TaskId(t)))
-      from_begin[entry.index()] = 1;
+      from_begin_[entry.index()] = 1;
 
   // Kleene iteration from bottom. States only grow and the transfer
   // (join predecessors, apply assume masks, normalize to bottom when some
@@ -74,18 +104,35 @@ GuardFeasibility::GuardFeasibility(const sg::SyncGraph& sg,
   // round-robin sweep reaches the least fixpoint and stops. Each per-node
   // result is all-zero or covers every column; merging such states
   // preserves the invariant, which is what lets feasible() read row.any().
+  std::vector<std::size_t> order;
+  order.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) order.push_back(i);  // b's state is fixed
+  iterations_ = run_kleene(order);
+
+  recount();
+
+  span.arg("infeasible", infeasible_count_);
+  span.arg("iterations", iterations_);
+  obs::add(metrics, "dataflow.infeasible_nodes", infeasible_count_);
+  obs::add(metrics, "dataflow.iterations", iterations_);
+}
+
+std::size_t GuardFeasibility::run_kleene(const std::vector<std::size_t>& order) {
+  const sg::SyncGraph& sg = *sg_;
+  const std::size_t k = conditions_.size();
   const std::size_t words = bitset_words_for(k);
   std::vector<std::uint64_t> scratch(2 * words);
   BitRow new0(scratch.data(), k);
   BitRow new1(scratch.data() + words, k);
+  std::size_t passes = 0;
   bool changed = true;
   while (changed) {
     changed = false;
-    ++iterations_;
-    for (std::size_t i = 1; i < n; ++i) {  // b's state is fixed
+    ++passes;
+    for (const std::size_t i : order) {
       new0.clear();
       new1.clear();
-      if (from_begin[i] != 0) {
+      if (from_begin_[i] != 0) {
         new0.merge(may0_.row(0));
         new1.merge(may1_.row(0));
       }
@@ -93,8 +140,8 @@ GuardFeasibility::GuardFeasibility(const sg::SyncGraph& sg,
         new0.merge(may0_.row(p.index()));
         new1.merge(may1_.row(p.index()));
       }
-      new0.intersect(keep0.row(i));
-      new1.intersect(keep1.row(i));
+      new0.intersect(keep0_.row(i));
+      new1.intersect(keep1_.row(i));
       bool covered = true;
       for (std::size_t w = 0; w < words; ++w)
         if ((scratch[w] | scratch[words + w]) != full_.words()[w]) {
@@ -109,9 +156,16 @@ GuardFeasibility::GuardFeasibility(const sg::SyncGraph& sg,
       if (may1_.row(i).merge(new1)) changed = true;
     }
   }
+  return passes;
+}
 
+void GuardFeasibility::recount() {
+  const sg::SyncGraph& sg = *sg_;
+  const std::size_t n = sg.node_count();
+  const std::size_t k = conditions_.size();
   feasible_.assign(n, 0);
   constrained_.assign(n, 0);
+  infeasible_count_ = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const ConstBitRow r0 = may0_.row(i);
     const ConstBitRow r1 = may1_.row(i);
@@ -124,11 +178,78 @@ GuardFeasibility::GuardFeasibility(const sg::SyncGraph& sg,
     // intersection misses a column the union covers.
     if (r0.count_and(r1) != k) constrained_[i] = 1;
   }
+}
 
-  span.arg("infeasible", infeasible_count_);
-  span.arg("iterations", iterations_);
-  obs::add(metrics, "dataflow.infeasible_nodes", infeasible_count_);
-  obs::add(metrics, "dataflow.iterations", iterations_);
+void GuardFeasibility::rebind(const sg::SyncGraph& sg) {
+  SIWA_REQUIRE(sg.finalized() && sg.node_count() == sg_->node_count(),
+               "rebinding guard feasibility to a different graph shape");
+  sg_ = &sg;
+}
+
+GuardFeasibility::UpdateStats GuardFeasibility::update(
+    const sg::SyncGraph& sg, const std::vector<std::uint8_t>& affected) {
+  SIWA_REQUIRE(sg.finalized(), "guard feasibility requires finalize()");
+  SIWA_REQUIRE(affected.size() == sg.node_count(),
+               "affected mask does not cover the node set");
+  UpdateStats stats;
+
+  const auto full_rebuild = [&] {
+    sg_ = &sg;
+    stats.full_rebuild = true;
+    build({});
+    stats.iterations = iterations_;
+    return stats;
+  };
+
+  // A changed condition set shifts every column's meaning; a changed node
+  // count means the caller skipped the structural fallback. Both rebuild.
+  if (sg.node_count() != (sg_ ? sg_->node_count() : 0)) return full_rebuild();
+  if (collect_conditions(sg) != conditions_) return full_rebuild();
+  sg_ = &sg;
+  const std::size_t k = conditions_.size();
+  if (k == 0) return stats;  // no conditions before or after: nothing cached
+
+  // Defense in depth: the pinned begin state depends only on the loop
+  // conditions, and the owner rebuilds on loop-condition edits — but a
+  // stale pin would silently poison every row, so verify it.
+  {
+    DynamicBitset pinned1(k);
+    pinned1.view().assign(full_);
+    for (Symbol c : sg.loop_conditions())
+      pinned1.view().reset(static_cast<std::size_t>(cond_index(c)));
+    const std::size_t words = full_.word_count();
+    for (std::size_t w = 0; w < words; ++w)
+      if (may1_.row(0).words()[w] != pinned1.words()[w] ||
+          may0_.row(0).words()[w] != full_.words()[w])
+        return full_rebuild();
+  }
+
+  // Re-derive assume masks and reset the state rows of affected nodes; the
+  // restricted sweep then re-raises exactly those rows from bottom against
+  // the (unchanged, already-least-fixpoint) boundary.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 1; i < sg.node_count(); ++i) {
+    if (affected[i] == 0) continue;
+    order.push_back(i);
+    keep0_.row(i).assign(full_);
+    keep1_.row(i).assign(full_);
+    for (const sg::Guard& g : sg.node(NodeId(i)).guards) {
+      const auto c = static_cast<std::size_t>(cond_index(g.cond));
+      if (g.arm)
+        keep0_.row(i).reset(c);
+      else
+        keep1_.row(i).reset(c);
+    }
+    may0_.row(i).clear();
+    may1_.row(i).clear();
+  }
+  stats.nodes_refreshed = order.size();
+  if (order.empty()) return stats;
+
+  iterations_ = run_kleene(order);
+  stats.iterations = iterations_;
+  recount();
+  return stats;
 }
 
 int GuardFeasibility::cond_index(Symbol cond) const {

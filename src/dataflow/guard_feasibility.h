@@ -111,10 +111,44 @@ class GuardFeasibility {
     return infeasible_count_;
   }
 
-  // Kleene passes until the fixpoint settled (0 when no conditions).
+  // Kleene passes until the fixpoint settled (0 when no conditions; after
+  // update(), the passes of that refresh, not of the original build).
   [[nodiscard]] std::size_t iterations() const { return iterations_; }
 
+  // ----- incremental maintenance -----
+
+  struct UpdateStats {
+    bool full_rebuild = false;
+    std::size_t nodes_refreshed = 0;  // 0 after a full rebuild
+    std::size_t iterations = 0;
+  };
+
+  // Re-points the engine at an equivalent graph instance (same node array)
+  // without touching any state — needed when the owner swaps the graph
+  // object underneath a cache whose analysis results still apply.
+  void rebind(const sg::SyncGraph& sg);
+
+  // Incrementally refreshes the fixpoint after guard and/or control edits
+  // on the same node set. `affected` is a per-node mask that MUST be
+  // closed under control-flow reachability in the NEW graph from every
+  // node whose guard set or predecessor set changed (AnalysisContext
+  // derives it from the freshly updated closure). Soundness: with that
+  // closure property the unaffected sub-system's equations and boundary
+  // inputs are identical before and after the edit, so its old values ARE
+  // its least fixpoint, and re-raising only affected rows from bottom
+  // reaches the global least fixpoint — bit-identical to a fresh build.
+  // Falls back to a full rebuild when the condition set or the pinned
+  // begin-node state changed. Requires exclusive access.
+  UpdateStats update(const sg::SyncGraph& sg,
+                     const std::vector<std::uint8_t>& affected);
+
  private:
+  void build(obs::SinkRef metrics);
+  // Round-robin sweeps over `order` (node indices) until no row grows;
+  // returns the number of passes.
+  std::size_t run_kleene(const std::vector<std::size_t>& order);
+  // Rederives feasible_/constrained_/infeasible_count_ from the rows.
+  void recount();
   [[nodiscard]] int cond_index(Symbol cond) const;
 
   const sg::SyncGraph* sg_;
@@ -123,6 +157,12 @@ class GuardFeasibility {
   // node i. Both rows all-zero <=> infeasible (normalized bottom).
   BitMatrix may0_;
   BitMatrix may1_;
+  // Per-node assume masks (the values each node's own guards still allow)
+  // and the virtual-edge-from-b markers; kept so update() can re-derive
+  // only the affected rows' transfer inputs.
+  BitMatrix keep0_;
+  BitMatrix keep1_;
+  std::vector<std::uint8_t> from_begin_;
   DynamicBitset full_;  // all condition bits set, the "every column covered" mask
   std::vector<std::uint8_t> feasible_;
   std::vector<std::uint8_t> constrained_;

@@ -27,6 +27,20 @@ void Digraph::add_edge(VertexId from, VertexId to) {
   ++edge_count_;
 }
 
+void Digraph::remove_edge(VertexId from, VertexId to) {
+  SIWA_REQUIRE(from.valid() && from.index() < succ_.size(), "bad edge source");
+  SIWA_REQUIRE(to.valid() && to.index() < succ_.size(), "bad edge target");
+  auto& out = succ_[from.index()];
+  const auto so = std::find(out.begin(), out.end(), to);
+  SIWA_REQUIRE(so != out.end(), "removing a control edge that does not exist");
+  out.erase(so);
+  auto& in = pred_[to.index()];
+  const auto si = std::find(in.begin(), in.end(), from);
+  SIWA_REQUIRE(si != in.end(), "pred list out of sync with succ list");
+  in.erase(si);
+  --edge_count_;
+}
+
 bool Digraph::has_edge(VertexId from, VertexId to) const {
   const auto& out = succ_[from.index()];
   return std::find(out.begin(), out.end(), to) != out.end();

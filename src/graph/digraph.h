@@ -23,6 +23,10 @@ class Digraph {
   VertexId add_vertex();
   void grow_to(std::size_t n);
   void add_edge(VertexId from, VertexId to);
+  // Removes one occurrence of the edge (parallel edges are removed one at a
+  // time); requires the edge to exist. Later successors shift down, so
+  // removal is O(out-degree + in-degree).
+  void remove_edge(VertexId from, VertexId to);
 
   [[nodiscard]] std::size_t vertex_count() const { return succ_.size(); }
   [[nodiscard]] std::size_t edge_count() const { return edge_count_; }

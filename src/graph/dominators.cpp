@@ -40,9 +40,21 @@ std::vector<VertexId> reverse_postorder(const Digraph& g, VertexId entry) {
 
 }  // namespace
 
-Dominators::Dominators(const Digraph& g, VertexId entry) {
+Dominators::Dominators(const Digraph& g, VertexId entry) : entry_(entry) {
+  SIWA_REQUIRE(entry.valid() && entry.index() < g.vertex_count(),
+               "bad dominator entry");
+  build(g);
+}
+
+void Dominators::update(const Digraph& g) {
+  SIWA_REQUIRE(g.vertex_count() == idom_.size(),
+               "dominator update across a vertex-set change");
+  build(g);
+}
+
+void Dominators::build(const Digraph& g) {
+  const VertexId entry = entry_;
   const std::size_t n = g.vertex_count();
-  SIWA_REQUIRE(entry.valid() && entry.index() < n, "bad dominator entry");
   idom_.assign(n, VertexId::invalid());
 
   const std::vector<VertexId> rpo = reverse_postorder(g, entry);

@@ -26,7 +26,22 @@ class Dominators {
     return idom_[v.index()].valid();
   }
 
+  [[nodiscard]] VertexId entry() const { return entry_; }
+
+  // Refreshes the tree after control edits on the same vertex set, reusing
+  // the existing buffers. This is a bounded in-place recompute, not a
+  // restricted re-iteration: CHK's convergence proof needs the
+  // all-undefined start, and re-iterating only a dirty subtree from a
+  // partially seeded state can settle on a non-maximal stable solution.
+  // The incremental win lives one level up — AnalysisContext only calls
+  // this when a control edit can change dominance at all, and not before
+  // the tree was first demanded. Requires exclusive access.
+  void update(const Digraph& g);
+
  private:
+  void build(const Digraph& g);
+
+  VertexId entry_;
   std::vector<VertexId> idom_;
   // Euler-tour numbering of the dominator tree for O(1) dominates() queries.
   std::vector<int> tree_in_;

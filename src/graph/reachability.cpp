@@ -11,6 +11,11 @@ namespace {
 // Both kernels tally into the process-wide observability registry; the
 // closure_constructions() accessor and its delta semantics are unchanged.
 constexpr const char* kClosureCounter = "graph.closure_constructions";
+// Incremental maintenance tallies separately so the per-certify
+// construction-count contract stays pinned.
+constexpr const char* kClosureUpdateCounter = "graph.closure_updates";
+constexpr const char* kClosureUpdateRebuildCounter =
+    "graph.closure_update_rebuilds";
 
 }  // namespace
 
@@ -48,6 +53,11 @@ Reachability::Reachability(const Digraph& g) : matrix_(g.vertex_count()) {
 
 CondensedReachability::CondensedReachability(const Digraph& g) {
   obs::process_counters().add(kClosureCounter, 1);
+  build(g);
+}
+
+void CondensedReachability::build(const Digraph& g) {
+  acyclic_ = true;
   const std::size_t n = g.vertex_count();
   const SccResult scc = tarjan_scc(g);
   const std::size_t comps = scc.component_count;
@@ -109,6 +119,137 @@ CondensedReachability::CondensedReachability(const Digraph& g) {
       for (std::size_t m = member_start[c]; m < member_start[c + 1]; ++m)
         row.set(members[m]);
   }
+}
+
+CondensedReachability::UpdateStats CondensedReachability::update(
+    const Digraph& g, std::span<const std::pair<VertexId, VertexId>> added,
+    std::span<const std::pair<VertexId, VertexId>> removed) {
+  obs::process_counters().add(kClosureUpdateCounter, 1);
+  UpdateStats stats;
+  if (added.empty() && removed.empty() &&
+      g.vertex_count() == component_of_.size())
+    return stats;
+
+  const auto full_rebuild = [&] {
+    obs::process_counters().add(kClosureUpdateRebuildCounter, 1);
+    stats.full_rebuild = true;
+    build(g);
+    return stats;
+  };
+
+  const std::size_t n = g.vertex_count();
+  if (n != component_of_.size()) return full_rebuild();
+
+  // The incremental path requires the SCC partition to be unchanged (every
+  // row belongs to a component; if a cycle formed or broke, rows split or
+  // merge and a rebuild is simpler than repartitioning). Verify by checking
+  // that new and old component ids are a consistent bijection.
+  const SccResult scc = tarjan_scc(g);
+  const std::size_t comps = scc.component_count;
+  if (comps != rows_.row_count()) return full_rebuild();
+  std::vector<std::size_t> old_of_new(comps, comps);
+  std::vector<std::uint8_t> old_claimed(comps, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const auto new_c = static_cast<std::size_t>(scc.component_of[v]);
+    const std::size_t old_c = component_of_[v];
+    if (old_of_new[new_c] == comps) {
+      if (old_claimed[old_c]) return full_rebuild();
+      old_of_new[new_c] = old_c;
+      old_claimed[old_c] = 1;
+    } else if (old_of_new[new_c] != old_c) {
+      return full_rebuild();
+    }
+  }
+
+  // Affected components, conservatively: (a) everything that reaches a
+  // changed-edge source in the NEW graph — their rows may gain (insertions)
+  // or lose (the shrunk part now sits behind them); (b) everything whose
+  // OLD row covered a removed-edge source — old paths through the removed
+  // edge went through its source first. One vertex-level reverse DFS from
+  // all changed sources handles (a); (b) is a row-bit probe per removal.
+  std::vector<std::uint8_t> affected(comps, 0);
+  {
+    DynamicBitset visited(n);
+    std::vector<std::size_t> stack;
+    const auto seed = [&](VertexId u) {
+      if (!visited.test(u.index())) {
+        visited.set(u.index());
+        stack.push_back(u.index());
+      }
+    };
+    for (const auto& e : added) seed(e.first);
+    for (const auto& e : removed) seed(e.first);
+    while (!stack.empty()) {
+      const std::size_t v = stack.back();
+      stack.pop_back();
+      affected[component_of_[v]] = 1;
+      for (VertexId p : g.predecessors(VertexId(v))) {
+        if (!visited.test(p.index())) {
+          visited.set(p.index());
+          stack.push_back(p.index());
+        }
+      }
+    }
+    for (const auto& e : removed) {
+      const std::size_t u = e.first.index();
+      for (std::size_t c = 0; c < comps; ++c)
+        if (rows_.test(c, u)) affected[c] = 1;
+    }
+  }
+
+  // Same counting-sort member layout and cyclic flags as build(), derived
+  // from the new graph (a self-loop edit changes cyclicity while keeping
+  // the partition).
+  std::vector<std::size_t> member_start(comps + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) ++member_start[component_of_[v] + 1];
+  for (std::size_t c = 0; c < comps; ++c)
+    member_start[c + 1] += member_start[c];
+  std::vector<std::size_t> members(n);
+  {
+    std::vector<std::size_t> cursor(member_start.begin(),
+                                    member_start.end() - 1);
+    for (std::size_t v = 0; v < n; ++v)
+      members[cursor[component_of_[v]]++] = v;
+  }
+  std::vector<bool> cyclic(comps, false);
+  for (std::size_t c = 0; c < comps; ++c)
+    if (member_start[c + 1] - member_start[c] > 1) cyclic[c] = true;
+  for (std::size_t v = 0; v < n; ++v)
+    for (VertexId w : g.successors(VertexId(v)))
+      if (w.index() == v) cyclic[component_of_[v]] = true;
+  acyclic_ = true;
+  for (std::size_t c = 0; c < comps; ++c)
+    if (cyclic[c]) acyclic_ = false;
+
+  // Re-sweep affected rows in the NEW reverse topological order (Tarjan's
+  // numbering of the fresh SCC run, translated through the bijection). An
+  // affected successor component is numbered lower, so its row is final by
+  // the time a later component merges it; unaffected rows are already
+  // final by definition.
+  std::vector<std::size_t> seen_in(comps, comps);
+  for (std::size_t new_c = 0; new_c < comps; ++new_c) {
+    const std::size_t c = old_of_new[new_c];
+    if (!affected[c]) continue;
+    ++stats.rows_recomputed;
+    BitRow row = rows_.row(c);
+    row.clear();
+    for (std::size_t m = member_start[c]; m < member_start[c + 1]; ++m) {
+      for (VertexId w : g.successors(VertexId(members[m]))) {
+        const std::size_t d = component_of_[w.index()];
+        if (d == c || seen_in[d] == c) continue;
+        seen_in[d] = c;
+        SIWA_REQUIRE(
+            static_cast<std::size_t>(scc.component_of[w.index()]) < new_c,
+            "condensation edge against Tarjan's order");
+        row.merge(rows_.row(d));
+        if (!cyclic[d]) row.set(w.index());
+      }
+    }
+    if (cyclic[c])
+      for (std::size_t m = member_start[c]; m < member_start[c + 1]; ++m)
+        row.set(members[m]);
+  }
+  return stats;
 }
 
 DynamicBitset reachable_from(const Digraph& g, VertexId start) {

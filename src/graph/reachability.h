@@ -21,6 +21,8 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -85,8 +87,32 @@ class CondensedReachability {
   [[nodiscard]] std::size_t component_of(VertexId v) const {
     return component_of_[v.index()];
   }
+  [[nodiscard]] std::size_t vertex_count() const {
+    return component_of_.size();
+  }
+
+  struct UpdateStats {
+    bool full_rebuild = false;
+    std::size_t rows_recomputed = 0;  // 0 after a full rebuild
+  };
+
+  // Incrementally maintains the closure after `g` gained `added` and lost
+  // `removed` edges on the SAME vertex set. Components whose reachable set
+  // may have changed — those that reach a changed-edge source in the new
+  // graph, plus those whose old row covered a removed-edge source — are
+  // re-swept in the new reverse topological order; everything else keeps
+  // its row. When the SCC partition itself changed (a cycle formed or
+  // broke) or the vertex count differs, falls back to a full rebuild.
+  // Counts into "graph.closure_updates" / "graph.closure_update_rebuilds",
+  // NOT closure_constructions(): the per-certify construction contract is
+  // unchanged. Requires exclusive access (not thread-safe against readers).
+  UpdateStats update(const Digraph& g,
+                     std::span<const std::pair<VertexId, VertexId>> added,
+                     std::span<const std::pair<VertexId, VertexId>> removed);
 
  private:
+  void build(const Digraph& g);
+
   std::vector<std::size_t> component_of_;  // by vertex
   BitMatrix rows_;                         // by component, over vertices
   bool acyclic_ = true;

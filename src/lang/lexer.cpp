@@ -36,6 +36,7 @@ std::string_view token_kind_name(TokenKind kind) {
   switch (kind) {
     case TokenKind::Identifier: return "identifier";
     case TokenKind::IntLiteral: return "integer";
+    case TokenKind::StringLiteral: return "string";
     case TokenKind::KwTask: return "'task'";
     case TokenKind::KwIs: return "'is'";
     case TokenKind::KwBegin: return "'begin'";
@@ -106,6 +107,31 @@ std::vector<Token> lex(std::string_view source, DiagnosticSink& sink) {
     if (c == ',') {
       tokens.push_back({TokenKind::Comma, ",", loc});
       advance();
+      continue;
+    }
+    if (c == '"') {
+      advance();  // opening quote
+      std::string text;
+      bool closed = false;
+      while (i < source.size() && source[i] != '\n') {
+        if (source[i] == '"') {
+          if (i + 1 < source.size() && source[i + 1] == '"') {
+            text.push_back('"');  // Ada escape: "" is one quote
+            advance(2);
+            continue;
+          }
+          advance();
+          closed = true;
+          break;
+        }
+        text.push_back(source[i]);
+        advance();
+      }
+      if (!closed) {
+        sink.error(loc, "unterminated string literal");
+        continue;
+      }
+      tokens.push_back({TokenKind::StringLiteral, text, loc});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {

@@ -199,6 +199,16 @@ class Parser {
         if (!expect(TokenKind::Semicolon, "';'")) return std::nullopt;
         return make_null(loc);
       }
+      case TokenKind::StringLiteral: {
+        // Docstring statement: a bare string literal is a no-op, like
+        // null;. The contents carry no semantics (round-tripping through
+        // the printer drops them), but they give edits a place to land
+        // that provably cannot change the sync graph — and they exercise
+        // the rule that `--` inside a string is not a comment.
+        advance();
+        if (!expect(TokenKind::Semicolon, "';'")) return std::nullopt;
+        return make_null(loc);
+      }
       case TokenKind::KwCall: {
         advance();
         auto target = expect_identifier(program, "procedure name");

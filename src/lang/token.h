@@ -15,6 +15,9 @@ namespace siwa::lang {
 enum class TokenKind {
   Identifier,
   IntLiteral,
+  // "..." with Ada's doubled-quote escape ("" inside a literal is one
+  // quote); may not span lines. Used by docstring statements.
+  StringLiteral,
   // keywords
   KwTask,
   KwIs,
@@ -45,7 +48,8 @@ enum class TokenKind {
 struct Token {
   TokenKind kind = TokenKind::Invalid;
   std::string text;  // identifier spelling (lowercased; MiniAda, like Ada,
-                     // is case-insensitive)
+                     // is case-insensitive); for StringLiteral, the decoded
+                     // contents (case preserved, escapes resolved)
   SourceLoc loc;
 };
 

@@ -1,0 +1,82 @@
+#include "lint/cache.h"
+
+#include <utility>
+
+#include "syncgraph/graph_edits.h"
+
+namespace siwa::lint {
+
+core::AnalysisContext& LintCache::acquire(std::string_view key,
+                                          std::unique_ptr<sg::SyncGraph> fresh,
+                                          obs::SinkRef metrics) {
+  auto it = slots_.find(key);
+  if (it == slots_.end())
+    it = slots_.emplace(std::string(key), Slot{}).first;
+  Slot& slot = it->second;
+
+  if (slot.graph != nullptr && slot.ctx != nullptr) {
+    if (auto edits = sg::diff_graphs(*slot.graph, *fresh)) {
+      // Compatible shape: refresh the cached context against the new graph
+      // (rebinding it off the old one), then let the old graph go. Memos
+      // stay — they key off the revision, which refresh() bumps iff any
+      // answer may have changed.
+      slot.ctx->refresh(*fresh, *edits);
+      slot.graph = std::move(fresh);
+      ++stats_.context_reuses;
+      obs::add(metrics, "lint.cache.context_reuses", 1);
+      return *slot.ctx;
+    }
+  }
+
+  // First use of the slot, or a structural change diff_graphs refuses to
+  // bridge: rebuild everything and drop the now-unkeyed memos.
+  slot.ctx.reset();
+  slot.graph = std::move(fresh);
+  slot.ctx = std::make_unique<core::AnalysisContext>(*slot.graph);
+  slot.memos.clear();
+  ++stats_.context_rebuilds;
+  obs::add(metrics, "lint.cache.context_rebuilds", 1);
+  return *slot.ctx;
+}
+
+core::CertifyResult LintCache::certify(std::string_view key,
+                                       const core::AnalysisContext& ctx,
+                                       const core::CertifyOptions& options,
+                                       obs::SinkRef metrics) {
+  const auto it = slots_.find(key);
+  const bool memoizable = it != slots_.end() &&
+                          it->second.ctx.get() == &ctx &&
+                          options.extra_not_coexec.empty();
+  const Fingerprint fp{options.algorithm, options.apply_constraint4,
+                       options.stop_at_first_hit, options.use_guard_dataflow,
+                       options.parallel.threads};
+  if (memoizable) {
+    for (const CertifyMemo& memo : it->second.memos) {
+      if (memo.fingerprint == fp && memo.revision == ctx.revision()) {
+        ++stats_.certify_hits;
+        obs::add(metrics, "lint.cache.certify_hits", 1);
+        return memo.result;
+      }
+    }
+  }
+
+  core::CertifyResult result = core::certify_graph(ctx, options);
+  ++stats_.certify_misses;
+  obs::add(metrics, "lint.cache.certify_misses", 1);
+  if (memoizable) {
+    std::vector<CertifyMemo>& memos = it->second.memos;
+    bool replaced = false;
+    for (CertifyMemo& memo : memos) {
+      if (memo.fingerprint == fp) {
+        memo.revision = ctx.revision();
+        memo.result = result;
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) memos.push_back({fp, ctx.revision(), result});
+  }
+  return result;
+}
+
+}  // namespace siwa::lint

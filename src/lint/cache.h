@@ -1,0 +1,109 @@
+// Persistent analysis state for repeated lints of one evolving program —
+// the engine room of the siwa_lintd server (src/server).
+//
+// run_lint is stateless: every call builds a sync graph, constructs an
+// AnalysisContext (one control-closure construction) and, when a detector
+// pass runs, pays a full hypothesis sweep. A LintCache threaded through
+// run_lint amortizes all of that across calls:
+//
+//   context reuse   The cache owns the previous call's graph and context
+//                   per slot key ("structural", "unrolled"). A new call
+//                   hands acquire() its freshly built graph; when
+//                   sg::diff_graphs recovers an edit log against the cached
+//                   graph, the cached context is *refreshed* (selective
+//                   invalidation, see core::AnalysisContext) instead of
+//                   rebuilt. Structural changes fall back to a rebuild.
+//
+//   certify memo    Detector verdicts are memoized per slot against
+//                   (options fingerprint, context revision). An edit that
+//                   provably cannot change the graph (a docstring tweak, a
+//                   comment) leaves the revision unchanged, so the repeat
+//                   certify returns instantly.
+//
+// Identity contract: a cached answer is only ever served when the context
+// revision is unchanged, and a refreshed context answers every query
+// bit-identically to a freshly built one (enforced by test_incremental's
+// property suite) — so lint output through a cache is byte-identical to the
+// cold path. The cache is single-consumer: calls require external
+// synchronization, the same rule as mutating a graph.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analysis_context.h"
+#include "core/certifier.h"
+#include "obs/metrics.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::lint {
+
+class LintCache {
+ public:
+  struct Stats {
+    std::size_t context_reuses = 0;    // diff engaged, context refreshed
+    std::size_t context_rebuilds = 0;  // first build or structural fallback
+    std::size_t certify_hits = 0;      // memoized verdict served
+    std::size_t certify_misses = 0;    // detector actually ran
+  };
+
+  // Binds slot `key` to `fresh` (which the cache takes ownership of) and
+  // returns its analysis context. If the slot already holds a structurally
+  // compatible graph (sg::diff_graphs engages), the existing context is
+  // refreshed with the recovered edit log; otherwise the slot's context is
+  // rebuilt from scratch. Emits lint.cache.context_{reuses,rebuilds}
+  // counters into `metrics`.
+  core::AnalysisContext& acquire(std::string_view key,
+                                 std::unique_ptr<sg::SyncGraph> fresh,
+                                 obs::SinkRef metrics = {});
+
+  // certify_graph(ctx, options), memoized. A repeat call on slot `key` with
+  // an equivalent options fingerprint at an unchanged ctx.revision() returns
+  // the stored result without running the detector. Falls through to a
+  // plain certify (no memo) when `ctx` is not the slot's context — the
+  // defensive path for callers that never called acquire().
+  core::CertifyResult certify(std::string_view key,
+                              const core::AnalysisContext& ctx,
+                              const core::CertifyOptions& options,
+                              obs::SinkRef metrics = {});
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  // The CertifyOptions fields that can change a cached verdict. Extra
+  // not-coexec pairs and precedence tuning are deliberately NOT folded in:
+  // callers that use them (none of the lint pipeline does) get a correct
+  // miss because run_lint never sets them, and certify() compares them
+  // explicitly to stay honest.
+  struct Fingerprint {
+    core::Algorithm algorithm;
+    bool apply_constraint4;
+    bool stop_at_first_hit;
+    bool use_guard_dataflow;
+    std::size_t threads;
+
+    friend bool operator==(const Fingerprint&, const Fingerprint&) = default;
+  };
+
+  struct CertifyMemo {
+    Fingerprint fingerprint;
+    std::uint64_t revision = 0;
+    core::CertifyResult result;
+  };
+
+  struct Slot {
+    std::unique_ptr<sg::SyncGraph> graph;
+    std::unique_ptr<core::AnalysisContext> ctx;
+    std::vector<CertifyMemo> memos;
+  };
+
+  std::map<std::string, Slot, std::less<>> slots_;
+  Stats stats_;
+};
+
+}  // namespace siwa::lint

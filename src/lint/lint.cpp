@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <tuple>
 #include <utility>
 
 #include "dataflow/guard_feasibility.h"
+#include "lint/cache.h"
 #include "lint/rules.h"
 #include "lint/suppress.h"
 #include "stall/balance.h"
@@ -19,6 +21,28 @@ namespace siwa::lint {
 namespace {
 
 std::string rule_id(std::string_view id) { return std::string(id); }
+
+core::CertifyOptions certify_options_for(const LintOptions& options) {
+  core::CertifyOptions certify;
+  certify.algorithm = options.algorithm;
+  certify.apply_constraint4 = options.apply_constraint4;
+  certify.stop_at_first_hit = true;
+  certify.use_guard_dataflow = options.use_guard_dataflow;
+  certify.parallel.threads = options.threads;
+  certify.metrics = options.metrics;
+  return certify;
+}
+
+// The one certify entry both the cached and the cold pipeline share; the
+// cache only memoizes, so the answers are identical by construction.
+core::CertifyResult certify_via(LintCache* cache, std::string_view key,
+                                const core::AnalysisContext& ctx,
+                                const LintOptions& options) {
+  const core::CertifyOptions certify = certify_options_for(options);
+  if (cache != nullptr)
+    return cache->certify(key, ctx, certify, options.metrics);
+  return core::certify_graph(ctx, certify);
+}
 
 // ---- SIWA004: stall-balance imbalance, anchored at the signal's sites ----
 
@@ -87,8 +111,11 @@ using TaskLocLookup = std::function<SourceLoc(std::string_view)>;
 
 void graph_diagnostics(const core::AnalysisContext& ctx,
                        const LintOptions& options,
-                       const TaskLocLookup& task_loc, bool* certified_free,
-                       std::vector<Diagnostic>& diags) {
+                       const TaskLocLookup& task_loc,
+                       std::optional<bool>* certified_free,
+                       std::vector<Diagnostic>& diags,
+                       LintCache* cache = nullptr,
+                       std::string_view cache_key = "structural") {
   const sg::SyncGraph& graph = ctx.graph();
   const NodeId begin = graph.begin_node();
 
@@ -253,14 +280,8 @@ void graph_diagnostics(const core::AnalysisContext& ctx,
   }
 
   if (options.run_detector && ctx.control_acyclic()) {
-    core::CertifyOptions certify;
-    certify.algorithm = options.algorithm;
-    certify.apply_constraint4 = options.apply_constraint4;
-    certify.stop_at_first_hit = true;
-    certify.use_guard_dataflow = options.use_guard_dataflow;
-    certify.parallel.threads = options.threads;
-    certify.metrics = options.metrics;
-    const core::CertifyResult result = core::certify_graph(ctx, certify);
+    const core::CertifyResult result =
+        certify_via(cache, cache_key, ctx, options);
     if (certified_free != nullptr) *certified_free = result.certified_free;
     for (Diagnostic& d : witness_diagnostics(graph, result))
       diags.push_back(std::move(d));
@@ -341,7 +362,7 @@ std::vector<Diagnostic> witness_diagnostics(const sg::SyncGraph& graph,
 
 std::vector<Diagnostic> lint_graph(const core::AnalysisContext& ctx,
                                    const LintOptions& options,
-                                   bool* certified_free) {
+                                   std::optional<bool>* certified_free) {
   std::vector<Diagnostic> diags;
   graph_diagnostics(ctx, options, TaskLocLookup{}, certified_free, diags);
   dedupe_by_rule_and_loc(diags);
@@ -350,7 +371,7 @@ std::vector<Diagnostic> lint_graph(const core::AnalysisContext& ctx,
 
 LintResult run_lint(const lang::Program& program, std::string_view source,
                     const LintOptions& options,
-                    std::span<const Diagnostic> frontend) {
+                    std::span<const Diagnostic> frontend, LintCache* cache) {
   LintResult result;
   std::vector<Diagnostic> diags(frontend.begin(), frontend.end());
 
@@ -370,35 +391,53 @@ LintResult run_lint(const lang::Program& program, std::string_view source,
   // when the program has loops it runs on the Lemma 1 unrolled graph
   // instead — statement copies keep their source locations, and the
   // rule+location dedupe collapses the duplicated findings.
+  //
+  // With a cache, each pass's context lives in the cache keyed by its graph
+  // family; without one, contexts are stack-local as before.
   const bool needs_unroll = transform::has_loops(program);
-  bool certified = true;
+  std::optional<bool> certified;
   {
     obs::Span graph_span(options.metrics, "lint.graph");
-    const sg::SyncGraph graph = sg::build_sync_graph(program);
-    const core::AnalysisContext ctx(graph);
+    auto fresh =
+        std::make_unique<sg::SyncGraph>(sg::build_sync_graph(program));
+    std::unique_ptr<sg::SyncGraph> owned_graph;
+    std::unique_ptr<core::AnalysisContext> owned_ctx;
+    const core::AnalysisContext* ctx;
+    if (cache != nullptr) {
+      ctx = &cache->acquire("structural", std::move(fresh), options.metrics);
+    } else {
+      owned_graph = std::move(fresh);
+      owned_ctx = std::make_unique<core::AnalysisContext>(*owned_graph);
+      ctx = owned_ctx.get();
+    }
 
     LintOptions structural = options;
     structural.run_detector = options.run_detector && !needs_unroll;
-    graph_diagnostics(ctx, structural, task_loc, &certified, diags);
-    result.detector_ran = structural.run_detector && ctx.control_acyclic();
+    graph_diagnostics(*ctx, structural, task_loc, &certified, diags, cache,
+                      "structural");
+    result.detector_ran = structural.run_detector && ctx->control_acyclic();
   }
 
   if (options.run_detector && needs_unroll) {
     obs::Span span(options.metrics, "lint.detector");
     const lang::Program unrolled = transform::unroll_loops_twice(program);
-    const sg::SyncGraph unrolled_graph = sg::build_sync_graph(unrolled);
-    const core::AnalysisContext unrolled_ctx(unrolled_graph);
-    if (unrolled_ctx.control_acyclic()) {
-      core::CertifyOptions certify;
-      certify.algorithm = options.algorithm;
-      certify.apply_constraint4 = options.apply_constraint4;
-      certify.stop_at_first_hit = true;
-      certify.use_guard_dataflow = options.use_guard_dataflow;
-      certify.parallel.threads = options.threads;
-      certify.metrics = options.metrics;
-      const core::CertifyResult r = core::certify_graph(unrolled_ctx, certify);
+    auto fresh =
+        std::make_unique<sg::SyncGraph>(sg::build_sync_graph(unrolled));
+    std::unique_ptr<sg::SyncGraph> owned_graph;
+    std::unique_ptr<core::AnalysisContext> owned_ctx;
+    const core::AnalysisContext* ctx;
+    if (cache != nullptr) {
+      ctx = &cache->acquire("unrolled", std::move(fresh), options.metrics);
+    } else {
+      owned_graph = std::move(fresh);
+      owned_ctx = std::make_unique<core::AnalysisContext>(*owned_graph);
+      ctx = owned_ctx.get();
+    }
+    if (ctx->control_acyclic()) {
+      const core::CertifyResult r =
+          certify_via(cache, "unrolled", *ctx, options);
       certified = r.certified_free;
-      for (Diagnostic& d : witness_diagnostics(unrolled_graph, r))
+      for (Diagnostic& d : witness_diagnostics(ctx->graph(), r))
         diags.push_back(std::move(d));
       result.detector_ran = true;
     }
@@ -406,8 +445,12 @@ LintResult run_lint(const lang::Program& program, std::string_view source,
   result.certified_free = certified;
 
   if (options.apply_suppressions && !source.empty()) {
-    const std::vector<Suppression> suppressions = parse_suppressions(source);
-    result.suppressed = apply_suppressions(diags, suppressions);
+    SuppressionScan scan = scan_suppressions(source);
+    // The scan's own SIWA999 meta-diagnostics join the report *before*
+    // suppression filtering, so `-- lint: allow(SIWA999)` can silence them
+    // like any other rule.
+    for (Diagnostic& d : scan.diagnostics) diags.push_back(std::move(d));
+    result.suppressed = apply_suppressions(diags, scan.suppressions);
   }
 
   dedupe_by_rule_and_loc(diags);

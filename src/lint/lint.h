@@ -30,6 +30,7 @@
 // Warning, and all remaining rules are Warning-severity (conservative).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -40,6 +41,8 @@
 #include "support/diagnostics.h"
 
 namespace siwa::lint {
+
+class LintCache;
 
 struct LintOptions {
   // Run the refined detector and render its witness as SIWA010. Skipped
@@ -69,31 +72,45 @@ struct LintResult {
   std::vector<Diagnostic> diagnostics;
   std::size_t suppressed = 0;   // findings removed by allow(...) comments
   bool detector_ran = false;    // SIWA010 pass executed
-  bool certified_free = true;   // detector verdict (valid when detector_ran)
+  // Tri-state detector verdict: engaged iff a detector actually ran
+  // (detector_ran). nullopt means "no verdict" — e.g. run_detector was off,
+  // or the graph stayed cyclic so the detector was skipped. Callers that
+  // previously read a bool here were silently treating "never ran" as
+  // "certified free"; the optional makes that state unrepresentable.
+  std::optional<bool> certified_free;
 
   [[nodiscard]] std::size_t count(Severity severity) const;
   [[nodiscard]] bool has_errors() const { return count(Severity::Error) > 0; }
 };
 
 // Full pipeline over a parsed and semantically checked program. `source` is
-// the raw program text, used only for suppression comments (pass an empty
-// view when unavailable). `frontend` carries already-collected frontend
+// the raw program text, used for suppression comments (pass an empty view
+// when unavailable). `frontend` carries already-collected frontend
 // diagnostics to merge into the report; rule-tagged entries (the sema
 // self-send warning is SIWA003) deduplicate against the engine's own
 // findings at the same location.
+//
+// `cache`, when non-null, makes repeated lints of one evolving program
+// incremental (see lint/cache.h): the per-graph AnalysisContext is kept
+// across calls and refreshed via sg::diff_graphs instead of rebuilt, and
+// detector verdicts are memoized against the context revision. Results are
+// bit-identical to the cache-less path by construction — both run the same
+// certify call over a context answering the same queries.
 [[nodiscard]] LintResult run_lint(const lang::Program& program,
                                   std::string_view source,
                                   const LintOptions& options = {},
-                                  std::span<const Diagnostic> frontend = {});
+                                  std::span<const Diagnostic> frontend = {},
+                                  LintCache* cache = nullptr);
 
 // Graph-family rules only, over any finalized sync graph (including gadget
 // graphs that no program generates). All reachability queries go through
 // `ctx`'s shared closure. Diagnostics for nodes without source locations
 // anchor at 0:0. `certified_free`, when non-null, receives the detector
-// verdict (left untouched when the detector does not run).
+// verdict (left untouched — typically disengaged — when no detector runs,
+// e.g. on a cyclic control graph).
 [[nodiscard]] std::vector<Diagnostic> lint_graph(
     const core::AnalysisContext& ctx, const LintOptions& options = {},
-    bool* certified_free = nullptr);
+    std::optional<bool>* certified_free = nullptr);
 
 // Renders a certification witness as a SIWA010 diagnostic against the
 // graph the certification ran on. Empty optional when the result is

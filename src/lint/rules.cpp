@@ -47,6 +47,11 @@ constexpr RuleInfo kRules[] = {
      "diagnostic anchors the coupling-cycle head and lists the remaining "
      "cycle nodes as related locations. Conservative: the cycle may be "
      "spurious."},
+    {kRuleUnknownSuppression, "unknown-suppression-rule", Severity::Warning,
+     "A -- lint: allow(...) directive names a rule id the taxonomy does "
+     "not define; the unknown id suppresses nothing, so the directive "
+     "probably does not do what its author intended (a typo like SIWA01, "
+     "or a rule from a different tool)."},
 };
 
 }  // namespace

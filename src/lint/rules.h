@@ -39,6 +39,7 @@ inline constexpr std::string_view kRuleDeadGuardedArm = "SIWA006";
 inline constexpr std::string_view kRuleContradictoryGuards = "SIWA007";
 inline constexpr std::string_view kRuleConflictingRendezvous = "SIWA008";
 inline constexpr std::string_view kRuleDeadlockWitness = "SIWA010";
+inline constexpr std::string_view kRuleUnknownSuppression = "SIWA999";
 
 struct RuleInfo {
   std::string_view id;

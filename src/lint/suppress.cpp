@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "lint/rules.h"
 
 namespace siwa::lint {
 namespace {
@@ -16,19 +21,31 @@ bool consume(std::string_view text, std::size_t& i, std::string_view word) {
   return true;
 }
 
-// Parses "lint: allow(ID[, ID]*)" starting after a "--" comment marker.
-// Returns false (and leaves `out` untouched) when the comment is not a
-// well-formed lint directive.
-bool parse_directive(std::string_view comment, Suppression& out) {
+struct ParsedDirective {
+  bool all = false;
+  std::vector<std::string> rules;  // uppercased ids, "all" excluded
+  // Every non-"all" id with its offset inside the comment contents, for
+  // unknown-id reporting with a real column.
+  std::vector<std::pair<std::string, std::size_t>> id_offsets;
+};
+
+// Parses "lint: allow(ID[, ID]*)" (whitespace tolerated around each piece,
+// including between "allow" and the parenthesis) starting after a "--"
+// comment marker. Returns nullopt when the comment is not a well-formed
+// lint directive.
+std::optional<ParsedDirective> parse_directive(std::string_view comment) {
   std::size_t i = 0;
   skip_spaces(comment, i);
-  if (!consume(comment, i, "lint:")) return false;
+  if (!consume(comment, i, "lint:")) return std::nullopt;
   skip_spaces(comment, i);
-  if (!consume(comment, i, "allow(")) return false;
+  if (!consume(comment, i, "allow")) return std::nullopt;
+  skip_spaces(comment, i);
+  if (!consume(comment, i, "(")) return std::nullopt;
 
-  Suppression parsed;
+  ParsedDirective parsed;
   while (true) {
     skip_spaces(comment, i);
+    const std::size_t id_begin = i;
     std::string id;
     while (i < comment.size() &&
            (std::isalnum(static_cast<unsigned char>(comment[i])) != 0)) {
@@ -36,11 +53,13 @@ bool parse_directive(std::string_view comment, Suppression& out) {
           std::toupper(static_cast<unsigned char>(comment[i]))));
       ++i;
     }
-    if (id.empty()) return false;
-    if (id == "ALL")
+    if (id.empty()) return std::nullopt;
+    if (id == "ALL") {
       parsed.all = true;
-    else
+    } else {
+      parsed.id_offsets.emplace_back(id, id_begin);
       parsed.rules.push_back(std::move(id));
+    }
     skip_spaces(comment, i);
     if (i < comment.size() && comment[i] == ',') {
       ++i;
@@ -48,45 +67,127 @@ bool parse_directive(std::string_view comment, Suppression& out) {
     }
     break;
   }
-  if (i >= comment.size() || comment[i] != ')') return false;
-  out.all = parsed.all;
-  out.rules = std::move(parsed.rules);
-  return true;
+  if (i >= comment.size() || comment[i] != ')') return std::nullopt;
+  return parsed;
 }
 
 }  // namespace
 
-std::vector<Suppression> parse_suppressions(std::string_view source) {
-  std::vector<Suppression> out;
+SuppressionScan scan_suppressions(std::string_view source) {
+  SuppressionScan out;
+
+  // One pass over the raw text, tracking per line whether any code precedes
+  // the current position (a trailing comment covers its own statement; a
+  // standalone one attaches forward) and whether we are inside a string
+  // literal (a "--" in a string is contents, not a comment). MiniAda
+  // strings never span lines, so the flag resets at every newline — which
+  // also keeps an unterminated literal from eating the rest of the file.
+  struct CommentRec {
+    int line = 0;
+    std::size_t content_begin = 0;
+    std::size_t content_end = 0;
+    std::size_t line_start = 0;
+    bool standalone = false;
+  };
+  std::vector<CommentRec> comments;
+  std::vector<std::uint8_t> line_has_code{0};  // index 0 unused; 1-based
+
   int line = 1;
+  std::size_t line_start = 0;
+  bool in_string = false;
+  bool has_code = false;
   std::size_t i = 0;
   while (i < source.size()) {
-    if (source[i] == '\n') {
+    const char c = source[i];
+    if (c == '\n') {
+      line_has_code.push_back(has_code ? 1 : 0);
       ++line;
+      line_start = i + 1;
+      in_string = false;
+      has_code = false;
       ++i;
       continue;
     }
-    if (source[i] == '-' && i + 1 < source.size() && source[i + 1] == '-') {
+    if (in_string) {
+      // A doubled quote ("") toggles out and straight back in — both
+      // characters stay string contents either way.
+      if (c == '"') in_string = false;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      has_code = true;
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < source.size() && source[i + 1] == '-') {
       const std::size_t begin = i + 2;
       std::size_t end = begin;
       while (end < source.size() && source[end] != '\n') ++end;
-      Suppression s;
-      s.line = line;
-      if (parse_directive(source.substr(begin, end - begin), s))
-        out.push_back(std::move(s));
+      comments.push_back({line, begin, end, line_start, !has_code});
       i = end;
       continue;
     }
+    if (c != ' ' && c != '\t' && c != '\r') has_code = true;
     ++i;
   }
+  line_has_code.push_back(has_code ? 1 : 0);
+  const int last_line = line;
+
+  for (const CommentRec& rec : comments) {
+    const std::string_view content = source.substr(
+        rec.content_begin, rec.content_end - rec.content_begin);
+    auto parsed = parse_directive(content);
+    if (!parsed) continue;
+
+    Suppression s;
+    s.line = rec.line;
+    s.all = parsed->all;
+    s.rules = std::move(parsed->rules);
+    if (rec.standalone) {
+      // Attach to the next line that holds code, skipping blank and
+      // comment-only lines; 0 (never matches) when nothing follows.
+      s.target_line = 0;
+      for (int l = rec.line + 1; l <= last_line; ++l) {
+        if (line_has_code[static_cast<std::size_t>(l)] != 0) {
+          s.target_line = l;
+          break;
+        }
+      }
+    } else {
+      s.target_line = rec.line + 1;  // trailing: own line plus the next
+    }
+
+    for (const auto& [id, offset] : parsed->id_offsets) {
+      if (find_rule(id) != nullptr) continue;
+      Diagnostic diag;
+      diag.severity = Severity::Warning;
+      diag.loc.line = rec.line;
+      diag.loc.column = static_cast<int>(rec.content_begin + offset -
+                                         rec.line_start) + 1;
+      diag.rule_id = std::string(kRuleUnknownSuppression);
+      diag.message = "unknown rule id '" + id +
+                     "' in lint suppression; this directive suppresses "
+                     "nothing for it";
+      out.diagnostics.push_back(std::move(diag));
+    }
+    out.suppressions.push_back(std::move(s));
+  }
   return out;
+}
+
+std::vector<Suppression> parse_suppressions(std::string_view source) {
+  return scan_suppressions(source).suppressions;
 }
 
 bool is_suppressed(const Diagnostic& diag,
                    std::span<const Suppression> suppressions) {
   if (diag.rule_id.empty() || diag.loc.line == 0) return false;
   for (const Suppression& s : suppressions) {
-    if (diag.loc.line != s.line && diag.loc.line != s.line + 1) continue;
+    if (diag.loc.line != s.line &&
+        (s.target_line == 0 || diag.loc.line != s.target_line))
+      continue;
     if (s.all) return true;
     if (std::find(s.rules.begin(), s.rules.end(), diag.rule_id) !=
         s.rules.end())

@@ -3,21 +3,27 @@
 // A MiniAda comment of the form
 //
 //   -- lint: allow(SIWA001)
-//   -- lint: allow(SIWA001, SIWA004)
+//   -- lint: allow (SIWA001, SIWA004)
 //   -- lint: allow(all)
 //
-// suppresses matching diagnostics on the comment's own line and on the
-// line directly below it — so both trailing comments and comment-above
-// style work:
+// suppresses matching diagnostics. A *trailing* comment (code precedes the
+// "--" on its line) covers its own line and the one directly below; a
+// *standalone* comment (nothing but whitespace before the "--") covers the
+// next line that holds actual code, skipping blank and comment-only lines:
 //
 //   send logger.drop;            -- lint: allow(SIWA001)
 //
 //   -- lint: allow(SIWA010)
+//   -- (retired protocol, scheduled for deletion)
+//
 //   accept handshake;
 //
 // Suppression is scanned from the raw source text (comments never reach
-// the token stream), and only lint-rule diagnostics are suppressible:
-// frontend parse/semantic errors always survive.
+// the token stream); a "--" inside a string literal is string contents,
+// not a comment. Only lint-rule diagnostics are suppressible: frontend
+// parse/semantic errors always survive. A directive naming a rule id the
+// taxonomy does not define yields a SIWA999 meta-diagnostic — the unknown
+// id suppresses nothing, which is almost always a typo.
 #pragma once
 
 #include <span>
@@ -30,13 +36,24 @@
 namespace siwa::lint {
 
 struct Suppression {
-  int line = 0;                    // 1-based line of the comment
-  bool all = false;                // allow(all)
+  int line = 0;         // 1-based line of the comment
+  int target_line = 0;  // the code line the directive attaches to (see above)
+  bool all = false;     // allow(all)
   std::vector<std::string> rules;  // uppercased rule ids
 };
 
-// All suppression comments in `source`, in line order. Malformed lint
+// Suppressions plus the meta-diagnostics the scan itself produced (SIWA999
+// for unknown rule ids in well-formed directives).
+struct SuppressionScan {
+  std::vector<Suppression> suppressions;
+  std::vector<Diagnostic> diagnostics;
+};
+
+// Scans `source` for suppression comments, in line order. Malformed lint
 // comments (e.g. "-- lint: allow(") are ignored.
+[[nodiscard]] SuppressionScan scan_suppressions(std::string_view source);
+
+// scan_suppressions().suppressions — for callers that only filter.
 [[nodiscard]] std::vector<Suppression> parse_suppressions(
     std::string_view source);
 

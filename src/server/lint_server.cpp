@@ -1,0 +1,199 @@
+#include "server/lint_server.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "lint/render.h"
+#include "obs/json.h"
+
+namespace siwa::server {
+namespace {
+
+std::string error_response(std::string_view message) {
+  return "{\"ok\":false,\"error\":\"" + lint::json_escape(message) + "\"}";
+}
+
+// Publish identity: two diagnostics are "the same finding" when location,
+// severity, rule and message all agree — the fields every renderer shows.
+// Related locations follow deterministically from those, so they are not
+// part of the key.
+auto diag_key(const Diagnostic& d) {
+  return std::tie(d.loc.line, d.loc.column, d.severity, d.rule_id, d.message);
+}
+
+// Set difference of two publish lists (both sorted by diagnostic_before,
+// which sorts by exactly the key fields).
+std::vector<Diagnostic> publish_minus(const std::vector<Diagnostic>& a,
+                                      const std::vector<Diagnostic>& b) {
+  std::vector<Diagnostic> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size()) {
+    if (j == b.size() || diag_key(a[i]) < diag_key(b[j])) {
+      out.push_back(a[i]);
+      ++i;
+    } else if (diag_key(b[j]) < diag_key(a[i])) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+const char* tri_state(const std::optional<bool>& v) {
+  if (!v.has_value()) return "null";
+  return *v ? "true" : "false";
+}
+
+}  // namespace
+
+LintServer::LintServer(lint::LintOptions options, obs::SinkRef metrics)
+    : options_(std::move(options)), metrics_(metrics) {
+  options_.metrics = metrics_;
+}
+
+std::string LintServer::handle_line(std::string_view line) {
+  obs::add(metrics_, "lintd.requests", 1);
+  const auto doc = obs::json::parse(line);
+  if (!doc || !doc->is_object())
+    return error_response("request is not a JSON object");
+
+  const obs::json::Value* method_v = doc->find("method");
+  if (method_v == nullptr || !method_v->is_string())
+    return error_response("missing string field 'method'");
+  const std::string& method = method_v->as_string();
+
+  if (method == "shutdown") {
+    shutdown_ = true;
+    return "{\"ok\":true,\"method\":\"shutdown\",\"shutting_down\":true}";
+  }
+
+  const obs::json::Value* uri_v = doc->find("uri");
+  if (uri_v == nullptr || !uri_v->is_string())
+    return error_response("missing string field 'uri'");
+  const std::string& uri = uri_v->as_string();
+
+  if (method == "open" || method == "edit") {
+    const obs::json::Value* text_v = doc->find("text");
+    if (text_v == nullptr || !text_v->is_string())
+      return error_response("missing string field 'text'");
+    if (method == "edit" && sessions_.find(uri) == sessions_.end())
+      return error_response("no open session for uri '" + uri + "'");
+    return handle_open_or_edit(method, uri, text_v->as_string());
+  }
+  if (method == "diagnostics") {
+    const obs::json::Value* format_v = doc->find("format");
+    const std::string format =
+        format_v != nullptr && format_v->is_string() ? format_v->as_string()
+                                                     : "text";
+    return handle_diagnostics(uri, format);
+  }
+  if (method == "close") {
+    const auto it = sessions_.find(uri);
+    if (it == sessions_.end())
+      return error_response("no open session for uri '" + uri + "'");
+    sessions_.erase(it);
+    obs::add(metrics_, "lintd.closes", 1);
+    return "{\"ok\":true,\"method\":\"close\",\"uri\":\"" +
+           lint::json_escape(uri) + "\"}";
+  }
+  return error_response("unknown method '" + method + "'");
+}
+
+std::string LintServer::handle_open_or_edit(const std::string& method,
+                                            const std::string& uri,
+                                            std::string text) {
+  const bool is_open = method == "open";
+  obs::add(metrics_, is_open ? "lintd.opens" : "lintd.edits", 1);
+  Session& session = sessions_[uri];
+  session.text = std::move(text);
+  if (is_open) session.published.clear();  // re-open = fresh publish
+
+  // Only this session's text is (re)parsed; every other open file keeps its
+  // cached state untouched.
+  DiagnosticSink sink;
+  auto program = lang::parse_program(session.text, sink);
+  if (program) lang::check_program(*program, sink);
+
+  std::optional<bool> certified;
+  std::vector<Diagnostic> current;
+  bool reused = false;
+  bool rebuilt = false;
+  if (!program || sink.has_errors()) {
+    // Frontend failure: publish the parse/semantic diagnostics alone. The
+    // cache keeps the last well-formed graph, so the next good edit diffs
+    // against it instead of rebuilding.
+    current = sink.sorted_diagnostics();
+  } else {
+    const lint::LintCache::Stats before = session.cache.stats();
+    lint::LintResult result = lint::run_lint(*program, session.text, options_,
+                                             sink.diagnostics(),
+                                             &session.cache);
+    const lint::LintCache::Stats& after = session.cache.stats();
+    reused = after.context_reuses > before.context_reuses;
+    rebuilt = after.context_rebuilds > before.context_rebuilds;
+    certified = result.certified_free;
+    current = std::move(result.diagnostics);
+  }
+
+  if (rebuilt)
+    obs::add(metrics_, "lintd.invalidate.full", 1);
+  else if (reused)
+    obs::add(metrics_, "lintd.invalidate.incremental", 1);
+  if (reused && !rebuilt) obs::add(metrics_, "lintd.cache_hits", 1);
+
+  const std::vector<Diagnostic> added = publish_minus(current,
+                                                      session.published);
+  const std::vector<Diagnostic> removed = publish_minus(session.published,
+                                                        current);
+  session.published = std::move(current);
+  ++session.revision;
+  obs::add(metrics_, "lintd.publish.added", added.size());
+  obs::add(metrics_, "lintd.publish.removed", removed.size());
+
+  std::ostringstream out;
+  out << "{\"ok\":true,\"method\":\"" << method << "\",\"uri\":\""
+      << lint::json_escape(uri) << "\",\"revision\":" << session.revision
+      << ",\"reused_context\":" << (reused && !rebuilt ? "true" : "false")
+      << ",\"certified_free\":" << tri_state(certified)
+      << ",\"diagnostic_count\":" << session.published.size()
+      << ",\"added\":" << lint::json_diagnostic_array(added)
+      << ",\"removed\":" << lint::json_diagnostic_array(removed) << "}";
+  return out.str();
+}
+
+std::string LintServer::handle_diagnostics(const std::string& uri,
+                                           const std::string& format) {
+  obs::add(metrics_, "lintd.diagnostics_requests", 1);
+  const auto it = sessions_.find(uri);
+  if (it == sessions_.end())
+    return error_response("no open session for uri '" + uri + "'");
+  const auto parsed = lint::parse_format(format);
+  if (!parsed)
+    return error_response("unknown format '" + format +
+                          "' (expected text, json or sarif)");
+
+  // Rendered off the published list, so "diagnostics" agrees with the sum
+  // of every added/removed delta sent so far — and, transitively, with a
+  // cold lint of the current text (the smoke test diffs exactly this
+  // against siwa_lint's output).
+  lint::FileDiagnostics file;
+  file.path = uri;
+  file.diagnostics = it->second.published;
+  const std::string report = lint::render(*parsed, {&file, 1});
+
+  std::ostringstream out;
+  out << "{\"ok\":true,\"method\":\"diagnostics\",\"uri\":\""
+      << lint::json_escape(uri) << "\",\"format\":\"" << format
+      << "\",\"revision\":" << it->second.revision << ",\"report\":\""
+      << lint::json_escape(report) << "\"}";
+  return out.str();
+}
+
+}  // namespace siwa::server

@@ -1,0 +1,82 @@
+// siwa_lintd: a persistent lint server.
+//
+// The server speaks line-delimited JSON — one request object per line, one
+// response object per line — over whatever byte stream the host embeds it
+// in (the siwa_lintd CLI uses stdin/stdout). Methods:
+//
+//   {"method":"open","uri":U,"text":T}    start a session for U, lint T,
+//                                         publish every finding as "added"
+//   {"method":"edit","uri":U,"text":T}    replace U's text (full-text
+//                                         sync), relint incrementally,
+//                                         publish the diagnostics *diff*
+//   {"method":"diagnostics","uri":U,      render the current findings for
+//    "format":"text"|"json"|"sarif"}      U in the requested shape
+//   {"method":"close","uri":U}            drop the session and its caches
+//   {"method":"shutdown"}                 acknowledge and stop
+//
+// open/edit responses carry "added" and "removed" arrays (the delta against
+// the last publish — an editor applies them without reloading the full
+// list), the server-side publish "revision", "reused_context" (whether the
+// incremental engine refreshed the cached analysis instead of rebuilding),
+// and the tri-state "certified_free" verdict. Failures return
+// {"ok":false,"error":...} and never tear down other sessions.
+//
+// Incrementality: each session owns a lint::LintCache. An edit re-parses
+// only that session's text (other open files are untouched), rebuilds the
+// sync graph, and lets the cache diff it against the previous graph —
+// location-only changes refresh nothing, guard/edge changes refresh exactly
+// the invalidated analyses (see core::AnalysisContext), and structural
+// changes fall back to a rebuild. Emitted diagnostics are byte-identical
+// to a cold lint of the same text, which examples/lintd_smoke enforces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/cache.h"
+#include "lint/lint.h"
+#include "obs/metrics.h"
+#include "support/diagnostics.h"
+
+namespace siwa::server {
+
+class LintServer {
+ public:
+  // `options` seeds every lint run (metrics inside it are ignored; pass the
+  // sink separately so server counters and lint counters share one
+  // registry). The server emits lintd.* counters: requests, per-method
+  // counts, cache_hits, invalidate.{none,incremental,full}, publish.
+  explicit LintServer(lint::LintOptions options = {},
+                      obs::SinkRef metrics = {});
+
+  // Handles one request line and returns the response line (no trailing
+  // newline). Never throws; malformed input yields an "ok":false response.
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
+  [[nodiscard]] std::size_t open_count() const { return sessions_.size(); }
+
+ private:
+  struct Session {
+    std::string text;
+    std::vector<Diagnostic> published;  // last published findings, sorted
+    std::uint64_t revision = 0;         // bumped on every publish
+    lint::LintCache cache;
+  };
+
+  std::string handle_open_or_edit(const std::string& method,
+                                  const std::string& uri, std::string text);
+  std::string handle_diagnostics(const std::string& uri,
+                                 const std::string& format);
+
+  std::map<std::string, Session, std::less<>> sessions_;
+  lint::LintOptions options_;
+  obs::SinkRef metrics_;
+  bool shutdown_ = false;
+};
+
+}  // namespace siwa::server

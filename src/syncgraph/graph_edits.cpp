@@ -1,0 +1,159 @@
+#include "syncgraph/graph_edits.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "syncgraph/sync_graph.h"
+
+namespace siwa::sg {
+
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+// Multiset difference in both directions: after the call, `added` holds the
+// entries only it had and `removed` likewise — paired occurrences cancel.
+void cancel_pairs(EdgeList& added, EdgeList& removed) {
+  std::sort(added.begin(), added.end());
+  std::sort(removed.begin(), removed.end());
+  EdgeList only_added;
+  EdgeList only_removed;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < added.size() || j < removed.size()) {
+    if (j >= removed.size()) {
+      only_added.push_back(added[i++]);
+    } else if (i >= added.size()) {
+      only_removed.push_back(removed[j++]);
+    } else if (added[i] < removed[j]) {
+      only_added.push_back(added[i++]);
+    } else if (removed[j] < added[i]) {
+      only_removed.push_back(removed[j++]);
+    } else {
+      ++i;  // one occurrence on each side cancels
+      ++j;
+    }
+  }
+  added = std::move(only_added);
+  removed = std::move(only_removed);
+}
+
+// Sorted multiset view of one node's guard set, for order-insensitive
+// comparison (finalize() canonicalizes the packed keys the same way).
+std::vector<std::uint64_t> guard_keys(const SyncNode& node) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(node.guards.size());
+  for (const Guard& g : node.guards)
+    keys.push_back(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(g.cond.value))
+         << 1) |
+        (g.arm ? 1u : 0u));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::pair<NodeId, NodeId> normalized(std::pair<NodeId, NodeId> e) {
+  return {std::min(e.first, e.second), std::max(e.first, e.second)};
+}
+
+bool same_interner(const Interner& a, const Interner& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.text(Symbol{static_cast<std::int32_t>(i)}) !=
+        b.text(Symbol{static_cast<std::int32_t>(i)}))
+      return false;
+  return true;
+}
+
+}  // namespace
+
+void GraphEdits::normalize() {
+  cancel_pairs(control_added, control_removed);
+  cancel_pairs(sync_added, sync_removed);
+  std::sort(guards_changed.begin(), guards_changed.end());
+  guards_changed.erase(
+      std::unique(guards_changed.begin(), guards_changed.end()),
+      guards_changed.end());
+}
+
+std::optional<GraphEdits> diff_graphs(const SyncGraph& before,
+                                      const SyncGraph& after) {
+  if (!before.finalized() || !after.finalized()) return std::nullopt;
+
+  // ---- structural compatibility: node array, task/signal tables, message
+  // interner, task entries. Any mismatch means node ids do not line up and
+  // every cached product must be rebuilt.
+  const std::size_t n = before.node_count();
+  if (after.node_count() != n) return std::nullopt;
+  if (before.task_count() != after.task_count()) return std::nullopt;
+  if (before.signal_count() != after.signal_count()) return std::nullopt;
+  if (!same_interner(before.message_interner(), after.message_interner()))
+    return std::nullopt;
+
+  for (std::size_t t = 0; t < before.task_count(); ++t) {
+    if (before.task_name(TaskId(t)) != after.task_name(TaskId(t)))
+      return std::nullopt;
+    const auto ea = before.task_entries(TaskId(t));
+    const auto eb = after.task_entries(TaskId(t));
+    if (!std::equal(ea.begin(), ea.end(), eb.begin(), eb.end()))
+      return std::nullopt;
+  }
+  for (std::size_t s = 0; s < before.signal_count(); ++s) {
+    const SignalType sa = before.signal_type(SignalId(s));
+    const SignalType sb = after.signal_type(SignalId(s));
+    if (!(sa == sb)) return std::nullopt;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id(i);
+    if (before.kind_of(id) != after.kind_of(id)) return std::nullopt;
+    if (before.task_of(id) != after.task_of(id)) return std::nullopt;
+    if (before.signal_of(id) != after.signal_of(id)) return std::nullopt;
+    if (before.sign_of(id) != after.sign_of(id)) return std::nullopt;
+  }
+
+  GraphEdits edits;
+
+  // ---- control edges: per-source multiset diff (parallel edges count).
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId id(i);
+    const auto sa = before.control_successors(id);
+    const auto sb = after.control_successors(id);
+    EdgeList removed;
+    EdgeList added;
+    for (NodeId t : sa) removed.emplace_back(id, t);
+    for (NodeId t : sb) added.emplace_back(id, t);
+    cancel_pairs(added, removed);
+    edits.control_added.insert(edits.control_added.end(), added.begin(),
+                               added.end());
+    edits.control_removed.insert(edits.control_removed.end(), removed.begin(),
+                                 removed.end());
+  }
+
+  // ---- explicit sync edges (derived edges follow the node array, which
+  // already matched). Pairs are compared orientation-insensitively.
+  {
+    EdgeList removed;
+    EdgeList added;
+    for (const auto& e : before.explicit_sync_edges())
+      removed.push_back(normalized(e));
+    for (const auto& e : after.explicit_sync_edges())
+      added.push_back(normalized(e));
+    cancel_pairs(added, removed);
+    edits.sync_added = std::move(added);
+    edits.sync_removed = std::move(removed);
+  }
+
+  // ---- guards (order-insensitive) and loop conditions (both canonical).
+  for (std::size_t i = 0; i < n; ++i)
+    if (guard_keys(before.node(NodeId(i))) != guard_keys(after.node(NodeId(i))))
+      edits.guards_changed.push_back(NodeId(i));
+  const auto la = before.loop_conditions();
+  const auto lb = after.loop_conditions();
+  edits.loop_conditions_changed =
+      !std::equal(la.begin(), la.end(), lb.begin(), lb.end());
+
+  edits.normalize();
+  return edits;
+}
+
+}  // namespace siwa::sg

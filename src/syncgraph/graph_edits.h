@@ -1,0 +1,78 @@
+// Dirty tracking for sync graphs: the edit log one finalize window records.
+//
+// GraphEdits is the contract between a mutated SyncGraph and the caches
+// built over it (core::AnalysisContext and everything it feeds). Two
+// producers fill it:
+//
+//   SyncGraph::refinalize() — the in-place edit path: begin_edits() reopens
+//   a finalized graph, the edit-window mutators log every change, and
+//   refinalize() rebuilds the derived indexes and hands back the log.
+//
+//   diff_graphs(old, new)   — the rebuild-and-diff path the lint server
+//   uses: a frontend rebuilds the graph from edited source, and the diff
+//   recovers the same edit log by structural comparison, or reports the
+//   graphs structurally incompatible (node set / task table / signal table
+//   changed), the fallback-to-full-recompute boundary.
+//
+// Consumers only use the log to decide *what to invalidate*; the edited
+// graph itself is always the source of truth for the new edges, guards and
+// adjacency order.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/ids.h"
+#include "support/interner.h"
+
+namespace siwa::sg {
+
+class SyncGraph;
+
+struct GraphEdits {
+  // Control edges added/removed since the last finalize, as (from, to).
+  std::vector<std::pair<NodeId, NodeId>> control_added;
+  std::vector<std::pair<NodeId, NodeId>> control_removed;
+  // Explicit sync edges added/removed, normalized so first <= second.
+  std::vector<std::pair<NodeId, NodeId>> sync_added;
+  std::vector<std::pair<NodeId, NodeId>> sync_removed;
+  // Nodes whose guard set was replaced.
+  std::vector<NodeId> guards_changed;
+  // Rendezvous nodes appended during the edit window (structural growth —
+  // consumers fall back to a full recompute).
+  std::size_t nodes_added = 0;
+  // The loop-condition set changed (pins the guard dataflow's begin state).
+  bool loop_conditions_changed = false;
+
+  [[nodiscard]] bool any_control() const {
+    return !control_added.empty() || !control_removed.empty();
+  }
+  [[nodiscard]] bool any_sync() const {
+    return !sync_added.empty() || !sync_removed.empty();
+  }
+  [[nodiscard]] bool any_guards() const { return !guards_changed.empty(); }
+  [[nodiscard]] bool structural() const { return nodes_added != 0; }
+  [[nodiscard]] bool empty() const {
+    return !any_control() && !any_sync() && !any_guards() && !structural() &&
+           !loop_conditions_changed;
+  }
+
+  // Sorts and cancels paired add/remove entries (an edge added and removed
+  // in one window touches nothing), so empty() means "no analysis-visible
+  // change". Conservative duplicates are harmless to consumers but inflate
+  // the invalidation sets; refinalize() and diff_graphs() both normalize.
+  void normalize();
+};
+
+// Structural diff of two *finalized* graphs over the same source shape.
+//
+// Engaged result: the graphs have identical node arrays (kind/task/signal/
+// sign per node), task and signal tables, message interners and task
+// entries; the edits transform `before`'s edge/guard/loop-condition sets
+// into `after`'s. Source locations are metadata and never diffed. nullopt:
+// the graphs differ structurally and caches must be rebuilt from scratch.
+[[nodiscard]] std::optional<GraphEdits> diff_graphs(const SyncGraph& before,
+                                                    const SyncGraph& after);
+
+}  // namespace siwa::sg

@@ -52,6 +52,7 @@ NodeId SyncGraph::add_rendezvous(TaskId task, SignalId signal, Sign sign,
   signal_of_.push_back(signal);
   sign_of_.push_back(sign);
   control_.grow_to(nodes_.size());
+  if (editing_) ++edits_.nodes_added;
   const NodeId id(nodes_.size() - 1);
   task_nodes_[task.index()].push_back(id);
   if (sign == Sign::Minus) signal_accepts_[signal.index()].push_back(id);
@@ -65,6 +66,7 @@ void SyncGraph::add_control_edge(NodeId from, NodeId to) {
   cpred_.resize(nodes_.size());
   csucc_[from.index()].push_back(to);
   cpred_[to.index()].push_back(from);
+  if (editing_) edits_.control_added.emplace_back(from, to);
 }
 
 void SyncGraph::add_task_entry(TaskId task, NodeId node) {
@@ -79,11 +81,71 @@ void SyncGraph::add_explicit_sync_edge(NodeId a, NodeId b) {
   SIWA_REQUIRE(is_rendezvous(a) && is_rendezvous(b),
                "sync edges join rendezvous nodes");
   explicit_sync_edges_.emplace_back(a, b);
+  if (editing_)
+    edits_.sync_added.emplace_back(std::min(a, b), std::max(a, b));
 }
 
 void SyncGraph::add_loop_condition(Symbol cond) {
   SIWA_REQUIRE(!finalized_, "graph already finalized");
   loop_conditions_.push_back(cond);
+}
+
+void SyncGraph::begin_edits() {
+  SIWA_REQUIRE(finalized_, "begin_edits() requires a finalized graph");
+  SIWA_REQUIRE(!editing_, "edit window already open");
+  // Re-inflate the build-time adjacency vectors from the CSR form so the
+  // mutators (and pre-finalize queries) work as during construction.
+  csucc_.assign(nodes_.size(), {});
+  cpred_.assign(nodes_.size(), {});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    csucc_[i].assign(csucc_csr_.begin() + csucc_off_[i],
+                     csucc_csr_.begin() + csucc_off_[i + 1]);
+    cpred_[i].assign(cpred_csr_.begin() + cpred_off_[i],
+                     cpred_csr_.begin() + cpred_off_[i + 1]);
+  }
+  loop_conds_at_begin_ = loop_conditions_;
+  edits_ = GraphEdits{};
+  finalized_ = false;
+  editing_ = true;
+}
+
+void SyncGraph::remove_control_edge(NodeId from, NodeId to) {
+  SIWA_REQUIRE(editing_, "remove_control_edge() requires an edit window");
+  control_.remove_edge(VertexId(from.value), VertexId(to.value));
+  auto& out = csucc_[from.index()];
+  out.erase(std::find(out.begin(), out.end(), to));
+  auto& in = cpred_[to.index()];
+  in.erase(std::find(in.begin(), in.end(), from));
+  edits_.control_removed.emplace_back(from, to);
+}
+
+void SyncGraph::remove_explicit_sync_edge(NodeId a, NodeId b) {
+  SIWA_REQUIRE(editing_, "remove_explicit_sync_edge() requires an edit window");
+  const auto it = std::find_if(
+      explicit_sync_edges_.begin(), explicit_sync_edges_.end(),
+      [&](const std::pair<NodeId, NodeId>& e) {
+        return (e.first == a && e.second == b) ||
+               (e.first == b && e.second == a);
+      });
+  SIWA_REQUIRE(it != explicit_sync_edges_.end(),
+               "removing an explicit sync edge that does not exist");
+  explicit_sync_edges_.erase(it);
+  edits_.sync_removed.emplace_back(std::min(a, b), std::max(a, b));
+}
+
+void SyncGraph::set_node_guards(NodeId id, std::vector<Guard> guards) {
+  SIWA_REQUIRE(editing_, "set_node_guards() requires an edit window");
+  nodes_[id.index()].guards = std::move(guards);
+  edits_.guards_changed.push_back(id);
+}
+
+void SyncGraph::remove_loop_condition(Symbol cond) {
+  SIWA_REQUIRE(editing_, "remove_loop_condition() requires an edit window");
+  const auto it =
+      std::find(loop_conditions_.begin(), loop_conditions_.end(), cond);
+  SIWA_REQUIRE(it != loop_conditions_.end(),
+               "removing a loop condition that was never declared");
+  loop_conditions_.erase(it);
 }
 
 namespace {
@@ -109,6 +171,26 @@ void flatten_csr(const std::vector<std::vector<NodeId>>& adj, std::size_t n,
 
 void SyncGraph::finalize() {
   SIWA_REQUIRE(!finalized_, "graph already finalized");
+  SIWA_REQUIRE(!editing_, "finalize() inside an edit window; use refinalize()");
+  build_indexes();
+  finalized_ = true;
+}
+
+GraphEdits SyncGraph::refinalize() {
+  SIWA_REQUIRE(editing_, "refinalize() requires an open edit window");
+  build_indexes();
+  editing_ = false;
+  finalized_ = true;
+  edits_.loop_conditions_changed = loop_conditions_ != loop_conds_at_begin_;
+  loop_conds_at_begin_.clear();
+  edits_.normalize();
+  GraphEdits out = std::move(edits_);
+  edits_ = GraphEdits{};
+  return out;
+}
+
+void SyncGraph::build_indexes() {
+  sync_edge_count_ = 0;
   std::vector<std::vector<NodeId>> sync_adj(nodes_.size());
 
   // Derived sync edges: every (t, m, +) with every (t, m, -).
@@ -172,8 +254,6 @@ void SyncGraph::finalize() {
     guard_total += keys.size();
     guard_off_[i + 1] = static_cast<std::uint32_t>(guard_total);
   }
-
-  finalized_ = true;
 }
 
 std::span<const NodeId> SyncGraph::control_successors(NodeId id) const {

@@ -21,6 +21,7 @@
 #include "support/diagnostics.h"
 #include "support/ids.h"
 #include "support/interner.h"
+#include "syncgraph/graph_edits.h"
 
 namespace siwa::sg {
 
@@ -97,6 +98,32 @@ class SyncGraph {
   // graph. Must be called exactly once, before any query below.
   void finalize();
 
+  // ----- incremental edit window -----
+  // Reopens a finalized graph for mutation. Until refinalize(), the graph
+  // is un-finalized: control adjacency falls back to the build-time
+  // vectors, while sync/guard CSR queries are stale and must not be used.
+  // Every mutation is recorded in an edit log; refinalize() rebuilds the
+  // derived indexes (sync CSR, control CSR, packed guards, sorted loop
+  // conditions) and returns the normalized log, the input to
+  // core::AnalysisContext::refresh. Tasks, signals and task entries are
+  // fixed after the first finalize; new rendezvous nodes may be appended
+  // (logged as structural growth, which downgrades consumers to a full
+  // recompute).
+  void begin_edits();
+  [[nodiscard]] bool editing() const { return editing_; }
+  // Removes one occurrence of a control edge added earlier (edit window
+  // only; parallel edges are removed one at a time).
+  void remove_control_edge(NodeId from, NodeId to);
+  // Removes one explicit sync edge, matched in either orientation.
+  void remove_explicit_sync_edge(NodeId a, NodeId b);
+  // Replaces the node's whole guard set (edit window only).
+  void set_node_guards(NodeId id, std::vector<Guard> guards);
+  void remove_loop_condition(Symbol cond);
+  // Source locations are metadata (no analysis depends on them), so they
+  // may be patched at any time without an edit window or a log entry.
+  void set_node_loc(NodeId id, SourceLoc loc) { nodes_[id.index()].loc = loc; }
+  [[nodiscard]] GraphEdits refinalize();
+
   // ----- queries (require finalize()) -----
   [[nodiscard]] bool finalized() const { return finalized_; }
   [[nodiscard]] NodeId begin_node() const { return NodeId(0); }
@@ -143,6 +170,8 @@ class SyncGraph {
   [[nodiscard]] std::string_view message_name(Symbol m) const {
     return messages_.text(m);
   }
+  [[nodiscard]] std::size_t signal_count() const { return signals_.size(); }
+  [[nodiscard]] const Interner& message_interner() const { return messages_; }
   // True when some shared condition appears with opposite arms in the two
   // nodes' guard sets: they cannot both execute in one run. After
   // finalize() this runs over packed per-node guard keys (sorted once, one
@@ -230,6 +259,13 @@ class SyncGraph {
   std::vector<std::uint64_t> guard_keys_;
   std::vector<Symbol> loop_conditions_;
   bool finalized_ = false;
+
+  // Edit-window state: the in-progress log plus the loop-condition set at
+  // begin_edits(), compared after the rebuild to detect a real change.
+  void build_indexes();
+  bool editing_ = false;
+  GraphEdits edits_;
+  std::vector<Symbol> loop_conds_at_begin_;
 };
 
 }  // namespace siwa::sg

@@ -1,0 +1,488 @@
+// The incremental analysis engine's property suite.
+//
+// The identity contract behind LintCache and siwa_lintd is that a context
+// repaired by AnalysisContext::refresh answers every query bit-identically
+// to a context built fresh over the edited graph. This file enforces that
+// contract the hard way: random edit scripts (control-edge removal and
+// restoration, guard rewrites) over seeded random graphs, comparing the
+// incrementally maintained context against a fresh one after every step —
+// all-pairs reachability, dominator trees, the guard dataflow's full
+// per-(node, condition) lattice, and the certify verdict at 1/2/4/8
+// hypothesis-sweep threads. Plus targeted edits for each invalidation
+// path: empty/cancelled windows, structural growth, loop-condition
+// changes, the diff_graphs rebuild path, and the LintCache memo keys.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/analysis_context.h"
+#include "core/certifier.h"
+#include "gen/random_program.h"
+#include "lang/parser.h"
+#include "lint/cache.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/graph_edits.h"
+#include "syncgraph/sync_graph.h"
+
+namespace siwa {
+namespace {
+
+sg::SyncGraph graph_of(const char* source) {
+  return sg::build_sync_graph(lang::parse_and_check_or_throw(source));
+}
+
+sg::SyncGraph seeded_graph(std::uint64_t seed) {
+  gen::RandomProgramConfig config;
+  config.tasks = 3;
+  config.rendezvous_pairs = 6;
+  config.branch_probability = 0.35;
+  config.shared_conditions = 2;
+  config.shared_condition_probability = 1.0;
+  config.seed = seed;
+  return sg::build_sync_graph(gen::random_program(config));
+}
+
+std::vector<std::pair<NodeId, NodeId>> control_edges(const sg::SyncGraph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::size_t i = 0; i < g.node_count(); ++i)
+    for (NodeId to : g.control_successors(NodeId(i)))
+      edges.emplace_back(NodeId(i), to);
+  return edges;
+}
+
+// Every shared condition the graph mentions (guards plus loop pins) — the
+// vocabulary the random guard rewrites draw from.
+std::vector<Symbol> guard_conditions(const sg::SyncGraph& g) {
+  std::vector<Symbol> conds;
+  for (std::size_t i = 0; i < g.node_count(); ++i)
+    for (const sg::Guard& guard : g.node(NodeId(i)).guards)
+      conds.push_back(guard.cond);
+  for (Symbol c : g.loop_conditions()) conds.push_back(c);
+  std::sort(conds.begin(), conds.end());
+  conds.erase(std::unique(conds.begin(), conds.end()), conds.end());
+  return conds;
+}
+
+// Builds every lazy product so a later refresh exercises the repair paths
+// rather than first-time construction.
+void warm(const core::AnalysisContext& ctx) {
+  (void)ctx.clg();
+  (void)ctx.dominators();
+  (void)ctx.guard_feasibility();
+}
+
+// The bit-identity check: every query the detectors and lint rules consume
+// must agree between the incrementally maintained context and a fresh one.
+void expect_equivalent(const core::AnalysisContext& inc,
+                       const core::AnalysisContext& fresh,
+                       const std::string& what) {
+  ASSERT_EQ(&inc.graph(), &fresh.graph()) << what;
+  const std::size_t n = fresh.graph().node_count();
+  EXPECT_EQ(inc.control_acyclic(), fresh.control_acyclic()) << what;
+
+  std::size_t reach_mismatches = 0;
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b)
+      if (inc.reaches(NodeId(a), NodeId(b)) !=
+          fresh.reaches(NodeId(a), NodeId(b)))
+        ++reach_mismatches;
+  EXPECT_EQ(reach_mismatches, 0u) << what << ": closure diverged";
+
+  const graph::Dominators& di = inc.dominators();
+  const graph::Dominators& df = fresh.dominators();
+  for (std::size_t v = 0; v < n; ++v)
+    EXPECT_EQ(di.idom(VertexId(v)), df.idom(VertexId(v)))
+        << what << ": idom of node " << v;
+
+  const dataflow::GuardFeasibility& fi = inc.guard_feasibility();
+  const dataflow::GuardFeasibility& ff = fresh.guard_feasibility();
+  ASSERT_EQ(std::vector<Symbol>(fi.conditions().begin(),
+                                fi.conditions().end()),
+            std::vector<Symbol>(ff.conditions().begin(),
+                                ff.conditions().end()))
+      << what;
+  EXPECT_EQ(fi.infeasible_count(), ff.infeasible_count()) << what;
+  for (std::size_t v = 0; v < n; ++v) {
+    const NodeId node(v);
+    EXPECT_EQ(fi.feasible(node), ff.feasible(node))
+        << what << ": feasible(" << v << ")";
+    EXPECT_EQ(fi.constrained(node), ff.constrained(node))
+        << what << ": constrained(" << v << ")";
+    for (Symbol c : ff.conditions())
+      EXPECT_EQ(fi.value(node, c), ff.value(node, c))
+          << what << ": value(" << v << ")";
+  }
+}
+
+// The end-to-end identity: the certify verdict, witness and dataflow facts
+// must match at every hypothesis-sweep width (the parallel merge is
+// deterministic, so fresh-vs-refreshed differences cannot hide behind
+// thread scheduling).
+void expect_same_certify(const core::AnalysisContext& inc,
+                         const core::AnalysisContext& fresh,
+                         const std::string& what) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    core::CertifyOptions options;
+    options.use_guard_dataflow = true;
+    options.parallel.threads = threads;
+    const core::CertifyResult a = core::certify_graph(inc, options);
+    const core::CertifyResult b = core::certify_graph(fresh, options);
+    const std::string where = what + " @" + std::to_string(threads) + "t";
+    EXPECT_EQ(a.certified_free, b.certified_free) << where;
+    EXPECT_EQ(a.witness, b.witness) << where;
+    EXPECT_EQ(a.witness_nodes, b.witness_nodes) << where;
+    EXPECT_EQ(a.infeasibility_facts, b.infeasibility_facts) << where;
+  }
+}
+
+// ----- the property: random edit scripts -----
+
+TEST(IncrementalProperty, RandomEditScriptsMatchFreshContexts) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sg::SyncGraph g = seeded_graph(seed);
+    core::AnalysisContext ctx(g);
+    warm(ctx);
+    const std::vector<Symbol> conds = guard_conditions(g);
+
+    std::mt19937_64 rng(seed * 977);
+    // Edges removed earlier and not yet restored; restoring only edges the
+    // original acyclic graph held keeps every step certifiable.
+    std::vector<std::pair<NodeId, NodeId>> removed;
+
+    for (int step = 0; step < 8; ++step) {
+      g.begin_edits();
+      const int ops = 1 + static_cast<int>(rng() % 3);
+      for (int k = 0; k < ops; ++k) {
+        switch (rng() % 3) {
+          case 0: {  // drop a random control edge
+            const auto edges = control_edges(g);
+            if (edges.empty()) break;
+            const auto e = edges[rng() % edges.size()];
+            g.remove_control_edge(e.first, e.second);
+            removed.push_back(e);
+            break;
+          }
+          case 1: {  // restore a previously dropped edge
+            if (removed.empty()) break;
+            const std::size_t i = rng() % removed.size();
+            g.add_control_edge(removed[i].first, removed[i].second);
+            removed.erase(removed.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+          default: {  // rewrite a rendezvous node's guard set
+            if (conds.empty() || g.node_count() <= 2) break;
+            const NodeId node(2 + rng() % (g.node_count() - 2));
+            if (!g.is_rendezvous(node)) break;
+            std::vector<sg::Guard> guards;
+            for (Symbol c : conds)
+              if (rng() % 2 != 0) guards.push_back({c, rng() % 2 == 0});
+            g.set_node_guards(node, std::move(guards));
+            break;
+          }
+        }
+      }
+      const sg::GraphEdits edits = g.refinalize();
+
+      const std::uint64_t revision = ctx.revision();
+      const bool changed = ctx.refresh(g, edits);
+      EXPECT_EQ(changed, !edits.empty());
+      EXPECT_EQ(ctx.revision(), revision + (changed ? 1 : 0));
+
+      const std::string what =
+          "seed " + std::to_string(seed) + " step " + std::to_string(step);
+      core::AnalysisContext fresh(g);
+      expect_equivalent(ctx, fresh, what);
+      if (fresh.control_acyclic()) expect_same_certify(ctx, fresh, what);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// The rebuild-and-diff path siwa_lintd takes: the context was built over
+// the *previous* graph object, the frontend builds a fresh graph from the
+// edited source, and diff_graphs recovers the edit log.
+TEST(IncrementalProperty, DiffGraphsPathMatchesFreshContexts) {
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    const sg::SyncGraph before = seeded_graph(seed);
+    core::AnalysisContext ctx(before);
+    warm(ctx);
+
+    sg::SyncGraph after = seeded_graph(seed);  // same shape, then edited
+    std::mt19937_64 rng(seed);
+    after.begin_edits();
+    const auto edges = control_edges(after);
+    ASSERT_FALSE(edges.empty());
+    const auto dropped = edges[rng() % edges.size()];
+    after.remove_control_edge(dropped.first, dropped.second);
+    const std::vector<Symbol> conds = guard_conditions(after);
+    if (!conds.empty() && after.node_count() > 2) {
+      const NodeId node(2);
+      if (after.is_rendezvous(node))
+        after.set_node_guards(node, {{conds.front(), false}});
+    }
+    (void)after.refinalize();
+
+    const std::optional<sg::GraphEdits> diff = sg::diff_graphs(before, after);
+    ASSERT_TRUE(diff.has_value()) << "seed " << seed;
+    EXPECT_FALSE(diff->empty()) << "seed " << seed;
+    EXPECT_TRUE(ctx.refresh(after, *diff));
+
+    const std::string what = "diff seed " + std::to_string(seed);
+    core::AnalysisContext fresh(after);
+    expect_equivalent(ctx, fresh, what);
+    if (fresh.control_acyclic()) expect_same_certify(ctx, fresh, what);
+  }
+}
+
+// ----- targeted invalidation paths -----
+
+TEST(Incremental, EmptyEditWindowIsANoOpRefresh) {
+  sg::SyncGraph g = graph_of(R"(
+task a is begin send b.ping; end a;
+task b is begin accept ping; end b;
+)");
+  core::AnalysisContext ctx(g);
+  warm(ctx);
+  const std::uint64_t revision = ctx.revision();
+
+  g.begin_edits();
+  const sg::GraphEdits edits = g.refinalize();
+  EXPECT_TRUE(edits.empty());
+  EXPECT_FALSE(ctx.refresh(g, edits));
+  EXPECT_EQ(ctx.revision(), revision);
+  EXPECT_FALSE(ctx.last_refresh().refreshed);
+}
+
+TEST(Incremental, CancelledEditsNormalizeToNoOp) {
+  sg::SyncGraph g = graph_of(R"(
+task a is begin send b.ping; send b.pong; end a;
+task b is begin accept ping; accept pong; end b;
+)");
+  core::AnalysisContext ctx(g);
+  const std::uint64_t revision = ctx.revision();
+
+  // Drop an edge and put it straight back: the normalized log must cancel
+  // the pair, so the refresh only rebinds.
+  const auto edges = control_edges(g);
+  ASSERT_FALSE(edges.empty());
+  g.begin_edits();
+  g.remove_control_edge(edges[0].first, edges[0].second);
+  g.add_control_edge(edges[0].first, edges[0].second);
+  const sg::GraphEdits edits = g.refinalize();
+  EXPECT_TRUE(edits.empty());
+  EXPECT_FALSE(ctx.refresh(g, edits));
+  EXPECT_EQ(ctx.revision(), revision);
+}
+
+TEST(Incremental, StructuralGrowthFallsBackToFullRebuild) {
+  sg::SyncGraph g = graph_of(R"(
+task a is begin send b.ping; end a;
+task b is begin accept ping; end b;
+)");
+  core::AnalysisContext ctx(g);
+  warm(ctx);
+
+  // Append a fresh accept to task b, wired after its existing node.
+  TaskId b;
+  for (std::size_t t = 0; t < g.task_count(); ++t)
+    if (g.task_name(TaskId(t)) == "b") b = TaskId(t);
+  ASSERT_TRUE(b.valid());
+  const NodeId tail = g.nodes_of_task(b).back();
+
+  g.begin_edits();
+  const SignalId late = g.intern_signal(b, g.intern_message("late"));
+  const NodeId grown = g.add_rendezvous(b, late, sg::Sign::Minus);
+  g.add_control_edge(tail, grown);
+  g.add_control_edge(grown, g.end_node());
+  const sg::GraphEdits edits = g.refinalize();
+
+  EXPECT_TRUE(edits.structural());
+  EXPECT_TRUE(ctx.refresh(g, edits));
+  EXPECT_TRUE(ctx.last_refresh().full_rebuild);
+
+  core::AnalysisContext fresh(g);
+  expect_equivalent(ctx, fresh, "structural growth");
+  if (fresh.control_acyclic())
+    expect_same_certify(ctx, fresh, "structural growth");
+}
+
+TEST(Incremental, LoopConditionRemovalRebuildsTheDataflow) {
+  // `w` pins to false at b (all tasks terminate), so the loop body is
+  // statically dead; dropping the pin revives it.
+  sg::SyncGraph g = graph_of(R"(
+shared condition w;
+task t is
+begin
+  while w loop
+    accept inside;
+  end loop;
+  accept after;
+end t;
+task u is begin send t.inside; send t.after; end u;
+)");
+  ASSERT_EQ(g.loop_conditions().size(), 1u);
+  const Symbol w = g.loop_conditions()[0];
+  core::AnalysisContext ctx(g);
+  warm(ctx);
+
+  NodeId inside = NodeId::invalid();
+  for (std::size_t v = 2; v < g.node_count(); ++v)
+    if (g.task_name(g.task_of(NodeId(v))) == "t" &&
+        g.node(NodeId(v)).sign == sg::Sign::Minus &&
+        g.message_name(g.signal_type(g.signal_of(NodeId(v))).message) ==
+            "inside")
+      inside = NodeId(v);
+  ASSERT_TRUE(inside.valid());
+  EXPECT_FALSE(ctx.guard_feasibility().feasible(inside));
+
+  g.begin_edits();
+  g.remove_loop_condition(w);
+  const sg::GraphEdits edits = g.refinalize();
+  EXPECT_TRUE(edits.loop_conditions_changed);
+  EXPECT_TRUE(ctx.refresh(g, edits));
+  EXPECT_TRUE(ctx.last_refresh().feasibility_rebuilt);
+
+  EXPECT_TRUE(ctx.guard_feasibility().feasible(inside));
+  expect_equivalent(ctx, core::AnalysisContext(g), "loop-condition removal");
+}
+
+TEST(Incremental, DiffRejectsStructurallyDifferentGraphs) {
+  const sg::SyncGraph a = graph_of(R"(
+task a is begin send b.ping; end a;
+task b is begin accept ping; end b;
+)");
+  const sg::SyncGraph b = graph_of(R"(
+task a is begin send b.ping; send b.pong; end a;
+task b is begin accept ping; accept pong; end b;
+)");
+  EXPECT_FALSE(sg::diff_graphs(a, b).has_value());
+  EXPECT_TRUE(sg::diff_graphs(a, a).has_value());
+  EXPECT_TRUE(sg::diff_graphs(a, a)->empty());
+}
+
+// ----- LintCache: the memo keys above the refresh machinery -----
+
+TEST(LintCacheTest, EquivalentRebuildRefreshesInsteadOfRebuilding) {
+  const char* source = R"(
+task a is begin send b.ping; end a;
+task b is begin accept ping; end b;
+)";
+  lint::LintCache cache;
+  core::AnalysisContext& first =
+      cache.acquire("structural", std::make_unique<sg::SyncGraph>(
+                                      graph_of(source)));
+  EXPECT_EQ(cache.stats().context_rebuilds, 1u);
+  EXPECT_EQ(cache.stats().context_reuses, 0u);
+
+  // Same source re-built from scratch: the diff engages (empty log) and
+  // the cached context survives, merely rebound to the new graph object.
+  core::AnalysisContext& second =
+      cache.acquire("structural", std::make_unique<sg::SyncGraph>(
+                                      graph_of(source)));
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(cache.stats().context_reuses, 1u);
+  EXPECT_EQ(cache.stats().context_rebuilds, 1u);
+
+  // A structurally different program cannot be diffed: rebuild.
+  cache.acquire("structural", std::make_unique<sg::SyncGraph>(graph_of(R"(
+task a is begin send b.ping; send b.pong; end a;
+task b is begin accept ping; accept pong; end b;
+)")));
+  EXPECT_EQ(cache.stats().context_rebuilds, 2u);
+}
+
+TEST(LintCacheTest, CertifyMemoKeysOnOptionsAndRevision) {
+  lint::LintCache cache;
+  core::AnalysisContext& ctx =
+      cache.acquire("structural", std::make_unique<sg::SyncGraph>(graph_of(R"(
+task a is begin send b.ping; accept pong; end a;
+task b is begin accept ping; send a.pong; end b;
+)")));
+
+  core::CertifyOptions options;
+  options.use_guard_dataflow = true;
+  const core::CertifyResult cold = cache.certify("structural", ctx, options);
+  EXPECT_EQ(cache.stats().certify_misses, 1u);
+  const core::CertifyResult memo = cache.certify("structural", ctx, options);
+  EXPECT_EQ(cache.stats().certify_hits, 1u);
+  EXPECT_EQ(cold.certified_free, memo.certified_free);
+  EXPECT_EQ(cold.witness, memo.witness);
+
+  // A different fingerprint misses even at the same revision.
+  options.parallel.threads = 2;
+  (void)cache.certify("structural", ctx, options);
+  EXPECT_EQ(cache.stats().certify_misses, 2u);
+
+  // A foreign context (not the slot's) is never memoized.
+  const sg::SyncGraph other = graph_of(R"(
+task a is begin send b.ping; end a;
+task b is begin accept ping; end b;
+)");
+  const core::AnalysisContext foreign(other);
+  (void)cache.certify("structural", foreign, options);
+  (void)cache.certify("structural", foreign, options);
+  EXPECT_EQ(cache.stats().certify_hits, 1u);
+}
+
+TEST(LintCacheTest, GuardEditBumpsRevisionAndInvalidatesMemo) {
+  // A real graph edit must invalidate the memo via the revision key, and
+  // the re-certified verdict must match a cold certify of the new graph.
+  const char* v0 = R"(
+shared condition c;
+task a is
+begin
+  if c then
+    send b.ping;
+  end if;
+  accept pong;
+end a;
+task b is begin accept ping; send a.pong; end b;
+)";
+  // Same node array, but the send now sits in the complement arm (the
+  // docstring statement produces no sync node).
+  const char* v1 = R"(
+shared condition c;
+task a is
+begin
+  if c then
+    "ping disabled while c holds";
+  else
+    send b.ping;
+  end if;
+  accept pong;
+end a;
+task b is begin accept ping; send a.pong; end b;
+)";
+  lint::LintCache cache;
+  core::CertifyOptions options;
+  options.use_guard_dataflow = true;
+
+  core::AnalysisContext& ctx = cache.acquire(
+      "structural", std::make_unique<sg::SyncGraph>(graph_of(v0)));
+  const std::uint64_t revision = ctx.revision();
+  (void)cache.certify("structural", ctx, options);
+
+  core::AnalysisContext& refreshed = cache.acquire(
+      "structural", std::make_unique<sg::SyncGraph>(graph_of(v1)));
+  ASSERT_EQ(&ctx, &refreshed);
+  EXPECT_EQ(cache.stats().context_reuses, 1u);
+  EXPECT_GT(refreshed.revision(), revision);
+
+  const core::CertifyResult warm =
+      cache.certify("structural", refreshed, options);
+  EXPECT_EQ(cache.stats().certify_misses, 2u);
+  const core::CertifyResult cold =
+      core::certify_graph(core::AnalysisContext(refreshed.graph()), options);
+  EXPECT_EQ(warm.certified_free, cold.certified_free);
+  EXPECT_EQ(warm.witness, cold.witness);
+}
+
+}  // namespace
+}  // namespace siwa

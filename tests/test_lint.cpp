@@ -40,11 +40,14 @@ TEST(LintRules, TableLookup) {
   const lint::RuleInfo* unmatched = lint::find_rule(lint::kRuleUnmatchedSignal);
   ASSERT_NE(unmatched, nullptr);
   EXPECT_EQ(unmatched->id, lint::kRuleUnmatchedSignal);
-  EXPECT_EQ(lint::find_rule("SIWA999"), nullptr);
+  // SIWA999 (unknown-suppression-rule) is itself part of the taxonomy...
+  ASSERT_NE(lint::find_rule(lint::kRuleUnknownSuppression), nullptr);
+  // ...but a genuinely undefined id is not.
+  EXPECT_EQ(lint::find_rule("SIWA042"), nullptr);
   // rule_index matches the table position (SARIF ruleIndex contract).
   for (std::size_t i = 0; i < lint::all_rules().size(); ++i)
     EXPECT_EQ(lint::rule_index(lint::all_rules()[i].id), static_cast<int>(i));
-  EXPECT_EQ(lint::rule_index("SIWA999"), -1);
+  EXPECT_EQ(lint::rule_index("SIWA042"), -1);
 }
 
 // ---- SIWA001: unmatched signal ----
@@ -346,7 +349,8 @@ end b;
 )";
   const lint::LintResult result = lint::run_lint(parse(src), src);
   EXPECT_TRUE(result.detector_ran);
-  EXPECT_FALSE(result.certified_free);
+  ASSERT_TRUE(result.certified_free.has_value());
+  EXPECT_FALSE(*result.certified_free);
   const auto witness = with_rule(result.diagnostics,
                                  lint::kRuleDeadlockWitness);
   ASSERT_EQ(witness.size(), 1u);
@@ -370,7 +374,8 @@ end b;
 )";
   const lint::LintResult result = lint::run_lint(parse(src), src);
   EXPECT_TRUE(result.detector_ran);
-  EXPECT_TRUE(result.certified_free);
+  ASSERT_TRUE(result.certified_free.has_value());
+  EXPECT_TRUE(*result.certified_free);
   EXPECT_TRUE(result.diagnostics.empty()) << result.diagnostics[0].to_string();
 }
 
@@ -421,8 +426,10 @@ TEST(Suppress, ParsesAllowComments) {
 }
 
 TEST(Suppress, MatchesCommentLineAndLineBelow) {
+  // A trailing comment as the scanner produces it: own line plus the next.
   lint::Suppression s;
   s.line = 4;
+  s.target_line = 5;
   s.rules = {"SIWA001"};
   Diagnostic d;
   d.rule_id = "SIWA001";
@@ -472,6 +479,196 @@ end b;
   EXPECT_EQ(kept.suppressed, 0u);
   EXPECT_EQ(
       with_rule(kept.diagnostics, lint::kRuleDeadlockWitness).size(), 1u);
+}
+
+TEST(Suppress, WhitespaceBeforeParenIsAccepted) {
+  // "allow (SIWA001)" — space between the keyword and the parenthesis used
+  // to make the directive silently malformed (and thus ignored).
+  const auto sups = lint::parse_suppressions(
+      "send t.m;  -- lint: allow (SIWA001)\n"
+      "send t.m;  -- lint:\tallow  ( SIWA003 , ALL )\n");
+  ASSERT_EQ(sups.size(), 2u);
+  ASSERT_EQ(sups[0].rules.size(), 1u);
+  EXPECT_EQ(sups[0].rules[0], "SIWA001");
+  EXPECT_FALSE(sups[0].all);
+  EXPECT_TRUE(sups[1].all);
+  ASSERT_EQ(sups[1].rules.size(), 1u);
+  EXPECT_EQ(sups[1].rules[0], "SIWA003");
+}
+
+TEST(Suppress, StandaloneCommentAttachesToNextCodeLine) {
+  // Standalone directives skip blank and comment-only lines and cover the
+  // next line holding code; trailing directives keep line/line+1.
+  const auto sups = lint::parse_suppressions(
+      "-- lint: allow(SIWA001)\n"      // line 1: standalone
+      "\n"                             // line 2: blank
+      "-- retired protocol\n"          // line 3: comment-only
+      "send t.m;\n"                    // line 4: the covered code
+      "send t.m; -- lint: allow(all)\n"  // line 5: trailing
+      "-- lint: allow(SIWA003)\n");    // line 6: standalone, nothing follows
+  ASSERT_EQ(sups.size(), 3u);
+  EXPECT_EQ(sups[0].line, 1);
+  EXPECT_EQ(sups[0].target_line, 4);
+  EXPECT_EQ(sups[1].line, 5);
+  EXPECT_EQ(sups[1].target_line, 6);
+
+  Diagnostic d;
+  d.rule_id = "SIWA001";
+  d.loc = {4, 3};
+  EXPECT_TRUE(lint::is_suppressed(d, sups));
+  d.loc = {2, 1};
+  EXPECT_FALSE(lint::is_suppressed(d, sups));
+
+  // A standalone directive with no code after it anchors nowhere beyond its
+  // own line: target_line 0 never matches a located diagnostic.
+  EXPECT_EQ(sups[2].line, 6);
+  EXPECT_EQ(sups[2].target_line, 0);
+  d.rule_id = "SIWA003";
+  d.loc = {7, 1};
+  EXPECT_FALSE(lint::is_suppressed(d, sups));
+}
+
+TEST(Suppress, UnknownRuleIdYieldsSiwa999) {
+  const lint::SuppressionScan scan = lint::scan_suppressions(
+      "send t.m;  -- lint: allow(SIWA001, SIWA042)\n");
+  ASSERT_EQ(scan.suppressions.size(), 1u);  // the directive still applies
+  ASSERT_EQ(scan.diagnostics.size(), 1u);
+  EXPECT_EQ(scan.diagnostics[0].rule_id, lint::kRuleUnknownSuppression);
+  EXPECT_EQ(scan.diagnostics[0].severity, Severity::Warning);
+  EXPECT_EQ(scan.diagnostics[0].loc.line, 1);
+  // Column points at the unknown id itself, not the comment start.
+  EXPECT_EQ(scan.diagnostics[0].loc.column,
+            static_cast<int>(
+                std::string("send t.m;  -- lint: allow(SIWA001, ").size()) +
+                1);
+
+  // Known ids (including SIWA999 itself) produce no meta-diagnostic.
+  EXPECT_TRUE(lint::scan_suppressions("x; -- lint: allow(SIWA001, SIWA999)\n")
+                  .diagnostics.empty());
+}
+
+TEST(Suppress, StringLiteralDashDashIsNotAComment) {
+  // The "--" inside a string literal is contents; the directive-looking
+  // text must not register. A real comment after the closing quote on the
+  // same line still does, and the doubled-quote escape stays inside.
+  const auto none = lint::parse_suppressions(
+      "  \"a -- lint: allow(all) inside a string\";\n"
+      "  \"escaped \"\" quote -- lint: allow(SIWA001)\";\n");
+  EXPECT_TRUE(none.empty());
+
+  const auto one = lint::parse_suppressions(
+      "  \"-- not a comment\"; -- lint: allow(SIWA003)\n");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].line, 1);
+  ASSERT_EQ(one[0].rules.size(), 1u);
+  EXPECT_EQ(one[0].rules[0], "SIWA003");
+}
+
+TEST(Lint, UnknownSuppressionSurfacesAndIsItselfSuppressible) {
+  // The unknown id reaches the report as SIWA999 — and, because the scan's
+  // meta-diagnostics join before filtering, allow(SIWA999) silences it.
+  const char* src = R"(task a is
+begin
+  send b.ping;  -- lint: allow(SIWA042)
+end a;
+task b is
+begin
+  accept ping;
+end b;
+)";
+  const lang::Program program = parse(src);
+  const lint::LintResult result = lint::run_lint(program, src);
+  ASSERT_EQ(with_rule(result.diagnostics, lint::kRuleUnknownSuppression).size(),
+            1u);
+
+  const char* silenced = R"(task a is
+begin
+  send b.ping;  -- lint: allow(SIWA042, SIWA999)
+end a;
+task b is
+begin
+  accept ping;
+end b;
+)";
+  const lint::LintResult quiet = lint::run_lint(parse(silenced), silenced);
+  EXPECT_TRUE(with_rule(quiet.diagnostics, lint::kRuleUnknownSuppression)
+                  .empty());
+  EXPECT_EQ(quiet.suppressed, 1u);
+}
+
+TEST(Lint, DocstringCommentMarkerDoesNotSuppress) {
+  // Corpus regression for the string-aware scanner: a docstring statement
+  // containing a directive-shaped "--" must not register as a suppression.
+  // A string-oblivious scan would read line 3's contents as a trailing
+  // allow(all) covering lines 3-4 and silently swallow the real findings.
+  const char* src = R"src(task a is
+begin
+  "note -- lint: allow(all)";
+  send b.lost;
+end a;
+task b is
+begin
+  accept kept;
+end b;
+task c is
+begin
+  send b.kept;
+end c;
+)src";
+  const lang::Program program = parse(src);
+  const lint::LintResult result = lint::run_lint(program, src);
+  EXPECT_EQ(result.suppressed, 0u);
+  EXPECT_EQ(with_rule(result.diagnostics, lint::kRuleUnmatchedSignal).size(),
+            1u);
+}
+
+// ---- tri-state detector verdict ----
+
+TEST(Lint, RawCyclicGraphLeavesVerdictDisengaged) {
+  // A gadget graph with a control cycle: the detector cannot run (it
+  // requires acyclic control flow), so with run_detector=true the verdict
+  // must come back disengaged — not a silent "certified free".
+  sg::SyncGraph g;
+  const TaskId t1 = g.add_task("a");
+  const TaskId t2 = g.add_task("b");
+  const Symbol m = g.intern_message("m");
+  const SignalId sig = g.intern_signal(t2, m);
+  const NodeId send = g.add_rendezvous(t1, sig, sg::Sign::Plus, {3, 5});
+  const NodeId recv = g.add_rendezvous(t2, sig, sg::Sign::Minus, {7, 5});
+  g.add_control_edge(g.begin_node(), send);
+  g.add_control_edge(send, recv);
+  g.add_control_edge(recv, send);  // control cycle
+  g.add_task_entry(t1, send);
+  g.add_task_entry(t2, recv);
+  g.finalize();
+
+  const core::AnalysisContext ctx(g);
+  EXPECT_FALSE(ctx.control_acyclic());
+
+  lint::LintOptions options;
+  options.run_detector = true;
+  std::optional<bool> verdict;
+  const std::vector<Diagnostic> diags =
+      lint::lint_graph(ctx, options, &verdict);
+  EXPECT_FALSE(verdict.has_value());
+  (void)diags;
+}
+
+TEST(Lint, DetectorOffLeavesVerdictDisengaged) {
+  const char* src = R"(task a is
+begin
+  send b.m;
+end a;
+task b is
+begin
+  accept m;
+end b;
+)";
+  lint::LintOptions options;
+  options.run_detector = false;
+  const lint::LintResult result = lint::run_lint(parse(src), src, options);
+  EXPECT_FALSE(result.detector_ran);
+  EXPECT_FALSE(result.certified_free.has_value());
 }
 
 // ---- renderers ----
