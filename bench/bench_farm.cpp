@@ -1,0 +1,202 @@
+// siwa_farm throughput: corpus certification sharded over worker
+// subprocesses, measured end to end (spawn, jsonl protocol, merge) over an
+// E10-scale corpus of serialized sync graphs at 1/2/4/8 workers, plus the
+// zero-subprocess in-process reference (Arg(0)) and a fault-injected run
+// with one worker killed mid-job. The headline counter is graphs/sec
+// (items_per_second); scaling is machine-dependent — see EXPERIMENTS.md for
+// the single-core caveat on the committed baseline.
+//
+// Before timing anything, the harness runs the merge-determinism gate: a
+// clean 4-worker subprocess run and a 4-worker run with an injected
+// SIGKILL must both reproduce the in-process reference report exactly
+// (verdicts, details, witnesses, per-job counters, merged counters) — the
+// farm's whole contract is that worker count and faults are invisible in
+// the output. `--smoke` runs only that gate; either way the run writes
+// BENCH_farm.json (override with --metrics-out).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_metrics.h"
+#include "farm/manifest.h"
+#include "farm/master.h"
+#include "gen/random_program.h"
+#include "syncgraph/builder.h"
+#include "syncgraph/serialize.h"
+
+namespace {
+using namespace siwa;
+
+// The E10 precision corpus (bench_parallel's four families of small random
+// programs), serialized to .sg files in a scratch directory — the farm
+// ingests corpora from disk, so the file round-trip is part of the job.
+const farm::Manifest& corpus_manifest() {
+  static const farm::Manifest manifest = [] {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "siwa_bench_farm_corpus";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    struct Family {
+      double branch;
+      std::size_t unmatched;
+    };
+    const Family families[] = {{0.0, 0}, {0.35, 0}, {0.3, 1}, {0.2, 0}};
+    std::string listing;
+    std::size_t index = 0;
+    for (const Family& family : families) {
+      for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+        gen::RandomProgramConfig config;
+        config.tasks = 3;
+        config.rendezvous_pairs = 5;
+        config.branch_probability = family.branch;
+        config.unmatched_rendezvous = family.unmatched;
+        config.seed = seed;
+        const sg::SyncGraph graph =
+            sg::build_sync_graph(gen::random_program(config));
+        std::string name = "g";
+        name += std::to_string(index++);
+        name += ".sg";
+        std::ofstream(dir / name) << sg::serialize_sync_graph(graph);
+        listing += name;
+        listing += '\n';
+      }
+    }
+    return farm::parse_manifest(listing, dir.string());
+  }();
+  return manifest;
+}
+
+farm::FarmOptions subprocess_options(std::size_t workers) {
+  farm::FarmOptions options;
+  options.workers = workers;
+  options.worker_command = {SIWA_FARM_BIN, "--worker"};
+  return options;
+}
+
+bool reports_identical(const farm::FarmReport& a, const farm::FarmReport& b) {
+  if (a.results.size() != b.results.size()) return false;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const farm::JobResult& ra = a.results[i];
+    const farm::JobResult& rb = b.results[i];
+    if (ra.status != rb.status || ra.detail != rb.detail ||
+        ra.witness != rb.witness || ra.counters != rb.counters)
+      return false;
+  }
+  return a.quarantined == b.quarantined &&
+         a.merged_counters == b.merged_counters &&
+         a.internal_error == b.internal_error;
+}
+
+// Merge-determinism gate; returns the mismatch count (0 = pass).
+std::size_t farm_gate() {
+  const farm::Manifest& manifest = corpus_manifest();
+  const farm::FarmReport reference = run_farm(manifest, farm::FarmOptions{});
+  std::size_t mismatches = 0;
+
+  const farm::FarmReport clean = run_farm(manifest, subprocess_options(4));
+  if (!reports_identical(clean, reference)) ++mismatches;
+
+  // Worker 1 SIGKILLs itself after reading its first job: the death, the
+  // retry and the respawn must all be invisible in the merged report.
+  ::setenv("SIWA_FARM_KILL_WORKER", "1:1", 1);
+  const farm::FarmReport faulted = run_farm(manifest, subprocess_options(4));
+  ::unsetenv("SIWA_FARM_KILL_WORKER");
+  if (faulted.stats.worker_deaths < 1) ++mismatches;
+  if (!reports_identical(faulted, reference)) ++mismatches;
+
+  std::printf(
+      "gate: %zu jobs, %zu flagged; clean 4-worker %s, killed-worker run "
+      "(%zu deaths, %zu retries) %s; %zu mismatches\n",
+      reference.results.size(), reference.flagged_count(),
+      reports_identical(clean, reference) ? "identical" : "DIVERGED",
+      faulted.stats.worker_deaths, faulted.stats.retries,
+      reports_identical(faulted, reference) ? "identical" : "DIVERGED",
+      mismatches);
+  return mismatches;
+}
+
+// Arg(0) = in-process reference; Arg(N>0) = N worker subprocesses.
+void BM_FarmCorpus(benchmark::State& state) {
+  const farm::Manifest& manifest = corpus_manifest();
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  const farm::FarmOptions options =
+      workers == 0 ? farm::FarmOptions{} : subprocess_options(workers);
+  for (auto _ : state) {
+    farm::FarmReport report = run_farm(manifest, options);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() *
+      static_cast<std::int64_t>(manifest.entries.size())));
+  state.counters["graphs"] = static_cast<double>(manifest.entries.size());
+  state.counters["workers"] = static_cast<double>(workers);
+}
+BENCHMARK(BM_FarmCorpus)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The fault path under measurement: one injected kill per run, so the cost
+// of a death (reap + respawn + retry) is visible next to the clean row.
+void BM_FarmCorpusOneKill(benchmark::State& state) {
+  const farm::Manifest& manifest = corpus_manifest();
+  const farm::FarmOptions options = subprocess_options(4);
+  ::setenv("SIWA_FARM_KILL_WORKER", "1:1", 1);
+  for (auto _ : state) {
+    farm::FarmReport report = run_farm(manifest, options);
+    benchmark::DoNotOptimize(report);
+  }
+  ::unsetenv("SIWA_FARM_KILL_WORKER");
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() *
+      static_cast<std::int64_t>(manifest.entries.size())));
+}
+BENCHMARK(BM_FarmCorpusOneKill)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+      continue;  // strip before benchmark::Initialize sees it
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  const std::string metrics_path =
+      benchutil::metrics_out_arg(argc, argv, "BENCH_farm.json");
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  obs::MetricsSink sink;
+  std::size_t mismatches = 0;
+  {
+    obs::Span gate(&sink, "gate");
+    mismatches = farm_gate();
+    gate.arg("mismatches", mismatches);
+  }
+  sink.add("gate.mismatches", mismatches);
+
+  if (!smoke) {
+    benchutil::SinkReporter reporter(sink);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  const bool wrote = benchutil::write_metrics(sink, "bench_farm",
+                                              metrics_path);
+  return (mismatches == 0 && wrote) ? 0 : 1;
+}

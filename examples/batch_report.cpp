@@ -9,8 +9,11 @@
 // a file is flagged when its triage verdict is not "certified deadlock-free".
 // --format json/sarif instead run the lint pipeline per file and emit one
 // merged machine-readable report; there a file is flagged when it has
-// Error-severity diagnostics (or fails to parse). Exit code: number of
-// flagged files (capped at 125).
+// Error-severity diagnostics (or fails to parse).
+//
+// Exit code contract (shared with deadlock_audit/siwa_lint/siwa_farm, and
+// relied on by the farm's retry logic): 0 = no file flagged, 1 = at least
+// one flagged, 2 = usage or I/O error.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -37,7 +40,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: batch_report [--csv | --format text|json|sarif] "
                "[--trace-out FILE] [--metrics-json FILE] <directory>\n");
-  return 125;
+  return 2;
 }
 
 }  // namespace
@@ -99,7 +102,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot read %s: %s\n", directory.c_str(),
                  ec.message().c_str());
     flush_metrics();
-    return 125;
+    return 2;
   }
   std::sort(files.begin(), files.end());
 
@@ -139,7 +142,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%zu programs, %d flagged, %zu certified free\n",
                  files.size(), flagged, certified);
     flush_metrics();
-    return std::min(flagged, 125);
+    return flagged > 0 ? 1 : 0;
   }
 
   report::Table table({"file", "tasks", "nodes", "naive", "refined", "pairs",
@@ -190,5 +193,5 @@ int main(int argc, char** argv) {
   std::printf("%s", csv ? table.to_csv().c_str() : table.to_text().c_str());
   std::printf("\n%zu programs, %d flagged\n", files.size(), flagged);
   flush_metrics();
-  return std::min(flagged, 125);
+  return flagged > 0 ? 1 : 0;
 }

@@ -1,0 +1,348 @@
+// siwa_farm: multi-process sharded certification of a corpus manifest.
+//
+//   siwa_farm [options] <manifest>
+//     --workers N           worker subprocesses (default 1)
+//     --in-process          run jobs in this process (no subprocesses)
+//     --format text|json|sarif   merged report format (default text)
+//     --deterministic       omit schedule-dependent output (stats lines),
+//                           making the report byte-stable across runs,
+//                           worker counts and injected faults
+//     --budget-ms N         per-job wall-clock budget (0 = unlimited)
+//     --budget-bytes N      per-job scratch budget (0 = unlimited)
+//     --max-retries N       transport-failure retries per job (default 2)
+//     --metrics-json FILE   write merged siwa-metrics/1 JSON on exit
+//     --out FILE            write the report to FILE instead of stdout
+//
+//   siwa_farm --worker [--worker-id N]
+//     Internal: run as a worker speaking the farm protocol on stdin/stdout.
+//
+// The manifest lists one corpus file per line ('#' comments): `.mada`
+// entries run the lint pipeline (diagnostics identical to batch_report's
+// lint path — the farm-smoke CI job diffs the SARIF byte-for-byte); other
+// entries parse as serialized sync graphs and run the certifier. The merged
+// report is ordered by manifest index, never by completion order.
+//
+// Exit code contract (shared with deadlock_audit/batch_report/siwa_lint):
+//   0  every job certified free / no Error findings
+//   1  at least one job flagged a possible infinite wait or Error finding,
+//      or errored on its own input (unreadable, malformed, blown budget) —
+//      matching batch_report, which flags files that fail to parse
+//   2  usage error, internal farm failure, or quarantined (poison) jobs
+//
+// Fault injection (testing the retry machinery; see DESIGN.md section 11):
+//   SIWA_FARM_KILL_WORKER="id:n"      worker `id` SIGKILLs itself after
+//                                     reading its n-th job, before replying
+//   SIWA_FARM_TRUNCATE_WORKER="id:n"  worker `id` writes half a response
+//                                     line for its n-th job, then exits
+//   SIWA_FARM_POISON="substr"         any worker exits(3) on a job whose
+//                                     path contains substr (deterministic
+//                                     crash -> quarantine after retries)
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "farm/manifest.h"
+#include "farm/master.h"
+#include "farm/protocol.h"
+#include "farm/worker.h"
+#include "lint/render.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "server/jsonl.h"
+#include "support/cli.h"
+
+namespace {
+
+using namespace siwa;
+namespace jsonl = server::jsonl;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: siwa_farm [--workers N] [--in-process] "
+      "[--format text|json|sarif] [--deterministic] [--budget-ms N] "
+      "[--budget-bytes N] [--max-retries N] [--metrics-json FILE] "
+      "[--out FILE] <manifest>\n"
+      "       siwa_farm --worker [--worker-id N]\n");
+  return 2;
+}
+
+// Parses an "id:n" fault-injection spec for the given worker id; returns
+// the job ordinal to trigger at, or 0 when the spec is absent, malformed,
+// or names another worker.
+std::size_t fault_trigger(const char* env, std::size_t worker_id) {
+  if (env == nullptr) return 0;
+  const std::string spec(env);
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) return 0;
+  const auto id = support::parse_size_arg(spec.substr(0, colon));
+  const auto at = support::parse_size_arg(spec.substr(colon + 1));
+  if (!id || !at || *id != worker_id) return 0;
+  return *at;
+}
+
+int run_worker(std::size_t worker_id) {
+  const std::size_t kill_at =
+      fault_trigger(std::getenv("SIWA_FARM_KILL_WORKER"), worker_id);
+  const std::size_t truncate_at =
+      fault_trigger(std::getenv("SIWA_FARM_TRUNCATE_WORKER"), worker_id);
+  const char* poison = std::getenv("SIWA_FARM_POISON");
+
+  farm::FarmWorker worker;
+  std::string line;
+  std::size_t jobs_read = 0;
+  while (!worker.shutdown_requested() && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    // Fault injection hooks sit between reading a job and responding to
+    // it, so an injected death always costs the master an in-flight job.
+    std::string parse_error;
+    const auto doc = jsonl::parse_request(line, &parse_error);
+    if (doc && jsonl::method(*doc) == "job") {
+      ++jobs_read;
+      if (kill_at != 0 && jobs_read == kill_at) ::raise(SIGKILL);
+      const auto request = farm::parse_job_request(*doc, nullptr);
+      if (request && poison != nullptr && *poison != '\0' &&
+          request->path.find(poison) != std::string::npos)
+        std::_Exit(3);
+      if (truncate_at != 0 && jobs_read == truncate_at) {
+        const std::string response = worker.handle_line(line);
+        std::cout << response.substr(0, response.size() / 2) << std::flush;
+        std::_Exit(0);
+      }
+    }
+    std::cout << worker.handle_line(line) << '\n' << std::flush;
+  }
+  return 0;
+}
+
+const char* entry_kind_name(farm::EntryKind kind) {
+  return kind == farm::EntryKind::MiniAda ? "mada" : "sg";
+}
+
+std::string render_text_report(const farm::Manifest& manifest,
+                               const farm::FarmReport& report,
+                               bool deterministic) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const farm::JobResult& r = report.results[i];
+    os << manifest.entries[i].path << ": " << farm::job_status_name(r.status);
+    if (!r.detail.empty()) os << " (" << r.detail << ")";
+    os << '\n';
+  }
+  os << report.results.size() << " jobs, " << report.flagged_count()
+     << " flagged, " << report.quarantined.size() << " quarantined\n";
+  if (!deterministic)
+    os << "steals=" << report.stats.steals
+       << " retries=" << report.stats.retries
+       << " deaths=" << report.stats.worker_deaths
+       << " respawns=" << report.stats.respawns << '\n';
+  return os.str();
+}
+
+std::string render_json_report(const farm::Manifest& manifest,
+                               const farm::FarmReport& report,
+                               bool deterministic) {
+  std::ostringstream os;
+  os << "{\"jobs\":[";
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const farm::JobResult& r = report.results[i];
+    if (i != 0) os << ',';
+    os << "{\"index\":" << i << ",\"path\":\""
+       << lint::json_escape(manifest.entries[i].path) << "\",\"kind\":\""
+       << entry_kind_name(manifest.entries[i].kind) << "\",\"status\":\""
+       << farm::job_status_name(r.status) << "\",\"budget_exceeded\":"
+       << (r.budget_exceeded ? "true" : "false") << ",\"detail\":\""
+       << lint::json_escape(r.detail) << "\",\"diagnostics\":"
+       << lint::json_diagnostic_array(r.diagnostics) << ",\"witness\":[";
+    for (std::size_t w = 0; w < r.witness.size(); ++w) {
+      if (w != 0) os << ',';
+      os << '"' << lint::json_escape(r.witness[w]) << '"';
+    }
+    os << "]}";
+  }
+  os << "],\"quarantined\":[";
+  for (std::size_t i = 0; i < report.quarantined.size(); ++i) {
+    if (i != 0) os << ',';
+    os << report.quarantined[i];
+  }
+  os << "],\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : report.merged_counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << lint::json_escape(name) << "\":" << value;
+  }
+  os << '}';
+  if (!deterministic)
+    os << ",\"stats\":{\"steals\":" << report.stats.steals
+       << ",\"retries\":" << report.stats.retries
+       << ",\"deaths\":" << report.stats.worker_deaths
+       << ",\"respawns\":" << report.stats.respawns << '}';
+  os << "}\n";
+  return os.str();
+}
+
+// SARIF merges per-entry diagnostics in manifest order. `.mada` entries
+// carry their lint diagnostics verbatim (byte-identical to batch_report
+// over the same files in the same order); sync-graph entries synthesize one
+// diagnostic per flagged/errored verdict.
+std::string render_sarif_report(const farm::Manifest& manifest,
+                                const farm::FarmReport& report) {
+  std::vector<lint::FileDiagnostics> files;
+  files.reserve(report.results.size());
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const farm::JobResult& r = report.results[i];
+    lint::FileDiagnostics file;
+    file.path = manifest.entries[i].path;
+    if (manifest.entries[i].kind == farm::EntryKind::MiniAda) {
+      file.diagnostics = r.diagnostics;
+    } else if (r.status != farm::JobStatus::Free) {
+      Diagnostic d;
+      d.severity = Severity::Error;
+      d.message = r.status == farm::JobStatus::Flagged
+                      ? "possible infinite wait anomaly"
+                      : r.detail;
+      for (const std::string& w : r.witness)
+        d.related.push_back({SourceLoc{}, w});
+      file.diagnostics.push_back(std::move(d));
+    }
+    files.push_back(std::move(file));
+  }
+  return lint::render_sarif(files);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool worker_mode = false;
+  std::size_t worker_id = 0;
+  farm::FarmOptions options;
+  options.worker_command = {argv[0], "--worker"};
+  bool in_process = false;
+  bool deterministic = false;
+  std::string format = "text";
+  std::string manifest_path;
+  std::string metrics_path;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto size_flag = [&](std::size_t* out) {
+      if (i + 1 >= argc) return false;
+      const auto value = support::parse_size_arg(argv[++i]);
+      if (!value) {
+        std::fprintf(stderr,
+                     "siwa_farm: invalid value '%s' for %s (expected a "
+                     "non-negative integer)\n",
+                     argv[i], arg.c_str());
+        return false;
+      }
+      *out = *value;
+      return true;
+    };
+    if (arg == "--worker") {
+      worker_mode = true;
+    } else if (arg == "--worker-id") {
+      if (!size_flag(&worker_id)) return 2;
+    } else if (arg == "--workers") {
+      if (!size_flag(&options.workers)) return 2;
+    } else if (arg == "--in-process") {
+      in_process = true;
+    } else if (arg == "--deterministic") {
+      deterministic = true;
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+      if (format != "text" && format != "json" && format != "sarif")
+        return usage();
+    } else if (arg == "--budget-ms") {
+      std::size_t v = 0;
+      if (!size_flag(&v)) return 2;
+      options.budget_ms = v;
+    } else if (arg == "--budget-bytes") {
+      std::size_t v = 0;
+      if (!size_flag(&v)) return 2;
+      options.budget_bytes = v;
+    } else if (arg == "--max-retries") {
+      if (!size_flag(&options.max_retries)) return 2;
+    } else if (arg == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      if (!manifest_path.empty()) return usage();
+      manifest_path = arg;
+    }
+  }
+
+  if (worker_mode) return run_worker(worker_id);
+  if (manifest_path.empty()) return usage();
+
+  std::string error;
+  const auto manifest = farm::load_manifest(manifest_path, &error);
+  if (!manifest) {
+    std::fprintf(stderr, "siwa_farm: %s\n", error.c_str());
+    return 2;
+  }
+
+  obs::MetricsSink sink;
+  options.metrics = obs::SinkRef{&sink};
+  if (in_process) options.worker_command.clear();
+  const farm::FarmReport report = farm::run_farm(*manifest, options);
+
+  std::string rendered;
+  if (format == "sarif")
+    rendered = render_sarif_report(*manifest, report);
+  else if (format == "json")
+    rendered = render_json_report(*manifest, report, deterministic);
+  else
+    rendered = render_text_report(*manifest, report, deterministic);
+
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (out) out << rendered;
+    if (!out) {
+      std::fprintf(stderr, "siwa_farm: cannot write %s\n", out_path.c_str());
+      return 2;
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    // The merged per-job counters land in the same sink as the farm.*
+    // bookkeeping, so the exported siwa-metrics/1 document carries the
+    // corpus totals alongside the run's own span tree.
+    for (const auto& [name, value] : report.merged_counters)
+      sink.add(name, value);
+    std::ofstream out(metrics_path);
+    if (out) out << obs::to_metrics_json(sink, "siwa_farm", sink.now_us());
+    if (!out) {
+      std::fprintf(stderr, "siwa_farm: cannot write %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+  }
+
+  if (report.internal_error) {
+    std::fprintf(stderr, "siwa_farm: %s\n", report.error.c_str());
+    return 2;
+  }
+  if (!report.quarantined.empty()) {
+    std::fprintf(stderr, "siwa_farm: %zu jobs quarantined\n",
+                 report.quarantined.size());
+    return 2;
+  }
+  std::size_t not_free = 0;
+  for (const farm::JobResult& r : report.results)
+    if (r.status != farm::JobStatus::Free) ++not_free;
+  return not_free > 0 ? 1 : 0;
+}

@@ -1,5 +1,6 @@
 #include "core/certifier.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 
@@ -22,6 +23,15 @@ std::string algorithm_name(Algorithm algorithm) {
 }
 
 namespace {
+
+// Pre-detection estimate of the refined sweep's dominant allocation:
+// MarkedSearch scratch is linear in the CLG (marks, the dedicated Tarjan
+// stacks and component arrays come to ~35 bytes per CLG node); 48 covers
+// alignment slack, plus one page of fixed overhead. Used by the byte
+// budget, which must refuse *before* allocating.
+std::size_t estimated_scratch_bytes(const sg::Clg& clg) {
+  return 4096 + clg.node_count() * 48;
+}
 
 // Shared body of certify_graph. `ctx` is non-null for the refined
 // algorithms (exactly one closure, built by the caller and charged to
@@ -57,6 +67,16 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
     case Algorithm::RefinedHeadPair:
     case Algorithm::RefinedHeadTail:
     case Algorithm::RefinedHeadTailPairs: {
+      // Byte budget: refuse before the sweep allocates its scratch. The
+      // verdict stays conservative (not certified) — an unexecuted sweep
+      // proves nothing.
+      if (options.budget.max_bytes != 0 &&
+          estimated_scratch_bytes(clg) > options.budget.max_bytes) {
+        result.budget_exceeded = true;
+        result.budget_cap = "bytes";
+        obs::add(options.metrics, "certify.budget_exceeded", 1);
+        break;
+      }
       // Guard dataflow (opt-in): the engine is cached on the context, so
       // repeated certifications through one context pay for it once. A
       // graph with no shared conditions degenerates to a null engine and
@@ -82,6 +102,9 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
       refined.parallel = options.parallel;
       refined.metrics = options.metrics;
       refined.feasibility = feas;
+      if (options.budget.max_millis != 0)
+        refined.deadline =
+            start + std::chrono::milliseconds(options.budget.max_millis);
       refined.mode = options.algorithm == Algorithm::RefinedSingle
                          ? HypothesisMode::SingleHead
                      : options.algorithm == Algorithm::RefinedHeadPair
@@ -92,6 +115,14 @@ CertifyResult certify_impl(const sg::SyncGraph& graph,
       const RefinedResult r =
           detect_refined(*ctx, clg, precedence, coexec, refined);
       result.certified_free = !r.deadlock_possible;
+      if (r.deadline_hit) {
+        // A hit found before the cut stands; a miss from an incomplete
+        // sweep certifies nothing.
+        result.budget_exceeded = true;
+        result.budget_cap = "millis";
+        result.certified_free = false;
+        obs::add(options.metrics, "certify.budget_exceeded", 1);
+      }
       result.witness_nodes = r.witness_cycle;
       result.stats.hypotheses_tested = r.hypotheses_tested;
       result.stats.possible_heads = r.possible_heads;
@@ -170,6 +201,11 @@ std::vector<CertifyResult> certify_batch(std::span<const sg::SyncGraph> graphs,
   obs::Span span(options.metrics, "certify.batch");
   span.arg("graphs", graphs.size());
 
+  // Empty corpus: the batch span above is the whole well-formed story
+  // (graphs=0, no child work) — return before any pool or per-graph
+  // scaffolding is even considered.
+  if (graphs.empty()) return {};
+
   std::vector<CertifyResult> results(graphs.size());
   const std::size_t threads =
       support::resolve_thread_count(options.parallel.threads);
@@ -178,7 +214,9 @@ std::vector<CertifyResult> certify_batch(std::span<const sg::SyncGraph> graphs,
       results[i] = certify_graph(graphs[i], per_graph);
     return results;
   }
-  support::ThreadPool pool(threads);
+  // Never spin up more workers than graphs: the surplus threads would only
+  // be created and joined without ever receiving an index.
+  support::ThreadPool pool(std::min(threads, graphs.size()));
   pool.parallel_for_each(graphs.size(), [&](std::size_t i, std::size_t worker) {
     CertifyOptions local = per_graph;
     local.metrics = local.metrics.with_lane(options.metrics.lane + worker);

@@ -35,6 +35,23 @@ enum class Algorithm {
 
 [[nodiscard]] std::string algorithm_name(Algorithm algorithm);
 
+// Per-job resource budget (farm workers certify untrusted corpus entries,
+// so one adversarial graph must not stall a worker forever). Zero = no cap.
+// The wall-clock cap turns into a deadline on the refined hypothesis sweep,
+// checked between hypotheses — enumeration and the closure run to
+// completion, so a budgeted result is either complete or marked exceeded,
+// never silently partial. The byte cap bounds the dominant scratch
+// allocation (the per-hypothesis MarkedSearch arena), estimated from the
+// CLG before the sweep starts.
+struct CertifyBudget {
+  std::uint64_t max_millis = 0;
+  std::uint64_t max_bytes = 0;
+
+  [[nodiscard]] bool unlimited() const {
+    return max_millis == 0 && max_bytes == 0;
+  }
+};
+
 struct CertifyOptions {
   Algorithm algorithm = Algorithm::RefinedSingle;
   bool apply_constraint4 = false;
@@ -56,6 +73,10 @@ struct CertifyOptions {
   // also sizes the certify_batch worker pool.
   ParallelOptions parallel;
   PrecedenceOptions precedence;
+  // Resource budget for this certification; see CertifyBudget. A blown
+  // budget is reported through CertifyResult::budget_exceeded with a
+  // conservative (not-certified) verdict, never an abort.
+  CertifyBudget budget;
   std::vector<std::pair<NodeId, NodeId>> extra_not_coexec;
   // Optional observability sink (see obs/metrics.h). Null = zero-cost.
   // certify_graph emits a "certify.graph" span plus certify.* counters;
@@ -83,6 +104,12 @@ struct CertifyStats {
 
 struct CertifyResult {
   bool certified_free = false;
+  // The options' budget ran out before the sweep completed. The verdict is
+  // then conservative: certified_free stays false (an incomplete sweep
+  // proves nothing), and `budget_cap` names what was exceeded ("millis" or
+  // "bytes"). Always false under an unlimited budget.
+  bool budget_exceeded = false;
+  std::string budget_cap;
   // Non-empty when a possible deadlock was reported: a representative cycle
   // in sync-graph node descriptions.
   std::vector<std::string> witness;

@@ -508,6 +508,9 @@ RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
   support::Arena& scratch_mem = support::scratch_arena();
   const support::Arena::Scope scratch_scope(scratch_mem);
 
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point::max();
+
   if (threads <= 1 || hyps.size() <= 1) {
     MarkedSearch scratch(clg, scratch_mem);
     // Per-scratch arena high-water mark, not a per-worker total: every
@@ -516,6 +519,13 @@ RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
     // determinism contract).
     obs::add(options.metrics, "refined.scratch_bytes", scratch.scratch_bytes());
     for (std::size_t i = 0; i < hyps.size(); ++i) {
+      // Deadline polled every 64 hypotheses: one clock read amortized over
+      // a batch of evaluations, each of which is itself bounded work.
+      if (has_deadline && (i & 63u) == 0 &&
+          std::chrono::steady_clock::now() >= options.deadline) {
+        result.deadline_hit = true;
+        break;
+      }
       outcomes[i] =
           evaluate_hypothesis(sg, clg, precedence, coexec, hyps[i], scratch);
       ++evaluated;
@@ -537,8 +547,15 @@ RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
     // any hit is in.
     std::atomic<std::size_t> first_hit{kNoHit};
     std::atomic<std::size_t> evaluations{0};
+    std::atomic<bool> expired{false};
     pool.parallel_for_each(
         hyps.size(), [&](std::size_t i, std::size_t worker) {
+          if (expired.load(std::memory_order_relaxed)) return;
+          if (has_deadline && (i & 63u) == 0 &&
+              std::chrono::steady_clock::now() >= options.deadline) {
+            expired.store(true, std::memory_order_relaxed);
+            return;
+          }
           if (options.stop_at_first_hit) {
             const std::size_t hit = first_hit.load(std::memory_order_relaxed);
             if (options.parallel.deterministic ? i > hit : hit != kNoHit)
@@ -557,10 +574,13 @@ RefinedResult detect_impl(const sg::SyncGraph& sg, const AnalysisContext* ctx,
           }
         });
     evaluated = evaluations.load(std::memory_order_relaxed);
+    result.deadline_hit = expired.load(std::memory_order_relaxed);
 
     // In a deterministic early-exit run, report the count the serial sweep
-    // would have: everything up to and including the first hit.
-    if (options.parallel.deterministic) {
+    // would have: everything up to and including the first hit. A
+    // deadline-cut run is inherently schedule-dependent, so it keeps its
+    // actual count.
+    if (options.parallel.deterministic && !result.deadline_hit) {
       const std::size_t hit = first_hit.load(std::memory_order_relaxed);
       evaluated = options.stop_at_first_hit && hit != kNoHit ? hit + 1
                                                              : hyps.size();

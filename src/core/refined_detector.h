@@ -43,6 +43,7 @@
 // `RefinedOptions::parallel.threads != 1`.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -97,6 +98,15 @@ struct RefinedOptions {
   // hypotheses_tested (see RefinedResult), so deterministic runs tally the
   // same totals at any thread count.
   obs::SinkRef metrics;
+  // Wall-clock deadline for the hypothesis sweep; time_point::max() = none.
+  // Checked between hypotheses (every ~64 in the serial path, per index in
+  // the parallel one), so one hypothesis always runs to completion — the
+  // sweep stops cleanly and RefinedResult::deadline_hit reports the cut.
+  // A deadline-cut sweep is *incomplete*: a negative verdict then certifies
+  // nothing (the caller must treat it as "unknown", which certify_graph's
+  // budget plumbing does).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 // One deadlock-cycle hypothesis. Always has a primary head; tails and the
@@ -200,6 +210,10 @@ class MarkedSearch {
 
 struct RefinedResult {
   bool deadlock_possible = false;
+  // The sweep stopped at RefinedOptions::deadline before evaluating every
+  // hypothesis. A hit found before the cut still stands (a confirmed
+  // deadlock is confirmed regardless); a miss proves nothing.
+  bool deadline_hit = false;
   // Number of hypotheses a *serial* sweep evaluates: the full enumeration,
   // or — with stop_at_first_hit — everything up to and including the first
   // confirmed one. Deterministic parallel runs report the same number even

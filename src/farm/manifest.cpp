@@ -1,0 +1,54 @@
+#include "farm/manifest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace siwa::farm {
+
+EntryKind classify_entry(std::string_view path) {
+  constexpr std::string_view kMada = ".mada";
+  if (path.size() >= kMada.size() &&
+      path.substr(path.size() - kMada.size()) == kMada)
+    return EntryKind::MiniAda;
+  return EntryKind::SyncGraph;
+}
+
+Manifest parse_manifest(std::string_view text, std::string_view base_dir) {
+  Manifest manifest;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim whitespace; a line that is all comment/blank is no entry.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t\r");
+    std::string path = line.substr(first, last - first + 1);
+
+    ManifestEntry entry;
+    entry.index = manifest.entries.size();
+    entry.kind = classify_entry(path);
+    if (!base_dir.empty() && !std::filesystem::path(path).is_absolute())
+      path = (std::filesystem::path(base_dir) / path).string();
+    entry.path = std::move(path);
+    manifest.entries.push_back(std::move(entry));
+  }
+  return manifest;
+}
+
+std::optional<Manifest> load_manifest(const std::string& path,
+                                      std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    if (error != nullptr) *error = "cannot read manifest " + path;
+    return std::nullopt;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return parse_manifest(buffer.str(),
+                        std::filesystem::path(path).parent_path().string());
+}
+
+}  // namespace siwa::farm

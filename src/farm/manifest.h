@@ -1,0 +1,49 @@
+// Corpus manifests for siwa_farm.
+//
+// A manifest is the master's unit of input: a plain-text file listing one
+// corpus entry per line, '#' comments and blank lines skipped. Each entry
+// names either a serialized sync graph (syncgraph/serialize.h) or a MiniAda
+// source file, distinguished by extension: `.mada` parses through the
+// frontend and runs the lint pipeline; anything else parses as a sync graph
+// and runs the certifier. Relative paths resolve against the manifest
+// file's own directory, so a manifest travels with its corpus.
+//
+// The entry's position in the manifest (`index`) is the deterministic merge
+// key: farm results, SARIF output and counter attribution are all keyed by
+// it, never by completion order.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace siwa::farm {
+
+enum class EntryKind { SyncGraph, MiniAda };
+
+struct ManifestEntry {
+  std::size_t index = 0;  // position in the manifest
+  std::string path;       // resolved (base-dir-joined) file path
+  EntryKind kind = EntryKind::SyncGraph;
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+};
+
+// Classifies a path by extension: ".mada" -> MiniAda, else SyncGraph.
+[[nodiscard]] EntryKind classify_entry(std::string_view path);
+
+// Parses manifest text; `base_dir` (may be empty) prefixes relative entry
+// paths. Never fails: the grammar is one path per line.
+[[nodiscard]] Manifest parse_manifest(std::string_view text,
+                                      std::string_view base_dir);
+
+// Reads and parses a manifest file; nullopt with `error` set when the file
+// cannot be read.
+[[nodiscard]] std::optional<Manifest> load_manifest(const std::string& path,
+                                                    std::string* error);
+
+}  // namespace siwa::farm

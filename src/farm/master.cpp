@@ -1,0 +1,404 @@
+#include "farm/master.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <deque>
+#include <string_view>
+#include <utility>
+
+#include "server/jsonl.h"
+
+namespace siwa::farm {
+namespace {
+
+namespace jsonl = server::jsonl;
+
+constexpr std::ptrdiff_t kNone = -1;
+
+struct WorkerProc {
+  std::size_t id = 0;
+  pid_t pid = -1;
+  int to_fd = -1;    // master -> worker stdin
+  int from_fd = -1;  // worker stdout -> master
+  jsonl::LineSplitter lines;
+  // Jobs claimed for this worker but not yet sent. Held master-side so a
+  // death loses at most the single in-flight job and stealing needs no
+  // worker cooperation.
+  std::deque<std::size_t> reserve;
+  std::ptrdiff_t inflight = kNone;  // manifest index awaiting a response
+  bool alive = false;
+};
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool spawn_worker(const std::vector<std::string>& command, std::size_t id,
+                  WorkerProc* out) {
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0) return false;
+  if (::pipe(from_child) != 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<std::string> args(command.begin(), command.end());
+    args.push_back("--worker-id");
+    args.push_back(std::to_string(id));
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execvp(argv[0], argv.data());
+    ::_exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  out->id = id;
+  out->pid = pid;
+  out->to_fd = to_child[1];
+  out->from_fd = from_child[0];
+  out->alive = true;
+  return true;
+}
+
+class Master {
+ public:
+  Master(const Manifest& manifest, const FarmOptions& options)
+      : manifest_(manifest),
+        options_(options),
+        max_respawns_(options.max_respawns != static_cast<std::size_t>(-1)
+                          ? options.max_respawns
+                          : std::max<std::size_t>(4, 2 * options.workers)) {}
+
+  FarmReport run() {
+    const std::size_t total = manifest_.entries.size();
+    obs::Span span(options_.metrics, "farm.run");
+    span.arg("jobs", total);
+    span.arg("workers", options_.workers);
+
+    report_.results.resize(total);
+    completed_.assign(total, false);
+    attempts_.assign(total, 0);
+    for (std::size_t i = 0; i < total; ++i) {
+      report_.results[i].id = i;
+      report_.results[i].status = JobStatus::Error;
+      report_.results[i].detail = "not attempted";
+    }
+    if (total == 0) return std::move(report_);
+
+    if (options_.worker_command.empty()) {
+      run_in_process();
+    } else {
+      run_subprocesses();
+    }
+    std::sort(report_.quarantined.begin(), report_.quarantined.end());
+    return std::move(report_);
+  }
+
+ private:
+  JobRequest make_request(std::size_t job) const {
+    const ManifestEntry& entry = manifest_.entries[job];
+    JobRequest request;
+    request.id = job;
+    request.path = entry.path;
+    request.kind = entry.kind;
+    request.budget_ms = options_.budget_ms;
+    request.budget_bytes = options_.budget_bytes;
+    return request;
+  }
+
+  void complete(std::size_t job, JobResult result) {
+    if (completed_[job]) return;
+    completed_[job] = true;
+    ++done_count_;
+    // First successful completion only: retried attempts that died before
+    // responding never reached this point, so every job contributes its
+    // counters exactly once — totals are worker-count- and fault-invariant.
+    for (const auto& [name, value] : result.counters)
+      report_.merged_counters[name] += value;
+    report_.results[job] = std::move(result);
+    obs::add(options_.metrics, "farm.jobs", 1);
+  }
+
+  void quarantine(std::size_t job) {
+    JobResult result;
+    result.id = job;
+    result.status = JobStatus::Error;
+    result.detail = "quarantined after " + std::to_string(attempts_[job]) +
+                    " failed attempts";
+    report_.results[job] = std::move(result);
+    report_.quarantined.push_back(job);
+    obs::add(options_.metrics, "farm.quarantined", 1);
+  }
+
+  [[nodiscard]] bool finished() const {
+    return done_count_ + report_.quarantined.size() ==
+           manifest_.entries.size();
+  }
+
+  void run_in_process() {
+    const FarmWorker worker(options_.worker);
+    for (std::size_t i = 0; i < manifest_.entries.size(); ++i)
+      complete(i, worker.run_job(make_request(i)));
+  }
+
+  // ----- subprocess scheduling -----
+
+  [[nodiscard]] std::size_t alive_count() const {
+    std::size_t n = 0;
+    for (const WorkerProc& w : workers_)
+      if (w.alive) ++n;
+    return n;
+  }
+
+  // Claim work for an idle worker: a shrinking chunk off the global queue,
+  // or — when the queue is dry — the tail half of the largest other
+  // reserve (stolen jobs keep their relative order).
+  void refill(WorkerProc& w) {
+    if (!queue_.empty()) {
+      const std::size_t alive = std::max<std::size_t>(1, alive_count());
+      const std::size_t chunk = std::min(
+          queue_.size(),
+          std::max<std::size_t>(1, queue_.size() / (2 * alive)));
+      for (std::size_t i = 0; i < chunk; ++i) {
+        w.reserve.push_back(queue_.front());
+        queue_.pop_front();
+      }
+      return;
+    }
+    WorkerProc* victim = nullptr;
+    for (WorkerProc& other : workers_) {
+      if (&other == &w || !other.alive || other.reserve.empty()) continue;
+      if (victim == nullptr || other.reserve.size() > victim->reserve.size())
+        victim = &other;
+    }
+    if (victim == nullptr) return;
+    const std::size_t take = (victim->reserve.size() + 1) / 2;
+    for (std::size_t i = 0; i < take; ++i) {
+      w.reserve.push_front(victim->reserve.back());
+      victim->reserve.pop_back();
+    }
+    ++report_.stats.steals;
+    obs::add(options_.metrics, "farm.steals", 1);
+  }
+
+  // Send the next reserved job to an idle worker.
+  void feed(WorkerProc& w) {
+    if (!w.alive || w.inflight != kNone) return;
+    if (w.reserve.empty()) refill(w);
+    if (w.reserve.empty()) return;
+    const std::size_t job = w.reserve.front();
+    if (!write_all(w.to_fd, job_request_line(make_request(job)) + "\n")) {
+      on_death(w);
+      return;
+    }
+    w.reserve.pop_front();
+    w.inflight = static_cast<std::ptrdiff_t>(job);
+  }
+
+  // A worker died (exit, signal, EOF) or emitted protocol garbage: reap
+  // it, retry or quarantine its in-flight job, return its reserve, and
+  // spawn a replacement within the respawn budget.
+  void on_death(WorkerProc& w) {
+    if (!w.alive) return;
+    w.alive = false;
+    close_fd(w.to_fd);
+    close_fd(w.from_fd);
+    if (w.pid > 0) {
+      ::kill(w.pid, SIGKILL);
+      ::waitpid(w.pid, nullptr, 0);
+      w.pid = -1;
+    }
+    ++report_.stats.worker_deaths;
+    obs::add(options_.metrics, "farm.deaths", 1);
+
+    for (auto it = w.reserve.rbegin(); it != w.reserve.rend(); ++it)
+      queue_.push_front(*it);
+    w.reserve.clear();
+
+    if (w.inflight != kNone) {
+      const std::size_t job = static_cast<std::size_t>(w.inflight);
+      w.inflight = kNone;
+      if (++attempts_[job] > options_.max_retries) {
+        quarantine(job);
+      } else {
+        queue_.push_front(job);
+        ++report_.stats.retries;
+        obs::add(options_.metrics, "farm.retries", 1);
+      }
+    }
+
+    if (!finished() && respawns_used_ < max_respawns_) {
+      WorkerProc fresh;
+      if (spawn_worker(options_.worker_command, next_worker_id_++, &fresh)) {
+        ++respawns_used_;
+        ++report_.stats.respawns;
+        obs::add(options_.metrics, "farm.respawns", 1);
+        workers_.push_back(std::move(fresh));
+      }
+    }
+  }
+
+  // One response line from a worker. False = protocol violation (treat the
+  // worker as broken).
+  bool handle_response(WorkerProc& w, const std::string& line) {
+    auto result = parse_job_response(line);
+    if (!result) return false;
+    if (w.inflight == kNone ||
+        result->id != static_cast<std::uint64_t>(w.inflight))
+      return false;
+    w.inflight = kNone;
+    const std::size_t job = static_cast<std::size_t>(result->id);
+    complete(job, std::move(*result));
+    feed(w);
+    return true;
+  }
+
+  void handle_readable(WorkerProc& w) {
+    char buf[4096];
+    const ssize_t n = ::read(w.from_fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) return;
+    if (n <= 0) {
+      // EOF (clean or killed). A non-empty partial() means it died
+      // mid-line; either way the death path owns recovery.
+      on_death(w);
+      return;
+    }
+    w.lines.feed({buf, static_cast<std::size_t>(n)});
+    for (const std::string& line : w.lines.take_lines()) {
+      if (!w.alive) break;  // feed() inside handle_response hit a death
+      if (!handle_response(w, line)) {
+        on_death(w);
+        return;
+      }
+    }
+  }
+
+  void run_subprocesses() {
+    // A worker can die while the master writes to it; that must surface as
+    // EPIPE on the write, not SIGPIPE process death.
+    struct sigaction ignore_pipe {};
+    struct sigaction old_pipe {};
+    ignore_pipe.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+    const std::size_t total = manifest_.entries.size();
+    for (std::size_t i = 0; i < total; ++i) queue_.push_back(i);
+    const std::size_t n_workers =
+        std::min(std::max<std::size_t>(1, options_.workers), total);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      WorkerProc w;
+      if (spawn_worker(options_.worker_command, next_worker_id_++, &w))
+        workers_.push_back(std::move(w));
+    }
+
+    while (!finished()) {
+      for (std::size_t i = 0; i < workers_.size(); ++i)
+        feed(workers_[i]);
+
+      std::vector<pollfd> fds;
+      std::vector<std::size_t> owner;
+      for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const WorkerProc& w = workers_[i];
+        if (!w.alive || w.inflight == kNone) continue;
+        fds.push_back({w.from_fd, POLLIN, 0});
+        owner.push_back(i);
+      }
+      if (fds.empty()) {
+        if (finished()) break;
+        report_.internal_error = true;
+        report_.error = "no live workers with jobs still pending";
+        break;
+      }
+      const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()),
+                               -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        report_.internal_error = true;
+        report_.error = "poll failed";
+        break;
+      }
+      for (std::size_t i = 0; i < fds.size(); ++i)
+        if (fds[i].revents != 0) handle_readable(workers_[owner[i]]);
+    }
+
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      (void)write_all(w.to_fd, shutdown_request_line() + "\n");
+      close_fd(w.to_fd);
+    }
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      close_fd(w.from_fd);
+      if (w.pid > 0) ::waitpid(w.pid, nullptr, 0);
+      w.alive = false;
+    }
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+  }
+
+  const Manifest& manifest_;
+  const FarmOptions& options_;
+  const std::size_t max_respawns_;
+
+  FarmReport report_;
+  std::vector<bool> completed_;
+  std::vector<std::size_t> attempts_;
+  std::size_t done_count_ = 0;
+
+  // deque: on_death may push a replacement while callers hold references
+  // to existing elements, which deque growth preserves.
+  std::deque<WorkerProc> workers_;
+  std::deque<std::size_t> queue_;
+  std::size_t next_worker_id_ = 0;
+  std::size_t respawns_used_ = 0;
+};
+
+}  // namespace
+
+std::size_t FarmReport::flagged_count() const {
+  std::size_t n = 0;
+  for (const JobResult& r : results)
+    if (r.flagged()) ++n;
+  return n;
+}
+
+FarmReport run_farm(const Manifest& manifest, const FarmOptions& options) {
+  return Master(manifest, options).run();
+}
+
+}  // namespace siwa::farm

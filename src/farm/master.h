@@ -1,0 +1,87 @@
+// The siwa_farm master: shards a corpus manifest over worker subprocesses.
+//
+// Scheduling is chunked self-scheduling with steal-from-the-tail
+// rebalancing: an idle worker claims a chunk of `remaining / (2 * workers)`
+// jobs (so chunks shrink as the corpus drains and the tail load-balances),
+// holds it as a master-side reserve, and receives one job at a time from
+// that reserve. When the global queue is dry an idle worker steals the tail
+// half of the largest other reserve. Reserves live in the master — a worker
+// only ever holds the single in-flight job — so nothing is lost when a
+// worker dies and stealing needs no worker cooperation.
+//
+// Fault handling: a worker that exits, is killed, or emits an unparseable
+// response line is dead; its in-flight job is retried (bounded by
+// max_retries, then quarantined as a poison job) and its reserve returns to
+// the global queue. Dead workers are replaced up to a bounded respawn
+// budget. Job-level failures (unreadable entry, malformed graph, blown
+// budget) are *verdicts*, not faults — they are recorded and never retried.
+//
+// Determinism: results are keyed by manifest index, and per-job counters
+// are merged from the first successful completion only, so the merged
+// report and counter totals are invariant to worker count, scheduling,
+// steals, retries and injected faults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "farm/manifest.h"
+#include "farm/protocol.h"
+#include "farm/worker.h"
+#include "obs/metrics.h"
+
+namespace siwa::farm {
+
+struct FarmOptions {
+  std::size_t workers = 1;
+  // argv for one worker subprocess (e.g. {"siwa_farm", "--worker"}); the
+  // master appends "--worker-id <n>". Empty = run every job in-process
+  // through FarmWorker — the zero-subprocess reference mode the fault
+  // tests compare against.
+  std::vector<std::string> worker_command;
+  // Per-job budgets forwarded in every request (0 = unlimited).
+  std::uint64_t budget_ms = 0;
+  std::uint64_t budget_bytes = 0;
+  // Transport-failure re-dispatches per job before quarantine.
+  std::size_t max_retries = 2;
+  // Worker replacements across the run; SIZE_MAX = auto (max(4, 2*workers)).
+  std::size_t max_respawns = static_cast<std::size_t>(-1);
+  // Options for the in-process mode's FarmWorker (subprocess workers
+  // configure their own).
+  WorkerOptions worker;
+  // Scheduler bookkeeping (farm.* counters, farm.run span). Schedule-
+  // dependent — kept separate from the jobs' merged counters.
+  obs::SinkRef metrics;
+};
+
+struct FarmStats {
+  std::size_t steals = 0;
+  std::size_t retries = 0;
+  std::size_t worker_deaths = 0;
+  std::size_t respawns = 0;
+};
+
+struct FarmReport {
+  // One result per manifest entry, by index. Quarantined or never-attempted
+  // entries hold a synthesized Error result saying so.
+  std::vector<JobResult> results;
+  std::vector<std::size_t> quarantined;  // manifest indices, ascending
+  // Per-job counters merged by first successful completion (worker-count-
+  // and fault-invariant).
+  std::map<std::string, std::uint64_t> merged_counters;
+  FarmStats stats;
+  // The farm itself failed (e.g. every worker lost with work remaining).
+  // Results for unfinished entries are synthesized Errors.
+  bool internal_error = false;
+  std::string error;
+
+  [[nodiscard]] std::size_t flagged_count() const;
+};
+
+[[nodiscard]] FarmReport run_farm(const Manifest& manifest,
+                                  const FarmOptions& options);
+
+}  // namespace siwa::farm

@@ -1,0 +1,172 @@
+#include "farm/protocol.h"
+
+#include <sstream>
+
+#include "lint/render.h"
+#include "server/jsonl.h"
+
+namespace siwa::farm {
+namespace {
+
+namespace jsonl = server::jsonl;
+
+// Parses the diagnostics array back into Diagnostic values. The field shape
+// is exactly lint::json_diagnostic_array's, so a round-trip through the
+// wire re-renders byte-identically. Returns false on any shape violation.
+bool parse_diagnostics(const obs::json::Value& array,
+                       std::vector<Diagnostic>* out) {
+  if (!array.is_array()) return false;
+  for (const obs::json::Value& item : array.as_array()) {
+    if (!item.is_object()) return false;
+    Diagnostic d;
+    const auto rule = jsonl::string_field(item, "rule");
+    const auto severity = jsonl::string_field(item, "severity");
+    const auto line = jsonl::uint_field(item, "line");
+    const auto column = jsonl::uint_field(item, "column");
+    const auto message = jsonl::string_field(item, "message");
+    const obs::json::Value* related = item.find("related");
+    if (!rule || !severity || !line || !column || !message ||
+        related == nullptr || !related->is_array())
+      return false;
+    if (*severity != "error" && *severity != "warning") return false;
+    d.rule_id = *rule;
+    d.severity = *severity == "error" ? Severity::Error : Severity::Warning;
+    d.loc.line = static_cast<int>(*line);
+    d.loc.column = static_cast<int>(*column);
+    d.message = *message;
+    for (const obs::json::Value& r : related->as_array()) {
+      if (!r.is_object()) return false;
+      const auto rline = jsonl::uint_field(r, "line");
+      const auto rcolumn = jsonl::uint_field(r, "column");
+      const auto note = jsonl::string_field(r, "note");
+      if (!rline || !rcolumn || !note) return false;
+      RelatedLoc rel;
+      rel.loc.line = static_cast<int>(*rline);
+      rel.loc.column = static_cast<int>(*rcolumn);
+      rel.note = *note;
+      d.related.push_back(std::move(rel));
+    }
+    out->push_back(std::move(d));
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::Free: return "free";
+    case JobStatus::Flagged: return "flagged";
+    case JobStatus::Error: return "error";
+  }
+  return "?";
+}
+
+std::string job_request_line(const JobRequest& request) {
+  std::ostringstream os;
+  os << "{\"method\":\"job\",\"id\":" << request.id << ",\"path\":\""
+     << lint::json_escape(request.path) << "\",\"kind\":\""
+     << (request.kind == EntryKind::MiniAda ? "mada" : "sg")
+     << "\",\"budget_ms\":" << request.budget_ms
+     << ",\"budget_bytes\":" << request.budget_bytes << "}";
+  return os.str();
+}
+
+std::string shutdown_request_line() { return "{\"method\":\"shutdown\"}"; }
+
+std::optional<JobRequest> parse_job_request(const obs::json::Value& request,
+                                            std::string* error) {
+  auto fail = [&](std::string_view why) -> std::optional<JobRequest> {
+    if (error != nullptr) *error = jsonl::error_response(why);
+    return std::nullopt;
+  };
+  const auto id = jsonl::uint_field(request, "id");
+  const auto path = jsonl::string_field(request, "path");
+  const auto kind = jsonl::string_field(request, "kind");
+  const auto budget_ms = jsonl::uint_field(request, "budget_ms");
+  const auto budget_bytes = jsonl::uint_field(request, "budget_bytes");
+  if (!id) return fail("missing number field 'id'");
+  if (!path) return fail("missing string field 'path'");
+  if (!kind || (*kind != "sg" && *kind != "mada"))
+    return fail("field 'kind' must be \"sg\" or \"mada\"");
+  JobRequest job;
+  job.id = *id;
+  job.path = *path;
+  job.kind = *kind == "mada" ? EntryKind::MiniAda : EntryKind::SyncGraph;
+  job.budget_ms = budget_ms.value_or(0);
+  job.budget_bytes = budget_bytes.value_or(0);
+  return job;
+}
+
+std::string job_response_line(const JobResult& result) {
+  std::ostringstream os;
+  os << "{\"ok\":true,\"method\":\"job\",\"id\":" << result.id
+     << ",\"status\":\"" << job_status_name(result.status)
+     << "\",\"flagged\":" << (result.flagged() ? "true" : "false")
+     << ",\"budget_exceeded\":" << (result.budget_exceeded ? "true" : "false")
+     << ",\"budget_cap\":\"" << lint::json_escape(result.budget_cap)
+     << "\",\"detail\":\"" << lint::json_escape(result.detail)
+     << "\",\"diagnostics\":" << lint::json_diagnostic_array(result.diagnostics)
+     << ",\"witness\":[";
+  for (std::size_t i = 0; i < result.witness.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"' << lint::json_escape(result.witness[i]) << '"';
+  }
+  os << "],\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : result.counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << lint::json_escape(name) << "\":" << value;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::optional<JobResult> parse_job_response(std::string_view line) {
+  const auto doc = obs::json::parse(line);
+  if (!doc || !doc->is_object()) return std::nullopt;
+  const obs::json::Value* ok = doc->find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) return std::nullopt;
+  const auto method = jsonl::string_field(*doc, "method");
+  if (!method || *method != "job") return std::nullopt;
+
+  JobResult result;
+  const auto id = jsonl::uint_field(*doc, "id");
+  const auto status = jsonl::string_field(*doc, "status");
+  const auto cap = jsonl::string_field(*doc, "budget_cap");
+  const auto detail = jsonl::string_field(*doc, "detail");
+  const obs::json::Value* exceeded = doc->find("budget_exceeded");
+  const obs::json::Value* diagnostics = doc->find("diagnostics");
+  const obs::json::Value* witness = doc->find("witness");
+  const obs::json::Value* counters = doc->find("counters");
+  if (!id || !status || !cap || !detail || exceeded == nullptr ||
+      !exceeded->is_bool() || diagnostics == nullptr || witness == nullptr ||
+      !witness->is_array() || counters == nullptr || !counters->is_object())
+    return std::nullopt;
+  if (*status == "free")
+    result.status = JobStatus::Free;
+  else if (*status == "flagged")
+    result.status = JobStatus::Flagged;
+  else if (*status == "error")
+    result.status = JobStatus::Error;
+  else
+    return std::nullopt;
+  result.id = *id;
+  result.budget_exceeded = exceeded->as_bool();
+  result.budget_cap = *cap;
+  result.detail = *detail;
+  if (!parse_diagnostics(*diagnostics, &result.diagnostics))
+    return std::nullopt;
+  for (const obs::json::Value& w : witness->as_array()) {
+    if (!w.is_string()) return std::nullopt;
+    result.witness.push_back(w.as_string());
+  }
+  for (const auto& [name, value] : counters->as_object()) {
+    if (!value.is_number() || value.as_number() < 0) return std::nullopt;
+    result.counters[name] = static_cast<std::uint64_t>(value.as_number());
+  }
+  return result;
+}
+
+}  // namespace siwa::farm

@@ -1,0 +1,83 @@
+// The siwa_farm master/worker wire protocol.
+//
+// One JSON object per line in each direction (the jsonl framing shared with
+// siwa_lintd, server/jsonl.h). The master sends job requests; the worker
+// answers each with exactly one response line, in request order:
+//
+//   -> {"method":"job","id":N,"path":"...","kind":"sg"|"mada",
+//       "budget_ms":N,"budget_bytes":N}
+//   <- {"ok":true,"method":"job","id":N,"status":"free"|"flagged"|"error",
+//       "flagged":B,"budget_exceeded":B,"budget_cap":"","detail":"",
+//       "diagnostics":[...],"witness":[...],"counters":{...}}
+//   -> {"method":"shutdown"}
+//   <- {"ok":true,"method":"shutdown","shutting_down":true}
+//
+// `status` is the job verdict: "free" (certified / no Error findings),
+// "flagged" (possible infinite wait or Error diagnostics), "error" (the
+// entry itself is bad — unreadable, malformed, cyclic control flow — or its
+// budget ran out). All three are *successful* protocol outcomes the master
+// records; only transport failures (dead worker, unparseable line) trigger
+// the retry machinery. `diagnostics` round-trips lint::Diagnostic through
+// the same field shape as lint::json_diagnostic_array, so the master can
+// re-render SARIF byte-identically to a single-process run. `counters` are
+// this job's own metric deltas (a per-job sink), which the master merges
+// by first successful completion — making totals invariant to worker count,
+// retries and steals.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "farm/manifest.h"
+#include "obs/json.h"
+#include "support/diagnostics.h"
+
+namespace siwa::farm {
+
+struct JobRequest {
+  std::uint64_t id = 0;  // manifest index
+  std::string path;
+  EntryKind kind = EntryKind::SyncGraph;
+  std::uint64_t budget_ms = 0;     // 0 = unlimited
+  std::uint64_t budget_bytes = 0;  // 0 = unlimited
+};
+
+enum class JobStatus { Free, Flagged, Error };
+
+[[nodiscard]] const char* job_status_name(JobStatus status);
+
+struct JobResult {
+  std::uint64_t id = 0;
+  JobStatus status = JobStatus::Free;
+  bool budget_exceeded = false;
+  std::string budget_cap;  // "millis" | "bytes" when budget_exceeded
+  std::string detail;      // error message / witness summary; may be empty
+  std::vector<Diagnostic> diagnostics;  // mada jobs: the lint report
+  std::vector<std::string> witness;     // sg jobs: witness node descriptions
+  std::map<std::string, std::uint64_t> counters;  // this job's deltas
+
+  [[nodiscard]] bool flagged() const { return status == JobStatus::Flagged; }
+};
+
+[[nodiscard]] std::string job_request_line(const JobRequest& request);
+[[nodiscard]] std::string shutdown_request_line();
+
+// Parses a request already validated by jsonl::parse_request with method
+// "job". Nullopt with `error` set (a ready-to-send error line) on missing
+// or ill-typed fields.
+[[nodiscard]] std::optional<JobRequest> parse_job_request(
+    const obs::json::Value& request, std::string* error);
+
+[[nodiscard]] std::string job_response_line(const JobResult& result);
+
+// Parses one worker response line. Nullopt on transport-level garbage:
+// unparseable JSON, `ok:false`, or a missing/ill-typed field — the master
+// treats any of these as a broken worker, not a job verdict.
+[[nodiscard]] std::optional<JobResult> parse_job_response(
+    std::string_view line);
+
+}  // namespace siwa::farm

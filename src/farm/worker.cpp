@@ -1,0 +1,131 @@
+#include "farm/worker.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/scc.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "server/jsonl.h"
+#include "syncgraph/serialize.h"
+
+namespace siwa::farm {
+namespace {
+
+namespace jsonl = server::jsonl;
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream file(path);
+  if (!file) return false;
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+JobResult error_result(const JobRequest& request, std::string detail) {
+  JobResult result;
+  result.id = request.id;
+  result.status = JobStatus::Error;
+  result.detail = std::move(detail);
+  return result;
+}
+
+JobResult run_sg_job(const JobRequest& request, const std::string& text,
+                     core::CertifyOptions options, obs::MetricsSink& sink) {
+  std::string parse_error;
+  const auto graph = sg::parse_sync_graph(text, &parse_error);
+  if (!graph) return error_result(request, "parse error: " + parse_error);
+  // The certifier requires acyclic control flow (a raw graph file skipped
+  // the Lemma 1 unroller); reject instead of handing the closure an input
+  // it cannot terminate on.
+  if (graph::has_cycle(graph->control_graph()))
+    return error_result(request, "cyclic control flow");
+  if (auto problems = graph->validate(false); !problems.empty())
+    return error_result(request, "invalid graph: " + problems.front());
+
+  options.budget.max_millis = request.budget_ms;
+  options.budget.max_bytes = request.budget_bytes;
+  options.metrics = obs::SinkRef{&sink};
+  const core::CertifyResult certified = core::certify_graph(*graph, options);
+
+  JobResult result;
+  result.id = request.id;
+  if (certified.budget_exceeded) {
+    result.status = JobStatus::Error;
+    result.budget_exceeded = true;
+    result.budget_cap = certified.budget_cap;
+    result.detail = "budget exceeded (" + certified.budget_cap + ")";
+  } else {
+    result.status =
+        certified.certified_free ? JobStatus::Free : JobStatus::Flagged;
+  }
+  result.witness = certified.witness;
+  return result;
+}
+
+JobResult run_mada_job(const JobRequest& request, const std::string& text,
+                       lint::LintOptions options, obs::MetricsSink& sink) {
+  JobResult result;
+  result.id = request.id;
+
+  // Same pipeline as batch_report's lint path: frontend failures publish
+  // the parse/sema diagnostics alone and flag the file; otherwise the lint
+  // report decides by Error-severity findings. The farm-smoke CI job
+  // depends on this equivalence byte-for-byte.
+  DiagnosticSink diag_sink;
+  auto program = lang::parse_program(text, diag_sink);
+  if (program) lang::check_program(*program, diag_sink);
+  if (!program || diag_sink.has_errors()) {
+    result.status = JobStatus::Flagged;
+    result.diagnostics = diag_sink.sorted_diagnostics();
+    return result;
+  }
+  options.metrics = obs::SinkRef{&sink};
+  const lint::LintResult lint_result =
+      lint::run_lint(*program, text, options, diag_sink.diagnostics());
+  result.status =
+      lint_result.has_errors() ? JobStatus::Flagged : JobStatus::Free;
+  result.diagnostics = lint_result.diagnostics;
+  return result;
+}
+
+}  // namespace
+
+FarmWorker::FarmWorker(WorkerOptions options) : options_(std::move(options)) {}
+
+JobResult FarmWorker::run_job(const JobRequest& request) const {
+  obs::MetricsSink sink;
+  std::string text;
+  JobResult result;
+  if (!read_file(request.path, &text)) {
+    result = error_result(request, "cannot read " + request.path);
+  } else if (request.kind == EntryKind::MiniAda) {
+    result = run_mada_job(request, text, options_.lint, sink);
+  } else {
+    result = run_sg_job(request, text, options_.certify, sink);
+  }
+  result.counters = sink.counter_totals();
+  return result;
+}
+
+std::string FarmWorker::handle_line(std::string_view line) {
+  std::string parse_error;
+  const auto doc = jsonl::parse_request(line, &parse_error);
+  if (!doc) return parse_error;
+  const std::string& method = jsonl::method(*doc);
+
+  if (method == "shutdown") {
+    shutdown_ = true;
+    return "{\"ok\":true,\"method\":\"shutdown\",\"shutting_down\":true}";
+  }
+  if (method == "job") {
+    std::string error;
+    const auto request = parse_job_request(*doc, &error);
+    if (!request) return error;
+    return job_response_line(run_job(*request));
+  }
+  return jsonl::error_response("unknown method '" + method + "'");
+}
+
+}  // namespace siwa::farm

@@ -1,0 +1,56 @@
+// The siwa_farm worker: one protocol session over handle_line.
+//
+// Mirrors server::LintServer so the protocol logic is testable in-process:
+// the subprocess shell (examples/siwa_farm.cpp --worker) is a thin
+// stdin/stdout loop around this class, exactly as siwa_lintd wraps
+// LintServer. handle_line never throws and never aborts — malformed
+// requests and malformed corpus entries both come back as structured
+// responses, because the master feeds workers untrusted manifest entries
+// and must be able to tell "bad entry" (a recorded verdict) from "broken
+// worker" (the retry machinery).
+//
+// Every job runs against a fresh per-job MetricsSink whose counter totals
+// ship back in the response. The master merges them by first successful
+// completion per job, so corpus-wide totals are invariant to worker count,
+// scheduling, steals and retries.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/certifier.h"
+#include "farm/protocol.h"
+#include "lint/lint.h"
+
+namespace siwa::farm {
+
+struct WorkerOptions {
+  // Base options for sync-graph jobs; the per-job budget from the request
+  // overrides `certify.budget`, and metrics are always the per-job sink.
+  core::CertifyOptions certify;
+  // Options for MiniAda jobs. The defaults match batch_report's lint path,
+  // which the farm-smoke CI job diffs SARIF output against byte-for-byte.
+  lint::LintOptions lint;
+};
+
+class FarmWorker {
+ public:
+  explicit FarmWorker(WorkerOptions options = {});
+
+  // One request line -> one response line (no trailing newline).
+  [[nodiscard]] std::string handle_line(std::string_view line);
+
+  // True once a shutdown request has been handled.
+  [[nodiscard]] bool shutdown_requested() const { return shutdown_; }
+
+  // The job body, exposed for in-process tests and for the master's
+  // single-process fallback (workers=0): certify or lint one entry with a
+  // per-job metrics sink, never throwing.
+  [[nodiscard]] JobResult run_job(const JobRequest& request) const;
+
+ private:
+  WorkerOptions options_;
+  bool shutdown_ = false;
+};
+
+}  // namespace siwa::farm

@@ -1,0 +1,58 @@
+#include "server/jsonl.h"
+
+#include "lint/render.h"
+
+namespace siwa::server::jsonl {
+
+std::string error_response(std::string_view message) {
+  return "{\"ok\":false,\"error\":\"" + lint::json_escape(message) + "\"}";
+}
+
+std::optional<obs::json::Value> parse_request(std::string_view line,
+                                              std::string* error) {
+  auto fail = [&](std::string_view why) -> std::optional<obs::json::Value> {
+    if (error != nullptr) *error = error_response(why);
+    return std::nullopt;
+  };
+  auto doc = obs::json::parse(line);
+  if (!doc || !doc->is_object()) return fail("request is not a JSON object");
+  const obs::json::Value* method = doc->find("method");
+  if (method == nullptr || !method->is_string())
+    return fail("missing string field 'method'");
+  return doc;
+}
+
+const std::string& method(const obs::json::Value& request) {
+  return request.find("method")->as_string();
+}
+
+std::optional<std::string> string_field(const obs::json::Value& object,
+                                        std::string_view key) {
+  const obs::json::Value* v = object.find(key);
+  if (v == nullptr || !v->is_string()) return std::nullopt;
+  return v->as_string();
+}
+
+std::optional<std::uint64_t> uint_field(const obs::json::Value& object,
+                                        std::string_view key) {
+  const obs::json::Value* v = object.find(key);
+  if (v == nullptr || !v->is_number()) return std::nullopt;
+  const double n = v->as_number();
+  if (n < 0 || n != n) return std::nullopt;
+  return static_cast<std::uint64_t>(n);
+}
+
+std::vector<std::string> LineSplitter::take_lines() {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n', start);
+    if (nl == std::string::npos) break;
+    lines.push_back(buffer_.substr(start, nl - start));
+    start = nl + 1;
+  }
+  buffer_.erase(0, start);
+  return lines;
+}
+
+}  // namespace siwa::server::jsonl

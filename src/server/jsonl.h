@@ -1,0 +1,58 @@
+// Line-delimited JSON framing shared by the SIWA daemons.
+//
+// Both siwa_lintd (server/lint_server.h) and the siwa_farm master/worker
+// protocol (farm/) speak the same wire shape: one JSON object per line, one
+// response object per line, `{"ok":false,"error":...}` on any failure. This
+// header holds the framing helpers so the two protocols cannot drift:
+// request parsing (object with a string "method"), field accessors that
+// distinguish "absent" from "wrong type", and the canonical error response.
+//
+// A LineSplitter accumulates raw read() chunks and yields complete lines —
+// the receive half of the framing, used by the farm master to consume worker
+// pipes where one read may carry half a response or several.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace siwa::server::jsonl {
+
+// The canonical failure line: {"ok":false,"error":"<escaped message>"}.
+[[nodiscard]] std::string error_response(std::string_view message);
+
+// Parses one request line. Returns the document when it is a JSON object
+// with a string "method" member; otherwise nullopt with `error` set to the
+// ready-to-send error_response line.
+[[nodiscard]] std::optional<obs::json::Value> parse_request(
+    std::string_view line, std::string* error);
+
+// The "method" member of a parsed request (call only after parse_request).
+[[nodiscard]] const std::string& method(const obs::json::Value& request);
+
+// Typed member access; nullopt when the key is absent or the wrong type.
+[[nodiscard]] std::optional<std::string> string_field(
+    const obs::json::Value& object, std::string_view key);
+[[nodiscard]] std::optional<std::uint64_t> uint_field(
+    const obs::json::Value& object, std::string_view key);
+
+// Splits an incoming byte stream into complete '\n'-terminated lines.
+// feed() appends a chunk; take_lines() returns every complete line received
+// so far (without the terminator) and keeps the unterminated tail buffered.
+class LineSplitter {
+ public:
+  void feed(std::string_view chunk) { buffer_.append(chunk); }
+  [[nodiscard]] std::vector<std::string> take_lines();
+  // The buffered unterminated tail — non-empty at EOF means the peer died
+  // mid-line (protocol garbage, for the farm master's failure handling).
+  [[nodiscard]] const std::string& partial() const { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace siwa::server::jsonl

@@ -8,14 +8,12 @@
 #include "lang/parser.h"
 #include "lang/sema.h"
 #include "lint/render.h"
-#include "obs/json.h"
+#include "server/jsonl.h"
 
 namespace siwa::server {
 namespace {
 
-std::string error_response(std::string_view message) {
-  return "{\"ok\":false,\"error\":\"" + lint::json_escape(message) + "\"}";
-}
+using jsonl::error_response;
 
 // Publish identity: two diagnostics are "the same finding" when location,
 // severity, rule and message all agree — the fields every renderer shows.
@@ -60,14 +58,10 @@ LintServer::LintServer(lint::LintOptions options, obs::SinkRef metrics)
 
 std::string LintServer::handle_line(std::string_view line) {
   obs::add(metrics_, "lintd.requests", 1);
-  const auto doc = obs::json::parse(line);
-  if (!doc || !doc->is_object())
-    return error_response("request is not a JSON object");
-
-  const obs::json::Value* method_v = doc->find("method");
-  if (method_v == nullptr || !method_v->is_string())
-    return error_response("missing string field 'method'");
-  const std::string& method = method_v->as_string();
+  std::string parse_error;
+  const auto doc = jsonl::parse_request(line, &parse_error);
+  if (!doc) return parse_error;
+  const std::string& method = jsonl::method(*doc);
 
   if (method == "shutdown") {
     shutdown_ = true;

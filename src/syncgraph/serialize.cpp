@@ -1,5 +1,6 @@
 #include "syncgraph/serialize.h"
 
+#include <charconv>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -65,13 +66,18 @@ std::optional<SyncGraph> parse_sync_graph(std::string_view text,
   std::map<std::string, TaskId> tasks;
   std::map<long, NodeId> nodes;
 
+  // from_chars, not stol: the input is untrusted (farm workers ingest
+  // arbitrary manifest entries), and stol throws on overflow where a parse
+  // failure must stay a structured error.
   auto resolve = [&](const std::string& token) -> NodeId {
     if (token == "b") return graph.begin_node();
     if (token == "e") return graph.end_node();
-    if (token.empty() ||
-        token.find_first_not_of("0123456789") != std::string::npos)
+    long id = 0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), id);
+    if (ec != std::errc{} || end != token.data() + token.size())
       return NodeId::invalid();
-    auto it = nodes.find(std::stol(token));
+    auto it = nodes.find(id);
     return it == nodes.end() ? NodeId::invalid() : it->second;
   };
 
@@ -112,6 +118,7 @@ std::optional<SyncGraph> parse_sync_graph(std::string_view text,
       if (!tasks.count(receiver))
         return fail("unknown receiver " + receiver + at);
       if (sign != "+" && sign != "-") return fail("sign must be + or -" + at);
+      if (id < 0) return fail("node id must be non-negative" + at);
       if (nodes.count(id)) return fail("duplicate node id" + at);
       std::vector<Guard> guards;
       std::string word;
@@ -137,6 +144,8 @@ std::optional<SyncGraph> parse_sync_graph(std::string_view text,
       if (!tasks.count(task)) return fail("unknown task " + task + at);
       const NodeId node = resolve(ref);
       if (!node.valid()) return fail("unknown node " + ref + at);
+      if (node == graph.begin_node())
+        return fail("entry cannot target b" + at);
       graph.add_task_entry(tasks[task], node);
     } else if (kind == "cedge") {
       std::string from;
@@ -153,6 +162,10 @@ std::optional<SyncGraph> parse_sync_graph(std::string_view text,
       const NodeId a = resolve(from);
       const NodeId b = resolve(to);
       if (!a.valid() || !b.valid()) return fail("unknown edge endpoint" + at);
+      // b/e resolve fine as refs but add_explicit_sync_edge aborts on them —
+      // turn that into the structured error this parser promises.
+      if (!graph.is_rendezvous(a) || !graph.is_rendezvous(b))
+        return fail("sedge endpoints must be rendezvous nodes" + at);
       graph.add_explicit_sync_edge(a, b);
     } else {
       return fail("unknown record '" + kind + "'" + at);

@@ -1,0 +1,136 @@
+// Pins the CLI exit-code contract shared by deadlock_audit, batch_report,
+// siwa_lint and siwa_farm (see README "Exit codes"):
+//
+//   0  clean: nothing flagged
+//   1  at least one finding (possible infinite wait / Error diagnostic /
+//      flagged file)
+//   2  usage error, unreadable input, or internal failure
+//
+// The binaries are driven for real via std::system; their paths and the
+// shipped example corpus arrive as compile definitions from CMake.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+int run(const std::string& command) {
+  const int status = std::system((command + " >/dev/null 2>&1").c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string q(const std::string& arg) { return "'" + arg + "'"; }
+
+const std::string kPrograms = SIWA_PROGRAMS_DIR;
+const std::string kHandshake = kPrograms + "/handshake.mada";
+const std::string kMutualWait = kPrograms + "/mutual_wait.mada";
+
+std::string test_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("siwa_cli_" + name);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string write_file(const std::string& dir, const std::string& name,
+                       std::string_view content) {
+  const std::string path = (std::filesystem::path(dir) / name).string();
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+constexpr const char* kFreeGraph = R"(task left
+task right
+node 2 left right.msg +
+node 3 right right.msg -
+entry left 2
+entry right 3
+cedge b 2
+cedge 2 e
+cedge b 3
+cedge 3 e
+)";
+
+constexpr const char* kCycleGraph = R"(task t1
+task t2
+node 2 t1 t2.m1 +
+node 3 t2 t1.m2 +
+node 4 t1 t1.m2 -
+node 5 t2 t2.m1 -
+entry t1 2
+entry t2 3
+cedge b 2
+cedge 2 4
+cedge 4 e
+cedge b 3
+cedge 3 5
+cedge 5 e
+)";
+
+TEST(CliExitCodes, DeadlockAudit) {
+  const std::string bin = SIWA_AUDIT_BIN;
+  EXPECT_EQ(run(bin + " " + q(kHandshake)), 0);
+  EXPECT_EQ(run(bin + " " + q(kMutualWait)), 1);
+  EXPECT_EQ(run(bin), 2) << "no input is a usage error";
+  EXPECT_EQ(run(bin + " /nonexistent/missing.mada"), 2);
+  EXPECT_EQ(run(bin + " --oracle-max-states -5 " + q(kHandshake)), 2)
+      << "a malformed flag value is a usage error";
+}
+
+TEST(CliExitCodes, SiwaLint) {
+  const std::string bin = SIWA_LINT_BIN;
+  EXPECT_EQ(run(bin + " " + q(kHandshake)), 0)
+      << "warnings alone do not flag the run";
+  const std::string dir = test_dir("lint");
+  const std::string broken =
+      write_file(dir, "broken.mada", "task broken is begin send ; end\n");
+  EXPECT_EQ(run(bin + " " + q(broken)), 1)
+      << "a parse failure is an Error finding";
+  EXPECT_EQ(run(bin), 2) << "no input is a usage error";
+  EXPECT_EQ(run(bin + " --no-such-flag " + q(kHandshake)), 2);
+  EXPECT_EQ(run(bin + " /nonexistent/missing.mada"), 2);
+}
+
+TEST(CliExitCodes, BatchReport) {
+  const std::string bin = SIWA_BATCH_BIN;
+  // The shipped corpus contains exactly one triage-flagged program.
+  EXPECT_EQ(run(bin + " " + q(kPrograms)), 1);
+  const std::string dir = test_dir("batch_clean");
+  write_file(dir, "handshake.mada",
+             "task a is begin send b.d; accept ack; end a;\n"
+             "task b is begin accept d; send a.ack; end b;\n");
+  EXPECT_EQ(run(bin + " " + q(dir)), 0) << "a clean corpus exits 0";
+  EXPECT_EQ(run(bin), 2) << "no directory is a usage error";
+  EXPECT_EQ(run(bin + " /nonexistent/dir"), 2);
+}
+
+TEST(CliExitCodes, SiwaFarm) {
+  const std::string bin = SIWA_FARM_BIN;
+  const std::string dir = test_dir("farm");
+  write_file(dir, "free.sg", kFreeGraph);
+  write_file(dir, "cycle.sg", kCycleGraph);
+  const std::string clean = write_file(dir, "clean.txt", "free.sg\n");
+  const std::string mixed =
+      write_file(dir, "mixed.txt", "free.sg\ncycle.sg\n");
+
+  EXPECT_EQ(run(bin + " --in-process " + q(clean)), 0);
+  EXPECT_EQ(run(bin + " --in-process " + q(mixed)), 1);
+  EXPECT_EQ(run(bin + " --workers 2 " + q(mixed)), 1)
+      << "subprocess mode shares the contract";
+  EXPECT_EQ(run(bin), 2) << "no manifest is a usage error";
+  EXPECT_EQ(run(bin + " --workers 2x " + q(clean)), 2);
+  EXPECT_EQ(run(bin + " /nonexistent/manifest.txt"), 2);
+
+  // Quarantined (poison) jobs are an internal failure, not a verdict.
+  ::setenv("SIWA_FARM_POISON", "cycle", 1);
+  EXPECT_EQ(run(bin + " --workers 2 " + q(mixed)), 2);
+  ::unsetenv("SIWA_FARM_POISON");
+}
+
+}  // namespace

@@ -353,6 +353,83 @@ TEST(Certifier, NewPatternsSafety) {
       certify_program(gen::master_worker(2, 2, false), {}).certified_free);
 }
 
+TEST(CertifierBatch, EmptyCorpusIsWellFormed) {
+  // An empty corpus used to spin up pool scaffolding under the batch span;
+  // now it returns immediately — but still through a complete, well-formed
+  // "certify.batch" span at any thread count.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    obs::MetricsSink sink;
+    CertifyOptions options;
+    options.metrics = obs::SinkRef{&sink};
+    options.parallel.threads = threads;
+    EXPECT_TRUE(certify_batch({}, options).empty());
+    EXPECT_EQ(sink.counter_totals().count("certify.hypotheses"), 0u);
+  }
+}
+
+// A completed crosswise rendezvous pair: certified free by the refined
+// detector (unlike kLemma2Spurious, which it only partially eliminates).
+constexpr const char* kCleanHandshake = R"(
+task a is begin send b.d; accept ack; end a;
+task b is begin accept d; send a.ack; end b;
+)";
+
+TEST(CertifierBatch, ThreadsClampToGraphCount) {
+  // Far more threads than graphs: the pool is clamped to the corpus size
+  // and verdicts stay indexed like the input.
+  std::vector<sg::SyncGraph> graphs;
+  graphs.push_back(graph_of(kCleanHandshake));
+  graphs.push_back(graph_of(kRealDeadlock));
+  CertifyOptions options;
+  options.parallel.threads = 16;
+  const std::vector<CertifyResult> results = certify_batch(graphs, options);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].certified_free);
+  EXPECT_FALSE(results[1].certified_free);
+  const std::vector<CertifyResult> serial = certify_batch(graphs, {});
+  ASSERT_EQ(serial.size(), 2u);
+  EXPECT_EQ(results[0].certified_free, serial[0].certified_free);
+  EXPECT_EQ(results[1].certified_free, serial[1].certified_free);
+}
+
+TEST(Certifier, ByteBudgetIsReportedNotFatal) {
+  CertifyOptions options;
+  options.budget.max_bytes = 1;  // below any real scratch estimate
+  const CertifyResult r = certify_graph(graph_of(kLemma2Spurious), options);
+  EXPECT_FALSE(r.certified_free) << "an unswept graph certifies nothing";
+  EXPECT_TRUE(r.budget_exceeded);
+  EXPECT_EQ(r.budget_cap, "bytes");
+}
+
+TEST(Certifier, UnlimitedAndGenerousBudgetsChangeNothing) {
+  EXPECT_TRUE(CertifyBudget{}.unlimited());
+  const CertifyResult plain = certify_graph(graph_of(kRealDeadlock), {});
+  EXPECT_FALSE(plain.budget_exceeded);
+  EXPECT_TRUE(plain.budget_cap.empty());
+
+  CertifyOptions generous;
+  generous.budget.max_millis = 60'000;
+  generous.budget.max_bytes = 1u << 30;
+  const CertifyResult r = certify_graph(graph_of(kCleanHandshake), generous);
+  EXPECT_TRUE(r.certified_free);
+  EXPECT_FALSE(r.budget_exceeded);
+}
+
+TEST(RefinedDetector, ExpiredDeadlineStopsTheSweepCleanly) {
+  const sg::SyncGraph g = graph_of(kLemma2Spurious);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    RefinedOptions options;
+    options.parallel.threads = threads;
+    options.deadline =
+        std::chrono::steady_clock::now() - std::chrono::seconds(1);
+    const RefinedResult r = run_refined(g, options);
+    EXPECT_TRUE(r.deadline_hit) << threads << " thread(s)";
+    // No hit before the cut: the miss proves nothing, and certify_graph's
+    // plumbing (covered above) turns this into budget_exceeded.
+    EXPECT_FALSE(r.deadlock_possible);
+  }
+}
+
 TEST(Certifier, AlgorithmNames) {
   EXPECT_EQ(algorithm_name(Algorithm::Naive), "naive");
   EXPECT_EQ(algorithm_name(Algorithm::RefinedSingle), "refined");

@@ -1,0 +1,521 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "farm/manifest.h"
+#include "farm/master.h"
+#include "farm/protocol.h"
+#include "farm/worker.h"
+#include "server/jsonl.h"
+
+namespace siwa::farm {
+namespace {
+
+namespace jsonl = server::jsonl;
+
+// ----- corpus fixtures -----
+
+// Two tasks, one completed rendezvous: certified free.
+constexpr const char* kFreeGraph = R"(task left
+task right
+node 2 left right.msg +
+node 3 right right.msg -
+entry left 2
+entry right 3
+cedge b 2
+cedge 2 e
+cedge b 3
+cedge 3 e
+)";
+
+// Mutual wait: each task sends first and accepts second, crosswise.
+constexpr const char* kCycleGraph = R"(task t1
+task t2
+node 2 t1 t2.m1 +
+node 3 t2 t1.m2 +
+node 4 t1 t1.m2 -
+node 5 t2 t2.m1 -
+entry t1 2
+entry t2 3
+cedge b 2
+cedge 2 4
+cedge 4 e
+cedge b 3
+cedge 3 5
+cedge 5 e
+)";
+
+constexpr const char* kFreeMada =
+    "task a is begin send b.d; accept ack; end a;\n"
+    "task b is begin accept d; send a.ack; end b;\n";
+
+constexpr const char* kBrokenMada = "task broken is begin send ; end\n";
+
+std::string test_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("siwa_farm_" + name);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+std::string write_file(const std::string& dir, const std::string& name,
+                       std::string_view content) {
+  const std::string path = (std::filesystem::path(dir) / name).string();
+  std::ofstream out(path);
+  out << content;
+  return path;
+}
+
+// Writes the five-entry corpus (free/cycle/broken graphs, free/broken
+// MiniAda) and lists it `rounds` times over — repeated entries are legal
+// and give every worker several jobs when the fault tests need that.
+Manifest corpus(const std::string& dir, std::size_t rounds = 1) {
+  write_file(dir, "free.sg", kFreeGraph);
+  write_file(dir, "cycle.sg", kCycleGraph);
+  write_file(dir, "broken.sg", "bogus record\n");
+  write_file(dir, "handshake.mada", kFreeMada);
+  write_file(dir, "broken.mada", kBrokenMada);
+  std::string listing;
+  for (std::size_t i = 0; i < rounds; ++i)
+    listing += "free.sg\ncycle.sg\nbroken.sg\nhandshake.mada\nbroken.mada\n";
+  return parse_manifest(listing, dir);
+}
+
+// The per-round expected verdicts for `corpus`.
+const std::vector<JobStatus> kCorpusStatuses = {
+    JobStatus::Free, JobStatus::Flagged, JobStatus::Error, JobStatus::Free,
+    JobStatus::Flagged};
+
+void expect_reports_equal(const FarmReport& a, const FarmReport& b) {
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    const JobResult& ra = a.results[i];
+    const JobResult& rb = b.results[i];
+    EXPECT_EQ(ra.id, rb.id) << "job " << i;
+    EXPECT_EQ(ra.status, rb.status) << "job " << i;
+    EXPECT_EQ(ra.detail, rb.detail) << "job " << i;
+    EXPECT_EQ(ra.budget_exceeded, rb.budget_exceeded) << "job " << i;
+    EXPECT_EQ(ra.budget_cap, rb.budget_cap) << "job " << i;
+    EXPECT_EQ(ra.witness, rb.witness) << "job " << i;
+    EXPECT_EQ(ra.counters, rb.counters) << "job " << i;
+    ASSERT_EQ(ra.diagnostics.size(), rb.diagnostics.size()) << "job " << i;
+    for (std::size_t d = 0; d < ra.diagnostics.size(); ++d)
+      EXPECT_EQ(ra.diagnostics[d].to_string(), rb.diagnostics[d].to_string());
+  }
+  EXPECT_EQ(a.quarantined, b.quarantined);
+  EXPECT_EQ(a.merged_counters, b.merged_counters);
+  EXPECT_EQ(a.flagged_count(), b.flagged_count());
+  EXPECT_EQ(a.internal_error, b.internal_error);
+}
+
+// Sets an environment variable for the duration of a test.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const std::string& value) : name_(name) {
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~EnvGuard() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+// ----- manifest -----
+
+TEST(FarmManifest, ClassifiesByExtension) {
+  EXPECT_EQ(classify_entry("corpus/a.mada"), EntryKind::MiniAda);
+  EXPECT_EQ(classify_entry("corpus/a.sg"), EntryKind::SyncGraph);
+  EXPECT_EQ(classify_entry("a.mada.bak"), EntryKind::SyncGraph);
+  EXPECT_EQ(classify_entry(""), EntryKind::SyncGraph);
+}
+
+TEST(FarmManifest, ParsesCommentsBlanksAndBaseDir) {
+  const Manifest m = parse_manifest(
+      "# corpus header\n"
+      "\n"
+      "  free.sg   # trailing comment\n"
+      "sub/handshake.mada\r\n"
+      "/abs/path.sg\n",
+      "/base");
+  ASSERT_EQ(m.entries.size(), 3u);
+  EXPECT_EQ(m.entries[0].index, 0u);
+  EXPECT_EQ(m.entries[0].path, "/base/free.sg");
+  EXPECT_EQ(m.entries[0].kind, EntryKind::SyncGraph);
+  EXPECT_EQ(m.entries[1].index, 1u);
+  EXPECT_EQ(m.entries[1].path, "/base/sub/handshake.mada");
+  EXPECT_EQ(m.entries[1].kind, EntryKind::MiniAda);
+  // Absolute entries are not re-anchored.
+  EXPECT_EQ(m.entries[2].path, "/abs/path.sg");
+}
+
+TEST(FarmManifest, LoadReportsMissingFile) {
+  std::string error;
+  EXPECT_FALSE(load_manifest("/nonexistent/manifest.txt", &error));
+  EXPECT_NE(error.find("cannot read manifest"), std::string::npos);
+}
+
+TEST(FarmManifest, LoadResolvesAgainstManifestDirectory) {
+  const std::string dir = test_dir("manifest_dir");
+  write_file(dir, "free.sg", kFreeGraph);
+  const std::string path = write_file(dir, "corpus.txt", "free.sg\n");
+  std::string error;
+  const auto m = load_manifest(path, &error);
+  ASSERT_TRUE(m.has_value()) << error;
+  ASSERT_EQ(m->entries.size(), 1u);
+  EXPECT_TRUE(std::filesystem::exists(m->entries[0].path));
+}
+
+// ----- protocol -----
+
+TEST(FarmProtocol, RequestRoundTrip) {
+  JobRequest request;
+  request.id = 42;
+  request.path = "dir/with \"quotes\".mada";
+  request.kind = EntryKind::MiniAda;
+  request.budget_ms = 1500;
+  request.budget_bytes = 1 << 20;
+
+  std::string error;
+  const auto doc = jsonl::parse_request(job_request_line(request), &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+  EXPECT_EQ(jsonl::method(*doc), "job");
+  const auto parsed = parse_job_request(*doc, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->id, request.id);
+  EXPECT_EQ(parsed->path, request.path);
+  EXPECT_EQ(parsed->kind, request.kind);
+  EXPECT_EQ(parsed->budget_ms, request.budget_ms);
+  EXPECT_EQ(parsed->budget_bytes, request.budget_bytes);
+}
+
+TEST(FarmProtocol, RequestRejectsMissingOrIllTypedFields) {
+  auto reject = [](const char* line, const char* why) {
+    std::string error;
+    const auto doc = jsonl::parse_request(line, &error);
+    ASSERT_TRUE(doc.has_value()) << line;
+    EXPECT_FALSE(parse_job_request(*doc, &error)) << line;
+    EXPECT_NE(error.find("\"ok\":false"), std::string::npos) << line;
+    EXPECT_NE(error.find(why), std::string::npos) << line;
+  };
+  reject(R"({"method":"job","path":"x","kind":"sg"})", "id");
+  reject(R"({"method":"job","id":1,"kind":"sg"})", "path");
+  reject(R"({"method":"job","id":1,"path":"x","kind":"nope"})", "kind");
+  reject(R"({"method":"job","id":-3,"path":"x","kind":"sg"})", "id");
+}
+
+TEST(FarmProtocol, ResponseRoundTripsDiagnosticsWitnessAndCounters) {
+  JobResult result;
+  result.id = 7;
+  result.status = JobStatus::Flagged;
+  result.budget_exceeded = true;
+  result.budget_cap = "millis";
+  result.detail = "budget exceeded (millis)";
+  Diagnostic d;
+  d.severity = Severity::Warning;
+  d.loc = {3, 14};
+  d.message = "possible \"infinite\" wait";
+  d.rule_id = "SIWA010";
+  d.related.push_back({{5, 2}, "the other rendezvous"});
+  result.diagnostics.push_back(d);
+  result.witness = {"t1 waits on t2.m1", "t2 waits on t1.m2"};
+  result.counters = {{"certify.hypotheses", 12}, {"clg.edges", 40}};
+
+  const auto parsed = parse_job_response(job_response_line(result));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id, result.id);
+  EXPECT_EQ(parsed->status, result.status);
+  EXPECT_TRUE(parsed->budget_exceeded);
+  EXPECT_EQ(parsed->budget_cap, result.budget_cap);
+  EXPECT_EQ(parsed->detail, result.detail);
+  EXPECT_EQ(parsed->witness, result.witness);
+  EXPECT_EQ(parsed->counters, result.counters);
+  ASSERT_EQ(parsed->diagnostics.size(), 1u);
+  EXPECT_EQ(parsed->diagnostics[0].to_string(), d.to_string());
+  ASSERT_EQ(parsed->diagnostics[0].related.size(), 1u);
+  EXPECT_EQ(parsed->diagnostics[0].related[0].note, "the other rendezvous");
+  // The re-rendered line is byte-identical — what the master's SARIF
+  // equivalence with batch_report rests on.
+  EXPECT_EQ(job_response_line(*parsed), job_response_line(result));
+}
+
+TEST(FarmProtocol, ResponseRejectsTransportGarbage) {
+  // Anything that is not a complete well-typed response is a broken worker.
+  EXPECT_FALSE(parse_job_response(""));
+  EXPECT_FALSE(parse_job_response("not json"));
+  EXPECT_FALSE(parse_job_response(R"({"ok":false,"error":"boom"})"));
+  EXPECT_FALSE(parse_job_response(R"({"ok":true,"method":"shutdown"})"));
+  EXPECT_FALSE(parse_job_response(
+      R"({"ok":true,"method":"job","id":1,"status":"maybe","flagged":false,)"
+      R"("budget_exceeded":false,"budget_cap":"","detail":"",)"
+      R"("diagnostics":[],"witness":[],"counters":{}})"));
+  // A truncated prefix of a valid line (the truncate fault injection).
+  const std::string full = job_response_line(JobResult{});
+  EXPECT_FALSE(parse_job_response(
+      std::string_view(full).substr(0, full.size() / 2)));
+}
+
+TEST(FarmProtocol, LineSplitterReassemblesChunks) {
+  jsonl::LineSplitter splitter;
+  splitter.feed("{\"a\":1}\n{\"b\"");
+  auto lines = splitter.take_lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+  EXPECT_EQ(splitter.partial(), "{\"b\"");
+  splitter.feed(":2}\n");
+  lines = splitter.take_lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"b\":2}");
+  EXPECT_TRUE(splitter.partial().empty());
+}
+
+// ----- worker -----
+
+TEST(FarmWorkerTest, HandlesShutdownAndBadRequests) {
+  FarmWorker worker;
+  EXPECT_NE(worker.handle_line("garbage").find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(worker.handle_line(R"({"method":"frobnicate"})")
+                .find("unknown method"),
+            std::string::npos);
+  EXPECT_FALSE(worker.shutdown_requested());
+  EXPECT_NE(worker.handle_line(shutdown_request_line())
+                .find("\"shutting_down\":true"),
+            std::string::npos);
+  EXPECT_TRUE(worker.shutdown_requested());
+}
+
+TEST(FarmWorkerTest, JobVerdictsPerEntryKind) {
+  const std::string dir = test_dir("worker_verdicts");
+  const Manifest m = corpus(dir);
+  const FarmWorker worker;
+
+  auto run = [&](std::size_t i) {
+    JobRequest request;
+    request.id = i;
+    request.path = m.entries[i].path;
+    request.kind = m.entries[i].kind;
+    return worker.run_job(request);
+  };
+
+  EXPECT_EQ(run(0).status, JobStatus::Free);
+
+  const JobResult cycle = run(1);
+  EXPECT_EQ(cycle.status, JobStatus::Flagged);
+  EXPECT_FALSE(cycle.witness.empty());
+  EXPECT_FALSE(cycle.counters.empty());
+
+  const JobResult broken = run(2);
+  EXPECT_EQ(broken.status, JobStatus::Error);
+  EXPECT_NE(broken.detail.find("parse error"), std::string::npos);
+
+  EXPECT_EQ(run(3).status, JobStatus::Free);
+
+  const JobResult broken_mada = run(4);
+  EXPECT_EQ(broken_mada.status, JobStatus::Flagged);
+  EXPECT_FALSE(broken_mada.diagnostics.empty());
+
+  JobRequest missing;
+  missing.id = 99;
+  missing.path = dir + "/does_not_exist.sg";
+  const JobResult unreadable = worker.run_job(missing);
+  EXPECT_EQ(unreadable.status, JobStatus::Error);
+  EXPECT_NE(unreadable.detail.find("cannot read"), std::string::npos);
+}
+
+TEST(FarmWorkerTest, ByteBudgetIsAVerdictNotAFault) {
+  const std::string dir = test_dir("worker_budget");
+  const std::string path = write_file(dir, "cycle.sg", kCycleGraph);
+  const FarmWorker worker;
+  JobRequest request;
+  request.path = path;
+  request.budget_bytes = 1;  // far below any real scratch estimate
+  const JobResult result = worker.run_job(request);
+  EXPECT_EQ(result.status, JobStatus::Error);
+  EXPECT_TRUE(result.budget_exceeded);
+  EXPECT_EQ(result.budget_cap, "bytes");
+  EXPECT_NE(result.detail.find("budget exceeded"), std::string::npos);
+}
+
+TEST(FarmWorkerTest, CyclicControlFlowIsRejectedNotLoopedOn) {
+  const std::string dir = test_dir("worker_cyclic");
+  const std::string path = write_file(dir, "loop.sg",
+                                      "task t\n"
+                                      "node 2 t t.m +\n"
+                                      "node 3 t t.m -\n"
+                                      "entry t 2\n"
+                                      "cedge b 2\n"
+                                      "cedge 2 3\n"
+                                      "cedge 3 2\n"
+                                      "cedge 3 e\n");
+  const FarmWorker worker;
+  JobRequest request;
+  request.path = path;
+  const JobResult result = worker.run_job(request);
+  EXPECT_EQ(result.status, JobStatus::Error);
+  EXPECT_NE(result.detail.find("cyclic control flow"), std::string::npos);
+}
+
+// ----- master, in-process mode -----
+
+TEST(FarmMaster, EmptyManifestIsAnEmptyReport) {
+  const FarmReport report = run_farm(Manifest{}, FarmOptions{});
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_TRUE(report.quarantined.empty());
+  EXPECT_TRUE(report.merged_counters.empty());
+  EXPECT_FALSE(report.internal_error);
+  EXPECT_EQ(report.flagged_count(), 0u);
+}
+
+TEST(FarmMaster, InProcessMatchesDirectWorkerRuns) {
+  const std::string dir = test_dir("inprocess");
+  const Manifest m = corpus(dir);
+  const FarmReport report = run_farm(m, FarmOptions{});
+
+  ASSERT_EQ(report.results.size(), m.entries.size());
+  const FarmWorker worker;
+  std::map<std::string, std::uint64_t> expected_counters;
+  for (std::size_t i = 0; i < m.entries.size(); ++i) {
+    JobRequest request;
+    request.id = i;
+    request.path = m.entries[i].path;
+    request.kind = m.entries[i].kind;
+    const JobResult direct = worker.run_job(request);
+    EXPECT_EQ(report.results[i].status, kCorpusStatuses[i]) << "job " << i;
+    EXPECT_EQ(report.results[i].status, direct.status) << "job " << i;
+    EXPECT_EQ(report.results[i].witness, direct.witness) << "job " << i;
+    for (const auto& [name, value] : direct.counters)
+      expected_counters[name] += value;
+  }
+  // Merged counters are exactly the per-job sums.
+  EXPECT_EQ(report.merged_counters, expected_counters);
+  EXPECT_EQ(report.flagged_count(), 2u);
+  EXPECT_EQ(report.stats.worker_deaths, 0u);
+  EXPECT_EQ(report.stats.retries, 0u);
+}
+
+// ----- master, subprocess scheduling against a worker that cannot speak -----
+
+// /bin/false exits immediately without reading a request: every dispatch is
+// a transport failure, which drives the retry -> quarantine machinery
+// deterministically with no fault-injection environment needed.
+TEST(FarmMaster, SilentWorkerQuarantinesAfterBoundedRetries) {
+  const std::string dir = test_dir("silent_worker");
+  write_file(dir, "free.sg", kFreeGraph);
+  const Manifest m = parse_manifest("free.sg\n", dir);
+
+  FarmOptions options;
+  options.workers = 1;
+  options.worker_command = {"/bin/false"};
+  options.max_retries = 2;
+  options.max_respawns = 10;
+  const FarmReport report = run_farm(m, options);
+
+  ASSERT_EQ(report.quarantined, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(report.results[0].status, JobStatus::Error);
+  EXPECT_NE(report.results[0].detail.find("quarantined after 3"),
+            std::string::npos);
+  EXPECT_EQ(report.stats.retries, 2u);
+  EXPECT_EQ(report.stats.worker_deaths, 3u);
+  EXPECT_EQ(report.stats.respawns, 2u);
+  EXPECT_FALSE(report.internal_error);
+  EXPECT_TRUE(report.merged_counters.empty());
+}
+
+TEST(FarmMaster, RespawnBudgetExhaustionIsAnInternalError) {
+  const std::string dir = test_dir("respawn_budget");
+  write_file(dir, "free.sg", kFreeGraph);
+  const Manifest m = parse_manifest("free.sg\nfree.sg\n", dir);
+
+  FarmOptions options;
+  options.workers = 1;
+  options.worker_command = {"/bin/false"};
+  options.max_respawns = 0;
+  const FarmReport report = run_farm(m, options);
+
+  EXPECT_TRUE(report.internal_error);
+  EXPECT_FALSE(report.error.empty());
+  for (const JobResult& r : report.results) {
+    EXPECT_EQ(r.status, JobStatus::Error);
+    EXPECT_EQ(r.detail, "not attempted");
+  }
+}
+
+// ----- subprocess fault injection against the real siwa_farm worker -----
+//
+// SIWA_FARM_BIN points at the built siwa_farm binary; each scenario must
+// land on the byte-for-byte report of a clean in-process run.
+#ifdef SIWA_FARM_BIN
+
+FarmOptions subprocess_options(std::size_t workers) {
+  FarmOptions options;
+  options.workers = workers;
+  options.worker_command = {SIWA_FARM_BIN, "--worker"};
+  return options;
+}
+
+TEST(FarmSubprocess, MatchesInProcessReport) {
+  const std::string dir = test_dir("subprocess_clean");
+  const Manifest m = corpus(dir, 2);
+  const FarmReport expected = run_farm(m, FarmOptions{});
+  const FarmReport actual = run_farm(m, subprocess_options(3));
+  EXPECT_EQ(actual.stats.worker_deaths, 0u);
+  expect_reports_equal(actual, expected);
+}
+
+TEST(FarmSubprocess, KilledWorkerDoesNotChangeTheReport) {
+  const std::string dir = test_dir("subprocess_kill");
+  const Manifest m = corpus(dir, 3);
+  const FarmReport expected = run_farm(m, FarmOptions{});
+
+  // Kill worker 1 after it reads its *first* job: the master feeds every
+  // spawned worker one job up front, so the fault always fires (a later
+  // ordinal could starve on a loaded machine when the other workers drain
+  // the queue first). The respawned worker gets a fresh id, so the spec
+  // never re-arms.
+  const EnvGuard kill("SIWA_FARM_KILL_WORKER", "1:1");
+  const FarmReport actual = run_farm(m, subprocess_options(4));
+  EXPECT_GE(actual.stats.worker_deaths, 1u);
+  EXPECT_GE(actual.stats.retries + actual.stats.respawns, 1u);
+  expect_reports_equal(actual, expected);
+}
+
+TEST(FarmSubprocess, TruncatedResponseIsRetriedInvisibly) {
+  const std::string dir = test_dir("subprocess_truncate");
+  const Manifest m = corpus(dir, 2);
+  const FarmReport expected = run_farm(m, FarmOptions{});
+
+  const EnvGuard truncate("SIWA_FARM_TRUNCATE_WORKER", "0:1");
+  const FarmReport actual = run_farm(m, subprocess_options(2));
+  EXPECT_GE(actual.stats.worker_deaths, 1u);
+  expect_reports_equal(actual, expected);
+}
+
+TEST(FarmSubprocess, PoisonJobIsQuarantinedOthersUnaffected) {
+  const std::string dir = test_dir("subprocess_poison");
+  const Manifest m = corpus(dir);  // entry 1 is cycle.sg
+  const FarmReport clean = run_farm(m, FarmOptions{});
+
+  const EnvGuard poison("SIWA_FARM_POISON", "cycle");
+  const FarmReport actual = run_farm(m, subprocess_options(2));
+  ASSERT_EQ(actual.quarantined, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(actual.results[1].status, JobStatus::Error);
+  EXPECT_NE(actual.results[1].detail.find("quarantined"), std::string::npos);
+  EXPECT_EQ(actual.stats.retries, 2u);
+  EXPECT_GE(actual.stats.worker_deaths, 3u);
+  // Every other entry's verdict and counters match the clean run.
+  for (std::size_t i = 0; i < m.entries.size(); ++i) {
+    if (i == 1) continue;
+    EXPECT_EQ(actual.results[i].status, clean.results[i].status) << i;
+    EXPECT_EQ(actual.results[i].counters, clean.results[i].counters) << i;
+  }
+}
+
+#endif  // SIWA_FARM_BIN
+
+}  // namespace
+}  // namespace siwa::farm

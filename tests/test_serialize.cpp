@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "core/certifier.h"
 #include "gen/cnf.h"
 #include "gen/patterns.h"
@@ -157,6 +161,93 @@ TEST(Serialize, ErrorsAreReported) {
   EXPECT_FALSE(parse_sync_graph("task a\ncedge b 99\n", &error));
   EXPECT_FALSE(
       parse_sync_graph("task a\nnode 2 a a.m - guard broken\n", &error));
+}
+
+// ----- adversarial inputs (the farm feeds this parser untrusted corpus
+// files; every failure must be a structured error, never an abort) -----
+
+TEST(Serialize, EveryTruncationIsHandled) {
+  const SyncGraph g = build_sync_graph(lang::parse_and_check_or_throw(R"(
+shared condition v;
+task t is begin if v then accept m; end if; end t;
+task u is begin send t.m; end u;
+)"));
+  const std::string text = serialize_sync_graph(g);
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    std::string error;
+    const auto parsed = parse_sync_graph(text.substr(0, cut), &error);
+    if (!parsed) {
+      EXPECT_FALSE(error.empty()) << "cut at " << cut;
+    }
+    // A prefix that happens to parse must still be a consistent graph.
+    if (parsed) (void)parsed->validate(false);
+  }
+}
+
+TEST(Serialize, DuplicatedRecordsAreHandled) {
+  const SyncGraph g = gen::build_theorem3_graph(
+      *gen::parse_dimacs("p cnf 3 2\n1 2 3 0\n-1 -2 -3 0\n"));
+  const std::string text = serialize_sync_graph(g);
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_GT(lines.size(), 4u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string doubled;
+    for (std::size_t j = 0; j < lines.size(); ++j) {
+      doubled += lines[j];
+      doubled += '\n';
+      if (j == i) {
+        doubled += lines[j];
+        doubled += '\n';
+      }
+    }
+    std::string error;
+    const auto parsed = parse_sync_graph(doubled, &error);
+    if (!parsed) {
+      EXPECT_FALSE(error.empty()) << "doubling line " << i;
+    }
+    if (parsed) (void)parsed->validate(false);
+  }
+  // The unambiguous duplicates report as such.
+  std::string error;
+  EXPECT_FALSE(parse_sync_graph("task a\ntask a\n", &error));
+  EXPECT_NE(error.find("duplicate task"), std::string::npos);
+  EXPECT_FALSE(
+      parse_sync_graph("task a\nnode 2 a a.m +\nnode 2 a a.m -\n", &error));
+  EXPECT_NE(error.find("duplicate node id"), std::string::npos);
+}
+
+TEST(Serialize, OverflowedIdsAreStructuredErrors) {
+  const char* kHuge = "99999999999999999999999999";
+  std::string error;
+  // A node id past long's range fails the record parse, not the process.
+  EXPECT_FALSE(parse_sync_graph(
+      std::string("task a\nnode ") + kHuge + " a a.m +\n", &error));
+  EXPECT_FALSE(error.empty());
+  // Overflowed references fail resolution the same way unknown ids do.
+  EXPECT_FALSE(parse_sync_graph(
+      std::string("task a\ncedge b ") + kHuge + "\n", &error));
+  EXPECT_NE(error.find("unknown edge endpoint"), std::string::npos);
+  EXPECT_FALSE(parse_sync_graph(
+      std::string("task a\nentry a ") + kHuge + "\n", &error));
+  EXPECT_NE(error.find("unknown node"), std::string::npos);
+  EXPECT_FALSE(
+      parse_sync_graph("task a\nnode -2 a a.m +\n", &error));
+  EXPECT_NE(error.find("non-negative"), std::string::npos);
+}
+
+TEST(Serialize, SedgeAndEntryEndpointMisuseIsRejected) {
+  std::string error;
+  // b/e are valid node references but not rendezvous nodes: an explicit
+  // sync edge on them used to trip an internal assertion.
+  EXPECT_FALSE(parse_sync_graph("task a\nsedge b e\n", &error));
+  EXPECT_NE(error.find("sedge endpoints must be rendezvous"),
+            std::string::npos);
+  EXPECT_FALSE(parse_sync_graph("task a\nentry a b\n", &error));
+  EXPECT_NE(error.find("entry cannot target b"), std::string::npos);
+  EXPECT_FALSE(parse_sync_graph("task a\nsedge 7 8\n", &error));
+  EXPECT_NE(error.find("unknown edge endpoint"), std::string::npos);
 }
 
 TEST(Serialize, PatternGraphsRoundTrip) {
